@@ -1,0 +1,87 @@
+// Shared helpers for the table/figure reproduction benches.
+//
+// Every bench binary regenerates one table or figure of the paper's
+// evaluation (§VI) with the same rows/series layout; EXPERIMENTS.md records
+// paper-vs-measured. The evaluation setup follows the paper: ADPCM decoder,
+// 416-sample input vector, maximum unroll factor of 2 for inner loops,
+// RF size 128, context size 256.
+#pragma once
+
+#include <iostream>
+#include <map>
+
+#include "apps/kernels.hpp"
+#include "arch/factory.hpp"
+#include "arch/resource_model.hpp"
+#include "ctx/regalloc.hpp"
+#include "host/token_machine.hpp"
+#include "kir/lower_bytecode.hpp"
+#include "kir/lower_cdfg.hpp"
+#include "kir/passes.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/simulator.hpp"
+#include "support/table.hpp"
+
+namespace cgra::bench {
+
+inline constexpr unsigned kAdpcmSamples = 416;  // paper §VI-B
+inline constexpr unsigned kUnrollFactor = 2;    // paper §VI-B
+
+/// The evaluation kernel, unrolled and lowered once.
+struct AdpcmSetup {
+  apps::Workload workload;
+  kir::Function unrolled;
+  Cdfg graph;
+
+  static AdpcmSetup make() {
+    AdpcmSetup s;
+    s.workload = apps::makeAdpcm(kAdpcmSamples, /*seed=*/1);
+    s.unrolled = kir::unrollLoops(s.workload.fn, kUnrollFactor,
+                                  /*innermostOnly=*/true);
+    s.graph = kir::lowerToCdfg(s.unrolled).graph;
+    return s;
+  }
+};
+
+/// One composition's measured results for the ADPCM kernel.
+struct AdpcmRun {
+  unsigned contexts = 0;
+  unsigned maxRfEntries = 0;
+  std::uint64_t cycles = 0;
+  double schedulingMs = 0.0;
+  double energy = 0.0;
+  ResourceEstimate resources;
+};
+
+inline AdpcmRun runAdpcmOn(const AdpcmSetup& setup, const Composition& comp,
+                           const SchedulerOptions& opts = {}) {
+  AdpcmRun out;
+  const Scheduler scheduler(comp, opts);
+  const SchedulingResult result = scheduler.schedule(setup.graph);
+  const RegAllocation alloc = allocateRegisters(result.schedule, comp);
+
+  out.contexts = result.schedule.length;
+  out.maxRfEntries = alloc.maxRfEntries();
+  out.schedulingMs = result.stats.wallTimeMs;
+  out.resources = estimateResources(comp);
+
+  std::map<VarId, std::int32_t> liveIns;
+  for (const LiveBinding& lb : result.schedule.liveIns)
+    liveIns[lb.var] = setup.workload.initialLocals[lb.var];
+  HostMemory heap = setup.workload.heap;
+  const Simulator sim(comp, result.schedule);
+  const SimResult simResult = sim.run(liveIns, heap);
+  out.cycles = simResult.runCycles;
+  out.energy = simResult.energy;
+  return out;
+}
+
+/// Cycle count of the AMIDAR-like baseline on the same kernel.
+inline std::uint64_t baselineCycles(const AdpcmSetup& setup) {
+  const BytecodeFunction bc = kir::lowerToBytecode(setup.workload.fn);
+  HostMemory heap = setup.workload.heap;
+  const TokenMachine machine;
+  return machine.run(bc, setup.workload.initialLocals, heap).cycles;
+}
+
+}  // namespace cgra::bench

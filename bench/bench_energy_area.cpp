@@ -1,0 +1,52 @@
+// Reproduces the paper's §VI-C qualitative claim: "supporting irregular and
+// inhomogeneous structures can potentially save area on the chip and most
+// likely energy" — composition F (only two multiplier PEs) vs D (same rich
+// interconnect, all PEs multiply): cycles, simulated per-op energy, DSP
+// area; plus an energy series over all evaluated compositions.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cgra;
+  using namespace cgra::bench;
+
+  std::cout << "== Energy & area: inhomogeneity pays (paper §VI-C) ==\n";
+  const AdpcmSetup setup = AdpcmSetup::make();
+
+  TextTable table({"Composition", "Cycles", "Energy (rel)", "Energy/sample",
+                   "DSPs", "LUT-logic"});
+  for (const auto& entry : {std::make_pair(std::string("D (homogeneous ops)"),
+                                           makeIrregular('D')),
+                            std::make_pair(std::string("F (2 multiplier PEs)"),
+                                           makeIrregular('F'))}) {
+    const AdpcmRun run = runAdpcmOn(setup, entry.second);
+    table.addRow({entry.first, fmtKilo(run.cycles), fmt(run.energy, 0),
+                  fmt(run.energy / kAdpcmSamples, 1),
+                  std::to_string(run.resources.dsp),
+                  fmt(run.resources.lutLogic, 0)});
+  }
+  table.print(std::cout);
+  std::cout << "\npaper: F is 'only marginally slower ... but the utilization "
+               "of DSPs decreases by 75%'\n\n";
+
+  std::cout << "energy across all evaluated compositions:\n";
+  TextTable series({"Composition", "Cycles", "Energy (rel)", "Idle share"});
+  auto addRow = [&](const std::string& name, const Composition& comp) {
+    const AdpcmRun run = runAdpcmOn(setup, comp);
+    // Idle share: fraction of PE-cycles spent on NOP (no issued op).
+    const double busy = run.energy / (defaultEnergy(Op::IADD) *
+                                      static_cast<double>(run.cycles) *
+                                      comp.numPEs());
+    series.addRow({name, fmtKilo(run.cycles), fmt(run.energy, 0),
+                   fmt(100.0 * (1.0 - std::min(1.0, busy)), 0) + "%"});
+  };
+  for (unsigned n : meshSizes()) addRow(std::to_string(n) + " PEs", makeMesh(n));
+  for (char c : irregularLabels())
+    addRow(std::string("8 PEs ") + c, makeIrregular(c));
+  series.print(std::cout);
+  std::cout << "\nshape: dynamic (per-op) energy is nearly composition-"
+               "independent, but the idle share grows with the array — the "
+               "static/clocking energy of idle PEs is what tailored, smaller "
+               "or operator-trimmed compositions save (the paper's §VI-C "
+               "argument; F additionally cuts 75% of the DSP area)\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Extension bench (paper §VII outlook): automatic composition synthesis for
+// an application domain. Profiles a set of kernels, ranks the generated
+// candidates and compares the winner against the paper's hand-picked Fig. 13
+// / Fig. 14 compositions on the same kernels — the paper's "iteratively
+// improving compositions by experience" loop, automated.
+#include "bench_common.hpp"
+#include "synth/synthesis.hpp"
+
+int main() {
+  using namespace cgra;
+  using namespace cgra::bench;
+
+  std::cout << "== Extension: automatic composition synthesis (paper §VII "
+               "future work) ==\n";
+
+  std::vector<apps::Workload> workloads;
+  workloads.push_back(apps::makeAdpcm(64, 1));
+  workloads.push_back(apps::makeFir(10, 4, 2));
+  workloads.push_back(apps::makeEwmaClip(12, 3));
+  std::vector<Cdfg> graphs;
+  for (const apps::Workload& w : workloads)
+    graphs.push_back(kir::lowerToCdfg(w.fn).graph);
+  std::vector<DomainKernel> kernels;
+  for (std::size_t i = 0; i < graphs.size(); ++i)
+    kernels.push_back(DomainKernel{&graphs[i], i == 0 ? 4.0 : 1.0,
+                                   workloads[i].name});
+
+  const SynthesisReport report = synthesizeComposition(kernels);
+  std::cout << "domain profile: IMUL fraction "
+            << fmt(report.profile.mulFraction * 100, 1) << "%, memory ops "
+            << fmt(report.profile.memFraction * 100, 1)
+            << "%, ILP estimate " << fmt(report.profile.avgIlp, 2)
+            << " -> suggested " << report.profile.suggestedPEs << " PEs\n\n";
+
+  TextTable table({"Candidate", "Feasible", "Weighted length", "LUTs", "Score"});
+  for (const CandidateResult& c : report.candidates)
+    table.addRow({c.name, c.feasible ? "yes" : "no",
+                  c.feasible ? fmt(c.weightedLength, 0) : "-",
+                  c.feasible ? fmt(c.lutArea, 0) : "-",
+                  c.feasible ? fmt(c.score, 0) : c.failure.substr(0, 40)});
+  table.print(std::cout);
+  std::cout << "\nwinner: " << report.best.name() << "\n";
+
+  // Compare the winner against the paper's fixed compositions on the
+  // weighted domain objective.
+  auto weightedLength = [&](const Composition& comp) -> double {
+    const Scheduler scheduler(comp);
+    double total = 0;
+    for (std::size_t i = 0; i < graphs.size(); ++i)
+      total += kernels[i].weight *
+               scheduler.schedule(graphs[i]).schedule.length;
+    return total;
+  };
+  std::cout << "\nweighted schedule length on fixed compositions:\n";
+  TextTable cmp({"Composition", "Weighted length", "LUTs"});
+  cmp.addRow({report.best.name(), fmt(weightedLength(report.best), 0),
+              fmt(estimateResources(report.best).lutLogic, 0)});
+  for (unsigned n : {8u, 9u, 16u}) {
+    FactoryOptions fo;
+    fo.contextMemoryLength = 1024;
+    const Composition mesh = makeMesh(n, fo);
+    cmp.addRow({mesh.name(), fmt(weightedLength(mesh), 0),
+                fmt(estimateResources(mesh).lutLogic, 0)});
+  }
+  cmp.print(std::cout);
+  std::cout << "\n(the synthesized composition should match or beat the "
+               "hand-picked ones on the domain objective at comparable "
+               "area)\n";
+  return 0;
+}

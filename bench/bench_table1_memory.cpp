@@ -1,0 +1,34 @@
+// Reproduces Table I: "Memory utilization of the ADPCM decoder schedules for
+// all CGRAs" — used contexts and maximum register-file entries for the
+// homogeneous mesh compositions of Fig. 13.
+//
+// Paper values (for shape comparison; see EXPERIMENTS.md):
+//   PEs            4    6    8    9    12   16
+//   Used contexts  200  191  189  175  173  168
+//   Max RF entries 66   69   62   51   44   49
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cgra;
+  using namespace cgra::bench;
+
+  std::cout << "== Table I: memory utilization of the ADPCM decoder "
+               "schedules ==\n";
+  const AdpcmSetup setup = AdpcmSetup::make();
+
+  TextTable table({"", "4 PEs", "6 PEs", "8 PEs", "9 PEs", "12 PEs", "16 PEs"});
+  std::vector<std::string> contexts{"Used Contexts"};
+  std::vector<std::string> rf{"Max. RF entries"};
+  for (unsigned n : meshSizes()) {
+    const AdpcmRun run = runAdpcmOn(setup, makeMesh(n));
+    contexts.push_back(std::to_string(run.contexts));
+    rf.push_back(std::to_string(run.maxRfEntries));
+  }
+  table.addRow(contexts);
+  table.addRow(rf);
+  table.print(std::cout);
+
+  std::cout << "\npaper shape check: contexts shrink as the array grows "
+               "(more instruction-level parallelism per context)\n";
+  return 0;
+}

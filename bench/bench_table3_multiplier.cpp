@@ -1,0 +1,38 @@
+// Reproduces Table III: "Execution times for different CGRAs with single
+// cycle multipliers in clock cycles" (plus their maximum frequencies). The
+// Table II CGRAs use a 2-cycle block multiplier; replacing it with a
+// combinational single-cycle multiplier reduces cycle counts but lengthens
+// the critical path (paper: 86.9 MHz at 4 PEs vs 103.6 MHz with the block
+// multiplier).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace cgra;
+  using namespace cgra::bench;
+
+  std::cout << "== Table III: single-cycle multiplier variants ==\n";
+  const AdpcmSetup setup = AdpcmSetup::make();
+
+  FactoryOptions single;
+  single.blockMultiplier = false;
+
+  TextTable table({"", "4 PEs", "6 PEs", "8 PEs", "9 PEs", "12 PEs", "16 PEs"});
+  std::vector<std::string> cyc{"Cycles"};
+  std::vector<std::string> cycBlock{"Cycles (2-cycle mult, Table II)"};
+  std::vector<std::string> freq{"Frequency in MHz"};
+  for (unsigned n : meshSizes()) {
+    const AdpcmRun runSingle = runAdpcmOn(setup, makeMesh(n, single));
+    const AdpcmRun runBlock = runAdpcmOn(setup, makeMesh(n));
+    cyc.push_back(fmtKilo(runSingle.cycles));
+    cycBlock.push_back(fmtKilo(runBlock.cycles));
+    freq.push_back(fmt(runSingle.resources.frequencyMHz, 1));
+  }
+  table.addRow(cyc);
+  table.addRow(cycBlock);
+  table.addRow(freq);
+  table.print(std::cout);
+
+  std::cout << "\npaper shape check: single-cycle multipliers need fewer "
+               "cycles but clock lower than the block-multiplier variants\n";
+  return 0;
+}

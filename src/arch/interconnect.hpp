@@ -1,0 +1,75 @@
+// Interconnect model: for each PE, the list of source PEs whose register-file
+// output port it can read (paper §IV-B: "mainly a list of available sources
+// for each PE"). The structure is directed and may be arbitrarily irregular.
+//
+// The scheduler needs all-pairs shortest paths to insert copy chains between
+// non-adjacent PEs; the paper uses Floyd's algorithm [19], implemented here
+// with next-hop reconstruction.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "json/json.hpp"
+
+namespace cgra {
+
+/// Index of a PE within a composition.
+using PEId = unsigned;
+
+/// Marker for "no path exists".
+inline constexpr unsigned kUnreachable = std::numeric_limits<unsigned>::max();
+
+/// Directed interconnect between PEs of one composition.
+class Interconnect {
+public:
+  Interconnect() = default;
+  explicit Interconnect(unsigned numPEs) : sources_(numPEs) {}
+
+  unsigned numPEs() const { return static_cast<unsigned>(sources_.size()); }
+
+  /// Declares that `to` can read the output port of `from`.
+  void addLink(PEId from, PEId to);
+  /// Adds links in both directions.
+  void addBidirectional(PEId a, PEId b);
+
+  /// PEs whose output port `pe` can read.
+  const std::vector<PEId>& sources(PEId pe) const;
+  /// PEs that can read `pe`'s output port (computed on demand).
+  std::vector<PEId> sinks(PEId pe) const;
+
+  bool hasLink(PEId from, PEId to) const;
+
+  /// Total number of directed links.
+  std::size_t numLinks() const;
+
+  /// Computes hop distances and next-hop matrix (Floyd–Warshall). Must be
+  /// called after the link set is final and before distance()/pathTo().
+  void computeShortestPaths();
+
+  /// Hop count of the shortest path from `from` to `to`; kUnreachable when
+  /// disconnected; 0 when from == to.
+  unsigned distance(PEId from, PEId to) const;
+
+  /// Shortest path from `from` to `to` as the PE sequence including both
+  /// endpoints; empty when unreachable.
+  std::vector<PEId> pathTo(PEId from, PEId to) const;
+
+  /// True when every PE can (transitively) reach every other PE.
+  bool stronglyConnected() const;
+
+  json::Value toJson() const;
+  static Interconnect fromJson(const json::Value& v, unsigned expectedPEs);
+
+private:
+  std::vector<std::vector<PEId>> sources_;
+  // dist_[from * n + to]; nextHop_[from * n + to] is the next PE on the
+  // shortest from→to path.
+  std::vector<unsigned> dist_;
+  std::vector<PEId> nextHop_;
+  bool pathsComputed_ = false;
+};
+
+}  // namespace cgra

@@ -1,0 +1,99 @@
+#include "arch/operation.hpp"
+
+#include <array>
+
+#include "support/assert.hpp"
+
+namespace cgra {
+
+namespace {
+
+struct OpInfo {
+  const char* name;
+  unsigned operands;
+  unsigned duration;
+  double energy;
+  bool status;
+  bool memory;
+  bool writesRf;
+};
+
+// Energies loosely follow the Fig. 9 example scale (NOP 0.7 ... IMUL 1.7).
+constexpr std::array<OpInfo, kNumOps> kOpInfo = {{
+    /* NOP      */ {"NOP", 0, 1, 0.7, false, false, false},
+    /* MOVE     */ {"MOVE", 1, 1, 0.8, false, false, true},
+    /* CONST    */ {"CONST", 1, 1, 0.8, false, false, true},
+    /* IADD     */ {"IADD", 2, 1, 1.0, false, false, true},
+    /* ISUB     */ {"ISUB", 2, 1, 1.3, false, false, true},
+    /* IMUL     */ {"IMUL", 2, 2, 1.7, false, false, true},
+    /* INEG     */ {"INEG", 1, 1, 0.9, false, false, true},
+    /* IAND     */ {"IAND", 2, 1, 0.9, false, false, true},
+    /* IOR      */ {"IOR", 2, 1, 0.9, false, false, true},
+    /* IXOR     */ {"IXOR", 2, 1, 0.9, false, false, true},
+    /* ISHL     */ {"ISHL", 2, 1, 1.0, false, false, true},
+    /* ISHR     */ {"ISHR", 2, 1, 1.0, false, false, true},
+    /* IUSHR    */ {"IUSHR", 2, 1, 1.0, false, false, true},
+    /* IFEQ     */ {"IFEQ", 2, 1, 1.1, true, false, false},
+    /* IFNE     */ {"IFNE", 2, 1, 1.1, true, false, false},
+    /* IFLT     */ {"IFLT", 2, 1, 1.1, true, false, false},
+    /* IFGE     */ {"IFGE", 2, 1, 1.1, true, false, false},
+    /* IFGT     */ {"IFGT", 2, 1, 1.1, true, false, false},
+    /* IFLE     */ {"IFLE", 2, 1, 1.1, true, false, false},
+    /* DMA_LOAD */ {"DMA_LOAD", 2, 2, 2.0, false, true, true},
+    /* DMA_STORE*/ {"DMA_STORE", 3, 2, 2.2, false, true, false},
+}};
+
+const OpInfo& info(Op op) {
+  const auto idx = static_cast<unsigned>(op);
+  CGRA_ASSERT(idx < kNumOps);
+  return kOpInfo[idx];
+}
+
+}  // namespace
+
+bool producesStatus(Op op) { return info(op).status; }
+bool isMemoryOp(Op op) { return info(op).memory; }
+bool writesRegister(Op op) { return info(op).writesRf; }
+unsigned operandCount(Op op) { return info(op).operands; }
+const char* opName(Op op) { return info(op).name; }
+unsigned defaultDuration(Op op) { return info(op).duration; }
+double defaultEnergy(Op op) { return info(op).energy; }
+
+std::optional<Op> opFromName(const std::string& name) {
+  for (unsigned i = 0; i < kNumOps; ++i)
+    if (name == kOpInfo[i].name) return static_cast<Op>(i);
+  return std::nullopt;
+}
+
+bool evalCompare(Op op, std::int32_t a, std::int32_t b) {
+  switch (op) {
+    case Op::IFEQ: return a == b;
+    case Op::IFNE: return a != b;
+    case Op::IFLT: return a < b;
+    case Op::IFGE: return a >= b;
+    case Op::IFGT: return a > b;
+    case Op::IFLE: return a <= b;
+    default: CGRA_UNREACHABLE("not a comparison op");
+  }
+}
+
+std::int32_t evalArith(Op op, std::int32_t a, std::int32_t b) {
+  const auto ua = static_cast<std::uint32_t>(a);
+  const auto ub = static_cast<std::uint32_t>(b);
+  switch (op) {
+    case Op::MOVE: return a;
+    case Op::IADD: return static_cast<std::int32_t>(ua + ub);
+    case Op::ISUB: return static_cast<std::int32_t>(ua - ub);
+    case Op::IMUL: return static_cast<std::int32_t>(ua * ub);
+    case Op::INEG: return static_cast<std::int32_t>(0u - ua);
+    case Op::IAND: return static_cast<std::int32_t>(ua & ub);
+    case Op::IOR: return static_cast<std::int32_t>(ua | ub);
+    case Op::IXOR: return static_cast<std::int32_t>(ua ^ ub);
+    case Op::ISHL: return static_cast<std::int32_t>(ua << (ub & 31u));
+    case Op::ISHR: return a >> (ub & 31);
+    case Op::IUSHR: return static_cast<std::int32_t>(ua >> (ub & 31u));
+    default: CGRA_UNREACHABLE("not an arithmetic op");
+  }
+}
+
+}  // namespace cgra

@@ -1,0 +1,89 @@
+// Operation set of the CGRA processing elements.
+//
+// The paper's PEs execute word-level integer and control-flow operations
+// (Java-bytecode-flavoured names in the PE descriptor JSON, Fig. 9: IADD,
+// ISUB, IMUL, IFGE, IFLT, NOP, ...). Floating point and division are
+// explicitly out of scope ("currently only integer and control flow
+// operations are supported, excluding division"); we define the same
+// spectrum. Condition-producing operations (IF*) route their result to the
+// C-Box as a status bit instead of writing the register file.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace cgra {
+
+/// Opcode of a PE ALU operation.
+enum class Op : std::uint8_t {
+  // No operation (PE idle this context).
+  NOP,
+  // Copy a routed or local value into the local RF (the scheduler's data
+  // transport primitive).
+  MOVE,
+  // Load an immediate constant into the local RF.
+  CONST,
+  // Integer arithmetic.
+  IADD,
+  ISUB,
+  IMUL,
+  INEG,
+  // Bitwise logic.
+  IAND,
+  IOR,
+  IXOR,
+  // Shifts (arithmetic right, logical right, left).
+  ISHL,
+  ISHR,
+  IUSHR,
+  // Comparisons producing a status bit for the C-Box. Semantics follow the
+  // Java if<cond> bytecodes: the status is the *truth of the comparison*
+  // between operand A and operand B.
+  IFEQ,
+  IFNE,
+  IFLT,
+  IFGE,
+  IFGT,
+  IFLE,
+  // Direct-memory-access ops into host heap memory (arrays / object fields).
+  // Operands: handle (base) and index; DMA_STORE additionally takes the data
+  // value. Always predicated (paper §V-D).
+  DMA_LOAD,
+  DMA_STORE,
+};
+
+/// Number of distinct opcodes (for tables indexed by Op).
+inline constexpr unsigned kNumOps = static_cast<unsigned>(Op::DMA_STORE) + 1;
+
+/// True for comparison ops whose result is a status bit routed to the C-Box.
+bool producesStatus(Op op);
+
+/// True for DMA_LOAD / DMA_STORE.
+bool isMemoryOp(Op op);
+
+/// True when the op writes a result word into the local register file.
+bool writesRegister(Op op);
+
+/// Number of data operands the op consumes (excluding immediates).
+unsigned operandCount(Op op);
+
+/// Canonical descriptor-file spelling ("IADD", "IFGE", ...).
+const char* opName(Op op);
+
+/// Parses a descriptor-file spelling; nullopt when unknown.
+std::optional<Op> opFromName(const std::string& name);
+
+/// Default single-issue latency of the op in cycles (block multiplier: 2).
+unsigned defaultDuration(Op op);
+
+/// Default relative energy per execution (arbitrary units, from Fig. 9 scale).
+double defaultEnergy(Op op);
+
+/// Evaluates a two-operand comparison op; `a` is compared against `b`.
+bool evalCompare(Op op, std::int32_t a, std::int32_t b);
+
+/// Evaluates an arithmetic/logic op on 32-bit two's-complement words.
+std::int32_t evalArith(Op op, std::int32_t a, std::int32_t b);
+
+}  // namespace cgra

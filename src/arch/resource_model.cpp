@@ -1,0 +1,62 @@
+#include "arch/resource_model.hpp"
+
+#include <cmath>
+
+namespace cgra {
+
+namespace {
+
+// Calibration constants (see header). Derived by fitting Table II rows.
+constexpr double kLutBase = 420.0;        // CCU + C-Box + run control
+constexpr double kLutPerPE = 830.0;       // ALU + decode + RF ports
+constexpr double kLutPerLink = 36.0;      // input-mux tree per directed link
+constexpr double kLutPerDmaPE = 180.0;    // DMA port + third RF read port
+constexpr double kLutMemBase = 360.0;     // C-Box condition memory
+constexpr double kLutMemPerEntryPE = 1.372;  // distributed-RAM cost per RF word
+constexpr unsigned kDspPerMulPE = 3;      // 32×32 block multiplier
+
+constexpr double kF0 = 163.1;             // intrinsic template speed (MHz)
+constexpr double kFreqPerPE = 0.01686;    // CCNT/status fan-out growth
+constexpr double kFreqPerLogRf = 0.0439;  // RF address decode depth
+constexpr double kFreqPerFanin = 0.1;     // input-mux depth
+constexpr double kFreqSingleCycleMul = 0.26;  // combinational multiplier path
+
+}  // namespace
+
+ResourceEstimate estimateResources(const Composition& comp) {
+  const unsigned n = comp.numPEs();
+  const std::size_t links = comp.interconnect().numLinks();
+
+  unsigned mulPEs = 0;
+  unsigned dmaPEs = 0;
+  bool singleCycleMul = false;
+  double sumRfEntries = 0;
+  double maxLogRf = 0;
+  for (PEId i = 0; i < n; ++i) {
+    const PEDescriptor& pe = comp.pe(i);
+    if (pe.supports(Op::IMUL)) {
+      ++mulPEs;
+      if (pe.impl(Op::IMUL).duration == 1) singleCycleMul = true;
+    }
+    if (pe.hasDma()) ++dmaPEs;
+    sumRfEntries += pe.regfileSize();
+    maxLogRf = std::max(maxLogRf, std::log2(static_cast<double>(pe.regfileSize())));
+  }
+  const double avgFanin = n > 0 ? static_cast<double>(links) / n : 0.0;
+
+  ResourceEstimate est;
+  est.lutLogic = kLutBase + kLutPerPE * n +
+                 kLutPerLink * static_cast<double>(links) +
+                 kLutPerDmaPE * dmaPEs;
+  est.lutMemory = kLutMemBase + kLutMemPerEntryPE * sumRfEntries;
+  est.dsp = kDspPerMulPE * mulPEs;
+  est.bram = n + 1;  // one context memory per PE + C-Box/predication memory
+
+  double denom = 1.0 + kFreqPerPE * n + kFreqPerLogRf * maxLogRf +
+                 kFreqPerFanin * avgFanin;
+  if (singleCycleMul) denom += kFreqSingleCycleMul;
+  est.frequencyMHz = kF0 / denom;
+  return est;
+}
+
+}  // namespace cgra

@@ -1,0 +1,58 @@
+// Analytical FPGA resource and timing model for generated compositions.
+//
+// The paper reports Vivado synthesis results on a Virtex-7 XC7VX690 (Table
+// II/III): LUT, LUT-as-memory, DSP and BRAM utilization plus the maximum
+// clock frequency. We cannot run Vivado, so this model reproduces the
+// *shapes* the paper demonstrates, calibrated against Table II:
+//   * BRAM: one block per PE context memory plus one for C-Box/CCU
+//     (Table II fits numPEs + 1 exactly for every composition).
+//   * DSP: three DSP slices per multiplier-capable PE (Table II fits
+//     3·multPEs exactly, including composition F's 75 % drop).
+//   * LUT / LUT-memory: affine in PE count with an interconnect-mux term
+//     (LUT-memory fits Table II within 1 %).
+//   * Frequency: F0 / (1 + a·N + b·log2(RF entries) + d·fan-in), calibrated
+//     so that 4→16 PEs degrades 103.6→86.9 MHz and shrinking the RF from
+//     128 to 32 entries gains 7.2 % (both stated in §VI-B); single-cycle
+//     multipliers lengthen the critical path (Table III).
+// DESIGN.md records this substitution.
+#pragma once
+
+#include "arch/composition.hpp"
+
+namespace cgra {
+
+/// Device capacities of the paper's target FPGA (Virtex-7 XC7VX690T).
+struct FpgaDevice {
+  const char* name = "XC7VX690T";
+  unsigned luts = 433200;
+  unsigned lutram = 174200;
+  unsigned dsps = 3600;
+  unsigned bram36 = 1470;
+};
+
+/// Synthesis estimate for one composition.
+struct ResourceEstimate {
+  double lutLogic = 0;   ///< LUTs used as logic
+  double lutMemory = 0;  ///< LUTs used as distributed memory (register files)
+  unsigned dsp = 0;
+  unsigned bram = 0;
+  double frequencyMHz = 0;
+
+  double lutLogicPct(const FpgaDevice& dev = {}) const {
+    return 100.0 * lutLogic / dev.luts;
+  }
+  double lutMemoryPct(const FpgaDevice& dev = {}) const {
+    return 100.0 * lutMemory / dev.lutram;
+  }
+  double dspPct(const FpgaDevice& dev = {}) const {
+    return 100.0 * dsp / dev.dsps;
+  }
+  double bramPct(const FpgaDevice& dev = {}) const {
+    return 100.0 * bram / dev.bram36;
+  }
+};
+
+/// Estimates synthesis results for `comp` on the paper's Virtex-7 device.
+ResourceEstimate estimateResources(const Composition& comp);
+
+}  // namespace cgra

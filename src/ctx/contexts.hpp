@@ -1,0 +1,55 @@
+// Binary context generation (paper §IV-B, §V-I, Fig. 10): after register
+// allocation the schedule is encoded into per-PE context memory images plus
+// C-Box and CCU context streams. Field widths are minimized per PE from the
+// composition (the paper's "bit-mask"): register addresses use the PE's RF
+// depth, source selectors the PE's fan-in, condition slots the C-Box size.
+// Contexts are encoded field-sequentially and padded to the widest context
+// of their memory; decoding reverses the process exactly, which the test
+// suite exploits for bit-level round-trip checks and for running the
+// simulator on *decoded* images (context-accurate execution).
+#pragma once
+
+#include "ctx/regalloc.hpp"
+#include "sched/schedule.hpp"
+#include "support/bitvector.hpp"
+
+namespace cgra {
+
+/// Encoded context memories for one schedule on one composition.
+struct ContextImages {
+  unsigned length = 0;  ///< contexts per memory
+
+  std::vector<std::vector<BitVector>> peContexts;  ///< [pe][cycle]
+  std::vector<BitVector> cboxContexts;             ///< [cycle]
+  std::vector<BitVector> ccuContexts;              ///< [cycle]
+
+  std::vector<unsigned> peWidths;  ///< padded width per PE memory
+  unsigned cboxWidth = 0;
+  unsigned ccuWidth = 0;
+
+  // Invocation metadata (token-transferred in the real system, Fig. 6).
+  std::vector<LiveBinding> liveIns;
+  std::vector<LiveBinding> liveOuts;
+  std::vector<unsigned> physRegsUsed;  ///< per PE (for simulator RF sizing)
+  unsigned cboxSlotsUsed = 0;
+
+  /// Total bits over all context memories (resource discussion of §VI-B).
+  std::size_t totalBits() const;
+};
+
+/// Encodes a schedule whose registers are still virtual: allocation is
+/// applied internally (left edge, §V-I). Throws cgra::Error when the
+/// schedule exceeds the composition's context memory length.
+ContextImages generateContexts(const Schedule& sched, const Composition& comp);
+
+/// Encodes a schedule whose registers are already physical (e.g. a pack of
+/// several schedules sharing one context memory, ctx/multi.hpp). The
+/// caller guarantees register/slot indices fit the composition.
+ContextImages encodePhysical(const Schedule& physical, const Composition& comp);
+
+/// Decodes context images back into an executable schedule (physical
+/// registers). The result carries no loop metadata — exactly what the
+/// hardware knows — but runs identically on the simulator.
+Schedule decodeContexts(const ContextImages& images, const Composition& comp);
+
+}  // namespace cgra

@@ -1,0 +1,228 @@
+#include "ctx/regalloc.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace cgra {
+
+namespace {
+
+/// Access events of one register: cycles of writes (commit cycle) and reads.
+struct Usage {
+  std::vector<unsigned> writes;
+  std::vector<unsigned> reads;
+  unsigned lo = 0, hi = 0;
+  bool pinnedFromStart = false;  ///< live-in home
+  bool pinnedToEnd = false;      ///< live-out home
+
+  bool empty() const { return writes.empty() && reads.empty(); }
+
+  void computeBase(unsigned scheduleEnd) {
+    unsigned mn = static_cast<unsigned>(-1), mx = 0;
+    for (unsigned c : writes) {
+      mn = std::min(mn, c);
+      mx = std::max(mx, c);
+    }
+    for (unsigned c : reads) {
+      mn = std::min(mn, c);
+      mx = std::max(mx, c);
+    }
+    lo = pinnedFromStart ? 0 : mn;
+    hi = pinnedToEnd ? scheduleEnd : mx;
+    if (pinnedFromStart && empty()) hi = std::max(hi, lo);
+  }
+
+  /// Extends across loop intervals where the value crosses the iteration
+  /// boundary. Returns true when anything changed.
+  bool extendForLoop(unsigned s, unsigned e) {
+    const bool touchesInterval = lo <= e && hi >= s;
+    if (!touchesInterval) return false;
+
+    bool insideAccess = false;
+    unsigned firstInWrite = static_cast<unsigned>(-1);
+    unsigned firstInRead = static_cast<unsigned>(-1);
+    bool outsideAccess = pinnedFromStart && s > 0;
+    for (unsigned c : writes) {
+      if (c >= s && c <= e) {
+        insideAccess = true;
+        firstInWrite = std::min(firstInWrite, c);
+      } else {
+        outsideAccess = true;
+      }
+    }
+    for (unsigned c : reads) {
+      if (c >= s && c <= e) {
+        insideAccess = true;
+        firstInRead = std::min(firstInRead, c);
+      } else {
+        outsideAccess = true;
+      }
+    }
+    if (pinnedToEnd && e + 1 > 0) outsideAccess = true;
+    if (!insideAccess) {
+      // The lifetime spans the interval without accessing it (value parked
+      // across the loop): it must survive the whole interval anyway; the
+      // base range already covers it.
+      return false;
+    }
+    const bool wraps =
+        outsideAccess ||                       // crosses the boundary
+        firstInWrite == static_cast<unsigned>(-1) ||  // never written inside
+        firstInRead < firstInWrite;            // read previous iteration
+    if (!wraps) return false;
+    bool changed = false;
+    if (lo > s) {
+      lo = s;
+      changed = true;
+    }
+    if (hi < e) {
+      hi = e;
+      changed = true;
+    }
+    return changed;
+  }
+};
+
+/// Classic left-edge interval packing; returns assignments and count.
+std::pair<std::vector<unsigned>, unsigned> leftEdge(
+    const std::vector<Usage>& usages) {
+  std::vector<unsigned> order;
+  for (unsigned i = 0; i < usages.size(); ++i)
+    if (!usages[i].empty() || usages[i].pinnedFromStart) order.push_back(i);
+  std::sort(order.begin(), order.end(), [&](unsigned a, unsigned b) {
+    if (usages[a].lo != usages[b].lo) return usages[a].lo < usages[b].lo;
+    return a < b;
+  });
+
+  std::vector<unsigned> assignment(usages.size(), 0);
+  std::vector<unsigned> physEnd;  // last cycle each physical register is busy
+  for (unsigned i : order) {
+    bool placed = false;
+    for (unsigned p = 0; p < physEnd.size(); ++p)
+      if (physEnd[p] < usages[i].lo) {
+        assignment[i] = p;
+        physEnd[p] = usages[i].hi;
+        placed = true;
+        break;
+      }
+    if (!placed) {
+      assignment[i] = static_cast<unsigned>(physEnd.size());
+      physEnd.push_back(usages[i].hi);
+    }
+  }
+  return {assignment, static_cast<unsigned>(physEnd.size())};
+}
+
+}  // namespace
+
+RegAllocation allocateRegisters(const Schedule& sched,
+                                const Composition& comp) {
+  const unsigned numPEs = comp.numPEs();
+  const unsigned scheduleEnd = sched.length == 0 ? 0 : sched.length - 1;
+
+  std::vector<std::vector<Usage>> rf(numPEs);
+  for (PEId p = 0; p < numPEs; ++p) rf[p].resize(sched.vregsPerPE[p]);
+  std::vector<Usage> cbox(sched.cboxSlotsUsed);
+
+  for (const ScheduledOp& op : sched.ops) {
+    if (op.writesDest) rf[op.pe][op.destVreg].writes.push_back(op.lastCycle());
+    for (const OperandSource& src : op.src) {
+      if (src.kind == OperandSource::Kind::Own)
+        rf[op.pe][src.vreg].reads.push_back(op.start);
+      else if (src.kind == OperandSource::Kind::Route)
+        rf[src.srcPE][src.vreg].reads.push_back(op.start);
+    }
+    if (op.pred) cbox[op.pred->slot].reads.push_back(op.start);
+  }
+  for (const CBoxOp& op : sched.cboxOps) {
+    cbox[op.writeSlot].writes.push_back(op.time);
+    for (const CBoxOp::Input& in : op.inputs)
+      if (in.kind == CBoxOp::Input::Kind::Stored)
+        cbox[in.slot].reads.push_back(op.time);
+  }
+  for (const BranchOp& b : sched.branches)
+    if (b.conditional) cbox[b.pred.slot].reads.push_back(b.time);
+
+  for (const LiveBinding& lb : sched.liveIns)
+    rf[lb.pe][lb.vreg].pinnedFromStart = true;
+  for (const LiveBinding& lb : sched.liveOuts)
+    rf[lb.pe][lb.vreg].pinnedToEnd = true;
+  // Variable homes hold observable state from cycle 0: their predicated
+  // writes may be suppressed, so the pre-write (zero-initialized) content
+  // can be read later — never reuse a home's register before its first
+  // write (the §V-B predication model makes homes whole-run resources).
+  for (const LiveBinding& lb : sched.varHomes)
+    rf[lb.pe][lb.vreg].pinnedFromStart = true;
+
+  auto settle = [&](std::vector<Usage>& usages) {
+    for (Usage& u : usages)
+      if (!u.empty() || u.pinnedFromStart) u.computeBase(scheduleEnd);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (Usage& u : usages) {
+        if (u.empty() && !u.pinnedFromStart) continue;
+        for (const LoopInterval& li : sched.loops)
+          changed |= u.extendForLoop(li.start, li.end);
+      }
+    }
+  };
+  for (PEId p = 0; p < numPEs; ++p) settle(rf[p]);
+  settle(cbox);
+
+  RegAllocation alloc;
+  alloc.vregToPhys.resize(numPEs);
+  alloc.physRegsUsed.resize(numPEs);
+  for (PEId p = 0; p < numPEs; ++p) {
+    auto [assignment, count] = leftEdge(rf[p]);
+    if (count > comp.pe(p).regfileSize())
+      throw Error("register allocation needs " + std::to_string(count) +
+                  " registers on PE " + std::to_string(p) + " (" +
+                  comp.pe(p).name() + " has " +
+                  std::to_string(comp.pe(p).regfileSize()) + ")");
+    alloc.vregToPhys[p] = std::move(assignment);
+    alloc.physRegsUsed[p] = count;
+  }
+  auto [slotAssign, slotCount] = leftEdge(cbox);
+  if (slotCount > comp.cboxSlots())
+    throw Error("condition allocation needs " + std::to_string(slotCount) +
+                " C-Box slots (composition has " +
+                std::to_string(comp.cboxSlots()) +
+                ") — too many parallel branches");
+  alloc.slotToPhys = std::move(slotAssign);
+  alloc.cboxSlotsUsed = slotCount;
+  return alloc;
+}
+
+Schedule applyAllocation(const Schedule& sched, const RegAllocation& alloc) {
+  Schedule out = sched;
+  for (ScheduledOp& op : out.ops) {
+    if (op.writesDest) op.destVreg = alloc.vregToPhys[op.pe][op.destVreg];
+    for (OperandSource& src : op.src) {
+      if (src.kind == OperandSource::Kind::Own)
+        src.vreg = alloc.vregToPhys[op.pe][src.vreg];
+      else if (src.kind == OperandSource::Kind::Route)
+        src.vreg = alloc.vregToPhys[src.srcPE][src.vreg];
+    }
+    if (op.pred) op.pred->slot = alloc.slotToPhys[op.pred->slot];
+  }
+  for (CBoxOp& op : out.cboxOps) {
+    op.writeSlot = alloc.slotToPhys[op.writeSlot];
+    for (CBoxOp::Input& in : op.inputs)
+      if (in.kind == CBoxOp::Input::Kind::Stored)
+        in.slot = alloc.slotToPhys[in.slot];
+  }
+  for (BranchOp& b : out.branches)
+    if (b.conditional) b.pred.slot = alloc.slotToPhys[b.pred.slot];
+  for (LiveBinding& lb : out.liveIns) lb.vreg = alloc.vregToPhys[lb.pe][lb.vreg];
+  for (LiveBinding& lb : out.liveOuts)
+    lb.vreg = alloc.vregToPhys[lb.pe][lb.vreg];
+  for (LiveBinding& lb : out.varHomes)
+    lb.vreg = alloc.vregToPhys[lb.pe][lb.vreg];
+  for (PEId p = 0; p < out.vregsPerPE.size(); ++p)
+    out.vregsPerPE[p] = alloc.physRegsUsed[p];
+  out.cboxSlotsUsed = alloc.cboxSlotsUsed;
+  return out;
+}
+
+}  // namespace cgra

@@ -1,0 +1,47 @@
+// Register and condition-slot allocation (paper §V-I): "For both RF and
+// C-Box allocation the left edge algorithm is used. To determine variable
+// lifetimes the loops have to be taken into account. A value that is read in
+// an inner loop needs an extended lifetime until the end of that loop. The
+// same holds for the lifetimes of condition bits."
+//
+// The scheduler emits virtual registers (one per value instance per PE) and
+// virtual condition slots; this module compacts them onto physical registers
+// and slots, checking the composition's capacities. Lifetime rules:
+//  * base lifetime spans from the first write commit to the last read;
+//  * live-in homes are live from cycle 0, live-out homes to the run's end;
+//  * if a register is accessed inside a loop interval and its value crosses
+//    the iteration boundary (accessed outside too, read before the first
+//    in-loop write, or never written inside), its lifetime covers the whole
+//    interval — iterated to a fixed point for nested loops.
+#pragma once
+
+#include "sched/schedule.hpp"
+
+namespace cgra {
+
+/// Result of left-edge allocation.
+struct RegAllocation {
+  /// vregToPhys[pe][vreg] = physical register (per PE).
+  std::vector<std::vector<unsigned>> vregToPhys;
+  /// Physical registers used per PE ("Max. RF entries" row of Table I).
+  std::vector<unsigned> physRegsUsed;
+  /// slotToPhys[virtualSlot] = physical C-Box slot.
+  std::vector<unsigned> slotToPhys;
+  unsigned cboxSlotsUsed = 0;
+
+  unsigned maxRfEntries() const {
+    unsigned m = 0;
+    for (unsigned n : physRegsUsed) m = std::max(m, n);
+    return m;
+  }
+};
+
+/// Runs left-edge allocation; throws cgra::Error when a PE's register file
+/// or the C-Box condition memory is too small.
+RegAllocation allocateRegisters(const Schedule& sched, const Composition& comp);
+
+/// Returns a copy of the schedule with virtual registers and condition slots
+/// rewritten to their physical assignments.
+Schedule applyAllocation(const Schedule& sched, const RegAllocation& alloc);
+
+}  // namespace cgra

@@ -1,0 +1,165 @@
+#include "ctx/serialize.hpp"
+
+#include <sstream>
+
+namespace cgra {
+
+std::string contextWordToHex(const BitVector& bits) {
+  const std::size_t digits = (bits.size() + 3) / 4;
+  std::string out(digits, '0');
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (!bits.get(i)) continue;
+    const std::size_t digit = digits - 1 - i / 4;
+    const unsigned nibbleBit = static_cast<unsigned>(i % 4);
+    const char c = out[digit];
+    const unsigned v =
+        static_cast<unsigned>(c <= '9' ? c - '0' : c - 'a' + 10) |
+        (1u << nibbleBit);
+    out[digit] = static_cast<char>(v < 10 ? '0' + v : 'a' + (v - 10));
+  }
+  return out;
+}
+
+BitVector contextWordFromHex(const std::string& hex, unsigned width) {
+  const std::size_t digits = (width + 3) / 4;
+  if (hex.size() != digits)
+    throw Error("context word hex length " + std::to_string(hex.size()) +
+                " does not match width " + std::to_string(width));
+  BitVector bits(width);
+  for (unsigned i = 0; i < width; ++i) {
+    const char c = hex[digits - 1 - i / 4];
+    unsigned v;
+    if (c >= '0' && c <= '9')
+      v = static_cast<unsigned>(c - '0');
+    else if (c >= 'a' && c <= 'f')
+      v = static_cast<unsigned>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F')
+      v = static_cast<unsigned>(c - 'A' + 10);
+    else
+      throw Error("invalid hex digit in context word");
+    if ((v >> (i % 4)) & 1u) bits.set(i, true);
+  }
+  return bits;
+}
+
+namespace {
+
+json::Value memoryToJson(const std::vector<BitVector>& contexts,
+                         unsigned width) {
+  json::Object obj;
+  obj["width"] = static_cast<std::int64_t>(width);
+  json::Array words;
+  for (const BitVector& ctx : contexts) words.emplace_back(contextWordToHex(ctx));
+  obj["contexts"] = std::move(words);
+  return obj;
+}
+
+std::vector<BitVector> memoryFromJson(const json::Value& v, unsigned& width,
+                                      unsigned expectedCount,
+                                      const std::string& what) {
+  const json::Object& obj = v.asObject();
+  const std::int64_t w = obj.at("width").asInt();
+  if (w <= 0 || w > 4096) throw Error(what + ": width out of range");
+  width = static_cast<unsigned>(w);
+  const json::Array& words = obj.at("contexts").asArray();
+  if (words.size() != expectedCount)
+    throw Error(what + ": expected " + std::to_string(expectedCount) +
+                " contexts, got " + std::to_string(words.size()));
+  std::vector<BitVector> out;
+  out.reserve(words.size());
+  for (const json::Value& word : words)
+    out.push_back(contextWordFromHex(word.asString(), width));
+  return out;
+}
+
+json::Value bindingsToJson(const std::vector<LiveBinding>& bindings) {
+  json::Array arr;
+  for (const LiveBinding& lb : bindings) {
+    json::Object obj;
+    obj["var"] = static_cast<std::int64_t>(lb.var);
+    obj["pe"] = static_cast<std::int64_t>(lb.pe);
+    obj["reg"] = static_cast<std::int64_t>(lb.vreg);
+    arr.emplace_back(std::move(obj));
+  }
+  return arr;
+}
+
+std::vector<LiveBinding> bindingsFromJson(const json::Value& v) {
+  std::vector<LiveBinding> out;
+  for (const json::Value& entry : v.asArray()) {
+    const json::Object& obj = entry.asObject();
+    LiveBinding lb;
+    lb.var = static_cast<VarId>(obj.at("var").asInt());
+    lb.pe = static_cast<PEId>(obj.at("pe").asInt());
+    lb.vreg = static_cast<unsigned>(obj.at("reg").asInt());
+    out.push_back(lb);
+  }
+  return out;
+}
+
+}  // namespace
+
+json::Value contextImagesToJson(const ContextImages& images) {
+  json::Object doc;
+  doc["format"] = "cgra-contexts-v1";
+  doc["length"] = static_cast<std::int64_t>(images.length);
+  doc["cbox_slots_used"] = static_cast<std::int64_t>(images.cboxSlotsUsed);
+
+  json::Array pes;
+  for (PEId p = 0; p < images.peContexts.size(); ++p) {
+    json::Value mem = memoryToJson(images.peContexts[p], images.peWidths[p]);
+    mem.asObject()["regs_used"] =
+        static_cast<std::int64_t>(images.physRegsUsed[p]);
+    pes.push_back(std::move(mem));
+  }
+  doc["pe_memories"] = std::move(pes);
+  doc["cbox_memory"] = memoryToJson(images.cboxContexts, images.cboxWidth);
+  doc["ccu_memory"] = memoryToJson(images.ccuContexts, images.ccuWidth);
+  doc["live_ins"] = bindingsToJson(images.liveIns);
+  doc["live_outs"] = bindingsToJson(images.liveOuts);
+  return doc;
+}
+
+ContextImages contextImagesFromJson(const json::Value& doc) {
+  const json::Object& obj = doc.asObject();
+  if (!obj.contains("format") || obj.at("format").asString() != "cgra-contexts-v1")
+    throw Error("context images: unknown format tag");
+
+  ContextImages img;
+  const std::int64_t length = obj.at("length").asInt();
+  if (length < 0 || length > (1 << 20))
+    throw Error("context images: length out of range");
+  img.length = static_cast<unsigned>(length);
+  img.cboxSlotsUsed =
+      static_cast<unsigned>(obj.at("cbox_slots_used").asInt());
+
+  const json::Array& pes = obj.at("pe_memories").asArray();
+  img.peContexts.resize(pes.size());
+  img.peWidths.resize(pes.size());
+  img.physRegsUsed.resize(pes.size());
+  for (std::size_t p = 0; p < pes.size(); ++p) {
+    img.peContexts[p] = memoryFromJson(pes[p], img.peWidths[p], img.length,
+                                       "PE memory " + std::to_string(p));
+    img.physRegsUsed[p] =
+        static_cast<unsigned>(pes[p].asObject().at("regs_used").asInt());
+  }
+  img.cboxContexts =
+      memoryFromJson(obj.at("cbox_memory"), img.cboxWidth, img.length,
+                     "C-Box memory");
+  img.ccuContexts = memoryFromJson(obj.at("ccu_memory"), img.ccuWidth,
+                                   img.length, "CCU memory");
+  img.liveIns = bindingsFromJson(obj.at("live_ins"));
+  img.liveOuts = bindingsFromJson(obj.at("live_outs"));
+  return img;
+}
+
+std::string toMemFile(const std::vector<BitVector>& contexts, unsigned width,
+                      const std::string& label) {
+  std::ostringstream os;
+  os << "// " << label << ": " << contexts.size() << " contexts, " << width
+     << " bits each ($readmemh format)\n";
+  for (const BitVector& ctx : contexts) os << contextWordToHex(ctx) << '\n';
+  return os.str();
+}
+
+}  // namespace cgra

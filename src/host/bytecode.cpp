@@ -1,0 +1,75 @@
+#include "host/bytecode.hpp"
+
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace cgra {
+
+const char* bcName(Bc op) {
+  switch (op) {
+    case Bc::ICONST: return "iconst";
+    case Bc::ILOAD: return "iload";
+    case Bc::ISTORE: return "istore";
+    case Bc::IADD: return "iadd";
+    case Bc::ISUB: return "isub";
+    case Bc::IMUL: return "imul";
+    case Bc::INEG: return "ineg";
+    case Bc::IAND: return "iand";
+    case Bc::IOR: return "ior";
+    case Bc::IXOR: return "ixor";
+    case Bc::ISHL: return "ishl";
+    case Bc::ISHR: return "ishr";
+    case Bc::IUSHR: return "iushr";
+    case Bc::IALOAD: return "iaload";
+    case Bc::IASTORE: return "iastore";
+    case Bc::GOTO: return "goto";
+    case Bc::INVOKE_CGRA: return "invoke_cgra";
+    case Bc::IF_ICMPEQ: return "if_icmpeq";
+    case Bc::IF_ICMPNE: return "if_icmpne";
+    case Bc::IF_ICMPLT: return "if_icmplt";
+    case Bc::IF_ICMPGE: return "if_icmpge";
+    case Bc::IF_ICMPGT: return "if_icmpgt";
+    case Bc::IF_ICMPLE: return "if_icmple";
+    case Bc::HALT: return "halt";
+  }
+  CGRA_UNREACHABLE("bad opcode");
+}
+
+namespace {
+
+bool hasArg(Bc op) {
+  switch (op) {
+    case Bc::ICONST:
+    case Bc::ILOAD:
+    case Bc::ISTORE:
+    case Bc::GOTO:
+    case Bc::INVOKE_CGRA:
+    case Bc::IF_ICMPEQ:
+    case Bc::IF_ICMPNE:
+    case Bc::IF_ICMPLT:
+    case Bc::IF_ICMPGE:
+    case Bc::IF_ICMPGT:
+    case Bc::IF_ICMPLE:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::string disassemble(const BytecodeFunction& fn) {
+  std::ostringstream os;
+  os << fn.name << " (" << fn.numLocals << " locals, " << fn.code.size()
+     << " instructions)\n";
+  for (std::size_t pc = 0; pc < fn.code.size(); ++pc) {
+    const BcInstr& in = fn.code[pc];
+    os << "  " << pc << ": " << bcName(in.op);
+    if (hasArg(in.op)) os << ' ' << in.arg;
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace cgra

@@ -1,0 +1,72 @@
+// Stack bytecode for the AMIDAR-like baseline processor.
+//
+// The paper's host is an AMIDAR processor executing Java bytecode directly
+// (§III): each bytecode is broken into tokens that are distributed to
+// functional units. We model the instruction set subset the evaluated
+// kernels need (integer stack ops, locals, array access, compare-and-branch)
+// — close to the corresponding Java bytecodes — so the KIR frontend can
+// lower the *same kernel* both to the CGRA scheduler (via the CDFG) and to
+// this baseline, making the speedup comparison of Table II meaningful.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "host/memory.hpp"
+
+namespace cgra {
+
+/// Baseline bytecode opcodes (names follow the JVM where applicable).
+enum class Bc : std::uint8_t {
+  ICONST,   ///< push immediate
+  ILOAD,    ///< push locals[a]
+  ISTORE,   ///< locals[a] = pop
+  IADD,
+  ISUB,
+  IMUL,
+  INEG,
+  IAND,
+  IOR,
+  IXOR,
+  ISHL,
+  ISHR,
+  IUSHR,
+  IALOAD,   ///< index = pop, handle = pop; push heap[handle][index]
+  IASTORE,  ///< value = pop, index = pop, handle = pop
+  GOTO,     ///< pc = a
+  IF_ICMPEQ,  ///< b = pop, a' = pop; branch to a when a' == b
+  IF_ICMPNE,
+  IF_ICMPLT,
+  IF_ICMPGE,
+  IF_ICMPGT,
+  IF_ICMPLE,
+  /// Patched instruction (paper Fig. 1: "Patch original bytecode sequence"):
+  /// forwards execution to the CGRA accelerator identified by `arg`. The
+  /// machine delegates to a registered AcceleratorHook; the hook transfers
+  /// live-ins, runs the schedule, writes live-outs back and returns the
+  /// invocation's cycle cost.
+  INVOKE_CGRA,
+  HALT,
+};
+
+/// Instruction: opcode plus one immediate (constant / local index / target).
+struct BcInstr {
+  Bc op = Bc::HALT;
+  std::int32_t arg = 0;
+};
+
+/// A compiled bytecode function.
+struct BytecodeFunction {
+  std::string name;
+  unsigned numLocals = 0;
+  std::vector<BcInstr> code;
+};
+
+/// Human-readable opcode name.
+const char* bcName(Bc op);
+
+/// Disassembles to one instruction per line.
+std::string disassemble(const BytecodeFunction& fn);
+
+}  // namespace cgra

@@ -1,0 +1,51 @@
+#include "host/memory.hpp"
+
+namespace cgra {
+
+Handle HostMemory::alloc(std::size_t size) {
+  arrays_.emplace_back(size, 0);
+  return static_cast<Handle>(arrays_.size() - 1);
+}
+
+Handle HostMemory::alloc(std::vector<std::int32_t> contents) {
+  arrays_.push_back(std::move(contents));
+  return static_cast<Handle>(arrays_.size() - 1);
+}
+
+const std::vector<std::int32_t>& HostMemory::checked(Handle h) const {
+  if (h < 0 || static_cast<std::size_t>(h) >= arrays_.size())
+    throw Error("heap access with invalid handle " + std::to_string(h));
+  return arrays_[static_cast<std::size_t>(h)];
+}
+
+std::int32_t HostMemory::load(Handle h, std::int32_t index) const {
+  const auto& arr = checked(h);
+  if (index < 0 || static_cast<std::size_t>(index) >= arr.size())
+    throw Error("heap load out of bounds: handle " + std::to_string(h) +
+                ", index " + std::to_string(index) + ", size " +
+                std::to_string(arr.size()));
+  ++loads_;
+  return arr[static_cast<std::size_t>(index)];
+}
+
+void HostMemory::store(Handle h, std::int32_t index, std::int32_t value) {
+  auto& arr = const_cast<std::vector<std::int32_t>&>(checked(h));
+  if (index < 0 || static_cast<std::size_t>(index) >= arr.size())
+    throw Error("heap store out of bounds: handle " + std::to_string(h) +
+                ", index " + std::to_string(index) + ", size " +
+                std::to_string(arr.size()));
+  ++stores_;
+  arr[static_cast<std::size_t>(index)] = value;
+}
+
+std::size_t HostMemory::size(Handle h) const { return checked(h).size(); }
+
+const std::vector<std::int32_t>& HostMemory::array(Handle h) const {
+  return checked(h);
+}
+
+std::vector<std::int32_t>& HostMemory::array(Handle h) {
+  return const_cast<std::vector<std::int32_t>&>(checked(h));
+}
+
+}  // namespace cgra

@@ -1,0 +1,57 @@
+// Host heap memory shared between the baseline processor, the reference
+// interpreter and the CGRA's DMA ports.
+//
+// In the paper's system the heap (arrays and object fields) lives in the
+// AMIDAR processor and the CGRA reaches it via DMA using handle + offset
+// pairs (§III, §IV-A.1). We model the heap as a table of integer arrays
+// addressed by handle; bounds are checked on every access so an
+// *unpredicated* speculative access with a garbage index is caught in tests
+// (predicated-off DMA ops never reach the heap — that is exactly why the
+// paper always predicates them).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace cgra {
+
+/// Handle of a heap array (index into the heap's array table).
+using Handle = std::int32_t;
+
+/// Heap of integer arrays addressed by handle.
+class HostMemory {
+public:
+  /// Allocates an array of `size` zeros; returns its handle.
+  Handle alloc(std::size_t size);
+  /// Allocates an array with the given contents.
+  Handle alloc(std::vector<std::int32_t> contents);
+
+  std::int32_t load(Handle h, std::int32_t index) const;
+  void store(Handle h, std::int32_t index, std::int32_t value);
+
+  std::size_t size(Handle h) const;
+  const std::vector<std::int32_t>& array(Handle h) const;
+  std::vector<std::int32_t>& array(Handle h);
+
+  std::size_t numArrays() const { return arrays_.size(); }
+
+  /// Number of load/store calls since construction (DMA traffic statistics).
+  std::uint64_t loadCount() const { return loads_; }
+  std::uint64_t storeCount() const { return stores_; }
+
+  bool operator==(const HostMemory& other) const {
+    return arrays_ == other.arrays_;
+  }
+
+private:
+  const std::vector<std::int32_t>& checked(Handle h) const;
+
+  std::vector<std::vector<std::int32_t>> arrays_;
+  mutable std::uint64_t loads_ = 0;
+  std::uint64_t stores_ = 0;
+};
+
+}  // namespace cgra

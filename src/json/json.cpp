@@ -1,0 +1,422 @@
+#include "json/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace cgra::json {
+
+// ---------------------------------------------------------------------------
+// Object
+
+Value& Object::operator[](const std::string& key) {
+  for (auto& [k, v] : entries_)
+    if (k == key) return v;
+  entries_.emplace_back(key, Value());
+  return entries_.back().second;
+}
+
+const Value& Object::at(const std::string& key) const {
+  if (const Value* v = find(key)) return *v;
+  throw Error("JSON object has no key \"" + key + '"');
+}
+
+bool Object::contains(const std::string& key) const {
+  return find(key) != nullptr;
+}
+
+const Value* Object::find(const std::string& key) const {
+  for (const auto& [k, v] : entries_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Value accessors
+
+bool Value::asBool() const {
+  if (!isBool()) throw Error("JSON value is not a bool");
+  return std::get<bool>(data_);
+}
+
+std::int64_t Value::asInt() const {
+  if (isInt()) return std::get<std::int64_t>(data_);
+  if (isDouble()) {
+    const double d = std::get<double>(data_);
+    if (d == std::floor(d)) return static_cast<std::int64_t>(d);
+  }
+  throw Error("JSON value is not an integer");
+}
+
+double Value::asDouble() const {
+  if (isDouble()) return std::get<double>(data_);
+  if (isInt()) return static_cast<double>(std::get<std::int64_t>(data_));
+  throw Error("JSON value is not a number");
+}
+
+const std::string& Value::asString() const {
+  if (!isString()) throw Error("JSON value is not a string");
+  return std::get<std::string>(data_);
+}
+
+const Array& Value::asArray() const {
+  if (!isArray()) throw Error("JSON value is not an array");
+  return std::get<Array>(data_);
+}
+
+Array& Value::asArray() {
+  if (!isArray()) throw Error("JSON value is not an array");
+  return std::get<Array>(data_);
+}
+
+const Object& Value::asObject() const {
+  if (!isObject()) throw Error("JSON value is not an object");
+  return std::get<Object>(data_);
+}
+
+Object& Value::asObject() {
+  if (!isObject()) throw Error("JSON value is not an object");
+  return std::get<Object>(data_);
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+
+namespace {
+
+void appendEscaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void appendIndent(std::string& out, int indent, int depth) {
+  if (indent > 0) {
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent) * depth, ' ');
+  }
+}
+
+}  // namespace
+
+void Value::dumpTo(std::string& out, int indent, int depth) const {
+  if (isNull()) {
+    out += "null";
+  } else if (isBool()) {
+    out += asBool() ? "true" : "false";
+  } else if (isInt()) {
+    out += std::to_string(std::get<std::int64_t>(data_));
+  } else if (isDouble()) {
+    std::ostringstream os;
+    os << std::get<double>(data_);
+    out += os.str();
+  } else if (isString()) {
+    appendEscaped(out, asString());
+  } else if (isArray()) {
+    const Array& arr = asArray();
+    if (arr.empty()) {
+      out += "[]";
+      return;
+    }
+    out.push_back('[');
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      if (i) out.push_back(',');
+      appendIndent(out, indent, depth + 1);
+      arr[i].dumpTo(out, indent, depth + 1);
+    }
+    appendIndent(out, indent, depth);
+    out.push_back(']');
+  } else {
+    const Object& obj = asObject();
+    if (obj.empty()) {
+      out += "{}";
+      return;
+    }
+    out.push_back('{');
+    bool first = true;
+    for (const auto& [k, v] : obj) {
+      if (!first) out.push_back(',');
+      first = false;
+      appendIndent(out, indent, depth + 1);
+      appendEscaped(out, k);
+      out += indent > 0 ? ": " : ":";
+      v.dumpTo(out, indent, depth + 1);
+    }
+    appendIndent(out, indent, depth);
+    out.push_back('}');
+  }
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dumpTo(out, indent, 0);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value parseDocument() {
+    Value v = parseValue();
+    skipWs();
+    if (pos_ != text_.size()) fail("trailing characters after JSON document");
+    return v;
+  }
+
+private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    int line = 1, col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    std::ostringstream os;
+    os << "JSON parse error at line " << line << ", column " << col << ": "
+       << msg;
+    throw Error(os.str());
+  }
+
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char take() {
+    char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (take() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + '\'');
+    }
+  }
+
+  bool consumeKeyword(const char* kw) {
+    std::size_t len = std::char_traits<char>::length(kw);
+    if (text_.compare(pos_, len, kw) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  Value parseValue() {
+    skipWs();
+    char c = peek();
+    switch (c) {
+      case '{': return parseObject();
+      case '[': return parseArray();
+      case '"': return Value(parseString());
+      case 't':
+        if (consumeKeyword("true")) return Value(true);
+        fail("invalid keyword");
+      case 'f':
+        if (consumeKeyword("false")) return Value(false);
+        fail("invalid keyword");
+      case 'n':
+        if (consumeKeyword("null")) return Value(nullptr);
+        fail("invalid keyword");
+      default: return parseNumber();
+    }
+  }
+
+  Value parseObject() {
+    expect('{');
+    Object obj;
+    skipWs();
+    if (peek() == '}') {
+      ++pos_;
+      return Value(std::move(obj));
+    }
+    while (true) {
+      skipWs();
+      std::string key = parseString();
+      skipWs();
+      expect(':');
+      obj[key] = parseValue();
+      skipWs();
+      char c = take();
+      if (c == '}') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}' in object");
+      }
+    }
+    return Value(std::move(obj));
+  }
+
+  Value parseArray() {
+    expect('[');
+    Array arr;
+    skipWs();
+    if (peek() == ']') {
+      ++pos_;
+      return Value(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(parseValue());
+      skipWs();
+      char c = take();
+      if (c == ']') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']' in array");
+      }
+    }
+    return Value(std::move(arr));
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    while (true) {
+      char c = take();
+      if (c == '"') break;
+      if (c == '\\') {
+        char esc = take();
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = take();
+              code <<= 4;
+              if (h >= '0' && h <= '9')
+                code += static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                code += static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                code += static_cast<unsigned>(h - 'A' + 10);
+              else
+                fail("invalid \\u escape");
+            }
+            // UTF-8 encode the BMP code point (surrogate pairs are rare in
+            // composition files and rejected explicitly).
+            if (code >= 0xD800 && code <= 0xDFFF)
+              fail("surrogate pairs are not supported");
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default: fail("invalid escape sequence");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  Value parseNumber() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+    bool isInt = true;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      isInt = false;
+      ++pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      isInt = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-'))
+      fail("invalid number");
+    const std::string_view sv(text_.data() + start, pos_ - start);
+    if (isInt) {
+      std::int64_t v = 0;
+      auto [p, ec] = std::from_chars(sv.data(), sv.data() + sv.size(), v);
+      if (ec == std::errc() && p == sv.data() + sv.size()) return Value(v);
+    }
+    double d = 0;
+    auto [p, ec] = std::from_chars(sv.data(), sv.data() + sv.size(), d);
+    if (ec != std::errc() || p != sv.data() + sv.size()) fail("invalid number");
+    return Value(d);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(const std::string& text) { return Parser(text).parseDocument(); }
+
+Value parseFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open JSON file: " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return parse(os.str());
+}
+
+void writeFile(const std::string& path, const Value& value) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot write JSON file: " + path);
+  out << value.dump() << '\n';
+}
+
+}  // namespace cgra::json

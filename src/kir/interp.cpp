@@ -1,0 +1,125 @@
+#include "kir/interp.hpp"
+
+namespace cgra::kir {
+
+namespace {
+
+class Frame {
+public:
+  Frame(const Program* program, const Function& fn,
+        std::vector<std::int32_t> locals, HostMemory& heap,
+        std::uint64_t maxStatements, InterpResult& result)
+      : program_(program),
+        fn_(fn),
+        locals_(std::move(locals)),
+        heap_(heap),
+        maxStatements_(maxStatements),
+        result_(result) {
+    locals_.resize(fn.numLocals(), 0);
+  }
+
+  std::int32_t eval(ExprId id) const {
+    const Expr& e = fn_.expr(id);
+    switch (e.kind) {
+      case ExprKind::Const: return e.value;
+      case ExprKind::Local: return locals_[e.local];
+      case ExprKind::Binary: return evalArith(e.op, eval(e.lhs), eval(e.rhs));
+      case ExprKind::Unary: return evalArith(Op::INEG, eval(e.lhs), 0);
+      case ExprKind::Compare:
+        return evalCompare(e.op, eval(e.lhs), eval(e.rhs)) ? 1 : 0;
+      case ExprKind::ArrayLoad: return heap_.load(eval(e.lhs), eval(e.rhs));
+    }
+    CGRA_UNREACHABLE("bad expr kind");
+  }
+
+  void exec(StmtId id) {
+    if (++result_.statements > maxStatements_)
+      throw Error("interpreter: statement budget exceeded in " + fn_.name());
+    const Stmt& s = fn_.stmt(id);
+    switch (s.kind) {
+      case StmtKind::Assign:
+        locals_[s.target] = eval(s.value);
+        break;
+      case StmtKind::ArrayStore: {
+        const std::int32_t handle = eval(s.handle);
+        const std::int32_t index = eval(s.index);
+        heap_.store(handle, index, eval(s.value));
+        break;
+      }
+      case StmtKind::If:
+        if (eval(s.cond) != 0)
+          exec(s.thenBlock);
+        else if (s.elseBlock != kNoStmt)
+          exec(s.elseBlock);
+        break;
+      case StmtKind::While:
+        while (eval(s.cond) != 0) {
+          ++result_.loopIterations;
+          exec(s.body);
+          if (result_.statements > maxStatements_)
+            throw Error("interpreter: statement budget exceeded in " +
+                        fn_.name());
+        }
+        break;
+      case StmtKind::Call: {
+        if (!program_)
+          throw Error("interpreter: Call statement without a program context");
+        const Function& callee = program_->function(s.callee);
+        std::vector<std::int32_t> args;
+        unsigned paramIdx = 0;
+        std::vector<std::int32_t> calleeLocals(callee.numLocals(), 0);
+        for (LocalId l = 0; l < callee.numLocals(); ++l)
+          if (callee.local(l).isParameter) {
+            if (paramIdx >= s.args.size())
+              throw Error("interpreter: too few call arguments");
+            calleeLocals[l] = eval(s.args[paramIdx++]);
+          }
+        if (paramIdx != s.args.size())
+          throw Error("interpreter: too many call arguments");
+        Frame inner(program_, callee, std::move(calleeLocals), heap_,
+                    maxStatements_, result_);
+        inner.exec(callee.body());
+        // Convention: the callee's result is its local named "result".
+        locals_[s.target] = inner.locals_[callee.localByName("result")];
+        break;
+      }
+      case StmtKind::Block:
+        for (StmtId c : s.stmts) exec(c);
+        break;
+    }
+  }
+
+  std::vector<std::int32_t> takeLocals() { return std::move(locals_); }
+
+private:
+  const Program* program_;
+  const Function& fn_;
+  std::vector<std::int32_t> locals_;
+  HostMemory& heap_;
+  std::uint64_t maxStatements_;
+  InterpResult& result_;
+};
+
+}  // namespace
+
+InterpResult Interpreter::run(const Function& fn,
+                              std::vector<std::int32_t> initialLocals,
+                              HostMemory& heap,
+                              std::uint64_t maxStatements) const {
+  InterpResult result;
+  Frame frame(program_, fn, std::move(initialLocals), heap, maxStatements,
+              result);
+  frame.exec(fn.body());
+  result.locals = frame.takeLocals();
+  return result;
+}
+
+std::int32_t Interpreter::evalExpr(const Function& fn, ExprId id,
+                                   const std::vector<std::int32_t>& locals,
+                                   HostMemory& heap) const {
+  InterpResult scratch;
+  Frame frame(program_, fn, locals, heap, 1'000'000, scratch);
+  return frame.eval(id);
+}
+
+}  // namespace cgra::kir

@@ -1,0 +1,48 @@
+// Reference interpreter for KIR — the golden functional model.
+//
+// Every kernel's CGRA execution (simulator) and baseline execution (token
+// machine) are checked bit-exactly against this interpreter in the test
+// suite. It also reports simple dynamic statistics used by tests.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "host/memory.hpp"
+#include "kir/kir.hpp"
+
+namespace cgra::kir {
+
+/// Result of interpreting one kernel.
+struct InterpResult {
+  std::vector<std::int32_t> locals;  ///< final values of all locals
+  std::uint64_t statements = 0;      ///< executed statement count
+  std::uint64_t loopIterations = 0;  ///< total committed loop iterations
+};
+
+/// Tree-walking evaluator.
+class Interpreter {
+public:
+  /// `program` supplies callees for Call statements; pass nullptr for
+  /// call-free kernels.
+  explicit Interpreter(const Program* program = nullptr)
+      : program_(program) {}
+
+  /// Runs `fn` with the given initial local values (index-aligned; missing
+  /// entries start at 0). Throws cgra::Error on heap faults or when
+  /// `maxStatements` is exceeded.
+  InterpResult run(const Function& fn, std::vector<std::int32_t> initialLocals,
+                   HostMemory& heap,
+                   std::uint64_t maxStatements = 50'000'000) const;
+
+  /// Evaluates a single expression against fixed locals (used in tests).
+  std::int32_t evalExpr(const Function& fn, ExprId id,
+                        const std::vector<std::int32_t>& locals,
+                        HostMemory& heap) const;
+
+private:
+  const Program* program_;
+};
+
+}  // namespace cgra::kir

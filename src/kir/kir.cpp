@@ -1,0 +1,492 @@
+#include "kir/kir.hpp"
+
+#include <functional>
+#include <set>
+#include <sstream>
+
+namespace cgra::kir {
+
+// ---------------------------------------------------------------------------
+// Function
+
+LocalId Function::addLocal(std::string name, bool isParameter) {
+  locals_.push_back(LocalDecl{std::move(name), isParameter});
+  return static_cast<LocalId>(locals_.size() - 1);
+}
+
+const LocalDecl& Function::local(LocalId id) const {
+  CGRA_ASSERT(id < locals_.size());
+  return locals_[id];
+}
+
+LocalId Function::localByName(const std::string& name) const {
+  for (LocalId i = 0; i < locals_.size(); ++i)
+    if (locals_[i].name == name) return i;
+  throw Error("function " + name_ + ": no local named \"" + name + '"');
+}
+
+ExprId Function::addExpr(Expr e) {
+  exprs_.push_back(std::move(e));
+  return static_cast<ExprId>(exprs_.size() - 1);
+}
+
+const Expr& Function::expr(ExprId id) const {
+  CGRA_ASSERT(id < exprs_.size());
+  return exprs_[id];
+}
+
+StmtId Function::addStmt(Stmt s) {
+  stmts_.push_back(std::move(s));
+  return static_cast<StmtId>(stmts_.size() - 1);
+}
+
+const Stmt& Function::stmt(StmtId id) const {
+  CGRA_ASSERT(id < stmts_.size());
+  return stmts_[id];
+}
+
+Stmt& Function::stmt(StmtId id) {
+  CGRA_ASSERT(id < stmts_.size());
+  return stmts_[id];
+}
+
+void Function::validate() const {
+  if (body_ == kNoStmt) throw Error("function " + name_ + ": no body");
+
+  auto checkExpr = [&](ExprId id, auto&& self) -> void {
+    if (id >= exprs_.size())
+      throw Error("function " + name_ + ": expression id out of range");
+    const Expr& e = exprs_[id];
+    switch (e.kind) {
+      case ExprKind::Const: break;
+      case ExprKind::Local:
+        if (e.local >= locals_.size())
+          throw Error("function " + name_ + ": local id out of range");
+        break;
+      case ExprKind::Binary:
+        if (producesStatus(e.op) || isMemoryOp(e.op) || operandCount(e.op) != 2)
+          throw Error("function " + name_ + ": bad binary op");
+        self(e.lhs, self);
+        self(e.rhs, self);
+        break;
+      case ExprKind::Unary:
+        if (e.op != Op::INEG)
+          throw Error("function " + name_ + ": bad unary op");
+        self(e.lhs, self);
+        break;
+      case ExprKind::Compare:
+        if (!producesStatus(e.op))
+          throw Error("function " + name_ + ": compare with non-status op");
+        self(e.lhs, self);
+        self(e.rhs, self);
+        break;
+      case ExprKind::ArrayLoad:
+        self(e.lhs, self);
+        self(e.rhs, self);
+        break;
+    }
+  };
+
+  std::function<void(StmtId)> checkStmt = [&](StmtId id) {
+    if (id >= stmts_.size())
+      throw Error("function " + name_ + ": statement id out of range");
+    const Stmt& s = stmts_[id];
+    switch (s.kind) {
+      case StmtKind::Assign:
+        if (s.target >= locals_.size())
+          throw Error("function " + name_ + ": assign target out of range");
+        checkExpr(s.value, checkExpr);
+        break;
+      case StmtKind::ArrayStore:
+        checkExpr(s.handle, checkExpr);
+        checkExpr(s.index, checkExpr);
+        checkExpr(s.value, checkExpr);
+        break;
+      case StmtKind::If:
+        checkExpr(s.cond, checkExpr);
+        checkStmt(s.thenBlock);
+        if (s.elseBlock != kNoStmt) checkStmt(s.elseBlock);
+        break;
+      case StmtKind::While:
+        checkExpr(s.cond, checkExpr);
+        checkStmt(s.body);
+        break;
+      case StmtKind::Call:
+        if (s.target >= locals_.size())
+          throw Error("function " + name_ + ": call target out of range");
+        for (ExprId a : s.args) checkExpr(a, checkExpr);
+        break;
+      case StmtKind::Block:
+        for (StmtId c : s.stmts) checkStmt(c);
+        break;
+    }
+  };
+  checkStmt(body_);
+}
+
+namespace {
+
+void printExpr(const Function& fn, ExprId id, std::ostream& os) {
+  const Expr& e = fn.expr(id);
+  switch (e.kind) {
+    case ExprKind::Const: os << e.value; break;
+    case ExprKind::Local: os << fn.local(e.local).name; break;
+    case ExprKind::Binary: {
+      const char* sym = opName(e.op);
+      switch (e.op) {
+        case Op::IADD: sym = "+"; break;
+        case Op::ISUB: sym = "-"; break;
+        case Op::IMUL: sym = "*"; break;
+        case Op::IAND: sym = "&"; break;
+        case Op::IOR: sym = "|"; break;
+        case Op::IXOR: sym = "^"; break;
+        case Op::ISHL: sym = "<<"; break;
+        case Op::ISHR: sym = ">>"; break;
+        case Op::IUSHR: sym = ">>>"; break;
+        default: break;
+      }
+      os << '(';
+      printExpr(fn, e.lhs, os);
+      os << ' ' << sym << ' ';
+      printExpr(fn, e.rhs, os);
+      os << ')';
+      break;
+    }
+    case ExprKind::Unary:
+      os << "(-";
+      printExpr(fn, e.lhs, os);
+      os << ')';
+      break;
+    case ExprKind::Compare: {
+      const char* sym = "?";
+      switch (e.op) {
+        case Op::IFEQ: sym = "=="; break;
+        case Op::IFNE: sym = "!="; break;
+        case Op::IFLT: sym = "<"; break;
+        case Op::IFGE: sym = ">="; break;
+        case Op::IFGT: sym = ">"; break;
+        case Op::IFLE: sym = "<="; break;
+        default: break;
+      }
+      os << '(';
+      printExpr(fn, e.lhs, os);
+      os << ' ' << sym << ' ';
+      printExpr(fn, e.rhs, os);
+      os << ')';
+      break;
+    }
+    case ExprKind::ArrayLoad:
+      printExpr(fn, e.lhs, os);
+      os << '[';
+      printExpr(fn, e.rhs, os);
+      os << ']';
+      break;
+  }
+}
+
+void printStmt(const Function& fn, StmtId id, std::ostream& os, int depth) {
+  const std::string ind(static_cast<std::size_t>(depth) * 2, ' ');
+  const Stmt& s = fn.stmt(id);
+  switch (s.kind) {
+    case StmtKind::Assign:
+      os << ind << fn.local(s.target).name << " = ";
+      printExpr(fn, s.value, os);
+      os << ";\n";
+      break;
+    case StmtKind::ArrayStore:
+      os << ind;
+      printExpr(fn, s.handle, os);
+      os << '[';
+      printExpr(fn, s.index, os);
+      os << "] = ";
+      printExpr(fn, s.value, os);
+      os << ";\n";
+      break;
+    case StmtKind::If:
+      os << ind << "if ";
+      printExpr(fn, s.cond, os);
+      os << " {\n";
+      printStmt(fn, s.thenBlock, os, depth + 1);
+      if (s.elseBlock != kNoStmt) {
+        os << ind << "} else {\n";
+        printStmt(fn, s.elseBlock, os, depth + 1);
+      }
+      os << ind << "}\n";
+      break;
+    case StmtKind::While:
+      os << ind << "while ";
+      printExpr(fn, s.cond, os);
+      os << " {\n";
+      printStmt(fn, s.body, os, depth + 1);
+      os << ind << "}\n";
+      break;
+    case StmtKind::Call: {
+      os << ind << fn.local(s.target).name << " = call#" << s.callee << '(';
+      bool first = true;
+      for (ExprId a : s.args) {
+        if (!first) os << ", ";
+        first = false;
+        printExpr(fn, a, os);
+      }
+      os << ");\n";
+      break;
+    }
+    case StmtKind::Block:
+      for (StmtId c : s.stmts) printStmt(fn, c, os, depth);
+      break;
+  }
+}
+
+/// Collects locals read / written, walking the whole tree. A local counts as
+/// live-in when some read is not dominated by a write in straight-line
+/// order; the analysis is conservative for branches (a write inside an if
+/// does not kill the variable).
+struct Liveness {
+  std::set<LocalId> liveIn;
+  std::set<LocalId> written;
+};
+
+void exprReads(const Function& fn, ExprId id, const std::set<LocalId>& defined,
+               Liveness& lv) {
+  const Expr& e = fn.expr(id);
+  switch (e.kind) {
+    case ExprKind::Const: break;
+    case ExprKind::Local:
+      if (!defined.contains(e.local)) lv.liveIn.insert(e.local);
+      break;
+    case ExprKind::Unary: exprReads(fn, e.lhs, defined, lv); break;
+    case ExprKind::Binary:
+    case ExprKind::Compare:
+    case ExprKind::ArrayLoad:
+      exprReads(fn, e.lhs, defined, lv);
+      exprReads(fn, e.rhs, defined, lv);
+      break;
+  }
+}
+
+void stmtLiveness(const Function& fn, StmtId id, std::set<LocalId>& defined,
+                  Liveness& lv) {
+  const Stmt& s = fn.stmt(id);
+  switch (s.kind) {
+    case StmtKind::Assign:
+      exprReads(fn, s.value, defined, lv);
+      defined.insert(s.target);
+      lv.written.insert(s.target);
+      break;
+    case StmtKind::ArrayStore:
+      exprReads(fn, s.handle, defined, lv);
+      exprReads(fn, s.index, defined, lv);
+      exprReads(fn, s.value, defined, lv);
+      break;
+    case StmtKind::If: {
+      exprReads(fn, s.cond, defined, lv);
+      std::set<LocalId> thenDef = defined;
+      stmtLiveness(fn, s.thenBlock, thenDef, lv);
+      std::set<LocalId> elseDef = defined;
+      if (s.elseBlock != kNoStmt) stmtLiveness(fn, s.elseBlock, elseDef, lv);
+      // A variable is definitely defined after the if only when both arms
+      // define it.
+      for (LocalId l : thenDef)
+        if (elseDef.contains(l)) defined.insert(l);
+      break;
+    }
+    case StmtKind::While: {
+      exprReads(fn, s.cond, defined, lv);
+      // The body may execute zero times: definitions inside do not count as
+      // definite, but reads inside see the pre-loop state conservatively.
+      std::set<LocalId> bodyDef = defined;
+      stmtLiveness(fn, s.body, bodyDef, lv);
+      break;
+    }
+    case StmtKind::Call:
+      for (ExprId a : s.args) exprReads(fn, a, defined, lv);
+      defined.insert(s.target);
+      lv.written.insert(s.target);
+      break;
+    case StmtKind::Block:
+      for (StmtId c : s.stmts) stmtLiveness(fn, c, defined, lv);
+      break;
+  }
+}
+
+Liveness computeLiveness(const Function& fn) {
+  Liveness lv;
+  std::set<LocalId> defined;
+  // Parameters are defined by the host transfer.
+  for (LocalId i = 0; i < fn.numLocals(); ++i)
+    if (fn.local(i).isParameter) {
+      defined.insert(i);
+      lv.liveIn.insert(i);
+    }
+  stmtLiveness(fn, fn.body(), defined, lv);
+  return lv;
+}
+
+}  // namespace
+
+std::string Function::toString() const {
+  std::ostringstream os;
+  os << "kernel " << name_ << "(";
+  bool first = true;
+  for (const LocalDecl& l : locals_)
+    if (l.isParameter) {
+      if (!first) os << ", ";
+      first = false;
+      os << l.name;
+    }
+  os << ") {\n";
+  if (body_ != kNoStmt) printStmt(*this, body_, os, 1);
+  os << "}\n";
+  return os.str();
+}
+
+std::vector<LocalId> Function::liveInLocals() const {
+  const Liveness lv = computeLiveness(*this);
+  return {lv.liveIn.begin(), lv.liveIn.end()};
+}
+
+std::vector<LocalId> Function::liveOutLocals() const {
+  const Liveness lv = computeLiveness(*this);
+  return {lv.written.begin(), lv.written.end()};
+}
+
+// ---------------------------------------------------------------------------
+// Program
+
+FuncId Program::addFunction(Function f) {
+  funcs_.push_back(std::move(f));
+  return static_cast<FuncId>(funcs_.size() - 1);
+}
+
+const Function& Program::function(FuncId id) const {
+  CGRA_ASSERT(id < funcs_.size());
+  return funcs_[id];
+}
+
+Function& Program::function(FuncId id) {
+  CGRA_ASSERT(id < funcs_.size());
+  return funcs_[id];
+}
+
+FuncId Program::functionByName(const std::string& name) const {
+  for (FuncId i = 0; i < funcs_.size(); ++i)
+    if (funcs_[i].name() == name) return i;
+  throw Error("program has no function named \"" + name + '"');
+}
+
+// ---------------------------------------------------------------------------
+// FunctionBuilder
+
+ExprId FunctionBuilder::cint(std::int32_t v) {
+  Expr e;
+  e.kind = ExprKind::Const;
+  e.value = v;
+  return fn_.addExpr(e);
+}
+
+ExprId FunctionBuilder::use(LocalId l) {
+  Expr e;
+  e.kind = ExprKind::Local;
+  e.local = l;
+  return fn_.addExpr(e);
+}
+
+ExprId FunctionBuilder::bin(Op op, ExprId a, ExprId b) {
+  Expr e;
+  e.kind = ExprKind::Binary;
+  e.op = op;
+  e.lhs = a;
+  e.rhs = b;
+  return fn_.addExpr(e);
+}
+
+ExprId FunctionBuilder::neg(ExprId a) {
+  Expr e;
+  e.kind = ExprKind::Unary;
+  e.op = Op::INEG;
+  e.lhs = a;
+  return fn_.addExpr(e);
+}
+
+ExprId FunctionBuilder::cmp(Op op, ExprId a, ExprId b) {
+  Expr e;
+  e.kind = ExprKind::Compare;
+  e.op = op;
+  e.lhs = a;
+  e.rhs = b;
+  return fn_.addExpr(e);
+}
+
+ExprId FunctionBuilder::load(ExprId handle, ExprId index) {
+  Expr e;
+  e.kind = ExprKind::ArrayLoad;
+  e.lhs = handle;
+  e.rhs = index;
+  return fn_.addExpr(e);
+}
+
+StmtId FunctionBuilder::assign(LocalId target, ExprId value) {
+  Stmt s;
+  s.kind = StmtKind::Assign;
+  s.target = target;
+  s.value = value;
+  return fn_.addStmt(std::move(s));
+}
+
+StmtId FunctionBuilder::arrayStore(ExprId handle, ExprId index, ExprId value) {
+  Stmt s;
+  s.kind = StmtKind::ArrayStore;
+  s.handle = handle;
+  s.index = index;
+  s.value = value;
+  return fn_.addStmt(std::move(s));
+}
+
+StmtId FunctionBuilder::ifElse(ExprId cond, StmtId thenB, StmtId elseB) {
+  Stmt s;
+  s.kind = StmtKind::If;
+  s.cond = cond;
+  s.thenBlock = thenB;
+  s.elseBlock = elseB;
+  return fn_.addStmt(std::move(s));
+}
+
+StmtId FunctionBuilder::whileLoop(ExprId cond, StmtId body) {
+  Stmt s;
+  s.kind = StmtKind::While;
+  s.cond = cond;
+  s.body = body;
+  return fn_.addStmt(std::move(s));
+}
+
+StmtId FunctionBuilder::forLoop(StmtId init, ExprId cond, StmtId step,
+                                StmtId body) {
+  const StmtId bodyWithStep = block({body, step});
+  const StmtId loop = whileLoop(cond, bodyWithStep);
+  return block({init, loop});
+}
+
+StmtId FunctionBuilder::call(LocalId target, FuncId callee,
+                             std::vector<ExprId> args) {
+  Stmt s;
+  s.kind = StmtKind::Call;
+  s.target = target;
+  s.callee = callee;
+  s.args = std::move(args);
+  return fn_.addStmt(std::move(s));
+}
+
+StmtId FunctionBuilder::block(std::vector<StmtId> stmts) {
+  Stmt s;
+  s.kind = StmtKind::Block;
+  s.stmts = std::move(stmts);
+  return fn_.addStmt(std::move(s));
+}
+
+Function FunctionBuilder::finish(StmtId body) {
+  fn_.setBody(body);
+  fn_.validate();
+  return std::move(fn_);
+}
+
+}  // namespace cgra::kir

@@ -1,0 +1,200 @@
+// Kernel IR: the frontend language of the reproduction.
+//
+// The paper's frontend is Java bytecode captured by the AMIDAR profiler and
+// turned into an instruction graph (Fig. 1). We substitute a small
+// structured imperative IR with the same expressive range the scheduler
+// needs — assignments, if/else, while/for with data-dependent bounds, array
+// load/store through handles, and calls (for the method-inlining pass).
+// Kernels written in KIR are lowered both to the CDFG (CGRA path) and to
+// baseline stack bytecode (AMIDAR path), so speedups compare the same
+// program.
+//
+// Expressions and statements live in per-function arenas and are referenced
+// by index; `Function` owns everything. `FunctionBuilder` offers a concise
+// construction API used by the bundled applications and tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/operation.hpp"
+#include "support/assert.hpp"
+
+namespace cgra::kir {
+
+using ExprId = std::uint32_t;
+using StmtId = std::uint32_t;
+using LocalId = std::uint32_t;
+using FuncId = std::uint32_t;
+
+inline constexpr ExprId kNoExpr = static_cast<ExprId>(-1);
+inline constexpr StmtId kNoStmt = static_cast<StmtId>(-1);
+
+/// Expression node kinds.
+enum class ExprKind : std::uint8_t {
+  Const,      ///< 32-bit immediate
+  Local,      ///< read of a local variable
+  Binary,     ///< op(lhs, rhs) with op an arithmetic/logic Op
+  Unary,      ///< op(lhs) — INEG
+  Compare,    ///< comparison producing 0/1 (op is an IF* Op)
+  ArrayLoad,  ///< heap[lhs (handle)][rhs (index)]
+};
+
+struct Expr {
+  ExprKind kind = ExprKind::Const;
+  Op op = Op::IADD;      ///< Binary/Unary/Compare
+  std::int32_t value = 0;  ///< Const
+  LocalId local = 0;       ///< Local
+  ExprId lhs = kNoExpr;
+  ExprId rhs = kNoExpr;
+};
+
+/// Statement node kinds.
+enum class StmtKind : std::uint8_t {
+  Assign,      ///< locals[target] = value
+  ArrayStore,  ///< heap[handle][index] = value
+  If,          ///< if (cond) thenBlock else elseBlock
+  While,       ///< while (cond) body
+  Call,        ///< locals[target] = callee(args...)
+  Block,       ///< statement sequence
+};
+
+struct Stmt {
+  StmtKind kind = StmtKind::Block;
+  LocalId target = 0;                ///< Assign / Call
+  ExprId value = kNoExpr;            ///< Assign / ArrayStore
+  ExprId handle = kNoExpr;           ///< ArrayStore
+  ExprId index = kNoExpr;            ///< ArrayStore
+  ExprId cond = kNoExpr;             ///< If / While
+  StmtId thenBlock = kNoStmt;        ///< If
+  StmtId elseBlock = kNoStmt;        ///< If (may be kNoStmt)
+  StmtId body = kNoStmt;             ///< While
+  FuncId callee = 0;                 ///< Call
+  std::vector<ExprId> args;          ///< Call
+  std::vector<StmtId> stmts;         ///< Block
+};
+
+/// A local variable declaration.
+struct LocalDecl {
+  std::string name;
+  bool isParameter = false;  ///< transferred in from the host (live-in)
+};
+
+/// One kernel function.
+class Function {
+public:
+  Function() = default;
+  explicit Function(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void setName(std::string n) { name_ = std::move(n); }
+
+  LocalId addLocal(std::string name, bool isParameter = false);
+  const LocalDecl& local(LocalId id) const;
+  std::size_t numLocals() const { return locals_.size(); }
+  /// Resolves a local by name; throws cgra::Error when absent.
+  LocalId localByName(const std::string& name) const;
+
+  ExprId addExpr(Expr e);
+  const Expr& expr(ExprId id) const;
+  std::size_t numExprs() const { return exprs_.size(); }
+
+  StmtId addStmt(Stmt s);
+  const Stmt& stmt(StmtId id) const;
+  Stmt& stmt(StmtId id);
+  std::size_t numStmts() const { return stmts_.size(); }
+
+  StmtId body() const { return body_; }
+  void setBody(StmtId b) { body_ = b; }
+
+  /// Structural checks (ids in range, If/While conditions present, Block
+  /// children valid); throws cgra::Error.
+  void validate() const;
+
+  /// Pretty-prints as pseudo-C (tests and docs).
+  std::string toString() const;
+
+  /// Locals read before any write on some path (must be provided by host).
+  std::vector<LocalId> liveInLocals() const;
+  /// Locals possibly written (must be copied back to the host).
+  std::vector<LocalId> liveOutLocals() const;
+
+private:
+  std::string name_;
+  std::vector<LocalDecl> locals_;
+  std::vector<Expr> exprs_;
+  std::vector<Stmt> stmts_;
+  StmtId body_ = kNoStmt;
+};
+
+/// A program: functions referenced by Call statements.
+class Program {
+public:
+  FuncId addFunction(Function f);
+  const Function& function(FuncId id) const;
+  Function& function(FuncId id);
+  std::size_t numFunctions() const { return funcs_.size(); }
+  FuncId functionByName(const std::string& name) const;
+
+private:
+  std::vector<Function> funcs_;
+};
+
+/// Fluent construction helper for kernels.
+///
+///   FunctionBuilder b("saxpy");
+///   auto n = b.param("n"); auto a = b.param("a"); ...
+///   b.loopFor(i, b.cint(0), b.lt(b.use(i), b.use(n)), ... );
+class FunctionBuilder {
+public:
+  explicit FunctionBuilder(std::string name) : fn_(std::move(name)) {}
+
+  // Locals.
+  LocalId param(const std::string& name) { return fn_.addLocal(name, true); }
+  LocalId localVar(const std::string& name) { return fn_.addLocal(name, false); }
+
+  // Expressions.
+  ExprId cint(std::int32_t v);
+  ExprId use(LocalId l);
+  ExprId bin(Op op, ExprId a, ExprId b);
+  ExprId add(ExprId a, ExprId b) { return bin(Op::IADD, a, b); }
+  ExprId sub(ExprId a, ExprId b) { return bin(Op::ISUB, a, b); }
+  ExprId mul(ExprId a, ExprId b) { return bin(Op::IMUL, a, b); }
+  ExprId band(ExprId a, ExprId b) { return bin(Op::IAND, a, b); }
+  ExprId bor(ExprId a, ExprId b) { return bin(Op::IOR, a, b); }
+  ExprId bxor(ExprId a, ExprId b) { return bin(Op::IXOR, a, b); }
+  ExprId shl(ExprId a, ExprId b) { return bin(Op::ISHL, a, b); }
+  ExprId shr(ExprId a, ExprId b) { return bin(Op::ISHR, a, b); }
+  ExprId ushr(ExprId a, ExprId b) { return bin(Op::IUSHR, a, b); }
+  ExprId neg(ExprId a);
+  ExprId cmp(Op op, ExprId a, ExprId b);
+  ExprId eq(ExprId a, ExprId b) { return cmp(Op::IFEQ, a, b); }
+  ExprId ne(ExprId a, ExprId b) { return cmp(Op::IFNE, a, b); }
+  ExprId lt(ExprId a, ExprId b) { return cmp(Op::IFLT, a, b); }
+  ExprId ge(ExprId a, ExprId b) { return cmp(Op::IFGE, a, b); }
+  ExprId gt(ExprId a, ExprId b) { return cmp(Op::IFGT, a, b); }
+  ExprId le(ExprId a, ExprId b) { return cmp(Op::IFLE, a, b); }
+  ExprId load(ExprId handle, ExprId index);
+
+  // Statements (return the StmtId; compose with block()).
+  StmtId assign(LocalId target, ExprId value);
+  StmtId arrayStore(ExprId handle, ExprId index, ExprId value);
+  StmtId ifElse(ExprId cond, StmtId thenB, StmtId elseB = kNoStmt);
+  StmtId whileLoop(ExprId cond, StmtId body);
+  /// for (init; cond; step) body — sugar: block{init, while(cond){body, step}}.
+  StmtId forLoop(StmtId init, ExprId cond, StmtId step, StmtId body);
+  StmtId call(LocalId target, FuncId callee, std::vector<ExprId> args);
+  StmtId block(std::vector<StmtId> stmts);
+
+  /// Sets the body and returns the finished function.
+  Function finish(StmtId body);
+
+  Function& fn() { return fn_; }
+
+private:
+  Function fn_;
+};
+
+}  // namespace cgra::kir

@@ -1,0 +1,177 @@
+#include "kir/lower_bytecode.hpp"
+
+#include <functional>
+
+namespace cgra::kir {
+
+namespace {
+
+class Codegen {
+public:
+  explicit Codegen(const Function& fn) : fn_(fn) {
+    out_.name = fn.name();
+    out_.numLocals = static_cast<unsigned>(fn.numLocals());
+  }
+
+  BytecodeFunction finish() {
+    emitStmt(fn_.body());
+    emit(Bc::HALT);
+    return std::move(out_);
+  }
+
+private:
+  std::size_t emit(Bc op, std::int32_t arg = 0) {
+    out_.code.push_back(BcInstr{op, arg});
+    return out_.code.size() - 1;
+  }
+
+  void patch(std::size_t at, std::int32_t target) {
+    out_.code[at].arg = target;
+  }
+
+  std::int32_t here() const { return static_cast<std::int32_t>(out_.code.size()); }
+
+  void emitExpr(ExprId id) {
+    const Expr& e = fn_.expr(id);
+    switch (e.kind) {
+      case ExprKind::Const:
+        emit(Bc::ICONST, e.value);
+        break;
+      case ExprKind::Local:
+        emit(Bc::ILOAD, static_cast<std::int32_t>(e.local));
+        break;
+      case ExprKind::Unary:
+        emitExpr(e.lhs);
+        emit(Bc::INEG);
+        break;
+      case ExprKind::Binary: {
+        emitExpr(e.lhs);
+        emitExpr(e.rhs);
+        switch (e.op) {
+          case Op::IADD: emit(Bc::IADD); break;
+          case Op::ISUB: emit(Bc::ISUB); break;
+          case Op::IMUL: emit(Bc::IMUL); break;
+          case Op::IAND: emit(Bc::IAND); break;
+          case Op::IOR: emit(Bc::IOR); break;
+          case Op::IXOR: emit(Bc::IXOR); break;
+          case Op::ISHL: emit(Bc::ISHL); break;
+          case Op::ISHR: emit(Bc::ISHR); break;
+          case Op::IUSHR: emit(Bc::IUSHR); break;
+          default: throw Error("lowerToBytecode: bad binary op");
+        }
+        break;
+      }
+      case ExprKind::Compare: {
+        // Materialize the 0/1 value via a branch, like javac would.
+        emitExpr(e.lhs);
+        emitExpr(e.rhs);
+        const std::size_t branch = emit(branchFor(e.op), 0);
+        emit(Bc::ICONST, 0);
+        const std::size_t jumpEnd = emit(Bc::GOTO, 0);
+        patch(branch, here());
+        emit(Bc::ICONST, 1);
+        patch(jumpEnd, here());
+        break;
+      }
+      case ExprKind::ArrayLoad:
+        emitExpr(e.lhs);
+        emitExpr(e.rhs);
+        emit(Bc::IALOAD);
+        break;
+    }
+  }
+
+  static Bc branchFor(Op op) {
+    switch (op) {
+      case Op::IFEQ: return Bc::IF_ICMPEQ;
+      case Op::IFNE: return Bc::IF_ICMPNE;
+      case Op::IFLT: return Bc::IF_ICMPLT;
+      case Op::IFGE: return Bc::IF_ICMPGE;
+      case Op::IFGT: return Bc::IF_ICMPGT;
+      case Op::IFLE: return Bc::IF_ICMPLE;
+      default: throw Error("lowerToBytecode: bad compare op");
+    }
+  }
+
+  static Bc invertedBranchFor(Op op) {
+    switch (op) {
+      case Op::IFEQ: return Bc::IF_ICMPNE;
+      case Op::IFNE: return Bc::IF_ICMPEQ;
+      case Op::IFLT: return Bc::IF_ICMPGE;
+      case Op::IFGE: return Bc::IF_ICMPLT;
+      case Op::IFGT: return Bc::IF_ICMPLE;
+      case Op::IFLE: return Bc::IF_ICMPGT;
+      default: throw Error("lowerToBytecode: bad compare op");
+    }
+  }
+
+  /// Emits a conditional jump taken when `cond` is FALSE; returns the
+  /// instruction index to patch with the jump target.
+  std::size_t emitCondJumpIfFalse(ExprId cond) {
+    const Expr& e = fn_.expr(cond);
+    if (e.kind == ExprKind::Compare) {
+      emitExpr(e.lhs);
+      emitExpr(e.rhs);
+      return emit(invertedBranchFor(e.op), 0);
+    }
+    // Generic integer condition: false when == 0.
+    emitExpr(cond);
+    emit(Bc::ICONST, 0);
+    return emit(Bc::IF_ICMPEQ, 0);
+  }
+
+  void emitStmt(StmtId id) {
+    const Stmt& s = fn_.stmt(id);
+    switch (s.kind) {
+      case StmtKind::Assign:
+        emitExpr(s.value);
+        emit(Bc::ISTORE, static_cast<std::int32_t>(s.target));
+        break;
+      case StmtKind::ArrayStore:
+        emitExpr(s.handle);
+        emitExpr(s.index);
+        emitExpr(s.value);
+        emit(Bc::IASTORE);
+        break;
+      case StmtKind::If: {
+        const std::size_t skipThen = emitCondJumpIfFalse(s.cond);
+        emitStmt(s.thenBlock);
+        if (s.elseBlock != kNoStmt) {
+          const std::size_t skipElse = emit(Bc::GOTO, 0);
+          patch(skipThen, here());
+          emitStmt(s.elseBlock);
+          patch(skipElse, here());
+        } else {
+          patch(skipThen, here());
+        }
+        break;
+      }
+      case StmtKind::While: {
+        const std::int32_t loopTop = here();
+        const std::size_t exitJump = emitCondJumpIfFalse(s.cond);
+        emitStmt(s.body);
+        emit(Bc::GOTO, loopTop);
+        patch(exitJump, here());
+        break;
+      }
+      case StmtKind::Call:
+        throw Error("lowerToBytecode: inline calls before lowering (" +
+                    fn_.name() + ")");
+      case StmtKind::Block:
+        for (StmtId c : s.stmts) emitStmt(c);
+        break;
+    }
+  }
+
+  const Function& fn_;
+  BytecodeFunction out_;
+};
+
+}  // namespace
+
+BytecodeFunction lowerToBytecode(const Function& fn) {
+  fn.validate();
+  return Codegen(fn).finish();
+}
+
+}  // namespace cgra::kir

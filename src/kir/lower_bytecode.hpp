@@ -1,0 +1,16 @@
+// Lowers a (call-free) KIR function to baseline stack bytecode so the token
+// machine can execute exactly the kernel the CGRA runs — the AMIDAR side of
+// the paper's speedup comparison.
+#pragma once
+
+#include "host/bytecode.hpp"
+#include "kir/kir.hpp"
+
+namespace cgra::kir {
+
+/// Compiles `fn` to stack bytecode. Call statements must be inlined first
+/// (throws cgra::Error otherwise). Local indices are preserved, so the same
+/// initial-locals vector drives interpreter, baseline and CGRA runs.
+BytecodeFunction lowerToBytecode(const Function& fn);
+
+}  // namespace cgra::kir

@@ -1,0 +1,415 @@
+#include "kir/lower_cdfg.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+namespace cgra::kir {
+
+namespace {
+
+/// Per-variable dataflow state along one lowering path.
+struct VarState {
+  std::vector<NodeId> defs;     ///< pWRITEs that may define the current value
+  std::vector<NodeId> readers;  ///< consumers since the last write
+};
+
+/// Per-alias-class heap state along one lowering path.
+struct MemState {
+  std::vector<NodeId> lastStores;
+  std::vector<NodeId> loadsSinceStore;
+};
+
+void mergeInto(std::vector<NodeId>& into, const std::vector<NodeId>& from) {
+  for (NodeId n : from)
+    if (std::find(into.begin(), into.end(), n) == into.end()) into.push_back(n);
+}
+
+class Lowering {
+public:
+  explicit Lowering(const Function& fn) : fn_(fn) {}
+
+  LoweringResult run() {
+    fn_.validate();
+
+    // Variables for all locals.
+    const auto liveIns = fn_.liveInLocals();
+    const auto liveOuts = fn_.liveOutLocals();
+    for (LocalId l = 0; l < fn_.numLocals(); ++l) {
+      Variable v;
+      v.name = fn_.local(l).name;
+      v.liveIn = std::find(liveIns.begin(), liveIns.end(), l) != liveIns.end();
+      v.liveOut =
+          std::find(liveOuts.begin(), liveOuts.end(), l) != liveOuts.end();
+      localToVar_.push_back(g_.addVariable(v));
+    }
+    varStates_.resize(fn_.numLocals());
+
+    decideAliasClasses();
+    memStates_.resize(numAliasClasses_);
+
+    lowerStmt(fn_.body());
+
+    g_.validate();
+    return LoweringResult{std::move(g_), std::move(localToVar_)};
+  }
+
+private:
+  // -- alias analysis -------------------------------------------------------
+
+  /// Handle-based disambiguation: when every array access uses a plain read
+  /// of a never-written parameter as handle, each such parameter is its own
+  /// alias class (KIR arrays are distinct objects per handle parameter);
+  /// otherwise everything shares class 0.
+  void decideAliasClasses() {
+    bool simple = true;
+    std::set<LocalId> writtenLocals;
+    std::function<void(StmtId)> scanWrites = [&](StmtId id) {
+      const Stmt& s = fn_.stmt(id);
+      switch (s.kind) {
+        case StmtKind::Assign: writtenLocals.insert(s.target); break;
+        case StmtKind::If:
+          scanWrites(s.thenBlock);
+          if (s.elseBlock != kNoStmt) scanWrites(s.elseBlock);
+          break;
+        case StmtKind::While: scanWrites(s.body); break;
+        case StmtKind::Block:
+          for (StmtId c : s.stmts) scanWrites(c);
+          break;
+        default: break;
+      }
+    };
+    scanWrites(fn_.body());
+
+    std::set<LocalId> handleLocals;
+    std::function<void(ExprId)> scanExpr = [&](ExprId id) {
+      const Expr& e = fn_.expr(id);
+      if (e.kind == ExprKind::ArrayLoad) {
+        const Expr& h = fn_.expr(e.lhs);
+        if (h.kind == ExprKind::Local && fn_.local(h.local).isParameter &&
+            !writtenLocals.contains(h.local))
+          handleLocals.insert(h.local);
+        else
+          simple = false;
+      }
+      if (e.lhs != kNoExpr) scanExpr(e.lhs);
+      if (e.rhs != kNoExpr) scanExpr(e.rhs);
+    };
+    std::function<void(StmtId)> scanStmt = [&](StmtId id) {
+      const Stmt& s = fn_.stmt(id);
+      switch (s.kind) {
+        case StmtKind::Assign: scanExpr(s.value); break;
+        case StmtKind::ArrayStore: {
+          const Expr& h = fn_.expr(s.handle);
+          if (h.kind == ExprKind::Local && fn_.local(h.local).isParameter &&
+              !writtenLocals.contains(h.local))
+            handleLocals.insert(h.local);
+          else
+            simple = false;
+          scanExpr(s.handle);
+          scanExpr(s.index);
+          scanExpr(s.value);
+          break;
+        }
+        case StmtKind::If:
+          scanExpr(s.cond);
+          scanStmt(s.thenBlock);
+          if (s.elseBlock != kNoStmt) scanStmt(s.elseBlock);
+          break;
+        case StmtKind::While:
+          scanExpr(s.cond);
+          scanStmt(s.body);
+          break;
+        case StmtKind::Block:
+          for (StmtId c : s.stmts) scanStmt(c);
+          break;
+        default: break;
+      }
+    };
+    scanStmt(fn_.body());
+
+    if (simple) {
+      unsigned next = 0;
+      for (LocalId l : handleLocals) handleToClass_[l] = next++;
+      numAliasClasses_ = std::max(1u, next);
+    } else {
+      handleToClass_.clear();
+      numAliasClasses_ = 1;
+    }
+    aliasSimple_ = simple;
+  }
+
+  unsigned aliasClassFor(ExprId handleExpr) const {
+    if (!aliasSimple_) return 0;
+    const Expr& h = fn_.expr(handleExpr);
+    CGRA_ASSERT(h.kind == ExprKind::Local);
+    const auto it = handleToClass_.find(h.local);
+    CGRA_ASSERT(it != handleToClass_.end());
+    return it->second;
+  }
+
+  // -- node creation helpers ------------------------------------------------
+
+  /// Wires operand dependencies for a freshly created node: Flow edges from
+  /// producing nodes / all possible variable definitions, reader
+  /// registration for Anti edges.
+  void wireOperands(NodeId id) {
+    const Node& n = g_.node(id);
+    for (const Operand& o : n.operands) {
+      switch (o.kind()) {
+        case Operand::Kind::Node:
+          g_.addEdge(o.nodeId(), id, DepKind::Flow);
+          break;
+        case Operand::Kind::Variable: {
+          VarState& vs = varStates_[o.varId()];
+          for (NodeId def : vs.defs) g_.addEdge(def, id, DepKind::Flow);
+          if (std::find(vs.readers.begin(), vs.readers.end(), id) ==
+              vs.readers.end())
+            vs.readers.push_back(id);
+          break;
+        }
+        case Operand::Kind::Immediate:
+          break;
+      }
+    }
+  }
+
+  /// Control edges from every literal of the node's condition.
+  void wireCondition(NodeId id) {
+    for (const auto& [statusNode, pol] :
+         g_.conditionLiterals(g_.node(id).cond)) {
+      (void)pol;
+      g_.addEdge(statusNode, id, DepKind::Control);
+    }
+  }
+
+  NodeId makeOperation(Op op, std::vector<Operand> operands, CondId cond,
+                       std::string label = {}) {
+    Node n;
+    n.kind = NodeKind::Operation;
+    n.op = op;
+    n.operands = std::move(operands);
+    // Plain ALU operations execute speculatively on every path (§V-B) and
+    // carry no condition; only memory operations are predicated (§V-D).
+    n.cond = isMemoryOp(op) ? cond : kCondTrue;
+    n.loop = curLoop_;
+    n.label = std::move(label);
+    const NodeId id = g_.addNode(std::move(n));
+    wireOperands(id);
+    wireCondition(id);
+    return id;
+  }
+
+  NodeId makePWrite(VarId var, Operand value, std::string label = {}) {
+    Node n;
+    n.kind = NodeKind::PWrite;
+    n.var = var;
+    n.operands = {value};
+    n.cond = curCond_;
+    n.loop = curLoop_;
+    n.label = std::move(label);
+    const NodeId id = g_.addNode(std::move(n));
+    wireOperands(id);
+    wireCondition(id);
+
+    VarState& vs = varStates_[var];
+    for (NodeId reader : vs.readers)
+      if (reader != id) g_.addEdge(reader, id, DepKind::Anti);
+    for (NodeId def : vs.defs) g_.addEdge(def, id, DepKind::Output);
+    vs.defs = {id};
+    vs.readers.clear();
+    return id;
+  }
+
+  // -- expression lowering ---------------------------------------------------
+
+  Operand lowerExpr(ExprId id) {
+    const Expr& e = fn_.expr(id);
+    switch (e.kind) {
+      case ExprKind::Const:
+        return Operand::immediate(e.value);
+      case ExprKind::Local:
+        return Operand::variable(localToVar_[e.local]);
+      case ExprKind::Unary: {
+        const Operand a = lowerExpr(e.lhs);
+        return Operand::node(
+            makeOperation(Op::INEG, {a}, curCond_));
+      }
+      case ExprKind::Binary: {
+        const Operand a = lowerExpr(e.lhs);
+        const Operand b = lowerExpr(e.rhs);
+        return Operand::node(makeOperation(e.op, {a, b}, curCond_));
+      }
+      case ExprKind::Compare: {
+        // Value position: materialize 0/1 through a predicated write
+        // (the CGRA's comparison result is a status bit, not a word).
+        Variable tmp;
+        tmp.name = "$cmp" + std::to_string(tempCounter_++);
+        const VarId tv = g_.addVariable(tmp);
+        varStates_.emplace_back();
+        makePWrite(tv, Operand::immediate(0), tmp.name + "=0");
+        const NodeId status = lowerCompare(id);
+        const CondId saved = curCond_;
+        curCond_ = g_.makeCondition(saved, status, true);
+        makePWrite(tv, Operand::immediate(1), tmp.name + "=1");
+        curCond_ = saved;
+        // Both writes may define the value (they are ordered by the Output
+        // edge, so the predicated one wins when its condition holds).
+        return Operand::variable(tv);
+      }
+      case ExprKind::ArrayLoad: {
+        const Operand handle = lowerExpr(e.lhs);
+        const Operand index = lowerExpr(e.rhs);
+        const unsigned cls = aliasClassFor(e.lhs);
+        const NodeId load =
+            makeOperation(Op::DMA_LOAD, {handle, index}, curCond_);
+        MemState& ms = memStates_[cls];
+        for (NodeId st : ms.lastStores) g_.addEdge(st, load, DepKind::Flow);
+        ms.loadsSinceStore.push_back(load);
+        return Operand::node(load);
+      }
+    }
+    CGRA_UNREACHABLE("bad expr kind");
+  }
+
+  /// Lowers a condition expression to a comparison node (status producer).
+  NodeId lowerCompare(ExprId id) {
+    const Expr& e = fn_.expr(id);
+    if (e.kind == ExprKind::Compare) {
+      const Operand a = lowerExpr(e.lhs);
+      const Operand b = lowerExpr(e.rhs);
+      return makeOperation(e.op, {a, b}, curCond_);
+    }
+    // Generic integer condition: true when != 0.
+    const Operand v = lowerExpr(id);
+    return makeOperation(Op::IFNE, {v, Operand::immediate(0)}, curCond_);
+  }
+
+  // -- statement lowering -----------------------------------------------------
+
+  void lowerStmt(StmtId id) {
+    const Stmt& s = fn_.stmt(id);
+    switch (s.kind) {
+      case StmtKind::Assign: {
+        const Operand v = lowerExpr(s.value);
+        makePWrite(localToVar_[s.target], v,
+                   fn_.local(s.target).name + "=");
+        break;
+      }
+      case StmtKind::ArrayStore: {
+        const Operand handle = lowerExpr(s.handle);
+        const Operand index = lowerExpr(s.index);
+        const Operand value = lowerExpr(s.value);
+        const unsigned cls = aliasClassFor(s.handle);
+        const NodeId store =
+            makeOperation(Op::DMA_STORE, {handle, index, value}, curCond_);
+        MemState& ms = memStates_[cls];
+        for (NodeId ld : ms.loadsSinceStore)
+          g_.addEdge(ld, store, DepKind::Anti);
+        for (NodeId st : ms.lastStores) g_.addEdge(st, store, DepKind::Output);
+        ms.lastStores = {store};
+        ms.loadsSinceStore.clear();
+        break;
+      }
+      case StmtKind::If: {
+        const NodeId status = lowerCompare(s.cond);
+        const CondId saved = curCond_;
+        const auto savedVars = varStates_;
+        const auto savedMem = memStates_;
+
+        curCond_ = g_.makeCondition(saved, status, true);
+        lowerStmt(s.thenBlock);
+        auto thenVars = varStates_;
+        const auto thenMem = memStates_;
+
+        // Arms may create fresh temp variables (compare-in-value-position),
+        // so the state vectors must be re-aligned to the variable count
+        // before restoring/merging.
+        varStates_ = savedVars;
+        varStates_.resize(g_.numVariables());
+        memStates_ = savedMem;
+        if (s.elseBlock != kNoStmt) {
+          curCond_ = g_.makeCondition(saved, status, false);
+          lowerStmt(s.elseBlock);
+        }
+        // Merge: either arm may have committed.
+        varStates_.resize(g_.numVariables());
+        thenVars.resize(g_.numVariables());
+        for (std::size_t v = 0; v < varStates_.size(); ++v) {
+          mergeInto(varStates_[v].defs, thenVars[v].defs);
+          mergeInto(varStates_[v].readers, thenVars[v].readers);
+        }
+        for (std::size_t c = 0; c < memStates_.size(); ++c) {
+          mergeInto(memStates_[c].lastStores, thenMem[c].lastStores);
+          mergeInto(memStates_[c].loadsSinceStore, thenMem[c].loadsSinceStore);
+        }
+        curCond_ = saved;
+        break;
+      }
+      case StmtKind::While: {
+        const CondId entryCond = curCond_;
+        Loop loop;
+        loop.parent = curLoop_;
+        loop.entryCond = entryCond;
+        loop.label = "while#" + std::to_string(g_.numLoops());
+        const LoopId l = g_.addLoop(loop);
+
+        const LoopId savedLoop = curLoop_;
+        curLoop_ = l;
+        // The controlling comparison is re-evaluated every iteration and
+        // belongs to the loop.
+        const NodeId status = lowerCompare(s.cond);
+        const CondId bodyCond = g_.makeCondition(entryCond, status, true);
+        // Patch the loop record now that its pieces exist.
+        g_.loop(l).controllingNode = status;
+        g_.loop(l).continueWhen = true;
+        g_.loop(l).bodyCond = bodyCond;
+
+        auto preVars = varStates_;
+        const auto preMem = memStates_;
+        curCond_ = bodyCond;
+        lowerStmt(s.body);
+        // Merge pre-loop state (zero committed iterations possible); the
+        // body may have created fresh temp variables, so re-align first.
+        varStates_.resize(g_.numVariables());
+        preVars.resize(g_.numVariables());
+        for (std::size_t v = 0; v < varStates_.size(); ++v) {
+          mergeInto(varStates_[v].defs, preVars[v].defs);
+          mergeInto(varStates_[v].readers, preVars[v].readers);
+        }
+        for (std::size_t c = 0; c < memStates_.size(); ++c) {
+          mergeInto(memStates_[c].lastStores, preMem[c].lastStores);
+          mergeInto(memStates_[c].loadsSinceStore, preMem[c].loadsSinceStore);
+        }
+        curCond_ = entryCond;
+        curLoop_ = savedLoop;
+        break;
+      }
+      case StmtKind::Call:
+        throw Error("lowerToCdfg: inline calls before lowering (" +
+                    fn_.name() + ")");
+      case StmtKind::Block:
+        for (StmtId c : s.stmts) lowerStmt(c);
+        break;
+    }
+  }
+
+  const Function& fn_;
+  Cdfg g_;
+  std::vector<VarId> localToVar_;
+  std::vector<VarState> varStates_;
+  std::vector<MemState> memStates_;
+  std::map<LocalId, unsigned> handleToClass_;
+  unsigned numAliasClasses_ = 1;
+  bool aliasSimple_ = true;
+  CondId curCond_ = kCondTrue;
+  LoopId curLoop_ = kRootLoop;
+  unsigned tempCounter_ = 0;
+};
+
+}  // namespace
+
+LoweringResult lowerToCdfg(const Function& fn) { return Lowering(fn).run(); }
+
+}  // namespace cgra::kir

@@ -1,0 +1,39 @@
+// Lowers a (call-free) KIR function to the scheduler's CDFG — the "build
+// instruction graph / annotate dependencies and operand src/dest" steps of
+// the paper's synthesis flow (Fig. 1).
+//
+// Highlights of the translation:
+//  * Every KIR local becomes a CDFG Variable; every assignment becomes a
+//    pWRITE predicated on the lowering-time path condition (§V-B: no phi
+//    nodes — wrong-path results are dismissed by predication).
+//  * if/else arms are both lowered (speculation); their commits carry
+//    conditions parent ∧ literal built from the arm's comparison node.
+//  * while loops become Loop-tree entries whose controlling comparison is
+//    re-evaluated inside the loop; body commits are predicated on
+//    entry-condition ∧ continue-literal, giving the "dry final pass"
+//    execution model described in DESIGN.md.
+//  * Dependency edges are annotated per variable (Flow from possible
+//    definitions, Anti from readers to the next write, Output between
+//    same-path writes) and per heap alias class (handle-based
+//    disambiguation, conservative fallback to one class).
+//  * Array accesses lower to DMA_LOAD / DMA_STORE nodes that are always
+//    predicated (§V-D).
+#pragma once
+
+#include "cdfg/cdfg.hpp"
+#include "kir/kir.hpp"
+
+namespace cgra::kir {
+
+/// Lowering output: the graph plus the KIR-local → CDFG-variable map
+/// (index-aligned: localToVar[i] is the variable for local i).
+struct LoweringResult {
+  Cdfg graph;
+  std::vector<VarId> localToVar;
+};
+
+/// Lowers `fn`; throws cgra::Error on Call statements (inline first) or
+/// malformed functions. The result graph passes Cdfg::validate().
+LoweringResult lowerToCdfg(const Function& fn);
+
+}  // namespace cgra::kir

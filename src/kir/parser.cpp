@@ -1,0 +1,480 @@
+#include "kir/parser.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+
+namespace cgra::kir {
+
+namespace {
+
+enum class Tok : std::uint8_t {
+  End, Ident, Int,
+  KwKernel, KwVar, KwIf, KwElse, KwWhile,
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Comma, Semi, Assign,
+  OrOr, AndAnd, Pipe, Caret, Amp,
+  EqEq, NotEq, Lt, Le, Gt, Ge,
+  Shl, Shr, Ushr,
+  Plus, Minus, Star, Bang,
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;
+  std::int32_t value = 0;
+  int line = 1, col = 1;
+};
+
+class Lexer {
+public:
+  explicit Lexer(const std::string& src) : src_(src) { advance(); }
+
+  const Token& peek() const { return tok_; }
+
+  Token take() {
+    Token t = tok_;
+    advance();
+    return t;
+  }
+
+private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    std::ostringstream os;
+    os << "kernel parse error at line " << line_ << ", column " << col_
+       << ": " << msg;
+    throw Error(os.str());
+  }
+
+  char cur() const { return pos_ < src_.size() ? src_[pos_] : '\0'; }
+  char next() const { return pos_ + 1 < src_.size() ? src_[pos_ + 1] : '\0'; }
+
+  void bump() {
+    if (cur() == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  void skipWsAndComments() {
+    while (true) {
+      while (std::isspace(static_cast<unsigned char>(cur()))) bump();
+      if (cur() == '/' && next() == '/') {
+        while (cur() && cur() != '\n') bump();
+        continue;
+      }
+      if (cur() == '/' && next() == '*') {
+        bump();
+        bump();
+        while (cur() && !(cur() == '*' && next() == '/')) bump();
+        if (!cur()) fail("unterminated block comment");
+        bump();
+        bump();
+        continue;
+      }
+      break;
+    }
+  }
+
+  void advance() {
+    skipWsAndComments();
+    tok_ = Token{};
+    tok_.line = line_;
+    tok_.col = col_;
+    const char c = cur();
+    if (!c) {
+      tok_.kind = Tok::End;
+      return;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string id;
+      while (std::isalnum(static_cast<unsigned char>(cur())) || cur() == '_') {
+        id.push_back(cur());
+        bump();
+      }
+      tok_.text = id;
+      if (id == "kernel") tok_.kind = Tok::KwKernel;
+      else if (id == "var") tok_.kind = Tok::KwVar;
+      else if (id == "if") tok_.kind = Tok::KwIf;
+      else if (id == "else") tok_.kind = Tok::KwElse;
+      else if (id == "while") tok_.kind = Tok::KwWhile;
+      else tok_.kind = Tok::Ident;
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::uint64_t v = 0;
+      if (c == '0' && (next() == 'x' || next() == 'X')) {
+        bump();
+        bump();
+        if (!std::isxdigit(static_cast<unsigned char>(cur())))
+          fail("expected hex digits after 0x");
+        while (std::isxdigit(static_cast<unsigned char>(cur()))) {
+          const char h = cur();
+          v = v * 16 +
+              static_cast<std::uint64_t>(
+                  h <= '9' ? h - '0' : (h | 0x20) - 'a' + 10);
+          if (v > 0xFFFFFFFFull) fail("integer literal too large");
+          bump();
+        }
+      } else {
+        while (std::isdigit(static_cast<unsigned char>(cur()))) {
+          v = v * 10 + static_cast<std::uint64_t>(cur() - '0');
+          if (v > 0xFFFFFFFFull) fail("integer literal too large");
+          bump();
+        }
+      }
+      tok_.kind = Tok::Int;
+      tok_.value = static_cast<std::int32_t>(static_cast<std::uint32_t>(v));
+      return;
+    }
+    auto two = [&](char a, char b) { return c == a && next() == b; };
+    if (two('|', '|')) { bump(); bump(); tok_.kind = Tok::OrOr; return; }
+    if (two('&', '&')) { bump(); bump(); tok_.kind = Tok::AndAnd; return; }
+    if (two('=', '=')) { bump(); bump(); tok_.kind = Tok::EqEq; return; }
+    if (two('!', '=')) { bump(); bump(); tok_.kind = Tok::NotEq; return; }
+    if (two('<', '=')) { bump(); bump(); tok_.kind = Tok::Le; return; }
+    if (two('>', '=')) { bump(); bump(); tok_.kind = Tok::Ge; return; }
+    if (c == '>' && next() == '>' && pos_ + 2 < src_.size() &&
+        src_[pos_ + 2] == '>') {
+      bump(); bump(); bump();
+      tok_.kind = Tok::Ushr;
+      return;
+    }
+    if (two('<', '<')) { bump(); bump(); tok_.kind = Tok::Shl; return; }
+    if (two('>', '>')) { bump(); bump(); tok_.kind = Tok::Shr; return; }
+    bump();
+    switch (c) {
+      case '(': tok_.kind = Tok::LParen; return;
+      case ')': tok_.kind = Tok::RParen; return;
+      case '{': tok_.kind = Tok::LBrace; return;
+      case '}': tok_.kind = Tok::RBrace; return;
+      case '[': tok_.kind = Tok::LBracket; return;
+      case ']': tok_.kind = Tok::RBracket; return;
+      case ',': tok_.kind = Tok::Comma; return;
+      case ';': tok_.kind = Tok::Semi; return;
+      case '=': tok_.kind = Tok::Assign; return;
+      case '|': tok_.kind = Tok::Pipe; return;
+      case '^': tok_.kind = Tok::Caret; return;
+      case '&': tok_.kind = Tok::Amp; return;
+      case '<': tok_.kind = Tok::Lt; return;
+      case '>': tok_.kind = Tok::Gt; return;
+      case '+': tok_.kind = Tok::Plus; return;
+      case '-': tok_.kind = Tok::Minus; return;
+      case '*': tok_.kind = Tok::Star; return;
+      case '!': tok_.kind = Tok::Bang; return;
+      default: fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int line_ = 1, col_ = 1;
+  Token tok_;
+};
+
+class Parser {
+public:
+  explicit Parser(const std::string& src) : lex_(src) {}
+
+  Function parse() {
+    expect(Tok::KwKernel, "expected 'kernel'");
+    const Token name = expect(Tok::Ident, "expected kernel name");
+    builder_.emplace(name.text);
+    expect(Tok::LParen, "expected '('");
+    if (lex_.peek().kind != Tok::RParen) {
+      while (true) {
+        const Token param = expect(Tok::Ident, "expected parameter name");
+        declare(param, /*isParam=*/true);
+        if (lex_.peek().kind != Tok::Comma) break;
+        lex_.take();
+      }
+    }
+    expect(Tok::RParen, "expected ')'");
+    const StmtId body = parseBlock();
+    return builder_->finish(body);
+  }
+
+private:
+  [[noreturn]] void fail(const Token& at, const std::string& msg) const {
+    std::ostringstream os;
+    os << "kernel parse error at line " << at.line << ", column " << at.col
+       << ": " << msg;
+    throw Error(os.str());
+  }
+
+  Token expect(Tok kind, const std::string& msg) {
+    if (lex_.peek().kind != kind) fail(lex_.peek(), msg);
+    return lex_.take();
+  }
+
+  LocalId declare(const Token& name, bool isParam) {
+    if (locals_.contains(name.text))
+      fail(name, "duplicate declaration of '" + name.text + "'");
+    const LocalId id = isParam ? builder_->param(name.text)
+                               : builder_->localVar(name.text);
+    locals_[name.text] = id;
+    return id;
+  }
+
+  LocalId resolve(const Token& name) const {
+    const auto it = locals_.find(name.text);
+    if (it == locals_.end())
+      fail(name, "use of undeclared identifier '" + name.text + "'");
+    return it->second;
+  }
+
+  StmtId parseBlock() {
+    expect(Tok::LBrace, "expected '{'");
+    std::vector<StmtId> stmts;
+    while (lex_.peek().kind != Tok::RBrace) {
+      if (lex_.peek().kind == Tok::End) fail(lex_.peek(), "unterminated block");
+      stmts.push_back(parseStmt());
+    }
+    lex_.take();
+    return builder_->block(std::move(stmts));
+  }
+
+  StmtId parseStmt() {
+    const Token& t = lex_.peek();
+    switch (t.kind) {
+      case Tok::KwVar: {
+        lex_.take();
+        const Token name = expect(Tok::Ident, "expected variable name");
+        const LocalId id = declare(name, false);
+        ExprId init = builder_->cint(0);
+        if (lex_.peek().kind == Tok::Assign) {
+          lex_.take();
+          init = parseExpr();
+        }
+        expect(Tok::Semi, "expected ';'");
+        return builder_->assign(id, init);
+      }
+      case Tok::KwIf: {
+        lex_.take();
+        expect(Tok::LParen, "expected '(' after if");
+        const ExprId cond = parseExpr();
+        expect(Tok::RParen, "expected ')'");
+        const StmtId thenB = parseBlock();
+        StmtId elseB = kNoStmt;
+        if (lex_.peek().kind == Tok::KwElse) {
+          lex_.take();
+          elseB = lex_.peek().kind == Tok::KwIf ? parseStmt() : parseBlock();
+        }
+        return builder_->ifElse(asCondition(cond), thenB, elseB);
+      }
+      case Tok::KwWhile: {
+        lex_.take();
+        expect(Tok::LParen, "expected '(' after while");
+        const ExprId cond = parseExpr();
+        expect(Tok::RParen, "expected ')'");
+        return builder_->whileLoop(asCondition(cond), parseBlock());
+      }
+      case Tok::Ident: {
+        const Token name = lex_.take();
+        const LocalId id = resolve(name);
+        if (lex_.peek().kind == Tok::LBracket) {
+          lex_.take();
+          const ExprId index = parseExpr();
+          expect(Tok::RBracket, "expected ']'");
+          expect(Tok::Assign, "expected '=' after array subscript");
+          const ExprId value = parseExpr();
+          expect(Tok::Semi, "expected ';'");
+          return builder_->arrayStore(builder_->use(id), index, value);
+        }
+        expect(Tok::Assign, "expected '='");
+        const ExprId value = parseExpr();
+        expect(Tok::Semi, "expected ';'");
+        return builder_->assign(id, value);
+      }
+      default:
+        fail(t, "expected a statement");
+    }
+  }
+
+  /// if/while conditions: a bare integer expression means `expr != 0`;
+  /// comparisons pass through.
+  ExprId asCondition(ExprId e) {
+    if (builder_->fn().expr(e).kind == ExprKind::Compare) return e;
+    return builder_->ne(e, builder_->cint(0));
+  }
+
+  /// 0/1 normalization for the non-short-circuit logical operators.
+  ExprId asBool(ExprId e) {
+    if (builder_->fn().expr(e).kind == ExprKind::Compare) return e;
+    return builder_->ne(e, builder_->cint(0));
+  }
+
+  ExprId parseExpr() { return parseOrOr(); }
+
+  ExprId parseOrOr() {
+    ExprId lhs = parseAndAnd();
+    while (lex_.peek().kind == Tok::OrOr) {
+      lex_.take();
+      lhs = builder_->bor(asBool(lhs), asBool(parseAndAnd()));
+    }
+    return lhs;
+  }
+
+  ExprId parseAndAnd() {
+    ExprId lhs = parseBitOr();
+    while (lex_.peek().kind == Tok::AndAnd) {
+      lex_.take();
+      lhs = builder_->band(asBool(lhs), asBool(parseBitOr()));
+    }
+    return lhs;
+  }
+
+  ExprId parseBitOr() {
+    ExprId lhs = parseBitXor();
+    while (lex_.peek().kind == Tok::Pipe) {
+      lex_.take();
+      lhs = builder_->bor(lhs, parseBitXor());
+    }
+    return lhs;
+  }
+
+  ExprId parseBitXor() {
+    ExprId lhs = parseBitAnd();
+    while (lex_.peek().kind == Tok::Caret) {
+      lex_.take();
+      lhs = builder_->bxor(lhs, parseBitAnd());
+    }
+    return lhs;
+  }
+
+  ExprId parseBitAnd() {
+    ExprId lhs = parseEquality();
+    while (lex_.peek().kind == Tok::Amp) {
+      lex_.take();
+      lhs = builder_->band(lhs, parseEquality());
+    }
+    return lhs;
+  }
+
+  ExprId parseEquality() {
+    ExprId lhs = parseRelational();
+    while (true) {
+      const Tok k = lex_.peek().kind;
+      if (k == Tok::EqEq) {
+        lex_.take();
+        lhs = builder_->eq(lhs, parseRelational());
+      } else if (k == Tok::NotEq) {
+        lex_.take();
+        lhs = builder_->ne(lhs, parseRelational());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprId parseRelational() {
+    ExprId lhs = parseShift();
+    while (true) {
+      const Tok k = lex_.peek().kind;
+      if (k == Tok::Lt) { lex_.take(); lhs = builder_->lt(lhs, parseShift()); }
+      else if (k == Tok::Le) { lex_.take(); lhs = builder_->le(lhs, parseShift()); }
+      else if (k == Tok::Gt) { lex_.take(); lhs = builder_->gt(lhs, parseShift()); }
+      else if (k == Tok::Ge) { lex_.take(); lhs = builder_->ge(lhs, parseShift()); }
+      else return lhs;
+    }
+  }
+
+  ExprId parseShift() {
+    ExprId lhs = parseAdditive();
+    while (true) {
+      const Tok k = lex_.peek().kind;
+      if (k == Tok::Shl) { lex_.take(); lhs = builder_->shl(lhs, parseAdditive()); }
+      else if (k == Tok::Shr) { lex_.take(); lhs = builder_->shr(lhs, parseAdditive()); }
+      else if (k == Tok::Ushr) { lex_.take(); lhs = builder_->ushr(lhs, parseAdditive()); }
+      else return lhs;
+    }
+  }
+
+  ExprId parseAdditive() {
+    ExprId lhs = parseMultiplicative();
+    while (true) {
+      const Tok k = lex_.peek().kind;
+      if (k == Tok::Plus) { lex_.take(); lhs = builder_->add(lhs, parseMultiplicative()); }
+      else if (k == Tok::Minus) { lex_.take(); lhs = builder_->sub(lhs, parseMultiplicative()); }
+      else return lhs;
+    }
+  }
+
+  ExprId parseMultiplicative() {
+    ExprId lhs = parseUnary();
+    while (lex_.peek().kind == Tok::Star) {
+      lex_.take();
+      lhs = builder_->mul(lhs, parseUnary());
+    }
+    return lhs;
+  }
+
+  ExprId parseUnary() {
+    const Tok k = lex_.peek().kind;
+    if (k == Tok::Minus) {
+      lex_.take();
+      // Fold -literal directly so INT_MIN is expressible.
+      if (lex_.peek().kind == Tok::Int) {
+        const Token lit = lex_.take();
+        return builder_->cint(static_cast<std::int32_t>(
+            -static_cast<std::int64_t>(lit.value)));
+      }
+      return builder_->neg(parseUnary());
+    }
+    if (k == Tok::Bang) {
+      lex_.take();
+      return builder_->eq(parseUnary(), builder_->cint(0));
+    }
+    return parsePrimary();
+  }
+
+  ExprId parsePrimary() {
+    const Token t = lex_.take();
+    switch (t.kind) {
+      case Tok::Int:
+        return builder_->cint(t.value);
+      case Tok::Ident: {
+        const LocalId id = resolve(t);
+        if (lex_.peek().kind == Tok::LBracket) {
+          lex_.take();
+          const ExprId index = parseExpr();
+          expect(Tok::RBracket, "expected ']'");
+          return builder_->load(builder_->use(id), index);
+        }
+        return builder_->use(id);
+      }
+      case Tok::LParen: {
+        const ExprId e = parseExpr();
+        expect(Tok::RParen, "expected ')'");
+        return e;
+      }
+      default:
+        fail(t, "expected an expression");
+    }
+  }
+
+  Lexer lex_;
+  std::optional<FunctionBuilder> builder_;
+  std::map<std::string, LocalId> locals_;
+};
+
+}  // namespace
+
+Function parseKernel(const std::string& source) {
+  return Parser(source).parse();
+}
+
+Function parseKernelFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open kernel file: " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return parseKernel(os.str());
+}
+
+}  // namespace cgra::kir

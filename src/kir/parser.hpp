@@ -1,0 +1,37 @@
+// Text front end for the kernel IR: parses a small C-like kernel language
+// into a kir::Function, so kernels can be supplied as files (see
+// tools/cgra_tool.cpp --kernel-file) instead of built programmatically.
+//
+// Grammar (C-like precedence; integers are 32-bit two's complement):
+//
+//   kernel     := "kernel" IDENT "(" [IDENT ("," IDENT)*] ")" block
+//   block      := "{" stmt* "}"
+//   stmt       := "var" IDENT ["=" expr] ";"          declare local
+//               | IDENT "=" expr ";"                  assign
+//               | IDENT "[" expr "]" "=" expr ";"     array store
+//               | "if" "(" expr ")" block ["else" (block | ifstmt)]
+//               | "while" "(" expr ")" block
+//   expr       := logical-or with C precedence:
+//                 || && | ^ & ==/!= </<=/>/>= <</>>/>>> +- * unary(- !)
+//               | IDENT | IDENT "[" expr "]" | INT | "(" expr ")"
+//
+// Notes on semantics: `||`/`&&` are non-short-circuit (both sides evaluate;
+// operands are normalized to 0/1 — this matches the CGRA's speculative
+// execution, where both sides execute anyway); `!e` is `e == 0`;
+// `>>` is arithmetic, `>>>` logical shift right.
+#pragma once
+
+#include <string>
+
+#include "kir/kir.hpp"
+
+namespace cgra::kir {
+
+/// Parses one kernel; throws cgra::Error with line/column on syntax errors,
+/// undeclared identifiers or duplicate declarations.
+Function parseKernel(const std::string& source);
+
+/// Reads and parses a kernel file.
+Function parseKernelFile(const std::string& path);
+
+}  // namespace cgra::kir

@@ -1,0 +1,557 @@
+#include "kir/passes.hpp"
+
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace cgra::kir {
+
+namespace {
+
+/// Copies expressions/statements from `src` into `dst`, renaming locals
+/// through `localMap`. Call statements are handled by the caller via
+/// `onCall` (inlining) or rejected.
+class Cloner {
+public:
+  using CallHook = std::function<StmtId(const Stmt&, Cloner&)>;
+
+  Cloner(const Function& src, Function& dst, std::vector<LocalId> localMap,
+         CallHook onCall = {})
+      : src_(src), dst_(dst), localMap_(std::move(localMap)),
+        onCall_(std::move(onCall)) {}
+
+  ExprId cloneExpr(ExprId id) {
+    const Expr& e = src_.expr(id);
+    Expr out = e;
+    if (e.kind == ExprKind::Local) {
+      CGRA_ASSERT(e.local < localMap_.size());
+      out.local = localMap_[e.local];
+    }
+    if (out.lhs != kNoExpr) out.lhs = cloneExpr(e.lhs);
+    if (out.rhs != kNoExpr) out.rhs = cloneExpr(e.rhs);
+    return dst_.addExpr(out);
+  }
+
+  StmtId cloneStmt(StmtId id) {
+    const Stmt& s = src_.stmt(id);
+    switch (s.kind) {
+      case StmtKind::Assign: {
+        Stmt out;
+        out.kind = StmtKind::Assign;
+        out.target = localMap_[s.target];
+        out.value = cloneExpr(s.value);
+        return dst_.addStmt(std::move(out));
+      }
+      case StmtKind::ArrayStore: {
+        Stmt out;
+        out.kind = StmtKind::ArrayStore;
+        out.handle = cloneExpr(s.handle);
+        out.index = cloneExpr(s.index);
+        out.value = cloneExpr(s.value);
+        return dst_.addStmt(std::move(out));
+      }
+      case StmtKind::If: {
+        Stmt out;
+        out.kind = StmtKind::If;
+        out.cond = cloneExpr(s.cond);
+        out.thenBlock = cloneStmt(s.thenBlock);
+        out.elseBlock = s.elseBlock == kNoStmt ? kNoStmt : cloneStmt(s.elseBlock);
+        return dst_.addStmt(std::move(out));
+      }
+      case StmtKind::While: {
+        Stmt out;
+        out.kind = StmtKind::While;
+        out.cond = cloneExpr(s.cond);
+        out.body = cloneStmt(s.body);
+        return dst_.addStmt(std::move(out));
+      }
+      case StmtKind::Call:
+        if (!onCall_)
+          throw Error("pass cannot handle Call statements; inline first");
+        return onCall_(s, *this);
+      case StmtKind::Block: {
+        Stmt out;
+        out.kind = StmtKind::Block;
+        for (StmtId c : s.stmts) out.stmts.push_back(cloneStmt(c));
+        return dst_.addStmt(std::move(out));
+      }
+    }
+    CGRA_UNREACHABLE("bad statement kind");
+  }
+
+  const std::vector<LocalId>& localMap() const { return localMap_; }
+  Function& dst() { return dst_; }
+
+private:
+  const Function& src_;
+  Function& dst_;
+  std::vector<LocalId> localMap_;
+  CallHook onCall_;
+};
+
+std::vector<LocalId> identityMap(const Function& fn, Function& dst) {
+  std::vector<LocalId> map;
+  map.reserve(fn.numLocals());
+  for (LocalId i = 0; i < fn.numLocals(); ++i) {
+    const LocalDecl& l = fn.local(i);
+    map.push_back(dst.addLocal(l.name, l.isParameter));
+  }
+  return map;
+}
+
+Function inlineCallsImpl(const Program& program, const Function& fn,
+                         std::set<const Function*>& active) {
+  if (active.contains(&fn))
+    throw Error("inlineCalls: recursive call cycle through " + fn.name());
+  active.insert(&fn);
+
+  Function out(fn.name());
+  std::vector<LocalId> map = identityMap(fn, out);
+
+  unsigned inlineCounter = 0;
+  Cloner::CallHook hook = [&](const Stmt& s, Cloner& cl) -> StmtId {
+    const Function flatCallee =
+        inlineCallsImpl(program, program.function(s.callee), active);
+    // Fresh locals for the callee, suffixed to stay unique.
+    const std::string suffix =
+        "$" + flatCallee.name() + std::to_string(inlineCounter++);
+    std::vector<LocalId> calleeMap;
+    for (LocalId i = 0; i < flatCallee.numLocals(); ++i)
+      calleeMap.push_back(
+          cl.dst().addLocal(flatCallee.local(i).name + suffix, false));
+
+    std::vector<StmtId> seq;
+    // Bind arguments (argument expressions evaluate in the caller's frame).
+    unsigned argIdx = 0;
+    for (LocalId i = 0; i < flatCallee.numLocals(); ++i)
+      if (flatCallee.local(i).isParameter) {
+        if (argIdx >= s.args.size())
+          throw Error("inlineCalls: too few arguments for " + flatCallee.name());
+        Stmt bind;
+        bind.kind = StmtKind::Assign;
+        bind.target = calleeMap[i];
+        bind.value = cl.cloneExpr(s.args[argIdx++]);
+        seq.push_back(cl.dst().addStmt(std::move(bind)));
+      }
+    if (argIdx != s.args.size())
+      throw Error("inlineCalls: too many arguments for " + flatCallee.name());
+
+    // Clone the (already call-free) callee body with renamed locals.
+    Cloner bodyCl(flatCallee, cl.dst(), calleeMap);
+    seq.push_back(bodyCl.cloneStmt(flatCallee.body()));
+
+    // Return value: the callee's "result" local.
+    Stmt ret;
+    ret.kind = StmtKind::Assign;
+    ret.target = cl.localMap()[s.target];
+    Expr read;
+    read.kind = ExprKind::Local;
+    read.local = calleeMap[flatCallee.localByName("result")];
+    ret.value = cl.dst().addExpr(read);
+    seq.push_back(cl.dst().addStmt(std::move(ret)));
+
+    Stmt blockS;
+    blockS.kind = StmtKind::Block;
+    blockS.stmts = std::move(seq);
+    return cl.dst().addStmt(std::move(blockS));
+  };
+
+  Cloner cl(fn, out, std::move(map), hook);
+  out.setBody(cl.cloneStmt(fn.body()));
+  active.erase(&fn);
+  out.validate();
+  return out;
+}
+
+bool containsLoop(const Function& fn, StmtId id) {
+  const Stmt& s = fn.stmt(id);
+  switch (s.kind) {
+    case StmtKind::While: return true;
+    case StmtKind::If:
+      return containsLoop(fn, s.thenBlock) ||
+             (s.elseBlock != kNoStmt && containsLoop(fn, s.elseBlock));
+    case StmtKind::Block:
+      for (StmtId c : s.stmts)
+        if (containsLoop(fn, c)) return true;
+      return false;
+    default: return false;
+  }
+}
+
+}  // namespace
+
+Function inlineCalls(const Program& program, const Function& fn) {
+  std::set<const Function*> active;
+  return inlineCallsImpl(program, fn, active);
+}
+
+Function unrollLoops(const Function& fn, unsigned factor, bool innermostOnly) {
+  if (factor < 2) {
+    Function out(fn.name());
+    Cloner cl(fn, out, identityMap(fn, out));
+    out.setBody(cl.cloneStmt(fn.body()));
+    return out;
+  }
+
+  Function out(fn.name());
+  auto map = identityMap(fn, out);
+
+  // Rebuild recursively; While nodes meeting the criterion get their body
+  // replicated `factor` times, each repetition after the first guarded by a
+  // fresh evaluation of the loop condition.
+  std::function<StmtId(StmtId, Cloner&)> rebuild = [&](StmtId id,
+                                                       Cloner& cl) -> StmtId {
+    const Stmt& s = fn.stmt(id);
+    switch (s.kind) {
+      case StmtKind::While: {
+        const bool unrollThis = !innermostOnly || !containsLoop(fn, s.body);
+        if (!unrollThis) {
+          Stmt loop;
+          loop.kind = StmtKind::While;
+          loop.cond = cl.cloneExpr(s.cond);
+          loop.body = rebuild(s.body, cl);
+          return out.addStmt(std::move(loop));
+        }
+        // innermost copies first: if (c) { B } nested (factor-1) deep.
+        StmtId tail = kNoStmt;
+        for (unsigned rep = factor; rep >= 2; --rep) {
+          std::vector<StmtId> seq{rebuild(s.body, cl)};
+          if (tail != kNoStmt) seq.push_back(tail);
+          Stmt blockS;
+          blockS.kind = StmtKind::Block;
+          blockS.stmts = std::move(seq);
+          const StmtId blk = out.addStmt(std::move(blockS));
+          Stmt guard;
+          guard.kind = StmtKind::If;
+          guard.cond = cl.cloneExpr(s.cond);
+          guard.thenBlock = blk;
+          tail = out.addStmt(std::move(guard));
+        }
+        Stmt bodyS;
+        bodyS.kind = StmtKind::Block;
+        bodyS.stmts = {rebuild(s.body, cl), tail};
+        const StmtId newBody = out.addStmt(std::move(bodyS));
+        Stmt loop;
+        loop.kind = StmtKind::While;
+        loop.cond = cl.cloneExpr(s.cond);
+        loop.body = newBody;
+        return out.addStmt(std::move(loop));
+      }
+      case StmtKind::If: {
+        Stmt ifS;
+        ifS.kind = StmtKind::If;
+        ifS.cond = cl.cloneExpr(s.cond);
+        ifS.thenBlock = rebuild(s.thenBlock, cl);
+        ifS.elseBlock =
+            s.elseBlock == kNoStmt ? kNoStmt : rebuild(s.elseBlock, cl);
+        return out.addStmt(std::move(ifS));
+      }
+      case StmtKind::Block: {
+        Stmt blockS;
+        blockS.kind = StmtKind::Block;
+        for (StmtId c : s.stmts) blockS.stmts.push_back(rebuild(c, cl));
+        return out.addStmt(std::move(blockS));
+      }
+      default: return cl.cloneStmt(id);
+    }
+  };
+
+  Cloner cl(fn, out, std::move(map));
+  out.setBody(rebuild(fn.body(), cl));
+  out.validate();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Common subexpression elimination
+
+namespace {
+
+/// Canonical key of a pure expression over versioned locals; empty when the
+/// expression is not CSE-eligible (contains an array load).
+std::string exprKey(const Function& fn, ExprId id,
+                    const std::map<LocalId, unsigned>& versions) {
+  const Expr& e = fn.expr(id);
+  switch (e.kind) {
+    case ExprKind::Const: return "C" + std::to_string(e.value);
+    case ExprKind::Local: {
+      const auto it = versions.find(e.local);
+      const unsigned v = it == versions.end() ? 0 : it->second;
+      return "L" + std::to_string(e.local) + "v" + std::to_string(v);
+    }
+    case ExprKind::Unary: {
+      const std::string a = exprKey(fn, e.lhs, versions);
+      return a.empty() ? "" : "N(" + a + ")";
+    }
+    case ExprKind::Binary:
+    case ExprKind::Compare: {
+      const std::string a = exprKey(fn, e.lhs, versions);
+      const std::string b = exprKey(fn, e.rhs, versions);
+      if (a.empty() || b.empty()) return "";
+      return std::string(opName(e.op)) + "(" + a + "," + b + ")";
+    }
+    case ExprKind::ArrayLoad: return "";
+  }
+  CGRA_UNREACHABLE("bad expr kind");
+}
+
+bool hoistable(const Function& fn, ExprId id) {
+  const ExprKind k = fn.expr(id).kind;
+  return k == ExprKind::Binary || k == ExprKind::Unary;
+}
+
+struct CseState {
+  Function& out;
+  const Function& src;
+  Cloner& cl;
+  unsigned tempCounter = 0;
+};
+
+/// CSE over one statement list (the children of a Block). Returns the new
+/// statement ids.
+std::vector<StmtId> cseRun(CseState& st, const std::vector<StmtId>& stmts);
+
+/// Recursively applies CSE inside nested structures of one statement.
+StmtId cseStmt(CseState& st, StmtId id) {
+  const Stmt& s = st.src.stmt(id);
+  switch (s.kind) {
+    case StmtKind::If: {
+      Stmt out;
+      out.kind = StmtKind::If;
+      out.cond = st.cl.cloneExpr(s.cond);
+      out.thenBlock = cseStmt(st, s.thenBlock);
+      out.elseBlock =
+          s.elseBlock == kNoStmt ? kNoStmt : cseStmt(st, s.elseBlock);
+      return st.out.addStmt(std::move(out));
+    }
+    case StmtKind::While: {
+      Stmt out;
+      out.kind = StmtKind::While;
+      out.cond = st.cl.cloneExpr(s.cond);
+      out.body = cseStmt(st, s.body);
+      return st.out.addStmt(std::move(out));
+    }
+    case StmtKind::Block: {
+      Stmt out;
+      out.kind = StmtKind::Block;
+      out.stmts = cseRun(st, s.stmts);
+      return st.out.addStmt(std::move(out));
+    }
+    default: return st.cl.cloneStmt(id);
+  }
+}
+
+std::vector<StmtId> cseRun(CseState& st, const std::vector<StmtId>& stmts) {
+  // Pass 1: count keys of hoistable subexpressions within straight-line runs
+  // of Assign/ArrayStore. Control flow flushes the run.
+  struct Info {
+    unsigned count = 0;
+    std::size_t firstStmt = 0;
+    ExprId expr = kNoExpr;
+  };
+  // Keys are prefixed with the straight-line run index so occurrences in
+  // different runs (separated by control flow) never merge.
+  std::map<std::string, Info> table;
+  std::map<LocalId, unsigned> versions;
+  unsigned runId = 0;
+
+  auto countExpr = [&](ExprId id, std::size_t stmtIdx, auto&& self) -> void {
+    const Expr& e = st.src.expr(id);
+    if (e.lhs != kNoExpr) self(e.lhs, stmtIdx, self);
+    if (e.rhs != kNoExpr) self(e.rhs, stmtIdx, self);
+    if (!hoistable(st.src, id)) return;
+    const std::string key = exprKey(st.src, id, versions);
+    if (key.empty()) return;
+    auto [it, inserted] = table.try_emplace(
+        "R" + std::to_string(runId) + ":" + key, Info{0, stmtIdx, id});
+    ++it->second.count;
+    (void)inserted;
+  };
+
+  auto isStraight = [&](StmtId id) {
+    const StmtKind k = st.src.stmt(id).kind;
+    return k == StmtKind::Assign || k == StmtKind::ArrayStore;
+  };
+
+  for (std::size_t i = 0; i < stmts.size(); ++i) {
+    const Stmt& s = st.src.stmt(stmts[i]);
+    if (!isStraight(stmts[i])) {
+      ++runId;
+      versions.clear();
+      continue;
+    }
+    if (s.kind == StmtKind::Assign) {
+      countExpr(s.value, i, countExpr);
+      ++versions[s.target];
+    } else {
+      countExpr(s.handle, i, countExpr);
+      countExpr(s.index, i, countExpr);
+      countExpr(s.value, i, countExpr);
+    }
+  }
+
+  // Keys worth hoisting.
+  std::map<std::string, LocalId> hoisted;  // key → temp local (assigned below)
+
+  // Pass 2: rebuild statements; maintain versions again; emit temp
+  // assignments right before the first statement using the key.
+  std::vector<StmtId> result;
+  versions.clear();
+  runId = 0;
+
+  // Rewrites an expression, replacing hoisted subtrees by temp reads.
+  std::function<ExprId(ExprId)> rewrite = [&](ExprId id) -> ExprId {
+    const Expr& e = st.src.expr(id);
+    if (hoistable(st.src, id)) {
+      const std::string key =
+          "R" + std::to_string(runId) + ":" + exprKey(st.src, id, versions);
+      {
+        if (auto it = hoisted.find(key); it != hoisted.end()) {
+          Expr read;
+          read.kind = ExprKind::Local;
+          read.local = it->second;
+          return st.out.addExpr(read);
+        }
+      }
+    }
+    Expr out = e;
+    if (e.kind == ExprKind::Local) out.local = st.cl.localMap()[e.local];
+    if (e.lhs != kNoExpr) out.lhs = rewrite(e.lhs);
+    if (e.rhs != kNoExpr) out.rhs = rewrite(e.rhs);
+    return st.out.addExpr(out);
+  };
+
+  // Emits hoists scheduled for statement index i (keys whose first
+  // occurrence is i and count ≥ 2), smallest subexpressions first so larger
+  // hoists can reuse smaller temps.
+  auto emitHoists = [&](std::size_t i) {
+    std::vector<std::pair<std::string, Info>> due;
+    for (const auto& [key, info] : table)
+      if (info.count >= 2 && info.firstStmt == i && !hoisted.contains(key))
+        due.emplace_back(key, info);
+    std::sort(due.begin(), due.end(), [](const auto& a, const auto& b) {
+      return a.first.size() < b.first.size();
+    });
+    for (const auto& [key, info] : due) {
+      const LocalId temp = st.out.addLocal(
+          "$cse" + std::to_string(st.tempCounter++), false);
+      Stmt assign;
+      assign.kind = StmtKind::Assign;
+      assign.target = temp;
+      assign.value = rewrite(info.expr);  // may reuse earlier hoists
+      result.push_back(st.out.addStmt(std::move(assign)));
+      hoisted[key] = temp;
+    }
+  };
+
+  for (std::size_t i = 0; i < stmts.size(); ++i) {
+    const Stmt& s = st.src.stmt(stmts[i]);
+    if (!isStraight(stmts[i])) {
+      ++runId;
+      versions.clear();
+      hoisted.clear();
+      result.push_back(cseStmt(st, stmts[i]));
+      continue;
+    }
+    emitHoists(i);
+    if (s.kind == StmtKind::Assign) {
+      Stmt out;
+      out.kind = StmtKind::Assign;
+      out.target = st.cl.localMap()[s.target];
+      out.value = rewrite(s.value);
+      result.push_back(st.out.addStmt(std::move(out)));
+      ++versions[s.target];
+      // Temps derived from the overwritten local are now stale.
+      std::erase_if(hoisted, [&](const auto& kv) {
+        return kv.first.find("L" + std::to_string(s.target) + "v") !=
+               std::string::npos;
+      });
+    } else {
+      Stmt out;
+      out.kind = StmtKind::ArrayStore;
+      out.handle = rewrite(s.handle);
+      out.index = rewrite(s.index);
+      out.value = rewrite(s.value);
+      result.push_back(st.out.addStmt(std::move(out)));
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+Function eliminateCommonSubexpressions(const Function& fn) {
+  Function out(fn.name());
+  std::vector<LocalId> map;
+  for (LocalId i = 0; i < fn.numLocals(); ++i) {
+    const LocalDecl& l = fn.local(i);
+    map.push_back(out.addLocal(l.name, l.isParameter));
+  }
+  Cloner cl(fn, out, std::move(map));
+  CseState st{out, fn, cl, 0};
+  out.setBody(cseStmt(st, fn.body()));
+  out.validate();
+  return out;
+}
+
+std::size_t countExprNodes(const Function& fn) {
+  std::size_t count = 0;
+  std::function<void(ExprId)> walkE = [&](ExprId id) {
+    ++count;
+    const Expr& e = fn.expr(id);
+    if (e.lhs != kNoExpr) walkE(e.lhs);
+    if (e.rhs != kNoExpr) walkE(e.rhs);
+  };
+  std::function<void(StmtId)> walkS = [&](StmtId id) {
+    const Stmt& s = fn.stmt(id);
+    switch (s.kind) {
+      case StmtKind::Assign: walkE(s.value); break;
+      case StmtKind::ArrayStore:
+        walkE(s.handle);
+        walkE(s.index);
+        walkE(s.value);
+        break;
+      case StmtKind::If:
+        walkE(s.cond);
+        walkS(s.thenBlock);
+        if (s.elseBlock != kNoStmt) walkS(s.elseBlock);
+        break;
+      case StmtKind::While:
+        walkE(s.cond);
+        walkS(s.body);
+        break;
+      case StmtKind::Call:
+        for (ExprId a : s.args) walkE(a);
+        break;
+      case StmtKind::Block:
+        for (StmtId c : s.stmts) walkS(c);
+        break;
+    }
+  };
+  walkS(fn.body());
+  return count;
+}
+
+std::size_t countStmtNodes(const Function& fn) {
+  std::size_t count = 0;
+  std::function<void(StmtId)> walkS = [&](StmtId id) {
+    ++count;
+    const Stmt& s = fn.stmt(id);
+    switch (s.kind) {
+      case StmtKind::If:
+        walkS(s.thenBlock);
+        if (s.elseBlock != kNoStmt) walkS(s.elseBlock);
+        break;
+      case StmtKind::While: walkS(s.body); break;
+      case StmtKind::Block:
+        for (StmtId c : s.stmts) walkS(c);
+        break;
+      default: break;
+    }
+  };
+  walkS(fn.body());
+  return count;
+}
+
+}  // namespace cgra::kir

@@ -1,0 +1,190 @@
+#include "kir/random_kernel.hpp"
+
+#include <set>
+
+#include "support/rng.hpp"
+
+namespace cgra::kir {
+
+namespace {
+
+class Generator {
+public:
+  Generator(std::uint64_t seed, const RandomKernelOptions& opts)
+      : rng_(seed), opts_(opts), b_("random_kernel") {}
+
+  RandomKernel generate() {
+    RandomKernel out;
+
+    // Array handle parameters with random contents.
+    const std::size_t arraySize = 1ull << opts_.arraySizeLog2;
+    for (unsigned a = 0; a < opts_.numArrays; ++a) {
+      arrays_.push_back(b_.param("h" + std::to_string(a)));
+      std::vector<std::int32_t> contents(arraySize);
+      for (auto& v : contents) v = static_cast<std::int32_t>(rng_.range(-64, 64));
+      handles_.push_back(out.heap.alloc(std::move(contents)));
+    }
+    // Integer data parameters.
+    for (unsigned d = 0; d < opts_.numDataParams; ++d) {
+      const LocalId l = b_.param("d" + std::to_string(d));
+      dataLocals_.push_back(l);
+      paramValues_.push_back(static_cast<std::int32_t>(rng_.range(-50, 50)));
+    }
+    // Scratch locals, initialized up front so no read is undefined.
+    std::vector<StmtId> init;
+    for (unsigned s = 0; s < opts_.numScratchLocals; ++s) {
+      const LocalId l = b_.localVar("s" + std::to_string(s));
+      dataLocals_.push_back(l);
+      init.push_back(b_.assign(
+          l, b_.cint(static_cast<std::int32_t>(rng_.range(-20, 20)))));
+    }
+
+    std::vector<StmtId> body{b_.block(std::move(init)), genBlock(0)};
+    out.fn = b_.finish(b_.block(std::move(body)));
+
+    out.initialLocals.assign(out.fn.numLocals(), 0);
+    for (unsigned a = 0; a < opts_.numArrays; ++a)
+      out.initialLocals[arrays_[a]] = handles_[a];
+    for (unsigned d = 0; d < opts_.numDataParams; ++d)
+      out.initialLocals[dataLocals_[d]] = paramValues_[d];
+    return out;
+  }
+
+private:
+  LocalId randomReadable() {
+    return dataLocals_[static_cast<std::size_t>(
+        rng_.range(0, static_cast<std::int64_t>(dataLocals_.size()) - 1))];
+  }
+
+  /// A local that statements may overwrite (never a loop counter).
+  LocalId randomWritable() {
+    for (int attempts = 0; attempts < 16; ++attempts) {
+      const LocalId l = randomReadable();
+      if (!reserved_.contains(l)) return l;
+    }
+    // All data locals reserved (deep nesting): make a fresh one.
+    const LocalId l = b_.localVar("w" + std::to_string(freshCounter_++));
+    // Fresh locals start at 0 in initialLocals (value irrelevant: it is
+    // written before this statement's consumers can observe anything else).
+    dataLocals_.push_back(l);
+    return l;
+  }
+
+  ExprId maskedIndex(ExprId raw) {
+    return b_.band(raw, b_.cint(static_cast<std::int32_t>(
+                             (1u << opts_.arraySizeLog2) - 1)));
+  }
+
+  ExprId genExpr(unsigned depth) {
+    const std::int64_t pick = rng_.range(0, 9);
+    if (depth >= opts_.maxExprDepth || pick <= 1)
+      return b_.cint(static_cast<std::int32_t>(rng_.range(-30, 30)));
+    if (pick <= 4) return b_.use(randomReadable());
+    if (pick == 5 && opts_.numArrays > 0) {
+      const LocalId h = arrays_[static_cast<std::size_t>(
+          rng_.range(0, static_cast<std::int64_t>(arrays_.size()) - 1))];
+      return b_.load(b_.use(h), maskedIndex(genExpr(depth + 1)));
+    }
+    if (pick == 6 && opts_.allowCompareAsValue)
+      return b_.cmp(randomCompareOp(), genExpr(depth + 1), genExpr(depth + 1));
+    // Binary arithmetic; shifts keep the right operand small.
+    switch (rng_.range(0, 6)) {
+      case 0: return b_.add(genExpr(depth + 1), genExpr(depth + 1));
+      case 1: return b_.sub(genExpr(depth + 1), genExpr(depth + 1));
+      case 2: return b_.mul(genExpr(depth + 1), genExpr(depth + 1));
+      case 3: return b_.band(genExpr(depth + 1), genExpr(depth + 1));
+      case 4: return b_.bor(genExpr(depth + 1), genExpr(depth + 1));
+      case 5: return b_.bxor(genExpr(depth + 1), genExpr(depth + 1));
+      default:
+        return b_.shr(genExpr(depth + 1),
+                      b_.cint(static_cast<std::int32_t>(rng_.range(0, 4))));
+    }
+  }
+
+  Op randomCompareOp() {
+    constexpr Op kOps[] = {Op::IFEQ, Op::IFNE, Op::IFLT,
+                           Op::IFGE, Op::IFGT, Op::IFLE};
+    return kOps[rng_.range(0, 5)];
+  }
+
+  StmtId genStmt(unsigned depth) {
+    const std::int64_t pick = rng_.range(0, 9);
+    if (depth < opts_.maxDepth && pick == 0) return genCountedLoop(depth);
+    if (depth < opts_.maxDepth && pick == 1 && opts_.allowDataDependentLoops)
+      return genHalvingLoop(depth);
+    if (depth < opts_.maxDepth && pick <= 3) return genIf(depth);
+    if (pick == 4 && opts_.numArrays > 0) {
+      const LocalId h = arrays_[static_cast<std::size_t>(
+          rng_.range(0, static_cast<std::int64_t>(arrays_.size()) - 1))];
+      return b_.arrayStore(b_.use(h), maskedIndex(genExpr(1)), genExpr(1));
+    }
+    return b_.assign(randomWritable(), genExpr(0));
+  }
+
+  StmtId genBlock(unsigned depth) {
+    std::vector<StmtId> stmts;
+    const std::int64_t count = rng_.range(1, opts_.maxStmtsPerBlock);
+    for (std::int64_t i = 0; i < count; ++i) stmts.push_back(genStmt(depth));
+    return b_.block(std::move(stmts));
+  }
+
+  StmtId genIf(unsigned depth) {
+    const ExprId cond = b_.cmp(randomCompareOp(), genExpr(1), genExpr(1));
+    const StmtId thenB = genBlock(depth + 1);
+    if (rng_.chance(1, 2)) return b_.ifElse(cond, thenB, genBlock(depth + 1));
+    return b_.ifElse(cond, thenB);
+  }
+
+  StmtId genCountedLoop(unsigned depth) {
+    // Dedicated counter: nothing inside may write it.
+    const LocalId counter = b_.localVar("lc" + std::to_string(freshCounter_++));
+    reserved_.insert(counter);
+    dataLocals_.push_back(counter);
+    const std::int32_t trip =
+        static_cast<std::int32_t>(rng_.range(1, opts_.maxLoopTrip));
+    const StmtId init = b_.assign(counter, b_.cint(0));
+    const StmtId body = b_.block({
+        genBlock(depth + 1),
+        b_.assign(counter, b_.add(b_.use(counter), b_.cint(1))),
+    });
+    const StmtId loop =
+        b_.whileLoop(b_.lt(b_.use(counter), b_.cint(trip)), body);
+    reserved_.erase(counter);
+    return b_.block({init, loop});
+  }
+
+  StmtId genHalvingLoop(unsigned depth) {
+    // g = expr & 63; while (g > 0) { body; g = g >> 1; } — terminates in at
+    // most 6 iterations with a data-dependent trip count.
+    const LocalId g = b_.localVar("g" + std::to_string(freshCounter_++));
+    reserved_.insert(g);
+    dataLocals_.push_back(g);
+    const StmtId init = b_.assign(g, b_.band(genExpr(1), b_.cint(63)));
+    const StmtId body = b_.block({
+        genBlock(depth + 1),
+        b_.assign(g, b_.shr(b_.use(g), b_.cint(1))),
+    });
+    const StmtId loop = b_.whileLoop(b_.gt(b_.use(g), b_.cint(0)), body);
+    reserved_.erase(g);
+    return b_.block({init, loop});
+  }
+
+  Rng rng_;
+  const RandomKernelOptions& opts_;
+  FunctionBuilder b_;
+  std::vector<LocalId> arrays_;
+  std::vector<Handle> handles_;
+  std::vector<LocalId> dataLocals_;
+  std::vector<std::int32_t> paramValues_;
+  std::set<LocalId> reserved_;
+  unsigned freshCounter_ = 0;
+};
+
+}  // namespace
+
+RandomKernel generateRandomKernel(std::uint64_t seed,
+                                  const RandomKernelOptions& opts) {
+  return Generator(seed, opts).generate();
+}
+
+}  // namespace cgra::kir

@@ -1,0 +1,47 @@
+// Random structured-kernel generator for property-based testing.
+//
+// Generates KIR functions with the full control-flow range the scheduler
+// supports — nested counted loops, data-dependent (halving) loops, if/else
+// trees, array loads/stores — while guaranteeing termination and in-bounds
+// committed memory accesses:
+//  * every counted loop gets a dedicated counter local that nothing else
+//    writes;
+//  * data-dependent loops iterate on a strictly decreasing shifted value;
+//  * array indices are masked to the (power-of-two) array size.
+// Speculatively executed (predicated-off) accesses may still see garbage
+// indices — exactly the situation the CGRA's always-predicated DMA handles —
+// so these kernels also stress the predication machinery.
+#pragma once
+
+#include <cstdint>
+
+#include "host/memory.hpp"
+#include "kir/kir.hpp"
+
+namespace cgra::kir {
+
+struct RandomKernelOptions {
+  unsigned maxDepth = 3;          ///< maximum loop/if nesting depth
+  unsigned maxStmtsPerBlock = 4;  ///< statements per generated block
+  unsigned numArrays = 2;
+  unsigned arraySizeLog2 = 4;     ///< arrays hold 2^n words
+  unsigned numDataParams = 3;
+  unsigned numScratchLocals = 3;
+  unsigned maxLoopTrip = 4;
+  unsigned maxExprDepth = 3;
+  bool allowDataDependentLoops = true;
+  bool allowCompareAsValue = true;
+};
+
+/// A generated kernel with matching inputs.
+struct RandomKernel {
+  Function fn;
+  std::vector<std::int32_t> initialLocals;
+  HostMemory heap;
+};
+
+/// Deterministic per seed.
+RandomKernel generateRandomKernel(std::uint64_t seed,
+                                  const RandomKernelOptions& opts = {});
+
+}  // namespace cgra::kir

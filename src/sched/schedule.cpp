@@ -1,0 +1,98 @@
+#include "sched/schedule.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cgra {
+
+std::vector<const ScheduledOp*> Schedule::opsByTime() const {
+  std::vector<const ScheduledOp*> out;
+  out.reserve(ops.size());
+  for (const ScheduledOp& op : ops) out.push_back(&op);
+  std::sort(out.begin(), out.end(),
+            [](const ScheduledOp* a, const ScheduledOp* b) {
+              if (a->start != b->start) return a->start < b->start;
+              return a->pe < b->pe;
+            });
+  return out;
+}
+
+std::string Schedule::toString(const Composition& comp) const {
+  std::ostringstream os;
+  os << "schedule: " << length << " contexts on " << comp.name() << "\n";
+  auto sorted = opsByTime();
+  std::size_t branchIdx = 0;
+  std::vector<const BranchOp*> sortedBranches;
+  for (const BranchOp& b : branches) sortedBranches.push_back(&b);
+  std::sort(sortedBranches.begin(), sortedBranches.end(),
+            [](const BranchOp* a, const BranchOp* b) { return a->time < b->time; });
+  std::vector<const CBoxOp*> sortedCbox;
+  for (const CBoxOp& c : cboxOps) sortedCbox.push_back(&c);
+  std::sort(sortedCbox.begin(), sortedCbox.end(),
+            [](const CBoxOp* a, const CBoxOp* b) { return a->time < b->time; });
+  std::size_t cboxIdx = 0;
+
+  std::size_t i = 0;
+  for (unsigned t = 0; t < length; ++t) {
+    bool anything = false;
+    auto header = [&]() {
+      if (!anything) os << "t" << t << ":\n";
+      anything = true;
+    };
+    for (; i < sorted.size() && sorted[i]->start == t; ++i) {
+      header();
+      const ScheduledOp& op = *sorted[i];
+      os << "  PE" << op.pe << " " << opName(op.op);
+      if (op.duration > 1) os << "(x" << op.duration << ")";
+      for (const OperandSource& s : op.src) {
+        switch (s.kind) {
+          case OperandSource::Kind::None: break;
+          case OperandSource::Kind::Own: os << " r" << s.vreg; break;
+          case OperandSource::Kind::Route:
+            os << " PE" << s.srcPE << ".r" << s.vreg;
+            break;
+          case OperandSource::Kind::Imm: os << " #" << s.imm; break;
+        }
+      }
+      if (op.writesDest) os << " -> r" << op.destVreg;
+      if (op.pred)
+        os << " [pred " << (op.pred->polarity ? "" : "!") << "c"
+           << op.pred->slot << "]";
+      if (op.emitsStatus) os << " => status";
+      if (!op.label.empty()) os << "  ; " << op.label;
+      os << "\n";
+    }
+    for (; cboxIdx < sortedCbox.size() && sortedCbox[cboxIdx]->time == t;
+         ++cboxIdx) {
+      header();
+      const CBoxOp& c = *sortedCbox[cboxIdx];
+      os << "  CBOX c" << c.writeSlot << " = ";
+      bool first = true;
+      for (const CBoxOp::Input& in : c.inputs) {
+        if (!first)
+          os << (c.logic == CBoxOp::Logic::Or ? " | " : " & ");
+        first = false;
+        if (!in.polarity) os << '!';
+        if (in.kind == CBoxOp::Input::Kind::Status)
+          os << "status";
+        else
+          os << 'c' << in.slot;
+      }
+      os << "\n";
+    }
+    for (; branchIdx < sortedBranches.size() &&
+           sortedBranches[branchIdx]->time == t;
+         ++branchIdx) {
+      header();
+      const BranchOp& b = *sortedBranches[branchIdx];
+      os << "  CCU ";
+      if (b.conditional)
+        os << "if " << (b.pred.polarity ? "" : "!") << 'c' << b.pred.slot
+           << ' ';
+      os << "goto t" << b.target << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace cgra

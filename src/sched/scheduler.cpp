@@ -1,0 +1,957 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <optional>
+#include <set>
+
+namespace cgra {
+
+namespace {
+
+/// One place a value can be read from: a (PE, virtual register) pair with
+/// the first cycle a read succeeds and the last cycle it is still valid
+/// (copies of variables become stale when the home is rewritten or when a
+/// loop that rewrites the variable opens — see DESIGN.md §5/§6 rationale).
+struct Location {
+  PEId pe = 0;
+  unsigned vreg = 0;
+  unsigned ready = 0;
+  unsigned validUntil = kNoLimit;
+
+  static constexpr unsigned kNoLimit = static_cast<unsigned>(-1);
+};
+
+/// Materialized condition: C-Box slot + polarity and first readable cycle.
+struct CondSlot {
+  PredRef ref;
+  unsigned ready = 0;
+};
+
+/// One scheduling run over a fixed CDFG.
+class Run {
+public:
+  Run(const Composition& comp, const SchedulerOptions& opts, const Cdfg& g)
+      : comp_(comp), opts_(opts), g_(g) {}
+
+  SchedulingResult execute() {
+    const auto wallStart = std::chrono::steady_clock::now();
+    g_.validate();
+    limit_ = opts_.maxContexts ? opts_.maxContexts : comp_.contextMemoryLength();
+
+    checkMappable();
+    initState();
+
+    while (scheduledCount_ < g_.numNodes() || loopStack_.size() > 1) {
+      if (t_ >= limit_) failUnmappable();
+      tryCloseLoops();
+      planStep();
+      ++t_;
+    }
+
+    finalize();
+    const auto wallEnd = std::chrono::steady_clock::now();
+    stats_.wallTimeMs =
+        std::chrono::duration<double, std::milli>(wallEnd - wallStart).count();
+    return SchedulingResult{std::move(sched_), stats_};
+  }
+
+private:
+  // -- setup ------------------------------------------------------------------
+
+  /// Rejects kernels containing an operation no PE supports.
+  void checkMappable() const {
+    for (NodeId id = 0; id < g_.numNodes(); ++id) {
+      const Node& n = g_.node(id);
+      if (n.kind != NodeKind::Operation) continue;
+      if (comp_.pesSupporting(n.op).empty())
+        throw Error("composition " + comp_.name() + " has no PE supporting " +
+                    std::string(opName(n.op)));
+    }
+  }
+
+  void initState() {
+    const std::size_t numNodes = g_.numNodes();
+    const unsigned numPEs = comp_.numPEs();
+
+    priorities_ = g_.longestPathWeights();
+    attraction_.assign(numNodes, std::vector<double>(numPEs, 0.0));
+    nodeStart_.assign(numNodes, 0);
+    nodeFinish_.assign(numNodes, 0);
+    nodeScheduled_.assign(numNodes, false);
+    remainingPreds_.assign(numNodes, 0);
+    for (NodeId id = 0; id < numNodes; ++id)
+      remainingPreds_[id] = static_cast<unsigned>(g_.inEdges(id).size());
+    for (NodeId id = 0; id < numNodes; ++id)
+      if (remainingPreds_[id] == 0) candidates_.insert(id);
+
+    nextVreg_.assign(numPEs, 0);
+    peBusy_.assign(numPEs, {});
+    outPort_.assign(numPEs, {});
+    varHomes_.assign(g_.numVariables(), std::nullopt);
+    varCopies_.assign(g_.numVariables(), {});
+    nodeLocs_.assign(numNodes, {});
+
+    // Subtree node lists per loop (loop-compatibility checks).
+    loopSubtree_.assign(g_.numLoops(), {});
+    for (NodeId id = 0; id < numNodes; ++id)
+      for (LoopId l = g_.node(id).loop;; l = g_.loop(l).parent) {
+        loopSubtree_[l].push_back(id);
+        if (l == kRootLoop) break;
+      }
+
+    loopStack_.push_back(OpenLoop{kRootLoop, 0});
+
+    // Connectivity score for PE tie-breaking (§V-G: "the PE with more
+    // connections is prioritized").
+    connectivity_.assign(numPEs, 0);
+    for (PEId p = 0; p < numPEs; ++p)
+      connectivity_[p] =
+          static_cast<unsigned>(comp_.interconnect().sources(p).size() +
+                                comp_.interconnect().sinks(p).size());
+  }
+
+  [[noreturn]] void failUnmappable() const {
+    std::string stuck;
+    unsigned count = 0;
+    for (NodeId id = 0; id < g_.numNodes(); ++id)
+      if (!nodeScheduled_[id] && count++ < 8) {
+        const Node& n = g_.node(id);
+        stuck += " node" + std::to_string(id) + "(" +
+                 (n.isPWrite() ? "pWRITE " + g_.variable(n.var).name
+                               : std::string(opName(n.op))) +
+                 ")";
+      }
+    throw Error("kernel does not fit in " + std::to_string(limit_) +
+                " contexts on " + comp_.name() + "; unscheduled:" + stuck);
+  }
+
+  // -- resource helpers -------------------------------------------------------
+
+  template <typename T>
+  static T& at(std::vector<T>& v, unsigned idx) {
+    if (idx >= v.size()) v.resize(idx + 1);
+    return v[idx];
+  }
+
+  bool peBusy(PEId pe, unsigned from, unsigned dur) {
+    for (unsigned c = from; c < from + dur; ++c)
+      if (at(peBusy_[pe], c)) return true;
+    return false;
+  }
+
+  void markPeBusy(PEId pe, unsigned from, unsigned dur) {
+    for (unsigned c = from; c < from + dur; ++c) at(peBusy_[pe], c) = 1;
+  }
+
+  /// Checks/claims a source PE's output port at a cycle for a register.
+  bool outPortFree(PEId pe, unsigned cycle, unsigned vreg) {
+    const auto& slot = at(outPort_[pe], cycle);
+    return !slot.has_value() || *slot == vreg;
+  }
+
+  void claimOutPort(PEId pe, unsigned cycle, unsigned vreg) {
+    at(outPort_[pe], cycle) = vreg;
+  }
+
+  unsigned freshVreg(PEId pe) { return nextVreg_[pe]++; }
+
+  // -- value locations --------------------------------------------------------
+
+  std::vector<Location>* locationsFor(const Operand& o) {
+    switch (o.kind()) {
+      case Operand::Kind::Node:
+        return &nodeLocs_[o.nodeId()];
+      case Operand::Kind::Variable: {
+        // Home first (if assigned), then copies.
+        scratchLocs_.clear();
+        if (varHomes_[o.varId()])
+          scratchLocs_.push_back(*varHomes_[o.varId()]);
+        for (const Location& l : varCopies_[o.varId()])
+          scratchLocs_.push_back(l);
+        return &scratchLocs_;
+      }
+      case Operand::Kind::Immediate: {
+        scratchLocs_.clear();
+        const auto it = constLocs_.find(o.imm());
+        if (it != constLocs_.end()) scratchLocs_ = it->second;
+        return &scratchLocs_;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Lowest cycle at which a copy of this operand may be created so that it
+  /// refreshes every iteration of any open loop that rewrites it.
+  unsigned copyMinCycle(const Operand& o) const {
+    if (o.kind() != Operand::Kind::Variable) return 0;
+    unsigned minCycle = 0;
+    for (const OpenLoop& ol : loopStack_) {
+      if (ol.loop == kRootLoop) continue;
+      if (g_.varWrittenInLoop(o.varId(), ol.loop))
+        minCycle = std::max(minCycle, ol.start);
+    }
+    return minCycle;
+  }
+
+  void addLocation(const Operand& o, Location loc) {
+    switch (o.kind()) {
+      case Operand::Kind::Node:
+        nodeLocs_[o.nodeId()].push_back(loc);
+        break;
+      case Operand::Kind::Variable:
+        varCopies_[o.varId()].push_back(loc);
+        break;
+      case Operand::Kind::Immediate:
+        constLocs_[o.imm()].push_back(loc);
+        break;
+    }
+  }
+
+  // -- condition management ---------------------------------------------------
+
+  /// Ensures condition `c` is materialized in a C-Box slot readable at
+  /// `deadline`. Inserts combine operations into free C-Box cycles when
+  /// needed. Returns nullopt when impossible so far (caller delays).
+  std::optional<PredRef> ensureCondition(CondId c, unsigned deadline) {
+    CGRA_ASSERT(c != kCondTrue);
+    if (const auto it = condSlots_.find(c); it != condSlots_.end())
+      return it->second.ready <= deadline ? std::optional(it->second.ref)
+                                          : std::nullopt;
+
+    const Condition& cond = g_.condition(c);
+    const auto rawIt = rawSlots_.find(cond.statusNode);
+    if (rawIt == rawSlots_.end()) return std::nullopt;  // CMP not scheduled yet
+    const CondSlot& raw = rawIt->second;
+
+    if (cond.parent == kCondTrue) {
+      // TRUE ∧ literal: read the raw status slot with the literal polarity.
+      CondSlot slot{PredRef{raw.ref.slot, cond.polarity}, raw.ready};
+      if (slot.ready > deadline) return std::nullopt;
+      condSlots_[c] = slot;
+      return slot.ref;
+    }
+
+    // parent ∧ literal: combine the stored parent with the stored raw status.
+    if (deadline == 0) return std::nullopt;
+    const auto parentRef = ensureCondition(cond.parent, deadline - 1);
+    if (!parentRef) return std::nullopt;
+    const unsigned parentReady = condSlots_.at(cond.parent).ready;
+
+    const unsigned lo = std::max(parentReady, raw.ready);
+    for (unsigned u = lo; u + 1 <= deadline; ++u) {
+      if (at(cboxOpAt_, u)) continue;
+      CBoxOp op;
+      op.time = u;
+      op.inputs = {
+          CBoxOp::Input{CBoxOp::Input::Kind::Stored, parentRef->slot,
+                        parentRef->polarity},
+          CBoxOp::Input{CBoxOp::Input::Kind::Stored, raw.ref.slot,
+                        cond.polarity}};
+      op.logic = CBoxOp::Logic::And;
+      op.writeSlot = nextCondSlot_++;
+      op.cond = c;
+      sched_.cboxOps.push_back(op);
+      at(cboxOpAt_, u) = 1;
+      CondSlot slot{PredRef{op.writeSlot, true}, u + 1};
+      condSlots_[c] = slot;
+      return slot.ref;
+    }
+    return std::nullopt;
+  }
+
+  /// Per-cycle single predication signal (the C-Box outPE output is one
+  /// wire broadcast to all PEs).
+  bool predSignalAvailable(unsigned cycle, const PredRef& ref) {
+    const auto& use = at(predUse_, cycle);
+    return !use.has_value() || *use == ref;
+  }
+
+  void claimPredSignal(unsigned cycle, const PredRef& ref) {
+    at(predUse_, cycle) = ref;
+  }
+
+  // -- loop management --------------------------------------------------------
+
+  struct OpenLoop {
+    LoopId loop;
+    unsigned start;
+  };
+
+  LoopId currentLoop() const { return loopStack_.back().loop; }
+
+  /// All external predecessors of the loop subtree finished by cycle `t`.
+  bool loopPredsFinished(LoopId l, unsigned t) const {
+    for (NodeId m : loopSubtree_[l])
+      for (const Edge& e : g_.inEdges(m)) {
+        if (g_.loopContains(l, g_.node(e.from).loop)) continue;  // internal
+        if (!nodeScheduled_[e.from]) return false;
+        const unsigned constraint = e.kind == DepKind::Anti
+                                        ? nodeStart_[e.from]
+                                        : nodeFinish_[e.from];
+        if (constraint > t) return false;
+      }
+    return true;
+  }
+
+  /// Tries to close finished loops at the top of the stack (branch placed at
+  /// the loop's last context).
+  void tryCloseLoops() {
+    while (loopStack_.size() > 1) {
+      const OpenLoop& top = loopStack_.back();
+      const LoopId l = top.loop;
+
+      bool allDone = true;
+      unsigned lastCycle = top.start;
+      for (NodeId m : loopSubtree_[l]) {
+        if (!nodeScheduled_[m]) {
+          allDone = false;
+          break;
+        }
+        lastCycle = std::max(lastCycle, nodeFinish_[m] - 1);
+      }
+      if (!allDone || lastCycle > t_ - 1 || t_ == 0) return;
+
+      const Loop& loop = g_.loop(l);
+      const CondId bodyCond = loop.bodyCond;
+      const auto pred = ensureCondition(bodyCond, t_ - 1);
+      if (!pred) return;
+      unsigned b = std::max(lastCycle, condSlots_.at(bodyCond).ready);
+
+      // One branch (and one branch-selection read) per context.
+      while (at(branchAt_, b)) ++b;
+      // The branch must land strictly before the current step so outer
+      // candidates can never share the back-branch context.
+      if (b > t_ - 1) return;
+
+      BranchOp br;
+      br.time = b;
+      br.target = top.start;
+      br.conditional = true;
+      // bodyCond already encodes the continue polarity of the literal.
+      br.pred = *pred;
+      br.loop = l;
+      sched_.branches.push_back(br);
+      at(branchAt_, b) = 1;
+      sched_.loops.push_back(LoopInterval{l, top.start, b});
+      loopStack_.pop_back();
+    }
+  }
+
+  /// Loop-compatibility (§V-C): returns true when the candidate may be
+  /// planned at the current step, opening inner loops when required.
+  bool loopCompatible(NodeId id) {
+    const LoopId nodeLoop = g_.node(id).loop;
+    const LoopId cur = currentLoop();
+    if (nodeLoop == cur) return true;
+    if (!g_.loopContains(cur, nodeLoop)) return false;  // outer/unrelated: wait
+
+    // Descend one level at a time; each open requires an operation-free
+    // context and all external predecessors of the whole subtree finished.
+    while (currentLoop() != nodeLoop) {
+      LoopId child = nodeLoop;
+      while (g_.loop(child).parent != currentLoop()) child = g_.loop(child).parent;
+      if (stepHasOp_) return false;
+      if (!loopPredsFinished(child, t_)) return false;
+      loopStack_.push_back(OpenLoop{child, t_});
+      openLoopEffects(child);
+    }
+    return true;
+  }
+
+  /// Pre-loop copies of variables rewritten inside a freshly opened loop
+  /// would not refresh per iteration; invalidate them for later readers.
+  void openLoopEffects(LoopId child) {
+    const unsigned cap = t_ == 0 ? 0 : t_ - 1;
+    for (VarId v = 0; v < g_.numVariables(); ++v)
+      if (g_.varWrittenInLoop(v, child))
+        for (Location& copy : varCopies_[v])
+          copy.validUntil = std::min(copy.validUntil, cap);
+  }
+
+  // -- candidate planning -----------------------------------------------------
+
+  /// Dependency-imposed earliest start of a node.
+  unsigned earliestStart(NodeId id) const {
+    unsigned earliest = 0;
+    for (const Edge& e : g_.inEdges(id)) {
+      const unsigned c = e.kind == DepKind::Anti ? nodeStart_[e.from]
+                                                 : nodeFinish_[e.from];
+      earliest = std::max(earliest, c);
+    }
+    return earliest;
+  }
+
+  std::vector<NodeId> sortedCandidates() const {
+    std::vector<NodeId> out(candidates_.begin(), candidates_.end());
+    if (opts_.longestPathPriority) {
+      std::stable_sort(out.begin(), out.end(), [&](NodeId a, NodeId b) {
+        if (priorities_[a] != priorities_[b])
+          return priorities_[a] > priorities_[b];
+        return a < b;
+      });
+    }
+    return out;
+  }
+
+  /// PEs ordered by the attraction criterion (§V-G).
+  std::vector<PEId> sortedPEs(NodeId id) const {
+    std::vector<PEId> out(comp_.numPEs());
+    for (PEId p = 0; p < comp_.numPEs(); ++p) out[p] = p;
+    if (!opts_.useAttraction) return out;
+    const auto& att = attraction_[id];
+    std::stable_sort(out.begin(), out.end(), [&](PEId a, PEId b) {
+      if (att[a] != att[b]) return att[a] > att[b];
+      return connectivity_[a] > connectivity_[b];
+    });
+    return out;
+  }
+
+  bool incompatible(NodeId id, PEId pe) const {
+    const Node& n = g_.node(id);
+    if (n.isPWrite()) {
+      const auto& home = varHomes_[n.var];
+      return home && home->pe != pe;
+    }
+    return !comp_.pe(pe).supports(n.op);
+  }
+
+  unsigned opDuration(NodeId id, PEId pe) const {
+    const Node& n = g_.node(id);
+    if (n.isPWrite()) {
+      const Op writeOp = n.operands[0].kind() == Operand::Kind::Immediate
+                             ? Op::CONST
+                             : Op::MOVE;
+      return comp_.pe(pe).impl(writeOp).duration;
+    }
+    return comp_.pe(pe).impl(n.op).duration;
+  }
+
+  /// Resolves one operand for an op on `pe` starting at `t`, inserting MOVE
+  /// copies / CONST materializations when needed. `exposure` accumulates
+  /// out-port claims of the consuming op (claimed on success by caller).
+  std::optional<OperandSource> resolveOperand(
+      const Operand& o, PEId pe, unsigned t,
+      std::map<PEId, unsigned>& exposure) {
+    if (o.kind() == Operand::Kind::Immediate) {
+      // ALU operands come from registers: materialize the constant on the
+      // consuming PE (constants are freely replicated, §V-D).
+      if (const auto own = findOwn(o, pe, t)) return own;
+      if (const auto loc = materializeConst(o.imm(), pe, t))
+        return OperandSource{OperandSource::Kind::Own, 0, loc->vreg, 0};
+      return std::nullopt;
+    }
+
+    if (const auto own = findOwn(o, pe, t)) return own;
+    if (const auto routed = findRouted(o, pe, t, exposure)) return routed;
+    return copyTowards(o, pe, t, exposure);
+  }
+
+  std::optional<OperandSource> findOwn(const Operand& o, PEId pe, unsigned t) {
+    for (const Location& loc : *locationsFor(o))
+      if (loc.pe == pe && loc.ready <= t && t <= loc.validUntil)
+        return OperandSource{OperandSource::Kind::Own, 0, loc.vreg, 0};
+    return std::nullopt;
+  }
+
+  std::optional<OperandSource> findRouted(const Operand& o, PEId pe,
+                                          unsigned t,
+                                          std::map<PEId, unsigned>& exposure) {
+    for (const Location& loc : *locationsFor(o)) {
+      if (loc.ready > t || t > loc.validUntil) continue;
+      if (!comp_.interconnect().hasLink(loc.pe, pe)) continue;
+      if (!outPortFree(loc.pe, t, loc.vreg)) continue;
+      if (const auto it = exposure.find(loc.pe);
+          it != exposure.end() && it->second != loc.vreg)
+        continue;
+      exposure[loc.pe] = loc.vreg;
+      return OperandSource{OperandSource::Kind::Route, loc.pe, loc.vreg, 0};
+    }
+    return std::nullopt;
+  }
+
+  /// Schedules one MOVE hop from an existing location into `destPe` at a
+  /// free cycle in [minCycle, t-1]; returns the new location.
+  std::optional<Location> scheduleMove(const Location& src, PEId destPe,
+                                       unsigned minCycle, unsigned t,
+                                       const std::string& label) {
+    const unsigned dur = comp_.pe(destPe).impl(Op::MOVE).duration;
+    const unsigned lo = std::max(minCycle, src.ready);
+    if (lo + dur > t) return std::nullopt;
+    for (unsigned u = lo; u + dur <= t; ++u) {
+      if (u > src.validUntil) break;
+      if (peBusy(destPe, u, dur)) continue;
+      if (!outPortFree(src.pe, u, src.vreg)) continue;
+      const unsigned vreg = freshVreg(destPe);
+      ScheduledOp op;
+      op.node = kNoNode;
+      op.op = Op::MOVE;
+      op.pe = destPe;
+      op.start = u;
+      op.duration = dur;
+      op.src[0] = OperandSource{OperandSource::Kind::Route, src.pe, src.vreg, 0};
+      op.writesDest = true;
+      op.destVreg = vreg;
+      op.label = label;
+      sched_.ops.push_back(op);
+      markPeBusy(destPe, u, dur);
+      claimOutPort(src.pe, u, src.vreg);
+      ++stats_.copiesInserted;
+      return Location{destPe, vreg, u + dur, Location::kNoLimit};
+    }
+    return std::nullopt;
+  }
+
+  /// Copies an operand along the shortest path toward `pe` so that the op at
+  /// cycle `t` can access it (§V-G: values are copied into earlier idle
+  /// cycles; the node is delayed otherwise).
+  std::optional<OperandSource> copyTowards(const Operand& o, PEId pe,
+                                           unsigned t,
+                                           std::map<PEId, unsigned>& exposure) {
+    // Pick the valid location closest to pe.
+    const Interconnect& ic = comp_.interconnect();
+    const Location* best = nullptr;
+    for (const Location& loc : *locationsFor(o)) {
+      if (loc.ready > t || t > loc.validUntil) continue;
+      if (ic.distance(loc.pe, pe) == kUnreachable) continue;
+      if (!best || ic.distance(loc.pe, pe) < ic.distance(best->pe, pe))
+        best = &loc;
+    }
+    if (!best) return std::nullopt;
+
+    const unsigned minCycle = copyMinCycle(o);
+    const std::string label = "copy";
+    Location cur = *best;
+    std::vector<PEId> path = ic.pathTo(cur.pe, pe);
+    CGRA_ASSERT(path.size() >= 2);
+
+    // Copy hop by hop up to pe's neighbour; the final access is routed.
+    // When routing at cycle t fails (port conflict), copy into pe itself.
+    for (std::size_t hop = 1; hop + 1 < path.size(); ++hop) {
+      const auto next = scheduleMove(cur, path[hop], minCycle, t, label);
+      if (!next) return std::nullopt;
+      cur = *next;
+      addLocation(o, cur);
+    }
+    // cur is now on a neighbour of pe (or was already).
+    if (cur.pe != pe) {
+      const bool portOk = outPortFree(cur.pe, t, cur.vreg) &&
+                          (!exposure.contains(cur.pe) ||
+                           exposure.at(cur.pe) == cur.vreg);
+      if (portOk) {
+        exposure[cur.pe] = cur.vreg;
+        return OperandSource{OperandSource::Kind::Route, cur.pe, cur.vreg, 0};
+      }
+      const auto fin = scheduleMove(cur, pe, minCycle, t, label);
+      if (!fin) return std::nullopt;
+      cur = *fin;
+      addLocation(o, cur);
+    }
+    return OperandSource{OperandSource::Kind::Own, 0, cur.vreg, 0};
+  }
+
+  /// Materializes an integer constant in `pe`'s register file before `t`.
+  std::optional<Location> materializeConst(std::int32_t value, PEId pe,
+                                           unsigned t) {
+    const unsigned dur = comp_.pe(pe).impl(Op::CONST).duration;
+    if (dur > t) return std::nullopt;
+    for (unsigned u = t - dur;; --u) {
+      if (!peBusy(pe, u, dur)) {
+        const unsigned vreg = freshVreg(pe);
+        ScheduledOp op;
+        op.node = kNoNode;
+        op.op = Op::CONST;
+        op.pe = pe;
+        op.start = u;
+        op.duration = dur;
+        op.src[0] = OperandSource{OperandSource::Kind::Imm, 0, 0, value};
+        op.writesDest = true;
+        op.destVreg = vreg;
+        op.label = "const " + std::to_string(value);
+        sched_.ops.push_back(op);
+        markPeBusy(pe, u, dur);
+        Location loc{pe, vreg, u + dur, Location::kNoLimit};
+        constLocs_[value].push_back(loc);
+        ++stats_.constsInserted;
+        return loc;
+      }
+      if (u == 0) break;
+    }
+    return std::nullopt;
+  }
+
+  // -- home assignment --------------------------------------------------------
+
+  /// Assigns a variable's home register (§V-D heuristic: the PE that can
+  /// provide the value to the first PE requiring it — we pin the home on
+  /// that very PE). For live-in variables the host transfer is recorded.
+  void assignHome(VarId var, PEId pe) {
+    CGRA_ASSERT(!varHomes_[var]);
+    const unsigned vreg = freshVreg(pe);
+    const bool liveIn = g_.variable(var).liveIn;
+    varHomes_[var] = Location{pe, vreg, 0, Location::kNoLimit};
+    if (liveIn) sched_.liveIns.push_back(LiveBinding{var, pe, vreg});
+  }
+
+  /// Ensures the variable has a home; used on first read.
+  const Location& homeFor(VarId var, PEId consumerPe) {
+    if (!varHomes_[var]) assignHome(var, consumerPe);
+    return *varHomes_[var];
+  }
+
+  // -- fusion -----------------------------------------------------------------
+
+  /// Returns the single pWRITE consumer if `id`'s value feeds exactly one
+  /// node and that node is a pWRITE (fusion candidate per §V-E).
+  std::optional<NodeId> fusablePWrite(NodeId id) const {
+    if (!opts_.fuseWrites) return std::nullopt;
+    const Node& n = g_.node(id);
+    if (n.kind != NodeKind::Operation || !writesRegister(n.op))
+      return std::nullopt;
+    std::optional<NodeId> writer;
+    for (const Edge& e : g_.outEdges(id)) {
+      if (e.kind != DepKind::Flow) continue;
+      const Node& to = g_.node(e.to);
+      const bool consumesValue =
+          to.isPWrite()
+              ? to.operands[0] == Operand::node(id)
+              : std::any_of(to.operands.begin(), to.operands.end(),
+                            [&](const Operand& o) {
+                              return o == Operand::node(id);
+                            });
+      if (!consumesValue) continue;  // pure ordering edge
+      if (!to.isPWrite()) return std::nullopt;  // value also read directly
+      if (writer) return std::nullopt;          // multiple writers
+      writer = e.to;
+    }
+    if (!writer) return std::nullopt;
+    const Node& w = g_.node(*writer);
+    if (w.loop != n.loop) return std::nullopt;
+    return writer;
+  }
+
+  /// All non-producer dependencies of the pWRITE satisfied at cycle `t`?
+  bool pWriteDepsMet(NodeId writer, NodeId producer, unsigned t) const {
+    for (const Edge& e : g_.inEdges(writer)) {
+      if (e.from == producer) continue;
+      if (!nodeScheduled_[e.from]) return false;
+      const unsigned c = e.kind == DepKind::Anti ? nodeStart_[e.from]
+                                                 : nodeFinish_[e.from];
+      if (c > t) return false;
+    }
+    return true;
+  }
+
+  // -- planning ---------------------------------------------------------------
+
+  void planStep() {
+    stepHasOp_ = false;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (NodeId id : sortedCandidates()) {
+        if (nodeScheduled_[id]) continue;  // fused away mid-snapshot
+        if (!loopCompatible(id)) continue;
+        if (earliestStart(id) > t_) continue;
+        for (PEId pe : sortedPEs(id)) {
+          if (incompatible(id, pe)) continue;
+          const unsigned dur = opDuration(id, pe);
+          if (peBusy(pe, t_, dur)) continue;
+          if (planCandidate(id, pe, dur)) {
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  bool planCandidate(NodeId id, PEId pe, unsigned dur) {
+    const Node& n = g_.node(id);
+    if (n.isPWrite()) return planPWrite(id, pe, dur);
+    return planOperation(id, pe, dur);
+  }
+
+  bool planOperation(NodeId id, PEId pe, unsigned dur) {
+    const Node& n = g_.node(id);
+    const unsigned t = t_;
+
+    // Comparisons feed the C-Box: one status per cycle, so the C-Box write
+    // port must be free on the status cycle (§V-H).
+    const unsigned statusCycle = t + dur - 1;
+    if (n.isStatusProducer() && at(cboxOpAt_, statusCycle)) return false;
+
+    // Memory operations are always predicated (§V-D).
+    std::optional<PredRef> pred;
+    if (n.isMemory() && n.cond != kCondTrue) {
+      pred = ensureCondition(n.cond, t);
+      if (!pred) return false;
+      if (!predSignalAvailable(t, *pred)) return false;
+    }
+
+    // Fusion: write the result directly into the variable's home register,
+    // predicated on the pWRITE's condition (§V-E).
+    std::optional<NodeId> fusedWriter;
+    std::optional<PredRef> fusedPred;
+    if (!n.isStatusProducer() && writesRegister(n.op)) {
+      if (const auto writer = fusablePWrite(id)) {
+        const Node& w = g_.node(*writer);
+        const auto& home = varHomes_[w.var];
+        const bool peOk = !home || home->pe == pe;
+        // A predicated memory op may only fuse when write and access share
+        // the same condition (one outPE signal gates both).
+        const bool condCompatible = !n.isMemory() || n.cond == w.cond;
+        if (peOk && condCompatible && pWriteDepsMet(*writer, id, t)) {
+          bool condOk = true;
+          if (w.cond != kCondTrue) {
+            // Both the op's own memory predication (none here: fused ops are
+            // pure ALU) and the single outPE wire must accommodate it.
+            fusedPred = ensureCondition(w.cond, t);
+            condOk = fusedPred && predSignalAvailable(t, *fusedPred);
+          }
+          if (condOk) fusedWriter = writer;
+        }
+      }
+    }
+
+    // Operand resolution (reads fused into this node, §V-E).
+    std::map<PEId, unsigned> exposure;
+    std::array<OperandSource, 3> srcs{};
+    for (std::size_t i = 0; i < n.operands.size(); ++i) {
+      // Reading a variable pins its home on first use.
+      if (n.operands[i].kind() == Operand::Kind::Variable)
+        homeFor(n.operands[i].varId(), pe);
+      const auto src = resolveOperand(n.operands[i], pe, t, exposure);
+      if (!src) return false;
+      srcs[i] = *src;
+    }
+
+    // Commit.
+    ScheduledOp op;
+    op.node = id;
+    op.op = n.op;
+    op.pe = pe;
+    op.start = t;
+    op.duration = dur;
+    op.src = srcs;
+    op.emitsStatus = n.isStatusProducer();
+    op.label = n.label;
+    if (pred) {
+      op.pred = pred;
+      claimPredSignal(t, *pred);
+    }
+
+    if (fusedWriter) {
+      const Node& w = g_.node(*fusedWriter);
+      if (!varHomes_[w.var]) assignHome(w.var, pe);
+      op.writesDest = true;
+      op.destVreg = varHomes_[w.var]->vreg;
+      if (fusedPred) {
+        op.pred = fusedPred;
+        claimPredSignal(t, *fusedPred);
+      }
+      ++stats_.fusedWrites;
+    } else if (writesRegister(n.op)) {
+      op.writesDest = true;
+      op.destVreg = freshVreg(pe);
+    }
+
+    for (const auto& [srcPe, vreg] : exposure) claimOutPort(srcPe, t, vreg);
+    markPeBusy(pe, t, dur);
+    sched_.ops.push_back(op);
+    stepHasOp_ = true;
+
+    if (n.isStatusProducer()) {
+      // Store the raw status into a fresh condition slot on the status cycle.
+      CBoxOp cb;
+      cb.time = statusCycle;
+      cb.inputs = {CBoxOp::Input{CBoxOp::Input::Kind::Status, 0, true}};
+      cb.logic = CBoxOp::Logic::Pass;
+      cb.writeSlot = nextCondSlot_++;
+      cb.cond = kCondTrue;  // raw literal, interpreted per condition
+      sched_.cboxOps.push_back(cb);
+      at(cboxOpAt_, statusCycle) = 1;
+      rawSlots_[id] = CondSlot{PredRef{cb.writeSlot, true}, statusCycle + 1};
+    }
+
+    if (op.writesDest && !fusedWriter)
+      nodeLocs_[id].push_back(Location{pe, op.destVreg, t + dur,
+                                       Location::kNoLimit});
+
+    markScheduled(id, t, dur, pe);
+    if (fusedWriter) {
+      commitVarWrite(g_.node(*fusedWriter).var, t + dur);
+      markScheduled(*fusedWriter, t, dur, pe);
+    }
+    return true;
+  }
+
+  bool planPWrite(NodeId id, PEId pe, unsigned dur) {
+    const Node& n = g_.node(id);
+    const unsigned t = t_;
+
+    std::optional<PredRef> pred;
+    if (n.cond != kCondTrue) {
+      pred = ensureCondition(n.cond, t);
+      if (!pred) return false;
+      if (!predSignalAvailable(t, *pred)) return false;
+    }
+
+    const Operand& value = n.operands[0];
+    std::map<PEId, unsigned> exposure;
+    ScheduledOp op;
+    op.node = id;
+    op.pe = pe;
+    op.start = t;
+    op.duration = dur;
+    op.label = n.label;
+
+    if (value.kind() == Operand::Kind::Immediate) {
+      op.op = Op::CONST;
+      op.src[0] = OperandSource{OperandSource::Kind::Imm, 0, 0, value.imm()};
+    } else {
+      op.op = Op::MOVE;
+      if (value.kind() == Operand::Kind::Variable)
+        homeFor(value.varId(), pe);
+      const auto src = resolveOperand(value, pe, t, exposure);
+      if (!src) return false;
+      op.src[0] = *src;
+    }
+
+    if (!varHomes_[n.var]) assignHome(n.var, pe);
+    CGRA_ASSERT(varHomes_[n.var]->pe == pe);
+    op.writesDest = true;
+    op.destVreg = varHomes_[n.var]->vreg;
+    if (pred) {
+      op.pred = pred;
+      claimPredSignal(t, *pred);
+    }
+
+    for (const auto& [srcPe, vreg] : exposure) claimOutPort(srcPe, t, vreg);
+    markPeBusy(pe, t, dur);
+    sched_.ops.push_back(op);
+    stepHasOp_ = true;
+
+    commitVarWrite(n.var, t + dur);
+    markScheduled(id, t, dur, pe);
+    return true;
+  }
+
+  /// A committed write to `var` at finish cycle: home becomes ready, all
+  /// copies become stale for later readers.
+  void commitVarWrite(VarId var, unsigned finish) {
+    Location& home = *varHomes_[var];
+    home.ready = std::max(home.ready, finish);
+    for (Location& copy : varCopies_[var])
+      copy.validUntil = std::min(copy.validUntil, finish - 1);
+  }
+
+  void markScheduled(NodeId id, unsigned start, unsigned dur, PEId pe) {
+    nodeScheduled_[id] = true;
+    nodeStart_[id] = start;
+    nodeFinish_[id] = start + dur;
+    ++scheduledCount_;
+    candidates_.erase(id);
+
+    // Attraction update (§V-G): successors are drawn toward PEs that can
+    // access this result's register file.
+    for (const Edge& e : g_.outEdges(id)) {
+      if (!nodeScheduled_[e.to]) {
+        attraction_[e.to][pe] += 1.0;
+        for (PEId q : comp_.interconnect().sinks(pe))
+          attraction_[e.to][q] += 1.0;
+      }
+      if (--remainingPreds_[e.to] == 0) candidates_.insert(e.to);
+    }
+  }
+
+  // -- loop invalidation on open ----------------------------------------------
+
+  // (called from loopCompatible via loopStack_ push — see openLoopEffects)
+
+  // -- finalize ----------------------------------------------------------------
+
+  void finalize() {
+    unsigned maxCycle = 0;
+    for (const ScheduledOp& op : sched_.ops)
+      maxCycle = std::max(maxCycle, op.lastCycle());
+    for (const CBoxOp& op : sched_.cboxOps) maxCycle = std::max(maxCycle, op.time);
+    for (const BranchOp& b : sched_.branches)
+      maxCycle = std::max(maxCycle, b.time);
+    sched_.length = maxCycle + 1;
+    if (sched_.length > limit_)
+      throw Error("schedule length " + std::to_string(sched_.length) +
+                  " exceeds context memory of " + comp_.name());
+
+    sched_.vregsPerPE = nextVreg_;
+    sched_.cboxSlotsUsed = nextCondSlot_;
+
+    for (VarId v = 0; v < g_.numVariables(); ++v) {
+      if (!varHomes_[v]) continue;
+      sched_.varHomes.push_back(
+          LiveBinding{v, varHomes_[v]->pe, varHomes_[v]->vreg});
+      if (g_.variable(v).liveOut)
+        sched_.liveOuts.push_back(
+            LiveBinding{v, varHomes_[v]->pe, varHomes_[v]->vreg});
+    }
+
+    stats_.contextsUsed = sched_.length;
+    stats_.cboxSlotsUsed = nextCondSlot_;
+  }
+
+  // -- members ----------------------------------------------------------------
+
+  const Composition& comp_;
+  const SchedulerOptions& opts_;
+  const Cdfg& g_;
+
+  Schedule sched_;
+  ScheduleStats stats_;
+
+  unsigned t_ = 0;
+  unsigned limit_ = 0;
+  bool stepHasOp_ = false;
+  std::size_t scheduledCount_ = 0;
+
+  std::vector<double> priorities_;
+  std::vector<std::vector<double>> attraction_;
+  std::vector<unsigned> connectivity_;
+  std::vector<unsigned> nodeStart_, nodeFinish_;
+  std::vector<bool> nodeScheduled_;
+  std::vector<unsigned> remainingPreds_;
+  std::set<NodeId> candidates_;
+
+  std::vector<std::vector<std::uint8_t>> peBusy_;
+  std::vector<std::vector<std::optional<unsigned>>> outPort_;
+  std::vector<std::uint8_t> cboxOpAt_;
+  std::vector<std::optional<PredRef>> predUse_;
+  std::vector<std::uint8_t> branchAt_;
+
+  std::vector<unsigned> nextVreg_;
+  unsigned nextCondSlot_ = 0;
+
+  std::vector<std::optional<Location>> varHomes_;
+  std::vector<std::vector<Location>> varCopies_;
+  std::vector<std::vector<Location>> nodeLocs_;
+  std::map<std::int32_t, std::vector<Location>> constLocs_;
+  std::vector<Location> scratchLocs_;
+
+  std::map<CondId, CondSlot> condSlots_;
+  std::map<NodeId, CondSlot> rawSlots_;
+
+  std::vector<OpenLoop> loopStack_;
+  std::vector<std::vector<NodeId>> loopSubtree_;
+};
+
+}  // namespace
+
+Scheduler::Scheduler(const Composition& comp, SchedulerOptions opts)
+    : comp_(&comp), opts_(opts) {}
+
+SchedulingResult Scheduler::schedule(const Cdfg& graph) const {
+  Run run(*comp_, opts_, graph);
+  return run.execute();
+}
+
+}  // namespace cgra

@@ -1,0 +1,63 @@
+// The scheduler — the paper's primary contribution (§V).
+//
+// A list scheduler (Algorithm 1) extended with:
+//  * longest-path-weight priorities (§V-F);
+//  * loop-compatibility checks: every loop occupies a contiguous context
+//    interval; an inner loop may only open on a context with no other
+//    operation, and only once every predecessor of every loop node has
+//    finished; outer-loop nodes wait until the inner loop closes (§V-C);
+//  * speculation + predication: pWRITEs commit into a variable's home
+//    register gated by a C-Box condition; wrong-path and dry-pass results
+//    are dismissed (§V-B);
+//  * fusing: reads are folded into consumers (operand resolution), and a
+//    pWRITE is folded into its producer when the producer lands on the home
+//    PE, the condition is already available and no other node consumes the
+//    value (§V-E);
+//  * data locality and routing awareness: an attraction criterion orders
+//    PEs, operand accessibility is resolved by inserting MOVE copies along
+//    Floyd–Warshall shortest paths into earlier idle cycles, and constants
+//    are materialized per consuming PE (§V-D, §V-G);
+//  * C-Box as a scheduled resource: at most one status consumed, one
+//    condition write, one PE-predication read and one branch read per cycle;
+//    nested conditions are conjunctions of a stored condition and a raw
+//    status slot (§V-H).
+#pragma once
+
+#include "cdfg/cdfg.hpp"
+#include "sched/schedule.hpp"
+
+namespace cgra {
+
+/// Knobs for ablation benches and tests.
+struct SchedulerOptions {
+  /// Order PEs by the attraction criterion (§V-G); off = index order.
+  bool useAttraction = true;
+  /// Fuse pWRITEs into producers when legal (§V-E).
+  bool fuseWrites = true;
+  /// Sort candidates by longest-path weight (§V-F); off = creation order.
+  bool longestPathPriority = true;
+  /// Context budget; 0 uses the composition's context memory length.
+  unsigned maxContexts = 0;
+};
+
+/// Result bundle: the schedule plus statistics (Table I metrics).
+struct SchedulingResult {
+  Schedule schedule;
+  ScheduleStats stats;
+};
+
+/// Maps a validated CDFG onto a composition. Throws cgra::Error when the
+/// kernel cannot be mapped (missing operation support, unroutable operands,
+/// context/C-Box capacity exceeded).
+class Scheduler {
+public:
+  Scheduler(const Composition& comp, SchedulerOptions opts = {});
+
+  SchedulingResult schedule(const Cdfg& graph) const;
+
+private:
+  const Composition* comp_;
+  SchedulerOptions opts_;
+};
+
+}  // namespace cgra

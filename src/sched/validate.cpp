@@ -1,0 +1,312 @@
+#include "sched/validate.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+
+namespace cgra {
+
+namespace {
+
+struct Checker {
+  const Schedule& s;
+  const Cdfg& g;
+  const Composition& comp;
+  std::vector<std::string> issues;
+
+  template <typename... Args>
+  void issue(Args&&... args) {
+    std::ostringstream os;
+    (os << ... << args);
+    issues.push_back(os.str());
+  }
+
+  void run() {
+    checkNodeCoverage();
+    checkPEOccupancy();
+    checkRouting();
+    checkDependencies();
+    checkPredication();
+    checkCBox();
+    checkLoops();
+    checkCapacity();
+  }
+
+  std::map<NodeId, const ScheduledOp*> nodeOps;
+
+  void checkNodeCoverage() {
+    for (const ScheduledOp& op : s.ops) {
+      if (op.node == kNoNode) {
+        if (op.op != Op::MOVE && op.op != Op::CONST)
+          issue("inserted op at t", op.start, " is ", opName(op.op),
+                ", expected MOVE/CONST");
+        continue;
+      }
+      if (nodeOps.contains(op.node))
+        issue("node ", op.node, " scheduled twice");
+      nodeOps[op.node] = &op;
+    }
+    for (NodeId id = 0; id < g.numNodes(); ++id)
+      if (!nodeOps.contains(id)) {
+        // Fused pWRITEs share their producer's ScheduledOp; accept a pWRITE
+        // without its own op when its producer's op writes the home register.
+        const Node& n = g.node(id);
+        bool fused = false;
+        if (n.isPWrite() && n.operands[0].kind() == Operand::Kind::Node) {
+          const auto it = nodeOps.find(n.operands[0].nodeId());
+          fused = it != nodeOps.end() && it->second->writesDest;
+        }
+        if (fused)
+          nodeOps[id] = nodeOps.at(n.operands[0].nodeId());
+        else
+          issue("node ", id, " not scheduled");
+      }
+  }
+
+  void checkPEOccupancy() {
+    std::map<std::pair<PEId, unsigned>, const ScheduledOp*> busy;
+    for (const ScheduledOp& op : s.ops) {
+      if (op.pe >= comp.numPEs()) {
+        issue("op at t", op.start, " on invalid PE ", op.pe);
+        continue;
+      }
+      if (!comp.pe(op.pe).supports(op.op))
+        issue("PE ", op.pe, " does not support ", opName(op.op));
+      for (unsigned c = op.start; c <= op.lastCycle(); ++c) {
+        const auto key = std::make_pair(op.pe, c);
+        if (busy.contains(key))
+          issue("PE ", op.pe, " double-booked at t", c);
+        busy[key] = &op;
+      }
+      if (op.writesDest && op.pe < s.vregsPerPE.size() &&
+          op.destVreg >= s.vregsPerPE[op.pe])
+        issue("op at t", op.start, " writes vreg ", op.destVreg,
+              " beyond PE ", op.pe, " count");
+    }
+  }
+
+  void checkRouting() {
+    // Per (PE, cycle): the register exposed on the output port.
+    std::map<std::pair<PEId, unsigned>, unsigned> exposed;
+    for (const ScheduledOp& op : s.ops)
+      for (const OperandSource& src : op.src) {
+        if (src.kind != OperandSource::Kind::Route) continue;
+        if (!comp.interconnect().hasLink(src.srcPE, op.pe))
+          issue("op at t", op.start, " on PE ", op.pe,
+                " routes from non-source PE ", src.srcPE);
+        const auto key = std::make_pair(src.srcPE, op.start);
+        const auto it = exposed.find(key);
+        if (it != exposed.end() && it->second != src.vreg)
+          issue("PE ", src.srcPE, " output port exposes two registers at t",
+                op.start);
+        exposed[key] = src.vreg;
+      }
+  }
+
+  void checkDependencies() {
+    for (const Edge& e : g.edges()) {
+      const auto fi = nodeOps.find(e.from);
+      const auto ti = nodeOps.find(e.to);
+      if (fi == nodeOps.end() || ti == nodeOps.end()) continue;
+      const ScheduledOp& from = *fi->second;
+      const ScheduledOp& to = *ti->second;
+      const unsigned fromFinish = from.start + from.duration;
+      switch (e.kind) {
+        case DepKind::Flow:
+        case DepKind::Output:
+          // Fused producer/writer pairs share one op; identity is fine.
+          if (&from != &to && to.start < fromFinish)
+            issue("edge ", e.from, "->", e.to, " (",
+                  e.kind == DepKind::Flow ? "flow" : "output",
+                  ") violated: ", to.start, " < ", fromFinish);
+          break;
+        case DepKind::Anti:
+          if (to.start < from.start)
+            issue("anti edge ", e.from, "->", e.to, " violated: ", to.start,
+                  " < ", from.start);
+          break;
+        case DepKind::Control:
+          if (&from != &to && to.start < fromFinish)
+            issue("control edge ", e.from, "->", e.to,
+                  " violated: condition producer finishes at ", fromFinish,
+                  ", consumer starts at ", to.start);
+          break;
+      }
+    }
+  }
+
+  void checkPredication() {
+    // Single outPE wire: at most one distinct (slot, polarity) per cycle.
+    std::map<unsigned, PredRef> predPerCycle;
+    for (const ScheduledOp& op : s.ops) {
+      if (op.pred) {
+        const auto it = predPerCycle.find(op.start);
+        if (it != predPerCycle.end() && !(it->second == *op.pred))
+          issue("two distinct predication signals read at t", op.start);
+        predPerCycle.emplace(op.start, *op.pred);
+        if (op.pred->slot >= s.cboxSlotsUsed)
+          issue("op at t", op.start, " reads condition slot ", op.pred->slot,
+                " beyond used count");
+      }
+      // pWRITE / memory nodes with a non-TRUE condition must be predicated.
+      if (op.node != kNoNode) {
+        const Node& n = g.node(op.node);
+        const bool needsPred =
+            (n.isPWrite() || n.isMemory()) && n.cond != kCondTrue;
+        // A fused producer op carries the writer's predication; we can only
+        // check presence for ops that directly represent the node.
+        if (needsPred && !op.pred &&
+            (n.isPWrite() || n.isMemory()))
+          issue("node ", op.node, " (cond ", n.cond,
+                ") scheduled without predication at t", op.start);
+      }
+    }
+  }
+
+  void checkCBox() {
+    std::set<unsigned> cboxCycles;
+    std::map<unsigned, unsigned> statusAt;  // cycle -> count
+    for (const CBoxOp& op : s.cboxOps) {
+      if (!cboxCycles.insert(op.time).second)
+        issue("two C-Box operations at t", op.time);
+      unsigned statusInputs = 0;
+      for (const CBoxOp::Input& in : op.inputs) {
+        if (in.kind == CBoxOp::Input::Kind::Status) ++statusInputs;
+        else if (in.slot >= s.cboxSlotsUsed)
+          issue("C-Box op at t", op.time, " reads slot ", in.slot,
+                " beyond used count");
+      }
+      if (statusInputs > 1)
+        issue("C-Box op at t", op.time, " consumes two statuses");
+      if (statusInputs) ++statusAt[op.time];
+      if (op.inputs.empty() || op.inputs.size() > 2)
+        issue("C-Box op at t", op.time, " has ", op.inputs.size(), " inputs");
+      if (op.writeSlot >= s.cboxSlotsUsed)
+        issue("C-Box op at t", op.time, " writes slot beyond used count");
+    }
+    // Every comparison must have its status consumed in its last cycle.
+    for (const ScheduledOp& op : s.ops) {
+      if (!op.emitsStatus) continue;
+      const unsigned cycle = op.lastCycle();
+      const bool consumed =
+          std::any_of(s.cboxOps.begin(), s.cboxOps.end(), [&](const CBoxOp& c) {
+            if (c.time != cycle) return false;
+            return std::any_of(c.inputs.begin(), c.inputs.end(),
+                               [](const CBoxOp::Input& in) {
+                                 return in.kind == CBoxOp::Input::Kind::Status;
+                               });
+          });
+      if (!consumed)
+        issue("status of comparison at t", op.start, " never consumed");
+    }
+    for (const auto& [cycle, count] : statusAt)
+      if (count > 1) issue("two statuses consumed at t", cycle);
+  }
+
+  void checkLoops() {
+    std::map<unsigned, unsigned> branchCount;
+    for (const BranchOp& b : s.branches) {
+      ++branchCount[b.time];
+      if (b.target > b.time)
+        issue("forward branch at t", b.time, " (target ", b.target, ")");
+    }
+    for (const auto& [cycle, count] : branchCount)
+      if (count > 1) issue("two branches at t", cycle);
+
+    std::map<LoopId, LoopInterval> intervals;
+    for (const LoopInterval& li : s.loops) {
+      if (intervals.contains(li.loop)) issue("loop ", li.loop, " closed twice");
+      intervals[li.loop] = li;
+      if (li.start > li.end)
+        issue("loop ", li.loop, " interval inverted");
+      const bool hasBranch = std::any_of(
+          s.branches.begin(), s.branches.end(), [&](const BranchOp& b) {
+            return b.loop == li.loop && b.time == li.end &&
+                   b.target == li.start && b.conditional;
+          });
+      if (!hasBranch)
+        issue("loop ", li.loop, " missing conditional back-branch at t",
+              li.end);
+    }
+    for (LoopId l = 1; l < g.numLoops(); ++l)
+      if (!intervals.contains(l)) issue("loop ", l, " never closed");
+
+    // Nesting: child interval strictly inside parent's; sibling intervals
+    // disjoint.
+    for (const auto& [l, li] : intervals) {
+      const LoopId parent = g.loop(l).parent;
+      if (parent != kRootLoop) {
+        const auto pi = intervals.find(parent);
+        if (pi != intervals.end() &&
+            (li.start < pi->second.start || li.end >= pi->second.end))
+          issue("loop ", l, " interval [", li.start, ",", li.end,
+                "] not nested in parent [", pi->second.start, ",",
+                pi->second.end, "]");
+      }
+    }
+    for (const auto& [l1, i1] : intervals)
+      for (const auto& [l2, i2] : intervals) {
+        if (l1 >= l2) continue;
+        if (g.loopContains(l1, l2) || g.loopContains(l2, l1)) continue;
+        const bool disjoint = i1.end < i2.start || i2.end < i1.start;
+        if (!disjoint)
+          issue("sibling loops ", l1, " and ", l2, " overlap");
+      }
+
+    // Ownership: an op of loop l must lie inside l's interval and outside
+    // any non-ancestor loop's interval.
+    for (const ScheduledOp& op : s.ops) {
+      if (op.node == kNoNode) continue;  // copies/constants may backfill
+      const LoopId l = g.node(op.node).loop;
+      if (l != kRootLoop) {
+        const auto it = intervals.find(l);
+        if (it != intervals.end() &&
+            (op.start < it->second.start || op.lastCycle() > it->second.end))
+          issue("node ", op.node, " of loop ", l, " at [", op.start, ",",
+                op.lastCycle(), "] escapes interval [", it->second.start, ",",
+                it->second.end, "]");
+      }
+      for (const auto& [other, oi] : intervals) {
+        if (g.loopContains(other, l)) continue;  // own loop or its ancestors
+        const bool inside = op.start >= oi.start && op.start <= oi.end;
+        if (inside)
+          issue("node ", op.node, " of loop ", l, " scheduled at t", op.start,
+                " inside foreign loop ", other, " interval");
+      }
+    }
+  }
+
+  void checkCapacity() {
+    if (s.length > comp.contextMemoryLength())
+      issue("schedule length ", s.length, " exceeds context memory ",
+            comp.contextMemoryLength());
+    for (const ScheduledOp& op : s.ops)
+      if (op.lastCycle() >= s.length)
+        issue("op at t", op.start, " extends past schedule length");
+    for (const BranchOp& b : s.branches)
+      if (b.time >= s.length) issue("branch past schedule length");
+  }
+};
+
+}  // namespace
+
+std::vector<std::string> validateSchedule(const Schedule& sched,
+                                          const Cdfg& graph,
+                                          const Composition& comp) {
+  Checker checker{sched, graph, comp, {}, {}};
+  checker.run();
+  return std::move(checker.issues);
+}
+
+void checkSchedule(const Schedule& sched, const Cdfg& graph,
+                   const Composition& comp) {
+  const auto issues = validateSchedule(sched, graph, comp);
+  if (issues.empty()) return;
+  std::string msg = "schedule validation failed:";
+  for (const std::string& s : issues) msg += "\n  " + s;
+  throw Error(msg);
+}
+
+}  // namespace cgra

@@ -1,0 +1,38 @@
+// Structural validation of a schedule against its CDFG and composition.
+// Used by the test suite as the invariant oracle: every property the
+// scheduler is supposed to guarantee (§V) is checked independently here.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace cgra {
+
+/// Returns a list of human-readable violations (empty = valid). Checked
+/// invariants:
+///  * every CDFG node appears exactly once; inserted ops are MOVE/CONST;
+///  * PE occupancy is exclusive and every op is supported by its PE
+///    (memory ops only on DMA PEs);
+///  * routed operands follow existing interconnect links and no PE output
+///    port exposes two registers in one cycle;
+///  * dependency edges hold (Flow: consumer starts after producer finishes;
+///    Anti: writer starts no earlier than reader; Output: ordered);
+///  * predicated commits (pWRITE, memory ops) carry predication exactly when
+///    their condition is not TRUE, and at most one distinct predication
+///    signal is read per cycle (single outPE wire);
+///  * at most one C-Box operation and one branch per cycle; comparisons have
+///    a same-cycle C-Box consumer (one status per cycle);
+///  * loop intervals are contiguous, properly nested, end in a conditional
+///    back-branch, and contain exactly the ops of their loop subtree;
+///  * the schedule fits the composition's context memory.
+std::vector<std::string> validateSchedule(const Schedule& sched,
+                                          const Cdfg& graph,
+                                          const Composition& comp);
+
+/// Convenience wrapper that throws cgra::Error listing all violations.
+void checkSchedule(const Schedule& sched, const Cdfg& graph,
+                   const Composition& comp);
+
+}  // namespace cgra

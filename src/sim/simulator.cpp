@@ -1,0 +1,264 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cgra {
+
+Simulator::Simulator(const Composition& comp, const Schedule& sched)
+    : comp_(&comp), sched_(&sched) {
+  // Reject structurally corrupt schedules up front (e.g. bit-flipped
+  // context images): every reference must stay in range so execution can
+  // never touch memory out of bounds.
+  auto check = [](bool ok, const char* what) {
+    if (!ok) throw Error(std::string("simulator: corrupt schedule: ") + what);
+  };
+  check(sched.vregsPerPE.size() == comp.numPEs(),
+        "per-PE register counts missing");
+  startAt_.assign(sched.length, {});
+  cboxAt_.assign(sched.length, nullptr);
+  branchAt_.assign(sched.length, nullptr);
+  for (const ScheduledOp& op : sched.ops) {
+    check(op.pe < comp.numPEs(), "op on invalid PE");
+    check(op.duration >= 1, "zero-duration op");
+    check(op.start < sched.length && op.lastCycle() < sched.length,
+          "op outside the context range");
+    check(static_cast<unsigned>(op.op) < kNumOps, "invalid opcode");
+    check(!op.writesDest || op.destVreg < sched.vregsPerPE[op.pe],
+          "destination register out of range");
+    check(!op.pred || op.pred->slot < sched.cboxSlotsUsed,
+          "predication slot out of range");
+    for (const OperandSource& src : op.src) {
+      if (src.kind == OperandSource::Kind::Own)
+        check(src.vreg < sched.vregsPerPE[op.pe], "operand register range");
+      if (src.kind == OperandSource::Kind::Route) {
+        check(src.srcPE < comp.numPEs(), "route source PE range");
+        check(src.vreg < sched.vregsPerPE[src.srcPE],
+              "routed register range");
+      }
+    }
+    startAt_[op.start].push_back(&op);
+  }
+  for (const CBoxOp& op : sched.cboxOps) {
+    check(op.time < sched.length, "C-Box op outside the context range");
+    check(!cboxAt_[op.time], "two C-Box ops in one context");
+    check(op.writeSlot < sched.cboxSlotsUsed, "C-Box write slot range");
+    for (const CBoxOp::Input& in : op.inputs)
+      check(in.kind != CBoxOp::Input::Kind::Stored ||
+                in.slot < sched.cboxSlotsUsed,
+            "C-Box read slot range");
+    cboxAt_[op.time] = &op;
+  }
+  for (const BranchOp& b : sched.branches) {
+    check(b.time < sched.length, "branch outside the context range");
+    check(b.target < sched.length, "branch target out of range");
+    check(!b.conditional || b.pred.slot < sched.cboxSlotsUsed,
+          "branch selection slot range");
+    check(!branchAt_[b.time], "two branches in one context");
+    branchAt_[b.time] = &b;
+  }
+  for (const LiveBinding& lb : sched.liveIns) {
+    check(lb.pe < comp.numPEs(), "live-in PE range");
+    check(lb.vreg < sched.vregsPerPE[lb.pe], "live-in register range");
+  }
+  for (const LiveBinding& lb : sched.liveOuts) {
+    check(lb.pe < comp.numPEs(), "live-out PE range");
+    check(lb.vreg < sched.vregsPerPE[lb.pe], "live-out register range");
+  }
+}
+
+namespace {
+
+/// An in-flight operation: result computed at issue, committed after the
+/// remaining cycles elapse.
+struct InFlight {
+  const ScheduledOp* op;
+  unsigned remaining;       ///< cycles until commit (1 = commits this cycle)
+  bool suppressed;          ///< predicated off: no commit
+  std::int32_t result = 0;  ///< RF write value (or DMA load result)
+  bool status = false;      ///< comparison outcome
+};
+
+}  // namespace
+
+SimResult Simulator::run(const std::map<VarId, std::int32_t>& liveIns,
+                         HostMemory& heap, const SimOptions& opts) const {
+  return runWindow(liveIns, heap, sched_->liveIns, sched_->liveOuts, 0,
+                   sched_->length, opts);
+}
+
+SimResult Simulator::runWindow(const std::map<VarId, std::int32_t>& liveIns,
+                               HostMemory& heap,
+                               const std::vector<LiveBinding>& liveInBindings,
+                               const std::vector<LiveBinding>& liveOutBindings,
+                               unsigned startCcnt, unsigned endCcnt,
+                               const SimOptions& opts) const {
+  CGRA_ASSERT_MSG(startCcnt <= endCcnt && endCcnt <= sched_->length,
+                  "invalid CCNT window");
+  SimResult result;
+
+  // Register files (virtual registers) and condition memory.
+  std::vector<std::vector<std::int32_t>> regs(comp_->numPEs());
+  for (PEId p = 0; p < comp_->numPEs(); ++p)
+    regs[p].assign(std::max(1u, sched_->vregsPerPE[p]), 0);
+  std::vector<std::uint8_t> condMem(std::max(1u, sched_->cboxSlotsUsed), 0);
+
+  // Live-in transfer (2 cycles per variable, Fig. 6).
+  for (const LiveBinding& lb : liveInBindings) {
+    const auto it = liveIns.find(lb.var);
+    regs[lb.pe][lb.vreg] = it == liveIns.end() ? 0 : it->second;
+    result.invocationCycles += kCyclesPerTransfer;
+  }
+
+  std::vector<InFlight> inflight;
+  std::uint64_t cycles = 0;
+  unsigned ccnt = startCcnt;
+
+  // Debug aid: CGRA_TRACE=<pe> logs every register commit of that PE.
+  const char* traceEnv = std::getenv("CGRA_TRACE");
+  const int tracePe = traceEnv ? std::atoi(traceEnv) : -1;
+
+  auto readOperand = [&](const OperandSource& src) -> std::int32_t {
+    switch (src.kind) {
+      case OperandSource::Kind::None: return 0;
+      case OperandSource::Kind::Own:
+        CGRA_UNREACHABLE("Own reads resolve through the op's own PE");
+      case OperandSource::Kind::Route:
+        return regs[src.srcPE][src.vreg];
+      case OperandSource::Kind::Imm: return src.imm;
+    }
+    CGRA_UNREACHABLE("bad operand kind");
+  };
+
+  while (ccnt < endCcnt) {
+    if (++cycles > opts.maxCycles)
+      throw Error("simulator: cycle budget exceeded (runaway loop?)");
+
+    // -- start of cycle: snapshot predication/branch reads --------------------
+    auto readPred = [&](const PredRef& p) -> bool {
+      return (condMem[p.slot] != 0) == p.polarity;
+    };
+    const BranchOp* branch = branchAt_[ccnt];
+    const bool branchTaken =
+        branch && (!branch->conditional || readPred(branch->pred));
+
+    // -- issue operations starting this context -------------------------------
+    for (const ScheduledOp* op : startAt_[ccnt]) {
+      InFlight fl{op, op->duration, false, 0, false};
+      fl.suppressed = op->pred && !readPred(*op->pred);
+
+      auto readSrc = [&](unsigned i) -> std::int32_t {
+        const OperandSource& s = op->src[i];
+        if (s.kind == OperandSource::Kind::Own) return regs[op->pe][s.vreg];
+        return readOperand(s);
+      };
+
+      if (opts.collectEnergy) {
+        result.energy += fl.suppressed ? defaultEnergy(Op::NOP)
+                                       : comp_->pe(op->pe).impl(op->op).energy;
+      }
+
+      switch (op->op) {
+        case Op::NOP: break;
+        case Op::CONST:
+          fl.result = op->src[0].imm;
+          break;
+        case Op::MOVE:
+          fl.result = readSrc(0);
+          break;
+        case Op::DMA_LOAD: {
+          if (!fl.suppressed) {
+            fl.result = heap.load(readSrc(0), readSrc(1));
+            ++result.dmaLoads;
+          }
+          break;
+        }
+        case Op::DMA_STORE: {
+          if (!fl.suppressed) {
+            heap.store(readSrc(0), readSrc(1), readSrc(2));
+            ++result.dmaStores;
+          }
+          break;
+        }
+        default:
+          if (producesStatus(op->op)) {
+            fl.status = evalCompare(op->op, readSrc(0), readSrc(1));
+          } else if (operandCount(op->op) == 1) {
+            fl.result = evalArith(op->op, readSrc(0), 0);
+          } else {
+            fl.result = evalArith(op->op, readSrc(0), readSrc(1));
+          }
+      }
+      inflight.push_back(fl);
+    }
+
+    // -- status wire: comparisons in their last cycle --------------------------
+    bool statusWire = false;
+    bool statusValid = false;
+    for (const InFlight& fl : inflight)
+      if (fl.remaining == 1 && fl.op->emitsStatus) {
+        CGRA_ASSERT_MSG(!statusValid, "two statuses in one cycle");
+        statusWire = fl.status;
+        statusValid = true;
+      }
+
+    // -- C-Box operation -------------------------------------------------------
+    std::optional<std::pair<unsigned, bool>> condWrite;
+    if (const CBoxOp* cb = cboxAt_[ccnt]) {
+      bool value = cb->logic == CBoxOp::Logic::And;
+      bool first = true;
+      for (const CBoxOp::Input& in : cb->inputs) {
+        bool v;
+        if (in.kind == CBoxOp::Input::Kind::Status) {
+          CGRA_ASSERT_MSG(statusValid, "C-Box consumes absent status");
+          v = statusWire;
+        } else {
+          v = condMem[in.slot] != 0;
+        }
+        if (!in.polarity) v = !v;
+        if (first) {
+          value = v;
+          first = false;
+        } else {
+          value = cb->logic == CBoxOp::Logic::Or ? (value || v) : (value && v);
+        }
+      }
+      condWrite = {cb->writeSlot, value};
+    }
+
+    // -- end of cycle: commits --------------------------------------------------
+    for (auto it = inflight.begin(); it != inflight.end();) {
+      if (--it->remaining == 0) {
+        const ScheduledOp* op = it->op;
+        if (op->writesDest && !it->suppressed) {
+          regs[op->pe][op->destVreg] = it->result;
+          if (tracePe == static_cast<int>(op->pe))
+            std::fprintf(stderr, "cycle %llu ccnt %u: PE%u r%u <= %d (%s)\n",
+                         static_cast<unsigned long long>(cycles), ccnt, op->pe,
+                         op->destVreg, it->result, opName(op->op));
+        }
+        it = inflight.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (condWrite) condMem[condWrite->first] = condWrite->second ? 1 : 0;
+
+    ccnt = branchTaken ? branch->target : ccnt + 1;
+  }
+
+  CGRA_ASSERT_MSG(inflight.empty(), "operation still in flight at run end");
+
+  result.runCycles = cycles;
+
+  // Live-out transfer back to the host (Fig. 6).
+  for (const LiveBinding& lb : liveOutBindings) {
+    result.liveOuts[lb.var] = regs[lb.pe][lb.vreg];
+    result.invocationCycles += kCyclesPerTransfer;
+  }
+  result.invocationCycles += cycles + kInvocationOverhead;
+  return result;
+}
+
+}  // namespace cgra

@@ -1,0 +1,59 @@
+// Assertion and error-reporting primitives shared by all cgra modules.
+//
+// Two failure categories are distinguished:
+//   * CGRA_ASSERT / CGRA_UNREACHABLE guard internal invariants. A violated
+//     invariant is a bug in this library, so it throws InternalError with
+//     file/line context (throwing instead of aborting keeps failures testable).
+//   * cgra::Error is for malformed *user* input: unparsable JSON, compositions
+//     that reference unknown PEs, kernels the target composition cannot
+//     execute, and so on.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cgra {
+
+/// Error caused by invalid user input (bad descriptions, unmappable kernels).
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Error caused by a violated internal invariant (a library bug).
+class InternalError : public std::logic_error {
+public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void assertFail(const char* expr, const char* file,
+                                    int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "assertion failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InternalError(os.str());
+}
+
+}  // namespace detail
+}  // namespace cgra
+
+#define CGRA_ASSERT(expr)                                                  \
+  do {                                                                     \
+    if (!(expr)) ::cgra::detail::assertFail(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define CGRA_ASSERT_MSG(expr, msg)                                     \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream cgra_assert_os;                               \
+      cgra_assert_os << msg;                                           \
+      ::cgra::detail::assertFail(#expr, __FILE__, __LINE__,            \
+                                 cgra_assert_os.str());                \
+    }                                                                  \
+  } while (false)
+
+#define CGRA_UNREACHABLE(msg) \
+  ::cgra::detail::assertFail("unreachable", __FILE__, __LINE__, msg)

@@ -1,0 +1,120 @@
+// Dynamic bit vector plus sequential bit-field packer/reader.
+//
+// Context memories in the generated CGRA are bit-mask packed (paper §IV-B:
+// "to minimize the width of each context, a bit-mask is created for each
+// context"). BitPacker/BitReader implement the field-by-field encoding that
+// the context generator and the context-level simulator share, so an
+// encode/decode round trip is testable bit-exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace cgra {
+
+/// Growable vector of bits with word-level storage.
+class BitVector {
+public:
+  BitVector() = default;
+  explicit BitVector(std::size_t size, bool value = false)
+      : size_(size), words_((size + 63) / 64, value ? ~0ull : 0ull) {
+    trimTail();
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool get(std::size_t i) const {
+    CGRA_ASSERT(i < size_);
+    return (words_[i / 64] >> (i % 64)) & 1u;
+  }
+
+  void set(std::size_t i, bool v) {
+    CGRA_ASSERT(i < size_);
+    const std::uint64_t mask = 1ull << (i % 64);
+    if (v)
+      words_[i / 64] |= mask;
+    else
+      words_[i / 64] &= ~mask;
+  }
+
+  void pushBack(bool v) {
+    if (size_ % 64 == 0) words_.push_back(0);
+    ++size_;
+    set(size_ - 1, v);
+  }
+
+  /// Number of set bits.
+  std::size_t popcount() const {
+    std::size_t n = 0;
+    for (std::uint64_t w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  bool operator==(const BitVector& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+private:
+  void trimTail() {
+    if (size_ % 64 != 0 && !words_.empty())
+      words_.back() &= (1ull << (size_ % 64)) - 1;
+  }
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Appends fixed-width little-endian bit fields to a BitVector.
+class BitPacker {
+public:
+  /// Appends the low `width` bits of `value`. `value` must fit.
+  void write(std::uint64_t value, unsigned width) {
+    CGRA_ASSERT_MSG(width <= 64, "field width " << width);
+    CGRA_ASSERT_MSG(width == 64 || value < (1ull << width),
+                    "value " << value << " does not fit in " << width << " bits");
+    for (unsigned i = 0; i < width; ++i) bits_.pushBack((value >> i) & 1u);
+  }
+
+  void writeBool(bool v) { bits_.pushBack(v); }
+
+  const BitVector& bits() const { return bits_; }
+  std::size_t sizeBits() const { return bits_.size(); }
+
+private:
+  BitVector bits_;
+};
+
+/// Reads fixed-width bit fields sequentially from a BitVector.
+class BitReader {
+public:
+  explicit BitReader(const BitVector& bits) : bits_(&bits) {}
+
+  std::uint64_t read(unsigned width) {
+    CGRA_ASSERT(width <= 64);
+    CGRA_ASSERT_MSG(pos_ + width <= bits_->size(), "bit stream exhausted");
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < width; ++i)
+      v |= static_cast<std::uint64_t>(bits_->get(pos_++)) << i;
+    return v;
+  }
+
+  bool readBool() { return read(1) != 0; }
+  bool exhausted() const { return pos_ == bits_->size(); }
+  std::size_t position() const { return pos_; }
+
+private:
+  const BitVector* bits_;
+  std::size_t pos_ = 0;
+};
+
+/// Number of bits needed to encode values in [0, n-1]; at least 1.
+inline unsigned bitsFor(std::size_t n) {
+  unsigned w = 1;
+  while ((1ull << w) < n) ++w;
+  return w;
+}
+
+}  // namespace cgra

@@ -1,0 +1,66 @@
+// Tiny GraphViz DOT writer used for the paper's figure-style graph dumps
+// (Fig. 11 CDFG, Fig. 12 control flow, Fig. 13/14 compositions).
+#pragma once
+
+#include <map>
+#include <sstream>
+#include <string>
+
+namespace cgra {
+
+/// Incremental builder for a directed GraphViz graph.
+class DotWriter {
+public:
+  explicit DotWriter(std::string name) : name_(std::move(name)) {}
+
+  void addNode(const std::string& id, const std::string& label,
+               const std::map<std::string, std::string>& attrs = {}) {
+    body_ << "  \"" << escape(id) << "\" [label=\"" << escape(label) << '"';
+    for (const auto& [k, v] : attrs) body_ << ", " << k << "=\"" << escape(v) << '"';
+    body_ << "];\n";
+  }
+
+  void addEdge(const std::string& from, const std::string& to,
+               const std::map<std::string, std::string>& attrs = {}) {
+    body_ << "  \"" << escape(from) << "\" -> \"" << escape(to) << '"';
+    if (!attrs.empty()) {
+      body_ << " [";
+      bool first = true;
+      for (const auto& [k, v] : attrs) {
+        if (!first) body_ << ", ";
+        first = false;
+        body_ << k << "=\"" << escape(v) << '"';
+      }
+      body_ << ']';
+    }
+    body_ << ";\n";
+  }
+
+  void beginCluster(const std::string& id, const std::string& label) {
+    body_ << "  subgraph \"cluster_" << escape(id) << "\" {\n"
+          << "  label=\"" << escape(label) << "\";\n";
+  }
+  void endCluster() { body_ << "  }\n"; }
+
+  std::string str() const {
+    std::ostringstream os;
+    os << "digraph \"" << escape(name_) << "\" {\n" << body_.str() << "}\n";
+    return os.str();
+  }
+
+private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::ostringstream body_;
+};
+
+}  // namespace cgra

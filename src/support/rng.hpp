@@ -1,0 +1,57 @@
+// Deterministic pseudo-random generator (xoshiro256**) for workload
+// generation and property-test sweeps. std::mt19937 would also work, but a
+// self-contained generator guarantees identical streams across standard
+// library implementations, which keeps golden benchmark inputs stable.
+#pragma once
+
+#include <cstdint>
+
+namespace cgra {
+
+/// Deterministic 64-bit PRNG (xoshiro256**), seedable and copyable.
+class Rng {
+public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    for (auto& word : s_) {
+      seed += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next() % span);
+  }
+
+  /// Uniform 32-bit signed value.
+  std::int32_t nextI32() { return static_cast<std::int32_t>(next()); }
+
+  /// Bernoulli draw with probability num/den.
+  bool chance(std::uint64_t num, std::uint64_t den) { return next() % den < num; }
+
+private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace cgra

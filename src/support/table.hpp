@@ -1,0 +1,64 @@
+// Plain-text table formatter for benchmark harnesses: every bench binary
+// prints the same row/column layout as the paper's tables, which makes the
+// paper-vs-measured comparison in EXPERIMENTS.md mechanical.
+#pragma once
+
+#include <iomanip>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cgra {
+
+/// Accumulates rows of strings and prints them with aligned columns.
+class TextTable {
+public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void addRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> widths(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i)
+        widths[i] = std::max(widths[i], row[i].size());
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+
+    auto printRow = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < widths.size(); ++i) {
+        os << "| " << std::left << std::setw(static_cast<int>(widths[i]))
+           << (i < row.size() ? row[i] : std::string()) << ' ';
+      }
+      os << "|\n";
+    };
+    printRow(header_);
+    for (std::size_t i = 0; i < widths.size(); ++i)
+      os << "|-" << std::string(widths[i], '-') << '-';
+    os << "|\n";
+    for (const auto& r : rows_) printRow(r);
+  }
+
+private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `prec` fractional digits.
+inline std::string fmt(double v, int prec = 1) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(prec) << v;
+  return os.str();
+}
+
+/// Formats a cycle count as "123.4k" like the paper's tables.
+inline std::string fmtKilo(std::uint64_t cycles) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1)
+     << static_cast<double>(cycles) / 1000.0 << 'k';
+  return os.str();
+}
+
+}  // namespace cgra

@@ -1,0 +1,190 @@
+#include "synth/synthesis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "arch/resource_model.hpp"
+#include "sched/scheduler.hpp"
+
+namespace cgra {
+
+namespace {
+
+/// Candidate interconnect styles (step 2).
+enum class Style { Mesh, RingChords, Dense };
+
+const char* styleName(Style s) {
+  switch (s) {
+    case Style::Mesh: return "mesh";
+    case Style::RingChords: return "ring+chords";
+    case Style::Dense: return "dense";
+  }
+  return "?";
+}
+
+Interconnect buildInterconnect(Style style, unsigned n) {
+  Interconnect ic(n);
+  switch (style) {
+    case Style::Mesh: {
+      // Most-square factorization.
+      unsigned rows = 1;
+      for (unsigned r = 1; r * r <= n; ++r)
+        if (n % r == 0) rows = r;
+      const unsigned cols = n / rows;
+      auto id = [cols](unsigned r, unsigned c) { return r * cols + c; };
+      for (unsigned r = 0; r < rows; ++r)
+        for (unsigned c = 0; c < cols; ++c) {
+          if (c + 1 < cols) ic.addBidirectional(id(r, c), id(r, c + 1));
+          if (r + 1 < rows) ic.addBidirectional(id(r, c), id(r + 1, c));
+        }
+      // Degenerate 1×n meshes still need a return path.
+      if (rows == 1 && n > 2) ic.addBidirectional(0, n - 1);
+      break;
+    }
+    case Style::RingChords:
+      for (PEId i = 0; i < n; ++i) ic.addBidirectional(i, (i + 1) % n);
+      for (PEId i = 0; i + n / 2 < n; ++i) ic.addBidirectional(i, i + n / 2);
+      break;
+    case Style::Dense:
+      for (PEId a = 0; a < n; ++a)
+        for (PEId b = a + 1; b < n; ++b)
+          if ((a + b) % 2 == 0 || b == a + 1) ic.addBidirectional(a, b);
+      break;
+  }
+  ic.computeShortestPaths();
+  return ic;
+}
+
+/// Spreads `count` marked PEs evenly over [0, n).
+std::vector<PEId> spread(unsigned count, unsigned n) {
+  std::vector<PEId> out;
+  for (unsigned i = 0; i < count; ++i)
+    out.push_back(static_cast<PEId>((i * n + n / 2) / std::max(1u, count)) %
+                  n);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  // Collisions for tiny n: fill with the next free ids.
+  for (PEId p = 0; out.size() < count && p < n; ++p)
+    if (std::find(out.begin(), out.end(), p) == out.end()) out.push_back(p);
+  return out;
+}
+
+}  // namespace
+
+DomainProfile profileDomain(const std::vector<DomainKernel>& kernels) {
+  DomainProfile prof;
+  prof.opHistogram.assign(kNumOps, 0);
+  std::size_t operations = 0;
+  std::size_t muls = 0, mems = 0;
+  double weightedIlp = 0.0, weightSum = 0.0;
+
+  for (const DomainKernel& k : kernels) {
+    CGRA_ASSERT(k.graph != nullptr);
+    const Cdfg& g = *k.graph;
+    double work = 0.0, critical = 1.0;
+    const auto weights = g.longestPathWeights();
+    for (NodeId id = 0; id < g.numNodes(); ++id) {
+      const Node& n = g.node(id);
+      if (n.kind != NodeKind::Operation) continue;
+      ++operations;
+      ++prof.opHistogram[static_cast<unsigned>(n.op)];
+      if (n.op == Op::IMUL) ++muls;
+      if (n.isMemory()) ++mems;
+      work += defaultDuration(n.op);
+      critical = std::max(critical, weights[id]);
+    }
+    weightedIlp += k.weight * (work / critical);
+    weightSum += k.weight;
+  }
+  if (operations) {
+    prof.mulFraction = static_cast<double>(muls) / operations;
+    prof.memFraction = static_cast<double>(mems) / operations;
+  }
+  prof.avgIlp = weightSum > 0 ? weightedIlp / weightSum : 1.0;
+  prof.suggestedPEs = static_cast<unsigned>(std::lround(prof.avgIlp + 1.0));
+  return prof;
+}
+
+SynthesisReport synthesizeComposition(const std::vector<DomainKernel>& kernels,
+                                      const SynthesisOptions& opts) {
+  if (kernels.empty()) throw Error("synthesizeComposition: no kernels");
+  const DomainProfile prof = profileDomain(kernels);
+
+  // Candidate PE counts around the ILP estimate, clamped to the range.
+  std::vector<unsigned> sizes;
+  for (int delta : {-2, 0, 2, 4}) {
+    const int n = static_cast<int>(prof.suggestedPEs) + delta;
+    const unsigned clamped = static_cast<unsigned>(
+        std::clamp<int>(n, static_cast<int>(opts.minPEs),
+                        static_cast<int>(opts.maxPEs)));
+    if (std::find(sizes.begin(), sizes.end(), clamped) == sizes.end())
+      sizes.push_back(clamped);
+  }
+
+  std::vector<CandidateResult> evaluated;
+  std::optional<Composition> best;
+  double bestScore = 0.0;
+  for (unsigned n : sizes) {
+    // Operator allocation: multipliers on ceil(mulFraction·n)+1 PEs, DMA
+    // ports covering memory pressure (at least 1, at most 4 per §IV-A.1).
+    const unsigned mulPEs = std::min(
+        n, static_cast<unsigned>(std::ceil(prof.mulFraction * n)) + 1);
+    const unsigned dmaPEs = std::clamp<unsigned>(
+        static_cast<unsigned>(std::ceil(prof.memFraction * n)), 1, 4);
+
+    for (Style style : {Style::Mesh, Style::RingChords, Style::Dense}) {
+      const std::vector<PEId> dma = spread(dmaPEs, n);
+      const std::vector<PEId> mul = spread(mulPEs, n);
+      std::vector<PEDescriptor> pes;
+      for (PEId p = 0; p < n; ++p) {
+        const bool hasDma = std::find(dma.begin(), dma.end(), p) != dma.end();
+        PEDescriptor pe = PEDescriptor::fullInteger(
+            "synth" + std::to_string(p), opts.regfileSize, hasDma);
+        if (std::find(mul.begin(), mul.end(), p) == mul.end())
+          pe.removeOp(Op::IMUL);
+        pes.push_back(std::move(pe));
+      }
+      const std::string name = std::to_string(n) + "pe-" + styleName(style) +
+                               "-" + std::to_string(mulPEs) + "mul";
+      CandidateResult cand;
+      cand.name = name;
+      try {
+        Composition comp(name, std::move(pes), buildInterconnect(style, n),
+                         opts.contextMemoryLength, opts.cboxSlots);
+        const Scheduler scheduler(comp);
+        double weightedLength = 0.0;
+        for (const DomainKernel& k : kernels)
+          weightedLength +=
+              k.weight * scheduler.schedule(*k.graph).schedule.length;
+        const ResourceEstimate est = estimateResources(comp);
+        cand.feasible = true;
+        cand.weightedLength = weightedLength;
+        cand.lutArea = est.lutLogic;
+        // Normalize area against a 16-PE dense upper bound (~20k LUTs).
+        cand.score = weightedLength *
+                     (1.0 + opts.areaWeight * est.lutLogic / 20000.0);
+        if (!best || cand.score < bestScore) {
+          best = std::move(comp);
+          bestScore = cand.score;
+        }
+        evaluated.push_back(std::move(cand));
+      } catch (const Error& e) {
+        cand.feasible = false;
+        cand.failure = e.what();
+        evaluated.push_back(std::move(cand));
+      }
+    }
+  }
+
+  if (!best)
+    throw Error("synthesizeComposition: no feasible candidate for the domain");
+  std::stable_sort(evaluated.begin(), evaluated.end(),
+                   [](const CandidateResult& a, const CandidateResult& b) {
+                     if (a.feasible != b.feasible) return a.feasible;
+                     return a.score < b.score;
+                   });
+  return SynthesisReport{std::move(*best), prof, std::move(evaluated)};
+}
+
+}  // namespace cgra

@@ -1,0 +1,81 @@
+// Automatic composition synthesis — the paper's stated future work (§VII):
+// "we want to develop a tool that automatically analyzes a set of problems
+// from an application domain and generates a matching CGRA composition."
+//
+// Given the CDFGs of an application domain (with importance weights), the
+// synthesizer:
+//  1. profiles them: operation histogram, memory-operation pressure and an
+//     ILP estimate (total work / critical path) that bounds the useful PE
+//     count;
+//  2. enumerates candidate compositions — array sizes around the ILP
+//     estimate × interconnect styles (mesh, ring+chords, dense) × operator
+//     allocations (multipliers only on as many PEs as the MUL fraction
+//     warrants, DMA ports sized from memory pressure, capped at 4 per the
+//     architecture);
+//  3. schedules every kernel on every candidate and scores candidates by
+//     weighted schedule length plus an area penalty from the calibrated
+//     resource model (the paper's own iterate-by-experience flow, §I,
+//     automated);
+//  4. returns the best candidate with the full ranking for inspection.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/composition.hpp"
+#include "cdfg/cdfg.hpp"
+
+namespace cgra {
+
+/// One kernel of the application domain.
+struct DomainKernel {
+  const Cdfg* graph = nullptr;
+  double weight = 1.0;  ///< relative importance (e.g. profiled execution share)
+  std::string name;
+};
+
+struct SynthesisOptions {
+  unsigned minPEs = 4;
+  unsigned maxPEs = 16;
+  unsigned regfileSize = 64;
+  unsigned contextMemoryLength = 1024;
+  unsigned cboxSlots = 32;
+  /// Score = cycles-term × (1 + areaWeight × normalized-LUT-area).
+  double areaWeight = 0.25;
+};
+
+/// Profile of the domain (step 1).
+struct DomainProfile {
+  std::vector<std::size_t> opHistogram;  ///< indexed by Op
+  double mulFraction = 0.0;              ///< IMUL share of operation nodes
+  double memFraction = 0.0;              ///< DMA share of operation nodes
+  double avgIlp = 0.0;                   ///< work / critical-path estimate
+  unsigned suggestedPEs = 0;
+};
+
+/// One evaluated candidate (step 3).
+struct CandidateResult {
+  std::string name;
+  double score = 0.0;
+  double weightedLength = 0.0;  ///< Σ weight × schedule length
+  double lutArea = 0.0;
+  bool feasible = false;
+  std::string failure;  ///< first scheduling error when infeasible
+};
+
+/// Synthesis outcome: the winning composition plus the ranking.
+struct SynthesisReport {
+  Composition best;
+  DomainProfile profile;
+  std::vector<CandidateResult> candidates;  ///< sorted by ascending score
+};
+
+/// Profiles a domain without generating candidates (exposed for tests).
+DomainProfile profileDomain(const std::vector<DomainKernel>& kernels);
+
+/// Runs the full synthesis; throws cgra::Error when no candidate can map
+/// every kernel.
+SynthesisReport synthesizeComposition(const std::vector<DomainKernel>& kernels,
+                                      const SynthesisOptions& opts = {});
+
+}  // namespace cgra

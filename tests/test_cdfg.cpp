@@ -1,0 +1,231 @@
+// Unit tests for the CDFG IR: node/edge construction, condition-tree
+// interning, loop-tree queries, validation rules, longest-path priorities
+// and DOT export.
+#include <gtest/gtest.h>
+
+#include "cdfg/cdfg.hpp"
+
+namespace cgra {
+namespace {
+
+Node op(Op o, std::vector<Operand> operands, LoopId loop = kRootLoop,
+        CondId cond = kCondTrue) {
+  Node n;
+  n.kind = NodeKind::Operation;
+  n.op = o;
+  n.operands = std::move(operands);
+  n.loop = loop;
+  n.cond = cond;
+  return n;
+}
+
+Node pwrite(VarId var, Operand value, LoopId loop = kRootLoop,
+            CondId cond = kCondTrue) {
+  Node n;
+  n.kind = NodeKind::PWrite;
+  n.var = var;
+  n.operands = {value};
+  n.loop = loop;
+  n.cond = cond;
+  return n;
+}
+
+TEST(Cdfg, ConditionInterning) {
+  Cdfg g;
+  g.addVariable(Variable{"x", true, false, 0});
+  const NodeId cmp = g.addNode(
+      op(Op::IFLT, {Operand::variable(0), Operand::immediate(0)}));
+  const CondId a = g.makeCondition(kCondTrue, cmp, true);
+  const CondId b = g.makeCondition(kCondTrue, cmp, true);
+  const CondId c = g.makeCondition(kCondTrue, cmp, false);
+  EXPECT_EQ(a, b) << "identical conditions are interned";
+  EXPECT_NE(a, c);
+  const CondId nested = g.makeCondition(a, cmp, false);
+  EXPECT_TRUE(g.conditionImplies(nested, a));
+  EXPECT_FALSE(g.conditionImplies(a, nested));
+  EXPECT_TRUE(g.conditionImplies(a, kCondTrue));
+
+  const auto lits = g.conditionLiterals(nested);
+  ASSERT_EQ(lits.size(), 2u);
+  EXPECT_EQ(lits[0], std::make_pair(cmp, true)) << "outermost first";
+  EXPECT_EQ(lits[1], std::make_pair(cmp, false));
+}
+
+TEST(Cdfg, LoopTreeQueries) {
+  Cdfg g;
+  g.addVariable(Variable{"x", true, false, 0});
+  const NodeId cmp1 = g.addNode(
+      op(Op::IFLT, {Operand::variable(0), Operand::immediate(10)}));
+  Loop l1;
+  l1.parent = kRootLoop;
+  l1.controllingNode = cmp1;
+  const LoopId loop1 = g.addLoop(l1);
+  g.node(cmp1).loop = loop1;
+
+  const NodeId cmp2 = g.addNode(
+      op(Op::IFLT, {Operand::variable(0), Operand::immediate(5)}));
+  Loop l2;
+  l2.parent = loop1;
+  l2.controllingNode = cmp2;
+  const LoopId loop2 = g.addLoop(l2);
+  g.node(cmp2).loop = loop2;
+
+  EXPECT_TRUE(g.loopContains(kRootLoop, loop2));
+  EXPECT_TRUE(g.loopContains(loop1, loop2));
+  EXPECT_FALSE(g.loopContains(loop2, loop1));
+  EXPECT_EQ(g.loopDepth(loop2), 2u);
+  EXPECT_EQ(g.loopAncestry(loop2), (std::vector<LoopId>{loop2, loop1}));
+  EXPECT_EQ(g.loopChildren(loop1), (std::vector<LoopId>{loop2}));
+}
+
+TEST(Cdfg, VarWrittenInLoop) {
+  Cdfg g;
+  const VarId x = g.addVariable(Variable{"x", true, true, 0});
+  const VarId y = g.addVariable(Variable{"y", true, true, 0});
+  const NodeId cmp = g.addNode(
+      op(Op::IFLT, {Operand::variable(x), Operand::immediate(10)}));
+  Loop l;
+  l.parent = kRootLoop;
+  l.controllingNode = cmp;
+  const LoopId loop = g.addLoop(l);
+  g.node(cmp).loop = loop;
+  g.addNode(pwrite(x, Operand::immediate(1), loop));
+  g.addNode(pwrite(y, Operand::immediate(2), kRootLoop));
+  EXPECT_TRUE(g.varWrittenInLoop(x, loop));
+  EXPECT_FALSE(g.varWrittenInLoop(y, loop));
+  EXPECT_TRUE(g.varWrittenInLoop(y, kRootLoop));
+}
+
+TEST(Cdfg, ValidateRejectsBadOperandCounts) {
+  Cdfg g;
+  g.addVariable(Variable{"x", true, false, 0});
+  Node n = op(Op::IADD, {Operand::variable(0)});  // needs 2
+  g.addNode(std::move(n));
+  EXPECT_THROW(g.validate(), Error);
+}
+
+TEST(Cdfg, ValidateRejectsStatusAsDataOperand) {
+  Cdfg g;
+  g.addVariable(Variable{"x", true, false, 0});
+  const NodeId cmp = g.addNode(
+      op(Op::IFEQ, {Operand::variable(0), Operand::immediate(0)}));
+  g.addNode(op(Op::IADD, {Operand::node(cmp), Operand::immediate(1)}));
+  EXPECT_THROW(g.validate(), Error);
+}
+
+TEST(Cdfg, ValidateRejectsPWriteResultAsOperand) {
+  Cdfg g;
+  const VarId x = g.addVariable(Variable{"x", true, true, 0});
+  const NodeId w = g.addNode(pwrite(x, Operand::immediate(1)));
+  g.addNode(op(Op::IADD, {Operand::node(w), Operand::immediate(1)}));
+  EXPECT_THROW(g.validate(), Error);
+}
+
+TEST(Cdfg, ValidateRejectsSchedulerInternalOps) {
+  Cdfg g;
+  Node n;
+  n.kind = NodeKind::Operation;
+  n.op = Op::MOVE;
+  n.operands = {Operand::immediate(1)};
+  g.addNode(std::move(n));
+  EXPECT_THROW(g.validate(), Error);
+}
+
+TEST(Cdfg, ValidateRejectsCycles) {
+  Cdfg g;
+  const VarId x = g.addVariable(Variable{"x", true, true, 0});
+  const NodeId a = g.addNode(pwrite(x, Operand::immediate(1)));
+  const NodeId b = g.addNode(pwrite(x, Operand::immediate(2)));
+  g.addEdge(a, b, DepKind::Output);
+  g.addEdge(b, a, DepKind::Output);
+  EXPECT_THROW(g.validate(), Error);
+}
+
+TEST(Cdfg, ValidateRequiresControlEdgesForConditions) {
+  Cdfg g;
+  const VarId x = g.addVariable(Variable{"x", true, true, 0});
+  const NodeId cmp = g.addNode(
+      op(Op::IFEQ, {Operand::variable(x), Operand::immediate(0)}));
+  const CondId c = g.makeCondition(kCondTrue, cmp, true);
+  g.addNode(pwrite(x, Operand::immediate(1), kRootLoop, c));
+  EXPECT_THROW(g.validate(), Error);  // missing Control edge
+
+  Cdfg g2;
+  const VarId x2 = g2.addVariable(Variable{"x", true, true, 0});
+  const NodeId cmp2 = g2.addNode(
+      op(Op::IFEQ, {Operand::variable(x2), Operand::immediate(0)}));
+  const CondId c2 = g2.makeCondition(kCondTrue, cmp2, true);
+  const NodeId w = g2.addNode(pwrite(x2, Operand::immediate(1), kRootLoop, c2));
+  g2.addEdge(cmp2, w, DepKind::Control);
+  EXPECT_NO_THROW(g2.validate());
+}
+
+TEST(Cdfg, EdgesAreDeduplicated) {
+  Cdfg g;
+  const VarId x = g.addVariable(Variable{"x", true, true, 0});
+  const NodeId a = g.addNode(pwrite(x, Operand::immediate(1)));
+  const NodeId b = g.addNode(pwrite(x, Operand::immediate(2)));
+  g.addEdge(a, b, DepKind::Output);
+  g.addEdge(a, b, DepKind::Output);
+  g.addEdge(a, b, DepKind::Anti);  // distinct kind kept
+  EXPECT_EQ(g.edges().size(), 2u);
+  EXPECT_EQ(g.outEdges(a).size(), 2u);
+  EXPECT_EQ(g.inEdges(b).size(), 2u);
+}
+
+TEST(Cdfg, LongestPathWeights) {
+  // add1 -> add2 -> add3 chain plus a lone node.
+  Cdfg g;
+  const VarId x = g.addVariable(Variable{"x", true, true, 0});
+  const NodeId a1 = g.addNode(
+      op(Op::IADD, {Operand::variable(x), Operand::immediate(1)}));
+  const NodeId a2 =
+      g.addNode(op(Op::IADD, {Operand::node(a1), Operand::immediate(1)}));
+  const NodeId a3 =
+      g.addNode(op(Op::IMUL, {Operand::node(a2), Operand::immediate(1)}));
+  const NodeId lone = g.addNode(
+      op(Op::IADD, {Operand::variable(x), Operand::immediate(2)}));
+  g.addEdge(a1, a2, DepKind::Flow);
+  g.addEdge(a2, a3, DepKind::Flow);
+
+  const auto w = g.longestPathWeights();
+  EXPECT_GT(w[a1], w[a2]);
+  EXPECT_GT(w[a2], w[a3]);
+  EXPECT_DOUBLE_EQ(w[a3], 2.0) << "IMUL default duration";
+  EXPECT_DOUBLE_EQ(w[a1], 1.0 + 1.0 + 2.0);
+  EXPECT_DOUBLE_EQ(w[lone], 1.0);
+}
+
+TEST(Cdfg, RootNodes) {
+  Cdfg g;
+  const VarId x = g.addVariable(Variable{"x", true, true, 0});
+  const NodeId a = g.addNode(pwrite(x, Operand::immediate(1)));
+  const NodeId b = g.addNode(pwrite(x, Operand::immediate(2)));
+  g.addEdge(a, b, DepKind::Output);
+  EXPECT_EQ(g.rootNodes(), std::vector<NodeId>{a});
+}
+
+TEST(Cdfg, DotExportShowsLoopsAndControlEdges) {
+  Cdfg g;
+  const VarId x = g.addVariable(Variable{"x", true, true, 0});
+  const NodeId cmp = g.addNode(
+      op(Op::IFLT, {Operand::variable(x), Operand::immediate(10)}));
+  Loop l;
+  l.parent = kRootLoop;
+  l.controllingNode = cmp;
+  l.label = "while#1";
+  const LoopId loop = g.addLoop(l);
+  g.node(cmp).loop = loop;
+  const CondId c = g.makeCondition(kCondTrue, cmp, true);
+  g.loop(loop).bodyCond = c;
+  const NodeId w = g.addNode(pwrite(x, Operand::immediate(1), loop, c));
+  g.addEdge(cmp, w, DepKind::Control);
+
+  const std::string dot = g.toDot("t");
+  EXPECT_NE(dot.find("cluster_loop1"), std::string::npos);
+  EXPECT_NE(dot.find("pWRITE x"), std::string::npos);
+  EXPECT_NE(dot.find("color=\"red\""), std::string::npos) << "control edge";
+}
+
+}  // namespace
+}  // namespace cgra

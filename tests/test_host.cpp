@@ -1,0 +1,153 @@
+// Unit tests for the host substrate: heap semantics, token-machine cost
+// accounting and error handling, and the hardware-profiler analog.
+#include <gtest/gtest.h>
+
+#include "apps/kernels.hpp"
+#include "host/profiler.hpp"
+#include "host/token_machine.hpp"
+#include "kir/lower_bytecode.hpp"
+
+namespace cgra {
+namespace {
+
+TEST(HostMemory, AllocLoadStore) {
+  HostMemory mem;
+  const Handle h = mem.alloc({1, 2, 3});
+  EXPECT_EQ(mem.size(h), 3u);
+  EXPECT_EQ(mem.load(h, 2), 3);
+  mem.store(h, 0, 42);
+  EXPECT_EQ(mem.load(h, 0), 42);
+  EXPECT_EQ(mem.loadCount(), 2u);
+  EXPECT_EQ(mem.storeCount(), 1u);
+}
+
+TEST(HostMemory, BoundsAndHandleChecks) {
+  HostMemory mem;
+  const Handle h = mem.alloc(2);
+  EXPECT_THROW(mem.load(h, 2), Error);
+  EXPECT_THROW(mem.load(h, -1), Error);
+  EXPECT_THROW(mem.store(h, 5, 0), Error);
+  EXPECT_THROW(mem.load(7, 0), Error);
+  EXPECT_THROW(mem.load(-1, 0), Error);
+}
+
+TEST(HostMemory, EqualityComparesContents) {
+  HostMemory a, b;
+  a.alloc({1, 2});
+  b.alloc({1, 2});
+  EXPECT_TRUE(a == b);
+  b.store(0, 1, 3);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(TokenMachine, ArithmeticProgram) {
+  // r2 = (r0 + r1) * r0
+  BytecodeFunction fn;
+  fn.name = "t";
+  fn.numLocals = 3;
+  fn.code = {
+      {Bc::ILOAD, 0}, {Bc::ILOAD, 1}, {Bc::IADD, 0},  {Bc::ILOAD, 0},
+      {Bc::IMUL, 0},  {Bc::ISTORE, 2}, {Bc::HALT, 0},
+  };
+  HostMemory heap;
+  const TokenMachine tm;
+  const auto r = tm.run(fn, {3, 4}, heap);
+  EXPECT_EQ(r.locals[2], 21);
+  EXPECT_EQ(r.bytecodes, 7u);
+  // Cost model: 3 local loads + 1 store (4×localOp) + add (aluOp) + mul.
+  const TokenCostModel c;
+  EXPECT_EQ(r.cycles, 4 * c.localOp + c.aluOp + c.mulOp);
+}
+
+TEST(TokenMachine, BranchAndArrayCosts) {
+  BytecodeFunction fn;
+  fn.name = "t";
+  fn.numLocals = 1;
+  fn.code = {
+      {Bc::ICONST, 0}, {Bc::ICONST, 1}, {Bc::IF_ICMPLT, 4}, {Bc::HALT, 0},
+      {Bc::ICONST, 0}, {Bc::ICONST, 5}, {Bc::IALOAD, 0},   {Bc::ISTORE, 0},
+      {Bc::HALT, 0},
+  };
+  HostMemory heap;
+  const Handle h = heap.alloc({9, 8, 7, 6, 5, 4});
+  ASSERT_EQ(h, 0);
+  const TokenMachine tm;
+  const auto r = tm.run(fn, {}, heap);
+  EXPECT_EQ(r.locals[0], 4);
+}
+
+TEST(TokenMachine, DetectsStackUnderflow) {
+  BytecodeFunction fn;
+  fn.name = "t";
+  fn.numLocals = 0;
+  fn.code = {{Bc::IADD, 0}, {Bc::HALT, 0}};
+  HostMemory heap;
+  const TokenMachine tm;
+  EXPECT_THROW(tm.run(fn, {}, heap), Error);
+}
+
+TEST(TokenMachine, DetectsRunawayLoop) {
+  BytecodeFunction fn;
+  fn.name = "t";
+  fn.numLocals = 0;
+  fn.code = {{Bc::GOTO, 0}};
+  HostMemory heap;
+  const TokenMachine tm;
+  EXPECT_THROW(tm.run(fn, {}, heap, 1000), Error);
+}
+
+TEST(TokenMachine, DetectsResidualStack) {
+  BytecodeFunction fn;
+  fn.name = "t";
+  fn.numLocals = 0;
+  fn.code = {{Bc::ICONST, 1}, {Bc::HALT, 0}};
+  HostMemory heap;
+  const TokenMachine tm;
+  EXPECT_THROW(tm.run(fn, {}, heap), Error);
+}
+
+TEST(TokenMachine, CustomCostModel) {
+  TokenCostModel costs;
+  costs.constOp = 100;
+  const TokenMachine tm(costs);
+  BytecodeFunction fn;
+  fn.name = "t";
+  fn.numLocals = 1;
+  fn.code = {{Bc::ICONST, 5}, {Bc::ISTORE, 0}, {Bc::HALT, 0}};
+  HostMemory heap;
+  const auto r = tm.run(fn, {}, heap);
+  EXPECT_EQ(r.cycles, 100u + costs.localOp);
+}
+
+TEST(Profiler, FindsHotLoopInAdpcm) {
+  const apps::Workload w = apps::makeAdpcm(64, 1);
+  const BytecodeFunction bc = kir::lowerToBytecode(w.fn);
+  Profiler profiler(/*threshold=*/32);
+  HostMemory heap = w.heap;
+  profiler.profile(bc, w.initialLocals, heap);
+
+  const auto regions = profiler.hotRegions();
+  ASSERT_FALSE(regions.empty()) << "the sample loop must be hot";
+  // Hottest region first; the outer loop executes ~64 times, the inner
+  // bit-scan loop up to 3x per sample.
+  EXPECT_GE(regions.front().executions, 64u);
+  for (const HotRegion& r : regions) EXPECT_LE(r.startPc, r.endPc);
+  // The profile run has the same architectural effect as a normal run.
+  HostMemory plainHeap = w.heap;
+  const TokenMachine tm;
+  tm.run(bc, w.initialLocals, plainHeap);
+  EXPECT_TRUE(heap == plainHeap);
+}
+
+TEST(Profiler, ThresholdFiltersColdBranches) {
+  const apps::Workload w = apps::makeGcd(12, 8);
+  const BytecodeFunction bc = kir::lowerToBytecode(w.fn);
+  Profiler hot(1'000'000);
+  HostMemory heap = w.heap;
+  hot.profile(bc, w.initialLocals, heap);
+  EXPECT_TRUE(hot.hotRegions().empty());
+  EXPECT_FALSE(hot.branchCounts().empty()) << "raw counters still collected";
+}
+
+}  // namespace
+}  // namespace cgra

@@ -1,0 +1,139 @@
+// Tests for context-image serialization: hex word round trips, JSON
+// round trips (bit-exact), $readmemh output, malformed-input rejection, and
+// the full persist→reload→simulate flow.
+#include <gtest/gtest.h>
+
+#include "apps/kernels.hpp"
+#include "arch/factory.hpp"
+#include "ctx/serialize.hpp"
+#include "kir/interp.hpp"
+#include "kir/lower_cdfg.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/simulator.hpp"
+#include "support/rng.hpp"
+
+namespace cgra {
+namespace {
+
+TEST(HexWord, RoundTripsArbitraryWidths) {
+  Rng rng(3);
+  for (unsigned width : {1u, 3u, 4u, 7u, 8u, 13u, 31u, 32u, 63u, 64u, 100u}) {
+    BitVector bits(width);
+    for (unsigned i = 0; i < width; ++i) bits.set(i, rng.chance(1, 2));
+    const std::string hex = contextWordToHex(bits);
+    EXPECT_EQ(hex.size(), (width + 3) / 4);
+    const BitVector back = contextWordFromHex(hex, width);
+    EXPECT_TRUE(back == bits) << "width " << width << " hex " << hex;
+  }
+}
+
+TEST(HexWord, KnownValues) {
+  BitPacker bp;
+  bp.write(0xDEADu, 16);
+  EXPECT_EQ(contextWordToHex(bp.bits()), "dead");
+  BitPacker bp2;
+  bp2.write(0x5, 3);  // 3-bit word "101"
+  EXPECT_EQ(contextWordToHex(bp2.bits()), "5");
+}
+
+TEST(HexWord, RejectsBadInput) {
+  EXPECT_THROW(contextWordFromHex("xyz", 12), Error);
+  EXPECT_THROW(contextWordFromHex("ab", 12), Error);  // wrong length
+  // Upper-case hex accepted.
+  const BitVector v = contextWordFromHex("AB", 8);
+  EXPECT_EQ(contextWordToHex(v), "ab");
+}
+
+ContextImages makeImages() {
+  const apps::Workload w = apps::makeAdpcm(8, 1);
+  const kir::LoweringResult lowered = kir::lowerToCdfg(w.fn);
+  const Composition comp = makeMesh(6);
+  const Schedule sched = Scheduler(comp).schedule(lowered.graph).schedule;
+  return generateContexts(sched, comp);
+}
+
+TEST(ContextJson, BitExactRoundTrip) {
+  const ContextImages img = makeImages();
+  const json::Value doc = contextImagesToJson(img);
+  // Serialize to text and back (the realistic file path).
+  const ContextImages back = contextImagesFromJson(json::parse(doc.dump()));
+
+  EXPECT_EQ(back.length, img.length);
+  EXPECT_EQ(back.peWidths, img.peWidths);
+  EXPECT_EQ(back.cboxWidth, img.cboxWidth);
+  EXPECT_EQ(back.ccuWidth, img.ccuWidth);
+  EXPECT_EQ(back.physRegsUsed, img.physRegsUsed);
+  EXPECT_EQ(back.cboxSlotsUsed, img.cboxSlotsUsed);
+  ASSERT_EQ(back.peContexts.size(), img.peContexts.size());
+  for (std::size_t p = 0; p < img.peContexts.size(); ++p)
+    for (std::size_t t = 0; t < img.length; ++t)
+      EXPECT_TRUE(back.peContexts[p][t] == img.peContexts[p][t])
+          << "PE " << p << " t" << t;
+  for (std::size_t t = 0; t < img.length; ++t) {
+    EXPECT_TRUE(back.cboxContexts[t] == img.cboxContexts[t]);
+    EXPECT_TRUE(back.ccuContexts[t] == img.ccuContexts[t]);
+  }
+  EXPECT_EQ(back.liveIns.size(), img.liveIns.size());
+  EXPECT_EQ(back.liveOuts.size(), img.liveOuts.size());
+  EXPECT_EQ(back.totalBits(), img.totalBits());
+}
+
+TEST(ContextJson, ReloadedImagesSimulateCorrectly) {
+  const apps::Workload w = apps::makeAdpcm(12, 2);
+  const kir::LoweringResult lowered = kir::lowerToCdfg(w.fn);
+  const Composition comp = makeMesh(6);
+  const Schedule sched = Scheduler(comp).schedule(lowered.graph).schedule;
+  const ContextImages img = generateContexts(sched, comp);
+
+  // Persist + reload, then run from the reloaded images.
+  const ContextImages reloaded =
+      contextImagesFromJson(json::parse(contextImagesToJson(img).dump()));
+  const Schedule runnable = decodeContexts(reloaded, comp);
+
+  HostMemory goldenHeap = w.heap;
+  kir::Interpreter interp;
+  interp.run(w.fn, w.initialLocals, goldenHeap);
+
+  std::map<VarId, std::int32_t> liveIns;
+  for (const LiveBinding& lb : runnable.liveIns)
+    liveIns[lb.var] = w.initialLocals[lb.var];
+  HostMemory heap = w.heap;
+  Simulator(comp, runnable).run(liveIns, heap);
+  EXPECT_TRUE(heap == goldenHeap);
+}
+
+TEST(ContextJson, RejectsMalformedDocuments) {
+  const ContextImages img = makeImages();
+  json::Value doc = contextImagesToJson(img);
+
+  json::Value noFormat = doc;
+  noFormat.asObject()["format"] = "other";
+  EXPECT_THROW(contextImagesFromJson(noFormat), Error);
+
+  json::Value badCount = doc;
+  badCount.asObject()["cbox_memory"].asObject()["contexts"].asArray().pop_back();
+  EXPECT_THROW(contextImagesFromJson(badCount), Error);
+
+  json::Value badWidth = doc;
+  badWidth.asObject()["ccu_memory"].asObject()["width"] = -3;
+  EXPECT_THROW(contextImagesFromJson(badWidth), Error);
+}
+
+TEST(MemFile, ReadmemhFormat) {
+  const ContextImages img = makeImages();
+  const std::string mem =
+      toMemFile(img.peContexts[0], img.peWidths[0], "pe0 context memory");
+  std::istringstream in(mem);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line.rfind("//", 0), 0u) << "comment header";
+  unsigned words = 0;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(line.size(), (img.peWidths[0] + 3) / 4);
+    ++words;
+  }
+  EXPECT_EQ(words, img.length);
+}
+
+}  // namespace
+}  // namespace cgra

@@ -1,0 +1,159 @@
+// Unit tests for the support utilities: bit vectors, bit-field packing,
+// DOT writer, deterministic RNG and table formatting.
+#include <gtest/gtest.h>
+
+#include "support/bitvector.hpp"
+#include "support/dot.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace cgra {
+namespace {
+
+TEST(BitVector, SetGetAcrossWordBoundary) {
+  BitVector bv(130);
+  EXPECT_EQ(bv.size(), 130u);
+  for (std::size_t i = 0; i < 130; i += 7) bv.set(i, true);
+  for (std::size_t i = 0; i < 130; ++i) EXPECT_EQ(bv.get(i), i % 7 == 0);
+  EXPECT_EQ(bv.popcount(), (130 + 6) / 7);
+}
+
+TEST(BitVector, PushBackGrows) {
+  BitVector bv;
+  for (int i = 0; i < 200; ++i) bv.pushBack(i % 3 == 0);
+  EXPECT_EQ(bv.size(), 200u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(bv.get(static_cast<std::size_t>(i)), i % 3 == 0);
+}
+
+TEST(BitVector, FilledConstructorTrimsTail) {
+  BitVector bv(70, true);
+  EXPECT_EQ(bv.popcount(), 70u);
+}
+
+TEST(BitVector, EqualityIncludesSize) {
+  BitVector a(10), b(11);
+  EXPECT_FALSE(a == b);
+  BitVector c(10);
+  EXPECT_TRUE(a == c);
+  a.set(3, true);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(BitPacker, RoundTripMixedFields) {
+  BitPacker bp;
+  bp.write(0x2A, 7);
+  bp.writeBool(true);
+  bp.write(0xDEADBEEFull, 32);
+  bp.write(0, 1);
+  bp.write(0x1FFFF, 17);
+
+  BitReader br(bp.bits());
+  EXPECT_EQ(br.read(7), 0x2Au);
+  EXPECT_TRUE(br.readBool());
+  EXPECT_EQ(br.read(32), 0xDEADBEEFull);
+  EXPECT_EQ(br.read(1), 0u);
+  EXPECT_EQ(br.read(17), 0x1FFFFu);
+  EXPECT_TRUE(br.exhausted());
+}
+
+TEST(BitPacker, RejectsOverwideValue) {
+  BitPacker bp;
+  EXPECT_THROW(bp.write(16, 4), InternalError);
+}
+
+TEST(BitReader, ThrowsOnExhaustion) {
+  BitPacker bp;
+  bp.write(3, 2);
+  BitReader br(bp.bits());
+  br.read(2);
+  EXPECT_THROW(br.read(1), InternalError);
+}
+
+class BitRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BitRoundTrip, RandomFieldSequences) {
+  Rng rng(GetParam());
+  std::vector<std::pair<std::uint64_t, unsigned>> fields;
+  BitPacker bp;
+  for (int i = 0; i < 64; ++i) {
+    const unsigned width = static_cast<unsigned>(rng.range(1, 64));
+    const std::uint64_t value =
+        width == 64 ? rng.next() : rng.next() & ((1ull << width) - 1);
+    fields.emplace_back(value, width);
+    bp.write(value, width);
+  }
+  BitReader br(bp.bits());
+  for (const auto& [value, width] : fields) EXPECT_EQ(br.read(width), value);
+  EXPECT_TRUE(br.exhausted());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitRoundTrip, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(BitsFor, Boundaries) {
+  EXPECT_EQ(bitsFor(1), 1u);
+  EXPECT_EQ(bitsFor(2), 1u);
+  EXPECT_EQ(bitsFor(3), 2u);
+  EXPECT_EQ(bitsFor(4), 2u);
+  EXPECT_EQ(bitsFor(5), 3u);
+  EXPECT_EQ(bitsFor(256), 8u);
+  EXPECT_EQ(bitsFor(257), 9u);
+}
+
+TEST(DotWriter, EscapesQuotesAndRendersEdges) {
+  DotWriter dot("g");
+  dot.addNode("a", "say \"hi\"");
+  dot.addNode("b", "plain", {{"shape", "box"}});
+  dot.addEdge("a", "b", {{"label", "1"}});
+  const std::string out = dot.str();
+  EXPECT_NE(out.find("say \\\"hi\\\""), std::string::npos);
+  EXPECT_NE(out.find("\"a\" -> \"b\""), std::string::npos);
+  EXPECT_NE(out.find("shape=\"box\""), std::string::npos);
+  EXPECT_EQ(out.find("digraph"), 0u);
+}
+
+TEST(DotWriter, ClustersNest) {
+  DotWriter dot("g");
+  dot.beginCluster("c1", "outer");
+  dot.addNode("x", "x");
+  dot.endCluster();
+  const std::string out = dot.str();
+  EXPECT_NE(out.find("subgraph \"cluster_c1\""), std::string::npos);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Rng rng(11);
+  bool sawLo = false, sawHi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    sawLo |= v == -2;
+    sawHi |= v == 2;
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.addRow({"x", "1"});
+  t.addRow({"longer", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(Format, KiloFormatting) {
+  EXPECT_EQ(fmtKilo(152300), "152.3k");
+  EXPECT_EQ(fmt(7.345, 1), "7.3");
+}
+
+}  // namespace
+}  // namespace cgra

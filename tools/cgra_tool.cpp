@@ -1,0 +1,395 @@
+// cgra-tool — command-line front end of the toolflow.
+//
+//   cgra-tool list                                  kernels & compositions
+//   cgra-tool describe  --comp mesh9                composition report
+//   cgra-tool schedule  --comp D --kernel adpcm [--unroll 2]
+//                       [--gantt] [--dump] [--contexts out.json]
+//                       [--verilog out.v] [--dot out.dot]
+//   cgra-tool simulate  --comp mesh9 --kernel adpcm [--unroll 2]
+//                       [--baseline]                run & verify vs golden
+//   cgra-tool synthesize --kernels adpcm,fir,gcd [--area-weight 0.25]
+//
+// Compositions: mesh4|mesh6|mesh8|mesh9|mesh12|mesh16, A..F (Fig. 14), or a
+// path to a Fig. 8-style JSON description. Kernels: bundled workloads (see
+// `list`) or user kernels via --kernel-file f.kir with inputs passed as
+// --local name=value and --array name=v1,v2,... (array flags allocate a heap
+// array and bind its handle to the named parameter), e.g.
+//
+//   cgra-tool simulate --comp mesh4 --kernel-file my.kir [continued]
+//       --array data=3,1,2 --local n=3
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+
+#include "apps/kernels.hpp"
+#include "arch/factory.hpp"
+#include "arch/resource_model.hpp"
+#include "ctx/contexts.hpp"
+#include "ctx/serialize.hpp"
+#include "host/token_machine.hpp"
+#include "kir/interp.hpp"
+#include "kir/lower_bytecode.hpp"
+#include "kir/lower_cdfg.hpp"
+#include "kir/parser.hpp"
+#include "kir/passes.hpp"
+#include "sched/analysis.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/validate.hpp"
+#include "sim/simulator.hpp"
+#include "support/table.hpp"
+#include "synth/synthesis.hpp"
+#include "vgen/verilog.hpp"
+
+namespace {
+
+using namespace cgra;
+
+/// Simple flag parser: --key value pairs plus boolean switches.
+class Args {
+public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0)
+        throw Error("unexpected argument: " + arg);
+      arg = arg.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        const std::string value = argv[++i];
+        if (arg == "local" || arg == "array")
+          repeated_[arg].push_back(value);
+        else
+          values_[arg] = value;
+      } else {
+        values_[arg] = "";
+      }
+    }
+  }
+
+  const std::vector<std::string>& repeated(const std::string& key) const {
+    static const std::vector<std::string> kEmpty;
+    const auto it = repeated_.find(key);
+    return it == repeated_.end() ? kEmpty : it->second;
+  }
+
+  bool has(const std::string& key) const { return values_.contains(key); }
+  std::string get(const std::string& key, const std::string& fallback = "") const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  unsigned getUnsigned(const std::string& key, unsigned fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback
+                               : static_cast<unsigned>(std::stoul(it->second));
+  }
+  double getDouble(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+
+private:
+  std::map<std::string, std::string> values_;
+  std::map<std::string, std::vector<std::string>> repeated_;
+};
+
+Composition resolveComposition(const std::string& name) {
+  if (name.rfind("mesh", 0) == 0)
+    return makeMesh(static_cast<unsigned>(std::stoul(name.substr(4))));
+  if (name.size() == 1 && name[0] >= 'A' && name[0] <= 'F')
+    return makeIrregular(name[0]);
+  if (name.find(".json") != std::string::npos)
+    return Composition::fromJsonFile(name);
+  throw Error("unknown composition \"" + name +
+              "\" (expected meshN, A..F, or a .json path)");
+}
+
+apps::Workload resolveKernel(const std::string& name) {
+  for (apps::Workload& w : apps::allWorkloads())
+    if (w.name == name) return std::move(w);
+  throw Error("unknown kernel \"" + name + "\" (see `cgra-tool list`)");
+}
+
+int cmdList() {
+  std::cout << "kernels:\n";
+  for (const apps::Workload& w : apps::allWorkloads())
+    std::cout << "  " << w.name << "  (" << w.fn.numLocals() << " locals, "
+              << w.heap.numArrays() << " arrays)\n";
+  std::cout << "compositions:\n  mesh4 mesh6 mesh8 mesh9 mesh12 mesh16 "
+               "(Fig. 13)\n  A B C D E F (Fig. 14, 8 PEs)\n  or a Fig. "
+               "8-style JSON file\n";
+  return 0;
+}
+
+int cmdDescribe(const Args& args) {
+  const Composition comp = resolveComposition(args.get("comp", "mesh4"));
+  std::cout << "composition " << comp.name() << ": " << comp.numPEs()
+            << " PEs, " << comp.interconnect().numLinks() << " links\n";
+  TextTable table({"PE", "RF", "DMA", "MUL", "ops", "sources"});
+  for (PEId p = 0; p < comp.numPEs(); ++p) {
+    const PEDescriptor& pe = comp.pe(p);
+    std::string sources;
+    for (PEId s : comp.interconnect().sources(p))
+      sources += (sources.empty() ? "" : ",") + std::to_string(s);
+    table.addRow({std::to_string(p), std::to_string(pe.regfileSize()),
+                  pe.hasDma() ? "yes" : "-",
+                  pe.supports(Op::IMUL) ? "yes" : "-",
+                  std::to_string(pe.ops().size()), sources});
+  }
+  table.print(std::cout);
+  const ResourceEstimate est = estimateResources(comp);
+  std::cout << "estimated synthesis: " << fmt(est.frequencyMHz, 1)
+            << " MHz, LUT " << fmt(est.lutLogicPct(), 2) << "%, DSP "
+            << est.dsp << ", BRAM " << est.bram << "\n";
+  return 0;
+}
+
+struct Prepared {
+  apps::Workload workload;
+  kir::Function prepared;
+  Cdfg graph;
+};
+
+/// Builds a workload from --kernel-file + --local/--array input flags.
+apps::Workload loadUserKernel(const Args& args) {
+  apps::Workload w;
+  w.fn = kir::parseKernelFile(args.get("kernel-file"));
+  w.name = w.fn.name();
+  w.initialLocals.assign(w.fn.numLocals(), 0);
+  auto splitEq = [](const std::string& s) {
+    const std::size_t eq = s.find('=');
+    if (eq == std::string::npos)
+      throw Error("expected name=value, got: " + s);
+    return std::make_pair(s.substr(0, eq), s.substr(eq + 1));
+  };
+  for (const std::string& spec : args.repeated("array")) {
+    const auto [name, csv] = splitEq(spec);
+    std::vector<std::int32_t> values;
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+      const std::size_t comma = csv.find(',', pos);
+      values.push_back(static_cast<std::int32_t>(
+          std::stol(csv.substr(pos, comma - pos))));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    w.initialLocals[w.fn.localByName(name)] = w.heap.alloc(std::move(values));
+  }
+  for (const std::string& spec : args.repeated("local")) {
+    const auto [name, value] = splitEq(spec);
+    w.initialLocals[w.fn.localByName(name)] =
+        static_cast<std::int32_t>(std::stol(value));
+  }
+  return w;
+}
+
+Prepared prepareKernel(const Args& args) {
+  Prepared p{args.has("kernel-file")
+                 ? loadUserKernel(args)
+                 : resolveKernel(args.get("kernel", "adpcm")),
+             kir::Function(""),
+             {}};
+  p.prepared = p.workload.fn;
+  if (args.has("cse"))
+    p.prepared = kir::eliminateCommonSubexpressions(p.prepared);
+  const unsigned unroll = args.getUnsigned("unroll", 1);
+  if (unroll >= 2) p.prepared = kir::unrollLoops(p.prepared, unroll, true);
+  p.graph = kir::lowerToCdfg(p.prepared).graph;
+  return p;
+}
+
+int cmdSchedule(const Args& args) {
+  const Composition comp = resolveComposition(args.get("comp", "mesh4"));
+  Prepared p = prepareKernel(args);
+
+  const Scheduler scheduler(comp);
+  const SchedulingResult result = scheduler.schedule(p.graph);
+  checkSchedule(result.schedule, p.graph, comp);
+  const ContextImages images = generateContexts(result.schedule, comp);
+
+  std::cout << "scheduled " << p.workload.name << " on " << comp.name()
+            << ": " << result.schedule.length << " contexts, "
+            << images.totalBits() << " context bits, max RF entries ";
+  unsigned maxRf = 0;
+  for (unsigned r : images.physRegsUsed) maxRf = std::max(maxRf, r);
+  std::cout << maxRf << ", " << result.stats.copiesInserted
+            << " copies, " << result.stats.fusedWrites << " fused writes, "
+            << fmt(result.stats.wallTimeMs, 2) << " ms\n";
+
+  const ScheduleAnalysis analysis = analyzeSchedule(result.schedule, comp);
+  std::cout << "avg PE utilization " << fmt(analysis.avgUtilization * 100, 1)
+            << "%, peak parallelism " << analysis.peakParallelism << "\n";
+
+  if (args.has("gantt"))
+    std::cout << "\n" << ganttChart(result.schedule, comp);
+  if (args.has("dump")) std::cout << "\n" << result.schedule.toString(comp);
+  if (args.has("contexts")) {
+    json::writeFile(args.get("contexts"), contextImagesToJson(images));
+    std::cout << "wrote " << args.get("contexts") << "\n";
+  }
+  if (args.has("memfiles")) {
+    const std::string prefix = args.get("memfiles");
+    for (PEId p2 = 0; p2 < comp.numPEs(); ++p2)
+      std::ofstream(prefix + "_pe" + std::to_string(p2) + ".mem")
+          << toMemFile(images.peContexts[p2], images.peWidths[p2],
+                       "pe" + std::to_string(p2) + " context memory");
+    std::ofstream(prefix + "_cbox.mem")
+        << toMemFile(images.cboxContexts, images.cboxWidth,
+                     "C-Box context memory");
+    std::ofstream(prefix + "_ccu.mem")
+        << toMemFile(images.ccuContexts, images.ccuWidth,
+                     "CCU context memory");
+    std::cout << "wrote " << prefix << "_*.mem ($readmemh)\n";
+  }
+  if (args.has("verilog")) {
+    std::ofstream(args.get("verilog")) << generateVerilog(comp);
+    std::cout << "wrote " << args.get("verilog") << "\n";
+  }
+  if (args.has("dot")) {
+    std::ofstream(args.get("dot")) << p.graph.toDot(p.workload.name);
+    std::cout << "wrote " << args.get("dot") << "\n";
+  }
+  return 0;
+}
+
+int cmdSimulate(const Args& args) {
+  const Composition comp = resolveComposition(args.get("comp", "mesh4"));
+  Prepared p = prepareKernel(args);
+
+  // Golden run.
+  HostMemory goldenHeap = p.workload.heap;
+  kir::Interpreter interp;
+  const auto golden =
+      interp.run(p.prepared, p.workload.initialLocals, goldenHeap);
+
+  const Scheduler scheduler(comp);
+  const SchedulingResult result = scheduler.schedule(p.graph);
+  const Schedule runnable =
+      decodeContexts(generateContexts(result.schedule, comp), comp);
+
+  std::map<VarId, std::int32_t> liveIns;
+  for (const LiveBinding& lb : runnable.liveIns)
+    liveIns[lb.var] = p.workload.initialLocals[lb.var];
+  HostMemory heap = p.workload.heap;
+  const SimResult r = Simulator(comp, runnable).run(liveIns, heap);
+
+  const bool ok = heap == goldenHeap;
+  std::cout << p.workload.name << " on " << comp.name() << ": "
+            << r.runCycles << " cycles (" << r.invocationCycles
+            << " incl. transfers), " << r.dmaLoads << " loads, "
+            << r.dmaStores << " stores, energy " << fmt(r.energy, 0)
+            << " — result " << (ok ? "MATCHES" : "DOES NOT MATCH")
+            << " the reference interpreter\n";
+
+  if (args.has("baseline")) {
+    const BytecodeFunction bc = kir::lowerToBytecode(p.workload.fn);
+    HostMemory baseHeap = p.workload.heap;
+    const TokenMachine tm;
+    const TokenRunResult base =
+        tm.run(bc, p.workload.initialLocals, baseHeap);
+    std::cout << "baseline: " << base.cycles << " cycles -> speedup "
+              << fmt(static_cast<double>(base.cycles) /
+                         static_cast<double>(r.runCycles),
+                     2)
+              << "x\n";
+  }
+  return ok ? 0 : 1;
+}
+
+int cmdSynthesize(const Args& args) {
+  std::vector<apps::Workload> workloads;
+  std::string list = args.get("kernels", "adpcm,fir,gcd");
+  std::size_t pos = 0;
+  while (pos != std::string::npos) {
+    const std::size_t comma = list.find(',', pos);
+    const std::string name = list.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    workloads.push_back(resolveKernel(name));
+    pos = comma == std::string::npos ? std::string::npos : comma + 1;
+  }
+
+  std::vector<Cdfg> graphs;
+  for (const apps::Workload& w : workloads)
+    graphs.push_back(kir::lowerToCdfg(w.fn).graph);
+  std::vector<DomainKernel> kernels;
+  for (std::size_t i = 0; i < graphs.size(); ++i)
+    kernels.push_back(DomainKernel{&graphs[i], 1.0, workloads[i].name});
+
+  SynthesisOptions opts;
+  opts.areaWeight = args.getDouble("area-weight", 0.25);
+  const SynthesisReport report = synthesizeComposition(kernels, opts);
+
+  std::cout << "domain: " << fmt(report.profile.mulFraction * 100, 1)
+            << "% IMUL, " << fmt(report.profile.memFraction * 100, 1)
+            << "% memory ops, ILP " << fmt(report.profile.avgIlp, 2) << "\n";
+  TextTable table({"Candidate", "Score", "Weighted length", "LUTs"});
+  for (const CandidateResult& c : report.candidates)
+    if (c.feasible)
+      table.addRow({c.name, fmt(c.score, 0), fmt(c.weightedLength, 0),
+                    fmt(c.lutArea, 0)});
+  table.print(std::cout);
+  std::cout << "winner: " << report.best.name() << "\n";
+  if (args.has("out")) {
+    json::writeFile(args.get("out"), report.best.toJson());
+    std::cout << "wrote " << args.get("out") << "\n";
+  }
+  return 0;
+}
+
+int cmdAnalyze(const Args& args) {
+  const Composition comp = resolveComposition(args.get("comp", "mesh4"));
+  Prepared p = prepareKernel(args);
+  const Scheduler scheduler(comp);
+  const SchedulingResult result = scheduler.schedule(p.graph);
+
+  std::cout << "== " << p.workload.name << " on " << comp.name() << " ==\n\n"
+            << ganttChart(result.schedule, comp) << "\n";
+
+  const ScheduleAnalysis a = analyzeSchedule(result.schedule, comp);
+  TextTable util({"PE", "busy cycles", "utilization", "ops", "inserted"});
+  for (const PEUtilization& pe : a.perPE)
+    util.addRow({std::to_string(pe.pe), std::to_string(pe.busyCycles),
+                 fmt(pe.utilization * 100, 1) + "%",
+                 std::to_string(pe.opsIssued),
+                 std::to_string(pe.copsIssued)});
+  util.print(std::cout);
+  std::cout << "peak parallelism " << a.peakParallelism << ", C-Box busy "
+            << a.cboxBusyCycles << " cycles\n\n";
+
+  TextTable mii({"Loop", "Depth", "Achieved II", "ResMII", "RecMII",
+                 "Headroom"});
+  for (const LoopMii& m : computeMiiBounds(p.graph, result.schedule, comp))
+    mii.addRow({std::to_string(m.loop),
+                std::to_string(p.graph.loopDepth(m.loop)),
+                std::to_string(m.achievedInterval), fmt(m.resMii, 1),
+                fmt(m.recMii, 1), fmt(m.headroom(), 2) + "x"});
+  mii.print(std::cout);
+  return 0;
+}
+
+int usage() {
+  std::cout << "usage: cgra-tool "
+               "<list|describe|schedule|simulate|analyze|synthesize>"
+               " [--flags]\n(see the header of tools/cgra_tool.cpp)\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    const Args args(argc, argv);
+    if (cmd == "list") return cmdList();
+    if (cmd == "describe") return cmdDescribe(args);
+    if (cmd == "schedule") return cmdSchedule(args);
+    if (cmd == "simulate") return cmdSimulate(args);
+    if (cmd == "analyze") return cmdAnalyze(args);
+    if (cmd == "synthesize") return cmdSynthesize(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "cgra-tool: " << e.what() << "\n";
+    return 1;
+  }
+}
