@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_energy_area.dir/bench_energy_area.cpp.o"
+  "CMakeFiles/bench_energy_area.dir/bench_energy_area.cpp.o.d"
+  "bench_energy_area"
+  "bench_energy_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_energy_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

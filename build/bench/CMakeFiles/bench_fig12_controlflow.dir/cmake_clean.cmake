@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_controlflow.dir/bench_fig12_controlflow.cpp.o"
+  "CMakeFiles/bench_fig12_controlflow.dir/bench_fig12_controlflow.cpp.o.d"
+  "bench_fig12_controlflow"
+  "bench_fig12_controlflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_controlflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mii_headroom.dir/bench_mii_headroom.cpp.o"
+  "CMakeFiles/bench_mii_headroom.dir/bench_mii_headroom.cpp.o.d"
+  "bench_mii_headroom"
+  "bench_mii_headroom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mii_headroom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

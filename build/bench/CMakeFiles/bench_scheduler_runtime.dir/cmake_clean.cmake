@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scheduler_runtime.dir/bench_scheduler_runtime.cpp.o"
+  "CMakeFiles/bench_scheduler_runtime.dir/bench_scheduler_runtime.cpp.o.d"
+  "bench_scheduler_runtime"
+  "bench_scheduler_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scheduler_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

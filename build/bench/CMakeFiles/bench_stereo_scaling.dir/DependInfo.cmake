@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_stereo_scaling.cpp" "bench/CMakeFiles/bench_stereo_scaling.dir/bench_stereo_scaling.cpp.o" "gcc" "bench/CMakeFiles/bench_stereo_scaling.dir/bench_stereo_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/cgra_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cgra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctx/CMakeFiles/cgra_ctx.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/cgra_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/kir/CMakeFiles/cgra_kir.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/cgra_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdfg/CMakeFiles/cgra_cdfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/cgra_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/cgra_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgen/CMakeFiles/cgra_vgen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stereo_scaling.dir/bench_stereo_scaling.cpp.o"
+  "CMakeFiles/bench_stereo_scaling.dir/bench_stereo_scaling.cpp.o.d"
+  "bench_stereo_scaling"
+  "bench_stereo_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stereo_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

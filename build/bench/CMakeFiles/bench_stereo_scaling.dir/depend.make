@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_stereo_scaling.
+# This may be replaced when dependencies are built.

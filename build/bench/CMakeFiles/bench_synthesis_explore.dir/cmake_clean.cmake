@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_synthesis_explore.dir/bench_synthesis_explore.cpp.o"
+  "CMakeFiles/bench_synthesis_explore.dir/bench_synthesis_explore.cpp.o.d"
+  "bench_synthesis_explore"
+  "bench_synthesis_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_synthesis_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

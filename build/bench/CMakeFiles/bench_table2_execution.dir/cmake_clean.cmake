@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_execution.dir/bench_table2_execution.cpp.o"
+  "CMakeFiles/bench_table2_execution.dir/bench_table2_execution.cpp.o.d"
+  "bench_table2_execution"
+  "bench_table2_execution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

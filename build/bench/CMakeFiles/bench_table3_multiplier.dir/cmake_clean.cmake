@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_multiplier.dir/bench_table3_multiplier.cpp.o"
+  "CMakeFiles/bench_table3_multiplier.dir/bench_table3_multiplier.cpp.o.d"
+  "bench_table3_multiplier"
+  "bench_table3_multiplier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_multiplier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_walltime.dir/bench_table4_walltime.cpp.o"
+  "CMakeFiles/bench_table4_walltime.dir/bench_table4_walltime.cpp.o.d"
+  "bench_table4_walltime"
+  "bench_table4_walltime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_walltime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelerated_app.dir/accelerated_app.cpp.o"
+  "CMakeFiles/accelerated_app.dir/accelerated_app.cpp.o.d"
+  "accelerated_app"
+  "accelerated_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelerated_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

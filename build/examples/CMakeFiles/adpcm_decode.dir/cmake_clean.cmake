@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adpcm_decode.dir/adpcm_decode.cpp.o"
+  "CMakeFiles/adpcm_decode.dir/adpcm_decode.cpp.o.d"
+  "adpcm_decode"
+  "adpcm_decode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adpcm_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for adpcm_decode.
+# This may be replaced when dependencies are built.

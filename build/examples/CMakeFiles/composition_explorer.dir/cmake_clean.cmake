@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/composition_explorer.dir/composition_explorer.cpp.o"
+  "CMakeFiles/composition_explorer.dir/composition_explorer.cpp.o.d"
+  "composition_explorer"
+  "composition_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/composition_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_flow_tour.dir/control_flow_tour.cpp.o"
+  "CMakeFiles/control_flow_tour.dir/control_flow_tour.cpp.o.d"
+  "control_flow_tour"
+  "control_flow_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_flow_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,533 @@
+// Generated CGRA composition "demo5": 5 PEs, 11 links, context depth 256, C-Box slots 32
+// Generator: cgra-scheduler reproduction (IPDPSW'16 toolflow)
+
+// ---- static structures: parameterized, shared by all compositions ----
+
+module context_memory #(parameter WIDTH = 32, parameter DEPTH = 256) (
+  input  wire                      clk,
+  input  wire [7:0]            ccnt,
+  input  wire                      wr_en,
+  input  wire [7:0]            wr_addr,
+  input  wire [WIDTH-1:0]          wr_data,
+  output reg  [WIDTH-1:0]          context_word
+);
+  (* ram_style = "block" *) reg [WIDTH-1:0] mem [0:DEPTH-1];
+  always @(posedge clk) begin
+    if (wr_en) mem[wr_addr] <= wr_data;
+    context_word <= mem[ccnt];
+  end
+endmodule
+
+module regfile #(parameter ADDR = 7) (
+  input  wire            clk,
+  input  wire            wr_en,
+  input  wire [ADDR-1:0] wr_addr,
+  input  wire [31:0]     wr_data,
+  input  wire [ADDR-1:0] rd_addr_a,
+  input  wire [ADDR-1:0] rd_addr_b,
+  input  wire [ADDR-1:0] rd_addr_out,
+  input  wire [ADDR-1:0] rd_addr_idx,
+  output wire [31:0]     rd_a,
+  output wire [31:0]     rd_b,
+  output wire [31:0]     rd_out,
+  output wire [31:0]     rd_idx
+);
+  reg [31:0] mem [0:(1<<ADDR)-1];
+  always @(posedge clk) if (wr_en) mem[wr_addr] <= wr_data;
+  assign rd_a   = mem[rd_addr_a];
+  assign rd_b   = mem[rd_addr_b];
+  assign rd_out = mem[rd_addr_out];
+  assign rd_idx = mem[rd_addr_idx];
+endmodule
+
+module cbox #(parameter SLOTS = 32) (
+  input  wire                 clk,
+  input  wire                 status,
+  input  wire                 status_valid,
+  input  wire                 in_a_stored,
+  input  wire [4:0]           addr_a,
+  input  wire                 inv_a,
+  input  wire                 use_b,
+  input  wire [4:0]           addr_b,
+  input  wire                 inv_b,
+  input  wire [1:0]           logic_op,
+  input  wire                 wr_en,
+  input  wire [4:0]           addr_wr,
+  input  wire [4:0]           addr_pe,
+  input  wire                 inv_pe,
+  input  wire [4:0]           addr_ctrl,
+  input  wire                 inv_ctrl,
+  output wire                 out_pe,
+  output wire                 out_ctrl
+);
+  reg mem [0:SLOTS-1];
+  wire a = (in_a_stored ? mem[addr_a] : (status & status_valid)) ^ inv_a;
+  wire b = (mem[addr_b]) ^ inv_b;
+  wire combined = (logic_op == 2'd0) ? a :
+                  (logic_op == 2'd1) ? (a & (use_b ? b : 1'b1)) :
+                                        (a | (use_b ? b : 1'b0));
+  always @(posedge clk) if (wr_en) mem[addr_wr] <= combined;
+  assign out_pe   = mem[addr_pe] ^ inv_pe;
+  assign out_ctrl = mem[addr_ctrl] ^ inv_ctrl;
+endmodule
+
+module ccu #(parameter ADDR = 8) (
+  input  wire            clk,
+  input  wire            rst,
+  input  wire            run,
+  input  wire [ADDR-1:0] start_ccnt,
+  input  wire            branch_present,
+  input  wire            branch_conditional,
+  input  wire            branch_sel,
+  input  wire [ADDR-1:0] branch_target,
+  input  wire [ADDR-1:0] last_context,
+  output reg  [ADDR-1:0] ccnt,
+  output wire            done
+);
+  wire take = branch_present & (~branch_conditional | branch_sel);
+  assign done = ccnt == last_context;
+  always @(posedge clk) begin
+    if (rst)            ccnt <= start_ccnt;
+    else if (run & ~done) ccnt <= take ? branch_target : ccnt + 1'b1;
+  end
+endmodule
+
+// ---- PE 0 (PE0): 15 operations, 2 input sources ----
+module pe0 (
+  input  wire        clk,
+  input  wire        rst,
+  input  wire [31:0] in0,  // from PE 1
+  input  wire [31:0] in1,  // from PE 4
+  input  wire [31:0] livein,
+  input  wire        livein_valid,
+  input  wire [5:0]  livein_addr,
+  input  wire        pred,
+  input  wire [63:0] context_word,
+  output wire [31:0] rf_out,
+  output wire [31:0] liveout,
+  output wire        status
+);
+  wire        op_present = context_word[0];
+  wire [4:0]  opcode     = context_word[5:1];
+  wire [1:0]  sel_kind_a = context_word[7:6];
+  wire [0:0]  sel_src_a  = context_word[8:8];
+  wire [5:0]  rf_addr_a  = context_word[14:9];
+  // ... remaining operand/dest/pred fields decoded equivalently
+  reg [31:0] route_a;
+  always @(*) begin
+    case (sel_src_a)
+      1'd0: route_a = in0;
+      1'd1: route_a = in1;
+      default: route_a = {32{1'b0}};
+    endcase
+  end
+  wire [31:0] rf_a, rf_b, rf_idx;
+  wire [31:0] op_a = (sel_kind_a == 2'd2) ? route_a : rf_a;
+  wire [31:0] op_b = rf_b;
+  wire [31:0] imm  = context_word[63:32];
+  reg [31:0] alu_y;
+  reg        alu_status;
+  always @(*) begin
+    alu_y = {32{1'b0}};
+    alu_status = 1'b0;
+    case (opcode)
+      5'd1: alu_y = op_a;  // MOVE
+      5'd2: alu_y = imm;  // CONST
+      5'd3: alu_y = op_a + op_b;  // IADD
+      5'd4: alu_y = op_a - op_b;  // ISUB
+      5'd6: alu_y = -op_a;  // INEG
+      5'd7: alu_y = op_a & op_b;  // IAND
+      5'd8: alu_y = op_a | op_b;  // IOR
+      5'd9: alu_y = op_a ^ op_b;  // IXOR
+      5'd10: alu_y = op_a << op_b[4:0];  // ISHL
+      5'd11: alu_y = $signed(op_a) >>> op_b[4:0];  // ISHR
+      5'd12: alu_y = op_a >> op_b[4:0];  // IUSHR
+      5'd13: alu_status = op_a == op_b;  // IFEQ
+      5'd14: alu_status = op_a != op_b;  // IFNE
+      5'd15: alu_status = $signed(op_a) < $signed(op_b);  // IFLT
+      5'd16: alu_status = $signed(op_a) >= $signed(op_b);  // IFGE
+      5'd17: alu_status = $signed(op_a) > $signed(op_b);  // IFGT
+      5'd18: alu_status = $signed(op_a) <= $signed(op_b);  // IFLE
+      default: ;
+    endcase
+  end
+  wire rf_we = op_present & pred;
+  wire [31:0] wr_data = livein_valid ? livein : alu_y;
+  regfile #(.ADDR(6)) rf (
+    .clk(clk), .wr_en(rf_we | livein_valid),
+    .wr_addr(livein_valid ? livein_addr : context_word[15+:6]),
+    .wr_data(wr_data),
+    .rd_addr_a(rf_addr_a), .rd_addr_b(rf_addr_a), .rd_addr_out(rf_addr_a), .rd_addr_idx(rf_addr_a),
+    .rd_a(rf_a), .rd_b(rf_b), .rd_out(rf_out), .rd_idx(rf_idx));
+  assign liveout = rf_out;
+  assign status  = alu_status;
+endmodule
+
+// ---- PE 1 (PE1): 16 operations, 3 input sources ----
+module pe1 (
+  input  wire        clk,
+  input  wire        rst,
+  input  wire [31:0] in0,  // from PE 0
+  input  wire [31:0] in1,  // from PE 2
+  input  wire [31:0] in2,  // from PE 3
+  input  wire [31:0] livein,
+  input  wire        livein_valid,
+  input  wire [5:0]  livein_addr,
+  input  wire        pred,
+  input  wire [63:0] context_word,
+  output wire [31:0] rf_out,
+  output wire [31:0] liveout,
+  output wire        status
+);
+  wire        op_present = context_word[0];
+  wire [4:0]  opcode     = context_word[5:1];
+  wire [1:0]  sel_kind_a = context_word[7:6];
+  wire [1:0]  sel_src_a  = context_word[9:8];
+  wire [5:0]  rf_addr_a  = context_word[15:10];
+  // ... remaining operand/dest/pred fields decoded equivalently
+  reg [31:0] route_a;
+  always @(*) begin
+    case (sel_src_a)
+      2'd0: route_a = in0;
+      2'd1: route_a = in1;
+      2'd2: route_a = in2;
+      default: route_a = {32{1'b0}};
+    endcase
+  end
+  wire [31:0] rf_a, rf_b, rf_idx;
+  wire [31:0] op_a = (sel_kind_a == 2'd2) ? route_a : rf_a;
+  wire [31:0] op_b = rf_b;
+  wire [31:0] imm  = context_word[63:32];
+  reg [31:0] alu_y;
+  reg        alu_status;
+  always @(*) begin
+    alu_y = {32{1'b0}};
+    alu_status = 1'b0;
+    case (opcode)
+      5'd1: alu_y = op_a;  // MOVE
+      5'd2: alu_y = imm;  // CONST
+      5'd3: alu_y = op_a + op_b;  // IADD
+      5'd4: alu_y = op_a - op_b;  // ISUB
+      5'd5: alu_y = op_a * op_b;  // IMUL
+      5'd6: alu_y = -op_a;  // INEG
+      5'd7: alu_y = op_a & op_b;  // IAND
+      5'd8: alu_y = op_a | op_b;  // IOR
+      5'd9: alu_y = op_a ^ op_b;  // IXOR
+      5'd10: alu_y = op_a << op_b[4:0];  // ISHL
+      5'd11: alu_y = $signed(op_a) >>> op_b[4:0];  // ISHR
+      5'd12: alu_y = op_a >> op_b[4:0];  // IUSHR
+      5'd13: alu_status = op_a == op_b;  // IFEQ
+      5'd14: alu_status = op_a != op_b;  // IFNE
+      5'd15: alu_status = $signed(op_a) < $signed(op_b);  // IFLT
+      5'd16: alu_status = $signed(op_a) >= $signed(op_b);  // IFGE
+      5'd17: alu_status = $signed(op_a) > $signed(op_b);  // IFGT
+      5'd18: alu_status = $signed(op_a) <= $signed(op_b);  // IFLE
+      default: ;
+    endcase
+  end
+  wire rf_we = op_present & pred;
+  wire [31:0] wr_data = livein_valid ? livein : alu_y;
+  regfile #(.ADDR(6)) rf (
+    .clk(clk), .wr_en(rf_we | livein_valid),
+    .wr_addr(livein_valid ? livein_addr : context_word[16+:6]),
+    .wr_data(wr_data),
+    .rd_addr_a(rf_addr_a), .rd_addr_b(rf_addr_a), .rd_addr_out(rf_addr_a), .rd_addr_idx(rf_addr_a),
+    .rd_a(rf_a), .rd_b(rf_b), .rd_out(rf_out), .rd_idx(rf_idx));
+  assign liveout = rf_out;
+  assign status  = alu_status;
+endmodule
+
+// ---- PE 2 (PE2): with DMA, 15 operations, 2 input sources ----
+module pe2 (
+  input  wire        clk,
+  input  wire        rst,
+  input  wire [31:0] in0,  // from PE 1
+  input  wire [31:0] in1,  // from PE 3
+  input  wire [31:0] livein,
+  input  wire        livein_valid,
+  input  wire [5:0]  livein_addr,
+  input  wire        pred,
+  input  wire [63:0] context_word,
+  output wire [31:0] dma_addr,
+  output wire [31:0] dma_wdata,
+  output wire        dma_req,
+  output wire        dma_we,
+  input  wire [31:0] dma_rdata,
+  input  wire        dma_ack,
+  output wire [31:0] rf_out,
+  output wire [31:0] liveout,
+  output wire        status
+);
+  wire        op_present = context_word[0];
+  wire [4:0]  opcode     = context_word[5:1];
+  wire [1:0]  sel_kind_a = context_word[7:6];
+  wire [0:0]  sel_src_a  = context_word[8:8];
+  wire [5:0]  rf_addr_a  = context_word[14:9];
+  // ... remaining operand/dest/pred fields decoded equivalently
+  reg [31:0] route_a;
+  always @(*) begin
+    case (sel_src_a)
+      1'd0: route_a = in0;
+      1'd1: route_a = in1;
+      default: route_a = {32{1'b0}};
+    endcase
+  end
+  wire [31:0] rf_a, rf_b, rf_idx;
+  wire [31:0] op_a = (sel_kind_a == 2'd2) ? route_a : rf_a;
+  wire [31:0] op_b = rf_b;
+  wire [31:0] imm  = context_word[63:32];
+  reg [31:0] alu_y;
+  reg        alu_status;
+  always @(*) begin
+    alu_y = {32{1'b0}};
+    alu_status = 1'b0;
+    case (opcode)
+      5'd1: alu_y = op_a;  // MOVE
+      5'd2: alu_y = imm;  // CONST
+      5'd3: alu_y = op_a + op_b;  // IADD
+      5'd4: alu_y = op_a - op_b;  // ISUB
+      5'd6: alu_y = -op_a;  // INEG
+      5'd7: alu_y = op_a & op_b;  // IAND
+      5'd8: alu_y = op_a | op_b;  // IOR
+      5'd9: alu_y = op_a ^ op_b;  // IXOR
+      5'd10: alu_y = op_a << op_b[4:0];  // ISHL
+      5'd11: alu_y = $signed(op_a) >>> op_b[4:0];  // ISHR
+      5'd12: alu_y = op_a >> op_b[4:0];  // IUSHR
+      5'd13: alu_status = op_a == op_b;  // IFEQ
+      5'd14: alu_status = op_a != op_b;  // IFNE
+      5'd15: alu_status = $signed(op_a) < $signed(op_b);  // IFLT
+      5'd16: alu_status = $signed(op_a) >= $signed(op_b);  // IFGE
+      5'd17: alu_status = $signed(op_a) > $signed(op_b);  // IFGT
+      5'd18: alu_status = $signed(op_a) <= $signed(op_b);  // IFLE
+      default: ;
+    endcase
+  end
+  assign dma_req   = op_present & (opcode == 5'd19 || opcode == 5'd20) & pred;
+  assign dma_we    = opcode == 5'd20;
+  assign dma_addr  = op_a + rf_idx;
+  assign dma_wdata = op_b;
+  wire rf_we = op_present & pred & ~dma_req | (dma_ack & ~dma_we);
+  wire [31:0] wr_data = livein_valid ? livein : (dma_ack ? dma_rdata : alu_y);
+  regfile #(.ADDR(6)) rf (
+    .clk(clk), .wr_en(rf_we | livein_valid),
+    .wr_addr(livein_valid ? livein_addr : context_word[15+:6]),
+    .wr_data(wr_data),
+    .rd_addr_a(rf_addr_a), .rd_addr_b(rf_addr_a), .rd_addr_out(rf_addr_a), .rd_addr_idx(rf_addr_a),
+    .rd_a(rf_a), .rd_b(rf_b), .rd_out(rf_out), .rd_idx(rf_idx));
+  assign liveout = rf_out;
+  assign status  = alu_status;
+endmodule
+
+// ---- PE 3 (PE3): 16 operations, 3 input sources ----
+module pe3 (
+  input  wire        clk,
+  input  wire        rst,
+  input  wire [31:0] in0,  // from PE 2
+  input  wire [31:0] in1,  // from PE 4
+  input  wire [31:0] in2,  // from PE 1
+  input  wire [31:0] livein,
+  input  wire        livein_valid,
+  input  wire [5:0]  livein_addr,
+  input  wire        pred,
+  input  wire [63:0] context_word,
+  output wire [31:0] rf_out,
+  output wire [31:0] liveout,
+  output wire        status
+);
+  wire        op_present = context_word[0];
+  wire [4:0]  opcode     = context_word[5:1];
+  wire [1:0]  sel_kind_a = context_word[7:6];
+  wire [1:0]  sel_src_a  = context_word[9:8];
+  wire [5:0]  rf_addr_a  = context_word[15:10];
+  // ... remaining operand/dest/pred fields decoded equivalently
+  reg [31:0] route_a;
+  always @(*) begin
+    case (sel_src_a)
+      2'd0: route_a = in0;
+      2'd1: route_a = in1;
+      2'd2: route_a = in2;
+      default: route_a = {32{1'b0}};
+    endcase
+  end
+  wire [31:0] rf_a, rf_b, rf_idx;
+  wire [31:0] op_a = (sel_kind_a == 2'd2) ? route_a : rf_a;
+  wire [31:0] op_b = rf_b;
+  wire [31:0] imm  = context_word[63:32];
+  reg [31:0] alu_y;
+  reg        alu_status;
+  always @(*) begin
+    alu_y = {32{1'b0}};
+    alu_status = 1'b0;
+    case (opcode)
+      5'd1: alu_y = op_a;  // MOVE
+      5'd2: alu_y = imm;  // CONST
+      5'd3: alu_y = op_a + op_b;  // IADD
+      5'd4: alu_y = op_a - op_b;  // ISUB
+      5'd5: alu_y = op_a * op_b;  // IMUL
+      5'd6: alu_y = -op_a;  // INEG
+      5'd7: alu_y = op_a & op_b;  // IAND
+      5'd8: alu_y = op_a | op_b;  // IOR
+      5'd9: alu_y = op_a ^ op_b;  // IXOR
+      5'd10: alu_y = op_a << op_b[4:0];  // ISHL
+      5'd11: alu_y = $signed(op_a) >>> op_b[4:0];  // ISHR
+      5'd12: alu_y = op_a >> op_b[4:0];  // IUSHR
+      5'd13: alu_status = op_a == op_b;  // IFEQ
+      5'd14: alu_status = op_a != op_b;  // IFNE
+      5'd15: alu_status = $signed(op_a) < $signed(op_b);  // IFLT
+      5'd16: alu_status = $signed(op_a) >= $signed(op_b);  // IFGE
+      5'd17: alu_status = $signed(op_a) > $signed(op_b);  // IFGT
+      5'd18: alu_status = $signed(op_a) <= $signed(op_b);  // IFLE
+      default: ;
+    endcase
+  end
+  wire rf_we = op_present & pred;
+  wire [31:0] wr_data = livein_valid ? livein : alu_y;
+  regfile #(.ADDR(6)) rf (
+    .clk(clk), .wr_en(rf_we | livein_valid),
+    .wr_addr(livein_valid ? livein_addr : context_word[16+:6]),
+    .wr_data(wr_data),
+    .rd_addr_a(rf_addr_a), .rd_addr_b(rf_addr_a), .rd_addr_out(rf_addr_a), .rd_addr_idx(rf_addr_a),
+    .rd_a(rf_a), .rd_b(rf_b), .rd_out(rf_out), .rd_idx(rf_idx));
+  assign liveout = rf_out;
+  assign status  = alu_status;
+endmodule
+
+// ---- PE 4 (PE4): 15 operations, 1 input sources ----
+module pe4 (
+  input  wire        clk,
+  input  wire        rst,
+  input  wire [31:0] in0,  // from PE 3
+  input  wire [31:0] livein,
+  input  wire        livein_valid,
+  input  wire [5:0]  livein_addr,
+  input  wire        pred,
+  input  wire [63:0] context_word,
+  output wire [31:0] rf_out,
+  output wire [31:0] liveout,
+  output wire        status
+);
+  wire        op_present = context_word[0];
+  wire [4:0]  opcode     = context_word[5:1];
+  wire [1:0]  sel_kind_a = context_word[7:6];
+  wire [0:0]  sel_src_a  = context_word[8:8];
+  wire [5:0]  rf_addr_a  = context_word[14:9];
+  // ... remaining operand/dest/pred fields decoded equivalently
+  reg [31:0] route_a;
+  always @(*) begin
+    case (sel_src_a)
+      1'd0: route_a = in0;
+      default: route_a = {32{1'b0}};
+    endcase
+  end
+  wire [31:0] rf_a, rf_b, rf_idx;
+  wire [31:0] op_a = (sel_kind_a == 2'd2) ? route_a : rf_a;
+  wire [31:0] op_b = rf_b;
+  wire [31:0] imm  = context_word[63:32];
+  reg [31:0] alu_y;
+  reg        alu_status;
+  always @(*) begin
+    alu_y = {32{1'b0}};
+    alu_status = 1'b0;
+    case (opcode)
+      5'd1: alu_y = op_a;  // MOVE
+      5'd2: alu_y = imm;  // CONST
+      5'd3: alu_y = op_a + op_b;  // IADD
+      5'd4: alu_y = op_a - op_b;  // ISUB
+      5'd6: alu_y = -op_a;  // INEG
+      5'd7: alu_y = op_a & op_b;  // IAND
+      5'd8: alu_y = op_a | op_b;  // IOR
+      5'd9: alu_y = op_a ^ op_b;  // IXOR
+      5'd10: alu_y = op_a << op_b[4:0];  // ISHL
+      5'd11: alu_y = $signed(op_a) >>> op_b[4:0];  // ISHR
+      5'd12: alu_y = op_a >> op_b[4:0];  // IUSHR
+      5'd13: alu_status = op_a == op_b;  // IFEQ
+      5'd14: alu_status = op_a != op_b;  // IFNE
+      5'd15: alu_status = $signed(op_a) < $signed(op_b);  // IFLT
+      5'd16: alu_status = $signed(op_a) >= $signed(op_b);  // IFGE
+      5'd17: alu_status = $signed(op_a) > $signed(op_b);  // IFGT
+      5'd18: alu_status = $signed(op_a) <= $signed(op_b);  // IFLE
+      default: ;
+    endcase
+  end
+  wire rf_we = op_present & pred;
+  wire [31:0] wr_data = livein_valid ? livein : alu_y;
+  regfile #(.ADDR(6)) rf (
+    .clk(clk), .wr_en(rf_we | livein_valid),
+    .wr_addr(livein_valid ? livein_addr : context_word[15+:6]),
+    .wr_data(wr_data),
+    .rd_addr_a(rf_addr_a), .rd_addr_b(rf_addr_a), .rd_addr_out(rf_addr_a), .rd_addr_idx(rf_addr_a),
+    .rd_a(rf_a), .rd_b(rf_b), .rd_out(rf_out), .rd_idx(rf_idx));
+  assign liveout = rf_out;
+  assign status  = alu_status;
+endmodule
+
+// ---- top level: interconnect as an array of wires (§IV-B) ----
+module demo5_top (
+  input  wire clk,
+  input  wire rst,
+  input  wire run,
+  input  wire [7:0] start_ccnt,
+  output wire done
+);
+  wire [31:0] rf_out [0:4];
+  wire status [0:4];
+  wire [7:0] ccnt;
+  wire out_pe, out_ctrl;
+  wire [63:0] ctx0;
+  context_memory #(.WIDTH(64)) cm0 (.clk(clk), .ccnt(ccnt), .wr_en(1'b0), .wr_addr(8'd0), .wr_data(64'd0), .context_word(ctx0));
+  pe0 u_pe0 (.clk(clk), .rst(rst),
+    .in0(rf_out[1]), .in1(rf_out[4]), 
+    .livein({32{1'b0}}), .livein_valid(1'b0), .livein_addr('d0), .pred(out_pe),
+    .context_word(ctx0),
+    .rf_out(rf_out[0]), .liveout(), .status(status[0]));
+  wire [63:0] ctx1;
+  context_memory #(.WIDTH(64)) cm1 (.clk(clk), .ccnt(ccnt), .wr_en(1'b0), .wr_addr(8'd0), .wr_data(64'd0), .context_word(ctx1));
+  pe1 u_pe1 (.clk(clk), .rst(rst),
+    .in0(rf_out[0]), .in1(rf_out[2]), .in2(rf_out[3]), 
+    .livein({32{1'b0}}), .livein_valid(1'b0), .livein_addr('d0), .pred(out_pe),
+    .context_word(ctx1),
+    .rf_out(rf_out[1]), .liveout(), .status(status[1]));
+  wire [63:0] ctx2;
+  context_memory #(.WIDTH(64)) cm2 (.clk(clk), .ccnt(ccnt), .wr_en(1'b0), .wr_addr(8'd0), .wr_data(64'd0), .context_word(ctx2));
+  pe2 u_pe2 (.clk(clk), .rst(rst),
+    .in0(rf_out[1]), .in1(rf_out[3]), 
+    .livein({32{1'b0}}), .livein_valid(1'b0), .livein_addr('d0), .pred(out_pe),
+    .context_word(ctx2), .dma_addr(), .dma_wdata(), .dma_req(), .dma_we(), .dma_rdata({32{1'b0}}), .dma_ack(1'b0),
+    .rf_out(rf_out[2]), .liveout(), .status(status[2]));
+  wire [63:0] ctx3;
+  context_memory #(.WIDTH(64)) cm3 (.clk(clk), .ccnt(ccnt), .wr_en(1'b0), .wr_addr(8'd0), .wr_data(64'd0), .context_word(ctx3));
+  pe3 u_pe3 (.clk(clk), .rst(rst),
+    .in0(rf_out[2]), .in1(rf_out[4]), .in2(rf_out[1]), 
+    .livein({32{1'b0}}), .livein_valid(1'b0), .livein_addr('d0), .pred(out_pe),
+    .context_word(ctx3),
+    .rf_out(rf_out[3]), .liveout(), .status(status[3]));
+  wire [63:0] ctx4;
+  context_memory #(.WIDTH(64)) cm4 (.clk(clk), .ccnt(ccnt), .wr_en(1'b0), .wr_addr(8'd0), .wr_data(64'd0), .context_word(ctx4));
+  pe4 u_pe4 (.clk(clk), .rst(rst),
+    .in0(rf_out[3]), 
+    .livein({32{1'b0}}), .livein_valid(1'b0), .livein_addr('d0), .pred(out_pe),
+    .context_word(ctx4),
+    .rf_out(rf_out[4]), .liveout(), .status(status[4]));
+  wire [63:0] ctx_cbox;
+  context_memory #(.WIDTH(64)) cm_cbox (.clk(clk), .ccnt(ccnt), .wr_en(1'b0), .wr_addr('d0), .wr_data(64'd0), .context_word(ctx_cbox));
+  reg status_mux;
+  always @(*) begin
+    case (ctx_cbox[4:2])
+      3'd0: status_mux = status[0];
+      3'd1: status_mux = status[1];
+      3'd2: status_mux = status[2];
+      3'd3: status_mux = status[3];
+      3'd4: status_mux = status[4];
+      default: status_mux = 1'b0;
+    endcase
+  end
+  cbox u_cbox (.clk(clk), .status(status_mux), .status_valid(ctx_cbox[0]),
+    .in_a_stored(ctx_cbox[1]), .addr_a('d0), .inv_a(1'b0), .use_b(1'b0), .addr_b('d0), .inv_b(1'b0),
+    .logic_op(2'd0), .wr_en(ctx_cbox[0]), .addr_wr('d0), .addr_pe('d0), .inv_pe(1'b0), .addr_ctrl('d0), .inv_ctrl(1'b0),
+    .out_pe(out_pe), .out_ctrl(out_ctrl));
+  wire [63:0] ctx_ccu;
+  context_memory #(.WIDTH(64)) cm_ccu (.clk(clk), .ccnt(ccnt), .wr_en(1'b0), .wr_addr('d0), .wr_data(64'd0), .context_word(ctx_ccu));
+  ccu u_ccu (.clk(clk), .rst(rst), .run(run), .start_ccnt(start_ccnt),
+    .branch_present(ctx_ccu[0]), .branch_conditional(ctx_ccu[1]), .branch_sel(out_ctrl),
+    .branch_target(ctx_ccu[2+:8]), .last_context({8{1'b1}}), .ccnt(ccnt), .done(done));
+endmodule

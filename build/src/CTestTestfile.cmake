@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("json")
+subdirs("arch")
+subdirs("cdfg")
+subdirs("kir")
+subdirs("host")
+subdirs("sched")
+subdirs("ctx")
+subdirs("sim")
+subdirs("vgen")
+subdirs("synth")
+subdirs("apps")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgra_apps.dir/kernels.cpp.o"
+  "CMakeFiles/cgra_apps.dir/kernels.cpp.o.d"
+  "libcgra_apps.a"
+  "libcgra_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgra_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

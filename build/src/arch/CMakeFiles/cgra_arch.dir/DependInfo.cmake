@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/composition.cpp" "src/arch/CMakeFiles/cgra_arch.dir/composition.cpp.o" "gcc" "src/arch/CMakeFiles/cgra_arch.dir/composition.cpp.o.d"
+  "/root/repo/src/arch/factory.cpp" "src/arch/CMakeFiles/cgra_arch.dir/factory.cpp.o" "gcc" "src/arch/CMakeFiles/cgra_arch.dir/factory.cpp.o.d"
+  "/root/repo/src/arch/interconnect.cpp" "src/arch/CMakeFiles/cgra_arch.dir/interconnect.cpp.o" "gcc" "src/arch/CMakeFiles/cgra_arch.dir/interconnect.cpp.o.d"
+  "/root/repo/src/arch/operation.cpp" "src/arch/CMakeFiles/cgra_arch.dir/operation.cpp.o" "gcc" "src/arch/CMakeFiles/cgra_arch.dir/operation.cpp.o.d"
+  "/root/repo/src/arch/pe.cpp" "src/arch/CMakeFiles/cgra_arch.dir/pe.cpp.o" "gcc" "src/arch/CMakeFiles/cgra_arch.dir/pe.cpp.o.d"
+  "/root/repo/src/arch/resource_model.cpp" "src/arch/CMakeFiles/cgra_arch.dir/resource_model.cpp.o" "gcc" "src/arch/CMakeFiles/cgra_arch.dir/resource_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/json/CMakeFiles/cgra_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgra_arch.dir/composition.cpp.o"
+  "CMakeFiles/cgra_arch.dir/composition.cpp.o.d"
+  "CMakeFiles/cgra_arch.dir/factory.cpp.o"
+  "CMakeFiles/cgra_arch.dir/factory.cpp.o.d"
+  "CMakeFiles/cgra_arch.dir/interconnect.cpp.o"
+  "CMakeFiles/cgra_arch.dir/interconnect.cpp.o.d"
+  "CMakeFiles/cgra_arch.dir/operation.cpp.o"
+  "CMakeFiles/cgra_arch.dir/operation.cpp.o.d"
+  "CMakeFiles/cgra_arch.dir/pe.cpp.o"
+  "CMakeFiles/cgra_arch.dir/pe.cpp.o.d"
+  "CMakeFiles/cgra_arch.dir/resource_model.cpp.o"
+  "CMakeFiles/cgra_arch.dir/resource_model.cpp.o.d"
+  "libcgra_arch.a"
+  "libcgra_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgra_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgra_cdfg.dir/cdfg.cpp.o"
+  "CMakeFiles/cgra_cdfg.dir/cdfg.cpp.o.d"
+  "libcgra_cdfg.a"
+  "libcgra_cdfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgra_cdfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

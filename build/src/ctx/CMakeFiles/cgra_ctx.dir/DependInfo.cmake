@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ctx/contexts.cpp" "src/ctx/CMakeFiles/cgra_ctx.dir/contexts.cpp.o" "gcc" "src/ctx/CMakeFiles/cgra_ctx.dir/contexts.cpp.o.d"
+  "/root/repo/src/ctx/multi.cpp" "src/ctx/CMakeFiles/cgra_ctx.dir/multi.cpp.o" "gcc" "src/ctx/CMakeFiles/cgra_ctx.dir/multi.cpp.o.d"
+  "/root/repo/src/ctx/regalloc.cpp" "src/ctx/CMakeFiles/cgra_ctx.dir/regalloc.cpp.o" "gcc" "src/ctx/CMakeFiles/cgra_ctx.dir/regalloc.cpp.o.d"
+  "/root/repo/src/ctx/serialize.cpp" "src/ctx/CMakeFiles/cgra_ctx.dir/serialize.cpp.o" "gcc" "src/ctx/CMakeFiles/cgra_ctx.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/cgra_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdfg/CMakeFiles/cgra_cdfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/cgra_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/cgra_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

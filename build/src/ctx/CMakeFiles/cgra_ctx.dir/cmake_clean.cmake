@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgra_ctx.dir/contexts.cpp.o"
+  "CMakeFiles/cgra_ctx.dir/contexts.cpp.o.d"
+  "CMakeFiles/cgra_ctx.dir/multi.cpp.o"
+  "CMakeFiles/cgra_ctx.dir/multi.cpp.o.d"
+  "CMakeFiles/cgra_ctx.dir/regalloc.cpp.o"
+  "CMakeFiles/cgra_ctx.dir/regalloc.cpp.o.d"
+  "CMakeFiles/cgra_ctx.dir/serialize.cpp.o"
+  "CMakeFiles/cgra_ctx.dir/serialize.cpp.o.d"
+  "libcgra_ctx.a"
+  "libcgra_ctx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgra_ctx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/bytecode.cpp" "src/host/CMakeFiles/cgra_host.dir/bytecode.cpp.o" "gcc" "src/host/CMakeFiles/cgra_host.dir/bytecode.cpp.o.d"
+  "/root/repo/src/host/memory.cpp" "src/host/CMakeFiles/cgra_host.dir/memory.cpp.o" "gcc" "src/host/CMakeFiles/cgra_host.dir/memory.cpp.o.d"
+  "/root/repo/src/host/profiler.cpp" "src/host/CMakeFiles/cgra_host.dir/profiler.cpp.o" "gcc" "src/host/CMakeFiles/cgra_host.dir/profiler.cpp.o.d"
+  "/root/repo/src/host/token_machine.cpp" "src/host/CMakeFiles/cgra_host.dir/token_machine.cpp.o" "gcc" "src/host/CMakeFiles/cgra_host.dir/token_machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/cgra_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/cgra_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgra_host.dir/bytecode.cpp.o"
+  "CMakeFiles/cgra_host.dir/bytecode.cpp.o.d"
+  "CMakeFiles/cgra_host.dir/memory.cpp.o"
+  "CMakeFiles/cgra_host.dir/memory.cpp.o.d"
+  "CMakeFiles/cgra_host.dir/profiler.cpp.o"
+  "CMakeFiles/cgra_host.dir/profiler.cpp.o.d"
+  "CMakeFiles/cgra_host.dir/token_machine.cpp.o"
+  "CMakeFiles/cgra_host.dir/token_machine.cpp.o.d"
+  "libcgra_host.a"
+  "libcgra_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgra_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgra_json.dir/json.cpp.o"
+  "CMakeFiles/cgra_json.dir/json.cpp.o.d"
+  "libcgra_json.a"
+  "libcgra_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgra_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

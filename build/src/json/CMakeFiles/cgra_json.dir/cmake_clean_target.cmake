@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcgra_json.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kir/interp.cpp" "src/kir/CMakeFiles/cgra_kir.dir/interp.cpp.o" "gcc" "src/kir/CMakeFiles/cgra_kir.dir/interp.cpp.o.d"
+  "/root/repo/src/kir/kir.cpp" "src/kir/CMakeFiles/cgra_kir.dir/kir.cpp.o" "gcc" "src/kir/CMakeFiles/cgra_kir.dir/kir.cpp.o.d"
+  "/root/repo/src/kir/lower_bytecode.cpp" "src/kir/CMakeFiles/cgra_kir.dir/lower_bytecode.cpp.o" "gcc" "src/kir/CMakeFiles/cgra_kir.dir/lower_bytecode.cpp.o.d"
+  "/root/repo/src/kir/lower_cdfg.cpp" "src/kir/CMakeFiles/cgra_kir.dir/lower_cdfg.cpp.o" "gcc" "src/kir/CMakeFiles/cgra_kir.dir/lower_cdfg.cpp.o.d"
+  "/root/repo/src/kir/parser.cpp" "src/kir/CMakeFiles/cgra_kir.dir/parser.cpp.o" "gcc" "src/kir/CMakeFiles/cgra_kir.dir/parser.cpp.o.d"
+  "/root/repo/src/kir/passes.cpp" "src/kir/CMakeFiles/cgra_kir.dir/passes.cpp.o" "gcc" "src/kir/CMakeFiles/cgra_kir.dir/passes.cpp.o.d"
+  "/root/repo/src/kir/random_kernel.cpp" "src/kir/CMakeFiles/cgra_kir.dir/random_kernel.cpp.o" "gcc" "src/kir/CMakeFiles/cgra_kir.dir/random_kernel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cdfg/CMakeFiles/cgra_cdfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/cgra_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/cgra_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/cgra_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

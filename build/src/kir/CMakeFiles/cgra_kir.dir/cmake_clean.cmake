@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgra_kir.dir/interp.cpp.o"
+  "CMakeFiles/cgra_kir.dir/interp.cpp.o.d"
+  "CMakeFiles/cgra_kir.dir/kir.cpp.o"
+  "CMakeFiles/cgra_kir.dir/kir.cpp.o.d"
+  "CMakeFiles/cgra_kir.dir/lower_bytecode.cpp.o"
+  "CMakeFiles/cgra_kir.dir/lower_bytecode.cpp.o.d"
+  "CMakeFiles/cgra_kir.dir/lower_cdfg.cpp.o"
+  "CMakeFiles/cgra_kir.dir/lower_cdfg.cpp.o.d"
+  "CMakeFiles/cgra_kir.dir/parser.cpp.o"
+  "CMakeFiles/cgra_kir.dir/parser.cpp.o.d"
+  "CMakeFiles/cgra_kir.dir/passes.cpp.o"
+  "CMakeFiles/cgra_kir.dir/passes.cpp.o.d"
+  "CMakeFiles/cgra_kir.dir/random_kernel.cpp.o"
+  "CMakeFiles/cgra_kir.dir/random_kernel.cpp.o.d"
+  "libcgra_kir.a"
+  "libcgra_kir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgra_kir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cgra_kir.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/analysis.cpp" "src/sched/CMakeFiles/cgra_sched.dir/analysis.cpp.o" "gcc" "src/sched/CMakeFiles/cgra_sched.dir/analysis.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/sched/CMakeFiles/cgra_sched.dir/schedule.cpp.o" "gcc" "src/sched/CMakeFiles/cgra_sched.dir/schedule.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/sched/CMakeFiles/cgra_sched.dir/scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/cgra_sched.dir/scheduler.cpp.o.d"
+  "/root/repo/src/sched/validate.cpp" "src/sched/CMakeFiles/cgra_sched.dir/validate.cpp.o" "gcc" "src/sched/CMakeFiles/cgra_sched.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cdfg/CMakeFiles/cgra_cdfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/cgra_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/cgra_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

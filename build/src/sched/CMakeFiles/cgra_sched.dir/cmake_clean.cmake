@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgra_sched.dir/analysis.cpp.o"
+  "CMakeFiles/cgra_sched.dir/analysis.cpp.o.d"
+  "CMakeFiles/cgra_sched.dir/schedule.cpp.o"
+  "CMakeFiles/cgra_sched.dir/schedule.cpp.o.d"
+  "CMakeFiles/cgra_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/cgra_sched.dir/scheduler.cpp.o.d"
+  "CMakeFiles/cgra_sched.dir/validate.cpp.o"
+  "CMakeFiles/cgra_sched.dir/validate.cpp.o.d"
+  "libcgra_sched.a"
+  "libcgra_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgra_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgra_sim.dir/accelerated_host.cpp.o"
+  "CMakeFiles/cgra_sim.dir/accelerated_host.cpp.o.d"
+  "CMakeFiles/cgra_sim.dir/simulator.cpp.o"
+  "CMakeFiles/cgra_sim.dir/simulator.cpp.o.d"
+  "libcgra_sim.a"
+  "libcgra_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgra_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgra_synth.dir/synthesis.cpp.o"
+  "CMakeFiles/cgra_synth.dir/synthesis.cpp.o.d"
+  "libcgra_synth.a"
+  "libcgra_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgra_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgra_vgen.dir/verilog.cpp.o"
+  "CMakeFiles/cgra_vgen.dir/verilog.cpp.o.d"
+  "libcgra_vgen.a"
+  "libcgra_vgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgra_vgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

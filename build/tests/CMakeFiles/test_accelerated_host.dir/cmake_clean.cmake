@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accelerated_host.dir/test_accelerated_host.cpp.o"
+  "CMakeFiles/test_accelerated_host.dir/test_accelerated_host.cpp.o.d"
+  "test_accelerated_host"
+  "test_accelerated_host.pdb"
+  "test_accelerated_host[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accelerated_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

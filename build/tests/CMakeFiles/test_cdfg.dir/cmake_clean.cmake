@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cdfg.dir/test_cdfg.cpp.o"
+  "CMakeFiles/test_cdfg.dir/test_cdfg.cpp.o.d"
+  "test_cdfg"
+  "test_cdfg.pdb"
+  "test_cdfg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cdfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

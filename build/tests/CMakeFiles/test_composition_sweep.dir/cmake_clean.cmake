@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_composition_sweep.dir/test_composition_sweep.cpp.o"
+  "CMakeFiles/test_composition_sweep.dir/test_composition_sweep.cpp.o.d"
+  "test_composition_sweep"
+  "test_composition_sweep.pdb"
+  "test_composition_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_composition_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ctx.dir/test_ctx.cpp.o"
+  "CMakeFiles/test_ctx.dir/test_ctx.cpp.o.d"
+  "test_ctx"
+  "test_ctx.pdb"
+  "test_ctx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ctx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kir.dir/test_kir.cpp.o"
+  "CMakeFiles/test_kir.dir/test_kir.cpp.o.d"
+  "test_kir"
+  "test_kir.pdb"
+  "test_kir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

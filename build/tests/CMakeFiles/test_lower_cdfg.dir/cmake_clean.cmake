@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lower_cdfg.dir/test_lower_cdfg.cpp.o"
+  "CMakeFiles/test_lower_cdfg.dir/test_lower_cdfg.cpp.o.d"
+  "test_lower_cdfg"
+  "test_lower_cdfg.pdb"
+  "test_lower_cdfg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lower_cdfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_random_kernels.dir/test_property_random_kernels.cpp.o"
+  "CMakeFiles/test_property_random_kernels.dir/test_property_random_kernels.cpp.o.d"
+  "test_property_random_kernels"
+  "test_property_random_kernels.pdb"
+  "test_property_random_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_random_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_compositions.dir/test_random_compositions.cpp.o"
+  "CMakeFiles/test_random_compositions.dir/test_random_compositions.cpp.o.d"
+  "test_random_compositions"
+  "test_random_compositions.pdb"
+  "test_random_compositions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_compositions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

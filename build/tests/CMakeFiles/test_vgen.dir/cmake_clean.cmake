@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vgen.dir/test_vgen.cpp.o"
+  "CMakeFiles/test_vgen.dir/test_vgen.cpp.o.d"
+  "test_vgen"
+  "test_vgen.pdb"
+  "test_vgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

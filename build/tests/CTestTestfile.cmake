@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_end_to_end[1]_include.cmake")
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_json[1]_include.cmake")
+include("/root/repo/build/tests/test_arch[1]_include.cmake")
+include("/root/repo/build/tests/test_cdfg[1]_include.cmake")
+include("/root/repo/build/tests/test_kir[1]_include.cmake")
+include("/root/repo/build/tests/test_sched[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_ctx[1]_include.cmake")
+include("/root/repo/build/tests/test_host[1]_include.cmake")
+include("/root/repo/build/tests/test_vgen[1]_include.cmake")
+include("/root/repo/build/tests/test_property_random_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_composition_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_accelerated_host[1]_include.cmake")
+include("/root/repo/build/tests/test_synthesis[1]_include.cmake")
+include("/root/repo/build/tests/test_lower_cdfg[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_serialize[1]_include.cmake")
+include("/root/repo/build/tests/test_parser[1]_include.cmake")
+include("/root/repo/build/tests/test_fault_injection[1]_include.cmake")
+include("/root/repo/build/tests/test_multi_schedule[1]_include.cmake")
+include("/root/repo/build/tests/test_random_compositions[1]_include.cmake")

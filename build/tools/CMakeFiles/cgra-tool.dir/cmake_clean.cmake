@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgra-tool.dir/cgra_tool.cpp.o"
+  "CMakeFiles/cgra-tool.dir/cgra_tool.cpp.o.d"
+  "cgra-tool"
+  "cgra-tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgra-tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

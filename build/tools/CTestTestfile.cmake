@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_list "/root/repo/build/tools/cgra-tool" "list")
+set_tests_properties(cli_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;4;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_describe "/root/repo/build/tools/cgra-tool" "describe" "--comp" "F")
+set_tests_properties(cli_describe PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_schedule "/root/repo/build/tools/cgra-tool" "schedule" "--comp" "mesh9" "--kernel" "adpcm" "--unroll" "2" "--gantt")
+set_tests_properties(cli_schedule PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_simulate "/root/repo/build/tools/cgra-tool" "simulate" "--comp" "mesh8" "--kernel" "sobel" "--baseline")
+set_tests_properties(cli_simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_synthesize "/root/repo/build/tools/cgra-tool" "synthesize" "--kernels" "gcd,ewma")
+set_tests_properties(cli_synthesize PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_kernel_file "/root/repo/build/tools/cgra-tool" "simulate" "--comp" "mesh4" "--kernel-file" "/root/repo/tools/../examples/kernels/popcount_sum.kir" "--array" "data=7,255,1,0" "--local" "n=4" "--baseline")
+set_tests_properties(cli_kernel_file PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_kernel_file2 "/root/repo/build/tools/cgra-tool" "simulate" "--comp" "F" "--kernel-file" "/root/repo/tools/../examples/kernels/saturating_diff.kir" "--array" "a=10,20,30" "--array" "b=5,50,0" "--array" "out=0,0,0" "--local" "n=3" "--local" "limit=15")
+set_tests_properties(cli_kernel_file2 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_analyze "/root/repo/build/tools/cgra-tool" "analyze" "--comp" "mesh8" "--kernel" "matmul")
+set_tests_properties(cli_analyze PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_memfiles "/root/repo/build/tools/cgra-tool" "schedule" "--comp" "mesh4" "--kernel" "gcd" "--memfiles" "gcd_mem" "--contexts" "gcd_ctx.json")
+set_tests_properties(cli_memfiles PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
