@@ -3,7 +3,14 @@
 // candidates and compares the winner against the paper's hand-picked Fig. 13
 // / Fig. 14 compositions on the same kernels — the paper's "iteratively
 // improving compositions by experience" loop, automated.
+//
+// Candidate ranking and the fixed-composition comparison both run on the
+// parallel sweep engine; the final section demonstrates that thread count
+// changes wall time only, never the schedules (fingerprint equality).
+#include <deque>
+
 #include "bench_common.hpp"
+#include "sched/sweep.hpp"
 #include "synth/synthesis.hpp"
 
 int main() {
@@ -42,29 +49,61 @@ int main() {
   std::cout << "\nwinner: " << report.best.name() << "\n";
 
   // Compare the winner against the paper's fixed compositions on the
-  // weighted domain objective.
-  auto weightedLength = [&](const Composition& comp) -> double {
-    const Scheduler scheduler(comp);
-    double total = 0;
+  // weighted domain objective: one sweep over (composition × kernel).
+  std::deque<Composition> fixed;
+  fixed.push_back(report.best);
+  FactoryOptions fo;
+  fo.contextMemoryLength = 1024;
+  for (unsigned n : {8u, 9u, 16u}) fixed.push_back(makeMesh(n, fo));
+
+  std::vector<SweepJob> jobs;
+  for (const Composition& comp : fixed)
     for (std::size_t i = 0; i < graphs.size(); ++i)
-      total += kernels[i].weight *
-               scheduler.schedule(graphs[i]).schedule.length;
-    return total;
-  };
+      jobs.push_back(SweepJob{&comp, &graphs[i],
+                              comp.name() + "@" + kernels[i].name,
+                              SchedulerOptions{}});
+  SweepOptions serialOpts;
+  serialOpts.threads = 1;
+  serialOpts.keepSchedules = false;
+  const SweepReport serial = runSweep(jobs, serialOpts);
+
   std::cout << "\nweighted schedule length on fixed compositions:\n";
   TextTable cmp({"Composition", "Weighted length", "LUTs"});
-  cmp.addRow({report.best.name(), fmt(weightedLength(report.best), 0),
-              fmt(estimateResources(report.best).lutLogic, 0)});
-  for (unsigned n : {8u, 9u, 16u}) {
-    FactoryOptions fo;
-    fo.contextMemoryLength = 1024;
-    const Composition mesh = makeMesh(n, fo);
-    cmp.addRow({mesh.name(), fmt(weightedLength(mesh), 0),
-                fmt(estimateResources(mesh).lutLogic, 0)});
+  for (std::size_t c = 0; c < fixed.size(); ++c) {
+    double total = 0;
+    for (std::size_t i = 0; i < graphs.size(); ++i) {
+      const SweepJobResult& r = serial.results[c * graphs.size() + i];
+      if (!r.ok) throw Error("explore: scheduling failed: " + r.error);
+      total += kernels[i].weight * r.stats.contextsUsed;
+    }
+    cmp.addRow({fixed[c].name(), fmt(total, 0),
+                fmt(estimateResources(fixed[c]).lutLogic, 0)});
   }
   cmp.print(std::cout);
   std::cout << "\n(the synthesized composition should match or beat the "
                "hand-picked ones on the domain objective at comparable "
                "area)\n";
+
+  // Determinism + scaling: rerun the identical job set on 4 threads and
+  // check every schedule fingerprint against the serial baseline. On a
+  // multi-core host the parallel run should also be ~min(4, cores)× faster.
+  SweepOptions parOpts;
+  parOpts.threads = 4;
+  parOpts.keepSchedules = false;
+  const SweepReport par = runSweep(jobs, parOpts);
+  std::size_t identical = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    if (serial.results[i].fingerprint == par.results[i].fingerprint)
+      ++identical;
+  std::cout << "\nsweep determinism: " << identical << "/" << jobs.size()
+            << " schedule fingerprints identical across 1 vs 4 threads\n"
+            << "sweep wall time: serial " << fmt(serial.wallTimeMs, 1)
+            << " ms, 4 threads " << fmt(par.wallTimeMs, 1) << " ms (speedup "
+            << fmt(serial.wallTimeMs / std::max(par.wallTimeMs, 1e-9), 2)
+            << "x on this host)\n";
+  if (identical != jobs.size()) {
+    std::cerr << "ERROR: parallel sweep diverged from serial baseline\n";
+    return 1;
+  }
   return 0;
 }

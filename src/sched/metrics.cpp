@@ -1,0 +1,43 @@
+#include "sched/metrics.hpp"
+
+namespace cgra {
+
+void SchedulerMetrics::merge(const SchedulerMetrics& other) {
+  nodesScheduled += other.nodesScheduled;
+  copiesInserted += other.copiesInserted;
+  constsInserted += other.constsInserted;
+  fusedWrites += other.fusedWrites;
+  cboxOps += other.cboxOps;
+  branches += other.branches;
+  steps += other.steps;
+  candidateIterations += other.candidateIterations;
+  placementAttempts += other.placementAttempts;
+  backtracks += other.backtracks;
+  setupMs += other.setupMs;
+  planMs += other.planMs;
+  finalizeMs += other.finalizeMs;
+  totalMs += other.totalMs;
+  runs += other.runs;
+}
+
+json::Value SchedulerMetrics::toJson() const {
+  json::Object o;
+  o["nodesScheduled"] = nodesScheduled;
+  o["copiesInserted"] = copiesInserted;
+  o["constsInserted"] = constsInserted;
+  o["fusedWrites"] = fusedWrites;
+  o["cboxOps"] = cboxOps;
+  o["branches"] = branches;
+  o["steps"] = steps;
+  o["candidateIterations"] = candidateIterations;
+  o["placementAttempts"] = placementAttempts;
+  o["backtracks"] = backtracks;
+  o["setupMs"] = setupMs;
+  o["planMs"] = planMs;
+  o["finalizeMs"] = finalizeMs;
+  o["totalMs"] = totalMs;
+  o["runs"] = runs;
+  return o;
+}
+
+}  // namespace cgra

@@ -1,0 +1,47 @@
+// Scheduler metrics: counters and per-phase wall time of one scheduling run.
+//
+// The composition-sweep engine aggregates these across N (composition ×
+// kernel) jobs and exports them as JSON (`cgra-tool sweep --metrics`), so
+// many-config explorations can be profiled without re-instrumenting the
+// scheduler: where does the wall time go (planning vs. setup), how many
+// candidate-loop iterations and failed placement attempts ("backtracks")
+// does a composition cost, how much copy/const/C-Box traffic it induces.
+#pragma once
+
+#include <cstdint>
+
+#include "json/json.hpp"
+
+namespace cgra {
+
+/// Counters + timings of one scheduling run (or a merged aggregate).
+struct SchedulerMetrics {
+  // Work counters.
+  std::uint64_t nodesScheduled = 0;     ///< CDFG nodes placed
+  std::uint64_t copiesInserted = 0;     ///< routing MOVE ops
+  std::uint64_t constsInserted = 0;     ///< CONST materializations
+  std::uint64_t fusedWrites = 0;        ///< pWRITEs folded into producers
+  std::uint64_t cboxOps = 0;            ///< C-Box context entries emitted
+  std::uint64_t branches = 0;           ///< CCU back-branches emitted
+  // Search-effort counters.
+  std::uint64_t steps = 0;               ///< scheduling steps (contexts visited)
+  std::uint64_t candidateIterations = 0; ///< candidate-loop iterations
+  std::uint64_t placementAttempts = 0;   ///< candidate × PE placements tried
+  std::uint64_t backtracks = 0;          ///< attempts rejected after probing
+  // Per-phase wall time (milliseconds).
+  double setupMs = 0.0;     ///< validation + state/routing-table setup
+  double planMs = 0.0;      ///< main scheduling loop
+  double finalizeMs = 0.0;  ///< finalize + stats
+  double totalMs = 0.0;
+
+  /// Number of runs merged into this aggregate (1 for a single run).
+  std::uint64_t runs = 1;
+
+  /// Element-wise accumulation (wall times add; `runs` adds).
+  void merge(const SchedulerMetrics& other);
+
+  /// Flat JSON object, keys matching the field names above.
+  json::Value toJson() const;
+};
+
+}  // namespace cgra

@@ -1,0 +1,41 @@
+#include "sched/routing_cache.hpp"
+
+namespace cgra {
+
+RoutingInfo RoutingInfo::build(const Composition& comp) {
+  const unsigned n = comp.numPEs();
+  const Interconnect& ic = comp.interconnect();
+
+  RoutingInfo info;
+  info.sinks.assign(n, {});
+  info.connectivity.assign(n, 0);
+  info.reachCount.assign(n, 0);
+  for (PEId from = 0; from < n; ++from) {
+    info.sinks[from] = ic.sinks(from);
+    info.connectivity[from] = static_cast<unsigned>(
+        ic.sources(from).size() + info.sinks[from].size());
+    for (PEId to = 0; to < n; ++to)
+      if (ic.distance(from, to) != kUnreachable) ++info.reachCount[from];
+  }
+
+  info.supportingPEs.assign(kNumOps, {});
+  for (unsigned op = 0; op < kNumOps; ++op)
+    info.supportingPEs[op] = comp.pesSupporting(static_cast<Op>(op));
+  return info;
+}
+
+std::shared_ptr<const RoutingInfo> RoutingCache::lookup(
+    const Composition& comp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& entry = entries_[&comp];
+  if (!entry)
+    entry = std::make_shared<const RoutingInfo>(RoutingInfo::build(comp));
+  return entry;
+}
+
+std::size_t RoutingCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace cgra

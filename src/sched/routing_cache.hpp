@@ -1,0 +1,56 @@
+// Per-composition routing tables, computed once and shared read-only.
+//
+// Every scheduling run needs the same composition-derived lookups: the
+// sink list of each PE (who can read my output port — an O(PEs·links) scan
+// in the seed, re-run on every attraction update), per-PE connectivity
+// scores for the §V-G tie-break, and the per-operation supporting-PE sets
+// used by the mappability check. Combined with the interconnect's
+// Floyd–Warshall distance/next-hop matrices (already computed once per
+// composition), these make up everything the scheduler derives from the
+// architecture alone. During a composition sweep, N scheduler instances on
+// the same composition share one immutable RoutingInfo instead of each run
+// rebuilding the tables — the same memoization that ILP-based mappers apply
+// to per-architecture connectivity tables.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "arch/composition.hpp"
+
+namespace cgra {
+
+/// Immutable composition-derived lookup tables (safe to share across
+/// threads; all fields are populated by build() and never mutated after).
+struct RoutingInfo {
+  /// Per PE: the PEs that can read its output port, ascending id.
+  std::vector<std::vector<PEId>> sinks;
+  /// Per PE: |sources| + |sinks| (§V-G "the PE with more connections").
+  std::vector<unsigned> connectivity;
+  /// Per operation (indexed by static_cast<unsigned>(Op)): supporting PEs.
+  std::vector<std::vector<PEId>> supportingPEs;
+  /// Per PE: number of PEs it can reach (kUnreachable-free distance rows).
+  std::vector<unsigned> reachCount;
+
+  static RoutingInfo build(const Composition& comp);
+};
+
+/// Thread-safe cache of RoutingInfo keyed by composition identity. Entries
+/// are shared_ptr so lookups stay valid independent of cache lifetime; the
+/// caller must keep each Composition alive while its entry is in use (the
+/// sweep engine owns both for the duration of a run).
+class RoutingCache {
+public:
+  /// Returns the cached tables for `comp`, building them on first use.
+  std::shared_ptr<const RoutingInfo> lookup(const Composition& comp);
+
+  std::size_t size() const;
+
+private:
+  mutable std::mutex mu_;
+  std::map<const Composition*, std::shared_ptr<const RoutingInfo>> entries_;
+};
+
+}  // namespace cgra

@@ -95,4 +95,93 @@ std::string Schedule::toString(const Composition& comp) const {
   return os.str();
 }
 
+std::uint64_t Schedule::fingerprint() const {
+  // FNV-1a, folding every field in declaration order so any divergence —
+  // op placement, operand routing, predication, C-Box/CCU programs, live
+  // bindings — changes the digest.
+  std::uint64_t h = 14695981039346656037ull;
+  auto byte = [&h](std::uint8_t b) {
+    h ^= b;
+    h *= 1099511628211ull;
+  };
+  auto word = [&byte](std::uint64_t v) {
+    for (unsigned i = 0; i < 8; ++i) byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  auto str = [&byte, &word](const std::string& s) {
+    word(s.size());
+    for (char c : s) byte(static_cast<std::uint8_t>(c));
+  };
+  auto pred = [&word](const std::optional<PredRef>& p) {
+    word(p ? 1 : 0);
+    if (p) {
+      word(p->slot);
+      word(p->polarity ? 1 : 0);
+    }
+  };
+
+  word(length);
+  word(ops.size());
+  for (const ScheduledOp& op : ops) {
+    word(op.node);
+    word(static_cast<std::uint64_t>(op.op));
+    word(op.pe);
+    word(op.start);
+    word(op.duration);
+    for (const OperandSource& s : op.src) {
+      word(static_cast<std::uint64_t>(s.kind));
+      word(s.srcPE);
+      word(s.vreg);
+      word(static_cast<std::uint64_t>(static_cast<std::uint32_t>(s.imm)));
+    }
+    word(op.writesDest ? 1 : 0);
+    word(op.destVreg);
+    pred(op.pred);
+    word(op.emitsStatus ? 1 : 0);
+    str(op.label);
+  }
+  word(cboxOps.size());
+  for (const CBoxOp& c : cboxOps) {
+    word(c.time);
+    word(c.inputs.size());
+    for (const CBoxOp::Input& in : c.inputs) {
+      word(static_cast<std::uint64_t>(in.kind));
+      word(in.slot);
+      word(in.polarity ? 1 : 0);
+    }
+    word(static_cast<std::uint64_t>(c.logic));
+    word(c.writeSlot);
+    word(c.cond);
+  }
+  word(branches.size());
+  for (const BranchOp& b : branches) {
+    word(b.time);
+    word(b.target);
+    word(b.conditional ? 1 : 0);
+    word(b.pred.slot);
+    word(b.pred.polarity ? 1 : 0);
+    word(b.loop);
+  }
+  word(loops.size());
+  for (const LoopInterval& l : loops) {
+    word(l.loop);
+    word(l.start);
+    word(l.end);
+  }
+  auto bindings = [&word](const std::vector<LiveBinding>& v) {
+    word(v.size());
+    for (const LiveBinding& b : v) {
+      word(b.var);
+      word(b.pe);
+      word(b.vreg);
+    }
+  };
+  bindings(liveIns);
+  bindings(liveOuts);
+  bindings(varHomes);
+  word(vregsPerPE.size());
+  for (unsigned v : vregsPerPE) word(v);
+  word(cboxSlotsUsed);
+  return h;
+}
+
 }  // namespace cgra

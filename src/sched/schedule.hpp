@@ -122,6 +122,11 @@ struct Schedule {
 
   /// Multi-line human-readable dump (tests, debugging).
   std::string toString(const Composition& comp) const;
+
+  /// Order-sensitive FNV-1a digest over every schedule field. Two schedules
+  /// with equal fingerprints are byte-identical for all practical purposes;
+  /// the sweep engine uses this to assert parallel runs match serial ones.
+  std::uint64_t fingerprint() const;
 };
 
 /// Scheduler statistics reported alongside the schedule (Table I metrics).

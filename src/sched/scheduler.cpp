@@ -6,6 +6,9 @@
 #include <optional>
 #include <set>
 
+#include "sched/routing_cache.hpp"
+#include "support/occupancy.hpp"
+
 namespace cgra {
 
 namespace {
@@ -32,29 +35,50 @@ struct CondSlot {
 /// One scheduling run over a fixed CDFG.
 class Run {
 public:
-  Run(const Composition& comp, const SchedulerOptions& opts, const Cdfg& g)
-      : comp_(comp), opts_(opts), g_(g) {}
+  Run(const Composition& comp, const SchedulerOptions& opts, const Cdfg& g,
+      const RoutingInfo* routing)
+      : comp_(comp), opts_(opts), g_(g), routing_(routing) {}
 
   SchedulingResult execute() {
-    const auto wallStart = std::chrono::steady_clock::now();
+    using Clock = std::chrono::steady_clock;
+    const auto ms = [](Clock::time_point a, Clock::time_point b) {
+      return std::chrono::duration<double, std::milli>(b - a).count();
+    };
+
+    const auto wallStart = Clock::now();
     g_.validate();
     limit_ = opts_.maxContexts ? opts_.maxContexts : comp_.contextMemoryLength();
+    if (!routing_) {
+      ownedRouting_ = RoutingInfo::build(comp_);
+      routing_ = &*ownedRouting_;
+    }
 
     checkMappable();
     initState();
+    const auto setupEnd = Clock::now();
 
     while (scheduledCount_ < g_.numNodes() || loopStack_.size() > 1) {
       if (t_ >= limit_) failUnmappable();
       tryCloseLoops();
       planStep();
+      ++metrics_.steps;
       ++t_;
     }
+    const auto planEnd = Clock::now();
 
     finalize();
-    const auto wallEnd = std::chrono::steady_clock::now();
-    stats_.wallTimeMs =
-        std::chrono::duration<double, std::milli>(wallEnd - wallStart).count();
-    return SchedulingResult{std::move(sched_), stats_};
+    const auto wallEnd = Clock::now();
+    stats_.wallTimeMs = ms(wallStart, wallEnd);
+    metrics_.setupMs = ms(wallStart, setupEnd);
+    metrics_.planMs = ms(setupEnd, planEnd);
+    metrics_.finalizeMs = ms(planEnd, wallEnd);
+    metrics_.totalMs = stats_.wallTimeMs;
+    metrics_.copiesInserted = stats_.copiesInserted;
+    metrics_.constsInserted = stats_.constsInserted;
+    metrics_.fusedWrites = stats_.fusedWrites;
+    metrics_.cboxOps = sched_.cboxOps.size();
+    metrics_.branches = sched_.branches.size();
+    return SchedulingResult{std::move(sched_), stats_, metrics_};
   }
 
 private:
@@ -65,7 +89,7 @@ private:
     for (NodeId id = 0; id < g_.numNodes(); ++id) {
       const Node& n = g_.node(id);
       if (n.kind != NodeKind::Operation) continue;
-      if (comp_.pesSupporting(n.op).empty())
+      if (routing_->supportingPEs[static_cast<unsigned>(n.op)].empty())
         throw Error("composition " + comp_.name() + " has no PE supporting " +
                     std::string(opName(n.op)));
     }
@@ -86,9 +110,17 @@ private:
     for (NodeId id = 0; id < numNodes; ++id)
       if (remainingPreds_[id] == 0) candidates_.insert(id);
 
+    // Hard ceiling for every per-cycle resource map: the context budget. A
+    // schedule cycle at or beyond the ceiling can never execute (finalize
+    // rejects such schedules), so probes treat it as permanently occupied —
+    // resource scans are bounded and can never resize unboundedly.
+    const unsigned ceiling = limit_;
     nextVreg_.assign(numPEs, 0);
-    peBusy_.assign(numPEs, {});
-    outPort_.assign(numPEs, {});
+    peBusy_.assign(numPEs, CycleOccupancy(ceiling));
+    outPort_.assign(numPEs, CycleSlots<unsigned>(ceiling));
+    cboxOpAt_ = CycleOccupancy(ceiling);
+    predUse_ = CycleSlots<PredRef>(ceiling);
+    branchAt_ = CycleOccupancy(ceiling);
     varHomes_.assign(g_.numVariables(), std::nullopt);
     varCopies_.assign(g_.numVariables(), {});
     nodeLocs_.assign(numNodes, {});
@@ -102,14 +134,6 @@ private:
       }
 
     loopStack_.push_back(OpenLoop{kRootLoop, 0});
-
-    // Connectivity score for PE tie-breaking (§V-G: "the PE with more
-    // connections is prioritized").
-    connectivity_.assign(numPEs, 0);
-    for (PEId p = 0; p < numPEs; ++p)
-      connectivity_[p] =
-          static_cast<unsigned>(comp_.interconnect().sources(p).size() +
-                                comp_.interconnect().sinks(p).size());
   }
 
   [[noreturn]] void failUnmappable() const {
@@ -129,30 +153,21 @@ private:
 
   // -- resource helpers -------------------------------------------------------
 
-  template <typename T>
-  static T& at(std::vector<T>& v, unsigned idx) {
-    if (idx >= v.size()) v.resize(idx + 1);
-    return v[idx];
-  }
-
-  bool peBusy(PEId pe, unsigned from, unsigned dur) {
-    for (unsigned c = from; c < from + dur; ++c)
-      if (at(peBusy_[pe], c)) return true;
-    return false;
+  bool peBusy(PEId pe, unsigned from, unsigned dur) const {
+    return peBusy_[pe].anyBusy(from, dur);
   }
 
   void markPeBusy(PEId pe, unsigned from, unsigned dur) {
-    for (unsigned c = from; c < from + dur; ++c) at(peBusy_[pe], c) = 1;
+    peBusy_[pe].mark(from, dur);
   }
 
   /// Checks/claims a source PE's output port at a cycle for a register.
-  bool outPortFree(PEId pe, unsigned cycle, unsigned vreg) {
-    const auto& slot = at(outPort_[pe], cycle);
-    return !slot.has_value() || *slot == vreg;
+  bool outPortFree(PEId pe, unsigned cycle, unsigned vreg) const {
+    return outPort_[pe].freeFor(cycle, vreg);
   }
 
   void claimOutPort(PEId pe, unsigned cycle, unsigned vreg) {
-    at(outPort_[pe], cycle) = vreg;
+    outPort_[pe].claim(cycle, vreg);
   }
 
   unsigned freshVreg(PEId pe) { return nextVreg_[pe]++; }
@@ -241,7 +256,7 @@ private:
 
     const unsigned lo = std::max(parentReady, raw.ready);
     for (unsigned u = lo; u + 1 <= deadline; ++u) {
-      if (at(cboxOpAt_, u)) continue;
+      if (cboxOpAt_.test(u)) continue;
       CBoxOp op;
       op.time = u;
       op.inputs = {
@@ -253,7 +268,7 @@ private:
       op.writeSlot = nextCondSlot_++;
       op.cond = c;
       sched_.cboxOps.push_back(op);
-      at(cboxOpAt_, u) = 1;
+      cboxOpAt_.mark(u);
       CondSlot slot{PredRef{op.writeSlot, true}, u + 1};
       condSlots_[c] = slot;
       return slot.ref;
@@ -263,13 +278,12 @@ private:
 
   /// Per-cycle single predication signal (the C-Box outPE output is one
   /// wire broadcast to all PEs).
-  bool predSignalAvailable(unsigned cycle, const PredRef& ref) {
-    const auto& use = at(predUse_, cycle);
-    return !use.has_value() || *use == ref;
+  bool predSignalAvailable(unsigned cycle, const PredRef& ref) const {
+    return predUse_.freeFor(cycle, ref);
   }
 
   void claimPredSignal(unsigned cycle, const PredRef& ref) {
-    at(predUse_, cycle) = ref;
+    predUse_.claim(cycle, ref);
   }
 
   // -- loop management --------------------------------------------------------
@@ -317,24 +331,25 @@ private:
       const CondId bodyCond = loop.bodyCond;
       const auto pred = ensureCondition(bodyCond, t_ - 1);
       if (!pred) return;
-      unsigned b = std::max(lastCycle, condSlots_.at(bodyCond).ready);
-
-      // One branch (and one branch-selection read) per context.
-      while (at(branchAt_, b)) ++b;
+      // One branch (and one branch-selection read) per context; the scan is
+      // bounded by the context ceiling (a saturated branch unit yields
+      // nullopt instead of growing the map indefinitely).
+      const auto b = branchAt_.firstFreeAtOrAfter(
+          std::max(lastCycle, condSlots_.at(bodyCond).ready));
       // The branch must land strictly before the current step so outer
       // candidates can never share the back-branch context.
-      if (b > t_ - 1) return;
+      if (!b || *b > t_ - 1) return;
 
       BranchOp br;
-      br.time = b;
+      br.time = *b;
       br.target = top.start;
       br.conditional = true;
       // bodyCond already encodes the continue polarity of the literal.
       br.pred = *pred;
       br.loop = l;
       sched_.branches.push_back(br);
-      at(branchAt_, b) = 1;
-      sched_.loops.push_back(LoopInterval{l, top.start, b});
+      branchAt_.mark(*b);
+      sched_.loops.push_back(LoopInterval{l, top.start, *b});
       loopStack_.pop_back();
     }
   }
@@ -401,9 +416,10 @@ private:
     for (PEId p = 0; p < comp_.numPEs(); ++p) out[p] = p;
     if (!opts_.useAttraction) return out;
     const auto& att = attraction_[id];
+    const auto& connectivity = routing_->connectivity;
     std::stable_sort(out.begin(), out.end(), [&](PEId a, PEId b) {
       if (att[a] != att[b]) return att[a] > att[b];
-      return connectivity_[a] > connectivity_[b];
+      return connectivity[a] > connectivity[b];
     });
     return out;
   }
@@ -552,33 +568,33 @@ private:
   }
 
   /// Materializes an integer constant in `pe`'s register file before `t`.
+  /// The downward search is bounded at cycle 0 by the capped occupancy scan:
+  /// a PE that is busy at every cycle yields nullopt (the caller delays the
+  /// consuming node) — the cycle counter can never wrap below zero and the
+  /// busy map can never grow past the context ceiling.
   std::optional<Location> materializeConst(std::int32_t value, PEId pe,
                                            unsigned t) {
     const unsigned dur = comp_.pe(pe).impl(Op::CONST).duration;
     if (dur > t) return std::nullopt;
-    for (unsigned u = t - dur;; --u) {
-      if (!peBusy(pe, u, dur)) {
-        const unsigned vreg = freshVreg(pe);
-        ScheduledOp op;
-        op.node = kNoNode;
-        op.op = Op::CONST;
-        op.pe = pe;
-        op.start = u;
-        op.duration = dur;
-        op.src[0] = OperandSource{OperandSource::Kind::Imm, 0, 0, value};
-        op.writesDest = true;
-        op.destVreg = vreg;
-        op.label = "const " + std::to_string(value);
-        sched_.ops.push_back(op);
-        markPeBusy(pe, u, dur);
-        Location loc{pe, vreg, u + dur, Location::kNoLimit};
-        constLocs_[value].push_back(loc);
-        ++stats_.constsInserted;
-        return loc;
-      }
-      if (u == 0) break;
-    }
-    return std::nullopt;
+    const auto u = peBusy_[pe].lastFreeWindowAtOrBefore(t - dur, dur);
+    if (!u) return std::nullopt;
+    const unsigned vreg = freshVreg(pe);
+    ScheduledOp op;
+    op.node = kNoNode;
+    op.op = Op::CONST;
+    op.pe = pe;
+    op.start = *u;
+    op.duration = dur;
+    op.src[0] = OperandSource{OperandSource::Kind::Imm, 0, 0, value};
+    op.writesDest = true;
+    op.destVreg = vreg;
+    op.label = "const " + std::to_string(value);
+    sched_.ops.push_back(op);
+    markPeBusy(pe, *u, dur);
+    Location loc{pe, vreg, *u + dur, Location::kNoLimit};
+    constLocs_[value].push_back(loc);
+    ++stats_.constsInserted;
+    return loc;
   }
 
   // -- home assignment --------------------------------------------------------
@@ -651,6 +667,7 @@ private:
     while (changed) {
       changed = false;
       for (NodeId id : sortedCandidates()) {
+        ++metrics_.candidateIterations;
         if (nodeScheduled_[id]) continue;  // fused away mid-snapshot
         if (!loopCompatible(id)) continue;
         if (earliestStart(id) > t_) continue;
@@ -658,10 +675,12 @@ private:
           if (incompatible(id, pe)) continue;
           const unsigned dur = opDuration(id, pe);
           if (peBusy(pe, t_, dur)) continue;
+          ++metrics_.placementAttempts;
           if (planCandidate(id, pe, dur)) {
             changed = true;
             break;
           }
+          ++metrics_.backtracks;
         }
       }
     }
@@ -680,7 +699,7 @@ private:
     // Comparisons feed the C-Box: one status per cycle, so the C-Box write
     // port must be free on the status cycle (§V-H).
     const unsigned statusCycle = t + dur - 1;
-    if (n.isStatusProducer() && at(cboxOpAt_, statusCycle)) return false;
+    if (n.isStatusProducer() && cboxOpAt_.test(statusCycle)) return false;
 
     // Memory operations are always predicated (§V-D).
     std::optional<PredRef> pred;
@@ -771,7 +790,7 @@ private:
       cb.writeSlot = nextCondSlot_++;
       cb.cond = kCondTrue;  // raw literal, interpreted per condition
       sched_.cboxOps.push_back(cb);
-      at(cboxOpAt_, statusCycle) = 1;
+      cboxOpAt_.mark(statusCycle);
       rawSlots_[id] = CondSlot{PredRef{cb.writeSlot, true}, statusCycle + 1};
     }
 
@@ -852,15 +871,16 @@ private:
     nodeStart_[id] = start;
     nodeFinish_[id] = start + dur;
     ++scheduledCount_;
+    ++metrics_.nodesScheduled;
     candidates_.erase(id);
 
     // Attraction update (§V-G): successors are drawn toward PEs that can
-    // access this result's register file.
+    // access this result's register file. The sink lists come from the
+    // shared routing tables (the seed re-scanned the interconnect here).
     for (const Edge& e : g_.outEdges(id)) {
       if (!nodeScheduled_[e.to]) {
         attraction_[e.to][pe] += 1.0;
-        for (PEId q : comp_.interconnect().sinks(pe))
-          attraction_[e.to][q] += 1.0;
+        for (PEId q : routing_->sinks[pe]) attraction_[e.to][q] += 1.0;
       }
       if (--remainingPreds_[e.to] == 0) candidates_.insert(e.to);
     }
@@ -905,9 +925,14 @@ private:
   const Composition& comp_;
   const SchedulerOptions& opts_;
   const Cdfg& g_;
+  /// Shared composition tables; points at ownedRouting_ when the caller did
+  /// not supply a cache entry.
+  const RoutingInfo* routing_ = nullptr;
+  std::optional<RoutingInfo> ownedRouting_;
 
   Schedule sched_;
   ScheduleStats stats_;
+  SchedulerMetrics metrics_;
 
   unsigned t_ = 0;
   unsigned limit_ = 0;
@@ -916,17 +941,16 @@ private:
 
   std::vector<double> priorities_;
   std::vector<std::vector<double>> attraction_;
-  std::vector<unsigned> connectivity_;
   std::vector<unsigned> nodeStart_, nodeFinish_;
   std::vector<bool> nodeScheduled_;
   std::vector<unsigned> remainingPreds_;
   std::set<NodeId> candidates_;
 
-  std::vector<std::vector<std::uint8_t>> peBusy_;
-  std::vector<std::vector<std::optional<unsigned>>> outPort_;
-  std::vector<std::uint8_t> cboxOpAt_;
-  std::vector<std::optional<PredRef>> predUse_;
-  std::vector<std::uint8_t> branchAt_;
+  std::vector<CycleOccupancy> peBusy_;
+  std::vector<CycleSlots<unsigned>> outPort_;
+  CycleOccupancy cboxOpAt_;
+  CycleSlots<PredRef> predUse_;
+  CycleOccupancy branchAt_;
 
   std::vector<unsigned> nextVreg_;
   unsigned nextCondSlot_ = 0;
@@ -950,7 +974,12 @@ Scheduler::Scheduler(const Composition& comp, SchedulerOptions opts)
     : comp_(&comp), opts_(opts) {}
 
 SchedulingResult Scheduler::schedule(const Cdfg& graph) const {
-  Run run(*comp_, opts_, graph);
+  return schedule(graph, nullptr);
+}
+
+SchedulingResult Scheduler::schedule(const Cdfg& graph,
+                                     const RoutingInfo* routing) const {
+  Run run(*comp_, opts_, graph, routing);
   return run.execute();
 }
 

@@ -24,9 +24,12 @@
 #pragma once
 
 #include "cdfg/cdfg.hpp"
+#include "sched/metrics.hpp"
 #include "sched/schedule.hpp"
 
 namespace cgra {
+
+struct RoutingInfo;
 
 /// Knobs for ablation benches and tests.
 struct SchedulerOptions {
@@ -40,10 +43,12 @@ struct SchedulerOptions {
   unsigned maxContexts = 0;
 };
 
-/// Result bundle: the schedule plus statistics (Table I metrics).
+/// Result bundle: the schedule plus statistics (Table I metrics) and the
+/// detailed per-run metrics consumed by the sweep engine.
 struct SchedulingResult {
   Schedule schedule;
   ScheduleStats stats;
+  SchedulerMetrics metrics;
 };
 
 /// Maps a validated CDFG onto a composition. Throws cgra::Error when the
@@ -54,6 +59,15 @@ public:
   Scheduler(const Composition& comp, SchedulerOptions opts = {});
 
   SchedulingResult schedule(const Cdfg& graph) const;
+
+  /// Schedules with precomputed composition tables (see RoutingCache): the
+  /// run reads `routing` instead of rebuilding sink/connectivity/support
+  /// tables, so N concurrent scheduler instances on the same composition
+  /// share one immutable copy. `routing` must outlive the call and must
+  /// have been built from this scheduler's composition. Results are
+  /// identical with or without a cache.
+  SchedulingResult schedule(const Cdfg& graph,
+                            const RoutingInfo* routing) const;
 
 private:
   const Composition* comp_;

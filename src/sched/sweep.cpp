@@ -1,0 +1,99 @@
+#include "sched/sweep.hpp"
+
+#include <chrono>
+#include <memory>
+
+#include "sched/routing_cache.hpp"
+#include "support/thread_pool.hpp"
+
+namespace cgra {
+
+namespace {
+
+SweepJobResult runJob(const SweepJob& job,
+                      const std::shared_ptr<const RoutingInfo>& routing,
+                      bool keepSchedule) {
+  SweepJobResult out;
+  out.label = !job.label.empty() ? job.label
+                                 : (job.comp ? job.comp->name() : "?");
+  try {
+    CGRA_ASSERT(job.comp != nullptr && job.graph != nullptr);
+    const Scheduler scheduler(*job.comp, job.options);
+    SchedulingResult result = scheduler.schedule(*job.graph, routing.get());
+    out.ok = true;
+    out.stats = result.stats;
+    out.metrics = result.metrics;
+    out.fingerprint = result.schedule.fingerprint();
+    if (keepSchedule) out.schedule = std::move(result.schedule);
+  } catch (const std::exception& e) {
+    out.ok = false;
+    out.error = e.what();
+  }
+  return out;
+}
+
+}  // namespace
+
+SweepReport runSweep(const std::vector<SweepJob>& jobs,
+                     const SweepOptions& options) {
+  const auto wallStart = std::chrono::steady_clock::now();
+
+  SweepReport report;
+  report.threadsUsed =
+      options.threads == 0 ? ThreadPool::defaultThreads() : options.threads;
+  report.results.resize(jobs.size());
+
+  // Warm the routing cache serially: one immutable table set per distinct
+  // composition, shared read-only by every scheduler instance. Jobs then
+  // only read shared_ptrs — no locking on the hot path.
+  RoutingCache cache;
+  std::vector<std::shared_ptr<const RoutingInfo>> routing(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    if (jobs[i].comp != nullptr) routing[i] = cache.lookup(*jobs[i].comp);
+  report.routingCacheEntries = cache.size();
+
+  parallelFor(jobs.size(), report.threadsUsed, [&](std::size_t i) {
+    report.results[i] = runJob(jobs[i], routing[i], options.keepSchedules);
+  });
+
+  report.aggregate.runs = 0;
+  for (const SweepJobResult& r : report.results) {
+    if (r.ok)
+      report.aggregate.merge(r.metrics);
+    else
+      ++report.failures;
+  }
+
+  report.wallTimeMs = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - wallStart)
+                          .count();
+  return report;
+}
+
+json::Value SweepReport::toJson() const {
+  json::Object o;
+  o["threads"] = static_cast<std::int64_t>(threadsUsed);
+  o["jobsTotal"] = static_cast<std::int64_t>(results.size());
+  o["jobsFailed"] = static_cast<std::int64_t>(failures);
+  o["routingCacheEntries"] = static_cast<std::int64_t>(routingCacheEntries);
+  o["wallTimeMs"] = wallTimeMs;
+  o["aggregate"] = aggregate.toJson();
+  json::Array jobs;
+  for (const SweepJobResult& r : results) {
+    json::Object j;
+    j["label"] = r.label;
+    j["ok"] = r.ok;
+    if (r.ok) {
+      j["contexts"] = static_cast<std::int64_t>(r.stats.contextsUsed);
+      j["fingerprint"] = std::to_string(r.fingerprint);  // 64-bit safe
+      j["metrics"] = r.metrics.toJson();
+    } else {
+      j["error"] = r.error;
+    }
+    jobs.emplace_back(std::move(j));
+  }
+  o["jobs"] = std::move(jobs);
+  return o;
+}
+
+}  // namespace cgra

@@ -1,0 +1,78 @@
+// Parallel composition-sweep engine.
+//
+// Many-config exploration — scheduling K kernels on C candidate
+// compositions — is the dominant end-to-end workload of this toolflow
+// (synthesis candidate ranking, Table/Fig. reproduction benches, the
+// all-pairs correctness matrix). Each (composition × kernel) job is an
+// independent pure function, so the engine runs N jobs concurrently on a
+// std::thread pool, shares one immutable RoutingInfo per composition across
+// all scheduler instances (see routing_cache.hpp), and aggregates the
+// per-run SchedulerMetrics into a JSON-exportable report.
+//
+// Determinism: the scheduler is single-threaded per job and jobs share no
+// mutable state, so the engine produces bit-identical schedules for any
+// thread count; results are returned in job order. Tests assert equality of
+// Schedule::fingerprint() across thread counts {1, 2, 8}.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/composition.hpp"
+#include "cdfg/cdfg.hpp"
+#include "sched/metrics.hpp"
+#include "sched/scheduler.hpp"
+
+namespace cgra {
+
+/// One (composition × kernel) scheduling job. The pointed-to composition
+/// and graph must stay alive for the duration of the sweep.
+struct SweepJob {
+  const Composition* comp = nullptr;
+  const Cdfg* graph = nullptr;
+  /// Display label, e.g. "adpcm@mesh9" (defaults to the composition name).
+  std::string label;
+  SchedulerOptions options;
+};
+
+/// Outcome of one job. `error` is empty on success; a scheduling failure
+/// (unmappable kernel, capacity exceeded) is recorded, not thrown, so one
+/// infeasible pair cannot abort a sweep.
+struct SweepJobResult {
+  std::string label;
+  bool ok = false;
+  std::string error;
+  Schedule schedule;             ///< empty when !ok or !keepSchedules
+  ScheduleStats stats;           ///< valid when ok
+  SchedulerMetrics metrics;      ///< valid when ok
+  std::uint64_t fingerprint = 0; ///< Schedule::fingerprint() when ok
+};
+
+struct SweepOptions {
+  /// Worker threads; 0 selects the hardware concurrency, 1 runs inline.
+  unsigned threads = 0;
+  /// Drop the (potentially large) schedules and keep only stats/metrics —
+  /// candidate ranking only needs lengths and fingerprints.
+  bool keepSchedules = true;
+};
+
+/// Sweep outcome: per-job results in job order plus merged metrics.
+struct SweepReport {
+  std::vector<SweepJobResult> results;
+  SchedulerMetrics aggregate;  ///< merged over successful jobs
+  double wallTimeMs = 0.0;
+  unsigned threadsUsed = 1;
+  std::size_t failures = 0;
+  std::size_t routingCacheEntries = 0;  ///< distinct compositions seen
+
+  /// {"threads": .., "wallTimeMs": .., "aggregate": {...}, "jobs": [...]}
+  /// — the `cgra-tool sweep --metrics` schema (see DESIGN.md).
+  json::Value toJson() const;
+};
+
+/// Schedules every job, `options.threads` at a time. Thread count affects
+/// wall time only, never the schedules.
+SweepReport runSweep(const std::vector<SweepJob>& jobs,
+                     const SweepOptions& options = {});
+
+}  // namespace cgra

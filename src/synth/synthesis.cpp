@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <optional>
 
 #include "arch/resource_model.hpp"
-#include "sched/scheduler.hpp"
+#include "sched/sweep.hpp"
 
 namespace cgra {
 
@@ -122,9 +123,17 @@ SynthesisReport synthesizeComposition(const std::vector<DomainKernel>& kernels,
       sizes.push_back(clamped);
   }
 
-  std::vector<CandidateResult> evaluated;
-  std::optional<Composition> best;
-  double bestScore = 0.0;
+  // Materialize every candidate first (construction can reject a topology),
+  // then schedule all (candidate × kernel) pairs in one sweep. A deque keeps
+  // composition addresses stable for the jobs' non-owning pointers.
+  struct Candidate {
+    CandidateResult result;
+    Composition* comp = nullptr;         ///< null when construction failed
+    std::size_t firstJob = 0;            ///< index of its first sweep job
+  };
+  std::deque<Composition> comps;
+  std::vector<Candidate> cands;
+  std::vector<SweepJob> jobs;
   for (unsigned n : sizes) {
     // Operator allocation: multipliers on ceil(mulFraction·n)+1 PEs, DMA
     // ports covering memory pressure (at least 1, at most 4 per §IV-A.1).
@@ -147,34 +156,60 @@ SynthesisReport synthesizeComposition(const std::vector<DomainKernel>& kernels,
       }
       const std::string name = std::to_string(n) + "pe-" + styleName(style) +
                                "-" + std::to_string(mulPEs) + "mul";
-      CandidateResult cand;
-      cand.name = name;
+      Candidate cand;
+      cand.result.name = name;
       try {
-        Composition comp(name, std::move(pes), buildInterconnect(style, n),
-                         opts.contextMemoryLength, opts.cboxSlots);
-        const Scheduler scheduler(comp);
-        double weightedLength = 0.0;
+        comps.emplace_back(name, std::move(pes), buildInterconnect(style, n),
+                           opts.contextMemoryLength, opts.cboxSlots);
+        cand.comp = &comps.back();
+        cand.firstJob = jobs.size();
         for (const DomainKernel& k : kernels)
-          weightedLength +=
-              k.weight * scheduler.schedule(*k.graph).schedule.length;
-        const ResourceEstimate est = estimateResources(comp);
-        cand.feasible = true;
-        cand.weightedLength = weightedLength;
-        cand.lutArea = est.lutLogic;
-        // Normalize area against a 16-PE dense upper bound (~20k LUTs).
-        cand.score = weightedLength *
-                     (1.0 + opts.areaWeight * est.lutLogic / 20000.0);
-        if (!best || cand.score < bestScore) {
-          best = std::move(comp);
-          bestScore = cand.score;
-        }
-        evaluated.push_back(std::move(cand));
+          jobs.push_back(SweepJob{cand.comp, k.graph,
+                                  name + "@" + k.name, SchedulerOptions{}});
       } catch (const Error& e) {
-        cand.feasible = false;
-        cand.failure = e.what();
-        evaluated.push_back(std::move(cand));
+        cand.result.failure = e.what();
+      }
+      cands.push_back(std::move(cand));
+    }
+  }
+
+  SweepOptions sweepOpts;
+  sweepOpts.threads = opts.threads;
+  sweepOpts.keepSchedules = false;  // ranking only needs lengths
+  const SweepReport sweep = runSweep(jobs, sweepOpts);
+
+  std::vector<CandidateResult> evaluated;
+  Composition* best = nullptr;
+  double bestScore = 0.0;
+  for (Candidate& cand : cands) {
+    if (cand.comp != nullptr) {
+      double weightedLength = 0.0;
+      std::string failure;
+      for (std::size_t k = 0; k < kernels.size(); ++k) {
+        const SweepJobResult& r = sweep.results[cand.firstJob + k];
+        if (!r.ok) {
+          failure = r.error;
+          break;
+        }
+        weightedLength += kernels[k].weight * r.stats.contextsUsed;
+      }
+      if (failure.empty()) {
+        const ResourceEstimate est = estimateResources(*cand.comp);
+        cand.result.feasible = true;
+        cand.result.weightedLength = weightedLength;
+        cand.result.lutArea = est.lutLogic;
+        // Normalize area against a 16-PE dense upper bound (~20k LUTs).
+        cand.result.score = weightedLength *
+                            (1.0 + opts.areaWeight * est.lutLogic / 20000.0);
+        if (best == nullptr || cand.result.score < bestScore) {
+          best = cand.comp;
+          bestScore = cand.result.score;
+        }
+      } else {
+        cand.result.failure = std::move(failure);
       }
     }
+    evaluated.push_back(std::move(cand.result));
   }
 
   if (!best)

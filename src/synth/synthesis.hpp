@@ -42,6 +42,9 @@ struct SynthesisOptions {
   unsigned cboxSlots = 32;
   /// Score = cycles-term × (1 + areaWeight × normalized-LUT-area).
   double areaWeight = 0.25;
+  /// Worker threads for the candidate × kernel scheduling sweep; 0 selects
+  /// the hardware concurrency. The ranking is thread-count independent.
+  unsigned threads = 0;
 };
 
 /// Profile of the domain (step 1).

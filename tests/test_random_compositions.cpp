@@ -71,7 +71,7 @@ void expectCorrectOrCleanError(const apps::Workload& w,
   const auto golden = interp.run(w.fn, w.initialLocals, goldenHeap);
 
   const kir::LoweringResult lowered = kir::lowerToCdfg(w.fn);
-  SchedulingResult result{{}, {}};
+  SchedulingResult result{};
   try {
     result = Scheduler(comp).schedule(lowered.graph);
   } catch (const Error&) {

@@ -4,6 +4,11 @@
 // every invariant class.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+
 #include "apps/kernels.hpp"
 #include "arch/factory.hpp"
 #include "kir/lower_cdfg.hpp"
@@ -50,6 +55,39 @@ TEST(Scheduler, MaxContextsOptionOverridesComposition) {
   const Cdfg graph = lowerWorkload(apps::makeGcd(4, 6));
   const Scheduler scheduler(comp, opts);
   EXPECT_THROW(scheduler.schedule(graph), Error);
+}
+
+TEST(Scheduler, SaturatedSinglePECompositionFailsGracefully) {
+  // Regression for the occupancy underflow/unbounded-growth class of bugs:
+  // a single-PE composition with a tiny context budget saturates every
+  // resource map. The scheduler must report unmappable promptly — a hang or
+  // runaway allocation here means a downward scan wrapped past cycle 0 or a
+  // probe grew a busy table without bound. State is shared with the worker
+  // thread via shared_ptr so a hung run (test failure) cannot dangle.
+  std::vector<PEDescriptor> pes;
+  pes.push_back(PEDescriptor::fullInteger("solo", 32, /*hasDma=*/true));
+  Interconnect ic(1);
+  ic.computeShortestPaths();
+  const auto comp = std::make_shared<Composition>("solo1", std::move(pes),
+                                                  std::move(ic), 6, 8);
+  const auto graph =
+      std::make_shared<Cdfg>(lowerWorkload(apps::makeAdpcm(8, 1)));
+
+  const auto outcome = std::make_shared<std::promise<bool>>();
+  std::future<bool> done = outcome->get_future();
+  std::thread([comp, graph, outcome] {
+    try {
+      Scheduler(*comp).schedule(*graph);
+      outcome->set_value(false);  // kernel cannot possibly fit in 6 contexts
+    } catch (const Error&) {
+      outcome->set_value(true);
+    }
+  }).detach();
+
+  ASSERT_EQ(done.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready)
+      << "scheduler hung on a saturated composition";
+  EXPECT_TRUE(done.get());
 }
 
 TEST(Scheduler, SchedulesAreValidOnAllCompositions) {

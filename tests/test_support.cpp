@@ -1,11 +1,16 @@
 // Unit tests for the support utilities: bit vectors, bit-field packing,
-// DOT writer, deterministic RNG and table formatting.
+// DOT writer, deterministic RNG, table formatting, capped cycle-occupancy
+// maps and the worker pool.
 #include <gtest/gtest.h>
+
+#include <atomic>
 
 #include "support/bitvector.hpp"
 #include "support/dot.hpp"
+#include "support/occupancy.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
+#include "support/thread_pool.hpp"
 
 namespace cgra {
 namespace {
@@ -153,6 +158,81 @@ TEST(TextTable, AlignsColumns) {
 TEST(Format, KiloFormatting) {
   EXPECT_EQ(fmtKilo(152300), "152.3k");
   EXPECT_EQ(fmt(7.345, 1), "7.3");
+}
+
+TEST(CycleOccupancy, MarkAndTestWithinCeiling) {
+  CycleOccupancy occ(100);
+  EXPECT_FALSE(occ.test(5));
+  occ.mark(5, 3);
+  EXPECT_TRUE(occ.test(5));
+  EXPECT_TRUE(occ.test(7));
+  EXPECT_FALSE(occ.test(8));
+  EXPECT_TRUE(occ.anyBusy(4, 2));
+  EXPECT_FALSE(occ.anyBusy(8, 10));
+}
+
+TEST(CycleOccupancy, ProbesBeyondCeilingReportBusy) {
+  CycleOccupancy occ(10);
+  // A cycle that can never exist is never free — no resize-on-probe.
+  EXPECT_TRUE(occ.test(10));
+  EXPECT_TRUE(occ.test(1u << 30));
+  EXPECT_TRUE(occ.anyBusy(9, 2));    // window straddles the ceiling
+  EXPECT_TRUE(occ.anyBusy(100, 1));
+}
+
+TEST(CycleOccupancy, FirstFreeStopsAtCeiling) {
+  CycleOccupancy occ(4);
+  occ.mark(0, 4);  // fully saturated
+  EXPECT_EQ(occ.firstFreeAtOrAfter(0), std::nullopt);
+  CycleOccupancy half(4);
+  half.mark(0, 2);
+  EXPECT_EQ(half.firstFreeAtOrAfter(0), std::optional<unsigned>(2));
+  EXPECT_EQ(half.firstFreeAtOrAfter(4), std::nullopt);
+}
+
+TEST(CycleOccupancy, DownwardWindowScanTerminatesAtZero) {
+  // The underflow regression: a downward scan from a low cycle with every
+  // candidate busy must return nullopt, not wrap past 0.
+  CycleOccupancy occ(8);
+  occ.mark(0, 8);
+  EXPECT_EQ(occ.lastFreeWindowAtOrBefore(3, 2), std::nullopt);
+  CycleOccupancy open(8);
+  EXPECT_EQ(open.lastFreeWindowAtOrBefore(3, 2), std::optional<unsigned>(3));
+  open.mark(3, 2);
+  EXPECT_EQ(open.lastFreeWindowAtOrBefore(3, 2), std::optional<unsigned>(1));
+  open.mark(0, 3);
+  EXPECT_EQ(open.lastFreeWindowAtOrBefore(3, 2), std::nullopt);
+}
+
+TEST(CycleSlots, SharedValueAndCeiling) {
+  CycleSlots<unsigned> slots(10);
+  EXPECT_TRUE(slots.freeFor(4, 7u));
+  slots.claim(4, 7u);
+  EXPECT_TRUE(slots.freeFor(4, 7u));    // same value may share the cycle
+  EXPECT_FALSE(slots.freeFor(4, 8u));   // a different one may not
+  EXPECT_FALSE(slots.freeFor(10, 7u));  // beyond the ceiling: never usable
+  ASSERT_NE(slots.get(4), nullptr);
+  EXPECT_EQ(*slots.get(4), 7u);
+  EXPECT_EQ(slots.get(5), nullptr);
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 100; ++i) pool.submit([&sum, i] { sum += i; });
+  pool.wait();
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ParallelFor, CoversEachIndexExactlyOnce) {
+  for (unsigned threads : {1u, 2u, 8u}) {
+    std::vector<std::atomic<int>> hits(64);
+    parallelFor(hits.size(), threads,
+                [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+      EXPECT_EQ(hits[i].load(), 1) << "threads=" << threads << " i=" << i;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,185 @@
+// Tests for the parallel composition-sweep engine: determinism across
+// thread counts (byte-identical schedules), routing-cache transparency,
+// per-job failure capture, metrics aggregation/JSON shape, and simulator
+// verification of a schedule produced by a parallel sweep.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+
+#include "apps/kernels.hpp"
+#include "arch/factory.hpp"
+#include "kir/interp.hpp"
+#include "kir/lower_cdfg.hpp"
+#include "sched/routing_cache.hpp"
+#include "sched/sweep.hpp"
+#include "sim/simulator.hpp"
+
+namespace cgra {
+namespace {
+
+struct Domain {
+  std::deque<Composition> comps;
+  std::deque<std::pair<std::string, Cdfg>> graphs;
+  std::vector<SweepJob> jobs;
+
+  static Domain make() {
+    Domain d;
+    d.comps.push_back(makeMesh(4));
+    d.comps.push_back(makeMesh(9));
+    d.comps.push_back(makeIrregular('A'));
+    d.graphs.emplace_back("adpcm",
+                          kir::lowerToCdfg(apps::makeAdpcm(8, 1).fn).graph);
+    d.graphs.emplace_back("gcd",
+                          kir::lowerToCdfg(apps::makeGcd(4, 6).fn).graph);
+    for (const Composition& comp : d.comps)
+      for (const auto& [name, graph] : d.graphs)
+        d.jobs.push_back(SweepJob{&comp, &graph, name + "@" + comp.name(),
+                                  SchedulerOptions{}});
+    return d;
+  }
+};
+
+TEST(Sweep, DeterministicAcrossThreadCounts) {
+  const Domain d = Domain::make();
+  SweepOptions serial;
+  serial.threads = 1;
+  const SweepReport baseline = runSweep(d.jobs, serial);
+  ASSERT_EQ(baseline.failures, 0u);
+  ASSERT_EQ(baseline.results.size(), d.jobs.size());
+
+  for (unsigned threads : {2u, 8u}) {
+    SweepOptions opts;
+    opts.threads = threads;
+    const SweepReport report = runSweep(d.jobs, opts);
+    EXPECT_EQ(report.threadsUsed, threads);
+    ASSERT_EQ(report.failures, 0u);
+    for (std::size_t i = 0; i < d.jobs.size(); ++i) {
+      EXPECT_EQ(report.results[i].fingerprint, baseline.results[i].fingerprint)
+          << d.jobs[i].label << " @ " << threads << " threads";
+      // Fingerprints fold every schedule field, but assert the dump too so a
+      // fingerprint bug cannot mask a divergence.
+      EXPECT_EQ(report.results[i].schedule.toString(*d.jobs[i].comp),
+                baseline.results[i].schedule.toString(*d.jobs[i].comp))
+          << d.jobs[i].label << " @ " << threads << " threads";
+    }
+  }
+}
+
+TEST(Sweep, CachedRoutingMatchesUncachedScheduling) {
+  const Domain d = Domain::make();
+  SweepOptions opts;
+  opts.threads = 2;
+  const SweepReport report = runSweep(d.jobs, opts);
+  ASSERT_EQ(report.failures, 0u);
+  EXPECT_EQ(report.routingCacheEntries, d.comps.size());
+  for (std::size_t i = 0; i < d.jobs.size(); ++i) {
+    // Direct scheduling rebuilds the routing tables per run; the sweep
+    // shares one cached copy per composition. Schedules must be identical.
+    const SchedulingResult direct =
+        Scheduler(*d.jobs[i].comp).schedule(*d.jobs[i].graph);
+    EXPECT_EQ(direct.schedule.fingerprint(), report.results[i].fingerprint)
+        << d.jobs[i].label;
+  }
+}
+
+TEST(Sweep, RoutingCacheSharesOneEntryPerComposition) {
+  const Composition comp = makeMesh(4);
+  RoutingCache cache;
+  const auto a = cache.lookup(comp);
+  const auto b = cache.lookup(comp);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(a->sinks.size(), comp.numPEs());
+  EXPECT_EQ(a->connectivity.size(), comp.numPEs());
+}
+
+TEST(Sweep, RecordsFailuresWithoutAborting) {
+  // One infeasible pair (IMUL kernel on a multiplier-less composition) must
+  // not prevent the feasible job from completing.
+  Composition base = makeMesh(4);
+  std::vector<PEDescriptor> pes;
+  for (PEId p = 0; p < 4; ++p) {
+    PEDescriptor pe = base.pe(p);
+    pe.removeOp(Op::IMUL);
+    pes.push_back(std::move(pe));
+  }
+  const Composition noMul("noMul", std::move(pes), base.interconnect(), 256,
+                          32);
+  const Cdfg mulKernel = kir::lowerToCdfg(apps::makeDotProduct(4, 1).fn).graph;
+  const Cdfg intKernel = kir::lowerToCdfg(apps::makeGcd(4, 6).fn).graph;
+
+  const std::vector<SweepJob> jobs = {
+      SweepJob{&noMul, &mulKernel, "dot@noMul", SchedulerOptions{}},
+      SweepJob{&noMul, &intKernel, "gcd@noMul", SchedulerOptions{}},
+  };
+  const SweepReport report = runSweep(jobs, SweepOptions{2, true});
+  EXPECT_EQ(report.failures, 1u);
+  EXPECT_FALSE(report.results[0].ok);
+  EXPECT_FALSE(report.results[0].error.empty());
+  EXPECT_TRUE(report.results[1].ok);
+  EXPECT_EQ(report.aggregate.runs, 1u);
+}
+
+TEST(Sweep, AggregatesMetricsAndExportsJson) {
+  const Domain d = Domain::make();
+  const SweepReport report = runSweep(d.jobs, SweepOptions{2, false});
+  ASSERT_EQ(report.failures, 0u);
+
+  std::uint64_t nodes = 0;
+  for (const SweepJobResult& r : report.results) {
+    EXPECT_GT(r.metrics.nodesScheduled, 0u) << r.label;
+    EXPECT_GT(r.metrics.candidateIterations, 0u) << r.label;
+    EXPECT_GE(r.metrics.totalMs, 0.0) << r.label;
+    nodes += r.metrics.nodesScheduled;
+  }
+  EXPECT_EQ(report.aggregate.nodesScheduled, nodes);
+  EXPECT_EQ(report.aggregate.runs, d.jobs.size());
+
+  const json::Value v = report.toJson();
+  ASSERT_TRUE(v.isObject());
+  const json::Object& o = v.asObject();
+  for (const char* key : {"threads", "jobsTotal", "jobsFailed",
+                          "routingCacheEntries", "wallTimeMs", "aggregate",
+                          "jobs"})
+    EXPECT_TRUE(o.contains(key)) << key;
+  EXPECT_EQ(o.at("jobsTotal").asInt(),
+            static_cast<std::int64_t>(d.jobs.size()));
+  EXPECT_EQ(o.at("jobsFailed").asInt(), 0);
+  const json::Object& agg = o.at("aggregate").asObject();
+  for (const char* key : {"nodesScheduled", "copiesInserted", "cboxOps",
+                          "backtracks", "candidateIterations", "steps",
+                          "setupMs", "planMs", "finalizeMs", "totalMs",
+                          "runs"})
+    EXPECT_TRUE(agg.contains(key)) << key;
+  EXPECT_EQ(static_cast<std::uint64_t>(agg.at("nodesScheduled").asInt()),
+            nodes);
+}
+
+TEST(Sweep, ParallelScheduleSimulatesCorrectly) {
+  // End-to-end: a schedule produced inside a multi-threaded sweep must drive
+  // the simulator to the same memory state as the reference interpreter.
+  const apps::Workload w = apps::makeAdpcm(16, 1);
+  const Cdfg graph = kir::lowerToCdfg(w.fn).graph;
+  const Composition comp = makeMesh(9);
+  const std::vector<SweepJob> jobs = {
+      SweepJob{&comp, &graph, "adpcm@mesh9", SchedulerOptions{}}};
+  const SweepReport report = runSweep(jobs, SweepOptions{4, true});
+  ASSERT_EQ(report.failures, 0u);
+  const Schedule& schedule = report.results[0].schedule;
+
+  HostMemory goldenHeap = w.heap;
+  kir::Interpreter interp;
+  interp.run(w.fn, w.initialLocals, goldenHeap);
+
+  std::map<VarId, std::int32_t> liveIns;
+  for (const LiveBinding& lb : schedule.liveIns)
+    liveIns[lb.var] = w.initialLocals[lb.var];
+  HostMemory heap = w.heap;
+  Simulator(comp, schedule).run(liveIns, heap);
+  EXPECT_TRUE(heap == goldenHeap);
+}
+
+}  // namespace
+}  // namespace cgra

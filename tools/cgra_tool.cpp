@@ -8,6 +8,12 @@
 //   cgra-tool simulate  --comp mesh9 --kernel adpcm [--unroll 2]
 //                       [--baseline]                run & verify vs golden
 //   cgra-tool synthesize --kernels adpcm,fir,gcd [--area-weight 0.25]
+//                       [--threads 4]
+//   cgra-tool sweep     --comps mesh4,mesh9,A --kernels adpcm,gcd
+//                       [--unroll 2] [--threads 4] [--metrics out.json]
+//                       schedule every (composition × kernel) pair on the
+//                       parallel sweep engine; --metrics dumps the
+//                       aggregated scheduler-metrics JSON report
 //
 // Compositions: mesh4|mesh6|mesh8|mesh9|mesh12|mesh16, A..F (Fig. 14), or a
 // path to a Fig. 8-style JSON description. Kernels: bundled workloads (see
@@ -18,6 +24,7 @@
 //   cgra-tool simulate --comp mesh4 --kernel-file my.kir [continued]
 //       --array data=3,1,2 --local n=3
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -36,6 +43,7 @@
 #include "kir/passes.hpp"
 #include "sched/analysis.hpp"
 #include "sched/scheduler.hpp"
+#include "sched/sweep.hpp"
 #include "sched/validate.hpp"
 #include "sim/simulator.hpp"
 #include "support/table.hpp"
@@ -102,6 +110,18 @@ Composition resolveComposition(const std::string& name) {
     return Composition::fromJsonFile(name);
   throw Error("unknown composition \"" + name +
               "\" (expected meshN, A..F, or a .json path)");
+}
+
+std::vector<std::string> splitCsv(const std::string& list) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos != std::string::npos) {
+    const std::size_t comma = list.find(',', pos);
+    out.push_back(list.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos));
+    pos = comma == std::string::npos ? std::string::npos : comma + 1;
+  }
+  return out;
 }
 
 apps::Workload resolveKernel(const std::string& name) {
@@ -296,17 +316,61 @@ int cmdSimulate(const Args& args) {
   return ok ? 0 : 1;
 }
 
+int cmdSweep(const Args& args) {
+  // Resolve the cross-product inputs. Deques keep element addresses stable
+  // for the sweep jobs' non-owning pointers.
+  std::deque<Composition> comps;
+  for (const std::string& name : splitCsv(args.get("comps", "mesh4,mesh9")))
+    comps.push_back(resolveComposition(name));
+
+  const unsigned unroll = args.getUnsigned("unroll", 1);
+  std::deque<std::pair<std::string, Cdfg>> graphs;
+  for (const std::string& name : splitCsv(args.get("kernels", "adpcm"))) {
+    apps::Workload w = resolveKernel(name);
+    kir::Function fn = w.fn;
+    if (unroll >= 2) fn = kir::unrollLoops(fn, unroll, true);
+    graphs.emplace_back(name, kir::lowerToCdfg(fn).graph);
+  }
+
+  std::vector<SweepJob> jobs;
+  for (const Composition& comp : comps)
+    for (const auto& [name, graph] : graphs)
+      jobs.push_back(SweepJob{&comp, &graph, name + "@" + comp.name(),
+                              SchedulerOptions{}});
+
+  SweepOptions opts;
+  opts.threads = args.getUnsigned("threads", 0);
+  opts.keepSchedules = false;
+  const SweepReport report = runSweep(jobs, opts);
+
+  TextTable table({"Job", "Contexts", "Copies", "Backtracks", "ms"});
+  for (const SweepJobResult& r : report.results)
+    table.addRow({r.label,
+                  r.ok ? std::to_string(r.stats.contextsUsed)
+                       : "FAIL: " + r.error.substr(0, 40),
+                  r.ok ? std::to_string(r.metrics.copiesInserted) : "-",
+                  r.ok ? std::to_string(r.metrics.backtracks) : "-",
+                  r.ok ? fmt(r.metrics.totalMs, 2) : "-"});
+  table.print(std::cout);
+  std::cout << report.results.size() - report.failures << "/"
+            << report.results.size() << " jobs scheduled in "
+            << fmt(report.wallTimeMs, 1) << " ms on " << report.threadsUsed
+            << " thread(s) (" << report.routingCacheEntries
+            << " routing-cache entries, "
+            << report.aggregate.nodesScheduled << " nodes, "
+            << report.aggregate.backtracks << " backtracks)\n";
+  if (args.has("metrics")) {
+    json::writeFile(args.get("metrics"), report.toJson());
+    std::cout << "wrote " << args.get("metrics") << "\n";
+  }
+  return report.failures == 0 ? 0 : 1;
+}
+
 int cmdSynthesize(const Args& args) {
   std::vector<apps::Workload> workloads;
-  std::string list = args.get("kernels", "adpcm,fir,gcd");
-  std::size_t pos = 0;
-  while (pos != std::string::npos) {
-    const std::size_t comma = list.find(',', pos);
-    const std::string name = list.substr(
-        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+  for (const std::string& name :
+       splitCsv(args.get("kernels", "adpcm,fir,gcd")))
     workloads.push_back(resolveKernel(name));
-    pos = comma == std::string::npos ? std::string::npos : comma + 1;
-  }
 
   std::vector<Cdfg> graphs;
   for (const apps::Workload& w : workloads)
@@ -317,6 +381,7 @@ int cmdSynthesize(const Args& args) {
 
   SynthesisOptions opts;
   opts.areaWeight = args.getDouble("area-weight", 0.25);
+  opts.threads = args.getUnsigned("threads", 0);
   const SynthesisReport report = synthesizeComposition(kernels, opts);
 
   std::cout << "domain: " << fmt(report.profile.mulFraction * 100, 1)
@@ -369,7 +434,7 @@ int cmdAnalyze(const Args& args) {
 
 int usage() {
   std::cout << "usage: cgra-tool "
-               "<list|describe|schedule|simulate|analyze|synthesize>"
+               "<list|describe|schedule|simulate|analyze|synthesize|sweep>"
                " [--flags]\n(see the header of tools/cgra_tool.cpp)\n";
   return 2;
 }
@@ -387,6 +452,7 @@ int main(int argc, char** argv) {
     if (cmd == "simulate") return cmdSimulate(args);
     if (cmd == "analyze") return cmdAnalyze(args);
     if (cmd == "synthesize") return cmdSynthesize(args);
+    if (cmd == "sweep") return cmdSweep(args);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "cgra-tool: " << e.what() << "\n";
