@@ -48,7 +48,7 @@ int main() {
       setup.graph = kir::lowerToCdfg(setup.unrolled).graph;
 
       const Scheduler scheduler(comp, v.opts);
-      const SchedulingResult result = scheduler.schedule(setup.graph);
+      const ScheduleReport result = scheduler.schedule(ScheduleRequest(setup.graph)).orThrow();
       const RegAllocation alloc = allocateRegisters(result.schedule, comp);
       std::map<VarId, std::int32_t> liveIns;
       for (const LiveBinding& lb : result.schedule.liveIns)

@@ -57,7 +57,7 @@ inline AdpcmRun runAdpcmOn(const AdpcmSetup& setup, const Composition& comp,
                            const SchedulerOptions& opts = {}) {
   AdpcmRun out;
   const Scheduler scheduler(comp, opts);
-  const SchedulingResult result = scheduler.schedule(setup.graph);
+  const ScheduleReport result = scheduler.schedule(ScheduleRequest(setup.graph)).orThrow();
   const RegAllocation alloc = allocateRegisters(result.schedule, comp);
 
   out.contexts = result.schedule.length;

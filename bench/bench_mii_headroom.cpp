@@ -22,7 +22,7 @@ int main() {
   for (const apps::Workload& w : apps::allWorkloads()) {
     const kir::LoweringResult lowered = kir::lowerToCdfg(w.fn);
     const Scheduler scheduler(comp);
-    const Schedule sched = scheduler.schedule(lowered.graph).schedule;
+    const Schedule sched = scheduler.schedule(ScheduleRequest(lowered.graph)).orThrow().schedule;
     for (const LoopMii& m : computeMiiBounds(lowered.graph, sched, comp)) {
       table.addRow({w.name, std::to_string(m.loop),
                     std::to_string(lowered.graph.loopDepth(m.loop)),
@@ -45,7 +45,7 @@ int main() {
   for (unsigned n : meshSizes()) {
     const Composition mesh = makeMesh(n);
     const Schedule sched =
-        Scheduler(mesh).schedule(setup.graph).schedule;
+        Scheduler(mesh).schedule(ScheduleRequest(setup.graph)).orThrow().schedule;
     const auto bounds = computeMiiBounds(setup.graph, sched, mesh);
     std::string outerII = "-", innerII = "-", innerMii = "-";
     for (const LoopMii& m : bounds) {

@@ -21,7 +21,7 @@ void BM_ScheduleAdpcmMesh(benchmark::State& state) {
   const Composition comp = makeMesh(static_cast<unsigned>(state.range(0)));
   const Scheduler scheduler(comp);
   for (auto _ : state) {
-    SchedulingResult result = scheduler.schedule(setup().graph);
+    ScheduleReport result = scheduler.schedule(ScheduleRequest(setup().graph)).orThrow();
     benchmark::DoNotOptimize(result.schedule.length);
   }
 }
@@ -32,7 +32,7 @@ void BM_ScheduleAdpcmIrregular(benchmark::State& state) {
       makeIrregular(static_cast<char>('A' + state.range(0)));
   const Scheduler scheduler(comp);
   for (auto _ : state) {
-    SchedulingResult result = scheduler.schedule(setup().graph);
+    ScheduleReport result = scheduler.schedule(ScheduleRequest(setup().graph)).orThrow();
     benchmark::DoNotOptimize(result.schedule.length);
   }
 }
@@ -41,7 +41,7 @@ BENCHMARK(BM_ScheduleAdpcmIrregular)->DenseRange(0, 5);
 void BM_ContextGeneration(benchmark::State& state) {
   const Composition comp = makeMesh(static_cast<unsigned>(state.range(0)));
   const Scheduler scheduler(comp);
-  const SchedulingResult result = scheduler.schedule(setup().graph);
+  const ScheduleReport result = scheduler.schedule(ScheduleRequest(setup().graph)).orThrow();
   for (auto _ : state) {
     ContextImages images = generateContexts(result.schedule, comp);
     benchmark::DoNotOptimize(images.totalBits());
@@ -60,7 +60,7 @@ BENCHMARK(BM_LowerToCdfg);
 void BM_SimulateAdpcm416(benchmark::State& state) {
   const Composition comp = makeMesh(9);
   const Scheduler scheduler(comp);
-  const SchedulingResult result = scheduler.schedule(setup().graph);
+  const ScheduleReport result = scheduler.schedule(ScheduleRequest(setup().graph)).orThrow();
   std::map<VarId, std::int32_t> liveIns;
   for (const LiveBinding& lb : result.schedule.liveIns)
     liveIns[lb.var] = setup().workload.initialLocals[lb.var];

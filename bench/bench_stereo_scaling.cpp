@@ -37,7 +37,7 @@ int main() {
     for (unsigned n : meshSizes()) {
       const Composition comp = makeMesh(n);
       const Scheduler scheduler(comp);
-      const SchedulingResult result = scheduler.schedule(graph);
+      const ScheduleReport result = scheduler.schedule(ScheduleRequest(graph)).orThrow();
       std::map<VarId, std::int32_t> liveIns;
       for (const LiveBinding& lb : result.schedule.liveIns)
         liveIns[lb.var] = v.workload.initialLocals[lb.var];
@@ -63,7 +63,7 @@ int main() {
     std::vector<std::string> row{v.name};
     for (unsigned n : {4u, 9u, 16u}) {
       const Composition comp = makeMesh(n);
-      const Schedule sched = Scheduler(comp).schedule(graph).schedule;
+      const Schedule sched = Scheduler(comp).schedule(ScheduleRequest(graph)).orThrow().schedule;
       row.push_back(std::to_string(analyzeSchedule(sched, comp).peakParallelism));
     }
     par.addRow(row);

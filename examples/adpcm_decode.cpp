@@ -57,7 +57,7 @@ int main() {
   const kir::LoweringResult lowered = kir::lowerToCdfg(unrolled);
   const Composition comp = makeMesh(9);
   const Scheduler scheduler(comp);
-  const SchedulingResult result = scheduler.schedule(lowered.graph);
+  const ScheduleReport result = scheduler.schedule(ScheduleRequest(lowered.graph)).orThrow();
   const ContextImages images = generateContexts(result.schedule, comp);
   std::cout << "synthesized for " << comp.name() << ": "
             << result.schedule.length << " contexts, "

@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
   const apps::Workload w = apps::makeFir(16, 5, 9);
   const kir::LoweringResult lowered = kir::lowerToCdfg(w.fn);
   const Scheduler scheduler(comp);
-  const SchedulingResult result = scheduler.schedule(lowered.graph);
+  const ScheduleReport result = scheduler.schedule(ScheduleRequest(lowered.graph)).orThrow();
   std::cout << "scheduled " << w.fn.name() << ": " << result.schedule.length
             << " contexts, " << result.stats.copiesInserted
             << " routing copies\n";

@@ -58,7 +58,7 @@ int main() {
   // multiply) — the scheduler handles it without manual intervention.
   const Composition comp = makeIrregular('F');
   const Scheduler scheduler(comp);
-  const SchedulingResult result = scheduler.schedule(g);
+  const ScheduleReport result = scheduler.schedule(ScheduleRequest(g)).orThrow();
   std::cout << "schedule on " << comp.name() << " ("
             << result.schedule.length << " contexts):\n"
             << result.schedule.toString(comp) << "\n";

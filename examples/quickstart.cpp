@@ -49,7 +49,7 @@ int main() {
   // 3. A 4-PE mesh composition and the scheduler.
   const Composition comp = makeMesh(4);
   const Scheduler scheduler(comp);
-  const SchedulingResult result = scheduler.schedule(lowered.graph);
+  const ScheduleReport result = scheduler.schedule(ScheduleRequest(lowered.graph)).orThrow();
   std::cout << "schedule: " << result.schedule.length << " contexts, "
             << result.stats.copiesInserted << " routing copies, "
             << result.stats.fusedWrites << " fused writes\n";

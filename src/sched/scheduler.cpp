@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <map>
 #include <optional>
 #include <set>
@@ -12,6 +13,18 @@
 namespace cgra {
 
 namespace {
+
+/// Internal control-flow signal for "this kernel cannot be mapped". Thrown
+/// deep inside a run, caught at the end of Run::execute and converted into
+/// ScheduleReport::failure — it never crosses the public API. Exceptions
+/// that do escape (InternalError, malformed-graph Error) are programmer
+/// errors by contract.
+struct Unmappable {
+  ScheduleFailure failure;
+  /// Last placement-rejection reason of the stuck node, for the trace's
+  /// Failure event.
+  TraceReject lastReject = TraceReject::None;
+};
 
 /// One place a value can be read from: a (PE, virtual register) pair with
 /// the first cycle a read succeeds and the last cycle it is still valid
@@ -36,16 +49,22 @@ struct CondSlot {
 class Run {
 public:
   Run(const Composition& comp, const SchedulerOptions& opts, const Cdfg& g,
-      const RoutingInfo* routing)
-      : comp_(comp), opts_(opts), g_(g), routing_(routing) {}
+      const RoutingInfo* routing, Trace* trace)
+      : comp_(comp), opts_(opts), g_(g), routing_(routing), trace_(trace) {}
 
-  SchedulingResult execute() {
+  ScheduleReport execute() {
     using Clock = std::chrono::steady_clock;
     const auto ms = [](Clock::time_point a, Clock::time_point b) {
       return std::chrono::duration<double, std::milli>(b - a).count();
     };
 
+    ScheduleReport report;
     const auto wallStart = Clock::now();
+    auto setupEnd = wallStart;
+    auto planEnd = wallStart;
+
+    // Malformed graphs are programmer errors: validate() throws past the
+    // report path on purpose.
     g_.validate();
     limit_ = opts_.maxContexts ? opts_.maxContexts : comp_.contextMemoryLength();
     if (!routing_) {
@@ -53,21 +72,52 @@ public:
       routing_ = &*ownedRouting_;
     }
 
-    checkMappable();
-    initState();
-    const auto setupEnd = Clock::now();
+    // Tracks which phase span is open so a failed run still produces
+    // balanced B/E pairs in the Chrome trace export.
+    const char* openPhase = nullptr;
+    try {
+      openPhase = "setup";
+      CGRA_TRACE(trace_, PhaseBegin, .detail = "setup");
+      checkMappable();
+      initState();
+      CGRA_TRACE(trace_, PhaseEnd, .detail = "setup");
+      setupEnd = Clock::now();
 
-    while (scheduledCount_ < g_.numNodes() || loopStack_.size() > 1) {
-      if (t_ >= limit_) failUnmappable();
-      tryCloseLoops();
-      planStep();
-      ++metrics_.steps;
-      ++t_;
+      openPhase = "plan";
+      CGRA_TRACE(trace_, PhaseBegin, .detail = "plan");
+      while (scheduledCount_ < g_.numNodes() || loopStack_.size() > 1) {
+        if (t_ >= limit_) failUnmappable();
+        CGRA_TRACE(trace_, StepBegin, .cycle = t_);
+        tryCloseLoops();
+        planStep();
+        ++metrics_.steps;
+        ++t_;
+      }
+      CGRA_TRACE(trace_, PhaseEnd, .detail = "plan");
+      planEnd = Clock::now();
+
+      openPhase = "finalize";
+      CGRA_TRACE(trace_, PhaseBegin, .detail = "finalize");
+      finalize();
+      CGRA_TRACE(trace_, PhaseEnd, .detail = "finalize");
+      openPhase = nullptr;
+      report.ok = true;
+    } catch (const Unmappable& u) {
+      report.failure = u.failure;
+      CGRA_TRACE(trace_, Failure, .reject = u.lastReject, .cycle = t_,
+                 .node = u.failure.node == kNoNode
+                             ? -1
+                             : static_cast<std::int32_t>(u.failure.node),
+                 .detail = TraceLiteral::fromStatic(
+                     failureReasonName(u.failure.reason)));
+      if (openPhase != nullptr)
+        CGRA_TRACE(trace_, PhaseEnd,
+                   .detail = TraceLiteral::fromStatic(openPhase));
     }
-    const auto planEnd = Clock::now();
 
-    finalize();
     const auto wallEnd = Clock::now();
+    if (setupEnd == wallStart) setupEnd = wallEnd;  // failed during setup
+    if (planEnd < setupEnd) planEnd = wallEnd;      // failed during planning
     stats_.wallTimeMs = ms(wallStart, wallEnd);
     metrics_.setupMs = ms(wallStart, setupEnd);
     metrics_.planMs = ms(setupEnd, planEnd);
@@ -78,7 +128,10 @@ public:
     metrics_.fusedWrites = stats_.fusedWrites;
     metrics_.cboxOps = sched_.cboxOps.size();
     metrics_.branches = sched_.branches.size();
-    return SchedulingResult{std::move(sched_), stats_, metrics_};
+    report.stats = stats_;
+    report.metrics = metrics_;
+    if (report.ok) report.schedule = std::move(sched_);
+    return report;
   }
 
 private:
@@ -90,8 +143,13 @@ private:
       const Node& n = g_.node(id);
       if (n.kind != NodeKind::Operation) continue;
       if (routing_->supportingPEs[static_cast<unsigned>(n.op)].empty())
-        throw Error("composition " + comp_.name() + " has no PE supporting " +
-                    std::string(opName(n.op)));
+        throw Unmappable{
+            ScheduleFailure{FailureReason::UnsupportedOp,
+                            "composition " + comp_.name() +
+                                " has no PE supporting " +
+                                std::string(opName(n.op)),
+                            id},
+            TraceReject::Incompatible};
     }
   }
 
@@ -104,6 +162,8 @@ private:
     nodeStart_.assign(numNodes, 0);
     nodeFinish_.assign(numNodes, 0);
     nodeScheduled_.assign(numNodes, false);
+    lastReject_.assign(numNodes, TraceReject::None);
+    lastRejectStep_.assign(numNodes, static_cast<unsigned>(-1));
     remainingPreds_.assign(numNodes, 0);
     for (NodeId id = 0; id < numNodes; ++id)
       remainingPreds_[id] = static_cast<unsigned>(g_.inEdges(id).size());
@@ -136,19 +196,41 @@ private:
     loopStack_.push_back(OpenLoop{kRootLoop, 0});
   }
 
+  /// The run gave up (context budget exhausted). Classifies the failure by
+  /// the last recorded rejection of the first stuck node: a node that kept
+  /// failing operand resolution means the operand was unroutable; a node
+  /// starved of C-Box write ports means C-Box pressure; anything else —
+  /// including PredUnavailable, which is the ordinary transient state of a
+  /// predicated node waiting for its condition — is a budget overflow.
   [[noreturn]] void failUnmappable() const {
     std::string stuck;
     unsigned count = 0;
+    NodeId firstStuck = kNoNode;
     for (NodeId id = 0; id < g_.numNodes(); ++id)
-      if (!nodeScheduled_[id] && count++ < 8) {
+      if (!nodeScheduled_[id]) {
+        if (firstStuck == kNoNode) firstStuck = id;
+        if (count++ >= 8) continue;
         const Node& n = g_.node(id);
         stuck += " node" + std::to_string(id) + "(" +
                  (n.isPWrite() ? "pWRITE " + g_.variable(n.var).name
                                : std::string(opName(n.op))) +
                  ")";
       }
-    throw Error("kernel does not fit in " + std::to_string(limit_) +
-                " contexts on " + comp_.name() + "; unscheduled:" + stuck);
+
+    const TraceReject last =
+        firstStuck == kNoNode ? TraceReject::None : lastReject_[firstStuck];
+    FailureReason reason = FailureReason::ContextBudget;
+    if (last == TraceReject::OperandUnroutable)
+      reason = FailureReason::UnroutableOperand;
+    else if (last == TraceReject::CBoxWritePortBusy)
+      reason = FailureReason::CBoxCapacity;
+    throw Unmappable{
+        ScheduleFailure{reason,
+                        "kernel does not fit in " + std::to_string(limit_) +
+                            " contexts on " + comp_.name() +
+                            "; unscheduled:" + stuck,
+                        firstStuck},
+        last};
   }
 
   // -- resource helpers -------------------------------------------------------
@@ -269,6 +351,8 @@ private:
       op.cond = c;
       sched_.cboxOps.push_back(op);
       cboxOpAt_.mark(u);
+      CGRA_TRACE(trace_, CBoxSlotAllocated, .cycle = u, .a = op.writeSlot,
+                 .b = c, .detail = "and");
       CondSlot slot{PredRef{op.writeSlot, true}, u + 1};
       condSlots_[c] = slot;
       return slot.ref;
@@ -350,6 +434,8 @@ private:
       sched_.branches.push_back(br);
       branchAt_.mark(*b);
       sched_.loops.push_back(LoopInterval{l, top.start, *b});
+      CGRA_TRACE(trace_, BranchPlaced, .cycle = *b, .a = top.start);
+      CGRA_TRACE(trace_, LoopClosed, .cycle = t_, .a = l, .b = *b);
       loopStack_.pop_back();
     }
   }
@@ -370,6 +456,7 @@ private:
       if (stepHasOp_) return false;
       if (!loopPredsFinished(child, t_)) return false;
       loopStack_.push_back(OpenLoop{child, t_});
+      CGRA_TRACE(trace_, LoopOpened, .cycle = t_, .a = child);
       openLoopEffects(child);
     }
     return true;
@@ -514,6 +601,9 @@ private:
       markPeBusy(destPe, u, dur);
       claimOutPort(src.pe, u, src.vreg);
       ++stats_.copiesInserted;
+      CGRA_TRACE(trace_, CopyInserted, .cycle = u,
+                 .pe = static_cast<std::int32_t>(destPe), .a = src.pe,
+                 .b = vreg, .detail = "shortest-path hop");
       return Location{destPe, vreg, u + dur, Location::kNoLimit};
     }
     return std::nullopt;
@@ -594,6 +684,8 @@ private:
     Location loc{pe, vreg, *u + dur, Location::kNoLimit};
     constLocs_[value].push_back(loc);
     ++stats_.constsInserted;
+    CGRA_TRACE(trace_, ConstInserted, .cycle = *u,
+               .pe = static_cast<std::int32_t>(pe), .a = value);
     return loc;
   }
 
@@ -671,25 +763,72 @@ private:
         if (nodeScheduled_[id]) continue;  // fused away mid-snapshot
         if (!loopCompatible(id)) continue;
         if (earliestStart(id) > t_) continue;
+        CGRA_TRACE(trace_, CandidateSelected, .cycle = t_,
+                   .node = static_cast<std::int32_t>(id),
+                   .a = std::llround(priorities_[id] * 1000.0));
         for (PEId pe : sortedPEs(id)) {
-          if (incompatible(id, pe)) continue;
+          if (incompatible(id, pe)) {
+            rejectPlacement(id, pe, TraceReject::Incompatible);
+            continue;
+          }
           const unsigned dur = opDuration(id, pe);
-          if (peBusy(pe, t_, dur)) continue;
+          if (peBusy(pe, t_, dur)) {
+            rejectPlacement(id, pe, TraceReject::PeBusy);
+            continue;
+          }
           ++metrics_.placementAttempts;
+          reject_ = TraceReject::None;
           if (planCandidate(id, pe, dur)) {
+            CGRA_TRACE(trace_, NodePlaced, .cycle = t_,
+                       .node = static_cast<std::int32_t>(id),
+                       .pe = static_cast<std::int32_t>(pe), .a = dur);
             changed = true;
             break;
           }
+          rejectPlacement(id, pe, reject_);
           ++metrics_.backtracks;
         }
       }
     }
   }
 
+  /// Records (and traces) one rejected (node, PE) placement probe. The
+  /// per-node reason feeds the typed failure classification when the run
+  /// eventually gives up: within one step the most informative reason wins
+  /// (an Incompatible on a later PE must not mask an OperandUnroutable);
+  /// across steps the newest step wins.
+  void rejectPlacement(NodeId id, PEId pe, TraceReject why) {
+    const auto rank = [](TraceReject r) {
+      switch (r) {
+        case TraceReject::None: return 0;
+        case TraceReject::Incompatible: return 1;
+        case TraceReject::PeBusy: return 2;
+        case TraceReject::CBoxWritePortBusy: return 3;
+        case TraceReject::PredUnavailable: return 3;
+        case TraceReject::OperandUnroutable: return 4;
+      }
+      return 0;
+    };
+    if (lastRejectStep_[id] != t_ || rank(why) >= rank(lastReject_[id])) {
+      lastReject_[id] = why;
+      lastRejectStep_[id] = t_;
+    }
+    CGRA_TRACE(trace_, PlacementRejected, .reject = why, .cycle = t_,
+               .node = static_cast<std::int32_t>(id),
+               .pe = static_cast<std::int32_t>(pe));
+  }
+
   bool planCandidate(NodeId id, PEId pe, unsigned dur) {
     const Node& n = g_.node(id);
     if (n.isPWrite()) return planPWrite(id, pe, dur);
     return planOperation(id, pe, dur);
+  }
+
+  /// Rejects the current placement attempt with a reason planStep picks up
+  /// for the trace and the per-node failure classification.
+  bool fail(TraceReject why) {
+    reject_ = why;
+    return false;
   }
 
   bool planOperation(NodeId id, PEId pe, unsigned dur) {
@@ -699,14 +838,16 @@ private:
     // Comparisons feed the C-Box: one status per cycle, so the C-Box write
     // port must be free on the status cycle (§V-H).
     const unsigned statusCycle = t + dur - 1;
-    if (n.isStatusProducer() && cboxOpAt_.test(statusCycle)) return false;
+    if (n.isStatusProducer() && cboxOpAt_.test(statusCycle))
+      return fail(TraceReject::CBoxWritePortBusy);
 
     // Memory operations are always predicated (§V-D).
     std::optional<PredRef> pred;
     if (n.isMemory() && n.cond != kCondTrue) {
       pred = ensureCondition(n.cond, t);
-      if (!pred) return false;
-      if (!predSignalAvailable(t, *pred)) return false;
+      if (!pred) return fail(TraceReject::PredUnavailable);
+      if (!predSignalAvailable(t, *pred))
+        return fail(TraceReject::PredUnavailable);
     }
 
     // Fusion: write the result directly into the variable's home register,
@@ -742,7 +883,7 @@ private:
       if (n.operands[i].kind() == Operand::Kind::Variable)
         homeFor(n.operands[i].varId(), pe);
       const auto src = resolveOperand(n.operands[i], pe, t, exposure);
-      if (!src) return false;
+      if (!src) return fail(TraceReject::OperandUnroutable);
       srcs[i] = *src;
     }
 
@@ -771,6 +912,9 @@ private:
         claimPredSignal(t, *fusedPred);
       }
       ++stats_.fusedWrites;
+      CGRA_TRACE(trace_, WriteFused, .cycle = t,
+                 .node = static_cast<std::int32_t>(id),
+                 .pe = static_cast<std::int32_t>(pe), .a = *fusedWriter);
     } else if (writesRegister(n.op)) {
       op.writesDest = true;
       op.destVreg = freshVreg(pe);
@@ -791,6 +935,9 @@ private:
       cb.cond = kCondTrue;  // raw literal, interpreted per condition
       sched_.cboxOps.push_back(cb);
       cboxOpAt_.mark(statusCycle);
+      CGRA_TRACE(trace_, CBoxSlotAllocated, .cycle = statusCycle,
+                 .node = static_cast<std::int32_t>(id), .a = cb.writeSlot,
+                 .detail = "status");
       rawSlots_[id] = CondSlot{PredRef{cb.writeSlot, true}, statusCycle + 1};
     }
 
@@ -813,8 +960,9 @@ private:
     std::optional<PredRef> pred;
     if (n.cond != kCondTrue) {
       pred = ensureCondition(n.cond, t);
-      if (!pred) return false;
-      if (!predSignalAvailable(t, *pred)) return false;
+      if (!pred) return fail(TraceReject::PredUnavailable);
+      if (!predSignalAvailable(t, *pred))
+        return fail(TraceReject::PredUnavailable);
     }
 
     const Operand& value = n.operands[0];
@@ -834,7 +982,7 @@ private:
       if (value.kind() == Operand::Kind::Variable)
         homeFor(value.varId(), pe);
       const auto src = resolveOperand(value, pe, t, exposure);
-      if (!src) return false;
+      if (!src) return fail(TraceReject::OperandUnroutable);
       op.src[0] = *src;
     }
 
@@ -901,8 +1049,12 @@ private:
       maxCycle = std::max(maxCycle, b.time);
     sched_.length = maxCycle + 1;
     if (sched_.length > limit_)
-      throw Error("schedule length " + std::to_string(sched_.length) +
-                  " exceeds context memory of " + comp_.name());
+      throw Unmappable{
+          ScheduleFailure{FailureReason::ContextBudget,
+                          "schedule length " + std::to_string(sched_.length) +
+                              " exceeds context memory of " + comp_.name(),
+                          kNoNode},
+          TraceReject::None};
 
     sched_.vregsPerPE = nextVreg_;
     sched_.cboxSlotsUsed = nextCondSlot_;
@@ -929,6 +1081,9 @@ private:
   /// not supply a cache entry.
   const RoutingInfo* routing_ = nullptr;
   std::optional<RoutingInfo> ownedRouting_;
+  /// Per-run decision trace; null when the request disabled tracing (every
+  /// instrumentation point then costs one predicted-not-taken branch).
+  Trace* trace_ = nullptr;
 
   Schedule sched_;
   ScheduleStats stats_;
@@ -938,11 +1093,16 @@ private:
   unsigned limit_ = 0;
   bool stepHasOp_ = false;
   std::size_t scheduledCount_ = 0;
+  /// Why the in-flight placement attempt failed (set via fail()).
+  TraceReject reject_ = TraceReject::None;
 
   std::vector<double> priorities_;
   std::vector<std::vector<double>> attraction_;
   std::vector<unsigned> nodeStart_, nodeFinish_;
   std::vector<bool> nodeScheduled_;
+  /// Per node: most informative rejection of its newest attempt step.
+  std::vector<TraceReject> lastReject_;
+  std::vector<unsigned> lastRejectStep_;
   std::vector<unsigned> remainingPreds_;
   std::set<NodeId> candidates_;
 
@@ -970,17 +1130,63 @@ private:
 
 }  // namespace
 
+const char* failureReasonName(FailureReason reason) {
+  switch (reason) {
+    case FailureReason::None: return "none";
+    case FailureReason::UnsupportedOp: return "unsupported-op";
+    case FailureReason::UnroutableOperand: return "unroutable-operand";
+    case FailureReason::ContextBudget: return "context-budget";
+    case FailureReason::CBoxCapacity: return "cbox-capacity";
+    case FailureReason::Internal: return "internal";
+  }
+  CGRA_UNREACHABLE("bad FailureReason");
+}
+
+const ScheduleReport& ScheduleReport::orThrow() const& {
+  if (!ok) throw Error(failure.message);
+  return *this;
+}
+
+ScheduleReport&& ScheduleReport::orThrow() && {
+  if (!ok) throw Error(failure.message);
+  return std::move(*this);
+}
+
 Scheduler::Scheduler(const Composition& comp, SchedulerOptions opts)
     : comp_(&comp), opts_(opts) {}
 
+ScheduleReport Scheduler::schedule(const ScheduleRequest& request) const {
+  CGRA_ASSERT_MSG(request.graph != nullptr,
+                  "ScheduleRequest carries no graph");
+  const SchedulerOptions& opts = request.options ? *request.options : opts_;
+  std::shared_ptr<Trace> trace;
+  if (request.trace.enabled) trace = std::make_shared<Trace>(request.trace);
+  Run run(*comp_, opts, *request.graph, request.routing, trace.get());
+  ScheduleReport report = run.execute();
+  report.trace = std::move(trace);
+  return report;
+}
+
+// The deprecated shims reproduce the legacy contract exactly: throw
+// cgra::Error with the failure message on unmappable kernels. Both go
+// straight to the request path (not through each other) so building this
+// file never touches a deprecated symbol.
+
 SchedulingResult Scheduler::schedule(const Cdfg& graph) const {
-  return schedule(graph, nullptr);
+  ScheduleReport report = schedule(ScheduleRequest(graph));
+  if (!report.ok) throw Error(report.failure.message);
+  return SchedulingResult{std::move(report.schedule), report.stats,
+                          report.metrics};
 }
 
 SchedulingResult Scheduler::schedule(const Cdfg& graph,
                                      const RoutingInfo* routing) const {
-  Run run(*comp_, opts_, graph, routing);
-  return run.execute();
+  ScheduleRequest request(graph);
+  request.routing = routing;
+  ScheduleReport report = schedule(request);
+  if (!report.ok) throw Error(report.failure.message);
+  return SchedulingResult{std::move(report.schedule), report.stats,
+                          report.metrics};
 }
 
 }  // namespace cgra

@@ -21,11 +21,24 @@
 //    condition write, one PE-predication read and one branch read per cycle;
 //    nested conditions are conjunctions of a stored condition and a raw
 //    status slot (§V-H).
+//
+// Public API: build a ScheduleRequest, call Scheduler::schedule(request),
+// inspect the ScheduleReport. Scheduling failures (a kernel the composition
+// cannot execute) are *data* — ScheduleReport::failure carries a typed
+// FailureReason — not exceptions; exceptions remain for programmer errors
+// (malformed CDFGs, violated invariants). The legacy Cdfg-taking overloads
+// are deprecated shims over the request path and throw on failure as they
+// always did.
 #pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
 
 #include "cdfg/cdfg.hpp"
 #include "sched/metrics.hpp"
 #include "sched/schedule.hpp"
+#include "sched/trace.hpp"
 
 namespace cgra {
 
@@ -43,29 +56,101 @@ struct SchedulerOptions {
   unsigned maxContexts = 0;
 };
 
-/// Result bundle: the schedule plus statistics (Table I metrics) and the
-/// detailed per-run metrics consumed by the sweep engine.
+/// Why a kernel could not be mapped. Facade-level classification: the sweep
+/// engine tallies these per composition instead of string-matching
+/// exception text.
+enum class FailureReason : std::uint8_t {
+  None,              ///< the run succeeded
+  UnsupportedOp,     ///< no PE in the composition implements an operation
+  UnroutableOperand, ///< an operand had no reachable/copyable location
+  ContextBudget,     ///< the kernel does not fit the context memory budget
+  CBoxCapacity,      ///< C-Box slot/port pressure blocked progress
+  Internal,          ///< unexpected error escaped the run (a library bug)
+};
+
+inline constexpr std::size_t kNumFailureReasons = 6;
+
+const char* failureReasonName(FailureReason reason);
+
+/// Structured description of a scheduling failure.
+struct ScheduleFailure {
+  FailureReason reason = FailureReason::None;
+  /// Human-readable message (what the legacy API used to throw).
+  std::string message;
+  /// The node that was stuck when the run gave up; kNoNode when the
+  /// failure is not node-scoped (e.g. a whole-schedule budget overflow).
+  NodeId node = kNoNode;
+};
+
+/// One scheduling request: everything a run consumes, in one place. The
+/// pointed-to graph (and routing tables, when supplied) must outlive the
+/// schedule() call.
+struct ScheduleRequest {
+  ScheduleRequest() = default;
+  explicit ScheduleRequest(const Cdfg& g) : graph(&g) {}
+
+  /// The validated CDFG to map. Required.
+  const Cdfg* graph = nullptr;
+  /// Per-request knobs; nullopt inherits the Scheduler's constructor
+  /// options (so ablation setups keep configuring the scheduler once).
+  std::optional<SchedulerOptions> options;
+  /// Precomputed composition tables (see RoutingCache): the run reads
+  /// these instead of rebuilding sink/connectivity/support tables, so N
+  /// concurrent scheduler instances on one composition share one immutable
+  /// copy. Must have been built from the scheduler's composition. Results
+  /// are identical with or without a cache.
+  const RoutingInfo* routing = nullptr;
+  /// Decision-trace configuration; disabled by default (zero cost).
+  TraceOptions trace;
+};
+
+/// Everything a run produces: the schedule plus statistics (Table I
+/// metrics), the per-run SchedulerMetrics consumed by the sweep engine,
+/// the decision trace (when requested) and structured failure info.
+struct ScheduleReport {
+  /// True when `schedule` is complete and valid. When false, `failure`
+  /// says why, `schedule` is empty, and metrics/trace cover the partial
+  /// run (that partial trace is exactly what `cgra-tool explain` prints
+  /// for unmappable kernels).
+  bool ok = false;
+  Schedule schedule;
+  ScheduleStats stats;
+  SchedulerMetrics metrics;
+  ScheduleFailure failure;
+  /// Decision trace; null unless the request enabled tracing. One ring
+  /// buffer per run — sweeps never share or contend on trace state.
+  std::shared_ptr<const Trace> trace;
+
+  /// Throws cgra::Error carrying `failure.message` when !ok; otherwise
+  /// returns the report unchanged. Lets call sites that treat failure as
+  /// exceptional stay one expression.
+  const ScheduleReport& orThrow() const&;
+  ScheduleReport&& orThrow() &&;
+};
+
+/// Result bundle of the deprecated Cdfg-taking overloads.
 struct SchedulingResult {
   Schedule schedule;
   ScheduleStats stats;
   SchedulerMetrics metrics;
 };
 
-/// Maps a validated CDFG onto a composition. Throws cgra::Error when the
-/// kernel cannot be mapped (missing operation support, unroutable operands,
-/// context/C-Box capacity exceeded).
+/// Maps a validated CDFG onto a composition.
 class Scheduler {
 public:
   Scheduler(const Composition& comp, SchedulerOptions opts = {});
 
+  /// The canonical entry point. Never throws for unmappable kernels — the
+  /// report carries the typed failure; throws only for programmer errors
+  /// (null/malformed graph, violated internal invariants).
+  ScheduleReport schedule(const ScheduleRequest& request) const;
+
+  [[deprecated("build a ScheduleRequest and call "
+               "schedule(const ScheduleRequest&); see DESIGN.md §8")]]
   SchedulingResult schedule(const Cdfg& graph) const;
 
-  /// Schedules with precomputed composition tables (see RoutingCache): the
-  /// run reads `routing` instead of rebuilding sink/connectivity/support
-  /// tables, so N concurrent scheduler instances on the same composition
-  /// share one immutable copy. `routing` must outlive the call and must
-  /// have been built from this scheduler's composition. Results are
-  /// identical with or without a cache.
+  [[deprecated("build a ScheduleRequest (with .routing) and call "
+               "schedule(const ScheduleRequest&); see DESIGN.md §8")]]
   SchedulingResult schedule(const Cdfg& graph,
                             const RoutingInfo* routing) const;
 

@@ -1,6 +1,7 @@
 #include "sched/sweep.hpp"
 
 #include <chrono>
+#include <filesystem>
 #include <memory>
 
 #include "sched/routing_cache.hpp"
@@ -12,23 +13,51 @@ namespace {
 
 SweepJobResult runJob(const SweepJob& job,
                       const std::shared_ptr<const RoutingInfo>& routing,
-                      bool keepSchedule) {
+                      bool keepSchedule, const TraceOptions& trace) {
   SweepJobResult out;
   out.label = !job.label.empty() ? job.label
                                  : (job.comp ? job.comp->name() : "?");
   try {
     CGRA_ASSERT(job.comp != nullptr && job.graph != nullptr);
     const Scheduler scheduler(*job.comp, job.options);
-    SchedulingResult result = scheduler.schedule(*job.graph, routing.get());
-    out.ok = true;
-    out.stats = result.stats;
-    out.metrics = result.metrics;
-    out.fingerprint = result.schedule.fingerprint();
-    if (keepSchedule) out.schedule = std::move(result.schedule);
+    ScheduleRequest request(*job.graph);
+    request.options = job.options;
+    request.routing = routing.get();
+    request.trace = trace;
+    ScheduleReport report = scheduler.schedule(request);
+    out.ok = report.ok;
+    out.failure = std::move(report.failure);
+    out.error = out.failure.message;
+    out.stats = report.stats;
+    out.metrics = report.metrics;
+    out.trace = std::move(report.trace);
+    if (report.ok) {
+      out.fingerprint = report.schedule.fingerprint();
+      if (keepSchedule) out.schedule = std::move(report.schedule);
+    }
   } catch (const std::exception& e) {
+    // Programmer errors (malformed graphs, violated invariants) still land
+    // here so one bad job cannot abort a long sweep; they are tallied as
+    // Internal rather than a kernel-capacity mismatch.
     out.ok = false;
-    out.error = e.what();
+    out.failure.reason = FailureReason::Internal;
+    out.failure.message = e.what();
+    out.error = out.failure.message;
   }
+  return out;
+}
+
+/// Turns a job label into a safe filename component ("adpcm@mesh 9" ->
+/// "adpcm_mesh_9"): portable across filesystems and shell-quoting-free.
+std::string sanitizeLabel(const std::string& label) {
+  std::string out;
+  out.reserve(label.size());
+  for (char c : label) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '.';
+    out += keep ? c : '_';
+  }
+  if (out.empty()) out = "job";
   return out;
 }
 
@@ -43,6 +72,9 @@ SweepReport runSweep(const std::vector<SweepJob>& jobs,
       options.threads == 0 ? ThreadPool::defaultThreads() : options.threads;
   report.results.resize(jobs.size());
 
+  TraceOptions trace = options.trace;
+  if (!options.traceDir.empty()) trace.enabled = true;
+
   // Warm the routing cache serially: one immutable table set per distinct
   // composition, shared read-only by every scheduler instance. Jobs then
   // only read shared_ptrs — no locking on the hot path.
@@ -53,15 +85,32 @@ SweepReport runSweep(const std::vector<SweepJob>& jobs,
   report.routingCacheEntries = cache.size();
 
   parallelFor(jobs.size(), report.threadsUsed, [&](std::size_t i) {
-    report.results[i] = runJob(jobs[i], routing[i], options.keepSchedules);
+    report.results[i] =
+        runJob(jobs[i], routing[i], options.keepSchedules, trace);
   });
 
   report.aggregate.runs = 0;
   for (const SweepJobResult& r : report.results) {
-    if (r.ok)
+    if (r.ok) {
       report.aggregate.merge(r.metrics);
-    else
+    } else {
       ++report.failures;
+      report.failuresByReason[static_cast<std::size_t>(r.failure.reason)]++;
+    }
+  }
+
+  // Trace files are written serially after the parallel section: job order
+  // (and content — logical timestamps only) is deterministic, so the set of
+  // files is byte-identical for any thread count.
+  if (!options.traceDir.empty()) {
+    std::filesystem::create_directories(options.traceDir);
+    for (const SweepJobResult& r : report.results) {
+      if (r.trace == nullptr) continue;
+      const std::filesystem::path path =
+          std::filesystem::path(options.traceDir) /
+          (sanitizeLabel(r.label) + ".trace.json");
+      json::writeFile(path.string(), r.trace->toChromeJson(r.label));
+    }
   }
 
   report.wallTimeMs = std::chrono::duration<double, std::milli>(
@@ -75,6 +124,14 @@ json::Value SweepReport::toJson() const {
   o["threads"] = static_cast<std::int64_t>(threadsUsed);
   o["jobsTotal"] = static_cast<std::int64_t>(results.size());
   o["jobsFailed"] = static_cast<std::int64_t>(failures);
+  {
+    json::Object byReason;
+    for (std::size_t i = 0; i < failuresByReason.size(); ++i)
+      if (failuresByReason[i] > 0)
+        byReason[failureReasonName(static_cast<FailureReason>(i))] =
+            static_cast<std::int64_t>(failuresByReason[i]);
+    o["failuresByReason"] = std::move(byReason);
+  }
   o["routingCacheEntries"] = static_cast<std::int64_t>(routingCacheEntries);
   o["wallTimeMs"] = wallTimeMs;
   o["aggregate"] = aggregate.toJson();
@@ -89,6 +146,7 @@ json::Value SweepReport::toJson() const {
       j["metrics"] = r.metrics.toJson();
     } else {
       j["error"] = r.error;
+      j["failureReason"] = failureReasonName(r.failure.reason);
     }
     jobs.emplace_back(std::move(j));
   }

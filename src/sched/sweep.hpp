@@ -15,6 +15,8 @@
 // Schedule::fingerprint() across thread counts {1, 2, 8}.
 #pragma once
 
+#include <array>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -35,17 +37,21 @@ struct SweepJob {
   SchedulerOptions options;
 };
 
-/// Outcome of one job. `error` is empty on success; a scheduling failure
-/// (unmappable kernel, capacity exceeded) is recorded, not thrown, so one
-/// infeasible pair cannot abort a sweep.
+/// Outcome of one job. `failure.reason` is None on success; a scheduling
+/// failure (unmappable kernel, capacity exceeded) is recorded, not thrown,
+/// so one infeasible pair cannot abort a sweep.
 struct SweepJobResult {
   std::string label;
   bool ok = false;
-  std::string error;
+  std::string error;             ///< failure.message mirror (legacy field)
+  ScheduleFailure failure;       ///< typed reason + message when !ok
   Schedule schedule;             ///< empty when !ok or !keepSchedules
   ScheduleStats stats;           ///< valid when ok
   SchedulerMetrics metrics;      ///< valid when ok
   std::uint64_t fingerprint = 0; ///< Schedule::fingerprint() when ok
+  /// Per-job decision trace; null unless SweepOptions::trace.enabled. Each
+  /// job owns its ring buffer — worker threads never share trace state.
+  std::shared_ptr<const Trace> trace;
 };
 
 struct SweepOptions {
@@ -54,6 +60,12 @@ struct SweepOptions {
   /// Drop the (potentially large) schedules and keep only stats/metrics —
   /// candidate ranking only needs lengths and fingerprints.
   bool keepSchedules = true;
+  /// Per-job decision tracing (see sched/trace.hpp). Off by default.
+  TraceOptions trace;
+  /// When non-empty, write each job's Chrome trace-event JSON to
+  /// `<traceDir>/<label>.trace.json` (label sanitized for the filesystem).
+  /// Implies trace.enabled. Files are written serially after the sweep.
+  std::string traceDir;
 };
 
 /// Sweep outcome: per-job results in job order plus merged metrics.
@@ -63,6 +75,10 @@ struct SweepReport {
   double wallTimeMs = 0.0;
   unsigned threadsUsed = 1;
   std::size_t failures = 0;
+  /// Failure tally by typed reason, indexed by FailureReason. A sweep over
+  /// candidate compositions reads this to distinguish "too few contexts"
+  /// from "missing op support" without string-matching messages.
+  std::array<std::size_t, kNumFailureReasons> failuresByReason{};
   std::size_t routingCacheEntries = 0;  ///< distinct compositions seen
 
   /// {"threads": .., "wallTimeMs": .., "aggregate": {...}, "jobs": [...]}

@@ -19,7 +19,7 @@ unsigned AcceleratedHost::addKernel(const kir::Function& kernel,
   kir::LoweringResult lowered = kir::lowerToCdfg(prepared);
   const Scheduler scheduler(comp_, schedOpts_);
   Kernel k;
-  k.schedule = scheduler.schedule(lowered.graph).schedule;
+  k.schedule = scheduler.schedule(ScheduleRequest(lowered.graph)).orThrow().schedule;
   k.numLocals = static_cast<unsigned>(kernel.numLocals());
   k.localToVar = std::move(lowered.localToVar);
   kernels_.push_back(std::move(k));

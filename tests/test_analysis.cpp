@@ -20,7 +20,7 @@ struct Prepared {
 
 Prepared prepare(const apps::Workload& w, Composition comp) {
   kir::LoweringResult lowered = kir::lowerToCdfg(w.fn);
-  Schedule sched = Scheduler(comp).schedule(lowered.graph).schedule;
+  Schedule sched = Scheduler(comp).schedule(ScheduleRequest(lowered.graph)).orThrow().schedule;
   return Prepared{std::move(lowered.graph), std::move(comp), std::move(sched)};
 }
 
@@ -122,7 +122,7 @@ TEST(Mii, RecurrenceBoundSeesLongChains) {
   const Composition comp = makeMesh(4);
   auto miiOf = [&](const kir::Function& fn) {
     kir::LoweringResult lowered = kir::lowerToCdfg(fn);
-    const Schedule sched = Scheduler(comp).schedule(lowered.graph).schedule;
+    const Schedule sched = Scheduler(comp).schedule(ScheduleRequest(lowered.graph)).orThrow().schedule;
     const auto bounds = computeMiiBounds(lowered.graph, sched, comp);
     return bounds.at(0).recMii;
   };
@@ -136,8 +136,8 @@ TEST(Mii, ResourceBoundScalesWithArray) {
   kir::LoweringResult lowered = kir::lowerToCdfg(w.fn);
   const Composition few = makeMesh(4);    // 2 DMA PEs
   const Composition many = makeMesh(16);  // 4 DMA PEs
-  const Schedule s1 = Scheduler(few).schedule(lowered.graph).schedule;
-  const Schedule s2 = Scheduler(many).schedule(lowered.graph).schedule;
+  const Schedule s1 = Scheduler(few).schedule(ScheduleRequest(lowered.graph)).orThrow().schedule;
+  const Schedule s2 = Scheduler(many).schedule(ScheduleRequest(lowered.graph)).orThrow().schedule;
   const auto b1 = computeMiiBounds(lowered.graph, s1, few);
   const auto b2 = computeMiiBounds(lowered.graph, s2, many);
   EXPECT_GE(b1.at(0).resMii, b2.at(0).resMii);

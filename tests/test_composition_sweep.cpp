@@ -30,7 +30,7 @@ void runAndCompare(const apps::Workload& w, const kir::Function& fn,
   const auto golden = interp.run(fn, w.initialLocals, goldenHeap);
 
   const kir::LoweringResult lowered = kir::lowerToCdfg(fn);
-  const SchedulingResult result = Scheduler(comp).schedule(lowered.graph);
+  const ScheduleReport result = Scheduler(comp).schedule(ScheduleRequest(lowered.graph)).orThrow();
   const auto issues = validateSchedule(result.schedule, lowered.graph, comp);
   ASSERT_TRUE(issues.empty()) << w.name << " on " << comp.name() << ": "
                               << issues.front();

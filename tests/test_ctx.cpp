@@ -26,7 +26,7 @@ struct Prepared {
 Prepared prepare(apps::Workload w, Composition comp) {
   kir::LoweringResult lowered = kir::lowerToCdfg(w.fn);
   const Scheduler scheduler(comp);
-  Schedule sched = scheduler.schedule(lowered.graph).schedule;
+  Schedule sched = scheduler.schedule(ScheduleRequest(lowered.graph)).orThrow().schedule;
   return Prepared{std::move(w), std::move(lowered.graph), std::move(comp),
                   std::move(sched)};
 }
@@ -164,7 +164,7 @@ TEST(Contexts, NegativeImmediatesSurviveEncoding) {
     }));
     kir::LoweringResult lowered = kir::lowerToCdfg(fn);
     const Composition comp = makeMesh(4);
-    const Schedule sched = Scheduler(comp).schedule(lowered.graph).schedule;
+    const Schedule sched = Scheduler(comp).schedule(ScheduleRequest(lowered.graph)).orThrow().schedule;
     const ContextImages img = generateContexts(sched, comp);
     const Schedule dec = decodeContexts(img, comp);
     std::map<VarId, std::int32_t> liveIns;
@@ -240,7 +240,7 @@ TEST(RegAlloc, SuppressedHomeWriteDoesNotLeakReusedRegister) {
   }));
   kir::LoweringResult lowered = kir::lowerToCdfg(fn);
   const Composition comp = makeMesh(4);
-  const Schedule sched = Scheduler(comp).schedule(lowered.graph).schedule;
+  const Schedule sched = Scheduler(comp).schedule(ScheduleRequest(lowered.graph)).orThrow().schedule;
   const Schedule runnable = decodeContexts(generateContexts(sched, comp), comp);
 
   std::map<VarId, std::int32_t> liveIns;

@@ -40,7 +40,7 @@ void expectCgraMatch(const apps::Workload& w, const Composition& comp,
 
   const kir::LoweringResult lowered = kir::lowerToCdfg(w.fn);
   const Scheduler scheduler(comp);
-  const SchedulingResult result = scheduler.schedule(lowered.graph);
+  const ScheduleReport result = scheduler.schedule(ScheduleRequest(lowered.graph)).orThrow();
   checkSchedule(result.schedule, lowered.graph, comp);
 
   Schedule runnable = result.schedule;

@@ -25,7 +25,7 @@ Baseline makeBaseline() {
   apps::Workload w = apps::makeGcd(18, 12);
   const Composition comp = makeMesh(4);
   const kir::LoweringResult lowered = kir::lowerToCdfg(w.fn);
-  const Schedule sched = Scheduler(comp).schedule(lowered.graph).schedule;
+  const Schedule sched = Scheduler(comp).schedule(ScheduleRequest(lowered.graph)).orThrow().schedule;
   return Baseline{std::move(w), comp, generateContexts(sched, comp)};
 }
 

@@ -29,7 +29,7 @@ PackedDomain makeDomain() {
   std::vector<Schedule> schedules;
   for (const apps::Workload& w : d.workloads) {
     kir::LoweringResult lowered = kir::lowerToCdfg(w.fn);
-    schedules.push_back(Scheduler(d.comp).schedule(lowered.graph).schedule);
+    schedules.push_back(Scheduler(d.comp).schedule(ScheduleRequest(lowered.graph)).orThrow().schedule);
     d.localToVar.push_back(std::move(lowered.localToVar));
   }
   d.packed = packSchedules(schedules, d.comp);
@@ -56,7 +56,7 @@ TEST(MultiSchedule, RegistersAreSharedNotSummed) {
   unsigned individualSum = 0;
   for (const apps::Workload& w : d.workloads) {
     kir::LoweringResult lowered = kir::lowerToCdfg(w.fn);
-    const Schedule s = Scheduler(d.comp).schedule(lowered.graph).schedule;
+    const Schedule s = Scheduler(d.comp).schedule(ScheduleRequest(lowered.graph)).orThrow().schedule;
     const RegAllocation alloc = allocateRegisters(s, d.comp);
     for (PEId p = 0; p < d.comp.numPEs(); ++p) {
       individualMax[p] = std::max(individualMax[p], alloc.physRegsUsed[p]);
@@ -146,7 +146,7 @@ TEST(MultiSchedule, RejectsOverflowingContextMemory) {
   for (int i = 0; i < 3; ++i) {
     kir::LoweringResult lowered =
         kir::lowerToCdfg(apps::makeGcd(18, 12).fn);
-    schedules.push_back(Scheduler(comp).schedule(lowered.graph).schedule);
+    schedules.push_back(Scheduler(comp).schedule(ScheduleRequest(lowered.graph)).orThrow().schedule);
     total += schedules.back().length;
   }
   // A context memory one entry too small for the pack.

@@ -139,7 +139,7 @@ TEST(Parser, ParsedKernelRunsOnTheCgra) {
 
   const LoweringResult lowered = lowerToCdfg(fn);
   const Composition comp = makeMesh(4);
-  const Schedule sched = Scheduler(comp).schedule(lowered.graph).schedule;
+  const Schedule sched = Scheduler(comp).schedule(ScheduleRequest(lowered.graph)).orThrow().schedule;
   std::map<VarId, std::int32_t> liveIns;
   for (const LiveBinding& lb : sched.liveIns)
     liveIns[lb.var] = lb.var == lowered.localToVar[0] ? 5 : 1024;

@@ -61,7 +61,7 @@ TEST_P(RandomKernelPipeline, CgraMatchesInterpreter) {
                      opts.contextMemoryLength, 64);
 
   const Scheduler scheduler(comp);
-  const SchedulingResult result = scheduler.schedule(lowered.graph);
+  const ScheduleReport result = scheduler.schedule(ScheduleRequest(lowered.graph)).orThrow();
   const auto issues = validateSchedule(result.schedule, lowered.graph, comp);
   EXPECT_TRUE(issues.empty()) << "seed " << seed << ": " << issues.front();
 
@@ -93,7 +93,7 @@ TEST_P(RandomKernelPipeline, ContextLevelMatchesInterpreter) {
   const Composition comp = makeMesh(meshSizes()[seed % 6], fo);
 
   const Scheduler scheduler(comp);
-  const SchedulingResult result = scheduler.schedule(lowered.graph);
+  const ScheduleReport result = scheduler.schedule(ScheduleRequest(lowered.graph)).orThrow();
   const ContextImages images = generateContexts(result.schedule, comp);
   const Schedule dec = decodeContexts(images, comp);
 
@@ -195,7 +195,7 @@ TEST_P(RandomKernelShapes, CgraMatchesInterpreter) {
                                  fo.contextMemoryLength, fo.cboxSlots);
 
   const Scheduler scheduler(comp);
-  const SchedulingResult result = scheduler.schedule(lowered.graph);
+  const ScheduleReport result = scheduler.schedule(ScheduleRequest(lowered.graph)).orThrow();
   const auto issues = validateSchedule(result.schedule, lowered.graph, comp);
   EXPECT_TRUE(issues.empty()) << "shape " << shapeIdx << " seed " << seed
                               << ": " << issues.front();

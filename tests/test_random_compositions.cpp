@@ -71,11 +71,14 @@ void expectCorrectOrCleanError(const apps::Workload& w,
   const auto golden = interp.run(w.fn, w.initialLocals, goldenHeap);
 
   const kir::LoweringResult lowered = kir::lowerToCdfg(w.fn);
-  SchedulingResult result{};
-  try {
-    result = Scheduler(comp).schedule(lowered.graph);
-  } catch (const Error&) {
-    return;  // clean rejection (e.g. capacity) is acceptable
+  const ScheduleReport result =
+      Scheduler(comp).schedule(ScheduleRequest(lowered.graph));
+  if (!result.ok) {
+    // Clean typed rejection (e.g. capacity) is acceptable; a programmer
+    // error would have escaped as an exception and failed the test.
+    EXPECT_NE(result.failure.reason, FailureReason::None);
+    EXPECT_NE(result.failure.reason, FailureReason::Internal);
+    return;
   }
   const auto issues = validateSchedule(result.schedule, lowered.graph, comp);
   ASSERT_TRUE(issues.empty())

@@ -36,7 +36,13 @@ TEST(Scheduler, RejectsUnsupportedOperations) {
 
   const Cdfg graph = lowerWorkload(apps::makeDotProduct(4, 1));
   const Scheduler scheduler(noMul);
-  EXPECT_THROW(scheduler.schedule(graph), Error);
+  const ScheduleReport report = scheduler.schedule(ScheduleRequest(graph));
+  ASSERT_FALSE(report.ok);
+  EXPECT_EQ(report.failure.reason, FailureReason::UnsupportedOp);
+  EXPECT_NE(report.failure.node, kNoNode);
+  EXPECT_NE(report.failure.message.find("IMUL"), std::string::npos);
+  // The legacy overload still surfaces the same condition as an exception.
+  EXPECT_THROW(scheduler.schedule(ScheduleRequest(graph)).orThrow(), Error);
 }
 
 TEST(Scheduler, RejectsWhenContextMemoryTooSmall) {
@@ -45,7 +51,9 @@ TEST(Scheduler, RejectsWhenContextMemoryTooSmall) {
   const Composition comp = makeMesh(4, opts);
   const Cdfg graph = lowerWorkload(apps::makeAdpcm(8, 1));
   const Scheduler scheduler(comp);
-  EXPECT_THROW(scheduler.schedule(graph), Error);
+  const ScheduleReport report = scheduler.schedule(ScheduleRequest(graph));
+  ASSERT_FALSE(report.ok);
+  EXPECT_EQ(report.failure.reason, FailureReason::ContextBudget);
 }
 
 TEST(Scheduler, MaxContextsOptionOverridesComposition) {
@@ -54,7 +62,10 @@ TEST(Scheduler, MaxContextsOptionOverridesComposition) {
   opts.maxContexts = 4;
   const Cdfg graph = lowerWorkload(apps::makeGcd(4, 6));
   const Scheduler scheduler(comp, opts);
-  EXPECT_THROW(scheduler.schedule(graph), Error);
+  const ScheduleReport report = scheduler.schedule(ScheduleRequest(graph));
+  ASSERT_FALSE(report.ok);
+  EXPECT_EQ(report.failure.reason, FailureReason::ContextBudget);
+  EXPECT_NE(report.failure.message.find("4 contexts"), std::string::npos);
 }
 
 TEST(Scheduler, SaturatedSinglePECompositionFailsGracefully) {
@@ -76,12 +87,9 @@ TEST(Scheduler, SaturatedSinglePECompositionFailsGracefully) {
   const auto outcome = std::make_shared<std::promise<bool>>();
   std::future<bool> done = outcome->get_future();
   std::thread([comp, graph, outcome] {
-    try {
-      Scheduler(*comp).schedule(*graph);
-      outcome->set_value(false);  // kernel cannot possibly fit in 6 contexts
-    } catch (const Error&) {
-      outcome->set_value(true);
-    }
+    const ScheduleReport r = Scheduler(*comp).schedule(ScheduleRequest(*graph));
+    // The kernel cannot possibly fit in 6 contexts: success would be wrong.
+    outcome->set_value(!r.ok);
   }).detach();
 
   ASSERT_EQ(done.wait_for(std::chrono::seconds(30)),
@@ -94,12 +102,12 @@ TEST(Scheduler, SchedulesAreValidOnAllCompositions) {
   const Cdfg graph = lowerWorkload(apps::makeAdpcm(8, 1));
   for (unsigned n : meshSizes()) {
     const Composition comp = makeMesh(n);
-    const SchedulingResult r = Scheduler(comp).schedule(graph);
+    const ScheduleReport r = Scheduler(comp).schedule(ScheduleRequest(graph)).orThrow();
     EXPECT_TRUE(validateSchedule(r.schedule, graph, comp).empty()) << n;
   }
   for (char c : irregularLabels()) {
     const Composition comp = makeIrregular(c);
-    const SchedulingResult r = Scheduler(comp).schedule(graph);
+    const ScheduleReport r = Scheduler(comp).schedule(ScheduleRequest(graph)).orThrow();
     EXPECT_TRUE(validateSchedule(r.schedule, graph, comp).empty()) << c;
   }
 }
@@ -107,7 +115,7 @@ TEST(Scheduler, SchedulesAreValidOnAllCompositions) {
 TEST(Scheduler, EveryPWriteLandsOnItsHomePE) {
   const Cdfg graph = lowerWorkload(apps::makeAdpcm(8, 1));
   const Composition comp = makeMesh(9);
-  const SchedulingResult r = Scheduler(comp).schedule(graph);
+  const ScheduleReport r = Scheduler(comp).schedule(ScheduleRequest(graph)).orThrow();
 
   // All ops representing pWRITEs of the same variable write one (pe, vreg).
   std::map<VarId, std::pair<PEId, unsigned>> homes;
@@ -126,7 +134,7 @@ TEST(Scheduler, EveryPWriteLandsOnItsHomePE) {
 TEST(Scheduler, LiveBindingsCoverLiveInsAndOuts) {
   const Cdfg graph = lowerWorkload(apps::makeAdpcm(8, 1));
   const Composition comp = makeMesh(4);
-  const SchedulingResult r = Scheduler(comp).schedule(graph);
+  const ScheduleReport r = Scheduler(comp).schedule(ScheduleRequest(graph)).orThrow();
 
   std::set<VarId> liveIn, liveOut;
   for (const LiveBinding& lb : r.schedule.liveIns) liveIn.insert(lb.var);
@@ -146,7 +154,7 @@ TEST(Scheduler, LiveBindingsCoverLiveInsAndOuts) {
 TEST(Scheduler, OneStatusPerCycle) {
   const Cdfg graph = lowerWorkload(apps::makeAdpcm(8, 1));
   const Composition comp = makeMesh(16);
-  const SchedulingResult r = Scheduler(comp).schedule(graph);
+  const ScheduleReport r = Scheduler(comp).schedule(ScheduleRequest(graph)).orThrow();
 
   std::map<unsigned, unsigned> statusCycles;
   for (const ScheduledOp& op : r.schedule.ops)
@@ -158,7 +166,7 @@ TEST(Scheduler, OneStatusPerCycle) {
 TEST(Scheduler, LoopIntervalsAreProperlyNested) {
   const Cdfg graph = lowerWorkload(apps::makeMatMul(3, 1));
   const Composition comp = makeMesh(8);
-  const SchedulingResult r = Scheduler(comp).schedule(graph);
+  const ScheduleReport r = Scheduler(comp).schedule(ScheduleRequest(graph)).orThrow();
   ASSERT_EQ(r.schedule.loops.size(), 3u) << "three nested loops";
 
   std::map<LoopId, LoopInterval> byLoop;
@@ -177,8 +185,8 @@ TEST(Scheduler, FusingReducesScheduleLength) {
   const Composition comp = makeMesh(8);
   SchedulerOptions noFuse;
   noFuse.fuseWrites = false;
-  const SchedulingResult fused = Scheduler(comp).schedule(graph);
-  const SchedulingResult plain = Scheduler(comp, noFuse).schedule(graph);
+  const ScheduleReport fused = Scheduler(comp).schedule(ScheduleRequest(graph)).orThrow();
+  const ScheduleReport plain = Scheduler(comp, noFuse).schedule(ScheduleRequest(graph)).orThrow();
   EXPECT_GT(fused.stats.fusedWrites, 0u);
   EXPECT_EQ(plain.stats.fusedWrites, 0u);
   EXPECT_LE(fused.schedule.length, plain.schedule.length);
@@ -193,13 +201,13 @@ TEST(Scheduler, AttractionImprovesScheduleQuality) {
   unsigned withAtt = 0, withoutAtt = 0;
   for (char c : {'B', 'D', 'E'}) {
     const Composition comp = makeIrregular(c);
-    withAtt += Scheduler(comp).schedule(graph).schedule.length;
-    withoutAtt += Scheduler(comp, noAtt).schedule(graph).schedule.length;
+    withAtt += Scheduler(comp).schedule(ScheduleRequest(graph)).orThrow().schedule.length;
+    withoutAtt += Scheduler(comp, noAtt).schedule(ScheduleRequest(graph)).orThrow().schedule.length;
   }
   for (unsigned n : {8u, 9u}) {
     const Composition comp = makeMesh(n);
-    withAtt += Scheduler(comp).schedule(graph).schedule.length;
-    withoutAtt += Scheduler(comp, noAtt).schedule(graph).schedule.length;
+    withAtt += Scheduler(comp).schedule(ScheduleRequest(graph)).orThrow().schedule.length;
+    withoutAtt += Scheduler(comp, noAtt).schedule(ScheduleRequest(graph)).orThrow().schedule.length;
   }
   EXPECT_LE(withAtt, withoutAtt);
 }
@@ -207,7 +215,7 @@ TEST(Scheduler, AttractionImprovesScheduleQuality) {
 TEST(Scheduler, StatsAreConsistent) {
   const Cdfg graph = lowerWorkload(apps::makeFir(6, 3, 1));
   const Composition comp = makeMesh(6);
-  const SchedulingResult r = Scheduler(comp).schedule(graph);
+  const ScheduleReport r = Scheduler(comp).schedule(ScheduleRequest(graph)).orThrow();
   EXPECT_EQ(r.stats.contextsUsed, r.schedule.length);
   EXPECT_EQ(r.stats.cboxSlotsUsed, r.schedule.cboxSlotsUsed);
   EXPECT_GE(r.stats.wallTimeMs, 0.0);
@@ -224,7 +232,7 @@ TEST(Scheduler, StatsAreConsistent) {
 TEST(Scheduler, DmaOpsOnlyOnDmaPEs) {
   const Cdfg graph = lowerWorkload(apps::makeAdpcm(8, 1));
   const Composition comp = makeMesh(9);
-  const SchedulingResult r = Scheduler(comp).schedule(graph);
+  const ScheduleReport r = Scheduler(comp).schedule(ScheduleRequest(graph)).orThrow();
   for (const ScheduledOp& op : r.schedule.ops)
     if (isMemoryOp(op.op)) {
       EXPECT_TRUE(comp.pe(op.pe).hasDma());
@@ -234,7 +242,7 @@ TEST(Scheduler, DmaOpsOnlyOnDmaPEs) {
 TEST(Scheduler, ToStringListsBranchesAndPredication) {
   const Cdfg graph = lowerWorkload(apps::makeGcd(9, 6));
   const Composition comp = makeMesh(4);
-  const SchedulingResult r = Scheduler(comp).schedule(graph);
+  const ScheduleReport r = Scheduler(comp).schedule(ScheduleRequest(graph)).orThrow();
   const std::string dump = r.schedule.toString(comp);
   EXPECT_NE(dump.find("CCU if"), std::string::npos);
   EXPECT_NE(dump.find("[pred"), std::string::npos);
@@ -249,7 +257,7 @@ TEST(Scheduler, MultiHopCopiesOnUnidirectionalRing) {
   opts.contextMemoryLength = 512;
   const Composition ring = makeRing(6, /*bidirectional=*/false, opts);
   const Cdfg graph = lowerWorkload(apps::makeEwmaClip(6, 2));
-  const SchedulingResult r = Scheduler(ring).schedule(graph);
+  const ScheduleReport r = Scheduler(ring).schedule(ScheduleRequest(graph)).orThrow();
   EXPECT_TRUE(validateSchedule(r.schedule, graph, ring).empty());
   EXPECT_GT(r.stats.copiesInserted, 0u) << "sparse topology forces copies";
 }
@@ -259,7 +267,7 @@ TEST(Scheduler, StarTopologyRoutesThroughHub) {
   opts.contextMemoryLength = 512;
   const Composition star = makeStar(5, opts);
   const Cdfg graph = lowerWorkload(apps::makeGcd(21, 14));
-  const SchedulingResult r = Scheduler(star).schedule(graph);
+  const ScheduleReport r = Scheduler(star).schedule(ScheduleRequest(graph)).orThrow();
   EXPECT_TRUE(validateSchedule(r.schedule, graph, star).empty());
   // Any Route between two spokes is impossible directly; every such access
   // must be a hub read or preceded by a copy through PE 0.
@@ -277,8 +285,8 @@ TEST(Scheduler, TorusWrapLinksShortenRoutes) {
   const Composition torus = makeTorus(3, 3, opts);
   const Composition mesh = makeMeshGrid(3, 3, opts, {0, 8});
   const Cdfg graph = lowerWorkload(apps::makeAdpcm(8, 1));
-  const SchedulingResult onTorus = Scheduler(torus).schedule(graph);
-  const SchedulingResult onMesh = Scheduler(mesh).schedule(graph);
+  const ScheduleReport onTorus = Scheduler(torus).schedule(ScheduleRequest(graph)).orThrow();
+  const ScheduleReport onMesh = Scheduler(mesh).schedule(ScheduleRequest(graph)).orThrow();
   EXPECT_TRUE(validateSchedule(onTorus.schedule, graph, torus).empty());
   // Wrap links can only help: never more contexts than the open mesh with
   // a small tolerance for heuristic noise.
@@ -293,7 +301,7 @@ protected:
   void SetUp() override {
     graph_ = lowerWorkload(apps::makeEwmaClip(6, 1));
     comp_ = makeMesh(4);
-    sched_ = Scheduler(*comp_).schedule(graph_).schedule;
+    sched_ = Scheduler(*comp_).schedule(ScheduleRequest(graph_)).orThrow().schedule;
     ASSERT_TRUE(validateSchedule(sched_, graph_, *comp_).empty());
   }
 

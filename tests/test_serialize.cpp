@@ -48,7 +48,7 @@ ContextImages makeImages() {
   const apps::Workload w = apps::makeAdpcm(8, 1);
   const kir::LoweringResult lowered = kir::lowerToCdfg(w.fn);
   const Composition comp = makeMesh(6);
-  const Schedule sched = Scheduler(comp).schedule(lowered.graph).schedule;
+  const Schedule sched = Scheduler(comp).schedule(ScheduleRequest(lowered.graph)).orThrow().schedule;
   return generateContexts(sched, comp);
 }
 
@@ -82,7 +82,7 @@ TEST(ContextJson, ReloadedImagesSimulateCorrectly) {
   const apps::Workload w = apps::makeAdpcm(12, 2);
   const kir::LoweringResult lowered = kir::lowerToCdfg(w.fn);
   const Composition comp = makeMesh(6);
-  const Schedule sched = Scheduler(comp).schedule(lowered.graph).schedule;
+  const Schedule sched = Scheduler(comp).schedule(ScheduleRequest(lowered.graph)).orThrow().schedule;
   const ContextImages img = generateContexts(sched, comp);
 
   // Persist + reload, then run from the reloaded images.

@@ -76,8 +76,8 @@ TEST(Sweep, CachedRoutingMatchesUncachedScheduling) {
   for (std::size_t i = 0; i < d.jobs.size(); ++i) {
     // Direct scheduling rebuilds the routing tables per run; the sweep
     // shares one cached copy per composition. Schedules must be identical.
-    const SchedulingResult direct =
-        Scheduler(*d.jobs[i].comp).schedule(*d.jobs[i].graph);
+    const ScheduleReport direct =
+        Scheduler(*d.jobs[i].comp).schedule(ScheduleRequest(*d.jobs[i].graph)).orThrow();
     EXPECT_EQ(direct.schedule.fingerprint(), report.results[i].fingerprint)
         << d.jobs[i].label;
   }
@@ -114,17 +114,37 @@ TEST(Sweep, RecordsFailuresWithoutAborting) {
       SweepJob{&noMul, &mulKernel, "dot@noMul", SchedulerOptions{}},
       SweepJob{&noMul, &intKernel, "gcd@noMul", SchedulerOptions{}},
   };
-  const SweepReport report = runSweep(jobs, SweepOptions{2, true});
+  SweepOptions opts;
+  opts.threads = 2;
+  const SweepReport report = runSweep(jobs, opts);
   EXPECT_EQ(report.failures, 1u);
   EXPECT_FALSE(report.results[0].ok);
   EXPECT_FALSE(report.results[0].error.empty());
   EXPECT_TRUE(report.results[1].ok);
   EXPECT_EQ(report.aggregate.runs, 1u);
+
+  // Failures are tallied by typed reason, not by string-matching messages.
+  EXPECT_EQ(report.results[0].failure.reason, FailureReason::UnsupportedOp);
+  EXPECT_EQ(report.failuresByReason[static_cast<std::size_t>(
+                FailureReason::UnsupportedOp)],
+            1u);
+  const json::Value v = report.toJson();
+  const json::Object& byReason =
+      v.asObject().at("failuresByReason").asObject();
+  ASSERT_TRUE(byReason.contains("unsupported-op"));
+  EXPECT_EQ(byReason.at("unsupported-op").asInt(), 1);
+  const json::Object& failedJob =
+      v.asObject().at("jobs").asArray()[0].asObject();
+  ASSERT_TRUE(failedJob.contains("failureReason"));
+  EXPECT_EQ(failedJob.at("failureReason").asString(), "unsupported-op");
 }
 
 TEST(Sweep, AggregatesMetricsAndExportsJson) {
   const Domain d = Domain::make();
-  const SweepReport report = runSweep(d.jobs, SweepOptions{2, false});
+  SweepOptions opts;
+  opts.threads = 2;
+  opts.keepSchedules = false;
+  const SweepReport report = runSweep(d.jobs, opts);
   ASSERT_EQ(report.failures, 0u);
 
   std::uint64_t nodes = 0;
@@ -165,7 +185,9 @@ TEST(Sweep, ParallelScheduleSimulatesCorrectly) {
   const Composition comp = makeMesh(9);
   const std::vector<SweepJob> jobs = {
       SweepJob{&comp, &graph, "adpcm@mesh9", SchedulerOptions{}}};
-  const SweepReport report = runSweep(jobs, SweepOptions{4, true});
+  SweepOptions opts;
+  opts.threads = 4;
+  const SweepReport report = runSweep(jobs, opts);
   ASSERT_EQ(report.failures, 0u);
   const Schedule& schedule = report.results[0].schedule;
 

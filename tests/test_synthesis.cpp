@@ -75,7 +75,7 @@ TEST(Synthesis, WinnerRunsEveryDomainKernelCorrectly) {
     kir::Interpreter interp;
     const auto golden = interp.run(w.fn, w.initialLocals, goldenHeap);
 
-    const SchedulingResult r = Scheduler(report.best).schedule(d.graphs[i]);
+    const ScheduleReport r = Scheduler(report.best).schedule(ScheduleRequest(d.graphs[i])).orThrow();
     std::map<VarId, std::int32_t> liveIns;
     for (const LiveBinding& lb : r.schedule.liveIns)
       liveIns[lb.var] = w.initialLocals[lb.var];

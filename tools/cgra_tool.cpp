@@ -5,15 +5,28 @@
 //   cgra-tool schedule  --comp D --kernel adpcm [--unroll 2]
 //                       [--gantt] [--dump] [--contexts out.json]
 //                       [--verilog out.v] [--dot out.dot]
+//                       [--trace out.trace.json]
+//   cgra-tool explain   --comp D --kernel adpcm [--max-contexts 4]
+//                       print the scheduler's decision log — candidate
+//                       picks, per-PE rejection reasons, copy/const
+//                       insertion, C-Box allocation — for mappable and
+//                       unmappable kernels alike
 //   cgra-tool simulate  --comp mesh9 --kernel adpcm [--unroll 2]
 //                       [--baseline]                run & verify vs golden
 //   cgra-tool synthesize --kernels adpcm,fir,gcd [--area-weight 0.25]
 //                       [--threads 4]
 //   cgra-tool sweep     --comps mesh4,mesh9,A --kernels adpcm,gcd
 //                       [--unroll 2] [--threads 4] [--metrics out.json]
+//                       [--trace tracedir]
 //                       schedule every (composition × kernel) pair on the
 //                       parallel sweep engine; --metrics dumps the
-//                       aggregated scheduler-metrics JSON report
+//                       aggregated scheduler-metrics JSON report; --trace
+//                       writes one Chrome trace-event file per job
+//
+// Every subcommand accepts `--help` and prints its flag table. Flags take
+// either `--key value` or `--key=value`. One option table is shared by all
+// subcommands (see kFlagTable), so a flag spells and behaves the same
+// everywhere it appears.
 //
 // Compositions: mesh4|mesh6|mesh8|mesh9|mesh12|mesh16, A..F (Fig. 14), or a
 // path to a Fig. 8-style JSON description. Kernels: bundled workloads (see
@@ -54,24 +67,123 @@ namespace {
 
 using namespace cgra;
 
-/// Simple flag parser: --key value pairs plus boolean switches.
+// ---------------------------------------------------------------------------
+// Option table. One FlagSpec per flag, shared by every subcommand that
+// accepts it; a CommandSpec selects the subset it understands. Parsing is
+// table-driven: whether a flag consumes a value is looked up, never guessed
+// from the shape of the next argument.
+
+struct FlagSpec {
+  const char* name;       ///< without the leading "--"
+  bool takesValue;        ///< --key value / --key=value vs. boolean switch
+  bool repeatable;        ///< may appear more than once (--local, --array)
+  const char* valueName;  ///< placeholder shown in --help
+  const char* help;
+};
+
+constexpr FlagSpec kFlagTable[] = {
+    {"comp", true, false, "NAME",
+     "composition: meshN, A..F, or a .json path (default mesh4)"},
+    {"comps", true, false, "LIST",
+     "comma-separated compositions (default mesh4,mesh9)"},
+    {"kernel", true, false, "NAME",
+     "bundled kernel (default adpcm; see `cgra-tool list`)"},
+    {"kernels", true, false, "LIST", "comma-separated bundled kernels"},
+    {"kernel-file", true, false, "PATH", "user kernel in KIR text form"},
+    {"local", true, true, "NAME=V", "initial value of a kernel local"},
+    {"array", true, true, "NAME=V1,V2,...",
+     "heap array bound to a kernel parameter"},
+    {"unroll", true, false, "N", "unroll loops N times before lowering"},
+    {"cse", false, false, "", "run common-subexpression elimination first"},
+    {"max-contexts", true, false, "N",
+     "override the composition's context-memory budget"},
+    {"trace", true, false, "PATH",
+     "write the decision trace as Chrome trace-event JSON; for sweep, a "
+     "directory receiving one file per job"},
+    {"trace-capacity", true, false, "N",
+     "decision-trace ring capacity in events (default 65536)"},
+    {"gantt", false, false, "", "print the schedule as a Gantt chart"},
+    {"dump", false, false, "", "print the full schedule listing"},
+    {"contexts", true, false, "PATH", "write the context-image JSON"},
+    {"memfiles", true, false, "PREFIX",
+     "write $readmemh context-memory files"},
+    {"verilog", true, false, "PATH", "write synthesizable Verilog"},
+    {"dot", true, false, "PATH", "write the CDFG in Graphviz dot form"},
+    {"baseline", false, false, "",
+     "also run the sequential token-machine baseline"},
+    {"threads", true, false, "N",
+     "worker threads (0 = hardware concurrency)"},
+    {"metrics", true, false, "PATH",
+     "write the aggregated sweep-metrics JSON report"},
+    {"area-weight", true, false, "W",
+     "synthesis score weight of LUT area (default 0.25)"},
+    {"out", true, false, "PATH", "write the winning composition JSON"},
+    {"help", false, false, "", "show this subcommand's flags"},
+};
+
+const FlagSpec* findFlag(const std::string& name) {
+  for (const FlagSpec& f : kFlagTable)
+    if (name == f.name) return &f;
+  return nullptr;
+}
+
+class Args;
+
+struct CommandSpec {
+  const char* name;
+  const char* summary;
+  std::vector<const char*> flags;  ///< accepted flag names (kFlagTable keys)
+  int (*run)(const Args&);
+
+  bool accepts(const std::string& flag) const {
+    if (flag == "help") return true;
+    for (const char* f : flags)
+      if (flag == f) return true;
+    return false;
+  }
+};
+
+/// Table-driven flag parser: `--key value` and `--key=value`, validated
+/// against the subcommand's accepted set so a typo fails loudly instead of
+/// being silently ignored.
 class Args {
 public:
-  Args(int argc, char** argv) {
+  Args(int argc, char** argv, const CommandSpec& cmd) {
     for (int i = 2; i < argc; ++i) {
       std::string arg = argv[i];
       if (arg.rfind("--", 0) != 0)
-        throw Error("unexpected argument: " + arg);
+        throw Error("unexpected argument: " + arg +
+                    " (flags start with --; see `cgra-tool " +
+                    std::string(cmd.name) + " --help`)");
       arg = arg.substr(2);
-      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-        const std::string value = argv[++i];
-        if (arg == "local" || arg == "array")
-          repeated_[arg].push_back(value);
-        else
-          values_[arg] = value;
-      } else {
-        values_[arg] = "";
+      std::string inlineValue;
+      bool hasInline = false;
+      const std::size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inlineValue = arg.substr(eq + 1);
+        arg = arg.substr(0, eq);
+        hasInline = true;
       }
+      const FlagSpec* spec = findFlag(arg);
+      if (spec == nullptr || !cmd.accepts(arg))
+        throw Error("unknown flag --" + arg + " for `cgra-tool " +
+                    std::string(cmd.name) + "` (see --help)");
+      std::string value;
+      if (spec->takesValue) {
+        if (hasInline) {
+          value = inlineValue;
+        } else {
+          if (i + 1 >= argc)
+            throw Error("--" + arg + " expects a value");
+          value = argv[++i];
+        }
+      } else if (hasInline) {
+        throw Error("--" + arg + " does not take a value");
+      }
+      if (spec->repeatable)
+        repeated_[arg].push_back(value);
+      else
+        values_[arg] = value;
     }
   }
 
@@ -130,7 +242,7 @@ apps::Workload resolveKernel(const std::string& name) {
   throw Error("unknown kernel \"" + name + "\" (see `cgra-tool list`)");
 }
 
-int cmdList() {
+int cmdList(const Args&) {
   std::cout << "kernels:\n";
   for (const apps::Workload& w : apps::allWorkloads())
     std::cout << "  " << w.name << "  (" << w.fn.numLocals() << " locals, "
@@ -149,8 +261,10 @@ int cmdDescribe(const Args& args) {
   for (PEId p = 0; p < comp.numPEs(); ++p) {
     const PEDescriptor& pe = comp.pe(p);
     std::string sources;
-    for (PEId s : comp.interconnect().sources(p))
-      sources += (sources.empty() ? "" : ",") + std::to_string(s);
+    for (PEId s : comp.interconnect().sources(p)) {
+      if (!sources.empty()) sources += ',';
+      sources += std::to_string(s);
+    }
     table.addRow({std::to_string(p), std::to_string(pe.regfileSize()),
                   pe.hasDma() ? "yes" : "-",
                   pe.supports(Op::IMUL) ? "yes" : "-",
@@ -218,12 +332,44 @@ Prepared prepareKernel(const Args& args) {
   return p;
 }
 
+/// Shared request assembly for schedule/explain/analyze: --max-contexts and
+/// --trace/--trace-capacity map onto ScheduleRequest fields.
+ScheduleRequest makeRequest(const Args& args, const Prepared& p,
+                            bool forceTrace) {
+  ScheduleRequest request(p.graph);
+  SchedulerOptions opts;
+  opts.maxContexts = args.getUnsigned("max-contexts", 0);
+  request.options = opts;
+  if (forceTrace || args.has("trace")) {
+    request.trace.enabled = true;
+    request.trace.capacity = args.getUnsigned("trace-capacity", 1u << 16);
+  }
+  return request;
+}
+
+void writeTraceFile(const Args& args, const ScheduleReport& report,
+                    const std::string& label) {
+  if (!args.has("trace") || report.trace == nullptr) return;
+  json::writeFile(args.get("trace"), report.trace->toChromeJson(label));
+  std::cout << "wrote " << args.get("trace") << "\n";
+}
+
 int cmdSchedule(const Args& args) {
   const Composition comp = resolveComposition(args.get("comp", "mesh4"));
   Prepared p = prepareKernel(args);
 
   const Scheduler scheduler(comp);
-  const SchedulingResult result = scheduler.schedule(p.graph);
+  const ScheduleReport result =
+      scheduler.schedule(makeRequest(args, p, false));
+  if (!result.ok) {
+    writeTraceFile(args, result, p.workload.name + "@" + comp.name());
+    std::cerr << "cgra-tool: scheduling failed ("
+              << failureReasonName(result.failure.reason)
+              << "): " << result.failure.message
+              << "\n(run `cgra-tool explain` with the same flags for the "
+                 "decision log)\n";
+    return 1;
+  }
   checkSchedule(result.schedule, p.graph, comp);
   const ContextImages images = generateContexts(result.schedule, comp);
 
@@ -269,6 +415,29 @@ int cmdSchedule(const Args& args) {
     std::ofstream(args.get("dot")) << p.graph.toDot(p.workload.name);
     std::cout << "wrote " << args.get("dot") << "\n";
   }
+  writeTraceFile(args, result, p.workload.name + "@" + comp.name());
+  return 0;
+}
+
+int cmdExplain(const Args& args) {
+  const Composition comp = resolveComposition(args.get("comp", "mesh4"));
+  Prepared p = prepareKernel(args);
+
+  const Scheduler scheduler(comp);
+  const ScheduleReport report = scheduler.schedule(makeRequest(args, p, true));
+
+  std::cout << "== " << p.workload.name << " on " << comp.name() << " ==\n"
+            << report.trace->explain(&p.graph, &comp);
+  if (report.ok)
+    std::cout << "outcome: scheduled in " << report.stats.contextsUsed
+              << " contexts\n";
+  else
+    std::cout << "outcome: UNMAPPABLE ("
+              << failureReasonName(report.failure.reason)
+              << "): " << report.failure.message << "\n";
+  writeTraceFile(args, report, p.workload.name + "@" + comp.name());
+  // A diagnostic command: inspecting an unmappable kernel is a successful
+  // run of `explain`, so the exit code stays 0 either way.
   return 0;
 }
 
@@ -283,7 +452,8 @@ int cmdSimulate(const Args& args) {
       interp.run(p.prepared, p.workload.initialLocals, goldenHeap);
 
   const Scheduler scheduler(comp);
-  const SchedulingResult result = scheduler.schedule(p.graph);
+  const ScheduleReport result =
+      scheduler.schedule(ScheduleRequest(p.graph)).orThrow();
   const Schedule runnable =
       decodeContexts(generateContexts(result.schedule, comp), comp);
 
@@ -332,15 +502,21 @@ int cmdSweep(const Args& args) {
     graphs.emplace_back(name, kir::lowerToCdfg(fn).graph);
   }
 
+  SchedulerOptions jobOpts;
+  jobOpts.maxContexts = args.getUnsigned("max-contexts", 0);
   std::vector<SweepJob> jobs;
   for (const Composition& comp : comps)
     for (const auto& [name, graph] : graphs)
       jobs.push_back(SweepJob{&comp, &graph, name + "@" + comp.name(),
-                              SchedulerOptions{}});
+                              jobOpts});
 
   SweepOptions opts;
   opts.threads = args.getUnsigned("threads", 0);
   opts.keepSchedules = false;
+  if (args.has("trace")) {
+    opts.traceDir = args.get("trace");
+    opts.trace.capacity = args.getUnsigned("trace-capacity", 1u << 16);
+  }
   const SweepReport report = runSweep(jobs, opts);
 
   TextTable table({"Job", "Contexts", "Copies", "Backtracks", "ms"});
@@ -359,6 +535,16 @@ int cmdSweep(const Args& args) {
             << " routing-cache entries, "
             << report.aggregate.nodesScheduled << " nodes, "
             << report.aggregate.backtracks << " backtracks)\n";
+  if (report.failures > 0) {
+    std::cout << "failures by reason:";
+    for (std::size_t i = 0; i < report.failuresByReason.size(); ++i)
+      if (report.failuresByReason[i] > 0)
+        std::cout << " " << failureReasonName(static_cast<FailureReason>(i))
+                  << "=" << report.failuresByReason[i];
+    std::cout << "\n";
+  }
+  if (!opts.traceDir.empty())
+    std::cout << "wrote per-job traces under " << opts.traceDir << "\n";
   if (args.has("metrics")) {
     json::writeFile(args.get("metrics"), report.toJson());
     std::cout << "wrote " << args.get("metrics") << "\n";
@@ -405,7 +591,8 @@ int cmdAnalyze(const Args& args) {
   const Composition comp = resolveComposition(args.get("comp", "mesh4"));
   Prepared p = prepareKernel(args);
   const Scheduler scheduler(comp);
-  const SchedulingResult result = scheduler.schedule(p.graph);
+  const ScheduleReport result =
+      scheduler.schedule(ScheduleRequest(p.graph)).orThrow();
 
   std::cout << "== " << p.workload.name << " on " << comp.name() << " ==\n\n"
             << ganttChart(result.schedule, comp) << "\n";
@@ -432,10 +619,59 @@ int cmdAnalyze(const Args& args) {
   return 0;
 }
 
+const CommandSpec kCommands[] = {
+    {"list", "list bundled kernels and compositions", {}, cmdList},
+    {"describe", "print a composition's PE/interconnect report",
+     {"comp"}, cmdDescribe},
+    {"schedule", "map a kernel onto a composition and report the schedule",
+     {"comp", "kernel", "kernel-file", "local", "array", "unroll", "cse",
+      "max-contexts", "trace", "trace-capacity", "gantt", "dump", "contexts",
+      "memfiles", "verilog", "dot"},
+     cmdSchedule},
+    {"explain",
+     "print the scheduler's decision log (works on unmappable kernels)",
+     {"comp", "kernel", "kernel-file", "local", "array", "unroll", "cse",
+      "max-contexts", "trace", "trace-capacity"},
+     cmdExplain},
+    {"simulate", "schedule, run on the cycle simulator, verify vs golden",
+     {"comp", "kernel", "kernel-file", "local", "array", "unroll", "cse",
+      "baseline"},
+     cmdSimulate},
+    {"analyze", "utilization, Gantt chart and loop-II bounds of a schedule",
+     {"comp", "kernel", "kernel-file", "local", "array", "unroll", "cse"},
+     cmdAnalyze},
+    {"synthesize", "rank candidate compositions for a kernel domain",
+     {"kernels", "area-weight", "threads", "out"}, cmdSynthesize},
+    {"sweep", "schedule every (composition x kernel) pair in parallel",
+     {"comps", "kernels", "unroll", "threads", "metrics", "max-contexts",
+      "trace", "trace-capacity"},
+     cmdSweep},
+};
+
+int printHelp(const CommandSpec& cmd) {
+  std::cout << "usage: cgra-tool " << cmd.name << " [flags]\n"
+            << cmd.summary << "\n";
+  if (cmd.flags.empty()) return 0;
+  std::cout << "\nflags:\n";
+  for (const char* name : cmd.flags) {
+    const FlagSpec* f = findFlag(name);
+    std::string left = "  --" + std::string(f->name);
+    if (f->takesValue) left += " " + std::string(f->valueName);
+    if (left.size() < 26) left.resize(26, ' ');
+    std::cout << left << " " << f->help
+              << (f->repeatable ? " (repeatable)" : "") << "\n";
+  }
+  return 0;
+}
+
 int usage() {
-  std::cout << "usage: cgra-tool "
-               "<list|describe|schedule|simulate|analyze|synthesize|sweep>"
-               " [--flags]\n(see the header of tools/cgra_tool.cpp)\n";
+  std::cout << "usage: cgra-tool <command> [--flags]\n\ncommands:\n";
+  for (const CommandSpec& cmd : kCommands) {
+    std::string left = "  " + std::string(cmd.name);
+    if (left.size() < 14) left.resize(14, ' ');
+    std::cout << left << " " << cmd.summary << "\n";
+  }
+  std::cout << "\n`cgra-tool <command> --help` lists the command's flags.\n";
   return 2;
 }
 
@@ -443,17 +679,15 @@ int usage() {
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
-  const std::string cmd = argv[1];
+  const std::string name = argv[1];
+  const CommandSpec* cmd = nullptr;
+  for (const CommandSpec& c : kCommands)
+    if (name == c.name) cmd = &c;
+  if (cmd == nullptr) return usage();
   try {
-    const Args args(argc, argv);
-    if (cmd == "list") return cmdList();
-    if (cmd == "describe") return cmdDescribe(args);
-    if (cmd == "schedule") return cmdSchedule(args);
-    if (cmd == "simulate") return cmdSimulate(args);
-    if (cmd == "analyze") return cmdAnalyze(args);
-    if (cmd == "synthesize") return cmdSynthesize(args);
-    if (cmd == "sweep") return cmdSweep(args);
-    return usage();
+    const Args args(argc, argv, *cmd);
+    if (args.has("help")) return printHelp(*cmd);
+    return cmd->run(args);
   } catch (const std::exception& e) {
     std::cerr << "cgra-tool: " << e.what() << "\n";
     return 1;

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Lint: no new call sites of the deprecated Scheduler::schedule(const Cdfg&)
+# overloads. Every in-tree caller must go through the ScheduleRequest /
+# ScheduleReport API (see DESIGN.md §8); the deprecated shims live only in
+# src/sched/scheduler.cpp, which is the one file allowed to reference them.
+#
+# Heuristic: a `.schedule(...)` call is considered migrated when the call (or
+# its argument) mentions ScheduleRequest / request / req. Member accesses
+# like `result.schedule` carry no parenthesis and are ignored.
+#
+# Usage: tools/check_deprecated_schedule.sh [repo-root]
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+cd "$root" || exit 2
+
+offenders=$(grep -rn --include='*.cpp' --include='*.hpp' '\.schedule(' \
+    src tests tools examples bench 2>/dev/null |
+  grep -v '^src/sched/scheduler\.cpp:' |
+  grep -viE 'schedulerequest|request|req')
+
+if [ -n "$offenders" ]; then
+  echo "error: deprecated Scheduler::schedule(const Cdfg&) call sites found."
+  echo "Build a ScheduleRequest and call schedule(const ScheduleRequest&)"
+  echo "instead (DESIGN.md §8):"
+  echo
+  echo "$offenders"
+  exit 1
+fi
+
+echo "ok: all Scheduler::schedule call sites use the ScheduleRequest API"
+exit 0
