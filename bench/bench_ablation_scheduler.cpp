@@ -12,6 +12,7 @@ int main() {
 
   std::cout << "== Ablation: scheduler design choices (ADPCM, 416 samples) "
                "==\n";
+  BenchReport report("ablation_scheduler");
   const apps::Workload base = apps::makeAdpcm(kAdpcmSamples, 1);
 
   struct Variant {
@@ -63,8 +64,18 @@ int main() {
                     std::to_string(result.stats.copiesInserted),
                     std::to_string(result.stats.fusedWrites),
                     fmt(result.stats.wallTimeMs, 2)});
+
+      // One gated series per (composition, variant); variant index keeps the
+      // metric keys short and stable.
+      const std::string key =
+          comp.name() + "_v" + std::to_string(&v - variants.data());
+      report.metric("cycles_" + key, r.runCycles);
+      report.metric("contexts_" + key,
+                    static_cast<std::uint64_t>(result.schedule.length));
+      report.timing("schedulingMs_" + key, result.stats.wallTimeMs);
     }
     table.print(std::cout);
   }
+  report.write();
   return 0;
 }

@@ -7,22 +7,112 @@
 // RF size 128, context size 256.
 #pragma once
 
+#include <chrono>
+#include <cstdlib>
 #include <iostream>
 #include <map>
+#include <string>
+#include <utility>
 
 #include "apps/kernels.hpp"
 #include "arch/factory.hpp"
 #include "arch/resource_model.hpp"
 #include "ctx/regalloc.hpp"
 #include "host/token_machine.hpp"
+#include "json/json.hpp"
 #include "kir/lower_bytecode.hpp"
 #include "kir/lower_cdfg.hpp"
 #include "kir/passes.hpp"
 #include "sched/scheduler.hpp"
+#include "sim/report.hpp"
 #include "sim/simulator.hpp"
 #include "support/table.hpp"
 
 namespace cgra::bench {
+
+/// True when CGRA_BENCH_COUNTERS is set: benches then simulate with the
+/// hardware-counter model on and attach the counters to their JSON artifact.
+inline bool countersEnabled() {
+  const char* v = std::getenv("CGRA_BENCH_COUNTERS");
+  return v != nullptr && *v != '\0' && std::string(v) != "0";
+}
+
+/// Directory receiving BENCH_<name>.json (CGRA_BENCH_DIR, default cwd).
+inline std::string outputDir() {
+  const char* v = std::getenv("CGRA_BENCH_DIR");
+  return (v != nullptr && *v != '\0') ? v : ".";
+}
+
+/// Git revision recorded in the artifact: CGRA_GIT_REV env override first
+/// (CI sets it on checkouts without .git), then the compile-time stamp.
+inline std::string gitRev() {
+  if (const char* v = std::getenv("CGRA_GIT_REV"); v != nullptr && *v != '\0')
+    return v;
+#ifdef CGRA_GIT_REV
+  return CGRA_GIT_REV;
+#else
+  return "unknown";
+#endif
+}
+
+/// Machine-readable bench artifact, schema "cgra-bench-v1":
+///
+///   { "schema": "cgra-bench-v1", "name": ..., "gitRev": ..., "wallMs": ...,
+///     "metrics":  { ... },   // deterministic, lower-is-better; the
+///                            // regression checker gates these at 10%
+///     "timings":  { ... },   // wall-clock milliseconds; warn-only, so CI
+///                            // does not flake on machine speed
+///     "info":     { ... },   // strings, never compared
+///     "counters": { ... } }  // per-series SimCounters (CGRA_BENCH_COUNTERS)
+///
+/// Every bench binary constructs one, records its table values as it prints
+/// them, and calls write() last — tools/bench_compare.py consumes the files.
+class BenchReport {
+public:
+  explicit BenchReport(std::string name)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+
+  void metric(const std::string& key, double value) { metrics_[key] = value; }
+  void metric(const std::string& key, std::uint64_t value) {
+    metrics_[key] = value;
+  }
+  void metric(const std::string& key, unsigned value) {
+    metrics_[key] = static_cast<std::uint64_t>(value);
+  }
+  void timing(const std::string& key, double ms) { timings_[key] = ms; }
+  void info(const std::string& key, std::string value) {
+    info_[key] = std::move(value);
+  }
+  void counters(const std::string& key, json::Value value) {
+    counters_[key] = std::move(value);
+  }
+
+  /// Writes BENCH_<name>.json and announces the path on stdout.
+  void write() {
+    json::Object o;
+    o["schema"] = "cgra-bench-v1";
+    o["name"] = name_;
+    o["gitRev"] = gitRev();
+    o["wallMs"] = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count();
+    o["metrics"] = std::move(metrics_);
+    o["timings"] = std::move(timings_);
+    o["info"] = std::move(info_);
+    if (!counters_.empty()) o["counters"] = std::move(counters_);
+    const std::string path = outputDir() + "/BENCH_" + name_ + ".json";
+    json::writeFile(path, json::sortKeys(json::Value(std::move(o))));
+    std::cout << "wrote " << path << "\n";
+  }
+
+private:
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  json::Object metrics_;
+  json::Object timings_;
+  json::Object info_;
+  json::Object counters_;
+};
 
 inline constexpr unsigned kAdpcmSamples = 416;  // paper §VI-B
 inline constexpr unsigned kUnrollFactor = 2;    // paper §VI-B
@@ -51,6 +141,9 @@ struct AdpcmRun {
   double schedulingMs = 0.0;
   double energy = 0.0;
   ResourceEstimate resources;
+  /// Combined static+runtime report; report.counters engaged when the bench
+  /// ran under CGRA_BENCH_COUNTERS.
+  Report report;
 };
 
 inline AdpcmRun runAdpcmOn(const AdpcmSetup& setup, const Composition& comp,
@@ -70,9 +163,12 @@ inline AdpcmRun runAdpcmOn(const AdpcmSetup& setup, const Composition& comp,
     liveIns[lb.var] = setup.workload.initialLocals[lb.var];
   HostMemory heap = setup.workload.heap;
   const Simulator sim(comp, result.schedule);
-  const SimResult simResult = sim.run(liveIns, heap);
+  SimOptions simOpts;
+  simOpts.collectCounters = countersEnabled();
+  const SimResult simResult = sim.run(liveIns, heap, simOpts);
   out.cycles = simResult.runCycles;
   out.energy = simResult.energy;
+  out.report = makeReport(result.schedule, comp, &result.stats, &simResult);
   return out;
 }
 

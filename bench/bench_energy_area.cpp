@@ -10,6 +10,7 @@ int main() {
   using namespace cgra::bench;
 
   std::cout << "== Energy & area: inhomogeneity pays (paper §VI-C) ==\n";
+  BenchReport report("energy_area");
   const AdpcmSetup setup = AdpcmSetup::make();
 
   TextTable table({"Composition", "Cycles", "Energy (rel)", "Energy/sample",
@@ -32,6 +33,8 @@ int main() {
   TextTable series({"Composition", "Cycles", "Energy (rel)", "Idle share"});
   auto addRow = [&](const std::string& name, const Composition& comp) {
     const AdpcmRun run = runAdpcmOn(setup, comp);
+    report.metric("cycles_" + comp.name(), run.cycles);
+    report.metric("energy_" + comp.name(), run.energy);
     // Idle share: fraction of PE-cycles spent on NOP (no issued op).
     const double busy = run.energy / (defaultEnergy(Op::IADD) *
                                       static_cast<double>(run.cycles) *
@@ -48,5 +51,6 @@ int main() {
                "static/clocking energy of idle PEs is what tailored, smaller "
                "or operator-trimmed compositions save (the paper's §VI-C "
                "argument; F additionally cuts 75% of the DSP area)\n";
+  report.write();
   return 0;
 }

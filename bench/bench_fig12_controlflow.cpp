@@ -12,6 +12,7 @@ int main() {
   using namespace cgra::bench;
 
   std::cout << "== Fig. 11/12: ADPCM decoder control flow ==\n";
+  BenchReport report("fig12_controlflow");
   const apps::Workload w = apps::makeAdpcm(kAdpcmSamples, 1);
   std::cout << w.fn.toString() << "\n";
 
@@ -54,5 +55,13 @@ int main() {
   std::ofstream("irregularD.dot") << makeIrregular('D').toDot();
   std::cout << "wrote mesh9.dot / irregularD.dot (Fig. 13/14-style "
                "composition renderings)\n";
+
+  report.metric("cdfgNodes", static_cast<std::uint64_t>(g.numNodes()));
+  report.metric("cdfgEdges", static_cast<std::uint64_t>(g.edges().size()));
+  report.metric("loops", static_cast<std::uint64_t>(g.numLoops() - 1));
+  report.metric("comparisons", comparisons);
+  report.metric("predicatedWrites", pwrites);
+  report.metric("dmaOps", dmaOps);
+  report.write();
   return 0;
 }

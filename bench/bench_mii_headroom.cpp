@@ -15,6 +15,7 @@ int main() {
 
   std::cout << "== Extension: modulo-scheduling headroom (paper §VII future "
                "work) ==\n";
+  BenchReport report("mii_headroom");
   const Composition comp = makeMesh(8);
   TextTable table({"Kernel", "Loop", "Depth", "Achieved II", "ResMII",
                    "RecMII", "Headroom"});
@@ -29,6 +30,9 @@ int main() {
                     std::to_string(m.achievedInterval), fmt(m.resMii, 1),
                     fmt(m.recMii, 1), fmt(m.headroom(), 2) + "x"});
       worstHeadroom = std::max(worstHeadroom, m.headroom());
+      report.metric(
+          "achievedII_" + w.name + "_loop" + std::to_string(m.loop),
+          static_cast<std::uint64_t>(m.achievedInterval));
     }
   }
   table.print(std::cout);
@@ -59,5 +63,7 @@ int main() {
     per.addRow({mesh.name(), outerII, innerII, innerMii});
   }
   per.print(std::cout);
+  report.metric("largestHeadroom", worstHeadroom);
+  report.write();
   return 0;
 }

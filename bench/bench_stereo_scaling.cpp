@@ -15,6 +15,7 @@ int main() {
   using namespace cgra::bench;
 
   std::cout << "== Extension: PE scaling, mono vs stereo ADPCM ==\n";
+  BenchReport report("stereo_scaling");
 
   struct Variant {
     std::string name;
@@ -44,6 +45,9 @@ int main() {
       HostMemory heap = v.workload.heap;
       const SimResult r = Simulator(comp, result.schedule).run(liveIns, heap);
       row.push_back(fmtKilo(r.runCycles));
+      report.metric("cycles_" + v.name.substr(0, v.name.find(' ')) + "_mesh" +
+                        std::to_string(n),
+                    r.runCycles);
       if (r.runCycles < best) {
         best = r.runCycles;
         bestN = n;
@@ -89,5 +93,6 @@ int main() {
                "execution time 'does not only depend on the number of PEs'; "
                "widening the status network would be the architectural fix "
                "(cf. the C-Box memory footnote in §IV-B)\n";
+  report.write();
   return 0;
 }

@@ -19,6 +19,7 @@ int main() {
 
   std::cout << "== Extension: automatic composition synthesis (paper §VII "
                "future work) ==\n";
+  BenchReport bench("synthesis_explore");
 
   std::vector<apps::Workload> workloads;
   workloads.push_back(apps::makeAdpcm(64, 1));
@@ -78,6 +79,7 @@ int main() {
     }
     cmp.addRow({fixed[c].name(), fmt(total, 0),
                 fmt(estimateResources(fixed[c]).lutLogic, 0)});
+    bench.metric("weightedLength_" + fixed[c].name(), total);
   }
   cmp.print(std::cout);
   std::cout << "\n(the synthesized composition should match or beat the "
@@ -105,5 +107,9 @@ int main() {
     std::cerr << "ERROR: parallel sweep diverged from serial baseline\n";
     return 1;
   }
+  bench.info("winner", report.best.name());
+  bench.timing("serialSweepMs", serial.wallTimeMs);
+  bench.timing("parallelSweepMs", par.wallTimeMs);
+  bench.write();
   return 0;
 }

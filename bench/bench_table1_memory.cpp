@@ -15,6 +15,7 @@ int main() {
   std::cout << "== Table I: memory utilization of the ADPCM decoder "
                "schedules ==\n";
   const AdpcmSetup setup = AdpcmSetup::make();
+  BenchReport report("table1_memory");
 
   TextTable table({"", "4 PEs", "6 PEs", "8 PEs", "9 PEs", "12 PEs", "16 PEs"});
   std::vector<std::string> contexts{"Used Contexts"};
@@ -23,6 +24,9 @@ int main() {
     const AdpcmRun run = runAdpcmOn(setup, makeMesh(n));
     contexts.push_back(std::to_string(run.contexts));
     rf.push_back(std::to_string(run.maxRfEntries));
+    report.metric("contexts_mesh" + std::to_string(n), run.contexts);
+    report.metric("maxRf_mesh" + std::to_string(n), run.maxRfEntries);
+    report.timing("schedulingMs_mesh" + std::to_string(n), run.schedulingMs);
   }
   table.addRow(contexts);
   table.addRow(rf);
@@ -30,5 +34,6 @@ int main() {
 
   std::cout << "\npaper shape check: contexts shrink as the array grows "
                "(more instruction-level parallelism per context)\n";
+  report.write();
   return 0;
 }

@@ -12,6 +12,7 @@ int main() {
 
   std::cout << "== Table III: single-cycle multiplier variants ==\n";
   const AdpcmSetup setup = AdpcmSetup::make();
+  BenchReport report("table3_multiplier");
 
   FactoryOptions single;
   single.blockMultiplier = false;
@@ -26,6 +27,8 @@ int main() {
     cyc.push_back(fmtKilo(runSingle.cycles));
     cycBlock.push_back(fmtKilo(runBlock.cycles));
     freq.push_back(fmt(runSingle.resources.frequencyMHz, 1));
+    report.metric("cyclesSingle_mesh" + std::to_string(n), runSingle.cycles);
+    report.metric("cyclesBlock_mesh" + std::to_string(n), runBlock.cycles);
   }
   table.addRow(cyc);
   table.addRow(cycBlock);
@@ -34,5 +37,6 @@ int main() {
 
   std::cout << "\npaper shape check: single-cycle multipliers need fewer "
                "cycles but clock lower than the block-multiplier variants\n";
+  report.write();
   return 0;
 }

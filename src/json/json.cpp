@@ -1,5 +1,6 @@
 #include "json/json.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <charconv>
 #include <cmath>
@@ -417,6 +418,25 @@ void writeFile(const std::string& path, const Value& value) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw Error("cannot write JSON file: " + path);
   out << value.dump() << '\n';
+}
+
+Value sortKeys(const Value& value) {
+  if (value.isArray()) {
+    Array out;
+    out.reserve(value.asArray().size());
+    for (const Value& v : value.asArray()) out.push_back(sortKeys(v));
+    return out;
+  }
+  if (value.isObject()) {
+    std::vector<std::pair<std::string, const Value*>> entries;
+    for (const auto& [k, v] : value.asObject()) entries.emplace_back(k, &v);
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    Object out;
+    for (const auto& [k, v] : entries) out[k] = sortKeys(*v);
+    return out;
+  }
+  return value;
 }
 
 }  // namespace cgra::json

@@ -98,4 +98,9 @@ Value parseFile(const std::string& path);
 /// Writes a value to a file with trailing newline.
 void writeFile(const std::string& path, const Value& value);
 
+/// Deep copy with object keys sorted lexicographically at every level
+/// (arrays keep their order). Metrics/counter exports route through this so
+/// reports are byte-stable regardless of insertion order at the call sites.
+Value sortKeys(const Value& value);
+
 }  // namespace cgra::json

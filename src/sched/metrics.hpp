@@ -9,8 +9,10 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "json/json.hpp"
+#include "sched/schedule.hpp"
 
 namespace cgra {
 
@@ -40,8 +42,53 @@ struct SchedulerMetrics {
   /// Element-wise accumulation (wall times add; `runs` adds).
   void merge(const SchedulerMetrics& other);
 
-  /// Flat JSON object, keys matching the field names above.
+  /// Flat JSON object, keys matching the field names above, sorted.
+  /// `includeTimings = false` omits the wall-time fields — the byte-stable
+  /// form the sweep engine exports so reports diff cleanly across machines
+  /// and thread counts.
+  json::Value toJson(bool includeTimings = true) const;
+};
+
+/// Static quality of one PE within a schedule.
+struct PEQuality {
+  PEId pe = 0;
+  unsigned busyCycles = 0;   ///< contexts with an op in flight on this PE
+  unsigned opsIssued = 0;
+  unsigned insertedOps = 0;  ///< scheduler-inserted MOVE/CONST (node==kNoNode)
+  double utilization = 0.0;  ///< busyCycles / schedule length
+  /// Trailing contexts after this PE's last commit: length - 1 - lastCycle
+  /// (== length for a PE with no ops). A zero-slack PE bounds the schedule —
+  /// it is on the critical path.
+  unsigned slack = 0;
+};
+
+/// Static schedule-quality metrics: what the schedule *shape* promises,
+/// before any execution (contrast SimCounters, which reports what one run
+/// *achieved* — a 10-context loop body iterated 400 times dominates runtime
+/// utilization regardless of its share of the context memory).
+struct ScheduleQuality {
+  unsigned length = 0;  ///< contexts used
+  unsigned numPEs = 0;
+  unsigned totalOps = 0;
+  unsigned insertedOps = 0;        ///< copies + const materializations
+  unsigned fusedWrites = 0;        ///< from ScheduleStats when provided
+  double staticUtilization = 0.0;  ///< mean per-PE busyCycles / length
+  double contextOccupancy = 0.0;   ///< fraction of contexts issuing ≥ 1 op
+  double copyRatio = 0.0;          ///< insertedOps / totalOps
+  double fusedRatio = 0.0;         ///< fusedWrites / totalOps (0 if unknown)
+  unsigned cboxSlotsUsed = 0;
+  unsigned cboxBusyCycles = 0;     ///< contexts with a C-Box entry
+  std::vector<PEQuality> perPE;
+
+  /// Nested JSON with lexicographically sorted keys (byte-stable).
   json::Value toJson() const;
 };
+
+/// Computes static quality metrics of `sched` on `comp`. `stats` (when
+/// available from the scheduling run) contributes the fused-write ratio,
+/// which the schedule alone no longer records.
+ScheduleQuality computeScheduleQuality(const Schedule& sched,
+                                       const Composition& comp,
+                                       const ScheduleStats* stats = nullptr);
 
 }  // namespace cgra

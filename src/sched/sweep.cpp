@@ -33,6 +33,9 @@ SweepJobResult runJob(const SweepJob& job,
     out.trace = std::move(report.trace);
     if (report.ok) {
       out.fingerprint = report.schedule.fingerprint();
+      out.staticUtilization =
+          computeScheduleQuality(report.schedule, *job.comp, &report.stats)
+              .staticUtilization;
       if (keepSchedule) out.schedule = std::move(report.schedule);
     }
   } catch (const std::exception& e) {
@@ -90,14 +93,19 @@ SweepReport runSweep(const std::vector<SweepJob>& jobs,
   });
 
   report.aggregate.runs = 0;
+  double utilSum = 0.0;
+  std::size_t okCount = 0;
   for (const SweepJobResult& r : report.results) {
     if (r.ok) {
       report.aggregate.merge(r.metrics);
+      utilSum += r.staticUtilization;
+      ++okCount;
     } else {
       ++report.failures;
       report.failuresByReason[static_cast<std::size_t>(r.failure.reason)]++;
     }
   }
+  if (okCount > 0) report.meanStaticUtilization = utilSum / okCount;
 
   // Trace files are written serially after the parallel section: job order
   // (and content — logical timestamps only) is deterministic, so the set of
@@ -119,9 +127,9 @@ SweepReport runSweep(const std::vector<SweepJob>& jobs,
   return report;
 }
 
-json::Value SweepReport::toJson() const {
+json::Value SweepReport::toJson(bool includeVolatile) const {
   json::Object o;
-  o["threads"] = static_cast<std::int64_t>(threadsUsed);
+  if (includeVolatile) o["threads"] = static_cast<std::int64_t>(threadsUsed);
   o["jobsTotal"] = static_cast<std::int64_t>(results.size());
   o["jobsFailed"] = static_cast<std::int64_t>(failures);
   {
@@ -133,8 +141,9 @@ json::Value SweepReport::toJson() const {
     o["failuresByReason"] = std::move(byReason);
   }
   o["routingCacheEntries"] = static_cast<std::int64_t>(routingCacheEntries);
-  o["wallTimeMs"] = wallTimeMs;
-  o["aggregate"] = aggregate.toJson();
+  o["meanStaticUtilization"] = meanStaticUtilization;
+  if (includeVolatile) o["wallTimeMs"] = wallTimeMs;
+  o["aggregate"] = aggregate.toJson(includeVolatile);
   json::Array jobs;
   for (const SweepJobResult& r : results) {
     json::Object j;
@@ -143,7 +152,8 @@ json::Value SweepReport::toJson() const {
     if (r.ok) {
       j["contexts"] = static_cast<std::int64_t>(r.stats.contextsUsed);
       j["fingerprint"] = std::to_string(r.fingerprint);  // 64-bit safe
-      j["metrics"] = r.metrics.toJson();
+      j["staticUtilization"] = r.staticUtilization;
+      j["metrics"] = r.metrics.toJson(includeVolatile);
     } else {
       j["error"] = r.error;
       j["failureReason"] = failureReasonName(r.failure.reason);
@@ -151,7 +161,7 @@ json::Value SweepReport::toJson() const {
     jobs.emplace_back(std::move(j));
   }
   o["jobs"] = std::move(jobs);
-  return o;
+  return json::sortKeys(json::Value(std::move(o)));
 }
 
 }  // namespace cgra

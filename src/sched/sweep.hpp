@@ -49,6 +49,10 @@ struct SweepJobResult {
   ScheduleStats stats;           ///< valid when ok
   SchedulerMetrics metrics;      ///< valid when ok
   std::uint64_t fingerprint = 0; ///< Schedule::fingerprint() when ok
+  /// Mean per-PE static utilization of the produced schedule (see
+  /// computeScheduleQuality); 0 when !ok. Lets sweeps rank compositions by
+  /// schedule quality, not just feasibility and context count.
+  double staticUtilization = 0.0;
   /// Per-job decision trace; null unless SweepOptions::trace.enabled. Each
   /// job owns its ring buffer — worker threads never share trace state.
   std::shared_ptr<const Trace> trace;
@@ -80,10 +84,16 @@ struct SweepReport {
   /// from "missing op support" without string-matching messages.
   std::array<std::size_t, kNumFailureReasons> failuresByReason{};
   std::size_t routingCacheEntries = 0;  ///< distinct compositions seen
+  /// Mean staticUtilization over successful jobs (0 when none succeeded).
+  double meanStaticUtilization = 0.0;
 
   /// {"threads": .., "wallTimeMs": .., "aggregate": {...}, "jobs": [...]}
-  /// — the `cgra-tool sweep --metrics` schema (see DESIGN.md).
-  json::Value toJson() const;
+  /// — the `cgra-tool sweep --metrics` schema (see DESIGN.md). Keys are
+  /// sorted at every level. `includeVolatile = false` omits the fields that
+  /// legitimately vary run-to-run (thread count, every wall-time field), so
+  /// the output is byte-stable across thread counts and machines; tests
+  /// diff these bytes directly.
+  json::Value toJson(bool includeVolatile = true) const;
 };
 
 /// Schedules every job, `options.threads` at a time. Thread count affects

@@ -1,0 +1,114 @@
+#include "sim/counters.hpp"
+
+#include <numeric>
+
+#include "support/assert.hpp"
+
+namespace cgra {
+
+OpClass opClassOf(Op op) {
+  switch (op) {
+    case Op::NOP: return OpClass::Nop;
+    case Op::MOVE: return OpClass::Move;
+    case Op::CONST: return OpClass::Const;
+    case Op::IMUL: return OpClass::Mul;
+    case Op::DMA_LOAD:
+    case Op::DMA_STORE: return OpClass::Memory;
+    default:
+      return producesStatus(op) ? OpClass::Compare : OpClass::Alu;
+  }
+}
+
+const char* opClassName(OpClass c) {
+  switch (c) {
+    case OpClass::Nop: return "nop";
+    case OpClass::Move: return "move";
+    case OpClass::Const: return "const";
+    case OpClass::Alu: return "alu";
+    case OpClass::Mul: return "mul";
+    case OpClass::Compare: return "compare";
+    case OpClass::Memory: return "memory";
+  }
+  CGRA_UNREACHABLE("bad op class");
+}
+
+void SimCounters::reset(unsigned pes, unsigned scheduleLength) {
+  *this = SimCounters{};
+  numPEs = pes;
+  perPE.assign(pes, PECounters{});
+  linkTransfers.assign(static_cast<std::size_t>(pes) * pes, 0);
+  contextExec.assign(scheduleLength, 0);
+}
+
+std::uint64_t SimCounters::totalSquashed() const {
+  std::uint64_t total = 0;
+  for (const PECounters& pe : perPE) total += pe.squashedOps;
+  return total;
+}
+
+std::uint64_t SimCounters::totalLinkTransfers() const {
+  return std::accumulate(linkTransfers.begin(), linkTransfers.end(),
+                         std::uint64_t{0});
+}
+
+std::uint64_t SimCounters::transfersOn(PEId from, PEId to) const {
+  CGRA_ASSERT(from < numPEs && to < numPEs);
+  return linkTransfers[static_cast<std::size_t>(from) * numPEs + to];
+}
+
+json::Value SimCounters::toJson() const {
+  json::Object o;
+  o["cycles"] = cycles;
+  o["cboxSlotWrites"] = cboxSlotWrites;
+  o["cboxCombines"] = cboxCombines;
+  o["cboxStatusReads"] = cboxStatusReads;
+  o["branchesTaken"] = branchesTaken;
+  o["branchesNotTaken"] = branchesNotTaken;
+  o["dmaLoads"] = dmaLoads;
+  o["dmaStores"] = dmaStores;
+  o["dmaSuppressed"] = dmaSuppressed;
+  o["liveInTransferCycles"] = liveInTransferCycles;
+  o["liveOutTransferCycles"] = liveOutTransferCycles;
+  o["overheadCycles"] = overheadCycles;
+  o["squashedOps"] = totalSquashed();
+
+  json::Array pes;
+  for (PEId p = 0; p < perPE.size(); ++p) {
+    const PECounters& pc = perPE[p];
+    json::Object e;
+    e["pe"] = static_cast<std::int64_t>(p);
+    e["busyCycles"] = pc.busyCycles;
+    e["nopCycles"] = pc.nopCycles;
+    e["idleCycles"] = pc.idleCycles;
+    e["opsIssued"] = pc.opsIssued;
+    e["squashedOps"] = pc.squashedOps;
+    e["rfReads"] = pc.rfReads;
+    e["rfWrites"] = pc.rfWrites;
+    e["regsTouched"] = pc.regsTouched;
+    json::Object classes;
+    for (unsigned c = 0; c < kNumOpClasses; ++c)
+      if (pc.byClass[c] > 0)
+        classes[opClassName(static_cast<OpClass>(c))] = pc.byClass[c];
+    e["opClasses"] = std::move(classes);
+    pes.emplace_back(std::move(e));
+  }
+  o["perPE"] = std::move(pes);
+
+  // Only links that carried traffic, keyed "from->to" (keys sort stably).
+  json::Object links;
+  for (PEId from = 0; from < numPEs; ++from)
+    for (PEId to = 0; to < numPEs; ++to)
+      if (const std::uint64_t n = transfersOn(from, to); n > 0)
+        links[std::to_string(from) + "->" + std::to_string(to)] = n;
+  o["linkTransfers"] = std::move(links);
+
+  json::Array trips;
+  trips.reserve(contextExec.size());
+  for (std::uint64_t n : contextExec)
+    trips.emplace_back(static_cast<std::int64_t>(n));
+  o["contextExec"] = std::move(trips);
+
+  return json::sortKeys(json::Value(std::move(o)));
+}
+
+}  // namespace cgra

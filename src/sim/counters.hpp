@@ -1,0 +1,117 @@
+// Cycle-accurate hardware counters of one CGRA invocation.
+//
+// The simulator substitutes the paper's FPGA execution; these counters
+// substitute the performance-counter block such an FPGA build would carry.
+// They answer the evaluation's own questions (per-PE utilization behind the
+// Tables II/III cycle counts, the §IV inhomogeneity argument, predication
+// squash rates of the §V-B/V-D speculation scheme) *at runtime*, where the
+// static schedule shape alone is misleading: a loop body occupying 10 of
+// 200 contexts dominates execution once it iterates 400 times.
+//
+// Attribution rules (tests pin these; see DESIGN.md §9):
+//  * A PE cycle is `busy` when a non-NOP operation is in flight on it,
+//    `nop` when a scheduled NOP is in flight, `idle` otherwise;
+//    busy + nop + idle == SimResult.runCycles for every PE.
+//  * Operand fetches (RF reads, link transfers) are counted at issue,
+//    predicated or not — the hardware latches operands before the
+//    predication gate suppresses the commit.
+//  * RF writes are counted at commit only (a squashed op writes nothing).
+//  * Live-in/live-out transfers belong to the invocation protocol (Fig. 6):
+//    they count toward liveIn/liveOutTransferCycles — which feed
+//    SimResult.invocationCycles — and never toward PE busy cycles or
+//    rfReads/rfWrites.
+//  * contextExec[c] counts executions of context c; a windowed run
+//    (runWindow) touches only [startCcnt, endCcnt).
+//
+// Collection is gated by SimOptions.collectCounters: when off, the
+// interpreter hot loop sees a single null-pointer test per guard (the same
+// discipline as the scheduler's CGRA_TRACE sink) and SimResult.counters
+// stays empty.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "arch/interconnect.hpp"
+#include "arch/operation.hpp"
+#include "json/json.hpp"
+
+namespace cgra {
+
+/// Coarse operation classes for per-PE histograms.
+enum class OpClass : std::uint8_t {
+  Nop,      ///< scheduled NOP
+  Move,     ///< routing MOVE
+  Const,    ///< CONST materialization
+  Alu,      ///< arithmetic / logic / shift
+  Mul,      ///< IMUL
+  Compare,  ///< status-producing IF*
+  Memory,   ///< DMA_LOAD / DMA_STORE
+};
+
+inline constexpr unsigned kNumOpClasses =
+    static_cast<unsigned>(OpClass::Memory) + 1;
+
+OpClass opClassOf(Op op);
+const char* opClassName(OpClass c);
+
+/// Counters of one PE over one invocation.
+struct PECounters {
+  std::uint64_t busyCycles = 0;   ///< non-NOP op in flight
+  std::uint64_t nopCycles = 0;    ///< scheduled NOP in flight
+  std::uint64_t idleCycles = 0;   ///< nothing in flight
+  std::uint64_t opsIssued = 0;    ///< operations issued (incl. squashed)
+  std::uint64_t squashedOps = 0;  ///< issued but predicated off
+  std::uint64_t rfReads = 0;      ///< RF reads served by this PE's file
+                                  ///< (own operands + routed-out reads)
+  std::uint64_t rfWrites = 0;     ///< committed register writes
+  std::uint64_t regsTouched = 0;  ///< distinct vregs written (peak live
+                                  ///< register upper bound)
+  std::array<std::uint64_t, kNumOpClasses> byClass{};  ///< ops issued / class
+};
+
+/// Full hardware-counter set of one invocation (SimResult.counters).
+struct SimCounters {
+  std::vector<PECounters> perPE;
+  /// Directed link traffic: transfers[from * numPEs + to] counts routed
+  /// operand reads over the from→to link.
+  std::vector<std::uint64_t> linkTransfers;
+  unsigned numPEs = 0;
+  /// Per-context execution counts (the loop trip profile): contextExec[c]
+  /// increments every cycle the CCNT sits on context c.
+  std::vector<std::uint64_t> contextExec;
+  std::uint64_t cycles = 0;  ///< window cycles (== SimResult.runCycles)
+
+  // C-Box pressure.
+  std::uint64_t cboxSlotWrites = 0;   ///< condition-slot writes
+  std::uint64_t cboxCombines = 0;     ///< combine-network evaluations (2-input)
+  std::uint64_t cboxStatusReads = 0;  ///< live status-wire consumptions
+
+  // CCU.
+  std::uint64_t branchesTaken = 0;
+  std::uint64_t branchesNotTaken = 0;
+
+  // DMA breakdown.
+  std::uint64_t dmaLoads = 0;
+  std::uint64_t dmaStores = 0;
+  std::uint64_t dmaSuppressed = 0;  ///< DMA ops issued but predicated off
+
+  // Invocation protocol (Fig. 6) — never attributed to PE busy cycles.
+  std::uint64_t liveInTransferCycles = 0;
+  std::uint64_t liveOutTransferCycles = 0;
+  std::uint64_t overheadCycles = 0;  ///< fixed start/finish handshake
+
+  /// Clears everything and sizes the per-PE / per-link / per-context arrays.
+  void reset(unsigned pes, unsigned scheduleLength);
+
+  std::uint64_t totalSquashed() const;
+  std::uint64_t totalLinkTransfers() const;
+  std::uint64_t transfersOn(PEId from, PEId to) const;
+
+  /// Nested JSON object with lexicographically sorted keys at every level
+  /// (byte-stable across runs and thread counts for identical executions).
+  json::Value toJson() const;
+};
+
+}  // namespace cgra

@@ -98,17 +98,35 @@ SimResult Simulator::runWindow(const std::map<VarId, std::int32_t>& liveIns,
                   "invalid CCNT window");
   SimResult result;
 
+  // Hardware counters (single null test per guard when disabled, the same
+  // discipline as CGRA_TRACE). Reset here: every invocation starts fresh.
+  SimCounters countersStorage;
+  SimCounters* const ctr = opts.collectCounters ? &countersStorage : nullptr;
+  // peState[p]: 0 idle, 1 scheduled NOP in flight, 2 busy. touched[p][r]:
+  // vreg r of PE p has committed a write (for the regsTouched peak bound).
+  std::vector<std::uint8_t> peState;
+  std::vector<std::vector<std::uint8_t>> touched;
+  if (ctr) {
+    ctr->reset(comp_->numPEs(), sched_->length);
+    peState.assign(comp_->numPEs(), 0);
+    touched.resize(comp_->numPEs());
+    for (PEId p = 0; p < comp_->numPEs(); ++p)
+      touched[p].assign(std::max(1u, sched_->vregsPerPE[p]), 0);
+  }
+
   // Register files (virtual registers) and condition memory.
   std::vector<std::vector<std::int32_t>> regs(comp_->numPEs());
   for (PEId p = 0; p < comp_->numPEs(); ++p)
     regs[p].assign(std::max(1u, sched_->vregsPerPE[p]), 0);
   std::vector<std::uint8_t> condMem(std::max(1u, sched_->cboxSlotsUsed), 0);
 
-  // Live-in transfer (2 cycles per variable, Fig. 6).
+  // Live-in transfer (2 cycles per variable, Fig. 6). Protocol cycles, not
+  // PE work: attributed to invocationCycles / liveInTransferCycles only.
   for (const LiveBinding& lb : liveInBindings) {
     const auto it = liveIns.find(lb.var);
     regs[lb.pe][lb.vreg] = it == liveIns.end() ? 0 : it->second;
     result.invocationCycles += kCyclesPerTransfer;
+    if (ctr) ctr->liveInTransferCycles += kCyclesPerTransfer;
   }
 
   std::vector<InFlight> inflight;
@@ -143,10 +161,38 @@ SimResult Simulator::runWindow(const std::map<VarId, std::int32_t>& liveIns,
     const bool branchTaken =
         branch && (!branch->conditional || readPred(branch->pred));
 
+    if (ctr) {
+      ++ctr->contextExec[ccnt];
+      if (branch) ++(branchTaken ? ctr->branchesTaken : ctr->branchesNotTaken);
+    }
+
     // -- issue operations starting this context -------------------------------
     for (const ScheduledOp* op : startAt_[ccnt]) {
       InFlight fl{op, op->duration, false, 0, false};
       fl.suppressed = op->pred && !readPred(*op->pred);
+
+      if (ctr) {
+        PECounters& pc = ctr->perPE[op->pe];
+        ++pc.opsIssued;
+        ++pc.byClass[static_cast<unsigned>(opClassOf(op->op))];
+        if (fl.suppressed) {
+          ++pc.squashedOps;
+          if (isMemoryOp(op->op)) ++ctr->dmaSuppressed;
+        }
+        // Operand fetches latch at issue, before the predication gate: an RF
+        // read serves from the owning PE's file; a routed read additionally
+        // crosses the srcPE→op.pe link.
+        for (const OperandSource& src : op->src) {
+          if (src.kind == OperandSource::Kind::Own) {
+            ++pc.rfReads;
+          } else if (src.kind == OperandSource::Kind::Route) {
+            ++ctr->perPE[src.srcPE].rfReads;
+            ++ctr->linkTransfers[static_cast<std::size_t>(src.srcPE) *
+                                     ctr->numPEs +
+                                 op->pe];
+          }
+        }
+      }
 
       auto readSrc = [&](unsigned i) -> std::int32_t {
         const OperandSource& s = op->src[i];
@@ -193,6 +239,24 @@ SimResult Simulator::runWindow(const std::map<VarId, std::int32_t>& liveIns,
       inflight.push_back(fl);
     }
 
+    if (ctr) {
+      // busy/nop/idle: an op occupies its PE from issue through its commit
+      // cycle inclusive; busy + nop + idle == runCycles for every PE.
+      std::fill(peState.begin(), peState.end(), std::uint8_t{0});
+      for (const InFlight& fl : inflight)
+        peState[fl.op->pe] = std::max<std::uint8_t>(
+            peState[fl.op->pe], fl.op->op == Op::NOP ? 1 : 2);
+      for (PEId p = 0; p < ctr->numPEs; ++p) {
+        PECounters& pc = ctr->perPE[p];
+        if (peState[p] == 2)
+          ++pc.busyCycles;
+        else if (peState[p] == 1)
+          ++pc.nopCycles;
+        else
+          ++pc.idleCycles;
+      }
+    }
+
     // -- status wire: comparisons in their last cycle --------------------------
     bool statusWire = false;
     bool statusValid = false;
@@ -206,6 +270,10 @@ SimResult Simulator::runWindow(const std::map<VarId, std::int32_t>& liveIns,
     // -- C-Box operation -------------------------------------------------------
     std::optional<std::pair<unsigned, bool>> condWrite;
     if (const CBoxOp* cb = cboxAt_[ccnt]) {
+      if (ctr) {
+        ++ctr->cboxSlotWrites;
+        if (cb->inputs.size() > 1) ++ctr->cboxCombines;
+      }
       bool value = cb->logic == CBoxOp::Logic::And;
       bool first = true;
       for (const CBoxOp::Input& in : cb->inputs) {
@@ -213,6 +281,7 @@ SimResult Simulator::runWindow(const std::map<VarId, std::int32_t>& liveIns,
         if (in.kind == CBoxOp::Input::Kind::Status) {
           CGRA_ASSERT_MSG(statusValid, "C-Box consumes absent status");
           v = statusWire;
+          if (ctr) ++ctr->cboxStatusReads;
         } else {
           v = condMem[in.slot] != 0;
         }
@@ -233,6 +302,14 @@ SimResult Simulator::runWindow(const std::map<VarId, std::int32_t>& liveIns,
         const ScheduledOp* op = it->op;
         if (op->writesDest && !it->suppressed) {
           regs[op->pe][op->destVreg] = it->result;
+          if (ctr) {
+            PECounters& pc = ctr->perPE[op->pe];
+            ++pc.rfWrites;
+            if (!touched[op->pe][op->destVreg]) {
+              touched[op->pe][op->destVreg] = 1;
+              ++pc.regsTouched;
+            }
+          }
           if (tracePe == static_cast<int>(op->pe))
             std::fprintf(stderr, "cycle %llu ccnt %u: PE%u r%u <= %d (%s)\n",
                          static_cast<unsigned long long>(cycles), ccnt, op->pe,
@@ -256,8 +333,17 @@ SimResult Simulator::runWindow(const std::map<VarId, std::int32_t>& liveIns,
   for (const LiveBinding& lb : liveOutBindings) {
     result.liveOuts[lb.var] = regs[lb.pe][lb.vreg];
     result.invocationCycles += kCyclesPerTransfer;
+    if (ctr) ctr->liveOutTransferCycles += kCyclesPerTransfer;
   }
   result.invocationCycles += cycles + kInvocationOverhead;
+
+  if (ctr) {
+    ctr->cycles = cycles;
+    ctr->overheadCycles = kInvocationOverhead;
+    ctr->dmaLoads = result.dmaLoads;
+    ctr->dmaStores = result.dmaStores;
+    result.counters = std::move(countersStorage);
+  }
   return result;
 }
 

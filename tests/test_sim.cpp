@@ -407,5 +407,196 @@ TEST(Simulator, EnergyAccumulates) {
   EXPECT_EQ(r2.energy, 0.0);
 }
 
+TEST(SimCountersTest, OffByDefaultAndEngagedOnRequest) {
+  const Composition comp = smallComp();
+  Schedule s;
+  s.length = 1;
+  s.vregsPerPE = {2, 1};
+  auto c0 = makeOp(Op::CONST, 0, 0, 1);
+  c0.src[0] = imm(5);
+  c0.writesDest = true;
+  c0.destVreg = 0;
+  s.ops = {c0};
+  HostMemory heap;
+  const SimResult off = Simulator(comp, s).run({}, heap);
+  EXPECT_FALSE(off.counters.has_value());
+  SimOptions opts;
+  opts.collectCounters = true;
+  HostMemory heap2;
+  const SimResult on = Simulator(comp, s).run({}, heap2, opts);
+  ASSERT_TRUE(on.counters.has_value());
+  EXPECT_EQ(on.counters->cycles, on.runCycles);
+}
+
+TEST(SimCountersTest, PerPECyclesPartitionRunCycles) {
+  // Two PEs, three contexts: PE0 busy at t0/t2 and NOP at t1, PE1 busy only
+  // at t0 (via a routed read at t2, still idle there). For every PE the
+  // busy/nop/idle split must partition SimResult.runCycles exactly.
+  const Composition comp = smallComp();
+  Schedule s;
+  s.length = 3;
+  s.vregsPerPE = {4, 4};
+  auto c0 = makeOp(Op::CONST, 0, 0, 1);
+  c0.src[0] = imm(2);
+  c0.writesDest = true;
+  c0.destVreg = 0;
+  auto c1 = makeOp(Op::CONST, 1, 0, 1);
+  c1.src[0] = imm(3);
+  c1.writesDest = true;
+  c1.destVreg = 0;
+  auto nop = makeOp(Op::NOP, 0, 1, 1);
+  auto add = makeOp(Op::IADD, 0, 2, 1);
+  add.src[0] = own(0);
+  add.src[1] = route(1, 0);
+  add.writesDest = true;
+  add.destVreg = 1;
+  s.ops = {c0, c1, nop, add};
+  s.liveOuts = {LiveBinding{0, 0, 1}};
+
+  HostMemory heap;
+  SimOptions opts;
+  opts.collectCounters = true;
+  const SimResult r = Simulator(comp, s).run({}, heap, opts);
+  ASSERT_TRUE(r.counters.has_value());
+  const SimCounters& c = *r.counters;
+  ASSERT_EQ(c.perPE.size(), 2u);
+  for (const PECounters& pc : c.perPE)
+    EXPECT_EQ(pc.busyCycles + pc.nopCycles + pc.idleCycles, r.runCycles);
+  EXPECT_EQ(c.perPE[0].busyCycles, 2u);
+  EXPECT_EQ(c.perPE[0].nopCycles, 1u);
+  EXPECT_EQ(c.perPE[0].idleCycles, 0u);
+  EXPECT_EQ(c.perPE[1].busyCycles, 1u);
+  EXPECT_EQ(c.perPE[1].idleCycles, 2u);
+  // Op-class histogram: PE0 issued CONST, NOP, IADD (Alu).
+  EXPECT_EQ(c.perPE[0].byClass[static_cast<std::size_t>(OpClass::Const)], 1u);
+  EXPECT_EQ(c.perPE[0].byClass[static_cast<std::size_t>(OpClass::Nop)], 1u);
+  EXPECT_EQ(c.perPE[0].byClass[static_cast<std::size_t>(OpClass::Alu)], 1u);
+  // The routed operand is an RF read on the *producer* PE and one transfer
+  // on the 1 -> 0 link.
+  EXPECT_EQ(c.perPE[1].rfReads, 1u);
+  EXPECT_EQ(c.transfersOn(1, 0), 1u);
+  EXPECT_EQ(c.totalLinkTransfers(), 1u);
+  // Committed writes: c0 + add on PE0 (2 distinct vregs), c1 on PE1.
+  EXPECT_EQ(c.perPE[0].rfWrites, 2u);
+  EXPECT_EQ(c.perPE[0].regsTouched, 2u);
+  EXPECT_EQ(c.perPE[1].rfWrites, 1u);
+}
+
+TEST(SimCountersTest, SquashedOpFetchesOperandsButCommitsNothing) {
+  // Same shape as PredicationSuppressesRegisterWrite: slot 0 ends up false,
+  // so the pred-true CONST is squashed and the pred-false CONST commits.
+  // The squashed op still counts as issued (operand latch happens before
+  // the predication gate); its RF write must not.
+  const Composition comp = smallComp();
+  Schedule s;
+  s.length = 4;
+  s.vregsPerPE = {4, 4};
+  s.cboxSlotsUsed = 1;
+  auto c0 = makeOp(Op::CONST, 0, 0, 1);
+  c0.src[0] = imm(5);
+  c0.writesDest = true;
+  c0.destVreg = 0;
+  auto three = makeOp(Op::CONST, 1, 0, 1);
+  three.src[0] = imm(3);
+  three.writesDest = true;
+  three.destVreg = 0;
+  auto cmp = makeOp(Op::IFLT, 0, 1, 1);
+  cmp.src[0] = own(0);
+  cmp.src[1] = route(1, 0);
+  cmp.emitsStatus = true;
+  CBoxOp store;
+  store.time = 1;
+  store.inputs = {CBoxOp::Input{CBoxOp::Input::Kind::Status, 0, true}};
+  store.logic = CBoxOp::Logic::Pass;
+  store.writeSlot = 0;
+  auto wTrue = makeOp(Op::CONST, 0, 2, 1);
+  wTrue.src[0] = imm(99);
+  wTrue.writesDest = true;
+  wTrue.destVreg = 0;
+  wTrue.pred = PredRef{0, true};
+  auto wFalse = makeOp(Op::CONST, 0, 3, 1);
+  wFalse.src[0] = imm(77);
+  wFalse.writesDest = true;
+  wFalse.destVreg = 0;
+  wFalse.pred = PredRef{0, false};
+  s.ops = {c0, three, cmp, wTrue, wFalse};
+  s.cboxOps = {store};
+  s.liveOuts = {LiveBinding{0, 0, 0}};
+
+  HostMemory heap;
+  SimOptions opts;
+  opts.collectCounters = true;
+  const SimResult r = Simulator(comp, s).run({}, heap, opts);
+  ASSERT_TRUE(r.counters.has_value());
+  const SimCounters& c = *r.counters;
+  EXPECT_EQ(c.perPE[0].opsIssued, 4u);  // c0, cmp, wTrue, wFalse
+  EXPECT_EQ(c.perPE[0].squashedOps, 1u);
+  EXPECT_EQ(c.totalSquashed(), 1u);
+  // Commits: c0 and wFalse only, both to vreg 0.
+  EXPECT_EQ(c.perPE[0].rfWrites, 2u);
+  EXPECT_EQ(c.perPE[0].regsTouched, 1u);
+  EXPECT_EQ(c.perPE[0].byClass[static_cast<std::size_t>(OpClass::Compare)],
+            1u);
+  // One slot write from one live status wire; no combine network involved.
+  EXPECT_EQ(c.cboxSlotWrites, 1u);
+  EXPECT_EQ(c.cboxStatusReads, 1u);
+  EXPECT_EQ(c.cboxCombines, 0u);
+}
+
+TEST(SimCountersTest, WindowResetsPerInvocationAndSkipsOutsideContexts) {
+  // Three contexts, each a CONST into PE0 r0; the window covers [1, 3) only.
+  // Counters must show zero executions of context 0, the live-in/out
+  // transfers must land in the invocation protocol (never PE busy), and a
+  // second runWindow call must restart from zero rather than accumulate.
+  const Composition comp = smallComp();
+  Schedule s;
+  s.length = 3;
+  s.vregsPerPE = {4, 4};
+  for (unsigned t = 0; t < 3; ++t) {
+    auto op = makeOp(Op::CONST, 0, t, 1);
+    op.src[0] = imm(static_cast<std::int32_t>(100 + t));
+    op.writesDest = true;
+    op.destVreg = 0;
+    s.ops.push_back(op);
+  }
+  const std::vector<LiveBinding> liveIns = {LiveBinding{7, 1, 0}};
+  const std::vector<LiveBinding> liveOuts = {LiveBinding{8, 0, 0}};
+
+  HostMemory heap;
+  SimOptions opts;
+  opts.collectCounters = true;
+  const Simulator sim(comp, s);
+  const SimResult r1 = sim.runWindow({{7, 1}}, heap, liveIns, liveOuts, 1, 3,
+                                     opts);
+  ASSERT_TRUE(r1.counters.has_value());
+  const SimCounters& c = *r1.counters;
+  EXPECT_EQ(r1.liveOuts.at(8), 102) << "window must end on context 2's value";
+  EXPECT_EQ(r1.runCycles, 2u);
+  ASSERT_EQ(c.contextExec.size(), 3u);
+  EXPECT_EQ(c.contextExec[0], 0u) << "context 0 is outside the window";
+  EXPECT_EQ(c.contextExec[1], 1u);
+  EXPECT_EQ(c.contextExec[2], 1u);
+  // One live-in and one live-out transfer at 2 cycles each, plus the fixed
+  // handshake: invocation protocol only, not PE busy time.
+  EXPECT_EQ(c.liveInTransferCycles, 2u);
+  EXPECT_EQ(c.liveOutTransferCycles, 2u);
+  EXPECT_EQ(c.overheadCycles, Simulator::kInvocationOverhead);
+  EXPECT_EQ(r1.invocationCycles,
+            r1.runCycles + c.liveInTransferCycles + c.liveOutTransferCycles +
+                Simulator::kInvocationOverhead);
+  EXPECT_EQ(c.perPE[0].busyCycles, 2u);
+  EXPECT_EQ(c.perPE[0].rfWrites, 2u);
+
+  HostMemory heap2;
+  const SimResult r2 = sim.runWindow({{7, 1}}, heap2, liveIns, liveOuts, 1, 3,
+                                     opts);
+  ASSERT_TRUE(r2.counters.has_value());
+  EXPECT_EQ(r2.counters->perPE[0].busyCycles, c.perPE[0].busyCycles)
+      << "counters must reset per invocation, not accumulate";
+  EXPECT_EQ(r2.counters->contextExec, c.contextExec);
+  EXPECT_EQ(r2.counters->toJson().dump(), c.toJson().dump())
+      << "identical invocations must serialize byte-identically";
+}
+
 }  // namespace
 }  // namespace cgra

@@ -66,6 +66,26 @@ TEST(Sweep, DeterministicAcrossThreadCounts) {
   }
 }
 
+TEST(Sweep, JsonByteStableAcrossThreadCounts) {
+  // With volatile fields (threads, wall times) excluded, the full report
+  // JSON must be byte-for-byte identical no matter how many worker threads
+  // produced it — the property the bench regression harness relies on.
+  const Domain d = Domain::make();
+  SweepOptions serial;
+  serial.threads = 1;
+  const std::string baseline = runSweep(d.jobs, serial).toJson(false).dump();
+  EXPECT_NE(baseline.find("meanStaticUtilization"), std::string::npos);
+  EXPECT_EQ(baseline.find("wallTimeMs"), std::string::npos)
+      << "volatile fields must be omitted from the stable form";
+  EXPECT_EQ(baseline.find("\"threads\""), std::string::npos);
+  for (unsigned threads : {2u, 8u}) {
+    SweepOptions opts;
+    opts.threads = threads;
+    EXPECT_EQ(runSweep(d.jobs, opts).toJson(false).dump(), baseline)
+        << "sweep JSON diverged at " << threads << " threads";
+  }
+}
+
 TEST(Sweep, CachedRoutingMatchesUncachedScheduling) {
   const Domain d = Domain::make();
   SweepOptions opts;

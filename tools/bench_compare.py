@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Validate and compare cgra-bench-v1 JSON reports.
+
+Every bench binary emits BENCH_<name>.json (see bench/bench_common.hpp).
+This tool has two modes:
+
+  validate:  bench_compare.py --validate DIR
+      Schema-check every BENCH_*.json under DIR. Exit 1 on any violation.
+
+  compare:   bench_compare.py --baseline DIR --current DIR [--threshold 0.10]
+      Compare deterministic metrics (lower-is-better) against a baseline.
+      Exit 1 if any metric regressed by more than the threshold fraction.
+      Wall-clock "timings" are machine-dependent and only warn. A missing
+      baseline directory or missing baseline file is non-blocking (exit 0
+      with a warning) so the first CI run can seed the baseline.
+
+Uses only the Python standard library.
+"""
+
+import argparse
+import glob
+import json
+import math
+import os
+import sys
+
+SCHEMA = "cgra-bench-v1"
+REQUIRED_FIELDS = ("schema", "name", "gitRev", "wallMs", "metrics", "timings")
+
+
+def fail(msg):
+    print("ERROR: " + msg)
+    return 1
+
+
+def warn(msg):
+    print("WARNING: " + msg)
+
+
+def is_num(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool) \
+        and math.isfinite(v)
+
+
+def load_reports(directory):
+    """Return {bench name: parsed json} for every BENCH_*.json in directory."""
+    reports = {}
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        with open(path, "r", encoding="utf-8") as f:
+            reports[os.path.basename(path)] = json.load(f)
+    return reports
+
+
+def validate_report(fname, doc):
+    """Return a list of schema violations (empty when valid)."""
+    errors = []
+    if not isinstance(doc, dict):
+        return [fname + ": top level is not an object"]
+    for field in REQUIRED_FIELDS:
+        if field not in doc:
+            errors.append(fname + ": missing required field '" + field + "'")
+    if errors:
+        return errors
+    if doc["schema"] != SCHEMA:
+        errors.append(fname + ": schema is '" + str(doc["schema"]) +
+                      "', expected '" + SCHEMA + "'")
+    if not isinstance(doc["name"], str) or not doc["name"]:
+        errors.append(fname + ": 'name' must be a non-empty string")
+    elif fname != "BENCH_" + doc["name"] + ".json":
+        errors.append(fname + ": filename does not match name '" +
+                      doc["name"] + "'")
+    if not isinstance(doc["gitRev"], str) or not doc["gitRev"]:
+        errors.append(fname + ": 'gitRev' must be a non-empty string")
+    if not is_num(doc["wallMs"]) or doc["wallMs"] < 0:
+        errors.append(fname + ": 'wallMs' must be a non-negative number")
+    for section in ("metrics", "timings"):
+        if not isinstance(doc[section], dict):
+            errors.append(fname + ": '" + section + "' must be an object")
+            continue
+        for key, value in doc[section].items():
+            if not is_num(value):
+                errors.append(fname + ": " + section + "." + key +
+                              " is not a finite number")
+    if "info" in doc and not isinstance(doc["info"], dict):
+        errors.append(fname + ": 'info' must be an object")
+    if "counters" in doc and not isinstance(doc["counters"], dict):
+        errors.append(fname + ": 'counters' must be an object")
+    return errors
+
+
+def cmd_validate(directory):
+    reports = load_reports(directory)
+    if not reports:
+        return fail("no BENCH_*.json files found in " + directory)
+    errors = []
+    for fname, doc in reports.items():
+        errors.extend(validate_report(fname, doc))
+    for e in errors:
+        print("ERROR: " + e)
+    n_metrics = sum(len(d.get("metrics", {})) for d in reports.values())
+    print("validated %d report(s), %d metric(s): %s" %
+          (len(reports), n_metrics, "FAIL" if errors else "OK"))
+    return 1 if errors else 0
+
+
+def compare_section(fname, section, base, cur, threshold, lower_is_better):
+    """Yield (is_regression, message) for each shared key."""
+    for key in sorted(set(base) & set(cur)):
+        b, c = base[key], cur[key]
+        if not (is_num(b) and is_num(c)):
+            continue
+        if b <= 0:
+            # Ratios are meaningless against a zero/negative baseline;
+            # only flag an exact-zero baseline that became non-zero.
+            if b == 0 and c != 0 and lower_is_better:
+                yield True, "%s %s.%s: baseline 0, now %g" % (
+                    fname, section, key, c)
+            continue
+        delta = (c - b) / b
+        if delta > threshold:
+            yield lower_is_better, "%s %s.%s: %g -> %g (+%.1f%%)" % (
+                fname, section, key, b, c, 100.0 * delta)
+        elif delta < -threshold:
+            yield False, "%s %s.%s: %g -> %g (%.1f%% improvement)" % (
+                fname, section, key, b, c, -100.0 * delta)
+
+
+def cmd_compare(baseline_dir, current_dir, threshold):
+    if not os.path.isdir(baseline_dir):
+        warn("baseline directory '" + baseline_dir +
+             "' not found; nothing to compare (seed it from this run)")
+        return 0
+    current = load_reports(current_dir)
+    if not current:
+        return fail("no BENCH_*.json files found in " + current_dir)
+    baseline = load_reports(baseline_dir)
+
+    regressions = []
+    compared = 0
+    for fname, cur in sorted(current.items()):
+        if fname not in baseline:
+            warn("no baseline for " + fname + "; skipping")
+            continue
+        base = baseline[fname]
+        compared += 1
+        for is_reg, msg in compare_section(
+                fname, "metrics", base.get("metrics", {}),
+                cur.get("metrics", {}), threshold, lower_is_better=True):
+            if is_reg:
+                regressions.append(msg)
+            else:
+                print("NOTE: " + msg)
+        for _, msg in compare_section(
+                fname, "timings", base.get("timings", {}),
+                cur.get("timings", {}), threshold, lower_is_better=False):
+            warn(msg + " [wall clock, not gated]")
+
+    if compared == 0:
+        warn("no benches had baselines; nothing gated")
+        return 0
+    for msg in regressions:
+        print("REGRESSION: " + msg)
+    print("compared %d report(s) at %.0f%% threshold: %s" %
+          (compared, 100.0 * threshold,
+           "FAIL (%d regression(s))" % len(regressions)
+           if regressions else "OK"))
+    return 1 if regressions else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--validate", metavar="DIR",
+                        help="schema-check all BENCH_*.json in DIR")
+    parser.add_argument("--baseline", metavar="DIR",
+                        help="directory holding baseline BENCH_*.json")
+    parser.add_argument("--current", metavar="DIR",
+                        help="directory holding freshly produced BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="regression gate as a fraction (default 0.10)")
+    args = parser.parse_args()
+
+    if args.validate:
+        return cmd_validate(args.validate)
+    if args.baseline and args.current:
+        return cmd_compare(args.baseline, args.current, args.threshold)
+    parser.error("need --validate DIR, or --baseline DIR --current DIR")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,14 @@
 //                       insertion, C-Box allocation — for mappable and
 //                       unmappable kernels alike
 //   cgra-tool simulate  --comp mesh9 --kernel adpcm [--unroll 2]
-//                       [--baseline]                run & verify vs golden
+//                       [--baseline] [--counters] [--json out.json]
+//                       [--csv out.csv]            run & verify vs golden;
+//                       --counters collects the hardware-counter model and
+//                       prints achieved per-PE utilization + heatmap
+//   cgra-tool stats     --comp mesh9 --kernel adpcm [--json r.json]
+//                       [--csv r.csv]              static schedule-quality
+//                       report (utilization, occupancy, slack, heatmap)
+//                       without running the simulator
 //   cgra-tool synthesize --kernels adpcm,fir,gcd [--area-weight 0.25]
 //                       [--threads 4]
 //   cgra-tool sweep     --comps mesh4,mesh9,A --kernels adpcm,gcd
@@ -58,6 +65,7 @@
 #include "sched/scheduler.hpp"
 #include "sched/sweep.hpp"
 #include "sched/validate.hpp"
+#include "sim/report.hpp"
 #include "sim/simulator.hpp"
 #include "support/table.hpp"
 #include "synth/synthesis.hpp"
@@ -111,6 +119,14 @@ constexpr FlagSpec kFlagTable[] = {
     {"dot", true, false, "PATH", "write the CDFG in Graphviz dot form"},
     {"baseline", false, false, "",
      "also run the sequential token-machine baseline"},
+    {"counters", false, false, "",
+     "collect cycle-accurate hardware counters and print the achieved "
+     "utilization report"},
+    {"json", true, false, "PATH", "write the observability report as JSON"},
+    {"csv", true, false, "PATH", "write the per-PE report table as CSV"},
+    {"stable", false, false, "",
+     "omit volatile fields (thread count, wall times) from --metrics JSON "
+     "so output is byte-stable across machines"},
     {"threads", true, false, "N",
      "worker threads (0 = hardware concurrency)"},
     {"metrics", true, false, "PATH",
@@ -441,6 +457,83 @@ int cmdExplain(const Args& args) {
   return 0;
 }
 
+/// Shared rendering for `stats` and `simulate --counters`: per-PE table,
+/// derived scalars, heatmap, plus --json/--csv exports. Uses the Report
+/// accessors so every surface prints identical definitions of utilization.
+void emitReport(const Args& args, const Report& report, const Schedule& sched,
+                const Composition& comp) {
+  const ScheduleQuality& q = report.quality;
+  const SimCounters* ctr =
+      report.counters.has_value() ? &*report.counters : nullptr;
+
+  if (ctr) {
+    TextTable t({"PE", "busy", "nop", "idle", "issued", "squashed", "rfR",
+                 "rfW", "util"});
+    for (PEId pe = 0; pe < ctr->perPE.size(); ++pe) {
+      const PECounters& pc = ctr->perPE[pe];
+      t.addRow({std::to_string(pe), std::to_string(pc.busyCycles),
+                std::to_string(pc.nopCycles), std::to_string(pc.idleCycles),
+                std::to_string(pc.opsIssued), std::to_string(pc.squashedOps),
+                std::to_string(pc.rfReads), std::to_string(pc.rfWrites),
+                fmt(report.peUtilization(pe) * 100, 1) + "%"});
+    }
+    t.print(std::cout);
+    std::cout << "achieved utilization "
+              << fmt(report.achievedUtilization() * 100, 1) << "% (static "
+              << fmt(report.staticUtilization() * 100, 1) << "%), squash rate "
+              << fmt(report.squashRate() * 100, 1) << "%, "
+              << fmt(report.cyclesPerOp(), 2) << " cycles/op, "
+              << ctr->totalLinkTransfers() << " link transfers, "
+              << ctr->cboxSlotWrites << " C-Box writes ("
+              << ctr->cboxCombines << " combines)\n";
+  } else {
+    TextTable t({"PE", "busy", "util", "slack", "ops", "inserted"});
+    for (const PEQuality& pq : q.perPE)
+      t.addRow({std::to_string(pq.pe), std::to_string(pq.busyCycles),
+                fmt(pq.utilization * 100, 1) + "%", std::to_string(pq.slack),
+                std::to_string(pq.opsIssued),
+                std::to_string(pq.insertedOps)});
+    t.print(std::cout);
+    std::cout << "static utilization " << fmt(q.staticUtilization * 100, 1)
+              << "%, context occupancy " << fmt(q.contextOccupancy * 100, 1)
+              << "%, copy ratio " << fmt(q.copyRatio * 100, 1)
+              << "%, fused ratio " << fmt(q.fusedRatio * 100, 1) << "%, C-Box "
+              << q.cboxBusyCycles << "/" << q.length << " contexts busy\n";
+  }
+  std::cout << "\n" << utilizationHeatmap(sched, comp, ctr);
+
+  if (args.has("json")) {
+    json::writeFile(args.get("json"), report.toJson());
+    std::cout << "wrote " << args.get("json") << "\n";
+  }
+  if (args.has("csv")) {
+    std::ofstream(args.get("csv")) << report.toCsv();
+    std::cout << "wrote " << args.get("csv") << "\n";
+  }
+}
+
+int cmdStats(const Args& args) {
+  const Composition comp = resolveComposition(args.get("comp", "mesh4"));
+  Prepared p = prepareKernel(args);
+  const Scheduler scheduler(comp);
+  const ScheduleReport result =
+      scheduler.schedule(makeRequest(args, p, false));
+  if (!result.ok) {
+    std::cerr << "cgra-tool: scheduling failed ("
+              << failureReasonName(result.failure.reason)
+              << "): " << result.failure.message << "\n";
+    return 1;
+  }
+  const Report report = makeReport(result.schedule, comp, &result.stats);
+  std::cout << "== " << p.workload.name << " on " << comp.name() << " ==\n"
+            << result.schedule.length << " contexts, "
+            << report.quality.totalOps << " ops ("
+            << report.quality.insertedOps << " inserted, "
+            << report.quality.fusedWrites << " fused writes)\n";
+  emitReport(args, report, result.schedule, comp);
+  return 0;
+}
+
 int cmdSimulate(const Args& args) {
   const Composition comp = resolveComposition(args.get("comp", "mesh4"));
   Prepared p = prepareKernel(args);
@@ -461,7 +554,9 @@ int cmdSimulate(const Args& args) {
   for (const LiveBinding& lb : runnable.liveIns)
     liveIns[lb.var] = p.workload.initialLocals[lb.var];
   HostMemory heap = p.workload.heap;
-  const SimResult r = Simulator(comp, runnable).run(liveIns, heap);
+  SimOptions simOpts;
+  simOpts.collectCounters = args.has("counters");
+  const SimResult r = Simulator(comp, runnable).run(liveIns, heap, simOpts);
 
   const bool ok = heap == goldenHeap;
   std::cout << p.workload.name << " on " << comp.name() << ": "
@@ -470,6 +565,11 @@ int cmdSimulate(const Args& args) {
             << r.dmaStores << " stores, energy " << fmt(r.energy, 0)
             << " — result " << (ok ? "MATCHES" : "DOES NOT MATCH")
             << " the reference interpreter\n";
+
+  if (args.has("counters") || args.has("json") || args.has("csv")) {
+    const Report report = makeReport(runnable, comp, &result.stats, &r);
+    emitReport(args, report, runnable, comp);
+  }
 
   if (args.has("baseline")) {
     const BytecodeFunction bc = kir::lowerToBytecode(p.workload.fn);
@@ -519,11 +619,12 @@ int cmdSweep(const Args& args) {
   }
   const SweepReport report = runSweep(jobs, opts);
 
-  TextTable table({"Job", "Contexts", "Copies", "Backtracks", "ms"});
+  TextTable table({"Job", "Contexts", "Util", "Copies", "Backtracks", "ms"});
   for (const SweepJobResult& r : report.results)
     table.addRow({r.label,
                   r.ok ? std::to_string(r.stats.contextsUsed)
                        : "FAIL: " + r.error.substr(0, 40),
+                  r.ok ? fmt(r.staticUtilization * 100, 1) + "%" : "-",
                   r.ok ? std::to_string(r.metrics.copiesInserted) : "-",
                   r.ok ? std::to_string(r.metrics.backtracks) : "-",
                   r.ok ? fmt(r.metrics.totalMs, 2) : "-"});
@@ -534,7 +635,8 @@ int cmdSweep(const Args& args) {
             << " thread(s) (" << report.routingCacheEntries
             << " routing-cache entries, "
             << report.aggregate.nodesScheduled << " nodes, "
-            << report.aggregate.backtracks << " backtracks)\n";
+            << report.aggregate.backtracks << " backtracks, mean utilization "
+            << fmt(report.meanStaticUtilization * 100, 1) << "%)\n";
   if (report.failures > 0) {
     std::cout << "failures by reason:";
     for (std::size_t i = 0; i < report.failuresByReason.size(); ++i)
@@ -546,7 +648,8 @@ int cmdSweep(const Args& args) {
   if (!opts.traceDir.empty())
     std::cout << "wrote per-job traces under " << opts.traceDir << "\n";
   if (args.has("metrics")) {
-    json::writeFile(args.get("metrics"), report.toJson());
+    json::writeFile(args.get("metrics"),
+                    report.toJson(/*includeVolatile=*/!args.has("stable")));
     std::cout << "wrote " << args.get("metrics") << "\n";
   }
   return report.failures == 0 ? 0 : 1;
@@ -635,8 +738,12 @@ const CommandSpec kCommands[] = {
      cmdExplain},
     {"simulate", "schedule, run on the cycle simulator, verify vs golden",
      {"comp", "kernel", "kernel-file", "local", "array", "unroll", "cse",
-      "baseline"},
+      "baseline", "counters", "json", "csv"},
      cmdSimulate},
+    {"stats", "static schedule-quality report (no simulation)",
+     {"comp", "kernel", "kernel-file", "local", "array", "unroll", "cse",
+      "max-contexts", "json", "csv"},
+     cmdStats},
     {"analyze", "utilization, Gantt chart and loop-II bounds of a schedule",
      {"comp", "kernel", "kernel-file", "local", "array", "unroll", "cse"},
      cmdAnalyze},
@@ -644,7 +751,7 @@ const CommandSpec kCommands[] = {
      {"kernels", "area-weight", "threads", "out"}, cmdSynthesize},
     {"sweep", "schedule every (composition x kernel) pair in parallel",
      {"comps", "kernels", "unroll", "threads", "metrics", "max-contexts",
-      "trace", "trace-capacity"},
+      "trace", "trace-capacity", "stable"},
      cmdSweep},
 };
 

@@ -29,4 +29,33 @@ if [ -n "$offenders" ]; then
 fi
 
 echo "ok: all Scheduler::schedule call sites use the ScheduleRequest API"
+
+# Lint 2: no raw SimCounters field math in benches or tools. Derived
+# quantities (utilization, squash rate, cycles/op, totals) have accessors on
+# sim::Report (src/sim/report.hpp); hand-rolled arithmetic over the raw
+# fields drifts from the canonical definitions. toJson() is the one allowed
+# member (serialization, not math). tools/cgra_tool.cpp is the designated
+# presentation layer that renders the raw per-PE table and is exempt, like
+# scheduler.cpp above.
+fields='perPE|squashedOps|byClass|linkTransfers|contextExec|cboxSlotWrites'
+fields="$fields|cboxCombines|cboxStatusReads|nopCycles|dmaSuppressed"
+fields="$fields|liveInTransferCycles|liveOutTransferCycles"
+
+counter_offenders=$(grep -rnE --include='*.cpp' --include='*.hpp' \
+    "(counters(->|\.)|\b)($fields)\b" tools bench 2>/dev/null |
+  grep -v '^tools/cgra_tool\.cpp:' |
+  grep -v '^tools/check_deprecated_schedule\.sh:' |
+  grep -v 'toJson()')
+
+if [ -n "$counter_offenders" ]; then
+  echo "error: raw SimCounters field access in tools/bench code."
+  echo "Use the sim::Report accessors (achievedUtilization, squashRate,"
+  echo "cyclesPerOp, totalSquashed, totalLinkTransfers, ...) or toJson()"
+  echo "instead of re-deriving metrics from raw counter fields:"
+  echo
+  echo "$counter_offenders"
+  exit 1
+fi
+
+echo "ok: no raw SimCounters field math outside the Report accessors"
 exit 0
