@@ -1,0 +1,68 @@
+// Persistent schedule artifacts: the versioned, canonical serialization of
+// one scheduling result (DESIGN.md §10).
+//
+// The scheduler is deliberately expensive (longest-path list scheduling
+// with speculation, copy routing and loop-compatibility checks) and a
+// deterministic pure function of its inputs, so its output is worth
+// persisting: exploration workloads (sweeps, synthesis ranking, property
+// tests) re-schedule identical (composition × kernel × options) jobs over
+// and over. A ScheduleArtifact captures everything a consumer needs —
+// placements, routes/copies, predication and C-Box assignments, CCU
+// branches, live bindings, stats, metrics counters, and optionally the
+// encoded context images — with a bit-exact toJson/fromJson round trip:
+// deserializing an artifact yields a Schedule whose fingerprint() equals
+// the original's, which runs identically on the Simulator and passes
+// validate.cpp unchanged. Failed runs round-trip too (negative caching):
+// an unmappable job's typed FailureReason is as deterministic as a
+// successful schedule.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "ctx/contexts.hpp"
+#include "json/json.hpp"
+#include "sched/scheduler.hpp"
+
+namespace cgra::artifact {
+
+/// Format tag of the on-disk document. Bump together with the structural
+/// layout; readers reject unknown tags (a miss, never a misparse).
+inline constexpr const char* kArtifactFormat = "cgra-artifact-v1";
+
+/// One cached scheduling result: success with a full schedule, or a typed
+/// failure. `contexts` optionally carries the deployable context images
+/// (attached by single-job flows like `cgra-tool schedule --cache`; sweeps
+/// skip them — regenerating from the schedule is deterministic).
+struct ScheduleArtifact {
+  std::string key;  ///< content-addressed cache key (sched/job_key.hpp)
+  bool ok = false;
+  Schedule schedule;             ///< valid when ok
+  ScheduleStats stats;           ///< wallTimeMs zeroed (volatile)
+  SchedulerMetrics metrics;      ///< counters only; timings zeroed
+  ScheduleFailure failure;       ///< valid when !ok
+  std::uint64_t fingerprint = 0; ///< Schedule::fingerprint() when ok
+  std::optional<ContextImages> contexts;
+
+  /// Canonical JSON document (sorted keys, no volatile fields): two
+  /// artifacts of the same result dump byte-identically.
+  json::Value toJson() const;
+
+  /// Parses and *verifies* a document: format tag, field shape, and — for
+  /// successful artifacts — that the stored fingerprint matches the
+  /// deserialized schedule's recomputed one, so silent corruption of any
+  /// schedule field is detected at load time. Throws cgra::Error.
+  static ScheduleArtifact fromJson(const json::Value& doc);
+
+  /// Builds an artifact from a finished scheduling run. Volatile fields
+  /// (wall times) are zeroed so artifacts are content-deterministic.
+  static ScheduleArtifact fromReport(std::string key,
+                                     const ScheduleReport& report);
+};
+
+/// Bit-exact Schedule serialization (every field of sched/schedule.hpp).
+/// Exposed separately for tests and external tooling.
+json::Value scheduleToJson(const Schedule& sched);
+Schedule scheduleFromJson(const json::Value& doc);
+
+}  // namespace cgra::artifact

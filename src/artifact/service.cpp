@@ -1,0 +1,391 @@
+#include "artifact/service.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <istream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <unordered_map>
+#include <utility>
+
+#include "apps/kernels.hpp"
+#include "arch/factory.hpp"
+#include "ctx/contexts.hpp"
+#include "ctx/serialize.hpp"
+#include "kir/lower_cdfg.hpp"
+#include "kir/parser.hpp"
+#include "kir/passes.hpp"
+#include "sched/job_key.hpp"
+#include "sched/scheduler.hpp"
+#include "support/thread_pool.hpp"
+
+#ifdef __unix__
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <streambuf>
+#endif
+
+namespace cgra::artifact {
+
+json::Value ServiceStats::toJson() const {
+  json::Object o;
+  o["requests"] = requests;
+  o["parseErrors"] = parseErrors;
+  o["scheduled"] = scheduled;
+  o["cacheHits"] = cacheHits;
+  o["deduped"] = deduped;
+  return json::sortKeys(json::Value(std::move(o)));
+}
+
+namespace {
+
+/// One parsed schedule request. Mirrors the relevant `cgra-tool schedule`
+/// flags; see service.hpp for the line format.
+struct Request {
+  json::Value id;  ///< echoed verbatim in the response (any JSON value)
+  std::string comp;
+  std::string kernel;      ///< bundled kernel name
+  std::string kernelFile;  ///< or a KIR file path (wins when both set)
+  unsigned unroll = 1;
+  bool cse = false;
+  unsigned maxContexts = 0;
+  bool wantArtifact = false;
+};
+
+Request parseRequest(const json::Value& doc, bool includeArtifact) {
+  if (!doc.isObject()) throw Error("request must be a JSON object");
+  const json::Object& o = doc.asObject();
+  Request r;
+  r.wantArtifact = includeArtifact;
+  if (const json::Value* v = o.find("id")) r.id = *v;
+  if (const json::Value* v = o.find("comp")) r.comp = v->asString();
+  if (r.comp.empty()) throw Error("request misses \"comp\"");
+  if (const json::Value* v = o.find("kernel")) r.kernel = v->asString();
+  if (const json::Value* v = o.find("kernelFile"))
+    r.kernelFile = v->asString();
+  if (r.kernel.empty() && r.kernelFile.empty())
+    throw Error("request misses \"kernel\" (or \"kernelFile\")");
+  if (const json::Value* v = o.find("unroll"))
+    r.unroll = static_cast<unsigned>(v->asInt());
+  if (const json::Value* v = o.find("cse")) r.cse = v->asBool();
+  if (const json::Value* v = o.find("maxContexts"))
+    r.maxContexts = static_cast<unsigned>(v->asInt());
+  if (const json::Value* v = o.find("artifact"))
+    r.wantArtifact = v->asBool();
+  return r;
+}
+
+Composition resolveComposition(const std::string& name) {
+  if (name.rfind("mesh", 0) == 0)
+    return makeMesh(static_cast<unsigned>(std::stoul(name.substr(4))));
+  if (name.size() == 1 && name[0] >= 'A' && name[0] <= 'F')
+    return makeIrregular(name[0]);
+  if (name.find(".json") != std::string::npos)
+    return Composition::fromJsonFile(name);
+  throw Error("unknown composition \"" + name +
+              "\" (expected meshN, A..F, or a .json path)");
+}
+
+Cdfg resolveGraph(const Request& r) {
+  kir::Function fn("");
+  if (!r.kernelFile.empty()) {
+    fn = kir::parseKernelFile(r.kernelFile);
+  } else {
+    bool found = false;
+    for (apps::Workload& w : apps::allWorkloads())
+      if (w.name == r.kernel) {
+        fn = std::move(w.fn);
+        found = true;
+        break;
+      }
+    if (!found) throw Error("unknown kernel \"" + r.kernel + "\"");
+  }
+  if (r.cse) fn = kir::eliminateCommonSubexpressions(fn);
+  if (r.unroll >= 2) fn = kir::unrollLoops(fn, r.unroll, true);
+  return kir::lowerToCdfg(fn).graph;
+}
+
+/// Tracks one key being scheduled right now so identical concurrent
+/// requests wait for it instead of scheduling again.
+struct InFlight {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  std::shared_ptr<const ScheduleArtifact> artifact;
+};
+
+/// One request's slot in the in-order response window.
+struct Slot {
+  bool done = false;
+  std::string line;  ///< serialized response
+};
+
+json::Value artifactResponse(const json::Value& id,
+                             const ScheduleArtifact& art, bool cached,
+                             bool wantArtifact, const Composition& comp) {
+  json::Object o;
+  o["id"] = id;
+  o["key"] = art.key;
+  o["ok"] = art.ok;
+  o["cached"] = cached;
+  if (art.ok) {
+    o["contexts"] = static_cast<std::int64_t>(art.stats.contextsUsed);
+    o["fingerprint"] = std::to_string(art.schedule.fingerprint());
+    if (wantArtifact) {
+      // Ship the full document, with context images attached so the
+      // consumer can deploy without linking the toolflow.
+      ScheduleArtifact withCtx = art;
+      withCtx.contexts = generateContexts(art.schedule, comp);
+      o["artifact"] = withCtx.toJson();
+    }
+  } else {
+    o["failureReason"] = failureReasonName(art.failure.reason);
+    o["error"] = art.failure.message;
+  }
+  return json::Value(std::move(o));
+}
+
+json::Value errorResponse(const json::Value& id, const std::string& message) {
+  json::Object o;
+  o["id"] = id;
+  o["ok"] = false;
+  o["error"] = message;
+  return json::Value(std::move(o));
+}
+
+}  // namespace
+
+ServiceStats serveJsonl(std::istream& in, std::ostream& out,
+                        ArtifactStore& store, const ServiceOptions& options) {
+  ServiceStats stats;
+  ThreadPool pool(options.threads);
+  const std::size_t maxInFlight = std::max<std::size_t>(1, options.maxInFlight);
+
+  std::mutex mu;                 // guards window, inflight, stats
+  std::condition_variable cv;    // signaled when a slot completes
+  std::deque<std::shared_ptr<Slot>> window;  // request order
+  std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight;
+
+  auto flushFront = [&](std::unique_lock<std::mutex>& lock, bool all) {
+    // Stream every completed response at the window's front; with `all`,
+    // block until the window drains (EOF path).
+    for (;;) {
+      cv.wait(lock, [&] {
+        return window.empty() || window.front()->done ||
+               (!all && window.size() < maxInFlight);
+      });
+      while (!window.empty() && window.front()->done) {
+        const std::string line = std::move(window.front()->line);
+        window.pop_front();
+        lock.unlock();
+        out << line << "\n" << std::flush;
+        lock.lock();
+      }
+      if (window.empty() || (!all && window.size() < maxInFlight)) return;
+    }
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+
+    auto slot = std::make_shared<Slot>();
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      ++stats.requests;
+      if (window.size() >= maxInFlight) flushFront(lock, false);
+      window.push_back(slot);
+    }
+
+    pool.submit([&, slot, line] {
+      json::Value response;
+      try {
+        json::Value id;
+        try {
+          const json::Value doc = json::parse(line);
+          const Request req = parseRequest(doc, options.includeArtifact);
+          id = req.id;
+
+          const Composition comp = resolveComposition(req.comp);
+          const Cdfg graph = resolveGraph(req);
+          SchedulerOptions schedOpts;
+          schedOpts.maxContexts = req.maxContexts;
+          const std::string key = scheduleJobKey(comp, graph, schedOpts);
+
+          std::shared_ptr<const ScheduleArtifact> art = store.lookup(key);
+          bool cached = art != nullptr;
+          if (art == nullptr) {
+            // Not in the store: either claim the key or wait for the
+            // worker that did.
+            std::shared_ptr<InFlight> entry;
+            bool owner = false;
+            {
+              std::unique_lock<std::mutex> lock(mu);
+              auto [it, inserted] =
+                  inflight.emplace(key, std::make_shared<InFlight>());
+              entry = it->second;
+              owner = inserted;
+            }
+            if (owner) {
+              const Scheduler scheduler(comp, schedOpts);
+              ScheduleRequest sreq(graph);
+              sreq.options = schedOpts;
+              const ScheduleReport sched = scheduler.schedule(sreq);
+              art = std::make_shared<const ScheduleArtifact>(
+                  ScheduleArtifact::fromReport(key, sched));
+              store.insert(art);
+              {
+                std::unique_lock<std::mutex> lock(mu);
+                ++stats.scheduled;
+                inflight.erase(key);
+              }
+              {
+                std::lock_guard<std::mutex> elock(entry->mu);
+                entry->done = true;
+                entry->artifact = art;
+              }
+              entry->cv.notify_all();
+            } else {
+              std::unique_lock<std::mutex> elock(entry->mu);
+              entry->cv.wait(elock, [&] { return entry->done; });
+              art = entry->artifact;
+              cached = true;
+              std::unique_lock<std::mutex> lock(mu);
+              ++stats.deduped;
+            }
+          } else {
+            std::unique_lock<std::mutex> lock(mu);
+            ++stats.cacheHits;
+          }
+          response =
+              artifactResponse(id, *art, cached, req.wantArtifact, comp);
+        } catch (const std::exception& e) {
+          {
+            std::unique_lock<std::mutex> lock(mu);
+            ++stats.parseErrors;
+          }
+          response = errorResponse(id, e.what());
+        }
+        slot->line = response.dump(0);
+      } catch (...) {
+        slot->line = "{\"ok\":false,\"error\":\"internal error\"}";
+      }
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        slot->done = true;
+      }
+      cv.notify_all();
+    });
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    flushFront(lock, true);
+  }
+  pool.wait();
+  return stats;
+}
+
+#ifdef __unix__
+
+namespace {
+
+/// Minimal streambuf over a connected socket fd, enabling std::istream /
+/// std::ostream line IO on a unix-socket connection.
+class FdStreambuf : public std::streambuf {
+public:
+  explicit FdStreambuf(int fd) : fd_(fd) {
+    setg(rbuf_, rbuf_, rbuf_);
+    setp(wbuf_, wbuf_ + sizeof(wbuf_));
+  }
+
+protected:
+  int underflow() override {
+    const ssize_t n = ::read(fd_, rbuf_, sizeof(rbuf_));
+    if (n <= 0) return traits_type::eof();
+    setg(rbuf_, rbuf_, rbuf_ + n);
+    return traits_type::to_int_type(rbuf_[0]);
+  }
+
+  int overflow(int ch) override {
+    if (sync() != 0) return traits_type::eof();
+    if (ch != traits_type::eof()) {
+      wbuf_[0] = static_cast<char>(ch);
+      pbump(1);
+    }
+    return ch;
+  }
+
+  int sync() override {
+    const char* p = pbase();
+    while (p < pptr()) {
+      const ssize_t n = ::write(fd_, p, static_cast<std::size_t>(pptr() - p));
+      if (n <= 0) return -1;
+      p += n;
+    }
+    setp(wbuf_, wbuf_ + sizeof(wbuf_));
+    return 0;
+  }
+
+private:
+  int fd_;
+  char rbuf_[4096];
+  char wbuf_[4096];
+};
+
+}  // namespace
+
+ServiceStats serveUnixSocket(const std::string& path, ArtifactStore& store,
+                             const ServiceOptions& options,
+                             std::uint64_t maxConnections) {
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path))
+    throw Error("socket path too long: " + path);
+  const int listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listenFd < 0) throw Error("cannot create unix socket");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  path.copy(addr.sun_path, sizeof(addr.sun_path) - 1);
+  ::unlink(path.c_str());  // a stale socket file from a previous run
+  if (::bind(listenFd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listenFd, 8) != 0) {
+    ::close(listenFd);
+    throw Error("cannot bind/listen on " + path);
+  }
+
+  ServiceStats total;
+  for (std::uint64_t served = 0;
+       maxConnections == 0 || served < maxConnections; ++served) {
+    const int fd = ::accept(listenFd, nullptr, nullptr);
+    if (fd < 0) break;
+    FdStreambuf buf(fd);
+    std::istream in(&buf);
+    std::ostream out(&buf);
+    const ServiceStats s = serveJsonl(in, out, store, options);
+    out.flush();
+    ::close(fd);
+    total.requests += s.requests;
+    total.parseErrors += s.parseErrors;
+    total.scheduled += s.scheduled;
+    total.cacheHits += s.cacheHits;
+    total.deduped += s.deduped;
+  }
+  ::close(listenFd);
+  ::unlink(path.c_str());
+  return total;
+}
+
+#else
+
+ServiceStats serveUnixSocket(const std::string&, ArtifactStore&,
+                             const ServiceOptions&, std::uint64_t) {
+  throw Error("unix-socket serving is unavailable on this platform");
+}
+
+#endif  // __unix__
+
+}  // namespace cgra::artifact

@@ -1,0 +1,69 @@
+// Batch compile service: JSONL schedule requests in, artifact responses out
+// (`cgra-tool serve`, DESIGN.md §10).
+//
+// A driver (design-space explorer, CI harness, another process on the same
+// box) streams one JSON request per line:
+//
+//   {"id": 7, "comp": "mesh9", "kernel": "adpcm", "unroll": 2,
+//    "maxContexts": 16, "artifact": true}
+//
+// and receives one JSON response per line, in request order:
+//
+//   {"id": 7, "ok": true, "key": "3fb2...", "cached": false,
+//    "contexts": 14, "fingerprint": "1234...", ...}
+//
+// The service fronts an ArtifactStore: hits answer without scheduling,
+// misses are dispatched to a worker pool, and concurrent requests for one
+// cache key are deduplicated — the first occurrence schedules, the rest
+// wait on its completion and answer from the shared result. A bounded
+// in-flight window applies backpressure: when `maxInFlight` requests are
+// pending, reading stops until the oldest completes and its response has
+// been written.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "artifact/store.hpp"
+#include "json/json.hpp"
+
+namespace cgra::artifact {
+
+struct ServiceOptions {
+  /// Worker threads for cache misses; 0 selects hardware concurrency.
+  unsigned threads = 0;
+  /// Maximum requests in flight (parsed but not yet answered). Reading
+  /// stalls — never drops — past this bound.
+  std::size_t maxInFlight = 64;
+  /// Attach the full artifact document to every successful response
+  /// (per-request `"artifact": true` overrides this default).
+  bool includeArtifact = false;
+};
+
+/// Traffic counters for one serve session, reported on shutdown.
+struct ServiceStats {
+  std::uint64_t requests = 0;     ///< lines read
+  std::uint64_t parseErrors = 0;  ///< malformed lines (answered with ok=false)
+  std::uint64_t scheduled = 0;    ///< jobs actually run on the scheduler
+  std::uint64_t cacheHits = 0;    ///< answered straight from the store
+  std::uint64_t deduped = 0;      ///< waited on an identical in-flight job
+
+  json::Value toJson() const;
+};
+
+/// Serves JSONL requests from `in` until EOF, streaming responses to `out`
+/// in request order. Thread-safe with respect to `store` (which other
+/// threads/processes may share).
+ServiceStats serveJsonl(std::istream& in, std::ostream& out,
+                        ArtifactStore& store, const ServiceOptions& options);
+
+/// Binds a unix domain socket at `path` (unlinking any stale socket file)
+/// and serves one connection at a time, each as a JSONL session. Runs until
+/// `maxConnections` sessions finished (0 = forever). Throws cgra::Error on
+/// socket errors.
+ServiceStats serveUnixSocket(const std::string& path, ArtifactStore& store,
+                             const ServiceOptions& options,
+                             std::uint64_t maxConnections = 0);
+
+}  // namespace cgra::artifact

@@ -1,0 +1,223 @@
+#include "artifact/store.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <vector>
+
+#include "support/fs.hpp"
+
+namespace cgra::artifact {
+
+namespace sfs = std::filesystem;
+
+json::Value StoreCounters::toJson() const {
+  json::Object o;
+  o["hits"] = hits;
+  o["memoryHits"] = memoryHits;
+  o["diskHits"] = diskHits;
+  o["misses"] = misses;
+  o["inserts"] = inserts;
+  o["evictions"] = evictions;
+  o["invalid"] = invalid;
+  return json::sortKeys(json::Value(std::move(o)));
+}
+
+ArtifactStore::ArtifactStore(StoreOptions options)
+    : options_(std::move(options)) {
+  if (options_.directory.empty()) return;
+  fs::ensureWritableDir(options_.directory);
+
+  // Index pre-existing entries, oldest-mtime first, so the LRU order of a
+  // reopened store approximates the previous runs' access recency and the
+  // byte cap applies across process lifetimes.
+  std::vector<std::pair<sfs::file_time_type, sfs::path>> found;
+  for (const auto& entry : sfs::directory_iterator(options_.directory)) {
+    if (!entry.is_regular_file()) continue;
+    const sfs::path& p = entry.path();
+    if (p.extension() != ".json") continue;
+    std::error_code ec;
+    const auto mtime = sfs::last_write_time(p, ec);
+    if (!ec) found.emplace_back(mtime, p);
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [mtime, p] : found) {
+    std::error_code ec;
+    const std::size_t bytes = static_cast<std::size_t>(sfs::file_size(p, ec));
+    if (ec) continue;
+    addDiskEntryLocked(p.stem().string(), bytes);
+  }
+  evictPastCapLocked();
+}
+
+std::string ArtifactStore::pathForKey(const std::string& key) const {
+  return (sfs::path(options_.directory) / (key + ".json")).string();
+}
+
+void ArtifactStore::rememberLocked(
+    const std::string& key, std::shared_ptr<const ScheduleArtifact> artifact) {
+  if (options_.maxMemoryEntries == 0) return;
+  if (auto it = memoryLruIndex_.find(key); it != memoryLruIndex_.end()) {
+    memoryLru_.erase(it->second);
+    memoryLruIndex_.erase(it);
+  }
+  memoryLru_.push_front(key);
+  memoryLruIndex_[key] = memoryLru_.begin();
+  memory_[key] = std::move(artifact);
+  while (memory_.size() > options_.maxMemoryEntries) {
+    const std::string victim = memoryLru_.back();
+    memoryLru_.pop_back();
+    memoryLruIndex_.erase(victim);
+    memory_.erase(victim);
+  }
+}
+
+void ArtifactStore::touchDiskLocked(const std::string& key) {
+  const auto it = disk_.find(key);
+  if (it == disk_.end()) return;
+  lru_.erase(it->second.lruIt);
+  lru_.push_front(key);
+  it->second.lruIt = lru_.begin();
+}
+
+void ArtifactStore::addDiskEntryLocked(const std::string& key,
+                                       std::size_t bytes) {
+  if (const auto it = disk_.find(key); it != disk_.end()) {
+    diskBytes_ -= it->second.bytes;
+    diskBytes_ += bytes;
+    it->second.bytes = bytes;
+    touchDiskLocked(key);
+    return;
+  }
+  lru_.push_front(key);
+  disk_[key] = DiskEntry{bytes, lru_.begin()};
+  diskBytes_ += bytes;
+}
+
+void ArtifactStore::evictPastCapLocked() {
+  while (diskBytes_ > options_.maxDiskBytes && !lru_.empty()) {
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    const auto it = disk_.find(victim);
+    if (it != disk_.end()) {
+      diskBytes_ -= it->second.bytes;
+      disk_.erase(it);
+    }
+    std::error_code ec;
+    sfs::remove(pathForKey(victim), ec);
+    ++counters_.evictions;
+    // Keep memory and disk coherent for evicted keys: the hot layer may
+    // legitimately outlive the file, so the entry stays — lookups then
+    // re-publish to disk on the next insert of that key, not here.
+  }
+}
+
+std::shared_ptr<const ScheduleArtifact> ArtifactStore::lookup(
+    const std::string& key) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (const auto it = memory_.find(key); it != memory_.end()) {
+      ++counters_.hits;
+      ++counters_.memoryHits;
+      // Bump recency in both layers.
+      if (auto lit = memoryLruIndex_.find(key);
+          lit != memoryLruIndex_.end()) {
+        memoryLru_.erase(lit->second);
+        memoryLru_.push_front(key);
+        lit->second = memoryLru_.begin();
+      }
+      touchDiskLocked(key);
+      return it->second;
+    }
+  }
+
+  if (options_.directory.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.misses;
+    return nullptr;
+  }
+
+  // Disk probe outside the lock: parsing a large artifact must not serialize
+  // other threads' lookups. The filesystem is the source of truth; the
+  // index may lag behind another process, so probe the file directly.
+  const std::string path = pathForKey(key);
+  std::shared_ptr<ScheduleArtifact> loaded;
+  try {
+    if (!sfs::exists(path)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.misses;
+      return nullptr;
+    }
+    loaded = std::make_shared<ScheduleArtifact>(
+        ScheduleArtifact::fromJson(json::parseFile(path)));
+    if (loaded->key != key)
+      throw Error("artifact: key field does not match filename");
+  } catch (const std::exception&) {
+    // Corrupt, truncated or stale-format file: discard and miss.
+    std::error_code ec;
+    sfs::remove(path, ec);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (const auto it = disk_.find(key); it != disk_.end()) {
+      diskBytes_ -= it->second.bytes;
+      lru_.erase(it->second.lruIt);
+      disk_.erase(it);
+    }
+    ++counters_.invalid;
+    ++counters_.misses;
+    return nullptr;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.hits;
+  ++counters_.diskHits;
+  std::error_code ec;
+  const std::size_t bytes = static_cast<std::size_t>(
+      sfs::file_size(path, ec));
+  if (!ec) addDiskEntryLocked(key, bytes);
+  rememberLocked(key, loaded);
+  return loaded;
+}
+
+void ArtifactStore::insert(
+    std::shared_ptr<const ScheduleArtifact> artifact) {
+  CGRA_ASSERT(artifact != nullptr && !artifact->key.empty());
+  const std::string key = artifact->key;
+
+  std::string serialized;
+  // Compact form: cache files are machine-read far more often than
+  // human-read, and the compact dump roughly halves both the disk footprint
+  // and the warm-lookup parse time.
+  if (!options_.directory.empty()) serialized = artifact->toJson().dump(0);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.inserts;
+    rememberLocked(key, artifact);
+  }
+
+  if (options_.directory.empty()) return;
+  // Atomic publication: concurrent writers of one content-addressed key
+  // write identical bytes; whichever rename lands last wins harmlessly.
+  fs::atomicWriteFile(pathForKey(key), serialized + "\n");
+
+  std::lock_guard<std::mutex> lock(mu_);
+  addDiskEntryLocked(key, serialized.size() + 1);
+  evictPastCapLocked();
+}
+
+StoreCounters ArtifactStore::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+std::size_t ArtifactStore::memoryEntries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return memory_.size();
+}
+
+std::size_t ArtifactStore::diskBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return diskBytes_;
+}
+
+}  // namespace cgra::artifact

@@ -1,0 +1,105 @@
+// Content-addressed, size-capped artifact store with an in-memory hot layer
+// (DESIGN.md §10).
+//
+// Layering:
+//  * Memory: key → shared_ptr<const ScheduleArtifact>, LRU-capped. The hot
+//    layer makes repeated lookups within one process (sweep matrices,
+//    the batch compile service) pointer-cheap.
+//  * Disk (optional): one `<key>.json` per artifact under the store
+//    directory. Writes go through fs::atomicWriteFile (unique temp +
+//    rename), so concurrent sweep threads — or separate processes sharing
+//    one cache directory — never expose partial files; racing writers of
+//    one content-addressed key write identical bytes and the last rename
+//    wins harmlessly. Disk usage is LRU-capped: inserting past
+//    `maxDiskBytes` evicts the least-recently-used keys' files.
+//
+// Every lookup verifies the artifact at load time (format tag, schedule
+// fingerprint); a corrupt or stale file counts as `invalid`, is deleted
+// best-effort, and reads as a miss — the caller just reschedules.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "artifact/artifact.hpp"
+
+namespace cgra::artifact {
+
+struct StoreOptions {
+  /// On-disk directory; empty runs the store memory-only.
+  std::string directory;
+  /// Disk budget in bytes; exceeding it evicts least-recently-used entries.
+  std::size_t maxDiskBytes = 256ull << 20;
+  /// Hot-layer capacity in artifacts.
+  std::size_t maxMemoryEntries = 1024;
+};
+
+/// Hit/miss/evict counters, surfaced through SweepReport and `cgra-tool`.
+struct StoreCounters {
+  std::uint64_t hits = 0;        ///< lookups served (memory or disk)
+  std::uint64_t memoryHits = 0;
+  std::uint64_t diskHits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t evictions = 0;   ///< disk files evicted by the size cap
+  std::uint64_t invalid = 0;     ///< corrupt/stale files discarded on load
+
+  json::Value toJson() const;
+};
+
+class ArtifactStore {
+public:
+  /// Opens (and creates) the store. With a directory, existing `*.json`
+  /// entries are indexed (size + mtime recency) so the LRU cap spans
+  /// previous runs. Throws cgra::Error when the directory is unusable.
+  explicit ArtifactStore(StoreOptions options = {});
+
+  ArtifactStore(const ArtifactStore&) = delete;
+  ArtifactStore& operator=(const ArtifactStore&) = delete;
+
+  /// Returns the artifact for `key`, or nullptr on miss. Thread-safe.
+  std::shared_ptr<const ScheduleArtifact> lookup(const std::string& key);
+
+  /// Inserts an artifact under artifact->key (memory, then disk when
+  /// configured), evicting LRU disk entries past the byte cap. Thread-safe;
+  /// concurrent inserts of one key are idempotent.
+  void insert(std::shared_ptr<const ScheduleArtifact> artifact);
+
+  StoreCounters counters() const;
+  std::size_t memoryEntries() const;
+  std::size_t diskBytes() const;
+  const std::string& directory() const { return options_.directory; }
+
+private:
+  struct DiskEntry {
+    std::size_t bytes = 0;
+    std::list<std::string>::iterator lruIt;  ///< position in lru_
+  };
+
+  std::string pathForKey(const std::string& key) const;
+  void touchDiskLocked(const std::string& key);
+  void addDiskEntryLocked(const std::string& key, std::size_t bytes);
+  void evictPastCapLocked();
+  void rememberLocked(const std::string& key,
+                      std::shared_ptr<const ScheduleArtifact> artifact);
+
+  StoreOptions options_;
+  mutable std::mutex mu_;
+  StoreCounters counters_;
+  // Hot layer: key → artifact with its own LRU list.
+  std::unordered_map<std::string, std::shared_ptr<const ScheduleArtifact>>
+      memory_;
+  std::list<std::string> memoryLru_;  ///< front = most recent
+  std::unordered_map<std::string, std::list<std::string>::iterator>
+      memoryLruIndex_;
+  // Disk index: key → size + recency (front of lru_ = most recent).
+  std::unordered_map<std::string, DiskEntry> disk_;
+  std::list<std::string> lru_;
+  std::size_t diskBytes_ = 0;
+};
+
+}  // namespace cgra::artifact

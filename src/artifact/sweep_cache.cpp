@@ -1,0 +1,177 @@
+#include "artifact/sweep_cache.hpp"
+
+#include <chrono>
+#include <map>
+#include <unordered_set>
+#include <utility>
+
+#include "sched/job_key.hpp"
+
+namespace cgra::artifact {
+
+namespace {
+
+/// Strips the volatile (wall-time) fields so the artifact's content is a
+/// pure function of the scheduling inputs.
+SchedulerMetrics stripTimings(SchedulerMetrics m) {
+  m.setupMs = m.planMs = m.finalizeMs = m.totalMs = 0.0;
+  return m;
+}
+
+/// Rehydrates a SweepJobResult from a stored artifact. Fingerprint and
+/// staticUtilization are recomputed from the deserialized schedule — not
+/// copied — so a warm result is provably equivalent to a fresh one.
+SweepJobResult resultFromArtifact(const SweepJob& job,
+                                  const ScheduleArtifact& art,
+                                  bool keepSchedule,
+                                  const TraceOptions& trace) {
+  SweepJobResult r;
+  r.label = !job.label.empty() ? job.label : job.comp->name();
+  r.cacheKey = art.key;
+  r.fromCache = true;
+  r.ok = art.ok;
+  r.stats = art.stats;
+  r.metrics = art.metrics;
+  if (art.ok) {
+    r.fingerprint = art.schedule.fingerprint();
+    r.staticUtilization =
+        computeScheduleQuality(art.schedule, *job.comp, &r.stats)
+            .staticUtilization;
+    if (keepSchedule) r.schedule = art.schedule;
+  } else {
+    r.failure = art.failure;
+    r.error = r.failure.message;
+  }
+  if (trace.enabled) {
+    Trace t(trace);
+    CGRA_TRACE(&t, CacheLookup, .detail = "hit");
+    r.trace = std::make_shared<const Trace>(std::move(t));
+  }
+  return r;
+}
+
+ScheduleArtifact artifactFromResult(const SweepJobResult& r) {
+  ScheduleArtifact art;
+  art.key = r.cacheKey;
+  art.ok = r.ok;
+  art.stats = r.stats;
+  art.stats.wallTimeMs = 0.0;
+  art.metrics = stripTimings(r.metrics);
+  if (r.ok) {
+    art.schedule = r.schedule;
+    art.fingerprint = r.fingerprint;
+  } else {
+    art.failure = r.failure;
+  }
+  return art;
+}
+
+}  // namespace
+
+SweepReport runCachedSweep(const std::vector<SweepJob>& jobs,
+                           const SweepOptions& options, ArtifactStore& store) {
+  const auto wallStart = std::chrono::steady_clock::now();
+  const std::uint64_t evictionsBefore = store.counters().evictions;
+
+  SweepReport report;
+  report.results.resize(jobs.size());
+  report.cacheEnabled = true;
+
+  TraceOptions trace = options.trace;
+  if (!options.traceDir.empty()) trace.enabled = true;
+
+  // Key every job (amortizing composition digests per instance) and probe the
+  // store. Hits rehydrate in place; misses queue for the inner sweep.
+  std::vector<SweepJob> missJobs;
+  std::vector<std::size_t> missIndex;  ///< miss position → job index
+  std::size_t duplicateHits = 0;
+  {
+    std::map<const Composition*, std::string> compDigest;
+    std::unordered_set<std::string> seenKeys;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (jobs[i].comp == nullptr || jobs[i].graph == nullptr) {
+        missJobs.push_back(jobs[i]);  // uncacheable; runJob records failure
+        missIndex.push_back(i);
+        continue;
+      }
+      auto it = compDigest.find(jobs[i].comp);
+      if (it == compDigest.end())
+        it = compDigest.emplace(jobs[i].comp,
+                                compositionDigest(*jobs[i].comp))
+                 .first;
+      const std::string key = scheduleJobKeyWithCompDigest(
+          it->second, *jobs[i].graph, jobs[i].options);
+      const bool duplicate = !seenKeys.insert(key).second;
+      if (const auto art = store.lookup(key)) {
+        report.results[i] =
+            resultFromArtifact(jobs[i], *art, options.keepSchedules, trace);
+        ++report.cacheHits;
+        // Keep dedupedJobs a pure function of the job list: a duplicate
+        // served from the store on a warm run counts the same as one the
+        // inner sweep deduped on the cold run — so the stable JSON of cold
+        // and warm sweeps stays byte-identical.
+        if (duplicate) ++duplicateHits;
+      } else {
+        // A duplicate of a missed key also misses here (the first
+        // occurrence is not inserted until after the inner sweep) and is
+        // counted by the inner sweep's own dedup.
+        missJobs.push_back(jobs[i]);
+        missIndex.push_back(i);
+        ++report.cacheMisses;
+      }
+    }
+  }
+
+  // Schedule the misses on the regular engine. keepSchedules is forced on
+  // so artifacts can be built; the caller's preference is applied after.
+  SweepOptions inner = options;
+  inner.keepSchedules = true;
+  SweepReport missReport = runSweep(missJobs, inner);
+  report.threadsUsed = missReport.threadsUsed;
+  report.dedupedJobs = missReport.dedupedJobs + duplicateHits;
+
+  // Like dedupedJobs, routingCacheEntries must not depend on cache warmth
+  // (it lives in the stable JSON): report the distinct compositions of the
+  // full job list — exactly what a cold runSweep counts — rather than the
+  // inner sweep's miss-only tally.
+  {
+    std::unordered_set<const Composition*> comps;
+    for (const SweepJob& job : jobs)
+      if (job.comp != nullptr) comps.insert(job.comp);
+    report.routingCacheEntries = comps.size();
+  }
+
+  for (std::size_t m = 0; m < missIndex.size(); ++m) {
+    SweepJobResult& r = missReport.results[m];
+    // In-sweep duplicates share one artifact; empty keys are uncacheable
+    // malformed jobs.
+    if (!r.fromCache && !r.cacheKey.empty())
+      store.insert(
+          std::make_shared<const ScheduleArtifact>(artifactFromResult(r)));
+    if (!options.keepSchedules) r.schedule = Schedule{};
+    report.results[missIndex[m]] = std::move(r);
+  }
+
+  report.aggregate.runs = 0;
+  double utilSum = 0.0;
+  std::size_t okCount = 0;
+  for (const SweepJobResult& r : report.results) {
+    if (r.ok) {
+      report.aggregate.merge(r.metrics);
+      utilSum += r.staticUtilization;
+      ++okCount;
+    } else {
+      ++report.failures;
+      report.failuresByReason[static_cast<std::size_t>(r.failure.reason)]++;
+    }
+  }
+  if (okCount > 0) report.meanStaticUtilization = utilSum / okCount;
+
+  report.cacheEvictions = store.counters().evictions - evictionsBefore;
+  report.wallTimeMs = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - wallStart)
+                          .count();
+  return report;
+}
+
+}  // namespace cgra::artifact

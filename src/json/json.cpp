@@ -34,6 +34,11 @@ const Value* Object::find(const std::string& key) const {
   return nullptr;
 }
 
+Value& Object::append(std::string key) {
+  entries_.emplace_back(std::move(key), Value());
+  return entries_.back().second;
+}
+
 // ---------------------------------------------------------------------------
 // Value accessors
 
@@ -274,7 +279,9 @@ private:
       std::string key = parseString();
       skipWs();
       expect(':');
-      obj[key] = parseValue();
+      // append: skip operator[]'s duplicate scan — quadratic on wide
+      // objects, and real documents do not carry duplicate keys.
+      obj.append(std::move(key)) = parseValue();
       skipWs();
       char c = take();
       if (c == '}') break;
@@ -311,6 +318,19 @@ private:
     expect('"');
     std::string out;
     while (true) {
+      // Bulk-copy the run up to the next quote, escape, or control char —
+      // strings are almost always plain, and per-char appends dominate the
+      // profile otherwise.
+      std::size_t run = pos_;
+      while (run < text_.size()) {
+        const unsigned char c = static_cast<unsigned char>(text_[run]);
+        if (c == '"' || c == '\\' || c < 0x20) break;
+        ++run;
+      }
+      if (run > pos_) {
+        out.append(text_, pos_, run - pos_);
+        pos_ = run;
+      }
       char c = take();
       if (c == '"') break;
       if (c == '\\') {
@@ -367,22 +387,20 @@ private:
 
   Value parseNumber() {
     const std::size_t start = pos_;
+    const auto digit = [](char c) { return c >= '0' && c <= '9'; };
     if (peek() == '-') ++pos_;
-    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_])))
-      ++pos_;
+    while (pos_ < text_.size() && digit(text_[pos_])) ++pos_;
     bool isInt = true;
     if (pos_ < text_.size() && text_[pos_] == '.') {
       isInt = false;
       ++pos_;
-      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_])))
-        ++pos_;
+      while (pos_ < text_.size() && digit(text_[pos_])) ++pos_;
     }
     if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
       isInt = false;
       ++pos_;
       if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
-      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_])))
-        ++pos_;
+      while (pos_ < text_.size() && digit(text_[pos_])) ++pos_;
     }
     if (pos_ == start || (pos_ == start + 1 && text_[start] == '-'))
       fail("invalid number");

@@ -30,6 +30,11 @@ public:
   bool contains(const std::string& key) const;
   /// Returns nullptr when the key is absent.
   const Value* find(const std::string& key) const;
+  /// Appends without the duplicate-key scan of operator[]. The parser's
+  /// fast path: correct only when the caller knows `key` is not present
+  /// yet (on a duplicate, find/at keep answering the first entry and dump
+  /// emits both).
+  Value& append(std::string key);
   std::size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
 

@@ -1,0 +1,53 @@
+// Stable content hash of one scheduling job — the cache key of the artifact
+// store and the dedup key of the sweep engine.
+//
+// The scheduler is a deterministic pure function of (composition, CDFG,
+// options), so two jobs with equal keys produce bit-identical schedules.
+// The key digests the *content* of those inputs (never pointers or names
+// alone): the composition's canonical JSON, every CDFG node/edge/variable/
+// condition/loop, the scheduler options, and a version salt that must be
+// bumped whenever a scheduler change can alter any schedule — stale cached
+// artifacts from an older scheduler then simply miss.
+#pragma once
+
+#include <string>
+
+#include "sched/scheduler.hpp"
+
+namespace cgra {
+
+/// Invalidation salt folded into every job key. Bump the trailing number
+/// when scheduler behavior changes (placement order, routing, fusing rules,
+/// cost model...) so persisted artifacts from older binaries are never
+/// served for the new scheduler's output. DESIGN.md §10 records the policy.
+inline constexpr const char* kSchedulerVersionSalt = "cgra-sched-salt-1";
+
+/// 64-hex-char SHA-256 over (salt, composition JSON, CDFG content, options).
+/// Deterministic across platforms, processes and library versions.
+std::string scheduleJobKey(const Composition& comp, const Cdfg& graph,
+                           const SchedulerOptions& options,
+                           const std::string& salt = kSchedulerVersionSalt);
+
+/// SHA-256 hex of the composition's canonical JSON alone. The composition
+/// contribution to a job key is this digest: sweeps and services hash many
+/// jobs against few compositions and compute it once per composition.
+std::string compositionDigest(const Composition& comp);
+std::string compositionDigest(const std::string& compJson);
+
+/// Variant taking a precomputed compositionDigest(): the cheapest per-job
+/// form — only the CDFG and options are hashed per call.
+std::string scheduleJobKeyWithCompDigest(const std::string& compDigest,
+                                         const Cdfg& graph,
+                                         const SchedulerOptions& options,
+                                         const std::string& salt =
+                                             kSchedulerVersionSalt);
+
+/// Variant reusing an already-serialized composition document
+/// (`comp.toJson().dump()`).
+std::string scheduleJobKeyWithCompJson(const std::string& compJson,
+                                       const Cdfg& graph,
+                                       const SchedulerOptions& options,
+                                       const std::string& salt =
+                                           kSchedulerVersionSalt);
+
+}  // namespace cgra

@@ -2,8 +2,11 @@
 
 #include <chrono>
 #include <filesystem>
+#include <map>
 #include <memory>
+#include <unordered_map>
 
+#include "sched/job_key.hpp"
 #include "sched/routing_cache.hpp"
 #include "support/thread_pool.hpp"
 
@@ -87,10 +90,51 @@ SweepReport runSweep(const std::vector<SweepJob>& jobs,
     if (jobs[i].comp != nullptr) routing[i] = cache.lookup(*jobs[i].comp);
   report.routingCacheEntries = cache.size();
 
-  parallelFor(jobs.size(), report.threadsUsed, [&](std::size_t i) {
+  // In-sweep dedup: the scheduler is a pure function of (composition,
+  // graph, options), so jobs with equal content keys produce bit-identical
+  // results — schedule each distinct key once and fan the result out.
+  // Composition digests are amortized per Composition instance.
+  std::vector<std::string> keys(jobs.size());
+  std::vector<std::size_t> representative(jobs.size());
+  std::vector<std::size_t> uniqueJobs;
+  {
+    std::map<const Composition*, std::string> compDigest;
+    std::unordered_map<std::string, std::size_t> firstByKey;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (jobs[i].comp == nullptr || jobs[i].graph == nullptr) {
+        // Malformed job: never dedup — runJob records the failure per job.
+        representative[i] = i;
+        uniqueJobs.push_back(i);
+        continue;
+      }
+      auto it = compDigest.find(jobs[i].comp);
+      if (it == compDigest.end())
+        it = compDigest.emplace(jobs[i].comp, compositionDigest(*jobs[i].comp))
+                 .first;
+      keys[i] = scheduleJobKeyWithCompDigest(it->second, *jobs[i].graph,
+                                             jobs[i].options);
+      const auto [keyIt, inserted] = firstByKey.emplace(keys[i], i);
+      representative[i] = keyIt->second;
+      if (inserted) uniqueJobs.push_back(i);
+    }
+  }
+
+  parallelFor(uniqueJobs.size(), report.threadsUsed, [&](std::size_t u) {
+    const std::size_t i = uniqueJobs[u];
     report.results[i] =
         runJob(jobs[i], routing[i], options.keepSchedules, trace);
+    report.results[i].cacheKey = keys[i];
   });
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (representative[i] == i) continue;
+    report.results[i] = report.results[representative[i]];
+    report.results[i].label = !jobs[i].label.empty()
+                                  ? jobs[i].label
+                                  : jobs[i].comp->name();
+    report.results[i].fromCache = true;
+    ++report.dedupedJobs;
+  }
 
   report.aggregate.runs = 0;
   double utilSum = 0.0;
@@ -141,8 +185,18 @@ json::Value SweepReport::toJson(bool includeVolatile) const {
     o["failuresByReason"] = std::move(byReason);
   }
   o["routingCacheEntries"] = static_cast<std::int64_t>(routingCacheEntries);
+  o["dedupedJobs"] = static_cast<std::int64_t>(dedupedJobs);
   o["meanStaticUtilization"] = meanStaticUtilization;
   if (includeVolatile) o["wallTimeMs"] = wallTimeMs;
+  if (includeVolatile && cacheEnabled) {
+    // Persistent-cache traffic is inherently run-dependent (a warm run hits
+    // where a cold run missed), so it never appears in the stable form.
+    json::Object c;
+    c["hits"] = static_cast<std::int64_t>(cacheHits);
+    c["misses"] = static_cast<std::int64_t>(cacheMisses);
+    c["evictions"] = static_cast<std::int64_t>(cacheEvictions);
+    o["cache"] = std::move(c);
+  }
   o["aggregate"] = aggregate.toJson(includeVolatile);
   json::Array jobs;
   for (const SweepJobResult& r : results) {

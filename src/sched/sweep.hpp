@@ -43,6 +43,14 @@ struct SweepJob {
 struct SweepJobResult {
   std::string label;
   bool ok = false;
+  /// Content hash of (composition, graph, options) — see sched/job_key.hpp.
+  /// Identical keys mean bit-identical schedules; the sweep engine
+  /// schedules each distinct key once and the artifact layer uses the same
+  /// key for its persistent cache.
+  std::string cacheKey;
+  /// True when this result was copied from an identical job in the same
+  /// sweep (in-sweep dedup) or served from a persistent artifact store.
+  bool fromCache = false;
   std::string error;             ///< failure.message mirror (legacy field)
   ScheduleFailure failure;       ///< typed reason + message when !ok
   Schedule schedule;             ///< empty when !ok or !keepSchedules
@@ -86,6 +94,18 @@ struct SweepReport {
   std::size_t routingCacheEntries = 0;  ///< distinct compositions seen
   /// Mean staticUtilization over successful jobs (0 when none succeeded).
   double meanStaticUtilization = 0.0;
+  /// Jobs served by copying an identical job's result within this sweep
+  /// (same cache key scheduled once). Deterministic for a given job list,
+  /// so it appears in the stable JSON form.
+  std::size_t dedupedJobs = 0;
+  /// Persistent-cache traffic, filled by artifact::runCachedSweep. Volatile
+  /// by design (a warm run differs from a cold one), so these fields are
+  /// only exported when `includeVolatile` — `--stable` metrics JSON stays
+  /// byte-identical between cold and warm runs.
+  bool cacheEnabled = false;
+  std::size_t cacheHits = 0;
+  std::size_t cacheMisses = 0;
+  std::size_t cacheEvictions = 0;
 
   /// {"threads": .., "wallTimeMs": .., "aggregate": {...}, "jobs": [...]}
   /// — the `cgra-tool sweep --metrics` schema (see DESIGN.md). Keys are

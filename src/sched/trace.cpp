@@ -25,6 +25,7 @@ const char* traceEventName(TraceEventKind kind) {
     case TraceEventKind::LoopClosed: return "loop-close";
     case TraceEventKind::BranchPlaced: return "branch";
     case TraceEventKind::Failure: return "failure";
+    case TraceEventKind::CacheLookup: return "cache";
   }
   CGRA_UNREACHABLE("bad TraceEventKind");
 }
@@ -218,6 +219,9 @@ std::string Trace::explain(const Cdfg* graph, const Composition* comp) const {
         if (e.node >= 0)
           os << "; final failing node " << nodeName(e.node, graph)
              << " last rejected: " << traceRejectName(e.reject);
+        break;
+      case TraceEventKind::CacheLookup:
+        os << "artifact cache " << e.detail.str;
         break;
     }
     os << "\n";

@@ -1,0 +1,98 @@
+// Filesystem helpers shared by the artifact store and cgra-tool: atomic
+// file publication and fail-fast writability probes.
+//
+// The artifact cache is written concurrently by sweep worker threads (and
+// potentially by several processes sharing one cache directory). POSIX
+// rename(2) within one filesystem is atomic, so "write to a unique temp
+// name, then rename onto the final name" guarantees readers only ever see
+// complete files; when two writers race on one content-addressed key the
+// contents are identical and the last rename wins harmlessly.
+#pragma once
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "support/assert.hpp"
+
+namespace cgra::fs {
+
+/// Process-wide unique suffix for temp names: thread id hash + a counter.
+/// Uniqueness matters across threads *and* across processes sharing one
+/// cache directory, so the thread-id hash is mixed with this_process's
+/// address-space entropy (the counter's address).
+inline std::string uniqueTempSuffix() {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t tid =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  const std::uint64_t pid =
+      reinterpret_cast<std::uintptr_t>(&counter) ^ (tid << 1);
+  return std::to_string(pid % 0xffffffu) + "." + std::to_string(n);
+}
+
+/// Writes `content` to `path` atomically: the data lands under a unique
+/// temporary name in the destination directory first and is renamed onto
+/// `path` only after a successful close. Concurrent writers of the same
+/// path never interleave bytes; readers never observe a partial file.
+/// Throws cgra::Error when the directory is missing or not writable.
+inline void atomicWriteFile(const std::string& path,
+                            const std::string& content) {
+  namespace sfs = std::filesystem;
+  const sfs::path target(path);
+  const sfs::path tmp =
+      target.parent_path() /
+      (target.filename().string() + ".tmp." + uniqueTempSuffix());
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw Error("cannot write " + tmp.string());
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      sfs::remove(tmp, ec);
+      throw Error("failed writing " + tmp.string());
+    }
+  }
+  std::error_code ec;
+  sfs::rename(tmp, target, ec);
+  if (ec) {
+    std::error_code ec2;
+    sfs::remove(tmp, ec2);
+    throw Error("cannot publish " + path + ": " + ec.message());
+  }
+}
+
+/// Creates `dir` (and parents) if needed and proves it is writable by
+/// atomically creating and removing a probe file. Throws cgra::Error with a
+/// message naming the directory and the failing step, so cgra-tool can fail
+/// fast *before* hours of scheduling work instead of at the final write.
+inline void ensureWritableDir(const std::string& dir) {
+  namespace sfs = std::filesystem;
+  std::error_code ec;
+  sfs::create_directories(dir, ec);
+  if (ec)
+    throw Error("directory " + dir + " cannot be created: " + ec.message());
+  if (!sfs::is_directory(dir, ec))
+    throw Error(dir + " is not a directory");
+  const sfs::path probe =
+      sfs::path(dir) / (".cgra-probe." + uniqueTempSuffix());
+  {
+    std::ofstream out(probe, std::ios::binary | std::ios::trunc);
+    if (!out) throw Error("directory " + dir + " is not writable");
+  }
+  sfs::remove(probe, ec);
+}
+
+/// Proves the *parent directory* of an output file path is writable (the
+/// file itself need not exist yet). Empty parent means the cwd.
+inline void ensureWritableParent(const std::string& filePath) {
+  namespace sfs = std::filesystem;
+  const sfs::path parent = sfs::path(filePath).parent_path();
+  ensureWritableDir(parent.empty() ? std::string(".") : parent.string());
+}
+
+}  // namespace cgra::fs

@@ -1,0 +1,179 @@
+// Self-contained SHA-256 (FIPS 180-4) for content-addressed cache keys.
+//
+// The artifact store names cached schedules by a cryptographic digest of
+// their inputs (composition JSON, CDFG, scheduler options, version salt), so
+// key stability across platforms and processes matters more than speed: the
+// digest of a given byte stream must never depend on endianness, word size
+// or library version. This implementation is pure C++17-and-later code over
+// uint32 arithmetic — no OS or third-party dependency — and is exercised
+// against the FIPS test vectors in test_support.cpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace cgra {
+
+/// Incremental SHA-256 hasher: feed bytes with update(), read the digest
+/// with digest()/hex(). A finalized hasher keeps returning the same digest;
+/// update() after finalization is a programmer error (asserted).
+class Sha256 {
+public:
+  Sha256() { reset(); }
+
+  void reset() {
+    state_ = {0x6a09e667u, 0xbb67ae85u, 0x3c6ef372u, 0xa54ff53au,
+              0x510e527fu, 0x9b05688cu, 0x1f83d9abu, 0x5be0cd19u};
+    bufferLen_ = 0;
+    totalBytes_ = 0;
+    finalized_ = false;
+  }
+
+  Sha256& update(const void* data, std::size_t len) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    totalBytes_ += len;
+    while (len > 0) {
+      const std::size_t take =
+          len < (64 - bufferLen_) ? len : (64 - bufferLen_);
+      std::memcpy(buffer_.data() + bufferLen_, bytes, take);
+      bufferLen_ += take;
+      bytes += take;
+      len -= take;
+      if (bufferLen_ == 64) {
+        compress(buffer_.data());
+        bufferLen_ = 0;
+      }
+    }
+    return *this;
+  }
+
+  Sha256& update(const std::string& s) { return update(s.data(), s.size()); }
+
+  /// Convenience for hashing integral fields in a fixed (little-endian)
+  /// byte order regardless of host endianness.
+  Sha256& updateU64(std::uint64_t v) {
+    unsigned char b[8];
+    for (unsigned i = 0; i < 8; ++i)
+      b[i] = static_cast<unsigned char>(v >> (8 * i));
+    return update(b, 8);
+  }
+
+  /// The 32-byte digest. Finalizes on first call (idempotent after).
+  std::array<std::uint8_t, 32> digest() {
+    if (!finalized_) finalize();
+    return digest_;
+  }
+
+  /// Lowercase hex form of the digest (64 chars).
+  std::string hex() {
+    static const char* kHex = "0123456789abcdef";
+    const auto d = digest();
+    std::string out(64, '0');
+    for (std::size_t i = 0; i < 32; ++i) {
+      out[2 * i] = kHex[d[i] >> 4];
+      out[2 * i + 1] = kHex[d[i] & 0xf];
+    }
+    return out;
+  }
+
+  /// One-shot helper.
+  static std::string hexOf(const std::string& data) {
+    Sha256 h;
+    h.update(data);
+    return h.hex();
+  }
+
+private:
+  static std::uint32_t rotr(std::uint32_t x, unsigned n) {
+    return (x >> n) | (x << (32 - n));
+  }
+
+  void compress(const unsigned char* block) {
+    static constexpr std::uint32_t k[64] = {
+        0x428a2f98u, 0x71374491u, 0xb5c0fbcfu, 0xe9b5dba5u, 0x3956c25bu,
+        0x59f111f1u, 0x923f82a4u, 0xab1c5ed5u, 0xd807aa98u, 0x12835b01u,
+        0x243185beu, 0x550c7dc3u, 0x72be5d74u, 0x80deb1feu, 0x9bdc06a7u,
+        0xc19bf174u, 0xe49b69c1u, 0xefbe4786u, 0x0fc19dc6u, 0x240ca1ccu,
+        0x2de92c6fu, 0x4a7484aau, 0x5cb0a9dcu, 0x76f988dau, 0x983e5152u,
+        0xa831c66du, 0xb00327c8u, 0xbf597fc7u, 0xc6e00bf3u, 0xd5a79147u,
+        0x06ca6351u, 0x14292967u, 0x27b70a85u, 0x2e1b2138u, 0x4d2c6dfcu,
+        0x53380d13u, 0x650a7354u, 0x766a0abbu, 0x81c2c92eu, 0x92722c85u,
+        0xa2bfe8a1u, 0xa81a664bu, 0xc24b8b70u, 0xc76c51a3u, 0xd192e819u,
+        0xd6990624u, 0xf40e3585u, 0x106aa070u, 0x19a4c116u, 0x1e376c08u,
+        0x2748774cu, 0x34b0bcb5u, 0x391c0cb3u, 0x4ed8aa4au, 0x5b9cca4fu,
+        0x682e6ff3u, 0x748f82eeu, 0x78a5636fu, 0x84c87814u, 0x8cc70208u,
+        0x90befffau, 0xa4506cebu, 0xbef9a3f7u, 0xc67178f2u};
+    std::uint32_t w[64];
+    for (unsigned i = 0; i < 16; ++i)
+      w[i] = (std::uint32_t(block[4 * i]) << 24) |
+             (std::uint32_t(block[4 * i + 1]) << 16) |
+             (std::uint32_t(block[4 * i + 2]) << 8) |
+             std::uint32_t(block[4 * i + 3]);
+    for (unsigned i = 16; i < 64; ++i) {
+      const std::uint32_t s0 =
+          rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      const std::uint32_t s1 =
+          rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+    std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+    std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+    for (unsigned i = 0; i < 64; ++i) {
+      const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+      const std::uint32_t ch = (e & f) ^ (~e & g);
+      const std::uint32_t t1 = h + s1 + ch + k[i] + w[i];
+      const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+      const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      const std::uint32_t t2 = s0 + maj;
+      h = g;
+      g = f;
+      f = e;
+      e = d + t1;
+      d = c;
+      c = b;
+      b = a;
+      a = t1 + t2;
+    }
+    state_[0] += a;
+    state_[1] += b;
+    state_[2] += c;
+    state_[3] += d;
+    state_[4] += e;
+    state_[5] += f;
+    state_[6] += g;
+    state_[7] += h;
+  }
+
+  void finalize() {
+    const std::uint64_t bitLen = totalBytes_ * 8;
+    // Append 0x80, pad with zeros to 56 mod 64, then the 64-bit length.
+    unsigned char pad[72] = {0x80};
+    const std::size_t padLen =
+        (bufferLen_ < 56) ? (56 - bufferLen_) : (120 - bufferLen_);
+    update(pad, padLen);
+    unsigned char lenBytes[8];
+    for (unsigned i = 0; i < 8; ++i)
+      lenBytes[i] = static_cast<unsigned char>(bitLen >> (8 * (7 - i)));
+    // update() counts these padding bytes into totalBytes_, but bitLen was
+    // latched before padding, so the encoded length stays correct.
+    update(lenBytes, 8);
+    for (unsigned i = 0; i < 8; ++i) {
+      digest_[4 * i] = static_cast<std::uint8_t>(state_[i] >> 24);
+      digest_[4 * i + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
+      digest_[4 * i + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
+      digest_[4 * i + 3] = static_cast<std::uint8_t>(state_[i]);
+    }
+    finalized_ = true;
+  }
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<unsigned char, 64> buffer_{};
+  std::size_t bufferLen_ = 0;
+  std::uint64_t totalBytes_ = 0;
+  std::array<std::uint8_t, 32> digest_{};
+  bool finalized_ = false;
+};
+
+}  // namespace cgra

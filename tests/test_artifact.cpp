@@ -1,0 +1,472 @@
+// Persistent schedule artifacts + content-addressed store (DESIGN.md §10):
+// bit-exact round trips, equivalence of deserialized schedules (validator +
+// simulator), cache-key sensitivity and salting, store hit/miss/evict/LRU
+// behavior, corruption detection, negative caching, warm-vs-cold cached
+// sweeps, and 8 threads hammering one cache directory (run under tsan by
+// the thread-sanitize preset).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/kernels.hpp"
+#include "arch/factory.hpp"
+#include "artifact/artifact.hpp"
+#include "artifact/store.hpp"
+#include "artifact/sweep_cache.hpp"
+#include "kir/interp.hpp"
+#include "kir/lower_cdfg.hpp"
+#include "sched/job_key.hpp"
+#include "sched/validate.hpp"
+#include "sim/simulator.hpp"
+
+namespace cgra {
+namespace {
+
+namespace sfs = std::filesystem;
+
+/// Fresh per-test scratch directory, removed on destruction.
+struct TempDir {
+  sfs::path path;
+  explicit TempDir(const std::string& tag) {
+    path = sfs::temp_directory_path() /
+           ("cgra_artifact_test_" + tag + "_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()));
+    sfs::remove_all(path);
+    sfs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    sfs::remove_all(path, ec);
+  }
+  std::string str() const { return path.string(); }
+};
+
+ScheduleReport scheduleKernel(const Composition& comp, const Cdfg& graph,
+                              SchedulerOptions opts = {}) {
+  ScheduleRequest request(graph);
+  request.options = opts;
+  return Scheduler(comp, opts).schedule(request);
+}
+
+TEST(Artifact, ScheduleRoundTripIsBitExact) {
+  // The adpcm kernel exercises every schedule feature: loops, predication,
+  // C-Box combines, branches, DMA and live bindings.
+  const Composition comp = makeMesh(9);
+  const Cdfg graph = kir::lowerToCdfg(apps::makeAdpcm(8, 1).fn).graph;
+  const ScheduleReport report = scheduleKernel(comp, graph);
+  ASSERT_TRUE(report.ok);
+
+  const json::Value doc = artifact::scheduleToJson(report.schedule);
+  const Schedule back =
+      artifact::scheduleFromJson(json::parse(doc.dump()));
+  EXPECT_EQ(back.fingerprint(), report.schedule.fingerprint());
+  EXPECT_EQ(back.toString(comp), report.schedule.toString(comp));
+  // Serialization is canonical: a round-tripped schedule re-serializes to
+  // the same bytes.
+  EXPECT_EQ(artifact::scheduleToJson(back).dump(), doc.dump());
+}
+
+TEST(Artifact, SuccessfulArtifactRoundTrips) {
+  const Composition comp = makeMesh(4);
+  const Cdfg graph = kir::lowerToCdfg(apps::makeGcd(12, 18).fn).graph;
+  const ScheduleReport report = scheduleKernel(comp, graph);
+  ASSERT_TRUE(report.ok);
+  const std::string key = scheduleJobKey(comp, graph, SchedulerOptions{});
+
+  const artifact::ScheduleArtifact art =
+      artifact::ScheduleArtifact::fromReport(key, report);
+  EXPECT_EQ(art.stats.wallTimeMs, 0.0) << "volatile field must be zeroed";
+  EXPECT_EQ(art.metrics.totalMs, 0.0);
+
+  const std::string bytes = art.toJson().dump();
+  const artifact::ScheduleArtifact back =
+      artifact::ScheduleArtifact::fromJson(json::parse(bytes));
+  EXPECT_EQ(back.key, key);
+  EXPECT_TRUE(back.ok);
+  EXPECT_EQ(back.fingerprint, report.schedule.fingerprint());
+  EXPECT_EQ(back.schedule.fingerprint(), report.schedule.fingerprint());
+  EXPECT_EQ(back.stats.contextsUsed, report.stats.contextsUsed);
+  EXPECT_EQ(back.stats.copiesInserted, report.stats.copiesInserted);
+  EXPECT_EQ(back.metrics.nodesScheduled, report.metrics.nodesScheduled);
+  EXPECT_EQ(back.metrics.backtracks, report.metrics.backtracks);
+  // Content-determinism: re-serializing the parsed artifact is byte-exact.
+  EXPECT_EQ(back.toJson().dump(), bytes);
+}
+
+TEST(Artifact, DeserializedScheduleValidatesAndSimulatesIdentically) {
+  const apps::Workload w = apps::makeAdpcm(12, 1);
+  const Cdfg graph = kir::lowerToCdfg(w.fn).graph;
+  const Composition comp = makeMesh(9);
+  const ScheduleReport report = scheduleKernel(comp, graph);
+  ASSERT_TRUE(report.ok);
+
+  const Schedule restored = artifact::scheduleFromJson(
+      json::parse(artifact::scheduleToJson(report.schedule).dump()));
+
+  // Same verdict from the validator...
+  checkSchedule(restored, graph, comp);
+
+  // ...and the same memory state out of the simulator, matching the golden
+  // interpreter, from both the fresh and the deserialized schedule.
+  HostMemory goldenHeap = w.heap;
+  kir::Interpreter interp;
+  interp.run(w.fn, w.initialLocals, goldenHeap);
+
+  for (const Schedule* sched : {&report.schedule, &restored}) {
+    std::map<VarId, std::int32_t> liveIns;
+    for (const LiveBinding& lb : sched->liveIns)
+      liveIns[lb.var] = w.initialLocals[lb.var];
+    HostMemory heap = w.heap;
+    Simulator(comp, *sched).run(liveIns, heap);
+    EXPECT_TRUE(heap == goldenHeap);
+  }
+}
+
+TEST(Artifact, FailureArtifactRoundTripsTypedReason) {
+  const Composition comp = makeMesh(4);
+  const Cdfg graph = kir::lowerToCdfg(apps::makeGcd(546, 2394).fn).graph;
+  SchedulerOptions opts;
+  opts.maxContexts = 4;  // gcd does not fit in 4 contexts
+  const ScheduleReport report = scheduleKernel(comp, graph, opts);
+  ASSERT_FALSE(report.ok);
+  ASSERT_EQ(report.failure.reason, FailureReason::ContextBudget);
+
+  const artifact::ScheduleArtifact art =
+      artifact::ScheduleArtifact::fromReport("k-fail", report);
+  const artifact::ScheduleArtifact back =
+      artifact::ScheduleArtifact::fromJson(
+          json::parse(art.toJson().dump()));
+  EXPECT_FALSE(back.ok);
+  EXPECT_EQ(back.failure.reason, FailureReason::ContextBudget);
+  EXPECT_EQ(back.failure.message, report.failure.message);
+}
+
+TEST(Artifact, TamperedScheduleIsRejectedByFingerprint) {
+  const Composition comp = makeMesh(4);
+  const Cdfg graph = kir::lowerToCdfg(apps::makeGcd(4, 6).fn).graph;
+  const ScheduleReport report = scheduleKernel(comp, graph);
+  ASSERT_TRUE(report.ok);
+  const artifact::ScheduleArtifact art =
+      artifact::ScheduleArtifact::fromReport("k", report);
+
+  // Flip one scheduled op's PE in the document: the recomputed fingerprint
+  // no longer matches the stored one.
+  json::Value doc = json::parse(art.toJson().dump());
+  json::Object& sched =
+      doc.asObject()["schedule"].asObject();
+  json::Object& op = sched["ops"].asArray().at(0).asObject();
+  op["pe"] = op.at("pe").asInt() == 0 ? 1 : 0;
+  EXPECT_THROW(artifact::ScheduleArtifact::fromJson(doc), Error);
+}
+
+TEST(Artifact, UnknownFormatTagIsRejected) {
+  const Composition comp = makeMesh(4);
+  const Cdfg graph = kir::lowerToCdfg(apps::makeGcd(4, 6).fn).graph;
+  const artifact::ScheduleArtifact art =
+      artifact::ScheduleArtifact::fromReport("k",
+                                             scheduleKernel(comp, graph));
+  json::Value doc = json::parse(art.toJson().dump());
+  doc.asObject()["format"] = "cgra-artifact-v999";
+  EXPECT_THROW(artifact::ScheduleArtifact::fromJson(doc), Error);
+}
+
+TEST(JobKey, SensitiveToEveryInputAndSalt) {
+  const Composition mesh4 = makeMesh(4);
+  const Composition mesh9 = makeMesh(9);
+  const Cdfg gcd = kir::lowerToCdfg(apps::makeGcd(4, 6).fn).graph;
+  const Cdfg dot = kir::lowerToCdfg(apps::makeDotProduct(4, 2).fn).graph;
+  const SchedulerOptions defaults;
+  SchedulerOptions budget;
+  budget.maxContexts = 7;
+
+  const std::string base = scheduleJobKey(mesh4, gcd, defaults);
+  EXPECT_EQ(scheduleJobKey(mesh4, gcd, defaults), base)
+      << "the key must be deterministic";
+  EXPECT_EQ(base.size(), 64u) << "SHA-256 hex";
+  EXPECT_NE(scheduleJobKey(mesh9, gcd, defaults), base);
+  EXPECT_NE(scheduleJobKey(mesh4, dot, defaults), base);
+  EXPECT_NE(scheduleJobKey(mesh4, gcd, budget), base);
+  EXPECT_NE(scheduleJobKey(mesh4, gcd, defaults, "other-salt"), base)
+      << "bumping the version salt must invalidate every key";
+}
+
+artifact::ScheduleArtifact makeArtifact(const Composition& comp,
+                                        const Cdfg& graph,
+                                        const std::string& key) {
+  return artifact::ScheduleArtifact::fromReport(key,
+                                                scheduleKernel(comp, graph));
+}
+
+TEST(ArtifactStore, MemoryOnlyHitsAndMisses) {
+  artifact::ArtifactStore store;  // no directory
+  const Composition comp = makeMesh(4);
+  const Cdfg graph = kir::lowerToCdfg(apps::makeGcd(4, 6).fn).graph;
+  const std::string key = scheduleJobKey(comp, graph, SchedulerOptions{});
+
+  EXPECT_EQ(store.lookup(key), nullptr);
+  store.insert(std::make_shared<const artifact::ScheduleArtifact>(
+      makeArtifact(comp, graph, key)));
+  const auto hit = store.lookup(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->key, key);
+  EXPECT_EQ(store.lookup("missing-key"), nullptr);
+
+  const artifact::StoreCounters c = store.counters();
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.memoryHits, 1u);
+  EXPECT_EQ(c.misses, 2u);
+  EXPECT_EQ(c.inserts, 1u);
+}
+
+TEST(ArtifactStore, DiskEntriesSurviveReopen) {
+  const TempDir dir("reopen");
+  const Composition comp = makeMesh(4);
+  const Cdfg graph = kir::lowerToCdfg(apps::makeGcd(4, 6).fn).graph;
+  const std::string key = scheduleJobKey(comp, graph, SchedulerOptions{});
+  const std::uint64_t fp = [&] {
+    artifact::StoreOptions so;
+    so.directory = dir.str();
+    artifact::ArtifactStore store(so);
+    const auto art = makeArtifact(comp, graph, key);
+    store.insert(std::make_shared<const artifact::ScheduleArtifact>(art));
+    return art.fingerprint;
+  }();
+
+  artifact::StoreOptions so;
+  so.directory = dir.str();
+  artifact::ArtifactStore reopened(so);
+  EXPECT_GT(reopened.diskBytes(), 0u) << "existing entries are indexed";
+  const auto hit = reopened.lookup(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->schedule.fingerprint(), fp);
+  EXPECT_EQ(reopened.counters().diskHits, 1u);
+  // Second lookup is served by the hot layer.
+  reopened.lookup(key);
+  EXPECT_EQ(reopened.counters().memoryHits, 1u);
+}
+
+TEST(ArtifactStore, CorruptFileIsDiscardedAsMiss) {
+  const TempDir dir("corrupt");
+  artifact::StoreOptions so;
+  so.directory = dir.str();
+  artifact::ArtifactStore store(so);
+
+  const std::string key(64, 'a');
+  std::ofstream(dir.path / (key + ".json")) << "{\"format\": \"truncated";
+  EXPECT_EQ(store.lookup(key), nullptr);
+  EXPECT_EQ(store.counters().invalid, 1u);
+  EXPECT_FALSE(sfs::exists(dir.path / (key + ".json")))
+      << "corrupt files are deleted so they cannot miss forever";
+}
+
+TEST(ArtifactStore, WrongKeyFileIsRejected) {
+  // An artifact stored under the wrong filename (e.g. a manually renamed
+  // file) must not be served for that key.
+  const TempDir dir("wrongkey");
+  const Composition comp = makeMesh(4);
+  const Cdfg graph = kir::lowerToCdfg(apps::makeGcd(4, 6).fn).graph;
+  artifact::StoreOptions so;
+  so.directory = dir.str();
+  artifact::ArtifactStore store(so);
+  store.insert(std::make_shared<const artifact::ScheduleArtifact>(
+      makeArtifact(comp, graph, "real-key")));
+
+  sfs::rename(dir.path / "real-key.json", dir.path / "other-key.json");
+  artifact::ArtifactStore fresh(so);
+  EXPECT_EQ(fresh.lookup("other-key"), nullptr);
+  EXPECT_EQ(fresh.counters().invalid, 1u);
+}
+
+TEST(ArtifactStore, ByteCapEvictsLeastRecentlyUsed) {
+  const TempDir dir("lru");
+  const Composition comp = makeMesh(4);
+  // Three kernels → three artifacts of a few KB each.
+  const Cdfg g1 = kir::lowerToCdfg(apps::makeGcd(4, 6).fn).graph;
+  const Cdfg g2 = kir::lowerToCdfg(apps::makeDotProduct(4, 2).fn).graph;
+  const Cdfg g3 = kir::lowerToCdfg(apps::makeEwmaClip(4, 6).fn).graph;
+  const SchedulerOptions defaults;
+  const std::string k1 = scheduleJobKey(comp, g1, defaults);
+  const std::string k2 = scheduleJobKey(comp, g2, defaults);
+  const std::string k3 = scheduleJobKey(comp, g3, defaults);
+
+  artifact::StoreOptions so;
+  so.directory = dir.str();
+  so.maxMemoryEntries = 0;  // exercise the disk layer alone
+  artifact::ArtifactStore probe(so);
+  probe.insert(std::make_shared<const artifact::ScheduleArtifact>(
+      makeArtifact(comp, g1, k1)));
+  const std::size_t oneArtifact = probe.diskBytes();
+  ASSERT_GT(oneArtifact, 0u);
+
+  // Cap at two artifacts: inserting the third must evict the LRU one (k1).
+  so.maxDiskBytes = 2 * oneArtifact + oneArtifact / 2;
+  artifact::ArtifactStore store(so);
+  store.insert(std::make_shared<const artifact::ScheduleArtifact>(
+      makeArtifact(comp, g2, k2)));
+  store.insert(std::make_shared<const artifact::ScheduleArtifact>(
+      makeArtifact(comp, g3, k3)));
+  EXPECT_GE(store.counters().evictions, 1u);
+  EXPECT_LE(store.diskBytes(), so.maxDiskBytes);
+  EXPECT_FALSE(sfs::exists(dir.path / (k1 + ".json")))
+      << "the least-recently-used entry's file is removed";
+  EXPECT_TRUE(sfs::exists(dir.path / (k3 + ".json")));
+}
+
+TEST(CachedSweep, WarmRunMatchesColdRunExactly) {
+  const TempDir dir("warm");
+  std::deque<Composition> comps;
+  comps.push_back(makeMesh(4));
+  comps.push_back(makeMesh(9));
+  std::deque<Cdfg> graphs;
+  graphs.push_back(kir::lowerToCdfg(apps::makeGcd(4, 6).fn).graph);
+  graphs.push_back(kir::lowerToCdfg(apps::makeDotProduct(4, 2).fn).graph);
+  std::vector<SweepJob> jobs;
+  for (const Composition& comp : comps)
+    for (const Cdfg& graph : graphs)
+      jobs.push_back(SweepJob{&comp, &graph, "", SchedulerOptions{}});
+
+  SweepOptions opts;
+  opts.threads = 2;
+  artifact::StoreOptions so;
+  so.directory = dir.str();
+
+  artifact::ArtifactStore cold(so);
+  const SweepReport coldReport = artifact::runCachedSweep(jobs, opts, cold);
+  ASSERT_EQ(coldReport.failures, 0u);
+  EXPECT_EQ(coldReport.cacheMisses, jobs.size());
+  EXPECT_EQ(coldReport.cacheHits, 0u);
+
+  artifact::ArtifactStore warm(so);  // fresh store: only disk is warm
+  const SweepReport warmReport = artifact::runCachedSweep(jobs, opts, warm);
+  ASSERT_EQ(warmReport.failures, 0u);
+  EXPECT_EQ(warmReport.cacheHits, jobs.size());
+  EXPECT_EQ(warmReport.cacheMisses, 0u);
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_TRUE(warmReport.results[i].fromCache);
+    EXPECT_EQ(warmReport.results[i].fingerprint,
+              coldReport.results[i].fingerprint);
+    EXPECT_EQ(warmReport.results[i].cacheKey, coldReport.results[i].cacheKey);
+    // Warm schedules validate like fresh ones.
+    checkSchedule(warmReport.results[i].schedule, *jobs[i].graph,
+                  *jobs[i].comp);
+  }
+  // The byte-stable JSON cannot tell a warm run from a cold one.
+  EXPECT_EQ(warmReport.toJson(false).dump(), coldReport.toJson(false).dump());
+  // The volatile JSON can: it carries the cache traffic.
+  const json::Value volatileDoc = warmReport.toJson(true);
+  const json::Object& volatileJson =
+      volatileDoc.asObject().at("cache").asObject();
+  EXPECT_EQ(volatileJson.at("hits").asInt(),
+            static_cast<std::int64_t>(jobs.size()));
+}
+
+TEST(CachedSweep, NegativeResultsAreCachedToo) {
+  const TempDir dir("negative");
+  const Composition comp = makeMesh(4);
+  const Cdfg graph = kir::lowerToCdfg(apps::makeGcd(546, 2394).fn).graph;
+  SchedulerOptions opts;
+  opts.maxContexts = 4;  // unmappable
+  const std::vector<SweepJob> jobs = {SweepJob{&comp, &graph, "gcd", opts}};
+
+  artifact::StoreOptions so;
+  so.directory = dir.str();
+  artifact::ArtifactStore store(so);
+  const SweepReport coldReport =
+      artifact::runCachedSweep(jobs, SweepOptions{}, store);
+  EXPECT_EQ(coldReport.failures, 1u);
+  EXPECT_EQ(coldReport.cacheMisses, 1u);
+
+  const SweepReport warmReport =
+      artifact::runCachedSweep(jobs, SweepOptions{}, store);
+  EXPECT_EQ(warmReport.cacheHits, 1u) << "failures must be cached (negative "
+                                         "caching) — they are deterministic";
+  EXPECT_EQ(warmReport.failures, 1u);
+  EXPECT_EQ(warmReport.results[0].failure.reason,
+            FailureReason::ContextBudget);
+  EXPECT_EQ(warmReport.results[0].failure.message,
+            coldReport.results[0].failure.message);
+}
+
+TEST(Sweep, InSweepDedupCooperatesWithStore) {
+  // Duplicate jobs inside one cached sweep: the store sees each distinct
+  // key once, and every result carries the shared key.
+  const TempDir dir("dedup");
+  const Composition comp = makeMesh(4);
+  const Cdfg graph = kir::lowerToCdfg(apps::makeGcd(4, 6).fn).graph;
+  std::vector<SweepJob> jobs(4, SweepJob{&comp, &graph, "gcd",
+                                         SchedulerOptions{}});
+
+  artifact::StoreOptions so;
+  so.directory = dir.str();
+  artifact::ArtifactStore store(so);
+  SweepOptions opts;
+  opts.threads = 2;
+  const SweepReport report = artifact::runCachedSweep(jobs, opts, store);
+  ASSERT_EQ(report.failures, 0u);
+  EXPECT_EQ(report.dedupedJobs, 3u);
+  EXPECT_EQ(store.counters().inserts, 1u)
+      << "one artifact insert for four identical jobs";
+  for (const SweepJobResult& r : report.results)
+    EXPECT_EQ(r.cacheKey, report.results[0].cacheKey);
+}
+
+TEST(ArtifactStore, EightThreadsHammerOneCacheDirectory) {
+  // The tsan preset runs this binary too: 8 threads race lookups and
+  // inserts (including overlapping same-key inserts, which the atomic
+  // temp+rename publication must keep safe) against one shared directory.
+  const TempDir dir("hammer");
+  const Composition comp = makeMesh(4);
+  const SchedulerOptions defaults;
+  std::deque<Cdfg> graphs;
+  graphs.push_back(kir::lowerToCdfg(apps::makeGcd(4, 6).fn).graph);
+  graphs.push_back(kir::lowerToCdfg(apps::makeDotProduct(4, 2).fn).graph);
+  graphs.push_back(kir::lowerToCdfg(apps::makeEwmaClip(4, 6).fn).graph);
+
+  std::vector<std::string> keys;
+  std::vector<std::shared_ptr<const artifact::ScheduleArtifact>> artifacts;
+  for (const Cdfg& graph : graphs) {
+    keys.push_back(scheduleJobKey(comp, graph, defaults));
+    artifacts.push_back(std::make_shared<const artifact::ScheduleArtifact>(
+        makeArtifact(comp, graph, keys.back())));
+  }
+
+  artifact::StoreOptions so;
+  so.directory = dir.str();
+  so.maxMemoryEntries = 1;  // force constant disk traffic + memory churn
+  artifact::ArtifactStore store(so);
+
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < 8; ++t)
+    threads.emplace_back([&, t] {
+      for (unsigned i = 0; i < 40; ++i) {
+        const std::size_t j = (t + i) % artifacts.size();
+        store.insert(artifacts[j]);
+        const auto hit = store.lookup(keys[j]);
+        if (hit != nullptr) {
+          EXPECT_EQ(hit->key, keys[j]);
+        }
+        store.lookup("absent-" + std::to_string(i % 4));
+      }
+    });
+  for (std::thread& t : threads) t.join();
+
+  // Every artifact must be intact afterwards.
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const auto hit = store.lookup(keys[i]);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->schedule.fingerprint(), artifacts[i]->schedule.fingerprint());
+  }
+  EXPECT_EQ(store.counters().invalid, 0u);
+}
+
+}  // namespace
+}  // namespace cgra

@@ -119,6 +119,125 @@ TEST(ContextJson, RejectsMalformedDocuments) {
   EXPECT_THROW(contextImagesFromJson(badWidth), Error);
 }
 
+unsigned countPredicated(const Schedule& s) {
+  unsigned n = 0;
+  for (const ScheduledOp& op : s.ops)
+    if (op.pred.has_value()) ++n;
+  return n;
+}
+
+TEST(ContextJson, DmaPortContextsRoundTripThroughSingleDmaPE) {
+  // A grid with exactly one DMA-capable PE: every DMA_LOAD/DMA_STORE
+  // funnels through that port, so its context stream concentrates the
+  // memory-op encoding (predicated DMA fields, §V-D).
+  const apps::Workload w = apps::makeDotProduct(4, 2);
+  const kir::LoweringResult lowered = kir::lowerToCdfg(w.fn);
+  const Composition comp = makeMeshGrid(2, 3, {}, {4});
+  const Schedule sched =
+      Scheduler(comp).schedule(ScheduleRequest(lowered.graph)).orThrow().schedule;
+
+  unsigned dmaOps = 0;
+  for (const ScheduledOp& op : sched.ops)
+    if (isMemoryOp(op.op)) {
+      EXPECT_EQ(op.pe, 4u) << "memory ops must sit on the only DMA PE";
+      ++dmaOps;
+    }
+  ASSERT_GT(dmaOps, 0u);
+
+  const ContextImages img = generateContexts(sched, comp);
+  const ContextImages reloaded =
+      contextImagesFromJson(json::parse(contextImagesToJson(img).dump()));
+  const Schedule decoded = decodeContexts(reloaded, comp);
+
+  unsigned decodedDmaOps = 0;
+  for (const ScheduledOp& op : decoded.ops)
+    if (isMemoryOp(op.op)) {
+      EXPECT_EQ(op.pe, 4u);
+      ++decodedDmaOps;
+    }
+  EXPECT_EQ(decodedDmaOps, dmaOps);
+
+  HostMemory goldenHeap = w.heap;
+  kir::Interpreter interp;
+  interp.run(w.fn, w.initialLocals, goldenHeap);
+  std::map<VarId, std::int32_t> liveIns;
+  for (const LiveBinding& lb : decoded.liveIns)
+    liveIns[lb.var] = w.initialLocals[lb.var];
+  HostMemory heap = w.heap;
+  Simulator(comp, decoded).run(liveIns, heap);
+  EXPECT_TRUE(heap == goldenHeap);
+}
+
+TEST(ContextJson, PredicatedWritesSurviveEncodeDecodeEncode) {
+  // gcd's RF writes are gated on C-Box slots. The predication fields must
+  // survive encode → JSON → decode, and re-encoding the decoded (physical)
+  // schedule must reproduce the original images bit for bit.
+  const apps::Workload w = apps::makeGcd(546, 2394);
+  const kir::LoweringResult lowered = kir::lowerToCdfg(w.fn);
+  const Composition comp = makeMesh(4);
+  const Schedule sched =
+      Scheduler(comp).schedule(ScheduleRequest(lowered.graph)).orThrow().schedule;
+  ASSERT_GT(countPredicated(sched), 0u)
+      << "gcd must produce predicated register writes";
+
+  const ContextImages img = generateContexts(sched, comp);
+  const ContextImages reloaded =
+      contextImagesFromJson(json::parse(contextImagesToJson(img).dump()));
+  const Schedule decoded = decodeContexts(reloaded, comp);
+  EXPECT_EQ(countPredicated(decoded), countPredicated(sched));
+
+  const ContextImages again = encodePhysical(decoded, comp);
+  EXPECT_EQ(contextImagesToJson(again).dump(), contextImagesToJson(img).dump())
+      << "decode followed by re-encode must be the identity on the images";
+}
+
+TEST(ContextJson, MaxWidthContextWordsRoundTrip) {
+  // Synthetic maximal image: one context memory at the 4096-bit format
+  // limit next to a 1-bit one, with dense random words.
+  Rng rng(7);
+  const unsigned kMaxWidth = 4096;
+  ContextImages img;
+  img.length = 3;
+  img.peWidths = {kMaxWidth, 1u};
+  img.peContexts.resize(2);
+  img.cboxWidth = kMaxWidth;
+  img.ccuWidth = 17;
+  img.physRegsUsed = {128u, 1u};
+  img.cboxSlotsUsed = 32;
+  auto randomWord = [&rng](unsigned width) {
+    BitVector bits(width);
+    for (unsigned b = 0; b < width; ++b) bits.set(b, rng.chance(1, 2));
+    return bits;
+  };
+  for (unsigned t = 0; t < img.length; ++t) {
+    img.peContexts[0].push_back(randomWord(kMaxWidth));
+    img.peContexts[1].push_back(randomWord(1));
+    img.cboxContexts.push_back(randomWord(kMaxWidth));
+    img.ccuContexts.push_back(randomWord(17));
+  }
+
+  const ContextImages back =
+      contextImagesFromJson(json::parse(contextImagesToJson(img).dump()));
+  ASSERT_EQ(back.peWidths, img.peWidths);
+  EXPECT_EQ(back.cboxWidth, img.cboxWidth);
+  for (unsigned t = 0; t < img.length; ++t) {
+    EXPECT_TRUE(back.peContexts[0][t] == img.peContexts[0][t]) << "t" << t;
+    EXPECT_TRUE(back.peContexts[1][t] == img.peContexts[1][t]) << "t" << t;
+    EXPECT_TRUE(back.cboxContexts[t] == img.cboxContexts[t]) << "t" << t;
+    EXPECT_TRUE(back.ccuContexts[t] == img.ccuContexts[t]) << "t" << t;
+  }
+  EXPECT_EQ(back.totalBits(), img.totalBits());
+
+  // One bit past the limit is rejected at parse time.
+  ContextImages tooWide = img;
+  tooWide.peWidths[0] = kMaxWidth + 1;
+  for (unsigned t = 0; t < tooWide.length; ++t)
+    tooWide.peContexts[0][t] = randomWord(kMaxWidth + 1);
+  EXPECT_THROW(
+      contextImagesFromJson(json::parse(contextImagesToJson(tooWide).dump())),
+      Error);
+}
+
 TEST(MemFile, ReadmemhFormat) {
   const ContextImages img = makeImages();
   const std::string mem =

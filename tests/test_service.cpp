@@ -1,0 +1,189 @@
+// Batch compile service (artifact/service.hpp): JSONL request/response
+// framing, request-order streaming, per-key dedup of concurrent identical
+// requests, store-backed cache hits, per-line error reporting, artifact
+// attachment, and backpressure with a tiny in-flight window.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "artifact/artifact.hpp"
+#include "artifact/service.hpp"
+#include "artifact/store.hpp"
+#include "json/json.hpp"
+
+namespace cgra {
+namespace {
+
+std::vector<json::Value> runService(const std::string& requests,
+                                    artifact::ArtifactStore& store,
+                                    artifact::ServiceOptions options,
+                                    artifact::ServiceStats* statsOut = nullptr) {
+  std::istringstream in(requests);
+  std::ostringstream out;
+  const artifact::ServiceStats stats =
+      artifact::serveJsonl(in, out, store, options);
+  if (statsOut != nullptr) *statsOut = stats;
+
+  std::vector<json::Value> responses;
+  std::istringstream lines(out.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.find('\n'), std::string::npos)
+        << "each response is exactly one line";
+    responses.push_back(json::parse(line));
+  }
+  return responses;
+}
+
+TEST(Service, AnswersInRequestOrderAndDedupesIdenticalJobs) {
+  artifact::ArtifactStore store;
+  artifact::ServiceOptions options;
+  options.threads = 2;
+  artifact::ServiceStats stats;
+  const std::vector<json::Value> responses = runService(
+      "{\"id\":1,\"comp\":\"mesh4\",\"kernel\":\"gcd\"}\n"
+      "{\"id\":2,\"comp\":\"mesh4\",\"kernel\":\"gcd\"}\n"
+      "{\"id\":3,\"comp\":\"mesh9\",\"kernel\":\"dotprod\"}\n",
+      store, options, &stats);
+
+  ASSERT_EQ(responses.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const json::Object& o = responses[i].asObject();
+    EXPECT_EQ(o.at("id").asInt(), static_cast<std::int64_t>(i + 1))
+        << "responses stream in request order";
+    EXPECT_TRUE(o.at("ok").asBool());
+    EXPECT_FALSE(o.at("fingerprint").asString().empty());
+  }
+  // Identical requests share one key (and one scheduling run); the distinct
+  // one does not.
+  const std::string key1 = responses[0].asObject().at("key").asString();
+  EXPECT_EQ(responses[1].asObject().at("key").asString(), key1);
+  EXPECT_NE(responses[2].asObject().at("key").asString(), key1);
+  EXPECT_EQ(responses[0].asObject().at("fingerprint").asString(),
+            responses[1].asObject().at("fingerprint").asString());
+
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.parseErrors, 0u);
+  EXPECT_EQ(stats.scheduled, 2u) << "the duplicate must not be rescheduled";
+  EXPECT_EQ(stats.cacheHits + stats.deduped, 1u);
+}
+
+TEST(Service, WarmStoreAnswersWithoutScheduling) {
+  artifact::ArtifactStore store;
+  artifact::ServiceOptions options;
+  options.threads = 1;
+  const std::string request =
+      "{\"id\":1,\"comp\":\"mesh4\",\"kernel\":\"gcd\"}\n";
+
+  runService(request, store, options);  // cold: fills the store
+  artifact::ServiceStats stats;
+  const std::vector<json::Value> responses =
+      runService(request, store, options, &stats);
+
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_TRUE(responses[0].asObject().at("ok").asBool());
+  EXPECT_TRUE(responses[0].asObject().at("cached").asBool());
+  EXPECT_EQ(stats.scheduled, 0u);
+  EXPECT_EQ(stats.cacheHits, 1u);
+}
+
+TEST(Service, ReportsBadLinesWithoutAbortingTheSession) {
+  artifact::ArtifactStore store;
+  artifact::ServiceOptions options;
+  options.threads = 1;
+  artifact::ServiceStats stats;
+  const std::vector<json::Value> responses = runService(
+      "this is not json\n"
+      "{\"id\":2,\"kernel\":\"gcd\"}\n"
+      "{\"id\":3,\"comp\":\"mesh4\",\"kernel\":\"no-such-kernel\"}\n"
+      "{\"id\":4,\"comp\":\"mesh4\",\"kernel\":\"gcd\"}\n",
+      store, options, &stats);
+
+  ASSERT_EQ(responses.size(), 4u);
+  EXPECT_FALSE(responses[0].asObject().at("ok").asBool());
+  EXPECT_FALSE(responses[1].asObject().at("ok").asBool())
+      << "a request without comp is malformed";
+  EXPECT_FALSE(responses[2].asObject().at("ok").asBool());
+  EXPECT_FALSE(
+      responses[2].asObject().at("error").asString().empty());
+  EXPECT_TRUE(responses[3].asObject().at("ok").asBool())
+      << "good requests after bad lines are still served";
+  EXPECT_GE(stats.parseErrors, 2u);
+  EXPECT_EQ(stats.requests, 4u);
+}
+
+TEST(Service, UnmappableJobsAnswerWithTypedFailure) {
+  artifact::ArtifactStore store;
+  artifact::ServiceOptions options;
+  options.threads = 1;
+  const std::vector<json::Value> responses = runService(
+      "{\"id\":1,\"comp\":\"mesh4\",\"kernel\":\"gcd\",\"maxContexts\":4}\n",
+      store, options);
+  ASSERT_EQ(responses.size(), 1u);
+  const json::Object& o = responses[0].asObject();
+  EXPECT_FALSE(o.at("ok").asBool());
+  EXPECT_EQ(o.at("failureReason").asString(), "context-budget");
+  EXPECT_FALSE(o.at("error").asString().empty());
+}
+
+TEST(Service, AttachesDeserializableArtifactsOnRequest) {
+  artifact::ArtifactStore store;
+  artifact::ServiceOptions options;
+  options.threads = 1;
+  const std::vector<json::Value> responses = runService(
+      "{\"id\":1,\"comp\":\"mesh4\",\"kernel\":\"gcd\",\"artifact\":true}\n",
+      store, options);
+  ASSERT_EQ(responses.size(), 1u);
+  const json::Object& o = responses[0].asObject();
+  ASSERT_TRUE(o.at("ok").asBool());
+
+  const artifact::ScheduleArtifact art =
+      artifact::ScheduleArtifact::fromJson(o.at("artifact"));
+  EXPECT_TRUE(art.ok);
+  EXPECT_EQ(std::to_string(art.schedule.fingerprint()),
+            o.at("fingerprint").asString());
+  EXPECT_TRUE(art.contexts.has_value())
+      << "attached artifacts carry deployable context images";
+}
+
+TEST(Service, TinyInFlightWindowPreservesOrderUnderBackpressure) {
+  artifact::ArtifactStore store;
+  artifact::ServiceOptions options;
+  options.threads = 4;
+  options.maxInFlight = 1;  // strictest window: one request at a time
+  std::string requests;
+  for (int i = 1; i <= 6; ++i)
+    requests += "{\"id\":" + std::to_string(i) +
+                ",\"comp\":\"mesh4\",\"kernel\":\"gcd\"}\n";
+  artifact::ServiceStats stats;
+  const std::vector<json::Value> responses =
+      runService(requests, store, options, &stats);
+
+  ASSERT_EQ(responses.size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(responses[i].asObject().at("id").asInt(), i + 1);
+    EXPECT_TRUE(responses[i].asObject().at("ok").asBool());
+  }
+  EXPECT_EQ(stats.scheduled, 1u);
+  EXPECT_EQ(stats.cacheHits, 5u)
+      << "with a window of 1 every repeat hits the store";
+}
+
+TEST(Service, EchoesArbitraryIdValuesVerbatim) {
+  artifact::ArtifactStore store;
+  artifact::ServiceOptions options;
+  options.threads = 1;
+  const std::vector<json::Value> responses = runService(
+      "{\"id\":\"job-a\",\"comp\":\"mesh4\",\"kernel\":\"gcd\"}\n"
+      "{\"comp\":\"mesh4\",\"kernel\":\"gcd\"}\n",
+      store, options);
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses[0].asObject().at("id").asString(), "job-a");
+  // A request without an id still gets a response carrying a null id.
+  EXPECT_TRUE(responses[1].asObject().at("id").isNull());
+}
+
+}  // namespace
+}  // namespace cgra

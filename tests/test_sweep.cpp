@@ -223,5 +223,66 @@ TEST(Sweep, ParallelScheduleSimulatesCorrectly) {
   EXPECT_TRUE(heap == goldenHeap);
 }
 
+TEST(Sweep, DeduplicatesIdenticalJobsWithinOneSweep) {
+  // Four copies of one job plus one job with different options: the engine
+  // schedules each distinct cache key once and copies the result to the
+  // duplicates, preserving per-job labels and job order.
+  const Composition comp = makeMesh(4);
+  const Cdfg graph = kir::lowerToCdfg(apps::makeGcd(4, 6).fn).graph;
+  std::vector<SweepJob> jobs;
+  for (int i = 0; i < 4; ++i)
+    jobs.push_back(
+        SweepJob{&comp, &graph, "gcd#" + std::to_string(i), SchedulerOptions{}});
+  SchedulerOptions variant;
+  variant.longestPathPriority = false;
+  jobs.push_back(SweepJob{&comp, &graph, "gcd-variant", variant});
+
+  SweepOptions opts;
+  opts.threads = 2;
+  const SweepReport report = runSweep(jobs, opts);
+  ASSERT_EQ(report.results.size(), 5u);
+  ASSERT_EQ(report.failures, 0u);
+  EXPECT_EQ(report.dedupedJobs, 3u);
+
+  EXPECT_FALSE(report.results[0].fromCache);
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_TRUE(report.results[i].fromCache) << i;
+    EXPECT_EQ(report.results[i].cacheKey, report.results[0].cacheKey);
+    EXPECT_EQ(report.results[i].fingerprint, report.results[0].fingerprint);
+    EXPECT_EQ(report.results[i].label, "gcd#" + std::to_string(i))
+        << "copied results keep their own label";
+  }
+  // Different options → different key → scheduled independently.
+  EXPECT_FALSE(report.results[4].fromCache);
+  EXPECT_NE(report.results[4].cacheKey, report.results[0].cacheKey);
+
+  // dedupedJobs is deterministic for a job list, so the stable JSON form
+  // carries it.
+  const std::string stable = report.toJson(false).dump();
+  EXPECT_NE(stable.find("\"dedupedJobs\": 3"), std::string::npos) << stable;
+}
+
+TEST(Sweep, DedupMatchesIndependentScheduling) {
+  // A sweep with duplicates must report exactly what a duplicate-free sweep
+  // reports for the same distinct jobs — dedup is a pure optimization.
+  const Domain d = Domain::make();
+  std::vector<SweepJob> doubled = d.jobs;
+  doubled.insert(doubled.end(), d.jobs.begin(), d.jobs.end());
+
+  SweepOptions opts;
+  opts.threads = 2;
+  const SweepReport unique = runSweep(d.jobs, opts);
+  const SweepReport report = runSweep(doubled, opts);
+  ASSERT_EQ(report.failures, 0u);
+  EXPECT_EQ(report.dedupedJobs, d.jobs.size());
+  for (std::size_t i = 0; i < d.jobs.size(); ++i) {
+    const SweepJobResult& copy = report.results[d.jobs.size() + i];
+    EXPECT_EQ(copy.fingerprint, unique.results[i].fingerprint);
+    EXPECT_EQ(copy.cacheKey, unique.results[i].cacheKey);
+    EXPECT_EQ(copy.schedule.toString(*d.jobs[i].comp),
+              unique.results[i].schedule.toString(*d.jobs[i].comp));
+  }
+}
+
 }  // namespace
 }  // namespace cgra

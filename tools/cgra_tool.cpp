@@ -24,11 +24,17 @@
 //                       [--threads 4]
 //   cgra-tool sweep     --comps mesh4,mesh9,A --kernels adpcm,gcd
 //                       [--unroll 2] [--threads 4] [--metrics out.json]
-//                       [--trace tracedir]
+//                       [--trace tracedir] [--cache cachedir]
 //                       schedule every (composition × kernel) pair on the
 //                       parallel sweep engine; --metrics dumps the
 //                       aggregated scheduler-metrics JSON report; --trace
-//                       writes one Chrome trace-event file per job
+//                       writes one Chrome trace-event file per job;
+//                       --cache serves repeats from (and fills) a
+//                       persistent schedule-artifact store
+//   cgra-tool serve     [--cache cachedir] [--threads 4] [--socket p.sock]
+//                       batch compile service: JSONL schedule requests on
+//                       stdin (or a unix socket), one JSON artifact
+//                       response per line, deduplicated by cache key
 //
 // Every subcommand accepts `--help` and prints its flag table. Flags take
 // either `--key value` or `--key=value`. One option table is shared by all
@@ -52,6 +58,9 @@
 
 #include "apps/kernels.hpp"
 #include "arch/factory.hpp"
+#include "artifact/service.hpp"
+#include "artifact/store.hpp"
+#include "artifact/sweep_cache.hpp"
 #include "arch/resource_model.hpp"
 #include "ctx/contexts.hpp"
 #include "ctx/serialize.hpp"
@@ -62,11 +71,13 @@
 #include "kir/parser.hpp"
 #include "kir/passes.hpp"
 #include "sched/analysis.hpp"
+#include "sched/job_key.hpp"
 #include "sched/scheduler.hpp"
 #include "sched/sweep.hpp"
 #include "sched/validate.hpp"
 #include "sim/report.hpp"
 #include "sim/simulator.hpp"
+#include "support/fs.hpp"
 #include "support/table.hpp"
 #include "synth/synthesis.hpp"
 #include "vgen/verilog.hpp"
@@ -134,6 +145,20 @@ constexpr FlagSpec kFlagTable[] = {
     {"area-weight", true, false, "W",
      "synthesis score weight of LUT area (default 0.25)"},
     {"out", true, false, "PATH", "write the winning composition JSON"},
+    {"cache", true, false, "DIR",
+     "content-addressed schedule-artifact cache directory (created if "
+     "missing; repeated jobs are served without rescheduling)"},
+    {"cache-bytes", true, false, "N",
+     "cache disk budget in bytes; past it, least-recently-used artifacts "
+     "are evicted (default 268435456)"},
+    {"socket", true, false, "PATH",
+     "serve on a unix domain socket instead of stdin/stdout"},
+    {"max-queue", true, false, "N",
+     "maximum in-flight requests before reading stalls (default 64)"},
+    {"artifact", false, false, "",
+     "attach the full artifact document to every successful response"},
+    {"max-connections", true, false, "N",
+     "exit after N socket connections (default 0 = serve forever)"},
     {"help", false, false, "", "show this subcommand's flags"},
 };
 
@@ -250,6 +275,43 @@ std::vector<std::string> splitCsv(const std::string& list) {
     pos = comma == std::string::npos ? std::string::npos : comma + 1;
   }
   return out;
+}
+
+/// Fail fast on unwritable output destinations *before* scheduling work:
+/// `flags` name file-valued options (their parent directory must be
+/// writable), `dirFlags` directory-valued ones (created and probed). A bad
+/// --metrics/--trace/--cache path aborts in milliseconds with a clear
+/// message instead of after the whole run.
+void preflightOutputs(const Args& args,
+                      std::initializer_list<const char*> fileFlags,
+                      std::initializer_list<const char*> dirFlags) {
+  for (const char* flag : fileFlags)
+    if (args.has(flag)) {
+      try {
+        fs::ensureWritableParent(args.get(flag));
+      } catch (const std::exception& e) {
+        throw Error("--" + std::string(flag) + " " + args.get(flag) +
+                    " is not writable: " + e.what());
+      }
+    }
+  for (const char* flag : dirFlags)
+    if (args.has(flag)) {
+      try {
+        fs::ensureWritableDir(args.get(flag));
+      } catch (const std::exception& e) {
+        throw Error("--" + std::string(flag) + " " + args.get(flag) +
+                    " is not writable: " + e.what());
+      }
+    }
+}
+
+/// Assembles ArtifactStore options from --cache / --cache-bytes.
+artifact::StoreOptions storeOptions(const Args& args) {
+  artifact::StoreOptions so;
+  so.directory = args.get("cache");
+  if (args.has("cache-bytes"))
+    so.maxDiskBytes = std::stoull(args.get("cache-bytes"));
+  return so;
 }
 
 apps::Workload resolveKernel(const std::string& name) {
@@ -371,12 +433,39 @@ void writeTraceFile(const Args& args, const ScheduleReport& report,
 }
 
 int cmdSchedule(const Args& args) {
+  preflightOutputs(args,
+                   {"trace", "contexts", "memfiles", "verilog", "dot"},
+                   {"cache"});
   const Composition comp = resolveComposition(args.get("comp", "mesh4"));
   Prepared p = prepareKernel(args);
 
-  const Scheduler scheduler(comp);
-  const ScheduleReport result =
-      scheduler.schedule(makeRequest(args, p, false));
+  const ScheduleRequest request = makeRequest(args, p, false);
+  std::optional<artifact::ArtifactStore> store;
+  std::string key;
+  bool cached = false;
+  ScheduleReport result;
+  if (args.has("cache")) {
+    store.emplace(storeOptions(args));
+    key = scheduleJobKey(comp, p.graph, request.options.value());
+    if (const auto art = store->lookup(key)) {
+      cached = true;
+      result.ok = art->ok;
+      result.schedule = art->schedule;
+      result.stats = art->stats;
+      result.metrics = art->metrics;
+      result.failure = art->failure;
+    }
+  }
+  if (!cached) {
+    const Scheduler scheduler(comp);
+    result = scheduler.schedule(request);
+    if (store.has_value()) {
+      auto art = artifact::ScheduleArtifact::fromReport(key, result);
+      if (result.ok) art.contexts = generateContexts(result.schedule, comp);
+      store->insert(std::make_shared<const artifact::ScheduleArtifact>(
+          std::move(art)));
+    }
+  }
   if (!result.ok) {
     writeTraceFile(args, result, p.workload.name + "@" + comp.name());
     std::cerr << "cgra-tool: scheduling failed ("
@@ -396,7 +485,10 @@ int cmdSchedule(const Args& args) {
   for (unsigned r : images.physRegsUsed) maxRf = std::max(maxRf, r);
   std::cout << maxRf << ", " << result.stats.copiesInserted
             << " copies, " << result.stats.fusedWrites << " fused writes, "
-            << fmt(result.stats.wallTimeMs, 2) << " ms\n";
+            << fmt(result.stats.wallTimeMs, 2) << " ms";
+  if (cached)
+    std::cout << " (cache hit " << key.substr(0, 12) << ")";
+  std::cout << "\n";
 
   const ScheduleAnalysis analysis = analyzeSchedule(result.schedule, comp);
   std::cout << "avg PE utilization " << fmt(analysis.avgUtilization * 100, 1)
@@ -436,6 +528,7 @@ int cmdSchedule(const Args& args) {
 }
 
 int cmdExplain(const Args& args) {
+  preflightOutputs(args, {"trace"}, {});
   const Composition comp = resolveComposition(args.get("comp", "mesh4"));
   Prepared p = prepareKernel(args);
 
@@ -513,6 +606,7 @@ void emitReport(const Args& args, const Report& report, const Schedule& sched,
 }
 
 int cmdStats(const Args& args) {
+  preflightOutputs(args, {"json", "csv"}, {});
   const Composition comp = resolveComposition(args.get("comp", "mesh4"));
   Prepared p = prepareKernel(args);
   const Scheduler scheduler(comp);
@@ -535,6 +629,7 @@ int cmdStats(const Args& args) {
 }
 
 int cmdSimulate(const Args& args) {
+  preflightOutputs(args, {"json", "csv"}, {});
   const Composition comp = resolveComposition(args.get("comp", "mesh4"));
   Prepared p = prepareKernel(args);
 
@@ -587,6 +682,7 @@ int cmdSimulate(const Args& args) {
 }
 
 int cmdSweep(const Args& args) {
+  preflightOutputs(args, {"metrics"}, {"trace", "cache"});
   // Resolve the cross-product inputs. Deques keep element addresses stable
   // for the sweep jobs' non-owning pointers.
   std::deque<Composition> comps;
@@ -617,7 +713,11 @@ int cmdSweep(const Args& args) {
     opts.traceDir = args.get("trace");
     opts.trace.capacity = args.getUnsigned("trace-capacity", 1u << 16);
   }
-  const SweepReport report = runSweep(jobs, opts);
+  std::optional<artifact::ArtifactStore> store;
+  if (args.has("cache")) store.emplace(storeOptions(args));
+  const SweepReport report = store.has_value()
+                                 ? artifact::runCachedSweep(jobs, opts, *store)
+                                 : runSweep(jobs, opts);
 
   TextTable table({"Job", "Contexts", "Util", "Copies", "Backtracks", "ms"});
   for (const SweepJobResult& r : report.results)
@@ -645,6 +745,13 @@ int cmdSweep(const Args& args) {
                   << "=" << report.failuresByReason[i];
     std::cout << "\n";
   }
+  if (report.dedupedJobs > 0)
+    std::cout << report.dedupedJobs
+              << " duplicate job(s) deduplicated within the sweep\n";
+  if (report.cacheEnabled)
+    std::cout << "artifact cache: " << report.cacheHits << " hit(s), "
+              << report.cacheMisses << " miss(es), " << report.cacheEvictions
+              << " eviction(s) in " << store->directory() << "\n";
   if (!opts.traceDir.empty())
     std::cout << "wrote per-job traces under " << opts.traceDir << "\n";
   if (args.has("metrics")) {
@@ -653,6 +760,30 @@ int cmdSweep(const Args& args) {
     std::cout << "wrote " << args.get("metrics") << "\n";
   }
   return report.failures == 0 ? 0 : 1;
+}
+
+int cmdServe(const Args& args) {
+  preflightOutputs(args, {}, {"cache"});
+  artifact::ArtifactStore store(storeOptions(args));
+  artifact::ServiceOptions opts;
+  opts.threads = args.getUnsigned("threads", 0);
+  opts.maxInFlight = args.getUnsigned("max-queue", 64);
+  opts.includeArtifact = args.has("artifact");
+
+  artifact::ServiceStats stats;
+  if (args.has("socket")) {
+    std::cerr << "cgra-tool: serving on " << args.get("socket") << "\n";
+    stats = artifact::serveUnixSocket(args.get("socket"), store, opts,
+                                      args.getUnsigned("max-connections", 0));
+  } else {
+    stats = artifact::serveJsonl(std::cin, std::cout, store, opts);
+  }
+  // Session summary on stderr: stdout carries only JSONL responses.
+  std::cerr << "serve: " << stats.requests << " request(s), "
+            << stats.scheduled << " scheduled, " << stats.cacheHits
+            << " cache hit(s), " << stats.deduped << " deduped, "
+            << stats.parseErrors << " error(s)\n";
+  return 0;
 }
 
 int cmdSynthesize(const Args& args) {
@@ -729,7 +860,7 @@ const CommandSpec kCommands[] = {
     {"schedule", "map a kernel onto a composition and report the schedule",
      {"comp", "kernel", "kernel-file", "local", "array", "unroll", "cse",
       "max-contexts", "trace", "trace-capacity", "gantt", "dump", "contexts",
-      "memfiles", "verilog", "dot"},
+      "memfiles", "verilog", "dot", "cache", "cache-bytes"},
      cmdSchedule},
     {"explain",
      "print the scheduler's decision log (works on unmappable kernels)",
@@ -751,8 +882,12 @@ const CommandSpec kCommands[] = {
      {"kernels", "area-weight", "threads", "out"}, cmdSynthesize},
     {"sweep", "schedule every (composition x kernel) pair in parallel",
      {"comps", "kernels", "unroll", "threads", "metrics", "max-contexts",
-      "trace", "trace-capacity", "stable"},
+      "trace", "trace-capacity", "stable", "cache", "cache-bytes"},
      cmdSweep},
+    {"serve", "batch compile service: JSONL requests in, artifacts out",
+     {"cache", "cache-bytes", "threads", "max-queue", "artifact", "socket",
+      "max-connections"},
+     cmdServe},
 };
 
 int printHelp(const CommandSpec& cmd) {
