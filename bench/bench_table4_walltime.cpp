@@ -39,7 +39,7 @@ int main() {
   std::cout << "scheduled " << jobs.size() << " variants in "
             << fmt(sweep.wallTimeMs, 1) << " ms on " << sweep.threadsUsed
             << " thread(s), " << sweep.routingCacheEntries
-            << " routing-cache entries\n";
+            << " arch model(s)\n";
   report.timing("sweepWallMs", sweep.wallTimeMs);
 
   auto wallMs = [&](std::size_t job, const Composition& comp) -> double {

@@ -1,0 +1,78 @@
+#include "arch/arch_model.hpp"
+
+#include <atomic>
+#include <mutex>
+
+#include "support/sha256.hpp"
+
+namespace cgra {
+
+namespace {
+
+/// Serializes slot creation and first builds across threads. Held only for
+/// the duration of a lookup or build — every read of a built model is
+/// lock-free through the returned shared_ptr.
+std::mutex g_slotMutex;
+
+std::atomic<std::uint64_t> g_builds{0};
+
+}  // namespace
+
+ArchModel ArchModel::build(const Composition& comp) {
+  g_builds.fetch_add(1, std::memory_order_relaxed);
+
+  const unsigned n = comp.numPEs();
+  const Interconnect& ic = comp.interconnect();
+
+  ArchModel model;
+  model.ic_ = ic;
+  model.digest_ = digestCompositionJson(comp.toJson().dump());
+  model.cboxSlots = comp.cboxSlots();
+  model.contextMemoryLength = comp.contextMemoryLength();
+
+  model.sinks.assign(n, {});
+  model.sources.assign(n, {});
+  model.connectivity.assign(n, 0);
+  model.reachCount.assign(n, 0);
+  for (PEId from = 0; from < n; ++from) {
+    model.sinks[from] = ic.sinks(from);
+    model.sources[from] = ic.sources(from);
+    model.connectivity[from] = static_cast<unsigned>(
+        model.sources[from].size() + model.sinks[from].size());
+    for (PEId to = 0; to < n; ++to)
+      if (ic.distance(from, to) != kUnreachable) ++model.reachCount[from];
+  }
+
+  model.supportingPEs.assign(kNumOps, {});
+  for (unsigned op = 0; op < kNumOps; ++op)
+    model.supportingPEs[op] = comp.pesSupporting(static_cast<Op>(op));
+
+  model.peHasDma.assign(n, false);
+  model.dmaPEs = comp.dmaPEs();
+  for (PEId pe : model.dmaPEs) model.peHasDma[pe] = true;
+  return model;
+}
+
+std::shared_ptr<const ArchModel> ArchModel::get(const Composition& comp) {
+  std::lock_guard<std::mutex> lock(g_slotMutex);
+  if (!comp.archModelSlot_)
+    comp.archModelSlot_ = std::make_shared<detail::ArchModelSlot>();
+  detail::ArchModelSlot& slot = *comp.archModelSlot_;
+  if (!slot.model)
+    slot.model = std::make_shared<const ArchModel>(build(comp));
+  return slot.model;
+}
+
+std::uint64_t ArchModel::buildsPerformed() {
+  return g_builds.load(std::memory_order_relaxed);
+}
+
+std::string ArchModel::digestCompositionJson(const std::string& compJson) {
+  Sha256 h;
+  h.update("comp:");
+  h.updateU64(compJson.size());
+  h.update(compJson);
+  return h.hex();
+}
+
+}  // namespace cgra

@@ -6,6 +6,7 @@
 // strongly connected interconnect, positive memory sizes).
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,12 @@
 #include "arch/pe.hpp"
 
 namespace cgra {
+
+class ArchModel;
+
+namespace detail {
+struct ArchModelSlot;
+}  // namespace detail
 
 /// One concrete CGRA instance description.
 class Composition {
@@ -58,11 +65,18 @@ public:
   std::string toDot() const;
 
 private:
+  friend class ArchModel;
+
   std::string name_;
   std::vector<PEDescriptor> pes_;
   Interconnect ic_;
   unsigned contextMemoryLength_ = 256;
   unsigned cboxSlots_ = 32;
+  /// Lazily created memo slot for the composition's ArchModel (see
+  /// arch/arch_model.hpp). A composition is immutable after construction,
+  /// so copies may share the slot: the cached analyses stay valid for every
+  /// copy and the model is built at most once per original instance.
+  mutable std::shared_ptr<detail::ArchModelSlot> archModelSlot_;
 };
 
 }  // namespace cgra

@@ -1,10 +1,10 @@
 #include "artifact/sweep_cache.hpp"
 
 #include <chrono>
-#include <map>
 #include <unordered_set>
 #include <utility>
 
+#include "arch/arch_model.hpp"
 #include "sched/job_key.hpp"
 
 namespace cgra::artifact {
@@ -80,13 +80,15 @@ SweepReport runCachedSweep(const std::vector<SweepJob>& jobs,
   TraceOptions trace = options.trace;
   if (!options.traceDir.empty()) trace.enabled = true;
 
-  // Key every job (amortizing composition digests per instance) and probe the
+  // Key every job (composition digests are memoized on the ArchModel, so
+  // probing also warms the models the miss sweep will reuse) and probe the
   // store. Hits rehydrate in place; misses queue for the inner sweep.
+  const std::uint64_t buildsBefore = ArchModel::buildsPerformed();
+  const auto keyStart = std::chrono::steady_clock::now();
   std::vector<SweepJob> missJobs;
   std::vector<std::size_t> missIndex;  ///< miss position → job index
   std::size_t duplicateHits = 0;
   {
-    std::map<const Composition*, std::string> compDigest;
     std::unordered_set<std::string> seenKeys;
     for (std::size_t i = 0; i < jobs.size(); ++i) {
       if (jobs[i].comp == nullptr || jobs[i].graph == nullptr) {
@@ -94,13 +96,9 @@ SweepReport runCachedSweep(const std::vector<SweepJob>& jobs,
         missIndex.push_back(i);
         continue;
       }
-      auto it = compDigest.find(jobs[i].comp);
-      if (it == compDigest.end())
-        it = compDigest.emplace(jobs[i].comp,
-                                compositionDigest(*jobs[i].comp))
-                 .first;
       const std::string key = scheduleJobKeyWithCompDigest(
-          it->second, *jobs[i].graph, jobs[i].options);
+          ArchModel::get(*jobs[i].comp)->digest(), *jobs[i].graph,
+          jobs[i].options);
       const bool duplicate = !seenKeys.insert(key).second;
       if (const auto art = store.lookup(key)) {
         report.results[i] =
@@ -121,6 +119,9 @@ SweepReport runCachedSweep(const std::vector<SweepJob>& jobs,
       }
     }
   }
+  const double keyMs = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - keyStart)
+                           .count();
 
   // Schedule the misses on the regular engine. keepSchedules is forced on
   // so artifacts can be built; the caller's preference is applied after.
@@ -131,15 +132,20 @@ SweepReport runCachedSweep(const std::vector<SweepJob>& jobs,
   report.dedupedJobs = missReport.dedupedJobs + duplicateHits;
 
   // Like dedupedJobs, routingCacheEntries must not depend on cache warmth
-  // (it lives in the stable JSON): report the distinct compositions of the
+  // (it lives in the stable JSON): report the distinct arch models of the
   // full job list — exactly what a cold runSweep counts — rather than the
-  // inner sweep's miss-only tally.
+  // inner sweep's miss-only tally. The volatile build counters cover the
+  // whole cached sweep: keying above builds any model the memo was missing,
+  // so the inner sweep's own tally alone would under-report.
   {
-    std::unordered_set<const Composition*> comps;
+    std::unordered_set<const ArchModel*> models;
     for (const SweepJob& job : jobs)
-      if (job.comp != nullptr) comps.insert(job.comp);
-    report.routingCacheEntries = comps.size();
+      if (job.comp != nullptr) models.insert(ArchModel::get(*job.comp).get());
+    report.routingCacheEntries = models.size();
   }
+  report.archModelBuilds =
+      static_cast<std::size_t>(ArchModel::buildsPerformed() - buildsBefore);
+  report.archModelBuildMs = keyMs + missReport.archModelBuildMs;
 
   for (std::size_t m = 0; m < missIndex.size(); ++m) {
     SweepJobResult& r = missReport.results[m];

@@ -1,5 +1,6 @@
 #include "sched/job_key.hpp"
 
+#include "arch/arch_model.hpp"
 #include "arch/composition.hpp"
 #include "support/sha256.hpp"
 
@@ -85,15 +86,13 @@ void hashOptions(Sha256& h, const SchedulerOptions& o) {
 }  // namespace
 
 std::string compositionDigest(const std::string& compJson) {
-  Sha256 h;
-  h.update("comp:");
-  h.updateU64(compJson.size());
-  h.update(compJson);
-  return h.hex();
+  return ArchModel::digestCompositionJson(compJson);
 }
 
 std::string compositionDigest(const Composition& comp) {
-  return compositionDigest(comp.toJson().dump());
+  // Served from the composition's memoized ArchModel: digesting the same
+  // Composition instance twice hashes its JSON only once.
+  return ArchModel::get(comp)->digest();
 }
 
 std::string scheduleJobKeyWithCompDigest(const std::string& compDigest,

@@ -1,0 +1,13 @@
+// Candidate selection: the dependence-frontier snapshot ordered by
+// longest-path priority (§V-F), ids breaking ties.
+#pragma once
+
+#include "sched/passes/run_state.hpp"
+
+namespace cgra::passes {
+
+/// The current candidate set, highest priority first (creation order when
+/// SchedulerOptions::longestPathPriority is off).
+std::vector<NodeId> sortedCandidates(const RunState& st);
+
+}  // namespace cgra::passes

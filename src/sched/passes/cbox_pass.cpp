@@ -1,0 +1,74 @@
+#include "sched/passes/cbox_pass.hpp"
+
+#include <algorithm>
+
+namespace cgra::passes {
+
+std::optional<PredRef> ensureCondition(const ArchModel& model, RunState& st,
+                                       CondId c, unsigned deadline) {
+  CGRA_ASSERT(c != kCondTrue);
+  if (const auto it = st.condSlots.find(c); it != st.condSlots.end())
+    return it->second.ready <= deadline ? std::optional(it->second.ref)
+                                        : std::nullopt;
+
+  const Condition& cond = st.g.condition(c);
+  const auto rawIt = st.rawSlots.find(cond.statusNode);
+  if (rawIt == st.rawSlots.end()) return std::nullopt;  // CMP not scheduled yet
+  const CondSlot& raw = rawIt->second;
+
+  if (cond.parent == kCondTrue) {
+    // TRUE ∧ literal: read the raw status slot with the literal polarity.
+    CondSlot slot{PredRef{raw.ref.slot, cond.polarity}, raw.ready};
+    if (slot.ready > deadline) return std::nullopt;
+    st.condSlots[c] = slot;
+    return slot.ref;
+  }
+
+  // parent ∧ literal: combine the stored parent with the stored raw status.
+  if (deadline == 0) return std::nullopt;
+  const auto parentRef = ensureCondition(model, st, cond.parent, deadline - 1);
+  if (!parentRef) return std::nullopt;
+  const unsigned parentReady = st.condSlots.at(cond.parent).ready;
+
+  const unsigned lo = std::max(parentReady, raw.ready);
+  for (unsigned u = lo; u + 1 <= deadline; ++u) {
+    if (st.cboxOpAt.test(u)) continue;
+    CBoxOp op;
+    op.time = u;
+    op.inputs = {
+        CBoxOp::Input{CBoxOp::Input::Kind::Stored, parentRef->slot,
+                      parentRef->polarity},
+        CBoxOp::Input{CBoxOp::Input::Kind::Stored, raw.ref.slot,
+                      cond.polarity}};
+    op.logic = CBoxOp::Logic::And;
+    op.writeSlot = st.nextCondSlot++;
+    op.cond = c;
+    st.sched.cboxOps.push_back(op);
+    st.cboxOpAt.mark(u);
+    CGRA_TRACE(st.trace, CBoxSlotAllocated, .cycle = u, .a = op.writeSlot,
+               .b = c, .detail = "and");
+    CondSlot slot{PredRef{op.writeSlot, true}, u + 1};
+    st.condSlots[c] = slot;
+    return slot.ref;
+  }
+  return std::nullopt;
+}
+
+void allocateStatusSlot(const ArchModel& /*model*/, RunState& st, NodeId id,
+                        unsigned statusCycle) {
+  // Store the raw status into a fresh condition slot on the status cycle.
+  CBoxOp cb;
+  cb.time = statusCycle;
+  cb.inputs = {CBoxOp::Input{CBoxOp::Input::Kind::Status, 0, true}};
+  cb.logic = CBoxOp::Logic::Pass;
+  cb.writeSlot = st.nextCondSlot++;
+  cb.cond = kCondTrue;  // raw literal, interpreted per condition
+  st.sched.cboxOps.push_back(cb);
+  st.cboxOpAt.mark(statusCycle);
+  CGRA_TRACE(st.trace, CBoxSlotAllocated, .cycle = statusCycle,
+             .node = static_cast<std::int32_t>(id), .a = cb.writeSlot,
+             .detail = "status");
+  st.rawSlots[id] = CondSlot{PredRef{cb.writeSlot, true}, statusCycle + 1};
+}
+
+}  // namespace cgra::passes

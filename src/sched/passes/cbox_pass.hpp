@@ -1,0 +1,25 @@
+// C-Box allocation (§V-H): the C-Box is a scheduled resource — one status
+// consumed, one condition write, one PE-predication read and one branch
+// read per cycle. This pass owns every condition-slot allocation: storing a
+// raw status produced by a comparison, and materializing nested conditions
+// as conjunctions of a stored condition and a stored raw status.
+#pragma once
+
+#include <optional>
+
+#include "sched/passes/run_state.hpp"
+
+namespace cgra::passes {
+
+/// Ensures condition `c` is materialized in a C-Box slot readable at
+/// `deadline`. Inserts combine operations into free C-Box cycles when
+/// needed. Returns nullopt when impossible so far (caller delays).
+std::optional<PredRef> ensureCondition(const ArchModel& model, RunState& st,
+                                       CondId c, unsigned deadline);
+
+/// Stores the raw status emitted by comparison node `id` into a fresh
+/// condition slot on `statusCycle` (the producer's last cycle).
+void allocateStatusSlot(const ArchModel& model, RunState& st, NodeId id,
+                        unsigned statusCycle);
+
+}  // namespace cgra::passes

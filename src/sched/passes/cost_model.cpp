@@ -1,0 +1,39 @@
+#include "sched/passes/cost_model.hpp"
+
+#include <algorithm>
+
+namespace cgra::passes {
+
+std::vector<PEId> AttractionCostModel::orderPEs(const ArchModel& model,
+                                                const RunState& st,
+                                                NodeId id) const {
+  std::vector<PEId> out(st.comp.numPEs());
+  for (PEId p = 0; p < st.comp.numPEs(); ++p) out[p] = p;
+  if (!st.opts.useAttraction) return out;
+  const auto& att = st.attraction[id];
+  const auto& connectivity = model.connectivity;
+  std::stable_sort(out.begin(), out.end(), [&](PEId a, PEId b) {
+    if (att[a] != att[b]) return att[a] > att[b];
+    return connectivity[a] > connectivity[b];
+  });
+  return out;
+}
+
+void AttractionCostModel::onNodePlaced(const ArchModel& model, RunState& st,
+                                       NodeId id, PEId pe) const {
+  // Successors are drawn toward PEs that can access this result's register
+  // file. The sink lists come from the shared model tables (the seed
+  // re-scanned the interconnect here).
+  for (const Edge& e : st.g.outEdges(id)) {
+    if (st.nodeScheduled[e.to]) continue;
+    st.attraction[e.to][pe] += 1.0;
+    for (PEId q : model.sinks[pe]) st.attraction[e.to][q] += 1.0;
+  }
+}
+
+const CostModel& attractionCostModel() {
+  static const AttractionCostModel instance;
+  return instance;
+}
+
+}  // namespace cgra::passes

@@ -1,0 +1,43 @@
+// Placement cost model: how the placement pass orders PEs for a node and
+// how a committed placement feeds back into future ordering.
+//
+// The paper's attraction criterion (§V-G) is one implementation of this
+// interface; ablation setups (SchedulerOptions::useAttraction = false) run
+// the same implementation with the ordering reduced to index order, so the
+// feedback bookkeeping — and therefore the schedule — matches the seed
+// scheduler bit for bit in both modes.
+#pragma once
+
+#include "sched/passes/run_state.hpp"
+
+namespace cgra::passes {
+
+class CostModel {
+public:
+  virtual ~CostModel() = default;
+
+  /// PEs ordered most-preferred first for placing `id`.
+  virtual std::vector<PEId> orderPEs(const ArchModel& model,
+                                     const RunState& st, NodeId id) const = 0;
+
+  /// Feedback after `id` committed to `pe`: update the affinities of its
+  /// not-yet-scheduled successors.
+  virtual void onNodePlaced(const ArchModel& model, RunState& st, NodeId id,
+                            PEId pe) const = 0;
+};
+
+/// The attraction criterion (§V-G): successors are drawn toward PEs that
+/// can access the placed result's register file; ties break on static
+/// connectivity.
+class AttractionCostModel final : public CostModel {
+public:
+  std::vector<PEId> orderPEs(const ArchModel& model, const RunState& st,
+                             NodeId id) const override;
+  void onNodePlaced(const ArchModel& model, RunState& st, NodeId id,
+                    PEId pe) const override;
+};
+
+/// Shared immutable instance (the model keeps no state of its own).
+const CostModel& attractionCostModel();
+
+}  // namespace cgra::passes

@@ -1,0 +1,12 @@
+// Finalize: derives schedule length, validates it against the context
+// budget, and publishes variable homes / live-in-out bindings and resource
+// totals onto the Schedule.
+#pragma once
+
+#include "sched/passes/run_state.hpp"
+
+namespace cgra::passes {
+
+void runFinalizePass(const ArchModel& model, RunState& st);
+
+}  // namespace cgra::passes

@@ -1,0 +1,46 @@
+#include "sched/passes/fusing_pass.hpp"
+
+#include <algorithm>
+
+namespace cgra::passes {
+
+std::optional<NodeId> fusablePWrite(const RunState& st, NodeId id) {
+  if (!st.opts.fuseWrites) return std::nullopt;
+  const Node& n = st.g.node(id);
+  if (n.kind != NodeKind::Operation || !writesRegister(n.op))
+    return std::nullopt;
+  std::optional<NodeId> writer;
+  for (const Edge& e : st.g.outEdges(id)) {
+    if (e.kind != DepKind::Flow) continue;
+    const Node& to = st.g.node(e.to);
+    const bool consumesValue =
+        to.isPWrite()
+            ? to.operands[0] == Operand::node(id)
+            : std::any_of(to.operands.begin(), to.operands.end(),
+                          [&](const Operand& o) {
+                            return o == Operand::node(id);
+                          });
+    if (!consumesValue) continue;  // pure ordering edge
+    if (!to.isPWrite()) return std::nullopt;  // value also read directly
+    if (writer) return std::nullopt;          // multiple writers
+    writer = e.to;
+  }
+  if (!writer) return std::nullopt;
+  const Node& w = st.g.node(*writer);
+  if (w.loop != n.loop) return std::nullopt;
+  return writer;
+}
+
+bool pWriteDepsMet(const RunState& st, NodeId writer, NodeId producer,
+                   unsigned t) {
+  for (const Edge& e : st.g.inEdges(writer)) {
+    if (e.from == producer) continue;
+    if (!st.nodeScheduled[e.from]) return false;
+    const unsigned c = e.kind == DepKind::Anti ? st.nodeStart[e.from]
+                                               : st.nodeFinish[e.from];
+    if (c > t) return false;
+  }
+  return true;
+}
+
+}  // namespace cgra::passes

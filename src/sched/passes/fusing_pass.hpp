@@ -1,0 +1,21 @@
+// Fusing (§V-E): a pWRITE is folded into its producer when the producer
+// lands on the home PE, the condition is already available and no other
+// node consumes the value. This pass answers the legality questions; the
+// placement pass commits the fused op.
+#pragma once
+
+#include <optional>
+
+#include "sched/passes/run_state.hpp"
+
+namespace cgra::passes {
+
+/// Returns the single pWRITE consumer if `id`'s value feeds exactly one
+/// node and that node is a pWRITE in the same loop (fusion candidate).
+std::optional<NodeId> fusablePWrite(const RunState& st, NodeId id);
+
+/// All non-producer dependencies of the pWRITE satisfied at cycle `t`?
+bool pWriteDepsMet(const RunState& st, NodeId writer, NodeId producer,
+                   unsigned t);
+
+}  // namespace cgra::passes

@@ -1,0 +1,24 @@
+// Loop closure and loop-compatibility (§V-C): every loop occupies a
+// contiguous context interval; an inner loop may only open on a context
+// with no other operation, and only once every external predecessor of the
+// whole loop subtree has finished; outer-loop nodes wait until the inner
+// loop closes. Closing places the conditional back-branch on the loop's
+// last context.
+#pragma once
+
+#include "sched/passes/run_state.hpp"
+
+namespace cgra::passes {
+
+/// All external predecessors of the loop subtree finished by cycle `t`.
+bool loopPredsFinished(const RunState& st, LoopId l, unsigned t);
+
+/// Tries to close finished loops at the top of the stack (branch placed at
+/// the loop's last context).
+void tryCloseLoops(const ArchModel& model, RunState& st);
+
+/// Loop-compatibility: returns true when the candidate may be planned at
+/// the current step, opening inner loops when required.
+bool loopCompatible(const ArchModel& model, RunState& st, NodeId id);
+
+}  // namespace cgra::passes

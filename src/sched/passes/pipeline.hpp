@@ -1,0 +1,20 @@
+// Pass-pipeline driver: one scheduling run = analysis → (per step:
+// loop-closure → placement, which pulls in candidate ordering, the cost
+// model, C-Box allocation, fusing and routing) → finalize, all over a
+// shared immutable ArchModel and a mutable RunState.
+#pragma once
+
+#include "arch/arch_model.hpp"
+#include "cdfg/cdfg.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/trace.hpp"
+
+namespace cgra::passes {
+
+/// Runs the full scheduling pipeline for one kernel. `model` must have been
+/// built for `comp` (the same composition the caller schedules onto).
+ScheduleReport runPipeline(const ArchModel& model, const Composition& comp,
+                           const SchedulerOptions& opts, const Cdfg& g,
+                           Trace* trace);
+
+}  // namespace cgra::passes

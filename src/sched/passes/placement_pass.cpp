@@ -1,0 +1,315 @@
+#include "sched/passes/placement_pass.hpp"
+
+#include <array>
+#include <cmath>
+#include <map>
+#include <string>
+
+#include "sched/passes/candidate_pass.hpp"
+#include "sched/passes/cbox_pass.hpp"
+#include "sched/passes/cost_model.hpp"
+#include "sched/passes/fusing_pass.hpp"
+#include "sched/passes/loop_pass.hpp"
+#include "sched/passes/routing_pass.hpp"
+
+namespace cgra::passes {
+
+namespace {
+
+bool incompatible(const RunState& st, NodeId id, PEId pe) {
+  const Node& n = st.g.node(id);
+  if (n.isPWrite()) {
+    const auto& home = st.varHomes[n.var];
+    return home && home->pe != pe;
+  }
+  return !st.comp.pe(pe).supports(n.op);
+}
+
+unsigned opDuration(const RunState& st, NodeId id, PEId pe) {
+  const Node& n = st.g.node(id);
+  if (n.isPWrite()) {
+    const Op writeOp = n.operands[0].kind() == Operand::Kind::Immediate
+                           ? Op::CONST
+                           : Op::MOVE;
+    return st.comp.pe(pe).impl(writeOp).duration;
+  }
+  return st.comp.pe(pe).impl(n.op).duration;
+}
+
+/// Assigns a variable's home register (§V-D heuristic: the PE that can
+/// provide the value to the first PE requiring it — we pin the home on
+/// that very PE). For live-in variables the host transfer is recorded.
+void assignHome(RunState& st, VarId var, PEId pe) {
+  CGRA_ASSERT(!st.varHomes[var]);
+  const unsigned vreg = st.freshVreg(pe);
+  const bool liveIn = st.g.variable(var).liveIn;
+  st.varHomes[var] = Location{pe, vreg, 0, Location::kNoLimit};
+  if (liveIn) st.sched.liveIns.push_back(LiveBinding{var, pe, vreg});
+}
+
+/// Ensures the variable has a home; used on first read.
+void homeFor(RunState& st, VarId var, PEId consumerPe) {
+  if (!st.varHomes[var]) assignHome(st, var, consumerPe);
+}
+
+/// A committed write to `var` at finish cycle: home becomes ready, all
+/// copies become stale for later readers.
+void commitVarWrite(RunState& st, VarId var, unsigned finish) {
+  Location& home = *st.varHomes[var];
+  home.ready = std::max(home.ready, finish);
+  for (Location& copy : st.varCopies[var])
+    copy.validUntil = std::min(copy.validUntil, finish - 1);
+}
+
+void markScheduled(const ArchModel& model, RunState& st, NodeId id,
+                   unsigned start, unsigned dur, PEId pe) {
+  st.nodeScheduled[id] = true;
+  st.nodeStart[id] = start;
+  st.nodeFinish[id] = start + dur;
+  ++st.scheduledCount;
+  ++st.metrics.nodesScheduled;
+  st.candidates.erase(id);
+
+  // Successor-affinity feedback lives in the cost model (§V-G attraction).
+  st.costModel->onNodePlaced(model, st, id, pe);
+  for (const Edge& e : st.g.outEdges(id))
+    if (--st.remainingPreds[e.to] == 0) st.candidates.insert(e.to);
+}
+
+/// Records (and traces) one rejected (node, PE) placement probe. The
+/// per-node reason feeds the typed failure classification when the run
+/// eventually gives up: within one step the most informative reason wins
+/// (an Incompatible on a later PE must not mask an OperandUnroutable);
+/// across steps the newest step wins.
+void rejectPlacement(RunState& st, NodeId id, PEId pe, TraceReject why) {
+  const auto rank = [](TraceReject r) {
+    switch (r) {
+      case TraceReject::None: return 0;
+      case TraceReject::Incompatible: return 1;
+      case TraceReject::PeBusy: return 2;
+      case TraceReject::CBoxWritePortBusy: return 3;
+      case TraceReject::PredUnavailable: return 3;
+      case TraceReject::OperandUnroutable: return 4;
+    }
+    return 0;
+  };
+  if (st.lastRejectStep[id] != st.t || rank(why) >= rank(st.lastReject[id])) {
+    st.lastReject[id] = why;
+    st.lastRejectStep[id] = st.t;
+  }
+  CGRA_TRACE(st.trace, PlacementRejected, .reject = why, .cycle = st.t,
+             .node = static_cast<std::int32_t>(id),
+             .pe = static_cast<std::int32_t>(pe));
+}
+
+bool planOperation(const ArchModel& model, RunState& st, NodeId id, PEId pe,
+                   unsigned dur) {
+  const Node& n = st.g.node(id);
+  const unsigned t = st.t;
+
+  // Comparisons feed the C-Box: one status per cycle, so the C-Box write
+  // port must be free on the status cycle (§V-H).
+  const unsigned statusCycle = t + dur - 1;
+  if (n.isStatusProducer() && st.cboxOpAt.test(statusCycle))
+    return st.fail(TraceReject::CBoxWritePortBusy);
+
+  // Memory operations are always predicated (§V-D).
+  std::optional<PredRef> pred;
+  if (n.isMemory() && n.cond != kCondTrue) {
+    pred = ensureCondition(model, st, n.cond, t);
+    if (!pred) return st.fail(TraceReject::PredUnavailable);
+    if (!st.predSignalAvailable(t, *pred))
+      return st.fail(TraceReject::PredUnavailable);
+  }
+
+  // Fusion: write the result directly into the variable's home register,
+  // predicated on the pWRITE's condition (§V-E).
+  std::optional<NodeId> fusedWriter;
+  std::optional<PredRef> fusedPred;
+  if (!n.isStatusProducer() && writesRegister(n.op)) {
+    if (const auto writer = fusablePWrite(st, id)) {
+      const Node& w = st.g.node(*writer);
+      const auto& home = st.varHomes[w.var];
+      const bool peOk = !home || home->pe == pe;
+      // A predicated memory op may only fuse when write and access share
+      // the same condition (one outPE signal gates both).
+      const bool condCompatible = !n.isMemory() || n.cond == w.cond;
+      if (peOk && condCompatible && pWriteDepsMet(st, *writer, id, t)) {
+        bool condOk = true;
+        if (w.cond != kCondTrue) {
+          // Both the op's own memory predication (none here: fused ops are
+          // pure ALU) and the single outPE wire must accommodate it.
+          fusedPred = ensureCondition(model, st, w.cond, t);
+          condOk = fusedPred && st.predSignalAvailable(t, *fusedPred);
+        }
+        if (condOk) fusedWriter = writer;
+      }
+    }
+  }
+
+  // Operand resolution (reads fused into this node, §V-E).
+  std::map<PEId, unsigned> exposure;
+  std::array<OperandSource, 3> srcs{};
+  for (std::size_t i = 0; i < n.operands.size(); ++i) {
+    // Reading a variable pins its home on first use.
+    if (n.operands[i].kind() == Operand::Kind::Variable)
+      homeFor(st, n.operands[i].varId(), pe);
+    const auto src = resolveOperand(model, st, n.operands[i], pe, t, exposure);
+    if (!src) return st.fail(TraceReject::OperandUnroutable);
+    srcs[i] = *src;
+  }
+
+  // Commit.
+  ScheduledOp op;
+  op.node = id;
+  op.op = n.op;
+  op.pe = pe;
+  op.start = t;
+  op.duration = dur;
+  op.src = srcs;
+  op.emitsStatus = n.isStatusProducer();
+  op.label = n.label;
+  if (pred) {
+    op.pred = pred;
+    st.claimPredSignal(t, *pred);
+  }
+
+  if (fusedWriter) {
+    const Node& w = st.g.node(*fusedWriter);
+    if (!st.varHomes[w.var]) assignHome(st, w.var, pe);
+    op.writesDest = true;
+    op.destVreg = st.varHomes[w.var]->vreg;
+    if (fusedPred) {
+      op.pred = fusedPred;
+      st.claimPredSignal(t, *fusedPred);
+    }
+    ++st.stats.fusedWrites;
+    CGRA_TRACE(st.trace, WriteFused, .cycle = t,
+               .node = static_cast<std::int32_t>(id),
+               .pe = static_cast<std::int32_t>(pe), .a = *fusedWriter);
+  } else if (writesRegister(n.op)) {
+    op.writesDest = true;
+    op.destVreg = st.freshVreg(pe);
+  }
+
+  for (const auto& [srcPe, vreg] : exposure) st.claimOutPort(srcPe, t, vreg);
+  st.markBusy(pe, t, dur);
+  st.sched.ops.push_back(op);
+  st.stepHasOp = true;
+
+  if (n.isStatusProducer()) allocateStatusSlot(model, st, id, statusCycle);
+
+  if (op.writesDest && !fusedWriter)
+    st.nodeLocs[id].push_back(Location{pe, op.destVreg, t + dur,
+                                       Location::kNoLimit});
+
+  markScheduled(model, st, id, t, dur, pe);
+  if (fusedWriter) {
+    commitVarWrite(st, st.g.node(*fusedWriter).var, t + dur);
+    markScheduled(model, st, *fusedWriter, t, dur, pe);
+  }
+  return true;
+}
+
+bool planPWrite(const ArchModel& model, RunState& st, NodeId id, PEId pe,
+                unsigned dur) {
+  const Node& n = st.g.node(id);
+  const unsigned t = st.t;
+
+  std::optional<PredRef> pred;
+  if (n.cond != kCondTrue) {
+    pred = ensureCondition(model, st, n.cond, t);
+    if (!pred) return st.fail(TraceReject::PredUnavailable);
+    if (!st.predSignalAvailable(t, *pred))
+      return st.fail(TraceReject::PredUnavailable);
+  }
+
+  const Operand& value = n.operands[0];
+  std::map<PEId, unsigned> exposure;
+  ScheduledOp op;
+  op.node = id;
+  op.pe = pe;
+  op.start = t;
+  op.duration = dur;
+  op.label = n.label;
+
+  if (value.kind() == Operand::Kind::Immediate) {
+    op.op = Op::CONST;
+    op.src[0] = OperandSource{OperandSource::Kind::Imm, 0, 0, value.imm()};
+  } else {
+    op.op = Op::MOVE;
+    if (value.kind() == Operand::Kind::Variable)
+      homeFor(st, value.varId(), pe);
+    const auto src = resolveOperand(model, st, value, pe, t, exposure);
+    if (!src) return st.fail(TraceReject::OperandUnroutable);
+    op.src[0] = *src;
+  }
+
+  if (!st.varHomes[n.var]) assignHome(st, n.var, pe);
+  CGRA_ASSERT(st.varHomes[n.var]->pe == pe);
+  op.writesDest = true;
+  op.destVreg = st.varHomes[n.var]->vreg;
+  if (pred) {
+    op.pred = pred;
+    st.claimPredSignal(t, *pred);
+  }
+
+  for (const auto& [srcPe, vreg] : exposure) st.claimOutPort(srcPe, t, vreg);
+  st.markBusy(pe, t, dur);
+  st.sched.ops.push_back(op);
+  st.stepHasOp = true;
+
+  commitVarWrite(st, n.var, t + dur);
+  markScheduled(model, st, id, t, dur, pe);
+  return true;
+}
+
+bool planCandidate(const ArchModel& model, RunState& st, NodeId id, PEId pe,
+                   unsigned dur) {
+  const Node& n = st.g.node(id);
+  if (n.isPWrite()) return planPWrite(model, st, id, pe, dur);
+  return planOperation(model, st, id, pe, dur);
+}
+
+}  // namespace
+
+void planStep(const ArchModel& model, RunState& st) {
+  st.stepHasOp = false;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId id : sortedCandidates(st)) {
+      ++st.metrics.candidateIterations;
+      if (st.nodeScheduled[id]) continue;  // fused away mid-snapshot
+      if (!loopCompatible(model, st, id)) continue;
+      if (st.earliestStart(id) > st.t) continue;
+      CGRA_TRACE(st.trace, CandidateSelected, .cycle = st.t,
+                 .node = static_cast<std::int32_t>(id),
+                 .a = std::llround(st.priorities[id] * 1000.0));
+      for (PEId pe : st.costModel->orderPEs(model, st, id)) {
+        if (incompatible(st, id, pe)) {
+          rejectPlacement(st, id, pe, TraceReject::Incompatible);
+          continue;
+        }
+        const unsigned dur = opDuration(st, id, pe);
+        if (st.busy(pe, st.t, dur)) {
+          rejectPlacement(st, id, pe, TraceReject::PeBusy);
+          continue;
+        }
+        ++st.metrics.placementAttempts;
+        st.reject = TraceReject::None;
+        if (planCandidate(model, st, id, pe, dur)) {
+          CGRA_TRACE(st.trace, NodePlaced, .cycle = st.t,
+                     .node = static_cast<std::int32_t>(id),
+                     .pe = static_cast<std::int32_t>(pe), .a = dur);
+          changed = true;
+          break;
+        }
+        rejectPlacement(st, id, pe, st.reject);
+        ++st.metrics.backtracks;
+      }
+    }
+  }
+}
+
+}  // namespace cgra::passes

@@ -1,0 +1,16 @@
+// Placement (§V-B/§V-D/§V-E/§V-G): one planning step over the candidate
+// frontier. Probes PEs in cost-model order, resolves predication through
+// the C-Box pass, operands through the routing pass and fusing through the
+// fusing pass, then commits operations and pWRITEs into the schedule.
+#pragma once
+
+#include "sched/passes/run_state.hpp"
+
+namespace cgra::passes {
+
+/// Plans every candidate that fits the current context, repeating the
+/// frontier scan until a fixpoint (placements unlock further candidates
+/// within the same step).
+void planStep(const ArchModel& model, RunState& st);
+
+}  // namespace cgra::passes

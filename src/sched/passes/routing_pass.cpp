@@ -1,0 +1,166 @@
+#include "sched/passes/routing_pass.hpp"
+
+#include <string>
+#include <vector>
+
+namespace cgra::passes {
+
+namespace {
+
+std::optional<OperandSource> findOwn(RunState& st, const Operand& o, PEId pe,
+                                     unsigned t) {
+  for (const Location& loc : *st.locationsFor(o))
+    if (loc.pe == pe && loc.ready <= t && t <= loc.validUntil)
+      return OperandSource{OperandSource::Kind::Own, 0, loc.vreg, 0};
+  return std::nullopt;
+}
+
+std::optional<OperandSource> findRouted(const ArchModel& model, RunState& st,
+                                        const Operand& o, PEId pe, unsigned t,
+                                        std::map<PEId, unsigned>& exposure) {
+  for (const Location& loc : *st.locationsFor(o)) {
+    if (loc.ready > t || t > loc.validUntil) continue;
+    if (!model.interconnect().hasLink(loc.pe, pe)) continue;
+    if (!st.outPortFree(loc.pe, t, loc.vreg)) continue;
+    if (const auto it = exposure.find(loc.pe);
+        it != exposure.end() && it->second != loc.vreg)
+      continue;
+    exposure[loc.pe] = loc.vreg;
+    return OperandSource{OperandSource::Kind::Route, loc.pe, loc.vreg, 0};
+  }
+  return std::nullopt;
+}
+
+/// Schedules one MOVE hop from an existing location into `destPe` at a
+/// free cycle in [minCycle, t-1]; returns the new location.
+std::optional<Location> scheduleMove(RunState& st, const Location& src,
+                                     PEId destPe, unsigned minCycle,
+                                     unsigned t, const std::string& label) {
+  const unsigned dur = st.comp.pe(destPe).impl(Op::MOVE).duration;
+  const unsigned lo = std::max(minCycle, src.ready);
+  if (lo + dur > t) return std::nullopt;
+  for (unsigned u = lo; u + dur <= t; ++u) {
+    if (u > src.validUntil) break;
+    if (st.busy(destPe, u, dur)) continue;
+    if (!st.outPortFree(src.pe, u, src.vreg)) continue;
+    const unsigned vreg = st.freshVreg(destPe);
+    ScheduledOp op;
+    op.node = kNoNode;
+    op.op = Op::MOVE;
+    op.pe = destPe;
+    op.start = u;
+    op.duration = dur;
+    op.src[0] = OperandSource{OperandSource::Kind::Route, src.pe, src.vreg, 0};
+    op.writesDest = true;
+    op.destVreg = vreg;
+    op.label = label;
+    st.sched.ops.push_back(op);
+    st.markBusy(destPe, u, dur);
+    st.claimOutPort(src.pe, u, src.vreg);
+    ++st.stats.copiesInserted;
+    CGRA_TRACE(st.trace, CopyInserted, .cycle = u,
+               .pe = static_cast<std::int32_t>(destPe), .a = src.pe,
+               .b = vreg, .detail = "shortest-path hop");
+    return Location{destPe, vreg, u + dur, Location::kNoLimit};
+  }
+  return std::nullopt;
+}
+
+/// Copies an operand along the shortest path toward `pe` so that the op at
+/// cycle `t` can access it (§V-G: values are copied into earlier idle
+/// cycles; the node is delayed otherwise).
+std::optional<OperandSource> copyTowards(const ArchModel& model, RunState& st,
+                                         const Operand& o, PEId pe,
+                                         unsigned t,
+                                         std::map<PEId, unsigned>& exposure) {
+  // Pick the valid location closest to pe.
+  const Interconnect& ic = model.interconnect();
+  const Location* best = nullptr;
+  for (const Location& loc : *st.locationsFor(o)) {
+    if (loc.ready > t || t > loc.validUntil) continue;
+    if (ic.distance(loc.pe, pe) == kUnreachable) continue;
+    if (!best || ic.distance(loc.pe, pe) < ic.distance(best->pe, pe))
+      best = &loc;
+  }
+  if (!best) return std::nullopt;
+
+  const unsigned minCycle = st.copyMinCycle(o);
+  const std::string label = "copy";
+  Location cur = *best;
+  std::vector<PEId> path = ic.pathTo(cur.pe, pe);
+  CGRA_ASSERT(path.size() >= 2);
+
+  // Copy hop by hop up to pe's neighbour; the final access is routed.
+  // When routing at cycle t fails (port conflict), copy into pe itself.
+  for (std::size_t hop = 1; hop + 1 < path.size(); ++hop) {
+    const auto next = scheduleMove(st, cur, path[hop], minCycle, t, label);
+    if (!next) return std::nullopt;
+    cur = *next;
+    st.addLocation(o, cur);
+  }
+  // cur is now on a neighbour of pe (or was already).
+  if (cur.pe != pe) {
+    const bool portOk = st.outPortFree(cur.pe, t, cur.vreg) &&
+                        (!exposure.contains(cur.pe) ||
+                         exposure.at(cur.pe) == cur.vreg);
+    if (portOk) {
+      exposure[cur.pe] = cur.vreg;
+      return OperandSource{OperandSource::Kind::Route, cur.pe, cur.vreg, 0};
+    }
+    const auto fin = scheduleMove(st, cur, pe, minCycle, t, label);
+    if (!fin) return std::nullopt;
+    cur = *fin;
+    st.addLocation(o, cur);
+  }
+  return OperandSource{OperandSource::Kind::Own, 0, cur.vreg, 0};
+}
+
+}  // namespace
+
+std::optional<Location> materializeConst(const ArchModel& /*model*/,
+                                         RunState& st, std::int32_t value,
+                                         PEId pe, unsigned t) {
+  const unsigned dur = st.comp.pe(pe).impl(Op::CONST).duration;
+  if (dur > t) return std::nullopt;
+  const auto u = st.peBusy[pe].lastFreeWindowAtOrBefore(t - dur, dur);
+  if (!u) return std::nullopt;
+  const unsigned vreg = st.freshVreg(pe);
+  ScheduledOp op;
+  op.node = kNoNode;
+  op.op = Op::CONST;
+  op.pe = pe;
+  op.start = *u;
+  op.duration = dur;
+  op.src[0] = OperandSource{OperandSource::Kind::Imm, 0, 0, value};
+  op.writesDest = true;
+  op.destVreg = vreg;
+  op.label = "const " + std::to_string(value);
+  st.sched.ops.push_back(op);
+  st.markBusy(pe, *u, dur);
+  Location loc{pe, vreg, *u + dur, Location::kNoLimit};
+  st.constLocs[value].push_back(loc);
+  ++st.stats.constsInserted;
+  CGRA_TRACE(st.trace, ConstInserted, .cycle = *u,
+             .pe = static_cast<std::int32_t>(pe), .a = value);
+  return loc;
+}
+
+std::optional<OperandSource> resolveOperand(
+    const ArchModel& model, RunState& st, const Operand& o, PEId pe,
+    unsigned t, std::map<PEId, unsigned>& exposure) {
+  if (o.kind() == Operand::Kind::Immediate) {
+    // ALU operands come from registers: materialize the constant on the
+    // consuming PE (constants are freely replicated, §V-D).
+    if (const auto own = findOwn(st, o, pe, t)) return own;
+    if (const auto loc = materializeConst(model, st, o.imm(), pe, t))
+      return OperandSource{OperandSource::Kind::Own, 0, loc->vreg, 0};
+    return std::nullopt;
+  }
+
+  if (const auto own = findOwn(st, o, pe, t)) return own;
+  if (const auto routed = findRouted(model, st, o, pe, t, exposure))
+    return routed;
+  return copyTowards(model, st, o, pe, t, exposure);
+}
+
+}  // namespace cgra::passes

@@ -1,0 +1,31 @@
+// Routing / copy insertion (§V-D, §V-G): operand accessibility is resolved
+// by reading an own register, routing a neighbour's output port, or
+// inserting MOVE copies along the ArchModel's Floyd–Warshall shortest paths
+// into earlier idle cycles; constants are materialized per consuming PE.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "sched/passes/run_state.hpp"
+
+namespace cgra::passes {
+
+/// Resolves one operand for an op on `pe` starting at `t`, inserting MOVE
+/// copies / CONST materializations when needed. `exposure` accumulates
+/// out-port claims of the consuming op (claimed on success by caller).
+std::optional<OperandSource> resolveOperand(const ArchModel& model,
+                                            RunState& st, const Operand& o,
+                                            PEId pe, unsigned t,
+                                            std::map<PEId, unsigned>& exposure);
+
+/// Materializes an integer constant in `pe`'s register file before `t`.
+/// The downward search is bounded at cycle 0 by the capped occupancy scan:
+/// a PE that is busy at every cycle yields nullopt (the caller delays the
+/// consuming node) — the cycle counter can never wrap below zero and the
+/// busy map can never grow past the context ceiling.
+std::optional<Location> materializeConst(const ArchModel& model, RunState& st,
+                                         std::int32_t value, PEId pe,
+                                         unsigned t);
+
+}  // namespace cgra::passes

@@ -1,0 +1,248 @@
+// Mutable state of one scheduling run, shared by every pass.
+//
+// The pipeline (see pipeline.hpp) drives a sequence of focused passes —
+// priority/analysis, candidate selection, placement, routing/copy
+// insertion, fusing, C-Box allocation, loop closure, finalize — each taking
+// `(const ArchModel&, RunState&)`. The RunState owns everything a run
+// mutates: the schedule under construction, per-node bookkeeping, per-cycle
+// resource maps, value locations, condition slots and the open-loop stack.
+// It lives on the stack of one `Scheduler::schedule` call and is never
+// shared across threads; all cross-thread sharing goes through the
+// immutable ArchModel.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "arch/arch_model.hpp"
+#include "cdfg/cdfg.hpp"
+#include "sched/metrics.hpp"
+#include "sched/schedule.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/trace.hpp"
+#include "support/occupancy.hpp"
+
+namespace cgra::passes {
+
+/// Internal control-flow signal for "this kernel cannot be mapped". Thrown
+/// deep inside a pass, caught by the pipeline driver and converted into
+/// ScheduleReport::failure — it never crosses the public API. Exceptions
+/// that do escape (InternalError, malformed-graph Error) are programmer
+/// errors by contract.
+struct Unmappable {
+  ScheduleFailure failure;
+  /// Last placement-rejection reason of the stuck node, for the trace's
+  /// Failure event.
+  TraceReject lastReject = TraceReject::None;
+};
+
+/// One place a value can be read from: a (PE, virtual register) pair with
+/// the first cycle a read succeeds and the last cycle it is still valid
+/// (copies of variables become stale when the home is rewritten or when a
+/// loop that rewrites the variable opens — see DESIGN.md §5/§6 rationale).
+struct Location {
+  PEId pe = 0;
+  unsigned vreg = 0;
+  unsigned ready = 0;
+  unsigned validUntil = kNoLimit;
+
+  static constexpr unsigned kNoLimit = static_cast<unsigned>(-1);
+};
+
+/// Materialized condition: C-Box slot + polarity and first readable cycle.
+struct CondSlot {
+  PredRef ref;
+  unsigned ready = 0;
+};
+
+/// One entry of the open-loop stack: the loop and its first context.
+struct OpenLoop {
+  LoopId loop;
+  unsigned start;
+};
+
+class CostModel;
+
+struct RunState {
+  RunState(const Composition& comp, const SchedulerOptions& opts,
+           const Cdfg& g, Trace* trace)
+      : comp(comp), opts(opts), g(g), trace(trace) {}
+
+  RunState(const RunState&) = delete;
+  RunState& operator=(const RunState&) = delete;
+
+  // -- run inputs -------------------------------------------------------------
+
+  const Composition& comp;
+  const SchedulerOptions& opts;
+  const Cdfg& g;
+  /// Per-run decision trace; null when the request disabled tracing (every
+  /// instrumentation point then costs one predicted-not-taken branch).
+  Trace* trace = nullptr;
+  /// Placement cost model (the attraction criterion, §V-G); set by the
+  /// pipeline before planning starts.
+  const CostModel* costModel = nullptr;
+
+  // -- run outputs ------------------------------------------------------------
+
+  Schedule sched;
+  ScheduleStats stats;
+  SchedulerMetrics metrics;
+
+  // -- planning cursor --------------------------------------------------------
+
+  unsigned t = 0;
+  unsigned limit = 0;
+  bool stepHasOp = false;
+  std::size_t scheduledCount = 0;
+  /// Why the in-flight placement attempt failed (set via fail()).
+  TraceReject reject = TraceReject::None;
+
+  // -- per-node bookkeeping ---------------------------------------------------
+
+  std::vector<double> priorities;
+  std::vector<std::vector<double>> attraction;
+  std::vector<unsigned> nodeStart, nodeFinish;
+  std::vector<bool> nodeScheduled;
+  /// Per node: most informative rejection of its newest attempt step.
+  std::vector<TraceReject> lastReject;
+  std::vector<unsigned> lastRejectStep;
+  std::vector<unsigned> remainingPreds;
+  std::set<NodeId> candidates;
+
+  // -- per-cycle resource maps ------------------------------------------------
+
+  std::vector<CycleOccupancy> peBusy;
+  std::vector<CycleSlots<unsigned>> outPort;
+  CycleOccupancy cboxOpAt;
+  CycleSlots<PredRef> predUse;
+  CycleOccupancy branchAt;
+
+  std::vector<unsigned> nextVreg;
+  unsigned nextCondSlot = 0;
+
+  // -- value locations --------------------------------------------------------
+
+  std::vector<std::optional<Location>> varHomes;
+  std::vector<std::vector<Location>> varCopies;
+  std::vector<std::vector<Location>> nodeLocs;
+  std::map<std::int32_t, std::vector<Location>> constLocs;
+  std::vector<Location> scratchLocs;
+
+  // -- conditions and loops ---------------------------------------------------
+
+  std::map<CondId, CondSlot> condSlots;
+  std::map<NodeId, CondSlot> rawSlots;
+
+  std::vector<OpenLoop> loopStack;
+  std::vector<std::vector<NodeId>> loopSubtree;
+
+  // -- resource helpers -------------------------------------------------------
+
+  bool busy(PEId pe, unsigned from, unsigned dur) const {
+    return peBusy[pe].anyBusy(from, dur);
+  }
+
+  void markBusy(PEId pe, unsigned from, unsigned dur) {
+    peBusy[pe].mark(from, dur);
+  }
+
+  /// Checks/claims a source PE's output port at a cycle for a register.
+  bool outPortFree(PEId pe, unsigned cycle, unsigned vreg) const {
+    return outPort[pe].freeFor(cycle, vreg);
+  }
+
+  void claimOutPort(PEId pe, unsigned cycle, unsigned vreg) {
+    outPort[pe].claim(cycle, vreg);
+  }
+
+  unsigned freshVreg(PEId pe) { return nextVreg[pe]++; }
+
+  /// Per-cycle single predication signal (the C-Box outPE output is one
+  /// wire broadcast to all PEs).
+  bool predSignalAvailable(unsigned cycle, const PredRef& ref) const {
+    return predUse.freeFor(cycle, ref);
+  }
+
+  void claimPredSignal(unsigned cycle, const PredRef& ref) {
+    predUse.claim(cycle, ref);
+  }
+
+  LoopId currentLoop() const { return loopStack.back().loop; }
+
+  /// Rejects the current placement attempt with a reason the placement pass
+  /// picks up for the trace and the per-node failure classification.
+  bool fail(TraceReject why) {
+    reject = why;
+    return false;
+  }
+
+  // -- value locations --------------------------------------------------------
+
+  std::vector<Location>* locationsFor(const Operand& o) {
+    switch (o.kind()) {
+      case Operand::Kind::Node:
+        return &nodeLocs[o.nodeId()];
+      case Operand::Kind::Variable: {
+        // Home first (if assigned), then copies.
+        scratchLocs.clear();
+        if (varHomes[o.varId()])
+          scratchLocs.push_back(*varHomes[o.varId()]);
+        for (const Location& l : varCopies[o.varId()])
+          scratchLocs.push_back(l);
+        return &scratchLocs;
+      }
+      case Operand::Kind::Immediate: {
+        scratchLocs.clear();
+        const auto it = constLocs.find(o.imm());
+        if (it != constLocs.end()) scratchLocs = it->second;
+        return &scratchLocs;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Lowest cycle at which a copy of this operand may be created so that it
+  /// refreshes every iteration of any open loop that rewrites it.
+  unsigned copyMinCycle(const Operand& o) const {
+    if (o.kind() != Operand::Kind::Variable) return 0;
+    unsigned minCycle = 0;
+    for (const OpenLoop& ol : loopStack) {
+      if (ol.loop == kRootLoop) continue;
+      if (g.varWrittenInLoop(o.varId(), ol.loop))
+        minCycle = std::max(minCycle, ol.start);
+    }
+    return minCycle;
+  }
+
+  void addLocation(const Operand& o, Location loc) {
+    switch (o.kind()) {
+      case Operand::Kind::Node:
+        nodeLocs[o.nodeId()].push_back(loc);
+        break;
+      case Operand::Kind::Variable:
+        varCopies[o.varId()].push_back(loc);
+        break;
+      case Operand::Kind::Immediate:
+        constLocs[o.imm()].push_back(loc);
+        break;
+    }
+  }
+
+  /// Dependency-imposed earliest start of a node.
+  unsigned earliestStart(NodeId id) const {
+    unsigned earliest = 0;
+    for (const Edge& e : g.inEdges(id)) {
+      const unsigned c =
+          e.kind == DepKind::Anti ? nodeStart[e.from] : nodeFinish[e.from];
+      earliest = std::max(earliest, c);
+    }
+    return earliest;
+  }
+};
+
+}  // namespace cgra::passes

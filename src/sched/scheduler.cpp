@@ -1,1134 +1,12 @@
 #include "sched/scheduler.hpp"
 
-#include <algorithm>
-#include <chrono>
-#include <cmath>
-#include <map>
-#include <optional>
-#include <set>
+#include <memory>
+#include <utility>
 
-#include "sched/routing_cache.hpp"
-#include "support/occupancy.hpp"
+#include "arch/arch_model.hpp"
+#include "sched/passes/pipeline.hpp"
 
 namespace cgra {
-
-namespace {
-
-/// Internal control-flow signal for "this kernel cannot be mapped". Thrown
-/// deep inside a run, caught at the end of Run::execute and converted into
-/// ScheduleReport::failure — it never crosses the public API. Exceptions
-/// that do escape (InternalError, malformed-graph Error) are programmer
-/// errors by contract.
-struct Unmappable {
-  ScheduleFailure failure;
-  /// Last placement-rejection reason of the stuck node, for the trace's
-  /// Failure event.
-  TraceReject lastReject = TraceReject::None;
-};
-
-/// One place a value can be read from: a (PE, virtual register) pair with
-/// the first cycle a read succeeds and the last cycle it is still valid
-/// (copies of variables become stale when the home is rewritten or when a
-/// loop that rewrites the variable opens — see DESIGN.md §5/§6 rationale).
-struct Location {
-  PEId pe = 0;
-  unsigned vreg = 0;
-  unsigned ready = 0;
-  unsigned validUntil = kNoLimit;
-
-  static constexpr unsigned kNoLimit = static_cast<unsigned>(-1);
-};
-
-/// Materialized condition: C-Box slot + polarity and first readable cycle.
-struct CondSlot {
-  PredRef ref;
-  unsigned ready = 0;
-};
-
-/// One scheduling run over a fixed CDFG.
-class Run {
-public:
-  Run(const Composition& comp, const SchedulerOptions& opts, const Cdfg& g,
-      const RoutingInfo* routing, Trace* trace)
-      : comp_(comp), opts_(opts), g_(g), routing_(routing), trace_(trace) {}
-
-  ScheduleReport execute() {
-    using Clock = std::chrono::steady_clock;
-    const auto ms = [](Clock::time_point a, Clock::time_point b) {
-      return std::chrono::duration<double, std::milli>(b - a).count();
-    };
-
-    ScheduleReport report;
-    const auto wallStart = Clock::now();
-    auto setupEnd = wallStart;
-    auto planEnd = wallStart;
-
-    // Malformed graphs are programmer errors: validate() throws past the
-    // report path on purpose.
-    g_.validate();
-    limit_ = opts_.maxContexts ? opts_.maxContexts : comp_.contextMemoryLength();
-    if (!routing_) {
-      ownedRouting_ = RoutingInfo::build(comp_);
-      routing_ = &*ownedRouting_;
-    }
-
-    // Tracks which phase span is open so a failed run still produces
-    // balanced B/E pairs in the Chrome trace export.
-    const char* openPhase = nullptr;
-    try {
-      openPhase = "setup";
-      CGRA_TRACE(trace_, PhaseBegin, .detail = "setup");
-      checkMappable();
-      initState();
-      CGRA_TRACE(trace_, PhaseEnd, .detail = "setup");
-      setupEnd = Clock::now();
-
-      openPhase = "plan";
-      CGRA_TRACE(trace_, PhaseBegin, .detail = "plan");
-      while (scheduledCount_ < g_.numNodes() || loopStack_.size() > 1) {
-        if (t_ >= limit_) failUnmappable();
-        CGRA_TRACE(trace_, StepBegin, .cycle = t_);
-        tryCloseLoops();
-        planStep();
-        ++metrics_.steps;
-        ++t_;
-      }
-      CGRA_TRACE(trace_, PhaseEnd, .detail = "plan");
-      planEnd = Clock::now();
-
-      openPhase = "finalize";
-      CGRA_TRACE(trace_, PhaseBegin, .detail = "finalize");
-      finalize();
-      CGRA_TRACE(trace_, PhaseEnd, .detail = "finalize");
-      openPhase = nullptr;
-      report.ok = true;
-    } catch (const Unmappable& u) {
-      report.failure = u.failure;
-      CGRA_TRACE(trace_, Failure, .reject = u.lastReject, .cycle = t_,
-                 .node = u.failure.node == kNoNode
-                             ? -1
-                             : static_cast<std::int32_t>(u.failure.node),
-                 .detail = TraceLiteral::fromStatic(
-                     failureReasonName(u.failure.reason)));
-      if (openPhase != nullptr)
-        CGRA_TRACE(trace_, PhaseEnd,
-                   .detail = TraceLiteral::fromStatic(openPhase));
-    }
-
-    const auto wallEnd = Clock::now();
-    if (setupEnd == wallStart) setupEnd = wallEnd;  // failed during setup
-    if (planEnd < setupEnd) planEnd = wallEnd;      // failed during planning
-    stats_.wallTimeMs = ms(wallStart, wallEnd);
-    metrics_.setupMs = ms(wallStart, setupEnd);
-    metrics_.planMs = ms(setupEnd, planEnd);
-    metrics_.finalizeMs = ms(planEnd, wallEnd);
-    metrics_.totalMs = stats_.wallTimeMs;
-    metrics_.copiesInserted = stats_.copiesInserted;
-    metrics_.constsInserted = stats_.constsInserted;
-    metrics_.fusedWrites = stats_.fusedWrites;
-    metrics_.cboxOps = sched_.cboxOps.size();
-    metrics_.branches = sched_.branches.size();
-    report.stats = stats_;
-    report.metrics = metrics_;
-    if (report.ok) report.schedule = std::move(sched_);
-    return report;
-  }
-
-private:
-  // -- setup ------------------------------------------------------------------
-
-  /// Rejects kernels containing an operation no PE supports.
-  void checkMappable() const {
-    for (NodeId id = 0; id < g_.numNodes(); ++id) {
-      const Node& n = g_.node(id);
-      if (n.kind != NodeKind::Operation) continue;
-      if (routing_->supportingPEs[static_cast<unsigned>(n.op)].empty())
-        throw Unmappable{
-            ScheduleFailure{FailureReason::UnsupportedOp,
-                            "composition " + comp_.name() +
-                                " has no PE supporting " +
-                                std::string(opName(n.op)),
-                            id},
-            TraceReject::Incompatible};
-    }
-  }
-
-  void initState() {
-    const std::size_t numNodes = g_.numNodes();
-    const unsigned numPEs = comp_.numPEs();
-
-    priorities_ = g_.longestPathWeights();
-    attraction_.assign(numNodes, std::vector<double>(numPEs, 0.0));
-    nodeStart_.assign(numNodes, 0);
-    nodeFinish_.assign(numNodes, 0);
-    nodeScheduled_.assign(numNodes, false);
-    lastReject_.assign(numNodes, TraceReject::None);
-    lastRejectStep_.assign(numNodes, static_cast<unsigned>(-1));
-    remainingPreds_.assign(numNodes, 0);
-    for (NodeId id = 0; id < numNodes; ++id)
-      remainingPreds_[id] = static_cast<unsigned>(g_.inEdges(id).size());
-    for (NodeId id = 0; id < numNodes; ++id)
-      if (remainingPreds_[id] == 0) candidates_.insert(id);
-
-    // Hard ceiling for every per-cycle resource map: the context budget. A
-    // schedule cycle at or beyond the ceiling can never execute (finalize
-    // rejects such schedules), so probes treat it as permanently occupied —
-    // resource scans are bounded and can never resize unboundedly.
-    const unsigned ceiling = limit_;
-    nextVreg_.assign(numPEs, 0);
-    peBusy_.assign(numPEs, CycleOccupancy(ceiling));
-    outPort_.assign(numPEs, CycleSlots<unsigned>(ceiling));
-    cboxOpAt_ = CycleOccupancy(ceiling);
-    predUse_ = CycleSlots<PredRef>(ceiling);
-    branchAt_ = CycleOccupancy(ceiling);
-    varHomes_.assign(g_.numVariables(), std::nullopt);
-    varCopies_.assign(g_.numVariables(), {});
-    nodeLocs_.assign(numNodes, {});
-
-    // Subtree node lists per loop (loop-compatibility checks).
-    loopSubtree_.assign(g_.numLoops(), {});
-    for (NodeId id = 0; id < numNodes; ++id)
-      for (LoopId l = g_.node(id).loop;; l = g_.loop(l).parent) {
-        loopSubtree_[l].push_back(id);
-        if (l == kRootLoop) break;
-      }
-
-    loopStack_.push_back(OpenLoop{kRootLoop, 0});
-  }
-
-  /// The run gave up (context budget exhausted). Classifies the failure by
-  /// the last recorded rejection of the first stuck node: a node that kept
-  /// failing operand resolution means the operand was unroutable; a node
-  /// starved of C-Box write ports means C-Box pressure; anything else —
-  /// including PredUnavailable, which is the ordinary transient state of a
-  /// predicated node waiting for its condition — is a budget overflow.
-  [[noreturn]] void failUnmappable() const {
-    std::string stuck;
-    unsigned count = 0;
-    NodeId firstStuck = kNoNode;
-    for (NodeId id = 0; id < g_.numNodes(); ++id)
-      if (!nodeScheduled_[id]) {
-        if (firstStuck == kNoNode) firstStuck = id;
-        if (count++ >= 8) continue;
-        const Node& n = g_.node(id);
-        stuck += " node" + std::to_string(id) + "(" +
-                 (n.isPWrite() ? "pWRITE " + g_.variable(n.var).name
-                               : std::string(opName(n.op))) +
-                 ")";
-      }
-
-    const TraceReject last =
-        firstStuck == kNoNode ? TraceReject::None : lastReject_[firstStuck];
-    FailureReason reason = FailureReason::ContextBudget;
-    if (last == TraceReject::OperandUnroutable)
-      reason = FailureReason::UnroutableOperand;
-    else if (last == TraceReject::CBoxWritePortBusy)
-      reason = FailureReason::CBoxCapacity;
-    throw Unmappable{
-        ScheduleFailure{reason,
-                        "kernel does not fit in " + std::to_string(limit_) +
-                            " contexts on " + comp_.name() +
-                            "; unscheduled:" + stuck,
-                        firstStuck},
-        last};
-  }
-
-  // -- resource helpers -------------------------------------------------------
-
-  bool peBusy(PEId pe, unsigned from, unsigned dur) const {
-    return peBusy_[pe].anyBusy(from, dur);
-  }
-
-  void markPeBusy(PEId pe, unsigned from, unsigned dur) {
-    peBusy_[pe].mark(from, dur);
-  }
-
-  /// Checks/claims a source PE's output port at a cycle for a register.
-  bool outPortFree(PEId pe, unsigned cycle, unsigned vreg) const {
-    return outPort_[pe].freeFor(cycle, vreg);
-  }
-
-  void claimOutPort(PEId pe, unsigned cycle, unsigned vreg) {
-    outPort_[pe].claim(cycle, vreg);
-  }
-
-  unsigned freshVreg(PEId pe) { return nextVreg_[pe]++; }
-
-  // -- value locations --------------------------------------------------------
-
-  std::vector<Location>* locationsFor(const Operand& o) {
-    switch (o.kind()) {
-      case Operand::Kind::Node:
-        return &nodeLocs_[o.nodeId()];
-      case Operand::Kind::Variable: {
-        // Home first (if assigned), then copies.
-        scratchLocs_.clear();
-        if (varHomes_[o.varId()])
-          scratchLocs_.push_back(*varHomes_[o.varId()]);
-        for (const Location& l : varCopies_[o.varId()])
-          scratchLocs_.push_back(l);
-        return &scratchLocs_;
-      }
-      case Operand::Kind::Immediate: {
-        scratchLocs_.clear();
-        const auto it = constLocs_.find(o.imm());
-        if (it != constLocs_.end()) scratchLocs_ = it->second;
-        return &scratchLocs_;
-      }
-    }
-    return nullptr;
-  }
-
-  /// Lowest cycle at which a copy of this operand may be created so that it
-  /// refreshes every iteration of any open loop that rewrites it.
-  unsigned copyMinCycle(const Operand& o) const {
-    if (o.kind() != Operand::Kind::Variable) return 0;
-    unsigned minCycle = 0;
-    for (const OpenLoop& ol : loopStack_) {
-      if (ol.loop == kRootLoop) continue;
-      if (g_.varWrittenInLoop(o.varId(), ol.loop))
-        minCycle = std::max(minCycle, ol.start);
-    }
-    return minCycle;
-  }
-
-  void addLocation(const Operand& o, Location loc) {
-    switch (o.kind()) {
-      case Operand::Kind::Node:
-        nodeLocs_[o.nodeId()].push_back(loc);
-        break;
-      case Operand::Kind::Variable:
-        varCopies_[o.varId()].push_back(loc);
-        break;
-      case Operand::Kind::Immediate:
-        constLocs_[o.imm()].push_back(loc);
-        break;
-    }
-  }
-
-  // -- condition management ---------------------------------------------------
-
-  /// Ensures condition `c` is materialized in a C-Box slot readable at
-  /// `deadline`. Inserts combine operations into free C-Box cycles when
-  /// needed. Returns nullopt when impossible so far (caller delays).
-  std::optional<PredRef> ensureCondition(CondId c, unsigned deadline) {
-    CGRA_ASSERT(c != kCondTrue);
-    if (const auto it = condSlots_.find(c); it != condSlots_.end())
-      return it->second.ready <= deadline ? std::optional(it->second.ref)
-                                          : std::nullopt;
-
-    const Condition& cond = g_.condition(c);
-    const auto rawIt = rawSlots_.find(cond.statusNode);
-    if (rawIt == rawSlots_.end()) return std::nullopt;  // CMP not scheduled yet
-    const CondSlot& raw = rawIt->second;
-
-    if (cond.parent == kCondTrue) {
-      // TRUE ∧ literal: read the raw status slot with the literal polarity.
-      CondSlot slot{PredRef{raw.ref.slot, cond.polarity}, raw.ready};
-      if (slot.ready > deadline) return std::nullopt;
-      condSlots_[c] = slot;
-      return slot.ref;
-    }
-
-    // parent ∧ literal: combine the stored parent with the stored raw status.
-    if (deadline == 0) return std::nullopt;
-    const auto parentRef = ensureCondition(cond.parent, deadline - 1);
-    if (!parentRef) return std::nullopt;
-    const unsigned parentReady = condSlots_.at(cond.parent).ready;
-
-    const unsigned lo = std::max(parentReady, raw.ready);
-    for (unsigned u = lo; u + 1 <= deadline; ++u) {
-      if (cboxOpAt_.test(u)) continue;
-      CBoxOp op;
-      op.time = u;
-      op.inputs = {
-          CBoxOp::Input{CBoxOp::Input::Kind::Stored, parentRef->slot,
-                        parentRef->polarity},
-          CBoxOp::Input{CBoxOp::Input::Kind::Stored, raw.ref.slot,
-                        cond.polarity}};
-      op.logic = CBoxOp::Logic::And;
-      op.writeSlot = nextCondSlot_++;
-      op.cond = c;
-      sched_.cboxOps.push_back(op);
-      cboxOpAt_.mark(u);
-      CGRA_TRACE(trace_, CBoxSlotAllocated, .cycle = u, .a = op.writeSlot,
-                 .b = c, .detail = "and");
-      CondSlot slot{PredRef{op.writeSlot, true}, u + 1};
-      condSlots_[c] = slot;
-      return slot.ref;
-    }
-    return std::nullopt;
-  }
-
-  /// Per-cycle single predication signal (the C-Box outPE output is one
-  /// wire broadcast to all PEs).
-  bool predSignalAvailable(unsigned cycle, const PredRef& ref) const {
-    return predUse_.freeFor(cycle, ref);
-  }
-
-  void claimPredSignal(unsigned cycle, const PredRef& ref) {
-    predUse_.claim(cycle, ref);
-  }
-
-  // -- loop management --------------------------------------------------------
-
-  struct OpenLoop {
-    LoopId loop;
-    unsigned start;
-  };
-
-  LoopId currentLoop() const { return loopStack_.back().loop; }
-
-  /// All external predecessors of the loop subtree finished by cycle `t`.
-  bool loopPredsFinished(LoopId l, unsigned t) const {
-    for (NodeId m : loopSubtree_[l])
-      for (const Edge& e : g_.inEdges(m)) {
-        if (g_.loopContains(l, g_.node(e.from).loop)) continue;  // internal
-        if (!nodeScheduled_[e.from]) return false;
-        const unsigned constraint = e.kind == DepKind::Anti
-                                        ? nodeStart_[e.from]
-                                        : nodeFinish_[e.from];
-        if (constraint > t) return false;
-      }
-    return true;
-  }
-
-  /// Tries to close finished loops at the top of the stack (branch placed at
-  /// the loop's last context).
-  void tryCloseLoops() {
-    while (loopStack_.size() > 1) {
-      const OpenLoop& top = loopStack_.back();
-      const LoopId l = top.loop;
-
-      bool allDone = true;
-      unsigned lastCycle = top.start;
-      for (NodeId m : loopSubtree_[l]) {
-        if (!nodeScheduled_[m]) {
-          allDone = false;
-          break;
-        }
-        lastCycle = std::max(lastCycle, nodeFinish_[m] - 1);
-      }
-      if (!allDone || lastCycle > t_ - 1 || t_ == 0) return;
-
-      const Loop& loop = g_.loop(l);
-      const CondId bodyCond = loop.bodyCond;
-      const auto pred = ensureCondition(bodyCond, t_ - 1);
-      if (!pred) return;
-      // One branch (and one branch-selection read) per context; the scan is
-      // bounded by the context ceiling (a saturated branch unit yields
-      // nullopt instead of growing the map indefinitely).
-      const auto b = branchAt_.firstFreeAtOrAfter(
-          std::max(lastCycle, condSlots_.at(bodyCond).ready));
-      // The branch must land strictly before the current step so outer
-      // candidates can never share the back-branch context.
-      if (!b || *b > t_ - 1) return;
-
-      BranchOp br;
-      br.time = *b;
-      br.target = top.start;
-      br.conditional = true;
-      // bodyCond already encodes the continue polarity of the literal.
-      br.pred = *pred;
-      br.loop = l;
-      sched_.branches.push_back(br);
-      branchAt_.mark(*b);
-      sched_.loops.push_back(LoopInterval{l, top.start, *b});
-      CGRA_TRACE(trace_, BranchPlaced, .cycle = *b, .a = top.start);
-      CGRA_TRACE(trace_, LoopClosed, .cycle = t_, .a = l, .b = *b);
-      loopStack_.pop_back();
-    }
-  }
-
-  /// Loop-compatibility (§V-C): returns true when the candidate may be
-  /// planned at the current step, opening inner loops when required.
-  bool loopCompatible(NodeId id) {
-    const LoopId nodeLoop = g_.node(id).loop;
-    const LoopId cur = currentLoop();
-    if (nodeLoop == cur) return true;
-    if (!g_.loopContains(cur, nodeLoop)) return false;  // outer/unrelated: wait
-
-    // Descend one level at a time; each open requires an operation-free
-    // context and all external predecessors of the whole subtree finished.
-    while (currentLoop() != nodeLoop) {
-      LoopId child = nodeLoop;
-      while (g_.loop(child).parent != currentLoop()) child = g_.loop(child).parent;
-      if (stepHasOp_) return false;
-      if (!loopPredsFinished(child, t_)) return false;
-      loopStack_.push_back(OpenLoop{child, t_});
-      CGRA_TRACE(trace_, LoopOpened, .cycle = t_, .a = child);
-      openLoopEffects(child);
-    }
-    return true;
-  }
-
-  /// Pre-loop copies of variables rewritten inside a freshly opened loop
-  /// would not refresh per iteration; invalidate them for later readers.
-  void openLoopEffects(LoopId child) {
-    const unsigned cap = t_ == 0 ? 0 : t_ - 1;
-    for (VarId v = 0; v < g_.numVariables(); ++v)
-      if (g_.varWrittenInLoop(v, child))
-        for (Location& copy : varCopies_[v])
-          copy.validUntil = std::min(copy.validUntil, cap);
-  }
-
-  // -- candidate planning -----------------------------------------------------
-
-  /// Dependency-imposed earliest start of a node.
-  unsigned earliestStart(NodeId id) const {
-    unsigned earliest = 0;
-    for (const Edge& e : g_.inEdges(id)) {
-      const unsigned c = e.kind == DepKind::Anti ? nodeStart_[e.from]
-                                                 : nodeFinish_[e.from];
-      earliest = std::max(earliest, c);
-    }
-    return earliest;
-  }
-
-  std::vector<NodeId> sortedCandidates() const {
-    std::vector<NodeId> out(candidates_.begin(), candidates_.end());
-    if (opts_.longestPathPriority) {
-      std::stable_sort(out.begin(), out.end(), [&](NodeId a, NodeId b) {
-        if (priorities_[a] != priorities_[b])
-          return priorities_[a] > priorities_[b];
-        return a < b;
-      });
-    }
-    return out;
-  }
-
-  /// PEs ordered by the attraction criterion (§V-G).
-  std::vector<PEId> sortedPEs(NodeId id) const {
-    std::vector<PEId> out(comp_.numPEs());
-    for (PEId p = 0; p < comp_.numPEs(); ++p) out[p] = p;
-    if (!opts_.useAttraction) return out;
-    const auto& att = attraction_[id];
-    const auto& connectivity = routing_->connectivity;
-    std::stable_sort(out.begin(), out.end(), [&](PEId a, PEId b) {
-      if (att[a] != att[b]) return att[a] > att[b];
-      return connectivity[a] > connectivity[b];
-    });
-    return out;
-  }
-
-  bool incompatible(NodeId id, PEId pe) const {
-    const Node& n = g_.node(id);
-    if (n.isPWrite()) {
-      const auto& home = varHomes_[n.var];
-      return home && home->pe != pe;
-    }
-    return !comp_.pe(pe).supports(n.op);
-  }
-
-  unsigned opDuration(NodeId id, PEId pe) const {
-    const Node& n = g_.node(id);
-    if (n.isPWrite()) {
-      const Op writeOp = n.operands[0].kind() == Operand::Kind::Immediate
-                             ? Op::CONST
-                             : Op::MOVE;
-      return comp_.pe(pe).impl(writeOp).duration;
-    }
-    return comp_.pe(pe).impl(n.op).duration;
-  }
-
-  /// Resolves one operand for an op on `pe` starting at `t`, inserting MOVE
-  /// copies / CONST materializations when needed. `exposure` accumulates
-  /// out-port claims of the consuming op (claimed on success by caller).
-  std::optional<OperandSource> resolveOperand(
-      const Operand& o, PEId pe, unsigned t,
-      std::map<PEId, unsigned>& exposure) {
-    if (o.kind() == Operand::Kind::Immediate) {
-      // ALU operands come from registers: materialize the constant on the
-      // consuming PE (constants are freely replicated, §V-D).
-      if (const auto own = findOwn(o, pe, t)) return own;
-      if (const auto loc = materializeConst(o.imm(), pe, t))
-        return OperandSource{OperandSource::Kind::Own, 0, loc->vreg, 0};
-      return std::nullopt;
-    }
-
-    if (const auto own = findOwn(o, pe, t)) return own;
-    if (const auto routed = findRouted(o, pe, t, exposure)) return routed;
-    return copyTowards(o, pe, t, exposure);
-  }
-
-  std::optional<OperandSource> findOwn(const Operand& o, PEId pe, unsigned t) {
-    for (const Location& loc : *locationsFor(o))
-      if (loc.pe == pe && loc.ready <= t && t <= loc.validUntil)
-        return OperandSource{OperandSource::Kind::Own, 0, loc.vreg, 0};
-    return std::nullopt;
-  }
-
-  std::optional<OperandSource> findRouted(const Operand& o, PEId pe,
-                                          unsigned t,
-                                          std::map<PEId, unsigned>& exposure) {
-    for (const Location& loc : *locationsFor(o)) {
-      if (loc.ready > t || t > loc.validUntil) continue;
-      if (!comp_.interconnect().hasLink(loc.pe, pe)) continue;
-      if (!outPortFree(loc.pe, t, loc.vreg)) continue;
-      if (const auto it = exposure.find(loc.pe);
-          it != exposure.end() && it->second != loc.vreg)
-        continue;
-      exposure[loc.pe] = loc.vreg;
-      return OperandSource{OperandSource::Kind::Route, loc.pe, loc.vreg, 0};
-    }
-    return std::nullopt;
-  }
-
-  /// Schedules one MOVE hop from an existing location into `destPe` at a
-  /// free cycle in [minCycle, t-1]; returns the new location.
-  std::optional<Location> scheduleMove(const Location& src, PEId destPe,
-                                       unsigned minCycle, unsigned t,
-                                       const std::string& label) {
-    const unsigned dur = comp_.pe(destPe).impl(Op::MOVE).duration;
-    const unsigned lo = std::max(minCycle, src.ready);
-    if (lo + dur > t) return std::nullopt;
-    for (unsigned u = lo; u + dur <= t; ++u) {
-      if (u > src.validUntil) break;
-      if (peBusy(destPe, u, dur)) continue;
-      if (!outPortFree(src.pe, u, src.vreg)) continue;
-      const unsigned vreg = freshVreg(destPe);
-      ScheduledOp op;
-      op.node = kNoNode;
-      op.op = Op::MOVE;
-      op.pe = destPe;
-      op.start = u;
-      op.duration = dur;
-      op.src[0] = OperandSource{OperandSource::Kind::Route, src.pe, src.vreg, 0};
-      op.writesDest = true;
-      op.destVreg = vreg;
-      op.label = label;
-      sched_.ops.push_back(op);
-      markPeBusy(destPe, u, dur);
-      claimOutPort(src.pe, u, src.vreg);
-      ++stats_.copiesInserted;
-      CGRA_TRACE(trace_, CopyInserted, .cycle = u,
-                 .pe = static_cast<std::int32_t>(destPe), .a = src.pe,
-                 .b = vreg, .detail = "shortest-path hop");
-      return Location{destPe, vreg, u + dur, Location::kNoLimit};
-    }
-    return std::nullopt;
-  }
-
-  /// Copies an operand along the shortest path toward `pe` so that the op at
-  /// cycle `t` can access it (§V-G: values are copied into earlier idle
-  /// cycles; the node is delayed otherwise).
-  std::optional<OperandSource> copyTowards(const Operand& o, PEId pe,
-                                           unsigned t,
-                                           std::map<PEId, unsigned>& exposure) {
-    // Pick the valid location closest to pe.
-    const Interconnect& ic = comp_.interconnect();
-    const Location* best = nullptr;
-    for (const Location& loc : *locationsFor(o)) {
-      if (loc.ready > t || t > loc.validUntil) continue;
-      if (ic.distance(loc.pe, pe) == kUnreachable) continue;
-      if (!best || ic.distance(loc.pe, pe) < ic.distance(best->pe, pe))
-        best = &loc;
-    }
-    if (!best) return std::nullopt;
-
-    const unsigned minCycle = copyMinCycle(o);
-    const std::string label = "copy";
-    Location cur = *best;
-    std::vector<PEId> path = ic.pathTo(cur.pe, pe);
-    CGRA_ASSERT(path.size() >= 2);
-
-    // Copy hop by hop up to pe's neighbour; the final access is routed.
-    // When routing at cycle t fails (port conflict), copy into pe itself.
-    for (std::size_t hop = 1; hop + 1 < path.size(); ++hop) {
-      const auto next = scheduleMove(cur, path[hop], minCycle, t, label);
-      if (!next) return std::nullopt;
-      cur = *next;
-      addLocation(o, cur);
-    }
-    // cur is now on a neighbour of pe (or was already).
-    if (cur.pe != pe) {
-      const bool portOk = outPortFree(cur.pe, t, cur.vreg) &&
-                          (!exposure.contains(cur.pe) ||
-                           exposure.at(cur.pe) == cur.vreg);
-      if (portOk) {
-        exposure[cur.pe] = cur.vreg;
-        return OperandSource{OperandSource::Kind::Route, cur.pe, cur.vreg, 0};
-      }
-      const auto fin = scheduleMove(cur, pe, minCycle, t, label);
-      if (!fin) return std::nullopt;
-      cur = *fin;
-      addLocation(o, cur);
-    }
-    return OperandSource{OperandSource::Kind::Own, 0, cur.vreg, 0};
-  }
-
-  /// Materializes an integer constant in `pe`'s register file before `t`.
-  /// The downward search is bounded at cycle 0 by the capped occupancy scan:
-  /// a PE that is busy at every cycle yields nullopt (the caller delays the
-  /// consuming node) — the cycle counter can never wrap below zero and the
-  /// busy map can never grow past the context ceiling.
-  std::optional<Location> materializeConst(std::int32_t value, PEId pe,
-                                           unsigned t) {
-    const unsigned dur = comp_.pe(pe).impl(Op::CONST).duration;
-    if (dur > t) return std::nullopt;
-    const auto u = peBusy_[pe].lastFreeWindowAtOrBefore(t - dur, dur);
-    if (!u) return std::nullopt;
-    const unsigned vreg = freshVreg(pe);
-    ScheduledOp op;
-    op.node = kNoNode;
-    op.op = Op::CONST;
-    op.pe = pe;
-    op.start = *u;
-    op.duration = dur;
-    op.src[0] = OperandSource{OperandSource::Kind::Imm, 0, 0, value};
-    op.writesDest = true;
-    op.destVreg = vreg;
-    op.label = "const " + std::to_string(value);
-    sched_.ops.push_back(op);
-    markPeBusy(pe, *u, dur);
-    Location loc{pe, vreg, *u + dur, Location::kNoLimit};
-    constLocs_[value].push_back(loc);
-    ++stats_.constsInserted;
-    CGRA_TRACE(trace_, ConstInserted, .cycle = *u,
-               .pe = static_cast<std::int32_t>(pe), .a = value);
-    return loc;
-  }
-
-  // -- home assignment --------------------------------------------------------
-
-  /// Assigns a variable's home register (§V-D heuristic: the PE that can
-  /// provide the value to the first PE requiring it — we pin the home on
-  /// that very PE). For live-in variables the host transfer is recorded.
-  void assignHome(VarId var, PEId pe) {
-    CGRA_ASSERT(!varHomes_[var]);
-    const unsigned vreg = freshVreg(pe);
-    const bool liveIn = g_.variable(var).liveIn;
-    varHomes_[var] = Location{pe, vreg, 0, Location::kNoLimit};
-    if (liveIn) sched_.liveIns.push_back(LiveBinding{var, pe, vreg});
-  }
-
-  /// Ensures the variable has a home; used on first read.
-  const Location& homeFor(VarId var, PEId consumerPe) {
-    if (!varHomes_[var]) assignHome(var, consumerPe);
-    return *varHomes_[var];
-  }
-
-  // -- fusion -----------------------------------------------------------------
-
-  /// Returns the single pWRITE consumer if `id`'s value feeds exactly one
-  /// node and that node is a pWRITE (fusion candidate per §V-E).
-  std::optional<NodeId> fusablePWrite(NodeId id) const {
-    if (!opts_.fuseWrites) return std::nullopt;
-    const Node& n = g_.node(id);
-    if (n.kind != NodeKind::Operation || !writesRegister(n.op))
-      return std::nullopt;
-    std::optional<NodeId> writer;
-    for (const Edge& e : g_.outEdges(id)) {
-      if (e.kind != DepKind::Flow) continue;
-      const Node& to = g_.node(e.to);
-      const bool consumesValue =
-          to.isPWrite()
-              ? to.operands[0] == Operand::node(id)
-              : std::any_of(to.operands.begin(), to.operands.end(),
-                            [&](const Operand& o) {
-                              return o == Operand::node(id);
-                            });
-      if (!consumesValue) continue;  // pure ordering edge
-      if (!to.isPWrite()) return std::nullopt;  // value also read directly
-      if (writer) return std::nullopt;          // multiple writers
-      writer = e.to;
-    }
-    if (!writer) return std::nullopt;
-    const Node& w = g_.node(*writer);
-    if (w.loop != n.loop) return std::nullopt;
-    return writer;
-  }
-
-  /// All non-producer dependencies of the pWRITE satisfied at cycle `t`?
-  bool pWriteDepsMet(NodeId writer, NodeId producer, unsigned t) const {
-    for (const Edge& e : g_.inEdges(writer)) {
-      if (e.from == producer) continue;
-      if (!nodeScheduled_[e.from]) return false;
-      const unsigned c = e.kind == DepKind::Anti ? nodeStart_[e.from]
-                                                 : nodeFinish_[e.from];
-      if (c > t) return false;
-    }
-    return true;
-  }
-
-  // -- planning ---------------------------------------------------------------
-
-  void planStep() {
-    stepHasOp_ = false;
-    bool changed = true;
-    while (changed) {
-      changed = false;
-      for (NodeId id : sortedCandidates()) {
-        ++metrics_.candidateIterations;
-        if (nodeScheduled_[id]) continue;  // fused away mid-snapshot
-        if (!loopCompatible(id)) continue;
-        if (earliestStart(id) > t_) continue;
-        CGRA_TRACE(trace_, CandidateSelected, .cycle = t_,
-                   .node = static_cast<std::int32_t>(id),
-                   .a = std::llround(priorities_[id] * 1000.0));
-        for (PEId pe : sortedPEs(id)) {
-          if (incompatible(id, pe)) {
-            rejectPlacement(id, pe, TraceReject::Incompatible);
-            continue;
-          }
-          const unsigned dur = opDuration(id, pe);
-          if (peBusy(pe, t_, dur)) {
-            rejectPlacement(id, pe, TraceReject::PeBusy);
-            continue;
-          }
-          ++metrics_.placementAttempts;
-          reject_ = TraceReject::None;
-          if (planCandidate(id, pe, dur)) {
-            CGRA_TRACE(trace_, NodePlaced, .cycle = t_,
-                       .node = static_cast<std::int32_t>(id),
-                       .pe = static_cast<std::int32_t>(pe), .a = dur);
-            changed = true;
-            break;
-          }
-          rejectPlacement(id, pe, reject_);
-          ++metrics_.backtracks;
-        }
-      }
-    }
-  }
-
-  /// Records (and traces) one rejected (node, PE) placement probe. The
-  /// per-node reason feeds the typed failure classification when the run
-  /// eventually gives up: within one step the most informative reason wins
-  /// (an Incompatible on a later PE must not mask an OperandUnroutable);
-  /// across steps the newest step wins.
-  void rejectPlacement(NodeId id, PEId pe, TraceReject why) {
-    const auto rank = [](TraceReject r) {
-      switch (r) {
-        case TraceReject::None: return 0;
-        case TraceReject::Incompatible: return 1;
-        case TraceReject::PeBusy: return 2;
-        case TraceReject::CBoxWritePortBusy: return 3;
-        case TraceReject::PredUnavailable: return 3;
-        case TraceReject::OperandUnroutable: return 4;
-      }
-      return 0;
-    };
-    if (lastRejectStep_[id] != t_ || rank(why) >= rank(lastReject_[id])) {
-      lastReject_[id] = why;
-      lastRejectStep_[id] = t_;
-    }
-    CGRA_TRACE(trace_, PlacementRejected, .reject = why, .cycle = t_,
-               .node = static_cast<std::int32_t>(id),
-               .pe = static_cast<std::int32_t>(pe));
-  }
-
-  bool planCandidate(NodeId id, PEId pe, unsigned dur) {
-    const Node& n = g_.node(id);
-    if (n.isPWrite()) return planPWrite(id, pe, dur);
-    return planOperation(id, pe, dur);
-  }
-
-  /// Rejects the current placement attempt with a reason planStep picks up
-  /// for the trace and the per-node failure classification.
-  bool fail(TraceReject why) {
-    reject_ = why;
-    return false;
-  }
-
-  bool planOperation(NodeId id, PEId pe, unsigned dur) {
-    const Node& n = g_.node(id);
-    const unsigned t = t_;
-
-    // Comparisons feed the C-Box: one status per cycle, so the C-Box write
-    // port must be free on the status cycle (§V-H).
-    const unsigned statusCycle = t + dur - 1;
-    if (n.isStatusProducer() && cboxOpAt_.test(statusCycle))
-      return fail(TraceReject::CBoxWritePortBusy);
-
-    // Memory operations are always predicated (§V-D).
-    std::optional<PredRef> pred;
-    if (n.isMemory() && n.cond != kCondTrue) {
-      pred = ensureCondition(n.cond, t);
-      if (!pred) return fail(TraceReject::PredUnavailable);
-      if (!predSignalAvailable(t, *pred))
-        return fail(TraceReject::PredUnavailable);
-    }
-
-    // Fusion: write the result directly into the variable's home register,
-    // predicated on the pWRITE's condition (§V-E).
-    std::optional<NodeId> fusedWriter;
-    std::optional<PredRef> fusedPred;
-    if (!n.isStatusProducer() && writesRegister(n.op)) {
-      if (const auto writer = fusablePWrite(id)) {
-        const Node& w = g_.node(*writer);
-        const auto& home = varHomes_[w.var];
-        const bool peOk = !home || home->pe == pe;
-        // A predicated memory op may only fuse when write and access share
-        // the same condition (one outPE signal gates both).
-        const bool condCompatible = !n.isMemory() || n.cond == w.cond;
-        if (peOk && condCompatible && pWriteDepsMet(*writer, id, t)) {
-          bool condOk = true;
-          if (w.cond != kCondTrue) {
-            // Both the op's own memory predication (none here: fused ops are
-            // pure ALU) and the single outPE wire must accommodate it.
-            fusedPred = ensureCondition(w.cond, t);
-            condOk = fusedPred && predSignalAvailable(t, *fusedPred);
-          }
-          if (condOk) fusedWriter = writer;
-        }
-      }
-    }
-
-    // Operand resolution (reads fused into this node, §V-E).
-    std::map<PEId, unsigned> exposure;
-    std::array<OperandSource, 3> srcs{};
-    for (std::size_t i = 0; i < n.operands.size(); ++i) {
-      // Reading a variable pins its home on first use.
-      if (n.operands[i].kind() == Operand::Kind::Variable)
-        homeFor(n.operands[i].varId(), pe);
-      const auto src = resolveOperand(n.operands[i], pe, t, exposure);
-      if (!src) return fail(TraceReject::OperandUnroutable);
-      srcs[i] = *src;
-    }
-
-    // Commit.
-    ScheduledOp op;
-    op.node = id;
-    op.op = n.op;
-    op.pe = pe;
-    op.start = t;
-    op.duration = dur;
-    op.src = srcs;
-    op.emitsStatus = n.isStatusProducer();
-    op.label = n.label;
-    if (pred) {
-      op.pred = pred;
-      claimPredSignal(t, *pred);
-    }
-
-    if (fusedWriter) {
-      const Node& w = g_.node(*fusedWriter);
-      if (!varHomes_[w.var]) assignHome(w.var, pe);
-      op.writesDest = true;
-      op.destVreg = varHomes_[w.var]->vreg;
-      if (fusedPred) {
-        op.pred = fusedPred;
-        claimPredSignal(t, *fusedPred);
-      }
-      ++stats_.fusedWrites;
-      CGRA_TRACE(trace_, WriteFused, .cycle = t,
-                 .node = static_cast<std::int32_t>(id),
-                 .pe = static_cast<std::int32_t>(pe), .a = *fusedWriter);
-    } else if (writesRegister(n.op)) {
-      op.writesDest = true;
-      op.destVreg = freshVreg(pe);
-    }
-
-    for (const auto& [srcPe, vreg] : exposure) claimOutPort(srcPe, t, vreg);
-    markPeBusy(pe, t, dur);
-    sched_.ops.push_back(op);
-    stepHasOp_ = true;
-
-    if (n.isStatusProducer()) {
-      // Store the raw status into a fresh condition slot on the status cycle.
-      CBoxOp cb;
-      cb.time = statusCycle;
-      cb.inputs = {CBoxOp::Input{CBoxOp::Input::Kind::Status, 0, true}};
-      cb.logic = CBoxOp::Logic::Pass;
-      cb.writeSlot = nextCondSlot_++;
-      cb.cond = kCondTrue;  // raw literal, interpreted per condition
-      sched_.cboxOps.push_back(cb);
-      cboxOpAt_.mark(statusCycle);
-      CGRA_TRACE(trace_, CBoxSlotAllocated, .cycle = statusCycle,
-                 .node = static_cast<std::int32_t>(id), .a = cb.writeSlot,
-                 .detail = "status");
-      rawSlots_[id] = CondSlot{PredRef{cb.writeSlot, true}, statusCycle + 1};
-    }
-
-    if (op.writesDest && !fusedWriter)
-      nodeLocs_[id].push_back(Location{pe, op.destVreg, t + dur,
-                                       Location::kNoLimit});
-
-    markScheduled(id, t, dur, pe);
-    if (fusedWriter) {
-      commitVarWrite(g_.node(*fusedWriter).var, t + dur);
-      markScheduled(*fusedWriter, t, dur, pe);
-    }
-    return true;
-  }
-
-  bool planPWrite(NodeId id, PEId pe, unsigned dur) {
-    const Node& n = g_.node(id);
-    const unsigned t = t_;
-
-    std::optional<PredRef> pred;
-    if (n.cond != kCondTrue) {
-      pred = ensureCondition(n.cond, t);
-      if (!pred) return fail(TraceReject::PredUnavailable);
-      if (!predSignalAvailable(t, *pred))
-        return fail(TraceReject::PredUnavailable);
-    }
-
-    const Operand& value = n.operands[0];
-    std::map<PEId, unsigned> exposure;
-    ScheduledOp op;
-    op.node = id;
-    op.pe = pe;
-    op.start = t;
-    op.duration = dur;
-    op.label = n.label;
-
-    if (value.kind() == Operand::Kind::Immediate) {
-      op.op = Op::CONST;
-      op.src[0] = OperandSource{OperandSource::Kind::Imm, 0, 0, value.imm()};
-    } else {
-      op.op = Op::MOVE;
-      if (value.kind() == Operand::Kind::Variable)
-        homeFor(value.varId(), pe);
-      const auto src = resolveOperand(value, pe, t, exposure);
-      if (!src) return fail(TraceReject::OperandUnroutable);
-      op.src[0] = *src;
-    }
-
-    if (!varHomes_[n.var]) assignHome(n.var, pe);
-    CGRA_ASSERT(varHomes_[n.var]->pe == pe);
-    op.writesDest = true;
-    op.destVreg = varHomes_[n.var]->vreg;
-    if (pred) {
-      op.pred = pred;
-      claimPredSignal(t, *pred);
-    }
-
-    for (const auto& [srcPe, vreg] : exposure) claimOutPort(srcPe, t, vreg);
-    markPeBusy(pe, t, dur);
-    sched_.ops.push_back(op);
-    stepHasOp_ = true;
-
-    commitVarWrite(n.var, t + dur);
-    markScheduled(id, t, dur, pe);
-    return true;
-  }
-
-  /// A committed write to `var` at finish cycle: home becomes ready, all
-  /// copies become stale for later readers.
-  void commitVarWrite(VarId var, unsigned finish) {
-    Location& home = *varHomes_[var];
-    home.ready = std::max(home.ready, finish);
-    for (Location& copy : varCopies_[var])
-      copy.validUntil = std::min(copy.validUntil, finish - 1);
-  }
-
-  void markScheduled(NodeId id, unsigned start, unsigned dur, PEId pe) {
-    nodeScheduled_[id] = true;
-    nodeStart_[id] = start;
-    nodeFinish_[id] = start + dur;
-    ++scheduledCount_;
-    ++metrics_.nodesScheduled;
-    candidates_.erase(id);
-
-    // Attraction update (§V-G): successors are drawn toward PEs that can
-    // access this result's register file. The sink lists come from the
-    // shared routing tables (the seed re-scanned the interconnect here).
-    for (const Edge& e : g_.outEdges(id)) {
-      if (!nodeScheduled_[e.to]) {
-        attraction_[e.to][pe] += 1.0;
-        for (PEId q : routing_->sinks[pe]) attraction_[e.to][q] += 1.0;
-      }
-      if (--remainingPreds_[e.to] == 0) candidates_.insert(e.to);
-    }
-  }
-
-  // -- loop invalidation on open ----------------------------------------------
-
-  // (called from loopCompatible via loopStack_ push — see openLoopEffects)
-
-  // -- finalize ----------------------------------------------------------------
-
-  void finalize() {
-    unsigned maxCycle = 0;
-    for (const ScheduledOp& op : sched_.ops)
-      maxCycle = std::max(maxCycle, op.lastCycle());
-    for (const CBoxOp& op : sched_.cboxOps) maxCycle = std::max(maxCycle, op.time);
-    for (const BranchOp& b : sched_.branches)
-      maxCycle = std::max(maxCycle, b.time);
-    sched_.length = maxCycle + 1;
-    if (sched_.length > limit_)
-      throw Unmappable{
-          ScheduleFailure{FailureReason::ContextBudget,
-                          "schedule length " + std::to_string(sched_.length) +
-                              " exceeds context memory of " + comp_.name(),
-                          kNoNode},
-          TraceReject::None};
-
-    sched_.vregsPerPE = nextVreg_;
-    sched_.cboxSlotsUsed = nextCondSlot_;
-
-    for (VarId v = 0; v < g_.numVariables(); ++v) {
-      if (!varHomes_[v]) continue;
-      sched_.varHomes.push_back(
-          LiveBinding{v, varHomes_[v]->pe, varHomes_[v]->vreg});
-      if (g_.variable(v).liveOut)
-        sched_.liveOuts.push_back(
-            LiveBinding{v, varHomes_[v]->pe, varHomes_[v]->vreg});
-    }
-
-    stats_.contextsUsed = sched_.length;
-    stats_.cboxSlotsUsed = nextCondSlot_;
-  }
-
-  // -- members ----------------------------------------------------------------
-
-  const Composition& comp_;
-  const SchedulerOptions& opts_;
-  const Cdfg& g_;
-  /// Shared composition tables; points at ownedRouting_ when the caller did
-  /// not supply a cache entry.
-  const RoutingInfo* routing_ = nullptr;
-  std::optional<RoutingInfo> ownedRouting_;
-  /// Per-run decision trace; null when the request disabled tracing (every
-  /// instrumentation point then costs one predicted-not-taken branch).
-  Trace* trace_ = nullptr;
-
-  Schedule sched_;
-  ScheduleStats stats_;
-  SchedulerMetrics metrics_;
-
-  unsigned t_ = 0;
-  unsigned limit_ = 0;
-  bool stepHasOp_ = false;
-  std::size_t scheduledCount_ = 0;
-  /// Why the in-flight placement attempt failed (set via fail()).
-  TraceReject reject_ = TraceReject::None;
-
-  std::vector<double> priorities_;
-  std::vector<std::vector<double>> attraction_;
-  std::vector<unsigned> nodeStart_, nodeFinish_;
-  std::vector<bool> nodeScheduled_;
-  /// Per node: most informative rejection of its newest attempt step.
-  std::vector<TraceReject> lastReject_;
-  std::vector<unsigned> lastRejectStep_;
-  std::vector<unsigned> remainingPreds_;
-  std::set<NodeId> candidates_;
-
-  std::vector<CycleOccupancy> peBusy_;
-  std::vector<CycleSlots<unsigned>> outPort_;
-  CycleOccupancy cboxOpAt_;
-  CycleSlots<PredRef> predUse_;
-  CycleOccupancy branchAt_;
-
-  std::vector<unsigned> nextVreg_;
-  unsigned nextCondSlot_ = 0;
-
-  std::vector<std::optional<Location>> varHomes_;
-  std::vector<std::vector<Location>> varCopies_;
-  std::vector<std::vector<Location>> nodeLocs_;
-  std::map<std::int32_t, std::vector<Location>> constLocs_;
-  std::vector<Location> scratchLocs_;
-
-  std::map<CondId, CondSlot> condSlots_;
-  std::map<NodeId, CondSlot> rawSlots_;
-
-  std::vector<OpenLoop> loopStack_;
-  std::vector<std::vector<NodeId>> loopSubtree_;
-};
-
-}  // namespace
 
 const char* failureReasonName(FailureReason reason) {
   switch (reason) {
@@ -1153,7 +31,7 @@ ScheduleReport&& ScheduleReport::orThrow() && {
 }
 
 Scheduler::Scheduler(const Composition& comp, SchedulerOptions opts)
-    : comp_(&comp), opts_(opts) {}
+    : comp_(&comp), opts_(opts), model_(ArchModel::get(comp)) {}
 
 ScheduleReport Scheduler::schedule(const ScheduleRequest& request) const {
   CGRA_ASSERT_MSG(request.graph != nullptr,
@@ -1161,32 +39,10 @@ ScheduleReport Scheduler::schedule(const ScheduleRequest& request) const {
   const SchedulerOptions& opts = request.options ? *request.options : opts_;
   std::shared_ptr<Trace> trace;
   if (request.trace.enabled) trace = std::make_shared<Trace>(request.trace);
-  Run run(*comp_, opts, *request.graph, request.routing, trace.get());
-  ScheduleReport report = run.execute();
+  ScheduleReport report =
+      passes::runPipeline(*model_, *comp_, opts, *request.graph, trace.get());
   report.trace = std::move(trace);
   return report;
-}
-
-// The deprecated shims reproduce the legacy contract exactly: throw
-// cgra::Error with the failure message on unmappable kernels. Both go
-// straight to the request path (not through each other) so building this
-// file never touches a deprecated symbol.
-
-SchedulingResult Scheduler::schedule(const Cdfg& graph) const {
-  ScheduleReport report = schedule(ScheduleRequest(graph));
-  if (!report.ok) throw Error(report.failure.message);
-  return SchedulingResult{std::move(report.schedule), report.stats,
-                          report.metrics};
-}
-
-SchedulingResult Scheduler::schedule(const Cdfg& graph,
-                                     const RoutingInfo* routing) const {
-  ScheduleRequest request(graph);
-  request.routing = routing;
-  ScheduleReport report = schedule(request);
-  if (!report.ok) throw Error(report.failure.message);
-  return SchedulingResult{std::move(report.schedule), report.stats,
-                          report.metrics};
 }
 
 }  // namespace cgra

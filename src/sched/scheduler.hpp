@@ -22,13 +22,14 @@
 //    nested conditions are conjunctions of a stored condition and a raw
 //    status slot (§V-H).
 //
-// Public API: build a ScheduleRequest, call Scheduler::schedule(request),
-// inspect the ScheduleReport. Scheduling failures (a kernel the composition
-// cannot execute) are *data* — ScheduleReport::failure carries a typed
-// FailureReason — not exceptions; exceptions remain for programmer errors
-// (malformed CDFGs, violated invariants). The legacy Cdfg-taking overloads
-// are deprecated shims over the request path and throw on failure as they
-// always did.
+// The implementation is an explicit pass pipeline (src/sched/passes/): each
+// pass takes the shared immutable ArchModel — built once per composition —
+// and a mutable RunState. Public API: build a ScheduleRequest, call
+// Scheduler::schedule(request), inspect the ScheduleReport. Scheduling
+// failures (a kernel the composition cannot execute) are *data* —
+// ScheduleReport::failure carries a typed FailureReason — not exceptions;
+// exceptions remain for programmer errors (malformed CDFGs, violated
+// invariants).
 #pragma once
 
 #include <memory>
@@ -42,7 +43,7 @@
 
 namespace cgra {
 
-struct RoutingInfo;
+class ArchModel;
 
 /// Knobs for ablation benches and tests.
 struct SchedulerOptions {
@@ -75,7 +76,7 @@ const char* failureReasonName(FailureReason reason);
 /// Structured description of a scheduling failure.
 struct ScheduleFailure {
   FailureReason reason = FailureReason::None;
-  /// Human-readable message (what the legacy API used to throw).
+  /// Human-readable message (what call sites using orThrow() see thrown).
   std::string message;
   /// The node that was stuck when the run gave up; kNoNode when the
   /// failure is not node-scoped (e.g. a whole-schedule budget overflow).
@@ -83,8 +84,10 @@ struct ScheduleFailure {
 };
 
 /// One scheduling request: everything a run consumes, in one place. The
-/// pointed-to graph (and routing tables, when supplied) must outlive the
-/// schedule() call.
+/// pointed-to graph must outlive the schedule() call. Composition analysis
+/// tables are not part of the request: the Scheduler holds its
+/// composition's memoized ArchModel, so N concurrent scheduler instances
+/// on one composition share one immutable copy automatically.
 struct ScheduleRequest {
   ScheduleRequest() = default;
   explicit ScheduleRequest(const Cdfg& g) : graph(&g) {}
@@ -94,12 +97,6 @@ struct ScheduleRequest {
   /// Per-request knobs; nullopt inherits the Scheduler's constructor
   /// options (so ablation setups keep configuring the scheduler once).
   std::optional<SchedulerOptions> options;
-  /// Precomputed composition tables (see RoutingCache): the run reads
-  /// these instead of rebuilding sink/connectivity/support tables, so N
-  /// concurrent scheduler instances on one composition share one immutable
-  /// copy. Must have been built from the scheduler's composition. Results
-  /// are identical with or without a cache.
-  const RoutingInfo* routing = nullptr;
   /// Decision-trace configuration; disabled by default (zero cost).
   TraceOptions trace;
 };
@@ -128,16 +125,12 @@ struct ScheduleReport {
   ScheduleReport&& orThrow() &&;
 };
 
-/// Result bundle of the deprecated Cdfg-taking overloads.
-struct SchedulingResult {
-  Schedule schedule;
-  ScheduleStats stats;
-  SchedulerMetrics metrics;
-};
-
 /// Maps a validated CDFG onto a composition.
 class Scheduler {
 public:
+  /// Resolves the composition's ArchModel once (memoized per composition
+  /// instance): repeated schedule() calls never recompute Floyd–Warshall
+  /// or per-opcode support tables.
   Scheduler(const Composition& comp, SchedulerOptions opts = {});
 
   /// The canonical entry point. Never throws for unmappable kernels — the
@@ -145,18 +138,13 @@ public:
   /// (null/malformed graph, violated internal invariants).
   ScheduleReport schedule(const ScheduleRequest& request) const;
 
-  [[deprecated("build a ScheduleRequest and call "
-               "schedule(const ScheduleRequest&); see DESIGN.md §8")]]
-  SchedulingResult schedule(const Cdfg& graph) const;
-
-  [[deprecated("build a ScheduleRequest (with .routing) and call "
-               "schedule(const ScheduleRequest&); see DESIGN.md §8")]]
-  SchedulingResult schedule(const Cdfg& graph,
-                            const RoutingInfo* routing) const;
+  /// The immutable analysis bundle all runs of this scheduler share.
+  const ArchModel& model() const { return *model_; }
 
 private:
   const Composition* comp_;
   SchedulerOptions opts_;
+  std::shared_ptr<const ArchModel> model_;
 };
 
 }  // namespace cgra

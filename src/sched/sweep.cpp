@@ -4,28 +4,29 @@
 #include <filesystem>
 #include <map>
 #include <memory>
+#include <set>
 #include <unordered_map>
 
+#include "arch/arch_model.hpp"
 #include "sched/job_key.hpp"
-#include "sched/routing_cache.hpp"
 #include "support/thread_pool.hpp"
 
 namespace cgra {
 
 namespace {
 
-SweepJobResult runJob(const SweepJob& job,
-                      const std::shared_ptr<const RoutingInfo>& routing,
-                      bool keepSchedule, const TraceOptions& trace) {
+SweepJobResult runJob(const SweepJob& job, bool keepSchedule,
+                      const TraceOptions& trace) {
   SweepJobResult out;
   out.label = !job.label.empty() ? job.label
                                  : (job.comp ? job.comp->name() : "?");
   try {
     CGRA_ASSERT(job.comp != nullptr && job.graph != nullptr);
+    // The Scheduler resolves its composition's memoized ArchModel — built
+    // once in the serial warm-up below, so this never rebuilds tables.
     const Scheduler scheduler(*job.comp, job.options);
     ScheduleRequest request(*job.graph);
     request.options = job.options;
-    request.routing = routing.get();
     request.trace = trace;
     ScheduleReport report = scheduler.schedule(request);
     out.ok = report.ok;
@@ -81,24 +82,33 @@ SweepReport runSweep(const std::vector<SweepJob>& jobs,
   TraceOptions trace = options.trace;
   if (!options.traceDir.empty()) trace.enabled = true;
 
-  // Warm the routing cache serially: one immutable table set per distinct
-  // composition, shared read-only by every scheduler instance. Jobs then
-  // only read shared_ptrs — no locking on the hot path.
-  RoutingCache cache;
-  std::vector<std::shared_ptr<const RoutingInfo>> routing(jobs.size());
-  for (std::size_t i = 0; i < jobs.size(); ++i)
-    if (jobs[i].comp != nullptr) routing[i] = cache.lookup(*jobs[i].comp);
-  report.routingCacheEntries = cache.size();
+  // Warm the ArchModel memo serially: one immutable analysis bundle per
+  // distinct composition, shared read-only by every scheduler instance.
+  // Jobs then only read shared_ptrs — no locking on the hot path.
+  {
+    const auto buildStart = std::chrono::steady_clock::now();
+    const std::uint64_t buildsBefore = ArchModel::buildsPerformed();
+    std::set<const ArchModel*> distinctModels;
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+      if (jobs[i].comp != nullptr)
+        distinctModels.insert(ArchModel::get(*jobs[i].comp).get());
+    report.routingCacheEntries = distinctModels.size();
+    report.archModelBuilds =
+        static_cast<std::size_t>(ArchModel::buildsPerformed() - buildsBefore);
+    report.archModelBuildMs = std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() - buildStart)
+                                  .count();
+  }
 
   // In-sweep dedup: the scheduler is a pure function of (composition,
   // graph, options), so jobs with equal content keys produce bit-identical
   // results — schedule each distinct key once and fan the result out.
-  // Composition digests are amortized per Composition instance.
+  // Composition digests are memoized on the ArchModel, so repeated jobs on
+  // one Composition instance hash its JSON only once.
   std::vector<std::string> keys(jobs.size());
   std::vector<std::size_t> representative(jobs.size());
   std::vector<std::size_t> uniqueJobs;
   {
-    std::map<const Composition*, std::string> compDigest;
     std::unordered_map<std::string, std::size_t> firstByKey;
     for (std::size_t i = 0; i < jobs.size(); ++i) {
       if (jobs[i].comp == nullptr || jobs[i].graph == nullptr) {
@@ -107,12 +117,9 @@ SweepReport runSweep(const std::vector<SweepJob>& jobs,
         uniqueJobs.push_back(i);
         continue;
       }
-      auto it = compDigest.find(jobs[i].comp);
-      if (it == compDigest.end())
-        it = compDigest.emplace(jobs[i].comp, compositionDigest(*jobs[i].comp))
-                 .first;
-      keys[i] = scheduleJobKeyWithCompDigest(it->second, *jobs[i].graph,
-                                             jobs[i].options);
+      keys[i] = scheduleJobKeyWithCompDigest(
+          ArchModel::get(*jobs[i].comp)->digest(), *jobs[i].graph,
+          jobs[i].options);
       const auto [keyIt, inserted] = firstByKey.emplace(keys[i], i);
       representative[i] = keyIt->second;
       if (inserted) uniqueJobs.push_back(i);
@@ -121,8 +128,7 @@ SweepReport runSweep(const std::vector<SweepJob>& jobs,
 
   parallelFor(uniqueJobs.size(), report.threadsUsed, [&](std::size_t u) {
     const std::size_t i = uniqueJobs[u];
-    report.results[i] =
-        runJob(jobs[i], routing[i], options.keepSchedules, trace);
+    report.results[i] = runJob(jobs[i], options.keepSchedules, trace);
     report.results[i].cacheKey = keys[i];
   });
 
@@ -185,6 +191,13 @@ json::Value SweepReport::toJson(bool includeVolatile) const {
     o["failuresByReason"] = std::move(byReason);
   }
   o["routingCacheEntries"] = static_cast<std::int64_t>(routingCacheEntries);
+  if (includeVolatile) {
+    // Builds actually performed vary with memo warmth (an earlier sweep on
+    // the same Composition instance leaves the model built), so they stay
+    // out of the stable form like every other run-dependent counter.
+    o["archModelBuilds"] = static_cast<std::int64_t>(archModelBuilds);
+    o["archModelBuildMs"] = archModelBuildMs;
+  }
   o["dedupedJobs"] = static_cast<std::int64_t>(dedupedJobs);
   o["meanStaticUtilization"] = meanStaticUtilization;
   if (includeVolatile) o["wallTimeMs"] = wallTimeMs;

@@ -5,8 +5,8 @@
 // (synthesis candidate ranking, Table/Fig. reproduction benches, the
 // all-pairs correctness matrix). Each (composition × kernel) job is an
 // independent pure function, so the engine runs N jobs concurrently on a
-// std::thread pool, shares one immutable RoutingInfo per composition across
-// all scheduler instances (see routing_cache.hpp), and aggregates the
+// std::thread pool, shares one immutable ArchModel per composition across
+// all scheduler instances (see arch/arch_model.hpp), and aggregates the
 // per-run SchedulerMetrics into a JSON-exportable report.
 //
 // Determinism: the scheduler is single-threaded per job and jobs share no
@@ -92,6 +92,13 @@ struct SweepReport {
   /// from "missing op support" without string-matching messages.
   std::array<std::size_t, kNumFailureReasons> failuresByReason{};
   std::size_t routingCacheEntries = 0;  ///< distinct compositions seen
+  /// ArchModel builds this sweep actually performed (vs. served memoized).
+  /// Volatile by design: a composition whose model was already built by an
+  /// earlier sweep or Scheduler contributes 0 here, so the field is only
+  /// exported when `includeVolatile` — like the cache counters below.
+  std::size_t archModelBuilds = 0;
+  /// Wall time spent building ArchModels during the warm-up phase (ms).
+  double archModelBuildMs = 0.0;
   /// Mean staticUtilization over successful jobs (0 when none succeeded).
   double meanStaticUtilization = 0.0;
   /// Jobs served by copying an identical job's result within this sweep

@@ -1,5 +1,5 @@
 // Tests for the parallel composition-sweep engine: determinism across
-// thread counts (byte-identical schedules), routing-cache transparency,
+// thread counts (byte-identical schedules), arch-model transparency,
 // per-job failure capture, metrics aggregation/JSON shape, and simulator
 // verification of a schedule produced by a parallel sweep.
 #include <gtest/gtest.h>
@@ -8,10 +8,10 @@
 #include <map>
 
 #include "apps/kernels.hpp"
+#include "arch/arch_model.hpp"
 #include "arch/factory.hpp"
 #include "kir/interp.hpp"
 #include "kir/lower_cdfg.hpp"
-#include "sched/routing_cache.hpp"
 #include "sched/sweep.hpp"
 #include "sim/simulator.hpp"
 
@@ -86,7 +86,7 @@ TEST(Sweep, JsonByteStableAcrossThreadCounts) {
   }
 }
 
-TEST(Sweep, CachedRoutingMatchesUncachedScheduling) {
+TEST(Sweep, SharedArchModelMatchesDirectScheduling) {
   const Domain d = Domain::make();
   SweepOptions opts;
   opts.threads = 2;
@@ -94,8 +94,8 @@ TEST(Sweep, CachedRoutingMatchesUncachedScheduling) {
   ASSERT_EQ(report.failures, 0u);
   EXPECT_EQ(report.routingCacheEntries, d.comps.size());
   for (std::size_t i = 0; i < d.jobs.size(); ++i) {
-    // Direct scheduling rebuilds the routing tables per run; the sweep
-    // shares one cached copy per composition. Schedules must be identical.
+    // Direct scheduling and the sweep both read the composition's memoized
+    // ArchModel. Schedules must be identical either way.
     const ScheduleReport direct =
         Scheduler(*d.jobs[i].comp).schedule(ScheduleRequest(*d.jobs[i].graph)).orThrow();
     EXPECT_EQ(direct.schedule.fingerprint(), report.results[i].fingerprint)
@@ -103,14 +103,12 @@ TEST(Sweep, CachedRoutingMatchesUncachedScheduling) {
   }
 }
 
-TEST(Sweep, RoutingCacheSharesOneEntryPerComposition) {
+TEST(Sweep, ArchModelSharesOneEntryPerComposition) {
   const Composition comp = makeMesh(4);
-  RoutingCache cache;
-  const auto a = cache.lookup(comp);
-  const auto b = cache.lookup(comp);
+  const auto a = ArchModel::get(comp);
+  const auto b = ArchModel::get(comp);
   ASSERT_NE(a, nullptr);
   EXPECT_EQ(a.get(), b.get());
-  EXPECT_EQ(cache.size(), 1u);
   EXPECT_EQ(a->sinks.size(), comp.numPEs());
   EXPECT_EQ(a->connectivity.size(), comp.numPEs());
 }

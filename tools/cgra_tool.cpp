@@ -733,7 +733,7 @@ int cmdSweep(const Args& args) {
             << report.results.size() << " jobs scheduled in "
             << fmt(report.wallTimeMs, 1) << " ms on " << report.threadsUsed
             << " thread(s) (" << report.routingCacheEntries
-            << " routing-cache entries, "
+            << " arch model(s), "
             << report.aggregate.nodesScheduled << " nodes, "
             << report.aggregate.backtracks << " backtracks, mean utilization "
             << fmt(report.meanStaticUtilization * 100, 1) << "%)\n";

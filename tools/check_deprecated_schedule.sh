@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
-# Lint: no new call sites of the deprecated Scheduler::schedule(const Cdfg&)
-# overloads. Every in-tree caller must go through the ScheduleRequest /
-# ScheduleReport API (see DESIGN.md §8); the deprecated shims live only in
-# src/sched/scheduler.cpp, which is the one file allowed to reference them.
+# Lint: the deprecated Scheduler::schedule(const Cdfg&) shims were removed
+# with the pass-pipeline refactor. This check is now a hard failure on two
+# fronts: (1) no call site anywhere in the tree may use the legacy
+# Cdfg-taking spelling — every caller goes through the ScheduleRequest /
+# ScheduleReport API (see DESIGN.md §8); (2) the shims themselves (a
+# [[deprecated]] schedule overload or the SchedulingResult bundle) must not
+# reappear in the scheduler sources.
 #
-# Heuristic: a `.schedule(...)` call is considered migrated when the call (or
-# its argument) mentions ScheduleRequest / request / req. Member accesses
-# like `result.schedule` carry no parenthesis and are ignored.
+# Heuristic for (1): a `.schedule(...)` call is considered migrated when the
+# call (or its argument) mentions ScheduleRequest / request / req. Member
+# accesses like `result.schedule` carry no parenthesis and are ignored.
 #
 # Usage: tools/check_deprecated_schedule.sh [repo-root]
 set -u
@@ -16,7 +19,6 @@ cd "$root" || exit 2
 
 offenders=$(grep -rn --include='*.cpp' --include='*.hpp' '\.schedule(' \
     src tests tools examples bench 2>/dev/null |
-  grep -v '^src/sched/scheduler\.cpp:' |
   grep -viE 'schedulerequest|request|req')
 
 if [ -n "$offenders" ]; then
@@ -30,13 +32,30 @@ fi
 
 echo "ok: all Scheduler::schedule call sites use the ScheduleRequest API"
 
+# Hard failure: the removed legacy surface must stay removed. Any
+# [[deprecated]] marker or SchedulingResult mention in the scheduler
+# sources means the shims are creeping back in.
+shim_offenders=$(grep -rnE '\[\[deprecated\]\]|SchedulingResult' \
+    src/sched/scheduler.hpp src/sched/scheduler.cpp src/sched/passes \
+    2>/dev/null)
+
+if [ -n "$shim_offenders" ]; then
+  echo "error: legacy scheduler shim surface detected. The deprecated"
+  echo "Cdfg-taking schedule() overloads and SchedulingResult were removed;"
+  echo "do not reintroduce them:"
+  echo
+  echo "$shim_offenders"
+  exit 1
+fi
+
+echo "ok: no deprecated schedule shims in the scheduler sources"
+
 # Lint 2: no raw SimCounters field math in benches or tools. Derived
 # quantities (utilization, squash rate, cycles/op, totals) have accessors on
 # sim::Report (src/sim/report.hpp); hand-rolled arithmetic over the raw
 # fields drifts from the canonical definitions. toJson() is the one allowed
 # member (serialization, not math). tools/cgra_tool.cpp is the designated
-# presentation layer that renders the raw per-PE table and is exempt, like
-# scheduler.cpp above.
+# presentation layer that renders the raw per-PE table and is exempt.
 fields='perPE|squashedOps|byClass|linkTransfers|contextExec|cboxSlotWrites'
 fields="$fields|cboxCombines|cboxStatusReads|nopCycles|dmaSuppressed"
 fields="$fields|liveInTransferCycles|liveOutTransferCycles"
