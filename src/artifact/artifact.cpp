@@ -328,7 +328,7 @@ SchedulerMetrics metricsFromJson(const json::Value& v) {
   m.steps = u64("steps");
   m.candidateIterations = u64("candidateIterations");
   m.placementAttempts = u64("placementAttempts");
-  m.backtracks = u64("backtracks");
+  m.probeRejections = u64("probeRejections");
   m.runs = u64("runs");
   return m;
 }

@@ -20,7 +20,7 @@ namespace cgra {
 /// when scheduler behavior changes (placement order, routing, fusing rules,
 /// cost model...) so persisted artifacts from older binaries are never
 /// served for the new scheduler's output. DESIGN.md §10 records the policy.
-inline constexpr const char* kSchedulerVersionSalt = "cgra-sched-salt-1";
+inline constexpr const char* kSchedulerVersionSalt = "cgra-sched-salt-2";
 
 /// 64-hex-char SHA-256 over (salt, composition JSON, CDFG content, options).
 /// Deterministic across platforms, processes and library versions.

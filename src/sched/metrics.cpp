@@ -14,7 +14,7 @@ void SchedulerMetrics::merge(const SchedulerMetrics& other) {
   steps += other.steps;
   candidateIterations += other.candidateIterations;
   placementAttempts += other.placementAttempts;
-  backtracks += other.backtracks;
+  probeRejections += other.probeRejections;
   setupMs += other.setupMs;
   planMs += other.planMs;
   finalizeMs += other.finalizeMs;
@@ -33,7 +33,7 @@ json::Value SchedulerMetrics::toJson(bool includeTimings) const {
   o["steps"] = steps;
   o["candidateIterations"] = candidateIterations;
   o["placementAttempts"] = placementAttempts;
-  o["backtracks"] = backtracks;
+  o["probeRejections"] = probeRejections;
   if (includeTimings) {
     o["setupMs"] = setupMs;
     o["planMs"] = planMs;

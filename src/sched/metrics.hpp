@@ -4,7 +4,7 @@
 // kernel) jobs and exports them as JSON (`cgra-tool sweep --metrics`), so
 // many-config explorations can be profiled without re-instrumenting the
 // scheduler: where does the wall time go (planning vs. setup), how many
-// candidate-loop iterations and failed placement attempts ("backtracks")
+// candidate-loop iterations and rejected placement probes
 // does a composition cost, how much copy/const/C-Box traffic it induces.
 #pragma once
 
@@ -29,7 +29,7 @@ struct SchedulerMetrics {
   std::uint64_t steps = 0;               ///< scheduling steps (contexts visited)
   std::uint64_t candidateIterations = 0; ///< candidate-loop iterations
   std::uint64_t placementAttempts = 0;   ///< candidate × PE placements tried
-  std::uint64_t backtracks = 0;          ///< attempts rejected after probing
+  std::uint64_t probeRejections = 0;     ///< probes rejected (rolled back)
   // Per-phase wall time (milliseconds).
   double setupMs = 0.0;     ///< validation + state/routing-table setup
   double planMs = 0.0;      ///< main scheduling loop

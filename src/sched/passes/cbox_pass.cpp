@@ -20,7 +20,7 @@ std::optional<PredRef> ensureCondition(const ArchModel& model, RunState& st,
     // TRUE ∧ literal: read the raw status slot with the literal polarity.
     CondSlot slot{PredRef{raw.ref.slot, cond.polarity}, raw.ready};
     if (slot.ready > deadline) return std::nullopt;
-    st.condSlots[c] = slot;
+    st.insertCondSlot(c, slot);
     return slot.ref;
   }
 
@@ -48,7 +48,7 @@ std::optional<PredRef> ensureCondition(const ArchModel& model, RunState& st,
     CGRA_TRACE(st.trace, CBoxSlotAllocated, .cycle = u, .a = op.writeSlot,
                .b = c, .detail = "and");
     CondSlot slot{PredRef{op.writeSlot, true}, u + 1};
-    st.condSlots[c] = slot;
+    st.insertCondSlot(c, slot);
     return slot.ref;
   }
   return std::nullopt;

@@ -36,22 +36,6 @@ unsigned opDuration(const RunState& st, NodeId id, PEId pe) {
   return st.comp.pe(pe).impl(n.op).duration;
 }
 
-/// Assigns a variable's home register (§V-D heuristic: the PE that can
-/// provide the value to the first PE requiring it — we pin the home on
-/// that very PE). For live-in variables the host transfer is recorded.
-void assignHome(RunState& st, VarId var, PEId pe) {
-  CGRA_ASSERT(!st.varHomes[var]);
-  const unsigned vreg = st.freshVreg(pe);
-  const bool liveIn = st.g.variable(var).liveIn;
-  st.varHomes[var] = Location{pe, vreg, 0, Location::kNoLimit};
-  if (liveIn) st.sched.liveIns.push_back(LiveBinding{var, pe, vreg});
-}
-
-/// Ensures the variable has a home; used on first read.
-void homeFor(RunState& st, VarId var, PEId consumerPe) {
-  if (!st.varHomes[var]) assignHome(st, var, consumerPe);
-}
-
 /// A committed write to `var` at finish cycle: home becomes ready, all
 /// copies become stale for later readers.
 void commitVarWrite(RunState& st, VarId var, unsigned finish) {
@@ -80,18 +64,23 @@ void markScheduled(const ArchModel& model, RunState& st, NodeId id,
 /// per-node reason feeds the typed failure classification when the run
 /// eventually gives up: within one step the most informative reason wins
 /// (an Incompatible on a later PE must not mask an OperandUnroutable);
-/// across steps the newest step wins.
+/// across steps the newest step wins. Ranks are strictly distinct so the
+/// winner is independent of PE iteration order: PredUnavailable ranks below
+/// CBoxWritePortBusy because a missing predicate is ordinary transient
+/// state (the producing CMP is simply not scheduled yet) while a busy C-Box
+/// write port signals real capacity pressure (it classifies as
+/// CBoxCapacity, see pipeline.cpp).
 void rejectPlacement(RunState& st, NodeId id, PEId pe, TraceReject why) {
   const auto rank = [](TraceReject r) {
     switch (r) {
       case TraceReject::None: return 0;
       case TraceReject::Incompatible: return 1;
       case TraceReject::PeBusy: return 2;
-      case TraceReject::CBoxWritePortBusy: return 3;
       case TraceReject::PredUnavailable: return 3;
-      case TraceReject::OperandUnroutable: return 4;
+      case TraceReject::CBoxWritePortBusy: return 4;
+      case TraceReject::OperandUnroutable: return 5;
     }
-    return 0;
+    CGRA_UNREACHABLE("unknown TraceReject");
   };
   if (st.lastRejectStep[id] != st.t || rank(why) >= rank(st.lastReject[id])) {
     st.lastReject[id] = why;
@@ -139,8 +128,16 @@ bool planOperation(const ArchModel& model, RunState& st, NodeId id, PEId pe,
         if (w.cond != kCondTrue) {
           // Both the op's own memory predication (none here: fused ops are
           // pure ALU) and the single outPE wire must accommodate it.
+          // Materializing the condition may allocate a C-Box slot; when the
+          // fusion is then skipped that allocation must not outlive the
+          // decision, so it runs under a savepoint.
+          const ProbeSavepoint sp = st.savepoint();
           fusedPred = ensureCondition(model, st, w.cond, t);
           condOk = fusedPred && st.predSignalAvailable(t, *fusedPred);
+          if (!condOk) {
+            st.rollbackTo(sp);
+            fusedPred.reset();
+          }
         }
         if (condOk) fusedWriter = writer;
       }
@@ -151,9 +148,10 @@ bool planOperation(const ArchModel& model, RunState& st, NodeId id, PEId pe,
   std::map<PEId, unsigned> exposure;
   std::array<OperandSource, 3> srcs{};
   for (std::size_t i = 0; i < n.operands.size(); ++i) {
-    // Reading a variable pins its home on first use.
+    // Reading a variable pins its home on first use (rolled back with the
+    // probe when a later operand proves unroutable).
     if (n.operands[i].kind() == Operand::Kind::Variable)
-      homeFor(st, n.operands[i].varId(), pe);
+      st.homeFor(n.operands[i].varId(), pe);
     const auto src = resolveOperand(model, st, n.operands[i], pe, t, exposure);
     if (!src) return st.fail(TraceReject::OperandUnroutable);
     srcs[i] = *src;
@@ -176,7 +174,7 @@ bool planOperation(const ArchModel& model, RunState& st, NodeId id, PEId pe,
 
   if (fusedWriter) {
     const Node& w = st.g.node(*fusedWriter);
-    if (!st.varHomes[w.var]) assignHome(st, w.var, pe);
+    st.homeFor(w.var, pe);
     op.writesDest = true;
     op.destVreg = st.varHomes[w.var]->vreg;
     if (fusedPred) {
@@ -239,13 +237,13 @@ bool planPWrite(const ArchModel& model, RunState& st, NodeId id, PEId pe,
   } else {
     op.op = Op::MOVE;
     if (value.kind() == Operand::Kind::Variable)
-      homeFor(st, value.varId(), pe);
+      st.homeFor(value.varId(), pe);
     const auto src = resolveOperand(model, st, value, pe, t, exposure);
     if (!src) return st.fail(TraceReject::OperandUnroutable);
     op.src[0] = *src;
   }
 
-  if (!st.varHomes[n.var]) assignHome(st, n.var, pe);
+  st.homeFor(n.var, pe);
   CGRA_ASSERT(st.varHomes[n.var]->pe == pe);
   op.writesDest = true;
   op.destVreg = st.varHomes[n.var]->vreg;
@@ -298,15 +296,22 @@ void planStep(const ArchModel& model, RunState& st) {
         }
         ++st.metrics.placementAttempts;
         st.reject = TraceReject::None;
+        // The probe is transactional: planCandidate may mutate homes,
+        // live-ins, routing copies and C-Box slots before discovering the
+        // placement is infeasible; rollback restores all of it so the next
+        // (node, PE) probe starts from pristine state.
+        st.beginProbe();
         if (planCandidate(model, st, id, pe, dur)) {
+          st.commitProbe();
           CGRA_TRACE(st.trace, NodePlaced, .cycle = st.t,
                      .node = static_cast<std::int32_t>(id),
                      .pe = static_cast<std::int32_t>(pe), .a = dur);
           changed = true;
           break;
         }
+        st.rollbackProbe();
         rejectPlacement(st, id, pe, st.reject);
-        ++st.metrics.backtracks;
+        ++st.metrics.probeRejections;
       }
     }
   }

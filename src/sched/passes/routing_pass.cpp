@@ -138,7 +138,7 @@ std::optional<Location> materializeConst(const ArchModel& /*model*/,
   st.sched.ops.push_back(op);
   st.markBusy(pe, *u, dur);
   Location loc{pe, vreg, *u + dur, Location::kNoLimit};
-  st.constLocs[value].push_back(loc);
+  st.addConstLocation(value, loc);
   ++st.stats.constsInserted;
   CGRA_TRACE(st.trace, ConstInserted, .cycle = *u,
              .pe = static_cast<std::int32_t>(pe), .a = value);

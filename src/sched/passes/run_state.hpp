@@ -67,6 +67,29 @@ struct OpenLoop {
 
 class CostModel;
 
+/// Append-position snapshot of every probe-journaled structure. Captured by
+/// RunState::savepoint() and consumed by rollbackTo(), which undoes all
+/// journaled mutations recorded after the snapshot (see the transactional
+/// probe contract in DESIGN.md: a failed probe may touch only the per-node
+/// rejection bookkeeping and the trace).
+struct ProbeSavepoint {
+  // Direct container/scalar snapshots.
+  std::size_t ops = 0;
+  std::size_t cboxOps = 0;
+  std::size_t liveIns = 0;
+  std::uint64_t copiesInserted = 0;
+  std::uint64_t constsInserted = 0;
+  unsigned nextCondSlot = 0;
+  // Journal append positions.
+  std::size_t homes = 0;
+  std::size_t vregs = 0;
+  std::size_t busy = 0;
+  std::size_t ports = 0;
+  std::size_t preds = 0;
+  std::size_t conds = 0;
+  std::size_t locs = 0;
+};
+
 struct RunState {
   RunState(const Composition& comp, const SchedulerOptions& opts,
            const Cdfg& g, Trace* trace)
@@ -141,6 +164,137 @@ struct RunState {
   std::vector<OpenLoop> loopStack;
   std::vector<std::vector<NodeId>> loopSubtree;
 
+  // -- transactional placement probes -----------------------------------------
+  //
+  // A (node, PE) placement probe may fail after mutating shared run state
+  // (variable homes, live-in bindings, routing copies, C-Box slots). Every
+  // such mutation between beginProbe() and commitProbe()/rollbackProbe() is
+  // journaled by the mutators below; rollback restores the exact pre-probe
+  // state, so a rejected probe observably touches only `lastReject`,
+  // `metrics` counters and the trace. savepoint()/rollbackTo() expose the
+  // same mechanism for sub-transactions inside a probe (the fusion path's
+  // speculative condition materialization).
+
+  bool probeActive = false;
+  ProbeSavepoint probeBase;
+
+  struct BusyMark {
+    PEId pe;
+    unsigned from;
+    unsigned dur;
+  };
+  struct PortClaim {
+    PEId pe;
+    unsigned cycle;
+  };
+  /// One location pushed into nodeLocs/varCopies/constLocs: the owning key.
+  struct LocPush {
+    Operand::Kind kind;
+    std::uint32_t id;   ///< NodeId or VarId
+    std::int32_t imm;   ///< constLocs key for Immediate
+  };
+  std::vector<VarId> jHomes;
+  std::vector<PEId> jVregs;
+  std::vector<BusyMark> jBusy;
+  std::vector<PortClaim> jPorts;
+  std::vector<unsigned> jPreds;
+  std::vector<CondId> jConds;
+  std::vector<LocPush> jLocs;
+
+  ProbeSavepoint savepoint() const {
+    ProbeSavepoint sp;
+    sp.ops = sched.ops.size();
+    sp.cboxOps = sched.cboxOps.size();
+    sp.liveIns = sched.liveIns.size();
+    sp.copiesInserted = stats.copiesInserted;
+    sp.constsInserted = stats.constsInserted;
+    sp.nextCondSlot = nextCondSlot;
+    sp.homes = jHomes.size();
+    sp.vregs = jVregs.size();
+    sp.busy = jBusy.size();
+    sp.ports = jPorts.size();
+    sp.preds = jPreds.size();
+    sp.conds = jConds.size();
+    sp.locs = jLocs.size();
+    return sp;
+  }
+
+  /// Undoes every journaled mutation made after `sp` (newest first).
+  void rollbackTo(const ProbeSavepoint& sp) {
+    while (sched.cboxOps.size() > sp.cboxOps) {
+      cboxOpAt.clear(sched.cboxOps.back().time);
+      sched.cboxOps.pop_back();
+    }
+    sched.ops.resize(sp.ops);
+    sched.liveIns.resize(sp.liveIns);
+    stats.copiesInserted = sp.copiesInserted;
+    stats.constsInserted = sp.constsInserted;
+    nextCondSlot = sp.nextCondSlot;
+    while (jConds.size() > sp.conds) {
+      condSlots.erase(jConds.back());
+      jConds.pop_back();
+    }
+    while (jHomes.size() > sp.homes) {
+      varHomes[jHomes.back()].reset();
+      jHomes.pop_back();
+    }
+    while (jLocs.size() > sp.locs) {
+      const LocPush& p = jLocs.back();
+      switch (p.kind) {
+        case Operand::Kind::Node: nodeLocs[p.id].pop_back(); break;
+        case Operand::Kind::Variable: varCopies[p.id].pop_back(); break;
+        case Operand::Kind::Immediate: constLocs[p.imm].pop_back(); break;
+      }
+      jLocs.pop_back();
+    }
+    while (jBusy.size() > sp.busy) {
+      const BusyMark& m = jBusy.back();
+      peBusy[m.pe].clear(m.from, m.dur);
+      jBusy.pop_back();
+    }
+    while (jPorts.size() > sp.ports) {
+      outPort[jPorts.back().pe].release(jPorts.back().cycle);
+      jPorts.pop_back();
+    }
+    while (jPreds.size() > sp.preds) {
+      predUse.release(jPreds.back());
+      jPreds.pop_back();
+    }
+    while (jVregs.size() > sp.vregs) {
+      --nextVreg[jVregs.back()];
+      jVregs.pop_back();
+    }
+  }
+
+  void beginProbe() {
+    CGRA_ASSERT(!probeActive);
+    probeActive = true;
+    probeBase = savepoint();
+  }
+
+  void commitProbe() {
+    CGRA_ASSERT(probeActive);
+    probeActive = false;
+    clearJournal();
+  }
+
+  void rollbackProbe() {
+    CGRA_ASSERT(probeActive);
+    rollbackTo(probeBase);
+    probeActive = false;
+    clearJournal();
+  }
+
+  void clearJournal() {
+    jHomes.clear();
+    jVregs.clear();
+    jBusy.clear();
+    jPorts.clear();
+    jPreds.clear();
+    jConds.clear();
+    jLocs.clear();
+  }
+
   // -- resource helpers -------------------------------------------------------
 
   bool busy(PEId pe, unsigned from, unsigned dur) const {
@@ -148,6 +302,9 @@ struct RunState {
   }
 
   void markBusy(PEId pe, unsigned from, unsigned dur) {
+    // Every call site verifies the range free first, so the marked range is
+    // disjoint from all earlier marks and clear() restores it exactly.
+    if (probeActive) jBusy.push_back(BusyMark{pe, from, dur});
     peBusy[pe].mark(from, dur);
   }
 
@@ -157,10 +314,17 @@ struct RunState {
   }
 
   void claimOutPort(PEId pe, unsigned cycle, unsigned vreg) {
+    // Journal only first claims: re-claiming the same vreg on a cycle an
+    // earlier committed op already exposed must survive a rollback.
+    if (probeActive && outPort[pe].get(cycle) == nullptr)
+      jPorts.push_back(PortClaim{pe, cycle});
     outPort[pe].claim(cycle, vreg);
   }
 
-  unsigned freshVreg(PEId pe) { return nextVreg[pe]++; }
+  unsigned freshVreg(PEId pe) {
+    if (probeActive) jVregs.push_back(pe);
+    return nextVreg[pe]++;
+  }
 
   /// Per-cycle single predication signal (the C-Box outPE output is one
   /// wire broadcast to all PEs).
@@ -169,7 +333,32 @@ struct RunState {
   }
 
   void claimPredSignal(unsigned cycle, const PredRef& ref) {
+    if (probeActive && predUse.get(cycle) == nullptr) jPreds.push_back(cycle);
     predUse.claim(cycle, ref);
+  }
+
+  /// Caches a materialized condition; the insert is undone on rollback.
+  void insertCondSlot(CondId c, const CondSlot& slot) {
+    const bool inserted = condSlots.emplace(c, slot).second;
+    CGRA_ASSERT(inserted);
+    if (probeActive) jConds.push_back(c);
+  }
+
+  /// Assigns a variable's home register (§V-D heuristic: the PE that can
+  /// provide the value to the first PE requiring it — we pin the home on
+  /// that very PE). For live-in variables the host transfer is recorded.
+  void assignHome(VarId var, PEId pe) {
+    CGRA_ASSERT(!varHomes[var]);
+    const unsigned vreg = freshVreg(pe);
+    if (probeActive) jHomes.push_back(var);
+    varHomes[var] = Location{pe, vreg, 0, Location::kNoLimit};
+    if (g.variable(var).liveIn)
+      sched.liveIns.push_back(LiveBinding{var, pe, vreg});
+  }
+
+  /// Ensures the variable has a home; used on first read.
+  void homeFor(VarId var, PEId consumerPe) {
+    if (!varHomes[var]) assignHome(var, consumerPe);
   }
 
   LoopId currentLoop() const { return loopStack.back().loop; }
@@ -222,15 +411,25 @@ struct RunState {
   void addLocation(const Operand& o, Location loc) {
     switch (o.kind()) {
       case Operand::Kind::Node:
+        if (probeActive)
+          jLocs.push_back(LocPush{Operand::Kind::Node, o.nodeId(), 0});
         nodeLocs[o.nodeId()].push_back(loc);
         break;
       case Operand::Kind::Variable:
+        if (probeActive)
+          jLocs.push_back(LocPush{Operand::Kind::Variable, o.varId(), 0});
         varCopies[o.varId()].push_back(loc);
         break;
       case Operand::Kind::Immediate:
-        constLocs[o.imm()].push_back(loc);
+        addConstLocation(o.imm(), loc);
         break;
     }
+  }
+
+  void addConstLocation(std::int32_t value, Location loc) {
+    if (probeActive)
+      jLocs.push_back(LocPush{Operand::Kind::Immediate, 0, value});
+    constLocs[value].push_back(loc);
   }
 
   /// Dependency-imposed earliest start of a node.

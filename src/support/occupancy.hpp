@@ -59,6 +59,20 @@ public:
       words_[c / 64] |= 1ull << (c % 64);
   }
 
+  /// Reverts a prior mark of exactly [from, from+dur) — the undo arm of a
+  /// transactional placement probe (see passes/run_state.hpp). The caller
+  /// guarantees the range was marked by the probe being rolled back, which
+  /// the mark() precondition made disjoint from all earlier marks.
+  void clear(unsigned from, unsigned dur = 1) {
+    CGRA_ASSERT_MSG(from < cap_ && dur <= cap_ - from,
+                    "occupancy clear [" << from << ", " << from + dur
+                                        << ") beyond ceiling " << cap_);
+    for (unsigned c = from; c < from + dur; ++c) {
+      const std::size_t w = c / 64;
+      if (w < words_.size()) words_[w] &= ~(1ull << (c % 64));
+    }
+  }
+
   /// First free cycle at or after `from`; nullopt when every cycle up to the
   /// ceiling is taken. The scan is bounded by the ceiling — it cannot grow
   /// storage and cannot loop forever on a saturated resource.
@@ -116,6 +130,14 @@ public:
                                            << cap_);
     if (slots_.size() <= cycle) slots_.resize(cycle + 1);
     slots_[cycle] = v;
+  }
+
+  /// Empties one cycle's slot — the undo arm of a transactional placement
+  /// probe. Only cycles the probe itself claimed (previously empty, recorded
+  /// in the probe journal) are released, so a shared claim made by an
+  /// earlier committed probe is never dropped.
+  void release(unsigned cycle) {
+    if (cycle < slots_.size()) slots_[cycle].reset();
   }
 
 private:

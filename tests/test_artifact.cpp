@@ -96,7 +96,7 @@ TEST(Artifact, SuccessfulArtifactRoundTrips) {
   EXPECT_EQ(back.stats.contextsUsed, report.stats.contextsUsed);
   EXPECT_EQ(back.stats.copiesInserted, report.stats.copiesInserted);
   EXPECT_EQ(back.metrics.nodesScheduled, report.metrics.nodesScheduled);
-  EXPECT_EQ(back.metrics.backtracks, report.metrics.backtracks);
+  EXPECT_EQ(back.metrics.probeRejections, report.metrics.probeRejections);
   // Content-determinism: re-serializing the parsed artifact is byte-exact.
   EXPECT_EQ(back.toJson().dump(), bytes);
 }

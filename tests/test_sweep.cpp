@@ -187,7 +187,7 @@ TEST(Sweep, AggregatesMetricsAndExportsJson) {
   EXPECT_EQ(o.at("jobsFailed").asInt(), 0);
   const json::Object& agg = o.at("aggregate").asObject();
   for (const char* key : {"nodesScheduled", "copiesInserted", "cboxOps",
-                          "backtracks", "candidateIterations", "steps",
+                          "candidateIterations", "probeRejections", "steps",
                           "setupMs", "planMs", "finalizeMs", "totalMs",
                           "runs"})
     EXPECT_TRUE(agg.contains(key)) << key;

@@ -719,14 +719,14 @@ int cmdSweep(const Args& args) {
                                  ? artifact::runCachedSweep(jobs, opts, *store)
                                  : runSweep(jobs, opts);
 
-  TextTable table({"Job", "Contexts", "Util", "Copies", "Backtracks", "ms"});
+  TextTable table({"Job", "Contexts", "Util", "Copies", "Rejections", "ms"});
   for (const SweepJobResult& r : report.results)
     table.addRow({r.label,
                   r.ok ? std::to_string(r.stats.contextsUsed)
                        : "FAIL: " + r.error.substr(0, 40),
                   r.ok ? fmt(r.staticUtilization * 100, 1) + "%" : "-",
                   r.ok ? std::to_string(r.metrics.copiesInserted) : "-",
-                  r.ok ? std::to_string(r.metrics.backtracks) : "-",
+                  r.ok ? std::to_string(r.metrics.probeRejections) : "-",
                   r.ok ? fmt(r.metrics.totalMs, 2) : "-"});
   table.print(std::cout);
   std::cout << report.results.size() - report.failures << "/"
@@ -735,7 +735,8 @@ int cmdSweep(const Args& args) {
             << " thread(s) (" << report.routingCacheEntries
             << " arch model(s), "
             << report.aggregate.nodesScheduled << " nodes, "
-            << report.aggregate.backtracks << " backtracks, mean utilization "
+            << report.aggregate.probeRejections
+            << " probe rejections, mean utilization "
             << fmt(report.meanStaticUtilization * 100, 1) << "%)\n";
   if (report.failures > 0) {
     std::cout << "failures by reason:";

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Regenerates every checked-in golden from the current scheduler output:
+#   tests/golden/sweep_stable_seed.json        (--stable sweep metrics)
+#   tests/golden/explain_adpcm_mesh9.txt       (decision transcript)
+#   tests/golden/explain_gcd_irregularD.txt    (decision transcript)
+#   tests/golden/random_kernel_fingerprints.txt (60-seed schedule corpus)
+#
+# Run ONLY when a commit intentionally changes scheduler behavior, and
+# regenerate in that same commit (note it in CHANGES.md). Usage:
+#   tools/regen_goldens.sh [build-dir]   # default: build
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+tool="$build/tools/cgra-tool"
+pipeline_test="$build/tests/test_pass_pipeline"
+golden="$repo/tests/golden"
+
+[ -x "$tool" ] || { echo "error: $tool not built" >&2; exit 1; }
+[ -x "$pipeline_test" ] || { echo "error: $pipeline_test not built" >&2; exit 1; }
+
+echo "== stable sweep metrics"
+"$tool" sweep --comps mesh4,mesh9,mesh12 --kernels gcd,dotprod,fir \
+  --threads 2 --stable --metrics "$golden/sweep_stable_seed.json" >/dev/null
+
+echo "== explain transcripts"
+"$tool" explain --comp mesh9 --kernel adpcm \
+  > "$golden/explain_adpcm_mesh9.txt" 2>&1
+"$tool" explain --comp D --kernel gcd \
+  > "$golden/explain_gcd_irregularD.txt" 2>&1
+
+echo "== random-kernel fingerprint corpus"
+CGRA_REGEN_GOLDENS=1 "$pipeline_test" \
+  --gtest_filter='PassPipeline.RandomKernelFingerprintsMatchGolden' \
+  >/dev/null
+
+echo "regenerated goldens in $golden:"
+git -C "$repo" status --short -- tests/golden
