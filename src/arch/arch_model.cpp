@@ -47,6 +47,23 @@ ArchModel ArchModel::build(const Composition& comp) {
   for (unsigned op = 0; op < kNumOps; ++op)
     model.supportingPEs[op] = comp.pesSupporting(static_cast<Op>(op));
 
+  // Flattened via the descriptor's supports()/impl() so the tables carry
+  // their full semantics: structural ops (NOP/MOVE/CONST) every PE decodes,
+  // DMA ops gated on the DMA port, default latencies for ops a descriptor
+  // supports without an explicit implementation entry.
+  static_assert(kNumOps <= 64, "opSupportMask packs one bit per op");
+  model.opSupportMask.assign(n, 0);
+  model.opDurations.assign(static_cast<std::size_t>(n) * kNumOps, 0);
+  for (PEId p = 0; p < n; ++p) {
+    const PEDescriptor& pe = comp.pe(p);
+    for (unsigned op = 0; op < kNumOps; ++op) {
+      if (!pe.supports(static_cast<Op>(op))) continue;
+      model.opSupportMask[p] |= std::uint64_t{1} << op;
+      model.opDurations[p * kNumOps + op] =
+          pe.impl(static_cast<Op>(op)).duration;
+    }
+  }
+
   model.peHasDma.assign(n, false);
   model.dmaPEs = comp.dmaPEs();
   for (PEId pe : model.dmaPEs) model.peHasDma[pe] = true;

@@ -43,6 +43,13 @@ public:
   /// Per operation (indexed by static_cast<unsigned>(Op)): candidate PEs,
   /// cheapest-energy first — the placement pass probes them in this order.
   std::vector<std::vector<PEId>> supportingPEs;
+  /// Per PE: bit `static_cast<unsigned>(op)` set iff the PE implements the
+  /// op. The placement hot loop answers "can this PE run this op" with one
+  /// shift instead of a std::map lookup in the PE descriptor.
+  std::vector<std::uint64_t> opSupportMask;
+  /// Flattened (PE × op) latency table, `opDurations[pe * kNumOps + op]`;
+  /// 0 marks an unsupported pair (real latencies are ≥ 1).
+  std::vector<unsigned> opDurations;
   /// Per PE: number of PEs it can reach (kUnreachable-free distance rows).
   std::vector<unsigned> reachCount;
   /// Per PE: whether it has a DMA interface (memory-capable, §IV-B).
@@ -55,6 +62,18 @@ public:
   unsigned contextMemoryLength = 0;
 
   unsigned numPEs() const { return static_cast<unsigned>(sinks.size()); }
+
+  /// O(1) equivalent of `comp.pe(pe).supports(op)`.
+  bool peSupports(PEId pe, Op op) const {
+    return (opSupportMask[pe] >> static_cast<unsigned>(op)) & 1u;
+  }
+
+  /// O(1) latency of `op` on `pe`; 0 when the PE does not implement it
+  /// (callers needing the descriptor's throwing contract fall back to
+  /// `comp.pe(pe).impl(op)` on 0).
+  unsigned opDuration(PEId pe, Op op) const {
+    return opDurations[pe * kNumOps + static_cast<unsigned>(op)];
+  }
 
   /// The composition's interconnect with its Floyd–Warshall distance and
   /// next-hop tables. A copy, not a reference: the model (shared through

@@ -406,7 +406,7 @@ ScheduleArtifact ScheduleArtifact::fromReport(std::string key,
   a.stats.wallTimeMs = 0.0;
   a.metrics = report.metrics;
   a.metrics.setupMs = a.metrics.planMs = a.metrics.finalizeMs =
-      a.metrics.totalMs = 0.0;
+      a.metrics.totalMs = a.metrics.loopCloseMs = a.metrics.placementMs = 0.0;
   if (report.ok) {
     a.schedule = report.schedule;
     a.fingerprint = report.schedule.fingerprint();

@@ -1,6 +1,7 @@
 #include "artifact/sweep_cache.hpp"
 
 #include <chrono>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
@@ -15,6 +16,7 @@ namespace {
 /// pure function of the scheduling inputs.
 SchedulerMetrics stripTimings(SchedulerMetrics m) {
   m.setupMs = m.planMs = m.finalizeMs = m.totalMs = 0.0;
+  m.loopCloseMs = m.placementMs = 0.0;
   return m;
 }
 
@@ -89,6 +91,7 @@ SweepReport runCachedSweep(const std::vector<SweepJob>& jobs,
   std::vector<std::size_t> missIndex;  ///< miss position → job index
   std::size_t duplicateHits = 0;
   {
+    std::unordered_map<const Cdfg*, std::string> graphDigests;
     std::unordered_set<std::string> seenKeys;
     for (std::size_t i = 0; i < jobs.size(); ++i) {
       if (jobs[i].comp == nullptr || jobs[i].graph == nullptr) {
@@ -96,8 +99,12 @@ SweepReport runCachedSweep(const std::vector<SweepJob>& jobs,
         missIndex.push_back(i);
         continue;
       }
-      const std::string key = scheduleJobKeyWithCompDigest(
-          ArchModel::get(*jobs[i].comp)->digest(), *jobs[i].graph,
+      // Same per-graph digest memo as runSweep's dedup loop: hash each
+      // distinct kernel graph once, not once per (comp × kernel) job.
+      std::string& graphDigest = graphDigests[jobs[i].graph];
+      if (graphDigest.empty()) graphDigest = cdfgDigest(*jobs[i].graph);
+      const std::string key = scheduleJobKeyWithDigests(
+          ArchModel::get(*jobs[i].comp)->digest(), graphDigest,
           jobs[i].options);
       const bool duplicate = !seenKeys.insert(key).second;
       if (const auto art = store.lookup(key)) {

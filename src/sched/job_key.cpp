@@ -95,18 +95,33 @@ std::string compositionDigest(const Composition& comp) {
   return ArchModel::get(comp)->digest();
 }
 
-std::string scheduleJobKeyWithCompDigest(const std::string& compDigest,
-                                         const Cdfg& graph,
-                                         const SchedulerOptions& options,
-                                         const std::string& salt) {
+std::string cdfgDigest(const Cdfg& graph) {
+  Sha256 h;
+  hashCdfg(h, graph);
+  return h.hex();
+}
+
+std::string scheduleJobKeyWithDigests(const std::string& compDigest,
+                                      const std::string& cdfgDigest,
+                                      const SchedulerOptions& options,
+                                      const std::string& salt) {
   Sha256 h;
   h.update("salt:");
   h.update(salt);
   h.update("comp-digest:");
   h.update(compDigest);
-  hashCdfg(h, graph);
+  h.update("cdfg-digest:");
+  h.update(cdfgDigest);
   hashOptions(h, options);
   return h.hex();
+}
+
+std::string scheduleJobKeyWithCompDigest(const std::string& compDigest,
+                                         const Cdfg& graph,
+                                         const SchedulerOptions& options,
+                                         const std::string& salt) {
+  return scheduleJobKeyWithDigests(compDigest, cdfgDigest(graph), options,
+                                   salt);
 }
 
 std::string scheduleJobKeyWithCompJson(const std::string& compJson,

@@ -34,13 +34,28 @@ std::string scheduleJobKey(const Composition& comp, const Cdfg& graph,
 std::string compositionDigest(const Composition& comp);
 std::string compositionDigest(const std::string& compJson);
 
-/// Variant taking a precomputed compositionDigest(): the cheapest per-job
-/// form — only the CDFG and options are hashed per call.
+/// SHA-256 hex over the CDFG content alone (nodes, edges, variables,
+/// conditions, loops). The CDFG contribution to a job key is this digest:
+/// sweeps schedule many (composition × kernel) jobs against few kernel
+/// graphs and hash each graph once instead of once per job.
+std::string cdfgDigest(const Cdfg& graph);
+
+/// Variant taking a precomputed compositionDigest(): only the CDFG and
+/// options are hashed per call.
 std::string scheduleJobKeyWithCompDigest(const std::string& compDigest,
                                          const Cdfg& graph,
                                          const SchedulerOptions& options,
                                          const std::string& salt =
                                              kSchedulerVersionSalt);
+
+/// Variant taking both precomputed digests — the cheapest per-job form;
+/// only the options are hashed per call. Every scheduleJobKey* overload
+/// funnels into this recipe, so keys agree across all layers.
+std::string scheduleJobKeyWithDigests(const std::string& compDigest,
+                                      const std::string& cdfgDigest,
+                                      const SchedulerOptions& options,
+                                      const std::string& salt =
+                                          kSchedulerVersionSalt);
 
 /// Variant reusing an already-serialized composition document
 /// (`comp.toJson().dump()`).

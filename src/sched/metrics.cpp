@@ -19,6 +19,8 @@ void SchedulerMetrics::merge(const SchedulerMetrics& other) {
   planMs += other.planMs;
   finalizeMs += other.finalizeMs;
   totalMs += other.totalMs;
+  loopCloseMs += other.loopCloseMs;
+  placementMs += other.placementMs;
   runs += other.runs;
 }
 
@@ -39,6 +41,8 @@ json::Value SchedulerMetrics::toJson(bool includeTimings) const {
     o["planMs"] = planMs;
     o["finalizeMs"] = finalizeMs;
     o["totalMs"] = totalMs;
+    o["loopCloseMs"] = loopCloseMs;
+    o["placementMs"] = placementMs;
   }
   o["runs"] = runs;
   return json::sortKeys(json::Value(std::move(o)));

@@ -35,6 +35,11 @@ struct SchedulerMetrics {
   double planMs = 0.0;      ///< main scheduling loop
   double finalizeMs = 0.0;  ///< finalize + stats
   double totalMs = 0.0;
+  // Per-pass breakdown of the planning loop (sums to ~planMs; the
+  // remainder is loop bookkeeping). Volatile like every wall time: present
+  // in `--metrics` JSON, excluded from the `--stable` form.
+  double loopCloseMs = 0.0;  ///< tryCloseLoops: loop closure + invalidation
+  double placementMs = 0.0;  ///< planStep: candidate × PE placement probes
 
   /// Number of runs merged into this aggregate (1 for a single run).
   std::uint64_t runs = 1;

@@ -34,8 +34,16 @@ void initState(RunState& st) {
   st.remainingPreds.assign(numNodes, 0);
   for (NodeId id = 0; id < numNodes; ++id)
     st.remainingPreds[id] = static_cast<unsigned>(st.g.inEdges(id).size());
+  st.candidates.reserve(numNodes);
+  st.scratchCandidates.reserve(numNodes);
+  st.scratchPEOrder.reserve(numPEs);
   for (NodeId id = 0; id < numNodes; ++id)
-    if (st.remainingPreds[id] == 0) st.candidates.insert(id);
+    if (st.remainingPreds[id] == 0) st.insertCandidate(id);
+
+  // Every node lands in the op stream, most with a few routed copies and
+  // const materializations around them; reserving up front removes the
+  // ScheduledOp reallocation churn the profile attributed to push_back.
+  st.sched.ops.reserve(numNodes * 2);
 
   // Hard ceiling for every per-cycle resource map: the context budget. A
   // schedule cycle at or beyond the ceiling can never execute (finalize

@@ -1,19 +1,10 @@
 #include "sched/passes/candidate_pass.hpp"
 
-#include <algorithm>
-
 namespace cgra::passes {
 
-std::vector<NodeId> sortedCandidates(const RunState& st) {
-  std::vector<NodeId> out(st.candidates.begin(), st.candidates.end());
-  if (st.opts.longestPathPriority) {
-    std::stable_sort(out.begin(), out.end(), [&](NodeId a, NodeId b) {
-      if (st.priorities[a] != st.priorities[b])
-        return st.priorities[a] > st.priorities[b];
-      return a < b;
-    });
-  }
-  return out;
+const std::vector<NodeId>& candidateSnapshot(RunState& st) {
+  st.scratchCandidates.assign(st.candidates.begin(), st.candidates.end());
+  return st.scratchCandidates;
 }
 
 }  // namespace cgra::passes

@@ -6,8 +6,11 @@
 
 namespace cgra::passes {
 
-/// The current candidate set, highest priority first (creation order when
-/// SchedulerOptions::longestPathPriority is off).
-std::vector<NodeId> sortedCandidates(const RunState& st);
+/// Snapshot of the current candidate frontier, highest priority first
+/// (creation order when SchedulerOptions::longestPathPriority is off). The
+/// frontier is kept sorted incrementally, so this is a plain copy into the
+/// reusable `st.scratchCandidates` buffer — a stable iteration view while
+/// placements mutate `st.candidates` underneath.
+const std::vector<NodeId>& candidateSnapshot(RunState& st);
 
 }  // namespace cgra::passes

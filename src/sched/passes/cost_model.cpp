@@ -4,10 +4,11 @@
 
 namespace cgra::passes {
 
-std::vector<PEId> AttractionCostModel::orderPEs(const ArchModel& model,
-                                                const RunState& st,
-                                                NodeId id) const {
-  std::vector<PEId> out(st.comp.numPEs());
+const std::vector<PEId>& AttractionCostModel::orderPEs(const ArchModel& model,
+                                                       RunState& st,
+                                                       NodeId id) const {
+  std::vector<PEId>& out = st.scratchPEOrder;
+  out.resize(st.comp.numPEs());
   for (PEId p = 0; p < st.comp.numPEs(); ++p) out[p] = p;
   if (!st.opts.useAttraction) return out;
   const auto& att = st.attraction[id];

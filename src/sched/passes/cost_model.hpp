@@ -16,9 +16,12 @@ class CostModel {
 public:
   virtual ~CostModel() = default;
 
-  /// PEs ordered most-preferred first for placing `id`.
-  virtual std::vector<PEId> orderPEs(const ArchModel& model,
-                                     const RunState& st, NodeId id) const = 0;
+  /// PEs ordered most-preferred first for placing `id`. Written into (and
+  /// returned as) `st.scratchPEOrder`: one preference order is live at a
+  /// time per run, so the buffer is reused instead of allocating a fresh
+  /// vector for every placement probe.
+  virtual const std::vector<PEId>& orderPEs(const ArchModel& model,
+                                            RunState& st, NodeId id) const = 0;
 
   /// Feedback after `id` committed to `pe`: update the affinities of its
   /// not-yet-scheduled successors.
@@ -31,8 +34,8 @@ public:
 /// connectivity.
 class AttractionCostModel final : public CostModel {
 public:
-  std::vector<PEId> orderPEs(const ArchModel& model, const RunState& st,
-                             NodeId id) const override;
+  const std::vector<PEId>& orderPEs(const ArchModel& model, RunState& st,
+                                    NodeId id) const override;
   void onNodePlaced(const ArchModel& model, RunState& st, NodeId id,
                     PEId pe) const override;
 };

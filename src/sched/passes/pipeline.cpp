@@ -89,8 +89,14 @@ ScheduleReport runPipeline(const ArchModel& model, const Composition& comp,
     while (st.scheduledCount < g.numNodes() || st.loopStack.size() > 1) {
       if (st.t >= st.limit) failUnmappable(st);
       CGRA_TRACE(st.trace, StepBegin, .cycle = st.t);
+      // Per-pass breakdown of the planning loop: two clock reads per step
+      // (~ns each) against steps that cost microseconds.
+      const auto stepStart = Clock::now();
       tryCloseLoops(model, st);
+      const auto loopsClosed = Clock::now();
       planStep(model, st);
+      st.metrics.loopCloseMs += ms(stepStart, loopsClosed);
+      st.metrics.placementMs += ms(loopsClosed, Clock::now());
       ++st.metrics.steps;
       ++st.t;
     }

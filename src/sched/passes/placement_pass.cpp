@@ -2,7 +2,6 @@
 
 #include <array>
 #include <cmath>
-#include <map>
 #include <string>
 
 #include "sched/passes/candidate_pass.hpp"
@@ -16,24 +15,29 @@ namespace cgra::passes {
 
 namespace {
 
-bool incompatible(const RunState& st, NodeId id, PEId pe) {
+bool incompatible(const ArchModel& model, const RunState& st, NodeId id,
+                  PEId pe) {
   const Node& n = st.g.node(id);
   if (n.isPWrite()) {
     const auto& home = st.varHomes[n.var];
     return home && home->pe != pe;
   }
-  return !st.comp.pe(pe).supports(n.op);
+  return !model.peSupports(pe, n.op);
 }
 
-unsigned opDuration(const RunState& st, NodeId id, PEId pe) {
+unsigned opDuration(const ArchModel& model, const RunState& st, NodeId id,
+                    PEId pe) {
   const Node& n = st.g.node(id);
-  if (n.isPWrite()) {
-    const Op writeOp = n.operands[0].kind() == Operand::Kind::Immediate
+  const Op op = n.isPWrite()
+                    ? (n.operands[0].kind() == Operand::Kind::Immediate
                            ? Op::CONST
-                           : Op::MOVE;
-    return st.comp.pe(pe).impl(writeOp).duration;
-  }
-  return st.comp.pe(pe).impl(n.op).duration;
+                           : Op::MOVE)
+                    : n.op;
+  // Shared-model table; 0 marks unsupported, where the descriptor lookup
+  // preserves the original throwing contract (reachable only for pWRITEs —
+  // operations are pre-filtered by incompatible()).
+  const unsigned dur = model.opDuration(pe, op);
+  return dur != 0 ? dur : st.comp.pe(pe).impl(op).duration;
 }
 
 /// A committed write to `var` at finish cycle: home becomes ready, all
@@ -52,12 +56,12 @@ void markScheduled(const ArchModel& model, RunState& st, NodeId id,
   st.nodeFinish[id] = start + dur;
   ++st.scheduledCount;
   ++st.metrics.nodesScheduled;
-  st.candidates.erase(id);
+  st.eraseCandidate(id);
 
   // Successor-affinity feedback lives in the cost model (§V-G attraction).
   st.costModel->onNodePlaced(model, st, id, pe);
   for (const Edge& e : st.g.outEdges(id))
-    if (--st.remainingPreds[e.to] == 0) st.candidates.insert(e.to);
+    if (--st.remainingPreds[e.to] == 0) st.insertCandidate(e.to);
 }
 
 /// Records (and traces) one rejected (node, PE) placement probe. The
@@ -145,7 +149,7 @@ bool planOperation(const ArchModel& model, RunState& st, NodeId id, PEId pe,
   }
 
   // Operand resolution (reads fused into this node, §V-E).
-  std::map<PEId, unsigned> exposure;
+  ExposureMap exposure;
   std::array<OperandSource, 3> srcs{};
   for (std::size_t i = 0; i < n.operands.size(); ++i) {
     // Reading a variable pins its home on first use (rolled back with the
@@ -223,7 +227,7 @@ bool planPWrite(const ArchModel& model, RunState& st, NodeId id, PEId pe,
   }
 
   const Operand& value = n.operands[0];
-  std::map<PEId, unsigned> exposure;
+  ExposureMap exposure;
   ScheduledOp op;
   op.node = id;
   op.pe = pe;
@@ -276,7 +280,7 @@ void planStep(const ArchModel& model, RunState& st) {
   bool changed = true;
   while (changed) {
     changed = false;
-    for (NodeId id : sortedCandidates(st)) {
+    for (NodeId id : candidateSnapshot(st)) {
       ++st.metrics.candidateIterations;
       if (st.nodeScheduled[id]) continue;  // fused away mid-snapshot
       if (!loopCompatible(model, st, id)) continue;
@@ -285,11 +289,11 @@ void planStep(const ArchModel& model, RunState& st) {
                  .node = static_cast<std::int32_t>(id),
                  .a = std::llround(st.priorities[id] * 1000.0));
       for (PEId pe : st.costModel->orderPEs(model, st, id)) {
-        if (incompatible(st, id, pe)) {
+        if (incompatible(model, st, id, pe)) {
           rejectPlacement(st, id, pe, TraceReject::Incompatible);
           continue;
         }
-        const unsigned dur = opDuration(st, id, pe);
+        const unsigned dur = opDuration(model, st, id, pe);
         if (st.busy(pe, st.t, dur)) {
           rejectPlacement(st, id, pe, TraceReject::PeBusy);
           continue;

@@ -7,25 +7,34 @@ namespace cgra::passes {
 
 namespace {
 
-std::optional<OperandSource> findOwn(RunState& st, const Operand& o, PEId pe,
+/// Latency of a scheduler-inserted op on `pe`: the shared model table in
+/// the common case, falling back to the descriptor's throwing lookup for
+/// the (unsupported) 0 sentinel so the error contract is unchanged.
+unsigned insertedOpDuration(const ArchModel& model, const RunState& st, Op op,
+                            PEId pe) {
+  const unsigned dur = model.opDuration(pe, op);
+  return dur != 0 ? dur : st.comp.pe(pe).impl(op).duration;
+}
+
+std::optional<OperandSource> findOwn(const LocationList& locs, PEId pe,
                                      unsigned t) {
-  for (const Location& loc : *st.locationsFor(o))
+  for (const Location& loc : locs)
     if (loc.pe == pe && loc.ready <= t && t <= loc.validUntil)
       return OperandSource{OperandSource::Kind::Own, 0, loc.vreg, 0};
   return std::nullopt;
 }
 
 std::optional<OperandSource> findRouted(const ArchModel& model, RunState& st,
-                                        const Operand& o, PEId pe, unsigned t,
-                                        std::map<PEId, unsigned>& exposure) {
-  for (const Location& loc : *st.locationsFor(o)) {
+                                        const LocationList& locs, PEId pe,
+                                        unsigned t, ExposureMap& exposure) {
+  for (const Location& loc : locs) {
     if (loc.ready > t || t > loc.validUntil) continue;
     if (!model.interconnect().hasLink(loc.pe, pe)) continue;
     if (!st.outPortFree(loc.pe, t, loc.vreg)) continue;
-    if (const auto it = exposure.find(loc.pe);
-        it != exposure.end() && it->second != loc.vreg)
+    if (const unsigned* vreg = exposure.find(loc.pe);
+        vreg != nullptr && *vreg != loc.vreg)
       continue;
-    exposure[loc.pe] = loc.vreg;
+    exposure.set(loc.pe, loc.vreg);
     return OperandSource{OperandSource::Kind::Route, loc.pe, loc.vreg, 0};
   }
   return std::nullopt;
@@ -33,10 +42,11 @@ std::optional<OperandSource> findRouted(const ArchModel& model, RunState& st,
 
 /// Schedules one MOVE hop from an existing location into `destPe` at a
 /// free cycle in [minCycle, t-1]; returns the new location.
-std::optional<Location> scheduleMove(RunState& st, const Location& src,
-                                     PEId destPe, unsigned minCycle,
-                                     unsigned t, const std::string& label) {
-  const unsigned dur = st.comp.pe(destPe).impl(Op::MOVE).duration;
+std::optional<Location> scheduleMove(const ArchModel& model, RunState& st,
+                                     const Location& src, PEId destPe,
+                                     unsigned minCycle, unsigned t,
+                                     const std::string& label) {
+  const unsigned dur = insertedOpDuration(model, st, Op::MOVE, destPe);
   const unsigned lo = std::max(minCycle, src.ready);
   if (lo + dur > t) return std::nullopt;
   for (unsigned u = lo; u + dur <= t; ++u) {
@@ -70,13 +80,13 @@ std::optional<Location> scheduleMove(RunState& st, const Location& src,
 /// cycle `t` can access it (§V-G: values are copied into earlier idle
 /// cycles; the node is delayed otherwise).
 std::optional<OperandSource> copyTowards(const ArchModel& model, RunState& st,
-                                         const Operand& o, PEId pe,
-                                         unsigned t,
-                                         std::map<PEId, unsigned>& exposure) {
+                                         const Operand& o,
+                                         const LocationList& locs, PEId pe,
+                                         unsigned t, ExposureMap& exposure) {
   // Pick the valid location closest to pe.
   const Interconnect& ic = model.interconnect();
   const Location* best = nullptr;
-  for (const Location& loc : *st.locationsFor(o)) {
+  for (const Location& loc : locs) {
     if (loc.ready > t || t > loc.validUntil) continue;
     if (ic.distance(loc.pe, pe) == kUnreachable) continue;
     if (!best || ic.distance(loc.pe, pe) < ic.distance(best->pe, pe))
@@ -93,21 +103,22 @@ std::optional<OperandSource> copyTowards(const ArchModel& model, RunState& st,
   // Copy hop by hop up to pe's neighbour; the final access is routed.
   // When routing at cycle t fails (port conflict), copy into pe itself.
   for (std::size_t hop = 1; hop + 1 < path.size(); ++hop) {
-    const auto next = scheduleMove(st, cur, path[hop], minCycle, t, label);
+    const auto next = scheduleMove(model, st, cur, path[hop], minCycle, t,
+                                   label);
     if (!next) return std::nullopt;
     cur = *next;
     st.addLocation(o, cur);
   }
   // cur is now on a neighbour of pe (or was already).
   if (cur.pe != pe) {
+    const unsigned* exposed = exposure.find(cur.pe);
     const bool portOk = st.outPortFree(cur.pe, t, cur.vreg) &&
-                        (!exposure.contains(cur.pe) ||
-                         exposure.at(cur.pe) == cur.vreg);
+                        (exposed == nullptr || *exposed == cur.vreg);
     if (portOk) {
-      exposure[cur.pe] = cur.vreg;
+      exposure.set(cur.pe, cur.vreg);
       return OperandSource{OperandSource::Kind::Route, cur.pe, cur.vreg, 0};
     }
-    const auto fin = scheduleMove(st, cur, pe, minCycle, t, label);
+    const auto fin = scheduleMove(model, st, cur, pe, minCycle, t, label);
     if (!fin) return std::nullopt;
     cur = *fin;
     st.addLocation(o, cur);
@@ -117,10 +128,10 @@ std::optional<OperandSource> copyTowards(const ArchModel& model, RunState& st,
 
 }  // namespace
 
-std::optional<Location> materializeConst(const ArchModel& /*model*/,
-                                         RunState& st, std::int32_t value,
-                                         PEId pe, unsigned t) {
-  const unsigned dur = st.comp.pe(pe).impl(Op::CONST).duration;
+std::optional<Location> materializeConst(const ArchModel& model, RunState& st,
+                                         std::int32_t value, PEId pe,
+                                         unsigned t) {
+  const unsigned dur = insertedOpDuration(model, st, Op::CONST, pe);
   if (dur > t) return std::nullopt;
   const auto u = st.peBusy[pe].lastFreeWindowAtOrBefore(t - dur, dur);
   if (!u) return std::nullopt;
@@ -145,22 +156,29 @@ std::optional<Location> materializeConst(const ArchModel& /*model*/,
   return loc;
 }
 
-std::optional<OperandSource> resolveOperand(
-    const ArchModel& model, RunState& st, const Operand& o, PEId pe,
-    unsigned t, std::map<PEId, unsigned>& exposure) {
+std::optional<OperandSource> resolveOperand(const ArchModel& model,
+                                            RunState& st, const Operand& o,
+                                            PEId pe, unsigned t,
+                                            ExposureMap& exposure) {
+  // One location snapshot per operand: the seed rebuilt it inside each of
+  // findOwn / findRouted / copyTowards. The list is only appended to after
+  // the helpers finish reading it (copyTowards copies its pick by value
+  // before inserting hops), so sharing the snapshot is behavior-identical.
+  const LocationList& locs = *st.locationsFor(o);
+
   if (o.kind() == Operand::Kind::Immediate) {
     // ALU operands come from registers: materialize the constant on the
     // consuming PE (constants are freely replicated, §V-D).
-    if (const auto own = findOwn(st, o, pe, t)) return own;
+    if (const auto own = findOwn(locs, pe, t)) return own;
     if (const auto loc = materializeConst(model, st, o.imm(), pe, t))
       return OperandSource{OperandSource::Kind::Own, 0, loc->vreg, 0};
     return std::nullopt;
   }
 
-  if (const auto own = findOwn(st, o, pe, t)) return own;
-  if (const auto routed = findRouted(model, st, o, pe, t, exposure))
+  if (const auto own = findOwn(locs, pe, t)) return own;
+  if (const auto routed = findRouted(model, st, locs, pe, t, exposure))
     return routed;
-  return copyTowards(model, st, o, pe, t, exposure);
+  return copyTowards(model, st, o, locs, pe, t, exposure);
 }
 
 }  // namespace cgra::passes

@@ -4,12 +4,50 @@
 // into earlier idle cycles; constants are materialized per consuming PE.
 #pragma once
 
-#include <map>
+#include <array>
 #include <optional>
 
 #include "sched/passes/run_state.hpp"
 
 namespace cgra::passes {
+
+/// Output-port exposure of one placement probe: which source PEs the op
+/// reads at its issue cycle, and through which register. Each resolved
+/// operand contributes at most one entry and an op has at most three
+/// operands, so a fixed-capacity flat array replaces the seed's per-probe
+/// std::map (whose node allocations dominated the resolve hot path).
+class ExposureMap {
+public:
+  struct Entry {
+    PEId pe = 0;
+    unsigned vreg = 0;
+  };
+
+  /// The vreg `pe` is exposed as, or nullptr when unexposed.
+  const unsigned* find(PEId pe) const {
+    for (unsigned i = 0; i < size_; ++i)
+      if (entries_[i].pe == pe) return &entries_[i].vreg;
+    return nullptr;
+  }
+
+  void set(PEId pe, unsigned vreg) {
+    for (unsigned i = 0; i < size_; ++i)
+      if (entries_[i].pe == pe) {
+        entries_[i].vreg = vreg;
+        return;
+      }
+    CGRA_ASSERT(size_ < kCapacity);
+    entries_[size_++] = Entry{pe, vreg};
+  }
+
+  const Entry* begin() const { return entries_.data(); }
+  const Entry* end() const { return entries_.data() + size_; }
+
+private:
+  static constexpr unsigned kCapacity = 4;  // ≥ max operands per op (3)
+  std::array<Entry, kCapacity> entries_{};
+  unsigned size_ = 0;
+};
 
 /// Resolves one operand for an op on `pe` starting at `t`, inserting MOVE
 /// copies / CONST materializations when needed. `exposure` accumulates
@@ -17,7 +55,7 @@ namespace cgra::passes {
 std::optional<OperandSource> resolveOperand(const ArchModel& model,
                                             RunState& st, const Operand& o,
                                             PEId pe, unsigned t,
-                                            std::map<PEId, unsigned>& exposure);
+                                            ExposureMap& exposure);
 
 /// Materializes an integer constant in `pe`'s register file before `t`.
 /// The downward search is bounded at cycle 0 by the capped occupancy scan:

@@ -15,7 +15,6 @@
 #include <cstdint>
 #include <map>
 #include <optional>
-#include <set>
 #include <vector>
 
 #include "arch/arch_model.hpp"
@@ -25,6 +24,7 @@
 #include "sched/scheduler.hpp"
 #include "sched/trace.hpp"
 #include "support/occupancy.hpp"
+#include "support/small_vector.hpp"
 
 namespace cgra::passes {
 
@@ -52,6 +52,11 @@ struct Location {
 
   static constexpr unsigned kNoLimit = static_cast<unsigned>(-1);
 };
+
+/// Per-value location list. Values rarely exist in more than a handful of
+/// places (home/result register + a few routed copies), so the inline
+/// capacity absorbs nearly all lists without heap traffic.
+using LocationList = SmallVector<Location, 4>;
 
 /// Materialized condition: C-Box slot + polarity and first readable cycle.
 struct CondSlot {
@@ -135,7 +140,12 @@ struct RunState {
   std::vector<TraceReject> lastReject;
   std::vector<unsigned> lastRejectStep;
   std::vector<unsigned> remainingPreds;
-  std::set<NodeId> candidates;
+  /// Dependence frontier, maintained in probe order (priority descending,
+  /// id ascending under longestPathPriority; plain ascending id otherwise).
+  /// Incrementally kept sorted by insertCandidate()/eraseCandidate() — the
+  /// seed re-sorted a std::set snapshot on every planStep sweep. Priorities
+  /// are fixed after analysis, so a node's rank never changes while queued.
+  std::vector<NodeId> candidates;
 
   // -- per-cycle resource maps ------------------------------------------------
 
@@ -151,10 +161,18 @@ struct RunState {
   // -- value locations --------------------------------------------------------
 
   std::vector<std::optional<Location>> varHomes;
-  std::vector<std::vector<Location>> varCopies;
-  std::vector<std::vector<Location>> nodeLocs;
-  std::map<std::int32_t, std::vector<Location>> constLocs;
-  std::vector<Location> scratchLocs;
+  std::vector<LocationList> varCopies;
+  std::vector<LocationList> nodeLocs;
+  std::map<std::int32_t, LocationList> constLocs;
+  LocationList scratchLocs;
+
+  // -- reusable hot-loop scratch buffers --------------------------------------
+
+  /// candidateSnapshot()'s buffer: the frontier copy one planStep sweep
+  /// iterates while placements mutate `candidates`.
+  std::vector<NodeId> scratchCandidates;
+  /// CostModel::orderPEs()'s buffer (one PE preference order per probe).
+  std::vector<PEId> scratchPEOrder;
 
   // -- conditions and loops ---------------------------------------------------
 
@@ -363,6 +381,32 @@ struct RunState {
 
   LoopId currentLoop() const { return loopStack.back().loop; }
 
+  // -- candidate frontier -----------------------------------------------------
+
+  /// Strict total probe order over frontier nodes (ids are unique, so
+  /// priority ties cannot make the order ambiguous). Matches the seed's
+  /// stable_sort of the set snapshot bit for bit.
+  bool candidateBefore(NodeId a, NodeId b) const {
+    if (opts.longestPathPriority && priorities[a] != priorities[b])
+      return priorities[a] > priorities[b];
+    return a < b;
+  }
+
+  void insertCandidate(NodeId id) {
+    const auto pos = std::lower_bound(
+        candidates.begin(), candidates.end(), id,
+        [this](NodeId x, NodeId y) { return candidateBefore(x, y); });
+    candidates.insert(pos, id);
+  }
+
+  void eraseCandidate(NodeId id) {
+    const auto pos = std::lower_bound(
+        candidates.begin(), candidates.end(), id,
+        [this](NodeId x, NodeId y) { return candidateBefore(x, y); });
+    CGRA_ASSERT(pos != candidates.end() && *pos == id);
+    candidates.erase(pos);
+  }
+
   /// Rejects the current placement attempt with a reason the placement pass
   /// picks up for the trace and the per-node failure classification.
   bool fail(TraceReject why) {
@@ -372,7 +416,7 @@ struct RunState {
 
   // -- value locations --------------------------------------------------------
 
-  std::vector<Location>* locationsFor(const Operand& o) {
+  LocationList* locationsFor(const Operand& o) {
     switch (o.kind()) {
       case Operand::Kind::Node:
         return &nodeLocs[o.nodeId()];

@@ -103,12 +103,15 @@ SweepReport runSweep(const std::vector<SweepJob>& jobs,
   // In-sweep dedup: the scheduler is a pure function of (composition,
   // graph, options), so jobs with equal content keys produce bit-identical
   // results — schedule each distinct key once and fan the result out.
-  // Composition digests are memoized on the ArchModel, so repeated jobs on
-  // one Composition instance hash its JSON only once.
+  // Composition digests are memoized on the ArchModel and CDFG digests per
+  // graph instance below, so an N-comp × M-kernel matrix hashes each
+  // composition JSON and each kernel graph once — not once per job (the
+  // per-job hashCdfg was the single hottest sweep-engine function).
   std::vector<std::string> keys(jobs.size());
   std::vector<std::size_t> representative(jobs.size());
   std::vector<std::size_t> uniqueJobs;
   {
+    std::unordered_map<const Cdfg*, std::string> graphDigests;
     std::unordered_map<std::string, std::size_t> firstByKey;
     for (std::size_t i = 0; i < jobs.size(); ++i) {
       if (jobs[i].comp == nullptr || jobs[i].graph == nullptr) {
@@ -117,8 +120,10 @@ SweepReport runSweep(const std::vector<SweepJob>& jobs,
         uniqueJobs.push_back(i);
         continue;
       }
-      keys[i] = scheduleJobKeyWithCompDigest(
-          ArchModel::get(*jobs[i].comp)->digest(), *jobs[i].graph,
+      std::string& graphDigest = graphDigests[jobs[i].graph];
+      if (graphDigest.empty()) graphDigest = cdfgDigest(*jobs[i].graph);
+      keys[i] = scheduleJobKeyWithDigests(
+          ArchModel::get(*jobs[i].comp)->digest(), graphDigest,
           jobs[i].options);
       const auto [keyIt, inserted] = firstByKey.emplace(keys[i], i);
       representative[i] = keyIt->second;

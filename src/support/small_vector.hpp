@@ -1,0 +1,80 @@
+// Small-buffer vector for the scheduler's per-node location lists.
+//
+// Value-location lists (nodeLocs / varCopies / constLocs) are overwhelmingly
+// short — one result register plus at most a few routed copies — yet the
+// seed kept each in a std::vector, so every scheduled node paid a heap
+// allocation on its first location and the probe hot loop churned the
+// allocator. SmallVector keeps the first N elements inline and only spills
+// to the heap past that, preserving the exact subset of the std::vector API
+// the passes use.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace cgra {
+
+/// Vector with inline storage for the first `N` elements. Requires `T` to
+/// be default-constructible and copyable (Location is a POD). Not a general
+/// container: only the operations the scheduler passes need are provided.
+template <typename T, std::size_t N>
+class SmallVector {
+public:
+  SmallVector() = default;
+
+  void push_back(const T& v) {
+    if (!spilled_) {
+      if (size_ < N) {
+        inline_[size_++] = v;
+        return;
+      }
+      spill();
+    }
+    heap_.push_back(v);
+  }
+
+  void pop_back() {
+    CGRA_ASSERT(!empty());
+    if (spilled_)
+      heap_.pop_back();
+    else
+      --size_;
+  }
+
+  void clear() {
+    heap_.clear();
+    spilled_ = false;
+    size_ = 0;
+  }
+
+  std::size_t size() const { return spilled_ ? heap_.size() : size_; }
+  bool empty() const { return size() == 0; }
+
+  T* begin() { return spilled_ ? heap_.data() : inline_.data(); }
+  T* end() { return begin() + size(); }
+  const T* begin() const { return spilled_ ? heap_.data() : inline_.data(); }
+  const T* end() const { return begin() + size(); }
+
+  T& operator[](std::size_t i) { return begin()[i]; }
+  const T& operator[](std::size_t i) const { return begin()[i]; }
+  T& back() { return begin()[size() - 1]; }
+  const T& back() const { return begin()[size() - 1]; }
+
+private:
+  void spill() {
+    heap_.reserve(2 * N);
+    heap_.assign(inline_.begin(), inline_.begin() + size_);
+    spilled_ = true;
+    size_ = 0;
+  }
+
+  std::array<T, N> inline_{};
+  std::size_t size_ = 0;
+  bool spilled_ = false;
+  std::vector<T> heap_;
+};
+
+}  // namespace cgra

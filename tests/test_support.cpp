@@ -9,6 +9,7 @@
 #include "support/dot.hpp"
 #include "support/occupancy.hpp"
 #include "support/rng.hpp"
+#include "support/small_vector.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
 
@@ -214,6 +215,45 @@ TEST(CycleSlots, SharedValueAndCeiling) {
   ASSERT_NE(slots.get(4), nullptr);
   EXPECT_EQ(*slots.get(4), 7u);
   EXPECT_EQ(slots.get(5), nullptr);
+}
+
+TEST(SmallVector, InlineThenSpillPreservesContents) {
+  SmallVector<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 4u);  // still inline
+  v.push_back(4);           // spills to the heap
+  v.push_back(5);
+  EXPECT_EQ(v.size(), 6u);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+  EXPECT_EQ(v.back(), 5);
+}
+
+TEST(SmallVector, PopBackAndClearAcrossSpillBoundary) {
+  SmallVector<int, 2> v;
+  for (int i = 0; i < 5; ++i) v.push_back(i);
+  v.pop_back();
+  v.pop_back();
+  v.pop_back();  // back below the inline capacity, stays spilled
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.back(), 1);
+  v.push_back(7);
+  EXPECT_EQ(v.back(), 7);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  v.push_back(9);  // inline again after clear
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 9);
+}
+
+TEST(SmallVector, CopyAssignIsDeep) {
+  SmallVector<int, 2> a;
+  for (int i = 0; i < 3; ++i) a.push_back(i);
+  SmallVector<int, 2> b;
+  b = a;
+  a.pop_back();
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.back(), 2);
 }
 
 TEST(ThreadPool, RunsEverySubmittedTask) {

@@ -189,10 +189,25 @@ TEST(Sweep, AggregatesMetricsAndExportsJson) {
   for (const char* key : {"nodesScheduled", "copiesInserted", "cboxOps",
                           "candidateIterations", "probeRejections", "steps",
                           "setupMs", "planMs", "finalizeMs", "totalMs",
-                          "runs"})
+                          "loopCloseMs", "placementMs", "runs"})
     EXPECT_TRUE(agg.contains(key)) << key;
   EXPECT_EQ(static_cast<std::uint64_t>(agg.at("nodesScheduled").asInt()),
             nodes);
+
+  // The per-pass planning breakdown is populated and bounded by the plan
+  // phase it subdivides (a small bookkeeping remainder is expected).
+  EXPECT_GT(report.aggregate.placementMs, 0.0);
+  EXPECT_LE(report.aggregate.loopCloseMs + report.aggregate.placementMs,
+            report.aggregate.planMs + 1.0);
+
+  // Wall times are volatile by definition: the stable form drops them all.
+  const json::Object& stableAgg = report.toJson(/*includeVolatile=*/false)
+                                      .asObject()
+                                      .at("aggregate")
+                                      .asObject();
+  for (const char* key : {"setupMs", "planMs", "finalizeMs", "totalMs",
+                          "loopCloseMs", "placementMs"})
+    EXPECT_FALSE(stableAgg.contains(key)) << key;
 }
 
 TEST(Sweep, ParallelScheduleSimulatesCorrectly) {
