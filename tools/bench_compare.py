@@ -14,6 +14,12 @@ This tool has two modes:
       baseline directory or missing baseline file is non-blocking (exit 0
       with a warning) so the first CI run can seed the baseline.
 
+      --gate-timing KEY (repeatable) promotes the named timing key from
+      warn-only to gated, at its own generous --timing-threshold (default
+      3.0, i.e. fail only past 4x the baseline): loose enough for shared
+      CI runners, tight enough to catch an accidental O(n^2) on the
+      scheduling hot path.
+
 Uses only the Python standard library.
 """
 
@@ -125,7 +131,8 @@ def compare_section(fname, section, base, cur, threshold, lower_is_better):
                 fname, section, key, b, c, -100.0 * delta)
 
 
-def cmd_compare(baseline_dir, current_dir, threshold):
+def cmd_compare(baseline_dir, current_dir, threshold, gated_timings,
+                timing_threshold):
     if not os.path.isdir(baseline_dir):
         warn("baseline directory '" + baseline_dir +
              "' not found; nothing to compare (seed it from this run)")
@@ -150,9 +157,20 @@ def cmd_compare(baseline_dir, current_dir, threshold):
                 regressions.append(msg)
             else:
                 print("NOTE: " + msg)
+        base_timings = base.get("timings", {})
+        cur_timings = cur.get("timings", {})
+        gated = {k: v for k, v in cur_timings.items() if k in gated_timings}
+        free = {k: v for k, v in cur_timings.items() if k not in gated_timings}
+        for is_reg, msg in compare_section(
+                fname, "timings", base_timings, gated, timing_threshold,
+                lower_is_better=True):
+            if is_reg:
+                regressions.append(msg + " [gated wall clock]")
+            else:
+                print("NOTE: " + msg)
         for _, msg in compare_section(
-                fname, "timings", base.get("timings", {}),
-                cur.get("timings", {}), threshold, lower_is_better=False):
+                fname, "timings", base_timings, free, threshold,
+                lower_is_better=False):
             warn(msg + " [wall clock, not gated]")
 
     if compared == 0:
@@ -177,12 +195,20 @@ def main():
                         help="directory holding freshly produced BENCH_*.json")
     parser.add_argument("--threshold", type=float, default=0.10,
                         help="regression gate as a fraction (default 0.10)")
+    parser.add_argument("--gate-timing", action="append", default=[],
+                        metavar="KEY",
+                        help="timing key to gate instead of warn "
+                             "(repeatable)")
+    parser.add_argument("--timing-threshold", type=float, default=3.0,
+                        help="gate for --gate-timing keys as a fraction "
+                             "(default 3.0 = fail past 4x the baseline)")
     args = parser.parse_args()
 
     if args.validate:
         return cmd_validate(args.validate)
     if args.baseline and args.current:
-        return cmd_compare(args.baseline, args.current, args.threshold)
+        return cmd_compare(args.baseline, args.current, args.threshold,
+                           set(args.gate_timing), args.timing_threshold)
     parser.error("need --validate DIR, or --baseline DIR --current DIR")
 
 
