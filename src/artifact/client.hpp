@@ -1,0 +1,55 @@
+// Minimal blocking JSONL client for the compile service (DESIGN.md §12).
+//
+// One JsonlClient is one connection: connect over a unix domain socket or
+// loopback TCP, `sendLine` newline-framed requests, `recvLine` newline-framed
+// responses. The framing is line-oriented on both sides, so a client may
+// pipeline any number of requests before reading — the service answers in
+// request order per connection. Used by `cgra-tool serve --connect` and the
+// bench_serve load generator; not thread-safe (one connection per thread).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cgra::artifact {
+
+class JsonlClient {
+public:
+  JsonlClient() = default;
+  ~JsonlClient();
+
+  JsonlClient(const JsonlClient&) = delete;
+  JsonlClient& operator=(const JsonlClient&) = delete;
+  JsonlClient(JsonlClient&& other) noexcept;
+  JsonlClient& operator=(JsonlClient&& other) noexcept;
+
+  /// Connects to the unix domain socket at `path`. Throws cgra::Error.
+  static JsonlClient connectUnix(const std::string& path);
+
+  /// Connects to 127.0.0.1:`port`. Throws cgra::Error.
+  static JsonlClient connectTcp(std::uint16_t port);
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Writes one request line (a trailing newline is appended when missing).
+  /// Throws cgra::Error when the connection broke.
+  void sendLine(const std::string& line);
+
+  /// Reads the next response line into `line` (newline stripped). Returns
+  /// false on EOF — the server closed the connection.
+  bool recvLine(std::string& line);
+
+  /// Half-closes the write side: the server answers everything sent so far,
+  /// then closes, which `recvLine` observes as EOF.
+  void shutdownWrite();
+
+  void close();
+
+private:
+  explicit JsonlClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string rbuf_;
+};
+
+}  // namespace cgra::artifact

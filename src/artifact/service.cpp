@@ -1,14 +1,18 @@
 #include "artifact/service.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <istream>
 #include <memory>
 #include <mutex>
 #include <ostream>
+#include <thread>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "apps/kernels.hpp"
 #include "arch/factory.hpp"
@@ -19,17 +23,35 @@
 #include "kir/passes.hpp"
 #include "sched/job_key.hpp"
 #include "sched/scheduler.hpp"
+#include "support/latency_histogram.hpp"
 #include "support/thread_pool.hpp"
 
 #ifdef __unix__
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
-#include <streambuf>
+#include <cerrno>
 #endif
 
 namespace cgra::artifact {
+
+const char* wireErrorCode(WireError code) {
+  switch (code) {
+    case WireError::Parse: return "parse";
+    case WireError::UnknownComp: return "unknown_comp";
+    case WireError::Unmappable: return "unmappable";
+    case WireError::Overloaded: return "overloaded";
+    case WireError::Shutdown: return "shutdown";
+    case WireError::Internal: return "internal";
+  }
+  CGRA_UNREACHABLE("bad WireError");
+}
 
 json::Value ServiceStats::toJson() const {
   json::Object o;
@@ -38,10 +60,23 @@ json::Value ServiceStats::toJson() const {
   o["scheduled"] = scheduled;
   o["cacheHits"] = cacheHits;
   o["deduped"] = deduped;
+  o["statsRequests"] = statsRequests;
+  o["shedOverload"] = shedOverload;
+  o["shedShutdown"] = shedShutdown;
+  o["connectionsAccepted"] = connectionsAccepted;
+  o["connectionsRefused"] = connectionsRefused;
+  o["connectionsClosed"] = connectionsClosed;
+  o["maxQueueDepth"] = maxQueueDepth;
+  o["latencyCount"] = latencyCount;
+  o["latencyP50Us"] = latencyP50Us;
+  o["latencyP99Us"] = latencyP99Us;
+  o["latencyMeanUs"] = latencyMeanUs;
   return json::sortKeys(json::Value(std::move(o)));
 }
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 /// One parsed schedule request. Mirrors the relevant `cgra-tool schedule`
 /// flags; see service.hpp for the line format.
@@ -110,24 +145,25 @@ Cdfg resolveGraph(const Request& r) {
 }
 
 /// Tracks one key being scheduled right now so identical concurrent
-/// requests wait for it instead of scheduling again.
-struct InFlight {
+/// requests — from any connection — wait for it instead of scheduling again.
+struct InFlightKey {
   std::mutex mu;
   std::condition_variable cv;
   bool done = false;
   std::shared_ptr<const ScheduleArtifact> artifact;
 };
 
-/// One request's slot in the in-order response window.
+/// One request's slot in a connection's in-order response window.
 struct Slot {
-  bool done = false;
-  std::string line;  ///< serialized response
+  bool done = false;  ///< guarded by the connection's winMu
+  std::string line;   ///< serialized response
 };
 
 json::Value artifactResponse(const json::Value& id,
                              const ScheduleArtifact& art, bool cached,
                              bool wantArtifact, const Composition& comp) {
   json::Object o;
+  o["v"] = kWireVersion;
   o["id"] = id;
   o["key"] = art.key;
   o["ok"] = art.ok;
@@ -143,249 +179,851 @@ json::Value artifactResponse(const json::Value& id,
       o["artifact"] = withCtx.toJson();
     }
   } else {
-    o["failureReason"] = failureReasonName(art.failure.reason);
-    o["error"] = art.failure.message;
+    json::Object e;
+    e["code"] = wireErrorCode(WireError::Unmappable);
+    e["message"] = art.failure.message;
+    e["reason"] = failureReasonName(art.failure.reason);
+    o["error"] = json::Value(std::move(e));
   }
   return json::Value(std::move(o));
 }
 
-json::Value errorResponse(const json::Value& id, const std::string& message) {
+json::Value errorResponse(const json::Value& id, WireError code,
+                          const std::string& message) {
+  json::Object e;
+  e["code"] = wireErrorCode(code);
+  e["message"] = message;
   json::Object o;
+  o["v"] = kWireVersion;
   o["id"] = id;
   o["ok"] = false;
-  o["error"] = message;
+  o["error"] = json::Value(std::move(e));
   return json::Value(std::move(o));
 }
 
-}  // namespace
-
-ServiceStats serveJsonl(std::istream& in, std::ostream& out,
-                        ArtifactStore& store, const ServiceOptions& options) {
-  ServiceStats stats;
-  ThreadPool pool(options.threads);
-  const std::size_t maxInFlight = std::max<std::size_t>(1, options.maxInFlight);
-
-  std::mutex mu;                 // guards window, inflight, stats
-  std::condition_variable cv;    // signaled when a slot completes
-  std::deque<std::shared_ptr<Slot>> window;  // request order
-  std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight;
-
-  auto flushFront = [&](std::unique_lock<std::mutex>& lock, bool all) {
-    // Stream every completed response at the window's front; with `all`,
-    // block until the window drains (EOF path).
-    for (;;) {
-      cv.wait(lock, [&] {
-        return window.empty() || window.front()->done ||
-               (!all && window.size() < maxInFlight);
-      });
-      while (!window.empty() && window.front()->done) {
-        const std::string line = std::move(window.front()->line);
-        window.pop_front();
-        lock.unlock();
-        out << line << "\n" << std::flush;
-        lock.lock();
-      }
-      if (window.empty() || (!all && window.size() < maxInFlight)) return;
-    }
-  };
-
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-
-    auto slot = std::make_shared<Slot>();
-    {
-      std::unique_lock<std::mutex> lock(mu);
-      ++stats.requests;
-      if (window.size() >= maxInFlight) flushFront(lock, false);
-      window.push_back(slot);
-    }
-
-    pool.submit([&, slot, line] {
-      json::Value response;
-      try {
-        json::Value id;
-        try {
-          const json::Value doc = json::parse(line);
-          const Request req = parseRequest(doc, options.includeArtifact);
-          id = req.id;
-
-          const Composition comp = resolveComposition(req.comp);
-          const Cdfg graph = resolveGraph(req);
-          SchedulerOptions schedOpts;
-          schedOpts.maxContexts = req.maxContexts;
-          const std::string key = scheduleJobKey(comp, graph, schedOpts);
-
-          std::shared_ptr<const ScheduleArtifact> art = store.lookup(key);
-          bool cached = art != nullptr;
-          if (art == nullptr) {
-            // Not in the store: either claim the key or wait for the
-            // worker that did.
-            std::shared_ptr<InFlight> entry;
-            bool owner = false;
-            {
-              std::unique_lock<std::mutex> lock(mu);
-              auto [it, inserted] =
-                  inflight.emplace(key, std::make_shared<InFlight>());
-              entry = it->second;
-              owner = inserted;
-            }
-            if (owner) {
-              const Scheduler scheduler(comp, schedOpts);
-              ScheduleRequest sreq(graph);
-              sreq.options = schedOpts;
-              const ScheduleReport sched = scheduler.schedule(sreq);
-              art = std::make_shared<const ScheduleArtifact>(
-                  ScheduleArtifact::fromReport(key, sched));
-              store.insert(art);
-              {
-                std::unique_lock<std::mutex> lock(mu);
-                ++stats.scheduled;
-                inflight.erase(key);
-              }
-              {
-                std::lock_guard<std::mutex> elock(entry->mu);
-                entry->done = true;
-                entry->artifact = art;
-              }
-              entry->cv.notify_all();
-            } else {
-              std::unique_lock<std::mutex> elock(entry->mu);
-              entry->cv.wait(elock, [&] { return entry->done; });
-              art = entry->artifact;
-              cached = true;
-              std::unique_lock<std::mutex> lock(mu);
-              ++stats.deduped;
-            }
-          } else {
-            std::unique_lock<std::mutex> lock(mu);
-            ++stats.cacheHits;
-          }
-          response =
-              artifactResponse(id, *art, cached, req.wantArtifact, comp);
-        } catch (const std::exception& e) {
-          {
-            std::unique_lock<std::mutex> lock(mu);
-            ++stats.parseErrors;
-          }
-          response = errorResponse(id, e.what());
-        }
-        slot->line = response.dump(0);
-      } catch (...) {
-        slot->line = "{\"ok\":false,\"error\":\"internal error\"}";
-      }
-      {
-        std::unique_lock<std::mutex> lock(mu);
-        slot->done = true;
-      }
-      cv.notify_all();
-    });
+/// Best-effort id extraction for responses to requests that are never
+/// parsed in full (shed paths): a malformed line sheds with a null id.
+json::Value bestEffortId(const std::string& line) {
+  try {
+    const json::Value doc = json::parse(line);
+    if (doc.isObject())
+      if (const json::Value* v = doc.asObject().find("id")) return *v;
+  } catch (...) {
   }
+  return json::Value();
+}
 
-  {
-    std::unique_lock<std::mutex> lock(mu);
-    flushFront(lock, true);
-  }
-  pool.wait();
-  return stats;
+bool isBlank(const std::string& line) {
+  return line.find_first_not_of(" \t\r") == std::string::npos;
 }
 
 #ifdef __unix__
-
-namespace {
-
-/// Minimal streambuf over a connected socket fd, enabling std::istream /
-/// std::ostream line IO on a unix-socket connection.
-class FdStreambuf : public std::streambuf {
-public:
-  explicit FdStreambuf(int fd) : fd_(fd) {
-    setg(rbuf_, rbuf_, rbuf_);
-    setp(wbuf_, wbuf_ + sizeof(wbuf_));
-  }
-
-protected:
-  int underflow() override {
-    const ssize_t n = ::read(fd_, rbuf_, sizeof(rbuf_));
-    if (n <= 0) return traits_type::eof();
-    setg(rbuf_, rbuf_, rbuf_ + n);
-    return traits_type::to_int_type(rbuf_[0]);
-  }
-
-  int overflow(int ch) override {
-    if (sync() != 0) return traits_type::eof();
-    if (ch != traits_type::eof()) {
-      wbuf_[0] = static_cast<char>(ch);
-      pbump(1);
+/// write()-loop over a socket; MSG_NOSIGNAL so a vanished client surfaces
+/// as an error return instead of SIGPIPE. Returns false when the peer is
+/// gone.
+bool sendAll(int fd, const std::string& data) {
+  const char* p = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    const ssize_t n = ::send(fd, p, left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
     }
-    return ch;
+    if (n == 0) return false;
+    p += n;
+    left -= static_cast<std::size_t>(n);
   }
-
-  int sync() override {
-    const char* p = pbase();
-    while (p < pptr()) {
-      const ssize_t n = ::write(fd_, p, static_cast<std::size_t>(pptr() - p));
-      if (n <= 0) return -1;
-      p += n;
-    }
-    setp(wbuf_, wbuf_ + sizeof(wbuf_));
-    return 0;
-  }
-
-private:
-  int fd_;
-  char rbuf_[4096];
-  char wbuf_[4096];
-};
+  return true;
+}
+#endif
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Service implementation.
+
+struct Service::Impl {
+  /// One session: a socket connection (fd >= 0, read by the IO thread) or
+  /// a blocking stream session (fd == -1, read by the caller's thread).
+  /// Responses always stream in this session's request order through
+  /// `window`; whichever worker completes the front slot flushes.
+  struct Conn {
+    Conn(std::uint64_t id_, int fd_) : id(id_), fd(fd_) {}
+
+    const std::uint64_t id;
+    const int fd;                  ///< -1 for stream sessions
+    std::ostream* out = nullptr;   ///< stream sessions only
+
+    // IO-thread-only state (socket connections).
+    std::string rbuf;  ///< bytes read but not yet split into lines
+
+    // Guarded by the service mutex.
+    bool paused = false;      ///< reading stopped at the in-flight cap
+    std::size_t inflight = 0; ///< admitted, not yet answered
+    std::uint64_t requests = 0;
+    std::uint64_t shed = 0;
+
+    std::atomic<bool> eof{false};     ///< no more reads (EOF/error/drain)
+    std::atomic<bool> broken{false};  ///< writes fail; drop responses
+    std::atomic<std::uint64_t> responses{0};
+
+    std::mutex winMu;   ///< guards window and Slot::done/line
+    std::deque<std::shared_ptr<Slot>> window;
+    std::mutex writeMu; ///< serializes flushes (response order on the wire)
+  };
+  using ConnPtr = std::shared_ptr<Conn>;
+
+  struct Listener {
+    int fd = -1;
+    std::string unixPath;  ///< non-empty: unlink on close
+  };
+
+  ArtifactStore& store;
+  const ServiceOptions options;
+  const std::size_t maxInFlight;
+  const std::size_t queueBound;
+  ThreadPool pool;
+
+  mutable std::mutex mu;
+  std::condition_variable cv;  ///< completions, drain, waitDone
+  ServiceStats counters;       ///< raw counters (latency fields unused)
+  LatencyHistogram latency;    ///< guarded by mu
+  std::size_t pendingJobs = 0;
+  std::unordered_map<std::string, std::shared_ptr<InFlightKey>> inflightKeys;
+  bool draining = false;
+  bool ioRunning = false;
+  bool ioExited = false;
+  std::uint64_t nextConnId = 1;
+  std::uint64_t accepted = 0;
+  std::vector<Listener> listeners;
+  std::vector<ConnPtr> conns;        ///< socket connections
+  std::vector<ConnPtr> streamConns;  ///< live stream sessions (stats only)
+
+  std::atomic<bool> drainRequested{false};
+  std::thread ioThread;
+  int wakePipe[2] = {-1, -1};
+
+  Impl(ArtifactStore& s, ServiceOptions o)
+      : store(s),
+        options(o),
+        maxInFlight(std::max<std::size_t>(1, o.maxInFlight)),
+        queueBound(std::max<std::size_t>(1, o.queueBound)),
+        pool(o.threads) {
+#ifdef __unix__
+    if (::pipe(wakePipe) == 0) {
+      ::fcntl(wakePipe[0], F_SETFL, O_NONBLOCK);
+    } else {
+      wakePipe[0] = wakePipe[1] = -1;
+    }
+#endif
+  }
+
+  ~Impl() {
+#ifdef __unix__
+    for (const Listener& l : listeners)
+      if (l.fd >= 0) ::close(l.fd);
+    if (wakePipe[0] >= 0) ::close(wakePipe[0]);
+    if (wakePipe[1] >= 0) ::close(wakePipe[1]);
+#endif
+  }
+
+  void wakeIo() {
+#ifdef __unix__
+    if (wakePipe[1] >= 0) {
+      const char b = 'w';
+      [[maybe_unused]] const ssize_t n = ::write(wakePipe[1], &b, 1);
+    }
+#endif
+  }
+
+  bool drainingNow() const {  // callers may hold mu
+    return draining || drainRequested.load(std::memory_order_relaxed);
+  }
+
+  // -- response plumbing ----------------------------------------------------
+
+  /// Streams every completed response at the window's front. writeMu keeps
+  /// concurrent completers from interleaving lines; the window lock is
+  /// dropped during the actual write so the IO thread can keep appending.
+  void flushConn(Conn& c) {
+    std::lock_guard<std::mutex> wl(c.writeMu);
+    for (;;) {
+      std::string lineOut;
+      {
+        std::lock_guard<std::mutex> g(c.winMu);
+        if (c.window.empty() || !c.window.front()->done) return;
+        lineOut = std::move(c.window.front()->line);
+        c.window.pop_front();
+      }
+      lineOut.push_back('\n');
+      if (!c.broken.load(std::memory_order_relaxed)) {
+        if (c.fd >= 0) {
+#ifdef __unix__
+          if (!sendAll(c.fd, lineOut)) c.broken.store(true);
+#endif
+        } else if (c.out != nullptr) {
+          (*c.out) << lineOut;
+          c.out->flush();
+        }
+      }
+      c.responses.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Publishes a finished response and releases its admission slot.
+  void finishSlot(const ConnPtr& conn, const std::shared_ptr<Slot>& slot,
+                  std::string line, bool admitted) {
+    {
+      std::lock_guard<std::mutex> g(conn->winMu);
+      slot->line = std::move(line);
+      slot->done = true;
+    }
+    flushConn(*conn);
+    bool wake = false;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (admitted) {
+        --pendingJobs;
+        --conn->inflight;
+        if (conn->paused && conn->inflight < maxInFlight) {
+          conn->paused = false;
+          wake = true;
+        }
+      }
+      if (conn->eof.load(std::memory_order_relaxed)) wake = true;
+    }
+    cv.notify_all();
+    if (wake) wakeIo();
+  }
+
+  // -- admission ------------------------------------------------------------
+
+  /// Accepts one request line from a session: count it, then either admit
+  /// it onto the worker pool or shed it with a typed error. Called by the
+  /// IO thread (socket sessions) or the stream reader thread — always
+  /// sequentially per connection, which is what keeps `window` in request
+  /// order.
+  void handleLine(const ConnPtr& conn, std::string line) {
+    const Clock::time_point t0 = Clock::now();
+    auto slot = std::make_shared<Slot>();
+    {
+      std::lock_guard<std::mutex> g(conn->winMu);
+      conn->window.push_back(slot);
+    }
+    enum class Admit { Job, Overloaded, Shutdown } admit;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ++counters.requests;
+      ++conn->requests;
+      if (drainingNow()) {
+        ++counters.shedShutdown;
+        ++conn->shed;
+        admit = Admit::Shutdown;
+      } else if (pendingJobs >= queueBound) {
+        ++counters.shedOverload;
+        ++conn->shed;
+        admit = Admit::Overloaded;
+      } else {
+        ++pendingJobs;
+        ++conn->inflight;
+        counters.maxQueueDepth = std::max(
+            counters.maxQueueDepth, static_cast<std::uint64_t>(pendingJobs));
+        admit = Admit::Job;
+      }
+    }
+    if (admit == Admit::Job) {
+      pool.submit([this, conn, slot, line = std::move(line), t0] {
+        runJob(conn, slot, line, t0);
+      });
+    } else {
+      // Shed responses still travel through the window (order!) and are
+      // rendered off the IO thread so a slow client can never stall it.
+      const WireError code = admit == Admit::Overloaded ? WireError::Overloaded
+                                                        : WireError::Shutdown;
+      const char* message = admit == Admit::Overloaded
+                                ? "service overloaded: global queue bound "
+                                  "reached, retry later"
+                                : "service is draining, request not accepted";
+      pool.submit([this, conn, slot, line = std::move(line), code, message] {
+        finishSlot(conn, slot,
+                   errorResponse(bestEffortId(line), code, message).dump(0),
+                   /*admitted=*/false);
+      });
+    }
+  }
+
+  // -- the worker -----------------------------------------------------------
+
+  void runJob(const ConnPtr& conn, const std::shared_ptr<Slot>& slot,
+              const std::string& line, Clock::time_point t0) {
+    std::string out;
+    try {
+      out = computeResponse(line).dump(0);
+    } catch (...) {
+      out = errorResponse(json::Value(), WireError::Internal,
+                          "internal error")
+                .dump(0);
+    }
+    {
+      const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                          Clock::now() - t0)
+                          .count();
+      std::lock_guard<std::mutex> lock(mu);
+      latency.record(static_cast<std::uint64_t>(us < 0 ? 0 : us));
+    }
+    finishSlot(conn, slot, std::move(out), /*admitted=*/true);
+  }
+
+  void bumpParseErrors() {
+    std::lock_guard<std::mutex> lock(mu);
+    ++counters.parseErrors;
+  }
+
+  json::Value computeResponse(const std::string& line) {
+    json::Value id;
+    json::Value doc;
+    try {
+      doc = json::parse(line);
+    } catch (const std::exception& e) {
+      bumpParseErrors();
+      return errorResponse(id, WireError::Parse, e.what());
+    }
+    if (doc.isObject())
+      if (const json::Value* v = doc.asObject().find("id")) id = *v;
+    if (doc.isObject())
+      if (const json::Value* v = doc.asObject().find("stats");
+          v != nullptr && v->isBool() && v->asBool()) {
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          ++counters.statsRequests;
+        }
+        json::Object o;
+        o["v"] = kWireVersion;
+        o["id"] = id;
+        o["ok"] = true;
+        o["stats"] = statsJson();
+        return json::Value(std::move(o));
+      }
+
+    Request req;
+    try {
+      req = parseRequest(doc, options.includeArtifact);
+    } catch (const std::exception& e) {
+      bumpParseErrors();
+      return errorResponse(id, WireError::Parse, e.what());
+    }
+    Composition comp;
+    try {
+      comp = resolveComposition(req.comp);
+    } catch (const std::exception& e) {
+      bumpParseErrors();
+      return errorResponse(id, WireError::UnknownComp, e.what());
+    }
+    Cdfg graph;
+    try {
+      graph = resolveGraph(req);
+    } catch (const std::exception& e) {
+      bumpParseErrors();
+      return errorResponse(id, WireError::UnknownComp, e.what());
+    }
+    try {
+      SchedulerOptions schedOpts;
+      schedOpts.maxContexts = req.maxContexts;
+      const std::string key = scheduleJobKey(comp, graph, schedOpts);
+
+      std::shared_ptr<const ScheduleArtifact> art = store.lookup(key);
+      bool cached = art != nullptr;
+      if (art == nullptr) {
+        // Not in the store: either claim the key or wait for the worker —
+        // possibly serving another connection — that did.
+        std::shared_ptr<InFlightKey> entry;
+        bool owner = false;
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          auto [it, inserted] =
+              inflightKeys.emplace(key, std::make_shared<InFlightKey>());
+          entry = it->second;
+          owner = inserted;
+        }
+        if (owner) {
+          const Scheduler scheduler(comp, schedOpts);
+          ScheduleRequest sreq(graph);
+          sreq.options = schedOpts;
+          const ScheduleReport sched = scheduler.schedule(sreq);
+          art = std::make_shared<const ScheduleArtifact>(
+              ScheduleArtifact::fromReport(key, sched));
+          store.insert(art);
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            ++counters.scheduled;
+            inflightKeys.erase(key);
+          }
+          {
+            std::lock_guard<std::mutex> elock(entry->mu);
+            entry->done = true;
+            entry->artifact = art;
+          }
+          entry->cv.notify_all();
+        } else {
+          std::unique_lock<std::mutex> elock(entry->mu);
+          entry->cv.wait(elock, [&] { return entry->done; });
+          art = entry->artifact;
+          cached = true;
+          std::lock_guard<std::mutex> lock(mu);
+          ++counters.deduped;
+        }
+      } else {
+        std::lock_guard<std::mutex> lock(mu);
+        ++counters.cacheHits;
+      }
+      return artifactResponse(id, *art, cached, req.wantArtifact, comp);
+    } catch (const std::exception& e) {
+      return errorResponse(id, WireError::Internal, e.what());
+    }
+  }
+
+  // -- live metrics ---------------------------------------------------------
+
+  ServiceStats statsSnapshot() const {
+    std::lock_guard<std::mutex> lock(mu);
+    ServiceStats s = counters;
+    s.latencyCount = latency.count();
+    s.latencyP50Us = latency.quantileUs(0.50);
+    s.latencyP99Us = latency.quantileUs(0.99);
+    s.latencyMeanUs = latency.meanUs();
+    return s;
+  }
+
+  json::Value statsJson() const {
+    json::Object o;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ServiceStats s = counters;
+      s.latencyCount = latency.count();
+      s.latencyP50Us = latency.quantileUs(0.50);
+      s.latencyP99Us = latency.quantileUs(0.99);
+      s.latencyMeanUs = latency.meanUs();
+      o["service"] = s.toJson();
+      o["queueDepth"] = static_cast<std::uint64_t>(pendingJobs);
+      o["draining"] = drainingNow();
+      json::Array conns_json;
+      auto connEntry = [](const Conn& c) {
+        json::Object e;
+        e["id"] = c.id;
+        e["kind"] = c.fd >= 0 ? "socket" : "stream";
+        e["requests"] = c.requests;
+        e["responses"] = c.responses.load(std::memory_order_relaxed);
+        e["inflight"] = static_cast<std::uint64_t>(c.inflight);
+        e["shed"] = c.shed;
+        return json::Value(std::move(e));
+      };
+      for (const ConnPtr& c : conns) conns_json.push_back(connEntry(*c));
+      for (const ConnPtr& c : streamConns) conns_json.push_back(connEntry(*c));
+      o["connections"] = json::Value(std::move(conns_json));
+    }
+    const StoreCounters sc = store.counters();
+    o["store"] = sc.toJson();
+    return json::sortKeys(json::Value(std::move(o)));
+  }
+
+  // -- stream sessions ------------------------------------------------------
+
+  void serveStream(std::istream& in, std::ostream& out) {
+    ConnPtr conn;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      conn = std::make_shared<Conn>(nextConnId++, -1);
+      conn->out = &out;
+      streamConns.push_back(conn);
+      ++counters.connectionsAccepted;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (isBlank(line)) continue;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] {
+          return conn->inflight < maxInFlight || drainingNow();
+        });
+      }
+      handleLine(conn, std::move(line));
+    }
+    // Every response — including shed ones still rendering on the pool —
+    // must be on the wire before this session returns.
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] {
+        if (conn->inflight != 0) return false;
+        std::lock_guard<std::mutex> g(conn->winMu);
+        return conn->window.empty();
+      });
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      streamConns.erase(
+          std::remove(streamConns.begin(), streamConns.end(), conn),
+          streamConns.end());
+      ++counters.connectionsClosed;
+    }
+  }
+
+#ifdef __unix__
+  // -- listeners and the poll/accept IO thread ------------------------------
+
+  void addUnixListener(const std::string& path) {
+    if (path.size() >= sizeof(sockaddr_un{}.sun_path))
+      throw Error("socket path too long: " + path);
+    struct stat st {};
+    if (::lstat(path.c_str(), &st) == 0) {
+      if (!S_ISSOCK(st.st_mode))
+        throw Error("refusing to replace " + path +
+                    ": existing file is not a socket");
+      ::unlink(path.c_str());  // a stale socket from a previous run
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) throw Error("cannot create unix socket");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    path.copy(addr.sun_path, sizeof(addr.sun_path) - 1);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+            0 ||
+        ::listen(fd, 64) != 0) {
+      ::close(fd);
+      throw Error("cannot bind/listen on " + path);
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    CGRA_ASSERT_MSG(!ioRunning, "addUnixListener after start()");
+    listeners.push_back(Listener{fd, path});
+  }
+
+  std::uint16_t addTcpListener(std::uint16_t port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw Error("cannot create TCP socket");
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+            0 ||
+        ::listen(fd, 64) != 0) {
+      ::close(fd);
+      throw Error("cannot bind/listen on 127.0.0.1:" + std::to_string(port));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
+    std::lock_guard<std::mutex> lock(mu);
+    CGRA_ASSERT_MSG(!ioRunning, "addTcpListener after start()");
+    listeners.push_back(Listener{fd, ""});
+    return ntohs(bound.sin_port);
+  }
+
+  void closeListeners() {
+    std::vector<Listener> doomed;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      doomed.swap(listeners);
+    }
+    for (const Listener& l : doomed) {
+      if (l.fd >= 0) ::close(l.fd);
+      if (!l.unixPath.empty()) ::unlink(l.unixPath.c_str());
+    }
+  }
+
+  void acceptOne(int listenFd) {
+    const int fd = ::accept(listenFd, nullptr, nullptr);
+    if (fd < 0) return;
+    bool refuse = false;
+    bool reachedMax = false;
+    ConnPtr conn;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (options.maxClients != 0 && conns.size() >= options.maxClients) {
+        refuse = true;
+        ++counters.connectionsRefused;
+      } else {
+        conn = std::make_shared<Conn>(nextConnId++, fd);
+        conns.push_back(conn);
+        ++accepted;
+        ++counters.connectionsAccepted;
+        reachedMax =
+            options.maxConnections != 0 && accepted >= options.maxConnections;
+      }
+    }
+    if (refuse) {
+      sendAll(fd, errorResponse(json::Value(), WireError::Overloaded,
+                                "too many clients, connection refused")
+                          .dump(0) +
+                      "\n");
+      ::close(fd);
+      return;
+    }
+    if (reachedMax) closeListeners();
+  }
+
+  void readConn(const ConnPtr& conn) {
+    char buf[8192];
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn->rbuf.append(buf, static_cast<std::size_t>(n));
+      processBuffer(conn);
+    } else if (n == 0) {
+      // Half-close: a client may shut down its write side after sending a
+      // batch; finish answering what it sent.
+      processBuffer(conn);
+      conn->eof.store(true);
+    } else if (errno != EINTR && errno != EAGAIN) {
+      conn->eof.store(true);
+      conn->broken.store(true);
+    }
+  }
+
+  /// Splits buffered bytes into lines and admits them, honoring the
+  /// per-connection cap (pause) — IO thread only.
+  void processBuffer(const ConnPtr& conn) {
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (conn->paused && !drainingNow()) return;
+      }
+      const std::size_t nl = conn->rbuf.find('\n');
+      if (nl == std::string::npos) return;
+      std::string line = conn->rbuf.substr(0, nl);
+      conn->rbuf.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (isBlank(line)) continue;
+      handleLine(conn, std::move(line));
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (conn->inflight >= maxInFlight) {
+          conn->paused = true;
+          if (!drainingNow()) return;
+        }
+      }
+    }
+  }
+
+  bool connDrained(const ConnPtr& conn) {
+    // rbuf is IO-thread-only; a buffered complete line still owes a
+    // response, so it blocks closing.
+    if (conn->rbuf.find('\n') != std::string::npos) return false;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (conn->inflight != 0) return false;
+    }
+    std::lock_guard<std::mutex> g(conn->winMu);
+    return conn->window.empty();
+  }
+
+  /// Converts an async drain request, resumes un-paused connections with
+  /// buffered lines, and reaps drained EOF connections. IO thread only.
+  void sweep() {
+    bool startDrain = false;
+    std::vector<ConnPtr> snapshot;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (drainRequested.load() && !draining) {
+        draining = true;
+        startDrain = true;
+      }
+      snapshot = conns;
+    }
+    if (startDrain) {
+      closeListeners();
+      // Every line already read off a socket gets an answer (the shed path
+      // tags them `shutdown`); nothing new is read.
+      for (const ConnPtr& c : snapshot) {
+        processBuffer(c);
+        c->eof.store(true);
+      }
+      cv.notify_all();  // stream sessions blocked on admission
+    } else {
+      for (const ConnPtr& c : snapshot) {
+        bool runnable;
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          runnable = !c->paused && !c->eof.load();
+        }
+        if (runnable && c->rbuf.find('\n') != std::string::npos)
+          processBuffer(c);
+      }
+    }
+    // Reap connections that reached EOF and owe nothing.
+    for (const ConnPtr& c : snapshot) {
+      if (!c->eof.load() || !connDrained(c)) continue;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        const auto it = std::find(conns.begin(), conns.end(), c);
+        if (it == conns.end()) continue;
+        conns.erase(it);
+        ++counters.connectionsClosed;
+      }
+      ::close(c->fd);
+    }
+    cv.notify_all();
+  }
+
+  void ioLoop() {
+    std::vector<pollfd> pfds;
+    std::vector<int> polledListeners;
+    std::vector<ConnPtr> polledConns;
+    for (;;) {
+      pfds.clear();
+      polledListeners.clear();
+      polledConns.clear();
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (listeners.empty() && conns.empty()) break;
+        pfds.push_back(pollfd{wakePipe[0], POLLIN, 0});
+        if (!drainingNow())
+          for (const Listener& l : listeners) {
+            pfds.push_back(pollfd{l.fd, POLLIN, 0});
+            polledListeners.push_back(l.fd);
+          }
+        for (const ConnPtr& c : conns)
+          if (!c->paused && !c->eof.load()) {
+            pfds.push_back(pollfd{c->fd, POLLIN, 0});
+            polledConns.push_back(c);
+          }
+      }
+      // A finite timeout is a belt-and-braces guard against a lost wakeup;
+      // every state change also writes the wake pipe.
+      ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 200);
+      if ((pfds[0].revents & POLLIN) != 0) {
+        char buf[64];
+        while (::read(wakePipe[0], buf, sizeof(buf)) > 0) {
+        }
+      }
+      std::size_t idx = 1;
+      for (const int lfd : polledListeners) {
+        if ((pfds[idx].revents & POLLIN) != 0) acceptOne(lfd);
+        ++idx;
+      }
+      for (const ConnPtr& c : polledConns) {
+        if ((pfds[idx].revents & (POLLIN | POLLHUP | POLLERR)) != 0)
+          readConn(c);
+        ++idx;
+      }
+      sweep();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ioExited = true;
+    }
+    cv.notify_all();
+  }
+#endif  // __unix__
+};
+
+Service::Service(ArtifactStore& store, ServiceOptions options)
+    : impl_(std::make_unique<Impl>(store, options)) {}
+
+Service::~Service() { stop(); }
+
+void Service::addUnixListener(const std::string& path) {
+#ifdef __unix__
+  impl_->addUnixListener(path);
+#else
+  (void)path;
+  throw Error("unix-socket serving is unavailable on this platform");
+#endif
+}
+
+std::uint16_t Service::addTcpListener(std::uint16_t port) {
+#ifdef __unix__
+  return impl_->addTcpListener(port);
+#else
+  (void)port;
+  throw Error("TCP serving is unavailable on this platform");
+#endif
+}
+
+void Service::start() {
+#ifdef __unix__
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  CGRA_ASSERT_MSG(!impl_->ioRunning, "start() called twice");
+  impl_->ioRunning = true;
+  impl_->ioExited = false;
+  impl_->ioThread = std::thread([this] { impl_->ioLoop(); });
+#else
+  throw Error("socket serving is unavailable on this platform");
+#endif
+}
+
+void Service::notifyDrain() {
+  // Async-signal-safe: one relaxed atomic store and one pipe write.
+  impl_->drainRequested.store(true, std::memory_order_relaxed);
+  impl_->wakeIo();
+}
+
+void Service::waitDone() {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  if (!impl_->ioRunning) return;
+  impl_->cv.wait(lock, [&] { return impl_->ioExited; });
+}
+
+void Service::drain() {
+  notifyDrain();
+  {
+    // Stream-only services have no IO thread to convert the request; mark
+    // the draining state directly so serveStream sheds immediately.
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (!impl_->ioRunning) impl_->draining = true;
+  }
+  impl_->cv.notify_all();
+  waitDone();
+}
+
+void Service::stop() {
+  bool running;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    running = impl_->ioRunning;
+  }
+  if (running) {
+    notifyDrain();
+    waitDone();
+    if (impl_->ioThread.joinable()) impl_->ioThread.join();
+    {
+      std::lock_guard<std::mutex> lock(impl_->mu);
+      impl_->ioRunning = false;
+    }
+  }
+  impl_->pool.wait();
+}
+
+void Service::serveStream(std::istream& in, std::ostream& out) {
+  impl_->serveStream(in, out);
+}
+
+ServiceStats Service::stats() const { return impl_->statsSnapshot(); }
+
+json::Value Service::statsJson() const { return impl_->statsJson(); }
+
+// ---------------------------------------------------------------------------
+// Thin wrappers over the class (the PR-4 entry points).
+
+ServiceStats serveJsonl(std::istream& in, std::ostream& out,
+                        ArtifactStore& store, const ServiceOptions& options) {
+  Service service(store, options);
+  service.serveStream(in, out);
+  return service.stats();
+}
 
 ServiceStats serveUnixSocket(const std::string& path, ArtifactStore& store,
                              const ServiceOptions& options,
                              std::uint64_t maxConnections) {
-  if (path.size() >= sizeof(sockaddr_un{}.sun_path))
-    throw Error("socket path too long: " + path);
-  const int listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listenFd < 0) throw Error("cannot create unix socket");
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  path.copy(addr.sun_path, sizeof(addr.sun_path) - 1);
-  ::unlink(path.c_str());  // a stale socket file from a previous run
-  if (::bind(listenFd, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) != 0 ||
-      ::listen(listenFd, 8) != 0) {
-    ::close(listenFd);
-    throw Error("cannot bind/listen on " + path);
-  }
-
-  ServiceStats total;
-  for (std::uint64_t served = 0;
-       maxConnections == 0 || served < maxConnections; ++served) {
-    const int fd = ::accept(listenFd, nullptr, nullptr);
-    if (fd < 0) break;
-    FdStreambuf buf(fd);
-    std::istream in(&buf);
-    std::ostream out(&buf);
-    const ServiceStats s = serveJsonl(in, out, store, options);
-    out.flush();
-    ::close(fd);
-    total.requests += s.requests;
-    total.parseErrors += s.parseErrors;
-    total.scheduled += s.scheduled;
-    total.cacheHits += s.cacheHits;
-    total.deduped += s.deduped;
-  }
-  ::close(listenFd);
-  ::unlink(path.c_str());
-  return total;
+  ServiceOptions opts = options;
+  opts.maxConnections = maxConnections;
+  Service service(store, opts);
+  service.addUnixListener(path);
+  service.start();
+  service.waitDone();
+  service.stop();
+  return service.stats();
 }
-
-#else
-
-ServiceStats serveUnixSocket(const std::string&, ArtifactStore&,
-                             const ServiceOptions&, std::uint64_t) {
-  throw Error("unix-socket serving is unavailable on this platform");
-}
-
-#endif  // __unix__
 
 }  // namespace cgra::artifact

@@ -1,28 +1,54 @@
-// Batch compile service: JSONL schedule requests in, artifact responses out
-// (`cgra-tool serve`, DESIGN.md §10).
+// Concurrent batch compile server: JSONL schedule requests in, artifact
+// responses out (`cgra-tool serve`, DESIGN.md §12).
 //
-// A driver (design-space explorer, CI harness, another process on the same
-// box) streams one JSON request per line:
+// A driver (design-space explorer, CI harness, another process or machine)
+// streams one JSON request per line:
 //
 //   {"id": 7, "comp": "mesh9", "kernel": "adpcm", "unroll": 2,
 //    "maxContexts": 16, "artifact": true}
 //
-// and receives one JSON response per line, in request order:
+// and receives one versioned JSON response per line, in per-connection
+// request order:
 //
-//   {"id": 7, "ok": true, "key": "3fb2...", "cached": false,
+//   {"v": 1, "id": 7, "ok": true, "key": "3fb2...", "cached": false,
 //    "contexts": 14, "fingerprint": "1234...", ...}
 //
-// The service fronts an ArtifactStore: hits answer without scheduling,
-// misses are dispatched to a worker pool, and concurrent requests for one
-// cache key are deduplicated — the first occurrence schedules, the rest
-// wait on its completion and answer from the shared result. A bounded
-// in-flight window applies backpressure: when `maxInFlight` requests are
-// pending, reading stops until the oldest completes and its response has
-// been written.
+// Failures are typed: {"v":1, "id":..., "ok":false,
+//   "error":{"code":"unmappable", "message":"...", "reason":"context-budget"}}
+// with codes parse | unknown_comp | unmappable | overloaded | shutdown |
+// internal (the wire protocol table lives in DESIGN.md §12).
+//
+// The `Service` class owns the whole lifecycle:
+//
+//   * Listeners — stdin/stream sessions (`serveStream`), unix domain
+//     sockets (`addUnixListener`) and loopback TCP (`addTcpListener`) feed
+//     one shared admission/worker machinery; a single poll/accept IO thread
+//     (`start`) multiplexes every socket connection.
+//   * Admission control — each connection may have at most
+//     `maxInFlight` requests admitted (reading from that connection pauses
+//     past the cap: per-client fairness by backpressure, one greedy client
+//     cannot monopolize the worker pool), and the service admits at most
+//     `queueBound` requests globally (past it requests are answered
+//     immediately with `"error":{"code":"overloaded"}` — explicit shedding,
+//     never a silent stall).
+//   * Workers — cache misses from all sessions run on one shared pool over
+//     the shared ArtifactStore; identical in-flight keys coalesce onto one
+//     scheduling slot exactly as in the single-stream service.
+//   * Observability — a request line {"stats": true} answers with the live
+//     ServiceStats (per-connection counters, queue depth, p50/p99 service
+//     latency, store hit rate) as sorted-key JSON.
+//   * Drain — `notifyDrain()` is async-signal-safe (SIGTERM handlers call
+//     it): the service stops accepting, answers every already-read request
+//     (in-flight jobs finish; not-yet-started ones answer
+//     `"error":{"code":"shutdown"}`), flushes and closes every connection,
+//     then `waitDone()` returns.
+//
+// The PR-4 free functions remain as thin wrappers over the class.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 
 #include "artifact/store.hpp"
@@ -30,38 +56,134 @@
 
 namespace cgra::artifact {
 
+/// Wire protocol version carried as `"v"` in every response.
+inline constexpr std::int64_t kWireVersion = 1;
+
+/// Typed failure codes of the v1 wire protocol. Scheduling failures map
+/// from the scheduler's FailureReason onto `Unmappable` (the response keeps
+/// the fine-grained reason name in `error.reason`).
+enum class WireError : std::uint8_t {
+  Parse,        ///< malformed JSON or missing/ill-typed request fields
+  UnknownComp,  ///< composition/kernel could not be resolved
+  Unmappable,   ///< the scheduler reported a typed ScheduleFailure
+  Overloaded,   ///< shed: global queue bound exceeded or too many clients
+  Shutdown,     ///< shed: the service is draining
+  Internal,     ///< unexpected exception escaped the worker (a library bug)
+};
+
+const char* wireErrorCode(WireError code);
+
 struct ServiceOptions {
   /// Worker threads for cache misses; 0 selects hardware concurrency.
   unsigned threads = 0;
-  /// Maximum requests in flight (parsed but not yet answered). Reading
-  /// stalls — never drops — past this bound.
+  /// Per-connection in-flight cap (admitted but unanswered requests).
+  /// Reading from a connection pauses — never drops — past this bound.
   std::size_t maxInFlight = 64;
+  /// Global bound on admitted requests across every connection. Past it,
+  /// new requests are shed with `"error":{"code":"overloaded"}`.
+  std::size_t queueBound = 256;
+  /// Maximum concurrent socket connections; extra connections are answered
+  /// with one `overloaded` error line and closed. 0 = unlimited.
+  std::size_t maxClients = 0;
+  /// Stop listening after this many accepted connections (the service then
+  /// finishes naturally once they close). 0 = listen until drain.
+  std::uint64_t maxConnections = 0;
   /// Attach the full artifact document to every successful response
   /// (per-request `"artifact": true` overrides this default).
   bool includeArtifact = false;
 };
 
-/// Traffic counters for one serve session, reported on shutdown.
+/// Traffic counters for one service, readable live (`Service::stats`) and
+/// reported on shutdown.
 struct ServiceStats {
-  std::uint64_t requests = 0;     ///< lines read
-  std::uint64_t parseErrors = 0;  ///< malformed lines (answered with ok=false)
+  std::uint64_t requests = 0;     ///< request lines read (all connections)
+  std::uint64_t parseErrors = 0;  ///< parse/unknown_comp failure responses
   std::uint64_t scheduled = 0;    ///< jobs actually run on the scheduler
   std::uint64_t cacheHits = 0;    ///< answered straight from the store
   std::uint64_t deduped = 0;      ///< waited on an identical in-flight job
+  std::uint64_t statsRequests = 0;          ///< {"stats":true} requests
+  std::uint64_t shedOverload = 0;           ///< requests shed `overloaded`
+  std::uint64_t shedShutdown = 0;           ///< requests shed `shutdown`
+  std::uint64_t connectionsAccepted = 0;    ///< sessions opened (any kind)
+  std::uint64_t connectionsRefused = 0;     ///< closed at accept (maxClients)
+  std::uint64_t connectionsClosed = 0;      ///< sessions fully drained
+  std::uint64_t maxQueueDepth = 0;          ///< peak admitted requests
+  // Service latency (admission → response ready) of processed requests.
+  std::uint64_t latencyCount = 0;
+  double latencyP50Us = 0.0;
+  double latencyP99Us = 0.0;
+  double latencyMeanUs = 0.0;
 
   json::Value toJson() const;
 };
 
-/// Serves JSONL requests from `in` until EOF, streaming responses to `out`
-/// in request order. Thread-safe with respect to `store` (which other
-/// threads/processes may share).
+/// The concurrent compile server. Thread-safe with respect to `store`
+/// (which other threads/processes may share); one Service may serve socket
+/// listeners and blocking stream sessions at the same time.
+class Service {
+public:
+  explicit Service(ArtifactStore& store, ServiceOptions options = {});
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Binds a unix domain socket at `path`. Refuses (cgra::Error) to replace
+  /// a non-socket file at `path`; a stale socket from a previous run is
+  /// unlinked. Call before start().
+  void addUnixListener(const std::string& path);
+
+  /// Binds 127.0.0.1:`port` (0 picks a free port) and returns the bound
+  /// port. Call before start().
+  std::uint16_t addTcpListener(std::uint16_t port);
+
+  /// Spawns the poll/accept IO thread serving every registered listener.
+  void start();
+
+  /// Async-signal-safe drain request (SIGTERM handlers may call this):
+  /// stop accepting, answer everything already read, finish in-flight
+  /// work, flush and close. Returns immediately.
+  void notifyDrain();
+
+  /// notifyDrain() + waitDone().
+  void drain();
+
+  /// Blocks until the service has finished: every listener closed and
+  /// every socket connection answered and closed (after drain, or after
+  /// maxConnections sessions completed). Returns immediately when start()
+  /// was never called.
+  void waitDone();
+
+  /// drain() + join the IO thread. Idempotent; the destructor calls it.
+  void stop();
+
+  /// Serves one blocking JSONL session on the caller's thread through the
+  /// same admission control and worker pool. Usable with or without
+  /// start(); returns at EOF of `in` once every response has been written.
+  void serveStream(std::istream& in, std::ostream& out);
+
+  /// Live counters snapshot (percentiles computed from the histogram).
+  ServiceStats stats() const;
+
+  /// The live metrics document answered to {"stats": true} requests:
+  /// service counters + queue depth, per-connection counters, store
+  /// counters/hit rate. Sorted keys.
+  json::Value statsJson() const;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Thin wrapper: serves JSONL requests from `in` until EOF, streaming
+/// responses to `out` in request order, on a one-shot Service.
 ServiceStats serveJsonl(std::istream& in, std::ostream& out,
                         ArtifactStore& store, const ServiceOptions& options);
 
-/// Binds a unix domain socket at `path` (unlinking any stale socket file)
-/// and serves one connection at a time, each as a JSONL session. Runs until
-/// `maxConnections` sessions finished (0 = forever). Throws cgra::Error on
-/// socket errors.
+/// Thin wrapper: binds a unix domain socket at `path` (refusing to unlink
+/// anything that is not a socket) and serves connections concurrently until
+/// `maxConnections` sessions were accepted and finished (0 = forever).
+/// Throws cgra::Error on socket errors.
 ServiceStats serveUnixSocket(const std::string& path, ArtifactStore& store,
                              const ServiceOptions& options,
                              std::uint64_t maxConnections = 0);

@@ -19,6 +19,7 @@ json::Value StoreCounters::toJson() const {
   o["inserts"] = inserts;
   o["evictions"] = evictions;
   o["invalid"] = invalid;
+  o["hitRatePct"] = hitRate() * 100.0;
   return json::sortKeys(json::Value(std::move(o)));
 }
 

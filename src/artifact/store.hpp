@@ -48,6 +48,15 @@ struct StoreCounters {
   std::uint64_t evictions = 0;   ///< disk files evicted by the size cap
   std::uint64_t invalid = 0;     ///< corrupt/stale files discarded on load
 
+  /// Fraction of lookups served from either layer, in [0, 1]; 0 before the
+  /// first lookup. The serve-mode live metrics report this as a percentage.
+  double hitRate() const {
+    const std::uint64_t lookups = hits + misses;
+    return lookups == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+
   json::Value toJson() const;
 };
 

@@ -1,0 +1,88 @@
+// Fixed-footprint latency histogram for the compile service's live metrics
+// (DESIGN.md §12).
+//
+// Samples are microseconds bucketed by bit width (bucket i covers
+// [2^i, 2^(i+1)) µs, bucket 0 covers 0–1 µs), so recording is O(1), the
+// whole structure is a few hundred bytes, and it never allocates — safe to
+// update under the service's stats mutex on every request. Quantiles are
+// estimated by linear interpolation inside the containing bucket, which is
+// exact enough for p50/p99 service-latency reporting (the error is bounded
+// by one bucket's width) and, unlike a reservoir, never degrades under
+// millions of samples.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace cgra {
+
+class LatencyHistogram {
+public:
+  static constexpr std::size_t kBuckets = 40;  ///< covers up to ~2^40 µs
+
+  void record(std::uint64_t us) {
+    ++buckets_[bucketFor(us)];
+    ++count_;
+    sumUs_ += us;
+    if (us > maxUs_) maxUs_ = us;
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t maxUs() const { return maxUs_; }
+  double meanUs() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sumUs_) /
+                             static_cast<double>(count_);
+  }
+
+  /// Estimated value at quantile `q` in [0, 1]: the sample rank is located
+  /// in its bucket and interpolated linearly across the bucket's span.
+  double quantileUs(double q) const {
+    if (count_ == 0) return 0.0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    // Rank of the target sample, 1-based; q=0 maps to the first sample.
+    const double rank = q * static_cast<double>(count_ - 1) + 1.0;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      if (buckets_[i] == 0) continue;
+      const std::uint64_t lo = i == 0 ? 0 : (1ull << i);
+      const std::uint64_t hi = (1ull << (i + 1)) - 1;
+      if (rank <= static_cast<double>(seen + buckets_[i])) {
+        const double within =
+            (rank - static_cast<double>(seen)) /
+            static_cast<double>(buckets_[i]);
+        double v = static_cast<double>(lo) +
+                   within * static_cast<double>(hi - lo);
+        const double cap = static_cast<double>(maxUs_);
+        return v > cap ? cap : v;
+      }
+      seen += buckets_[i];
+    }
+    return static_cast<double>(maxUs_);
+  }
+
+  void merge(const LatencyHistogram& other) {
+    for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    sumUs_ += other.sumUs_;
+    if (other.maxUs_ > maxUs_) maxUs_ = other.maxUs_;
+  }
+
+private:
+  static std::size_t bucketFor(std::uint64_t us) {
+    std::size_t b = 0;
+    while (us > 1 && b + 1 < kBuckets) {
+      us >>= 1;
+      ++b;
+    }
+    return b;
+  }
+
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sumUs_ = 0;
+  std::uint64_t maxUs_ = 0;
+};
+
+}  // namespace cgra

@@ -1,20 +1,65 @@
-// Batch compile service (artifact/service.hpp): JSONL request/response
-// framing, request-order streaming, per-key dedup of concurrent identical
-// requests, store-backed cache hits, per-line error reporting, artifact
-// attachment, and backpressure with a tiny in-flight window.
+// Concurrent compile server (artifact/service.hpp): v1 wire protocol (every
+// response versioned, typed error objects), JSONL framing and request-order
+// streaming, per-key dedup across sessions, store-backed cache hits,
+// admission control (per-connection in-flight pause + global queue bound
+// with `overloaded` shedding), graceful drain (`shutdown` shedding), live
+// {"stats":true} metrics, unix/TCP listeners with the stale-socket guard,
+// and an 8-client concurrent stress run clean under the tsan preset.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "artifact/artifact.hpp"
+#include "artifact/client.hpp"
 #include "artifact/service.hpp"
 #include "artifact/store.hpp"
 #include "json/json.hpp"
 
+#ifdef __unix__
+#include <sys/stat.h>
+#endif
+
 namespace cgra {
 namespace {
+
+namespace sfs = std::filesystem;
+
+/// Fresh per-test scratch directory, removed on destruction.
+struct TempDir {
+  sfs::path path;
+  explicit TempDir(const std::string& tag) {
+    path = sfs::temp_directory_path() /
+           ("cgra_service_test_" + tag + "_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()));
+    sfs::remove_all(path);
+    sfs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    sfs::remove_all(path, ec);
+  }
+  std::string str() const { return path.string(); }
+};
+
+std::vector<json::Value> parseLines(const std::string& text) {
+  std::vector<json::Value> docs;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.find('\n'), std::string::npos)
+        << "each response is exactly one line";
+    docs.push_back(json::parse(line));
+  }
+  return docs;
+}
 
 std::vector<json::Value> runService(const std::string& requests,
                                     artifact::ArtifactStore& store,
@@ -25,16 +70,26 @@ std::vector<json::Value> runService(const std::string& requests,
   const artifact::ServiceStats stats =
       artifact::serveJsonl(in, out, store, options);
   if (statsOut != nullptr) *statsOut = stats;
+  return parseLines(out.str());
+}
 
-  std::vector<json::Value> responses;
-  std::istringstream lines(out.str());
-  std::string line;
-  while (std::getline(lines, line)) {
-    EXPECT_EQ(line.find('\n'), std::string::npos)
-        << "each response is exactly one line";
-    responses.push_back(json::parse(line));
+std::string errorCode(const json::Value& response) {
+  const json::Object& o = response.asObject();
+  EXPECT_FALSE(o.at("ok").asBool());
+  return o.at("error").asObject().at("code").asString();
+}
+
+/// Polls `pred` for up to ~10 s; the generous ceiling keeps sanitizer runs
+/// from flaking while real waits stay in the milliseconds.
+template <typename Pred>
+bool eventually(Pred pred) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
-  return responses;
+  return pred();
 }
 
 TEST(Service, AnswersInRequestOrderAndDedupesIdenticalJobs) {
@@ -51,6 +106,8 @@ TEST(Service, AnswersInRequestOrderAndDedupesIdenticalJobs) {
   ASSERT_EQ(responses.size(), 3u);
   for (std::size_t i = 0; i < 3; ++i) {
     const json::Object& o = responses[i].asObject();
+    EXPECT_EQ(o.at("v").asInt(), artifact::kWireVersion)
+        << "every response carries the wire protocol version";
     EXPECT_EQ(o.at("id").asInt(), static_cast<std::int64_t>(i + 1))
         << "responses stream in request order";
     EXPECT_TRUE(o.at("ok").asBool());
@@ -89,7 +146,7 @@ TEST(Service, WarmStoreAnswersWithoutScheduling) {
   EXPECT_EQ(stats.cacheHits, 1u);
 }
 
-TEST(Service, ReportsBadLinesWithoutAbortingTheSession) {
+TEST(Service, ReportsBadLinesWithTypedErrorsWithoutAbortingTheSession) {
   artifact::ArtifactStore store;
   artifact::ServiceOptions options;
   options.threads = 1;
@@ -98,20 +155,29 @@ TEST(Service, ReportsBadLinesWithoutAbortingTheSession) {
       "this is not json\n"
       "{\"id\":2,\"kernel\":\"gcd\"}\n"
       "{\"id\":3,\"comp\":\"mesh4\",\"kernel\":\"no-such-kernel\"}\n"
-      "{\"id\":4,\"comp\":\"mesh4\",\"kernel\":\"gcd\"}\n",
+      "{\"id\":4,\"comp\":\"nope99\",\"kernel\":\"gcd\"}\n"
+      "{\"id\":5,\"comp\":\"mesh4\",\"kernel\":\"gcd\"}\n",
       store, options, &stats);
 
-  ASSERT_EQ(responses.size(), 4u);
-  EXPECT_FALSE(responses[0].asObject().at("ok").asBool());
-  EXPECT_FALSE(responses[1].asObject().at("ok").asBool())
+  ASSERT_EQ(responses.size(), 5u);
+  EXPECT_EQ(errorCode(responses[0]), "parse");
+  EXPECT_EQ(errorCode(responses[1]), "parse")
       << "a request without comp is malformed";
-  EXPECT_FALSE(responses[2].asObject().at("ok").asBool());
-  EXPECT_FALSE(
-      responses[2].asObject().at("error").asString().empty());
-  EXPECT_TRUE(responses[3].asObject().at("ok").asBool())
+  EXPECT_EQ(errorCode(responses[2]), "unknown_comp");
+  EXPECT_EQ(errorCode(responses[3]), "unknown_comp");
+  EXPECT_FALSE(responses[2]
+                   .asObject()
+                   .at("error")
+                   .asObject()
+                   .at("message")
+                   .asString()
+                   .empty());
+  EXPECT_TRUE(responses[4].asObject().at("ok").asBool())
       << "good requests after bad lines are still served";
-  EXPECT_GE(stats.parseErrors, 2u);
-  EXPECT_EQ(stats.requests, 4u);
+  for (const json::Value& r : responses)
+    EXPECT_EQ(r.asObject().at("v").asInt(), artifact::kWireVersion);
+  EXPECT_GE(stats.parseErrors, 4u);
+  EXPECT_EQ(stats.requests, 5u);
 }
 
 TEST(Service, UnmappableJobsAnswerWithTypedFailure) {
@@ -124,8 +190,10 @@ TEST(Service, UnmappableJobsAnswerWithTypedFailure) {
   ASSERT_EQ(responses.size(), 1u);
   const json::Object& o = responses[0].asObject();
   EXPECT_FALSE(o.at("ok").asBool());
-  EXPECT_EQ(o.at("failureReason").asString(), "context-budget");
-  EXPECT_FALSE(o.at("error").asString().empty());
+  const json::Object& err = o.at("error").asObject();
+  EXPECT_EQ(err.at("code").asString(), "unmappable");
+  EXPECT_EQ(err.at("reason").asString(), "context-budget");
+  EXPECT_FALSE(err.at("message").asString().empty());
 }
 
 TEST(Service, AttachesDeserializableArtifactsOnRequest) {
@@ -184,6 +252,356 @@ TEST(Service, EchoesArbitraryIdValuesVerbatim) {
   // A request without an id still gets a response carrying a null id.
   EXPECT_TRUE(responses[1].asObject().at("id").isNull());
 }
+
+TEST(Service, StatsRequestAnswersLiveMetrics) {
+  artifact::ArtifactStore store;
+  artifact::ServiceOptions options;
+  options.threads = 1;
+  options.maxInFlight = 1;  // serialize: the counters below are then exact
+  artifact::ServiceStats stats;
+  const std::vector<json::Value> responses = runService(
+      "{\"id\":1,\"comp\":\"mesh4\",\"kernel\":\"gcd\"}\n"
+      "{\"id\":2,\"comp\":\"mesh4\",\"kernel\":\"gcd\"}\n"
+      "{\"id\":3,\"stats\":true}\n",
+      store, options, &stats);
+
+  ASSERT_EQ(responses.size(), 3u);
+  const json::Object& o = responses[2].asObject();
+  EXPECT_TRUE(o.at("ok").asBool());
+  const json::Object& doc = o.at("stats").asObject();
+  const json::Object& svc = doc.at("service").asObject();
+  EXPECT_EQ(svc.at("requests").asInt(), 3);
+  EXPECT_EQ(svc.at("scheduled").asInt(), 1);
+  EXPECT_EQ(svc.at("cacheHits").asInt(), 1);
+  EXPECT_GE(svc.at("latencyCount").asInt(), 2);
+  EXPECT_GE(svc.at("latencyP99Us").asDouble(), svc.at("latencyP50Us").asDouble());
+  // The store section carries the shared-cache hit rate.
+  const json::Object& st = doc.at("store").asObject();
+  EXPECT_EQ(st.at("hits").asInt(), 1);
+  EXPECT_GT(st.at("hitRatePct").asDouble(), 0.0);
+  // Per-connection counters list this very session.
+  EXPECT_FALSE(doc.at("connections").asArray().empty());
+  EXPECT_EQ(stats.statsRequests, 1u);
+}
+
+#ifdef __unix__
+
+/// A FIFO-backed kernelFile deterministically blocks the worker inside
+/// parseKernelFile (opening a FIFO for reading blocks until a writer
+/// appears), holding one admitted job in flight for as long as a test
+/// needs; `release()` unblocks it with unparsable bytes, so the job answers
+/// `unknown_comp`.
+struct BlockingKernel {
+  TempDir dir;
+  std::string path;
+  explicit BlockingKernel(const std::string& tag) : dir("fifo_" + tag) {
+    path = (dir.path / "kernel.fifo").string();
+    EXPECT_EQ(::mkfifo(path.c_str(), 0600), 0);
+  }
+  std::string request(int id) const {
+    return "{\"id\":" + std::to_string(id) +
+           ",\"comp\":\"mesh4\",\"kernelFile\":\"" + path + "\"}\n";
+  }
+  void release() const {
+    std::ofstream w(path);
+    w << "not a kernel\n";
+  }
+};
+
+TEST(Service, OverloadShedsWithTypedErrorInsteadOfStalling) {
+  BlockingKernel fifo("overload");
+  artifact::ArtifactStore store;
+  artifact::ServiceOptions options;
+  options.threads = 2;
+  options.maxInFlight = 8;  // the per-connection cap must not kick in
+  options.queueBound = 1;   // one admitted job fills the service
+  artifact::Service service(store, options);
+
+  std::istringstream in(fifo.request(1) +
+                        "{\"id\":2,\"comp\":\"mesh4\",\"kernel\":\"gcd\"}\n"
+                        "{\"id\":3,\"comp\":\"mesh4\",\"kernel\":\"gcd\"}\n"
+                        "{\"id\":4,\"comp\":\"mesh4\",\"kernel\":\"gcd\"}\n");
+  std::ostringstream out;
+  std::thread session([&] { service.serveStream(in, out); });
+  // Requests 2-4 shed synchronously (the FIFO job holds the only queue
+  // slot); only then unblock it.
+  ASSERT_TRUE(eventually([&] { return service.stats().requests == 4; }));
+  EXPECT_EQ(service.stats().shedOverload, 3u);
+  fifo.release();
+  session.join();
+
+  const std::vector<json::Value> responses = parseLines(out.str());
+  ASSERT_EQ(responses.size(), 4u);
+  EXPECT_EQ(errorCode(responses[0]), "unknown_comp")
+      << "the blocked job still answers (its kernel bytes do not parse)";
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(responses[i].asObject().at("id").asInt(), i + 1)
+        << "shed responses keep the request order";
+    EXPECT_EQ(errorCode(responses[i]), "overloaded");
+  }
+  EXPECT_EQ(service.stats().scheduled, 0u) << "shed work never runs";
+}
+
+TEST(Service, DrainShedsNotYetAdmittedRequestsAndAnswersEverything) {
+  BlockingKernel fifo("drain");
+  artifact::ArtifactStore store;
+  artifact::ServiceOptions options;
+  options.threads = 2;
+  options.maxInFlight = 1;  // requests 2-4 queue behind the blocked job
+  artifact::Service service(store, options);
+
+  std::istringstream in(fifo.request(1) +
+                        "{\"id\":2,\"comp\":\"mesh4\",\"kernel\":\"gcd\"}\n"
+                        "{\"id\":3,\"comp\":\"mesh4\",\"kernel\":\"gcd\"}\n"
+                        "{\"id\":4,\"comp\":\"mesh4\",\"kernel\":\"gcd\"}\n");
+  std::ostringstream out;
+  std::thread session([&] { service.serveStream(in, out); });
+  ASSERT_TRUE(eventually([&] { return service.stats().requests == 1; }));
+
+  service.drain();  // stream-only: flips to draining and returns
+  ASSERT_TRUE(eventually([&] { return service.stats().requests == 4; }));
+  fifo.release();
+  session.join();
+
+  const std::vector<json::Value> responses = parseLines(out.str());
+  ASSERT_EQ(responses.size(), 4u)
+      << "drain answers every accepted request before the session ends";
+  EXPECT_EQ(errorCode(responses[0]), "unknown_comp");
+  for (int i = 1; i < 4; ++i)
+    EXPECT_EQ(errorCode(responses[i]), "shutdown");
+  EXPECT_EQ(service.stats().shedShutdown, 3u);
+  EXPECT_EQ(service.stats().scheduled, 0u);
+}
+
+TEST(Service, RefusesToUnlinkNonSocketFiles) {
+  TempDir dir("stale");
+  const std::string path = (dir.path / "precious.json").string();
+  {
+    std::ofstream f(path);
+    f << "{\"not\":\"a socket\"}";
+  }
+  artifact::ArtifactStore store;
+  artifact::Service service(store);
+  EXPECT_THROW(service.addUnixListener(path), Error);
+  EXPECT_TRUE(sfs::exists(path)) << "the non-socket file must survive";
+  // The wrapper goes through the same guard.
+  EXPECT_THROW(artifact::serveUnixSocket(path, store, {}, 1), Error);
+  EXPECT_TRUE(sfs::exists(path));
+}
+
+TEST(Service, ReplacesStaleSocketFiles) {
+  TempDir dir("resock");
+  const std::string path = (dir.path / "serve.sock").string();
+  artifact::ArtifactStore store;
+  {
+    artifact::Service service(store);
+    service.addUnixListener(path);  // leaves a socket file behind on close
+  }
+  EXPECT_TRUE(sfs::exists(path));
+  artifact::Service service(store);
+  EXPECT_NO_THROW(service.addUnixListener(path))
+      << "a stale socket from a dead server is replaced";
+}
+
+TEST(Service, TcpRoundTripStreamsInRequestOrder) {
+  artifact::ArtifactStore store;
+  artifact::ServiceOptions options;
+  options.threads = 2;
+  artifact::Service service(store, options);
+  const std::uint16_t port = service.addTcpListener(0);
+  ASSERT_NE(port, 0u);
+  service.start();
+
+  artifact::JsonlClient client = artifact::JsonlClient::connectTcp(port);
+  for (int i = 1; i <= 5; ++i)
+    client.sendLine("{\"id\":" + std::to_string(i) +
+                    ",\"comp\":\"mesh4\",\"kernel\":\"" +
+                    (i % 2 == 0 ? "gcd" : "ewma") + "\"}");
+  client.shutdownWrite();  // half-close: the batch must still be answered
+  std::string line;
+  for (int i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(client.recvLine(line)) << "response " << i;
+    const json::Value doc = json::parse(line);
+    const json::Object& o = doc.asObject();
+    EXPECT_EQ(o.at("id").asInt(), i);
+    EXPECT_TRUE(o.at("ok").asBool());
+    EXPECT_EQ(o.at("v").asInt(), artifact::kWireVersion);
+  }
+  EXPECT_FALSE(client.recvLine(line)) << "server closes after the batch";
+  client.close();
+
+  service.drain();
+  service.stop();
+  const artifact::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests, 5u);
+  EXPECT_EQ(stats.connectionsAccepted, 1u);
+  EXPECT_EQ(stats.connectionsClosed, 1u);
+}
+
+TEST(Service, DrainClosesIdleSocketClientsGracefully) {
+  TempDir dir("sockdrain");
+  const std::string path = (dir.path / "serve.sock").string();
+  artifact::ArtifactStore store;
+  artifact::ServiceOptions options;
+  options.threads = 1;
+  artifact::Service service(store, options);
+  service.addUnixListener(path);
+  service.start();
+
+  artifact::JsonlClient client = artifact::JsonlClient::connectUnix(path);
+  client.sendLine("{\"id\":1,\"comp\":\"mesh4\",\"kernel\":\"gcd\"}");
+  std::string line;
+  ASSERT_TRUE(client.recvLine(line));
+  EXPECT_TRUE(json::parse(line).asObject().at("ok").asBool());
+
+  service.notifyDrain();  // what a SIGTERM handler runs
+  EXPECT_FALSE(client.recvLine(line))
+      << "drain closes the idle connection after answering everything";
+  service.waitDone();
+  service.stop();
+  EXPECT_EQ(service.stats().connectionsClosed, 1u);
+  EXPECT_FALSE(sfs::exists(path)) << "drain unlinks the unix socket";
+}
+
+TEST(Service, MaxClientsRefusesExtraConnectionsWithTypedError) {
+  artifact::ArtifactStore store;
+  artifact::ServiceOptions options;
+  options.threads = 1;
+  options.maxClients = 1;
+  artifact::Service service(store, options);
+  const std::uint16_t port = service.addTcpListener(0);
+  service.start();
+
+  artifact::JsonlClient first = artifact::JsonlClient::connectTcp(port);
+  first.sendLine("{\"id\":1,\"comp\":\"mesh4\",\"kernel\":\"gcd\"}");
+  std::string line;
+  ASSERT_TRUE(first.recvLine(line)) << "the first client is served";
+
+  artifact::JsonlClient second = artifact::JsonlClient::connectTcp(port);
+  ASSERT_TRUE(second.recvLine(line));
+  EXPECT_EQ(errorCode(json::parse(line)), "overloaded");
+  EXPECT_FALSE(second.recvLine(line)) << "refused connections are closed";
+  second.close();
+  first.close();
+
+  service.drain();
+  service.stop();
+  EXPECT_EQ(service.stats().connectionsRefused, 1u);
+  EXPECT_EQ(service.stats().connectionsAccepted, 1u);
+}
+
+TEST(Service, UnixSocketWrapperServesConcurrentClients) {
+  TempDir dir("wrapper");
+  const std::string path = (dir.path / "serve.sock").string();
+  artifact::ArtifactStore store;
+  artifact::ServiceOptions options;
+  options.threads = 2;
+
+  artifact::ServiceStats stats;
+  std::thread server([&] {
+    stats = artifact::serveUnixSocket(path, store, options,
+                                      /*maxConnections=*/2);
+  });
+  ASSERT_TRUE(eventually([&] { return sfs::exists(path); }));
+
+  auto runClient = [&path](int base) {
+    artifact::JsonlClient c = artifact::JsonlClient::connectUnix(path);
+    for (int i = 0; i < 3; ++i)
+      c.sendLine("{\"id\":" + std::to_string(base + i) +
+                 ",\"comp\":\"mesh4\",\"kernel\":\"gcd\"}");
+    c.shutdownWrite();
+    std::string line;
+    int got = 0;
+    while (c.recvLine(line)) {
+      EXPECT_TRUE(json::parse(line).asObject().at("ok").asBool());
+      ++got;
+    }
+    EXPECT_EQ(got, 3);
+  };
+  std::thread c1([&] { runClient(100); });
+  std::thread c2([&] { runClient(200); });
+  c1.join();
+  c2.join();
+  server.join();  // maxConnections=2 reached: the wrapper returns
+
+  EXPECT_EQ(stats.requests, 6u);
+  EXPECT_EQ(stats.connectionsAccepted, 2u);
+  EXPECT_EQ(stats.scheduled, 1u) << "one cold job; the rest hit or dedupe";
+  EXPECT_EQ(stats.cacheHits + stats.deduped, 5u);
+}
+
+TEST(Service, EightClientStressSharesOneStoreCleanly) {
+  // The tsan preset runs this suite: 8 concurrent connections hammer one
+  // service/store with mixed hits, misses, dedup, bad lines and stats
+  // probes. Assertions are per-client (order, count, version) and global
+  // (counter conservation).
+  artifact::ArtifactStore store;
+  artifact::ServiceOptions options;
+  options.threads = 4;
+  options.maxInFlight = 4;
+  artifact::Service service(store, options);
+  const std::uint16_t port = service.addTcpListener(0);
+  service.start();
+
+  constexpr int kClients = 8;
+  constexpr int kRequests = 12;
+  const char* kernels[] = {"gcd", "ewma", "dotprod"};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      artifact::JsonlClient client = artifact::JsonlClient::connectTcp(port);
+      for (int i = 0; i < kRequests; ++i) {
+        const int id = c * 1000 + i;
+        if (i == 5) {
+          client.sendLine("{\"id\":" + std::to_string(id) + ",\"bad\":1}");
+        } else if (i == 9) {
+          client.sendLine("{\"id\":" + std::to_string(id) +
+                          ",\"stats\":true}");
+        } else {
+          client.sendLine("{\"id\":" + std::to_string(id) +
+                          ",\"comp\":\"mesh4\",\"kernel\":" + "\"" +
+                          kernels[(c + i) % 3] + "\"}");
+        }
+      }
+      client.shutdownWrite();
+      std::string line;
+      for (int i = 0; i < kRequests; ++i) {
+        if (!client.recvLine(line)) {
+          ++failures;
+          return;
+        }
+        const json::Value doc = json::parse(line);
+        const json::Object& o = doc.asObject();
+        if (o.at("id").asInt() != c * 1000 + i) ++failures;
+        if (o.at("v").asInt() != artifact::kWireVersion) ++failures;
+        const bool expectOk = i != 5;
+        if (o.at("ok").asBool() != expectOk) ++failures;
+      }
+      if (client.recvLine(line)) ++failures;  // nothing extra on the wire
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  service.drain();
+  service.stop();
+
+  EXPECT_EQ(failures.load(), 0);
+  const artifact::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests,
+            static_cast<std::uint64_t>(kClients * kRequests));
+  EXPECT_EQ(stats.connectionsAccepted, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(stats.connectionsClosed, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(stats.parseErrors, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(stats.statsRequests, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(stats.scheduled, 3u) << "three distinct jobs across all clients";
+  EXPECT_EQ(stats.scheduled + stats.cacheHits + stats.deduped,
+            static_cast<std::uint64_t>(kClients * (kRequests - 2)));
+  EXPECT_EQ(stats.shedOverload, 0u)
+      << "the default queue bound absorbs this load";
+}
+
+#endif  // __unix__
 
 }  // namespace
 }  // namespace cgra

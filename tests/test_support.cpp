@@ -1,12 +1,13 @@
 // Unit tests for the support utilities: bit vectors, bit-field packing,
 // DOT writer, deterministic RNG, table formatting, capped cycle-occupancy
-// maps and the worker pool.
+// maps, the worker pool and the log2-bucket latency histogram.
 #include <gtest/gtest.h>
 
 #include <atomic>
 
 #include "support/bitvector.hpp"
 #include "support/dot.hpp"
+#include "support/latency_histogram.hpp"
 #include "support/occupancy.hpp"
 #include "support/rng.hpp"
 #include "support/small_vector.hpp"
@@ -273,6 +274,74 @@ TEST(ParallelFor, CoversEachIndexExactlyOnce) {
     for (std::size_t i = 0; i < hits.size(); ++i)
       EXPECT_EQ(hits[i].load(), 1) << "threads=" << threads << " i=" << i;
   }
+}
+
+TEST(LatencyHistogram, EmptyHistogramReportsZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.maxUs(), 0u);
+  EXPECT_EQ(h.meanUs(), 0.0);
+  EXPECT_EQ(h.quantileUs(0.5), 0.0);
+  EXPECT_EQ(h.quantileUs(0.99), 0.0);
+}
+
+TEST(LatencyHistogram, ExactStatsAndMonotoneQuantiles) {
+  LatencyHistogram h;
+  for (std::uint64_t us = 1; us <= 1000; ++us) h.record(us);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.maxUs(), 1000u);
+  EXPECT_DOUBLE_EQ(h.meanUs(), 500.5);
+  // Bucketed quantiles are estimates; for a uniform 1..1000 ramp they must
+  // land within one power-of-two bucket of the true value and be monotone.
+  const double p50 = h.quantileUs(0.50);
+  const double p90 = h.quantileUs(0.90);
+  const double p99 = h.quantileUs(0.99);
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LE(p50, 1023.0);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, 1000.0) << "quantiles are capped at the observed max";
+  EXPECT_DOUBLE_EQ(h.quantileUs(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantileUs(1.0), 1000.0);
+}
+
+TEST(LatencyHistogram, SkewedTailSeparatesP50FromP99) {
+  LatencyHistogram h;
+  for (int i = 0; i < 99; ++i) h.record(100);    // fast bulk
+  h.record(1u << 20);                            // one ~1 s straggler
+  const double p50 = h.quantileUs(0.50);
+  const double p99 = h.quantileUs(0.99);
+  EXPECT_LT(p50, 200.0);
+  EXPECT_GT(p99, 1000.0) << "the tail must be visible at p99";
+  EXPECT_EQ(h.maxUs(), 1u << 20);
+}
+
+TEST(LatencyHistogram, MergeMatchesCombinedRecording) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  LatencyHistogram both;
+  for (std::uint64_t us : {3u, 17u, 200u}) {
+    a.record(us);
+    both.record(us);
+  }
+  for (std::uint64_t us : {9000u, 120u}) {
+    b.record(us);
+    both.record(us);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_EQ(a.maxUs(), both.maxUs());
+  EXPECT_DOUBLE_EQ(a.meanUs(), both.meanUs());
+  EXPECT_DOUBLE_EQ(a.quantileUs(0.5), both.quantileUs(0.5));
+  EXPECT_DOUBLE_EQ(a.quantileUs(0.99), both.quantileUs(0.99));
+}
+
+TEST(LatencyHistogram, HugeSamplesClampIntoTheLastBucket) {
+  LatencyHistogram h;
+  h.record(~0ull);  // must not index out of bounds
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.maxUs(), ~0ull);
+  EXPECT_GT(h.quantileUs(0.5), 0.0);
 }
 
 }  // namespace

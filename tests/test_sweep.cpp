@@ -201,10 +201,8 @@ TEST(Sweep, AggregatesMetricsAndExportsJson) {
             report.aggregate.planMs + 1.0);
 
   // Wall times are volatile by definition: the stable form drops them all.
-  const json::Object& stableAgg = report.toJson(/*includeVolatile=*/false)
-                                      .asObject()
-                                      .at("aggregate")
-                                      .asObject();
+  const json::Value stable = report.toJson(/*includeVolatile=*/false);
+  const json::Object& stableAgg = stable.asObject().at("aggregate").asObject();
   for (const char* key : {"setupMs", "planMs", "finalizeMs", "totalMs",
                           "loopCloseMs", "placementMs"})
     EXPECT_FALSE(stableAgg.contains(key)) << key;

@@ -32,9 +32,15 @@
 //                       --cache serves repeats from (and fills) a
 //                       persistent schedule-artifact store
 //   cgra-tool serve     [--cache cachedir] [--threads 4] [--socket p.sock]
-//                       batch compile service: JSONL schedule requests on
-//                       stdin (or a unix socket), one JSON artifact
-//                       response per line, deduplicated by cache key
+//                       [--tcp 0] [--max-clients 32] [--queue-bound 256]
+//                       concurrent batch compile server: JSONL schedule
+//                       requests on stdin, a unix socket and/or loopback
+//                       TCP; one versioned JSON response per line, in
+//                       per-connection request order, deduplicated by cache
+//                       key across all clients; {"stats":true} answers live
+//                       metrics; SIGTERM drains gracefully. --connect
+//                       TARGET flips to client mode (stdin -> a running
+//                       server -> stdout)
 //
 // Every subcommand accepts `--help` and prints its flag table. Flags take
 // either `--key value` or `--key=value`. One option table is shared by all
@@ -49,6 +55,8 @@
 //
 //   cgra-tool simulate --comp mesh4 --kernel-file my.kir [continued]
 //       --array data=3,1,2 --local n=3
+#include <atomic>
+#include <csignal>
 #include <cstring>
 #include <deque>
 #include <fstream>
@@ -58,6 +66,7 @@
 
 #include "apps/kernels.hpp"
 #include "arch/factory.hpp"
+#include "artifact/client.hpp"
 #include "artifact/service.hpp"
 #include "artifact/store.hpp"
 #include "artifact/sweep_cache.hpp"
@@ -152,13 +161,25 @@ constexpr FlagSpec kFlagTable[] = {
      "cache disk budget in bytes; past it, least-recently-used artifacts "
      "are evicted (default 268435456)"},
     {"socket", true, false, "PATH",
-     "serve on a unix domain socket instead of stdin/stdout"},
+     "serve on a unix domain socket (combinable with --tcp)"},
+    {"tcp", true, false, "PORT",
+     "serve on 127.0.0.1:PORT (0 picks a free port, printed on stderr)"},
     {"max-queue", true, false, "N",
-     "maximum in-flight requests before reading stalls (default 64)"},
+     "per-connection in-flight cap; reading from a connection pauses past "
+     "it (default 64)"},
+    {"queue-bound", true, false, "N",
+     "global admitted-request bound; past it requests are shed with "
+     "error code `overloaded` (default 256)"},
+    {"max-clients", true, false, "N",
+     "maximum concurrent socket clients; extra connections are refused "
+     "(default 0 = unlimited)"},
     {"artifact", false, false, "",
      "attach the full artifact document to every successful response"},
     {"max-connections", true, false, "N",
-     "exit after N socket connections (default 0 = serve forever)"},
+     "exit after N socket connections (default 0 = serve until SIGTERM)"},
+    {"connect", true, false, "TARGET",
+     "client mode: pipe stdin JSONL to a running server (unix socket PATH "
+     "or tcp:PORT) and print its responses"},
     {"help", false, false, "", "show this subcommand's flags"},
 };
 
@@ -763,27 +784,96 @@ int cmdSweep(const Args& args) {
   return report.failures == 0 ? 0 : 1;
 }
 
+/// The live service a SIGTERM/SIGINT handler asks to drain. notifyDrain()
+/// is async-signal-safe (one atomic store + one pipe write).
+std::atomic<artifact::Service*> g_serveInstance{nullptr};
+
+extern "C" void serveSignalHandler(int) {
+  artifact::Service* s = g_serveInstance.load(std::memory_order_relaxed);
+  if (s != nullptr) s->notifyDrain();
+}
+
+/// Client mode: pipe stdin JSONL into a running server and print its
+/// responses. TARGET is a unix socket path or `tcp:PORT`.
+int runServeClient(const std::string& target) {
+  artifact::JsonlClient client =
+      target.rfind("tcp:", 0) == 0
+          ? artifact::JsonlClient::connectTcp(static_cast<std::uint16_t>(
+                std::stoul(target.substr(4))))
+          : artifact::JsonlClient::connectUnix(target);
+  std::uint64_t sent = 0;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    client.sendLine(line);
+    ++sent;
+  }
+  client.shutdownWrite();
+  std::uint64_t received = 0;
+  while (client.recvLine(line)) {
+    std::cout << line << "\n";
+    ++received;
+  }
+  std::cout.flush();
+  std::cerr << "serve client: " << sent << " request(s), " << received
+            << " response(s)\n";
+  return received == sent ? 0 : 1;
+}
+
 int cmdServe(const Args& args) {
+  if (args.has("connect")) return runServeClient(args.get("connect"));
+
   preflightOutputs(args, {}, {"cache"});
   artifact::ArtifactStore store(storeOptions(args));
   artifact::ServiceOptions opts;
   opts.threads = args.getUnsigned("threads", 0);
   opts.maxInFlight = args.getUnsigned("max-queue", 64);
+  opts.queueBound = args.getUnsigned("queue-bound", 256);
+  opts.maxClients = args.getUnsigned("max-clients", 0);
+  opts.maxConnections = args.getUnsigned("max-connections", 0);
   opts.includeArtifact = args.has("artifact");
 
-  artifact::ServiceStats stats;
-  if (args.has("socket")) {
-    std::cerr << "cgra-tool: serving on " << args.get("socket") << "\n";
-    stats = artifact::serveUnixSocket(args.get("socket"), store, opts,
-                                      args.getUnsigned("max-connections", 0));
+  artifact::Service service(store, opts);
+  const bool sockets = args.has("socket") || args.has("tcp");
+  if (sockets) {
+    if (args.has("socket")) {
+      service.addUnixListener(args.get("socket"));
+      std::cerr << "cgra-tool: serving on " << args.get("socket") << "\n";
+    }
+    if (args.has("tcp")) {
+      const std::uint16_t port = service.addTcpListener(
+          static_cast<std::uint16_t>(args.getUnsigned("tcp", 0)));
+      std::cerr << "cgra-tool: serving on 127.0.0.1:" << port << "\n";
+    }
+    g_serveInstance.store(&service, std::memory_order_relaxed);
+    struct sigaction sa {};
+    sa.sa_handler = serveSignalHandler;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+    service.start();
+    service.waitDone();
+    service.stop();
+    g_serveInstance.store(nullptr, std::memory_order_relaxed);
   } else {
-    stats = artifact::serveJsonl(std::cin, std::cout, store, opts);
+    service.serveStream(std::cin, std::cout);
   }
+  const artifact::ServiceStats stats = service.stats();
   // Session summary on stderr: stdout carries only JSONL responses.
   std::cerr << "serve: " << stats.requests << " request(s), "
             << stats.scheduled << " scheduled, " << stats.cacheHits
             << " cache hit(s), " << stats.deduped << " deduped, "
-            << stats.parseErrors << " error(s)\n";
+            << stats.parseErrors << " error(s)";
+  if (stats.shedOverload + stats.shedShutdown > 0)
+    std::cerr << ", " << stats.shedOverload << " shed overloaded, "
+              << stats.shedShutdown << " shed shutdown";
+  if (sockets)
+    std::cerr << "; " << stats.connectionsAccepted << " connection(s), "
+              << stats.connectionsRefused << " refused";
+  if (stats.latencyCount > 0)
+    std::cerr << "; p50 " << static_cast<std::uint64_t>(stats.latencyP50Us)
+              << " us, p99 " << static_cast<std::uint64_t>(stats.latencyP99Us)
+              << " us";
+  std::cerr << "\n";
   return 0;
 }
 
@@ -885,9 +975,10 @@ const CommandSpec kCommands[] = {
      {"comps", "kernels", "unroll", "threads", "metrics", "max-contexts",
       "trace", "trace-capacity", "stable", "cache", "cache-bytes"},
      cmdSweep},
-    {"serve", "batch compile service: JSONL requests in, artifacts out",
-     {"cache", "cache-bytes", "threads", "max-queue", "artifact", "socket",
-      "max-connections"},
+    {"serve", "concurrent compile server: JSONL requests in, artifacts out",
+     {"cache", "cache-bytes", "threads", "max-queue", "queue-bound",
+      "max-clients", "artifact", "socket", "tcp", "max-connections",
+      "connect"},
      cmdServe},
 };
 
