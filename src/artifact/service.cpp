@@ -244,10 +244,11 @@ bool sendAll(int fd, const std::string& data) {
 // Service implementation.
 
 struct Service::Impl {
-  /// One session: a socket connection (fd >= 0, read by the IO thread) or
-  /// a blocking stream session (fd == -1, read by the caller's thread).
+  /// One session: a socket connection (fd >= 0, read AND written by the IO
+  /// thread) or a blocking stream session (fd == -1, read by the caller's
+  /// thread, written by whichever worker completes the front slot).
   /// Responses always stream in this session's request order through
-  /// `window`; whichever worker completes the front slot flushes.
+  /// `window`.
   struct Conn {
     Conn(std::uint64_t id_, int fd_) : id(id_), fd(fd_) {}
 
@@ -255,12 +256,18 @@ struct Service::Impl {
     const int fd;                  ///< -1 for stream sessions
     std::ostream* out = nullptr;   ///< stream sessions only
 
-    // IO-thread-only state (socket connections).
-    std::string rbuf;  ///< bytes read but not yet split into lines
+    // IO-thread-only state (socket connections). Only the IO thread ever
+    // writes a socket (non-blocking, POLLOUT-driven) or closes it, so a
+    // worker can never race a close, and a client that stops reading
+    // parks bytes here instead of blocking a pool worker in send().
+    std::string rbuf;        ///< bytes read but not yet split into lines
+    std::string obuf;        ///< response bytes not yet on the wire
+    std::size_t osent = 0;   ///< obuf prefix already sent
 
     // Guarded by the service mutex.
     bool paused = false;      ///< reading stopped at the in-flight cap
-    std::size_t inflight = 0; ///< admitted, not yet answered
+    std::size_t inflight = 0; ///< windowed (admitted OR shed), not yet
+                              ///< popped off the window toward the wire
     std::uint64_t requests = 0;
     std::uint64_t shed = 0;
 
@@ -270,7 +277,7 @@ struct Service::Impl {
 
     std::mutex winMu;   ///< guards window and Slot::done/line
     std::deque<std::shared_ptr<Slot>> window;
-    std::mutex writeMu; ///< serializes flushes (response order on the wire)
+    std::mutex writeMu; ///< stream sessions: serializes worker flushes
   };
   using ConnPtr = std::shared_ptr<Conn>;
 
@@ -343,35 +350,40 @@ struct Service::Impl {
 
   // -- response plumbing ----------------------------------------------------
 
-  /// Streams every completed response at the window's front. writeMu keeps
-  /// concurrent completers from interleaving lines; the window lock is
-  /// dropped during the actual write so the IO thread can keep appending.
-  void flushConn(Conn& c) {
+  /// Streams every completed response at the front of a stream session's
+  /// window. writeMu keeps concurrent completers from interleaving lines.
+  /// The in-flight slots release only after the bytes reached `out`, so the
+  /// session cannot end (and serveStream cannot return) mid-write.
+  void flushStream(Conn& c) {
     std::lock_guard<std::mutex> wl(c.writeMu);
+    std::size_t released = 0;
     for (;;) {
       std::string lineOut;
       {
         std::lock_guard<std::mutex> g(c.winMu);
-        if (c.window.empty() || !c.window.front()->done) return;
+        if (c.window.empty() || !c.window.front()->done) break;
         lineOut = std::move(c.window.front()->line);
         c.window.pop_front();
       }
       lineOut.push_back('\n');
-      if (!c.broken.load(std::memory_order_relaxed)) {
-        if (c.fd >= 0) {
-#ifdef __unix__
-          if (!sendAll(c.fd, lineOut)) c.broken.store(true);
-#endif
-        } else if (c.out != nullptr) {
-          (*c.out) << lineOut;
-          c.out->flush();
-        }
+      if (!c.broken.load(std::memory_order_relaxed) && c.out != nullptr) {
+        (*c.out) << lineOut;
+        c.out->flush();
       }
-      c.responses.fetch_add(1, std::memory_order_relaxed);
+      ++released;
+    }
+    if (released > 0) {
+      c.responses.fetch_add(released, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(mu);
+      c.inflight -= released;
     }
   }
 
-  /// Publishes a finished response and releases its admission slot.
+  /// Publishes a finished response. Stream sessions flush right here on
+  /// the worker; socket responses are handed to the IO thread, which owns
+  /// all socket writes. pendingJobs releases now (the pool slot is free);
+  /// the per-connection in-flight slot releases only once the response
+  /// leaves the window toward the wire.
   void finishSlot(const ConnPtr& conn, const std::shared_ptr<Slot>& slot,
                   std::string line, bool admitted) {
     {
@@ -379,23 +391,84 @@ struct Service::Impl {
       slot->line = std::move(line);
       slot->done = true;
     }
-    flushConn(*conn);
-    bool wake = false;
-    {
+    if (conn->fd < 0) flushStream(*conn);
+    if (admitted) {
       std::lock_guard<std::mutex> lock(mu);
-      if (admitted) {
-        --pendingJobs;
-        --conn->inflight;
-        if (conn->paused && conn->inflight < maxInFlight) {
-          conn->paused = false;
-          wake = true;
-        }
-      }
-      if (conn->eof.load(std::memory_order_relaxed)) wake = true;
+      --pendingJobs;
     }
     cv.notify_all();
-    if (wake) wakeIo();
+    if (conn->fd >= 0) wakeIo();  // the IO thread flushes + resumes reads
   }
+
+#ifdef __unix__
+  /// IO thread only: moves completed responses at the window's front into
+  /// the connection's output buffer — releasing their in-flight slots —
+  /// then sends what the socket will take without blocking. The buffer
+  /// high-water mark stops draining the window (keeping in-flight slots
+  /// held, which pauses reads) when a client stops reading.
+  static constexpr std::size_t kObufHighWater = 256u * 1024;
+
+  void pumpConn(const ConnPtr& c) {
+    const bool broken = c->broken.load(std::memory_order_relaxed);
+    std::size_t released = 0;
+    {
+      std::lock_guard<std::mutex> g(c->winMu);
+      while (!c->window.empty() && c->window.front()->done &&
+             (broken || c->obuf.size() - c->osent < kObufHighWater)) {
+        if (!broken) {
+          c->obuf += c->window.front()->line;
+          c->obuf += '\n';
+        }
+        c->window.pop_front();
+        ++released;
+      }
+    }
+    if (released > 0) {
+      c->responses.fetch_add(released, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(mu);
+      c->inflight -= released;
+      if (c->paused && c->inflight < maxInFlight) c->paused = false;
+    }
+    sendObuf(*c);
+  }
+
+  /// Non-blocking send of the buffered output (IO thread only). A consumed
+  /// offset avoids re-erasing the front per send. Failure marks the
+  /// connection broken: its reads stop and pending output is dropped.
+  void sendObuf(Conn& c) {
+    if (c.broken.load(std::memory_order_relaxed)) {
+      c.obuf.clear();
+      c.osent = 0;
+      return;
+    }
+    while (c.osent < c.obuf.size()) {
+      const ssize_t n = ::send(c.fd, c.obuf.data() + c.osent,
+                               c.obuf.size() - c.osent,
+                               MSG_NOSIGNAL | MSG_DONTWAIT);
+      if (n > 0) {
+        c.osent += static_cast<std::size_t>(n);
+      } else if (n < 0 && errno == EINTR) {
+        continue;
+      } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        break;  // POLLOUT resumes this send
+      } else {
+        c.broken.store(true);
+        c.eof.store(true);
+        c.rbuf.clear();
+        c.obuf.clear();
+        c.osent = 0;
+        return;
+      }
+    }
+    if (c.osent == c.obuf.size()) {
+      c.obuf.clear();
+      c.osent = 0;
+    } else if (c.osent >= 64u * 1024) {
+      c.obuf.erase(0, c.osent);
+      c.osent = 0;
+    }
+  }
+#endif  // __unix__
 
   // -- admission ------------------------------------------------------------
 
@@ -416,6 +489,11 @@ struct Service::Impl {
       std::lock_guard<std::mutex> lock(mu);
       ++counters.requests;
       ++conn->requests;
+      // Shed requests hold an in-flight slot too (released when their
+      // response leaves the window): a client flooding an overloaded
+      // service hits its per-connection cap and stops being read, instead
+      // of growing the window without bound.
+      ++conn->inflight;
       if (drainingNow()) {
         ++counters.shedShutdown;
         ++conn->shed;
@@ -426,7 +504,6 @@ struct Service::Impl {
         admit = Admit::Overloaded;
       } else {
         ++pendingJobs;
-        ++conn->inflight;
         counters.maxQueueDepth = std::max(
             counters.maxQueueDepth, static_cast<std::uint64_t>(pendingJobs));
         admit = Admit::Job;
@@ -547,14 +624,24 @@ struct Service::Impl {
           owner = inserted;
         }
         if (owner) {
-          const Scheduler scheduler(comp, schedOpts);
-          ScheduleRequest sreq(graph);
-          sreq.options = schedOpts;
-          const ScheduleReport sched = scheduler.schedule(sreq);
-          art = std::make_shared<const ScheduleArtifact>(
-              ScheduleArtifact::fromReport(key, sched));
-          store.insert(art);
-          {
+          // The claim may have raced the previous owner's retirement: it
+          // publishes to the store before erasing its claim, so a claim
+          // won after that erase finds the artifact on this second probe —
+          // without it the key would be scheduled twice.
+          art = store.lookup(key);
+          if (art != nullptr) {
+            cached = true;
+            std::lock_guard<std::mutex> lock(mu);
+            ++counters.cacheHits;
+            inflightKeys.erase(key);
+          } else {
+            const Scheduler scheduler(comp, schedOpts);
+            ScheduleRequest sreq(graph);
+            sreq.options = schedOpts;
+            const ScheduleReport sched = scheduler.schedule(sreq);
+            art = std::make_shared<const ScheduleArtifact>(
+                ScheduleArtifact::fromReport(key, sched));
+            store.insert(art);
             std::lock_guard<std::mutex> lock(mu);
             ++counters.scheduled;
             inflightKeys.erase(key);
@@ -778,21 +865,25 @@ struct Service::Impl {
     } else if (errno != EINTR && errno != EAGAIN) {
       conn->eof.store(true);
       conn->broken.store(true);
+      conn->rbuf.clear();  // a broken peer is owed nothing
     }
   }
 
   /// Splits buffered bytes into lines and admits them, honoring the
-  /// per-connection cap (pause) — IO thread only.
+  /// per-connection cap (pause) — IO thread only. A consumed offset with
+  /// one compaction per call keeps a large buffered batch O(n), not the
+  /// O(n^2) of erasing the front per line.
   void processBuffer(const ConnPtr& conn) {
+    std::size_t pos = 0;
     for (;;) {
       {
         std::lock_guard<std::mutex> lock(mu);
-        if (conn->paused && !drainingNow()) return;
+        if (conn->paused && !drainingNow()) break;
       }
-      const std::size_t nl = conn->rbuf.find('\n');
-      if (nl == std::string::npos) return;
-      std::string line = conn->rbuf.substr(0, nl);
-      conn->rbuf.erase(0, nl + 1);
+      const std::size_t nl = conn->rbuf.find('\n', pos);
+      if (nl == std::string::npos) break;
+      std::string line = conn->rbuf.substr(pos, nl - pos);
+      pos = nl + 1;
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (isBlank(line)) continue;
       handleLine(conn, std::move(line));
@@ -800,16 +891,24 @@ struct Service::Impl {
         std::lock_guard<std::mutex> lock(mu);
         if (conn->inflight >= maxInFlight) {
           conn->paused = true;
-          if (!drainingNow()) return;
+          if (!drainingNow()) break;
         }
       }
     }
+    if (pos > 0) conn->rbuf.erase(0, pos);
   }
 
   bool connDrained(const ConnPtr& conn) {
-    // rbuf is IO-thread-only; a buffered complete line still owes a
-    // response, so it blocks closing.
+    // IO thread only: rbuf/obuf are IO-thread state. A buffered complete
+    // line still owes a response and an unsent response byte still owes a
+    // write, so both block closing; a windowed slot (done or not) holds an
+    // in-flight count until pumpConn pops it, so inflight == 0 means every
+    // response reached obuf and obuf empty means every byte was sent (or
+    // the connection broke, forfeiting its output).
     if (conn->rbuf.find('\n') != std::string::npos) return false;
+    if (conn->osent < conn->obuf.size() &&
+        !conn->broken.load(std::memory_order_relaxed))
+      return false;
     {
       std::lock_guard<std::mutex> lock(mu);
       if (conn->inflight != 0) return false;
@@ -818,8 +917,9 @@ struct Service::Impl {
     return conn->window.empty();
   }
 
-  /// Converts an async drain request, resumes un-paused connections with
-  /// buffered lines, and reaps drained EOF connections. IO thread only.
+  /// Converts an async drain request, flushes completed responses onto the
+  /// wire, resumes un-paused connections with buffered lines, and reaps
+  /// drained EOF connections. IO thread only.
   void sweep() {
     bool startDrain = false;
     std::vector<ConnPtr> snapshot;
@@ -840,12 +940,19 @@ struct Service::Impl {
         c->eof.store(true);
       }
       cv.notify_all();  // stream sessions blocked on admission
-    } else {
+    }
+    // Move finished responses window -> obuf -> socket (this is the only
+    // place socket bytes are written), releasing in-flight slots and
+    // un-pausing as responses leave.
+    for (const ConnPtr& c : snapshot) pumpConn(c);
+    if (!startDrain) {
+      // Buffered lines wait on the pause flag only — a half-closed (EOF)
+      // connection still gets its remaining buffered batch answered.
       for (const ConnPtr& c : snapshot) {
         bool runnable;
         {
           std::lock_guard<std::mutex> lock(mu);
-          runnable = !c->paused && !c->eof.load();
+          runnable = !c->paused;
         }
         if (runnable && c->rbuf.find('\n') != std::string::npos)
           processBuffer(c);
@@ -883,11 +990,19 @@ struct Service::Impl {
             pfds.push_back(pollfd{l.fd, POLLIN, 0});
             polledListeners.push_back(l.fd);
           }
-        for (const ConnPtr& c : conns)
-          if (!c->paused && !c->eof.load()) {
-            pfds.push_back(pollfd{c->fd, POLLIN, 0});
+        for (const ConnPtr& c : conns) {
+          short events = 0;
+          if (!c->paused && !c->eof.load()) events |= POLLIN;
+          // obuf is IO-thread state (this thread): pending bytes need a
+          // POLLOUT wakeup to resume the non-blocking send.
+          if (c->osent < c->obuf.size() &&
+              !c->broken.load(std::memory_order_relaxed))
+            events |= POLLOUT;
+          if (events != 0) {
+            pfds.push_back(pollfd{c->fd, events, 0});
             polledConns.push_back(c);
           }
+        }
       }
       // A finite timeout is a belt-and-braces guard against a lost wakeup;
       // every state change also writes the wake pipe.
@@ -903,7 +1018,11 @@ struct Service::Impl {
         ++idx;
       }
       for (const ConnPtr& c : polledConns) {
-        if ((pfds[idx].revents & (POLLIN | POLLHUP | POLLERR)) != 0)
+        // POLLOUT-only wakeups (a blocked send became writable) are
+        // handled by sweep()'s pump; an error on a write-pending EOF
+        // connection surfaces there as a failed send.
+        if (!c->eof.load() &&
+            (pfds[idx].revents & (POLLIN | POLLHUP | POLLERR)) != 0)
           readConn(c);
         ++idx;
       }

@@ -23,14 +23,19 @@
 //   * Listeners — stdin/stream sessions (`serveStream`), unix domain
 //     sockets (`addUnixListener`) and loopback TCP (`addTcpListener`) feed
 //     one shared admission/worker machinery; a single poll/accept IO thread
-//     (`start`) multiplexes every socket connection.
-//   * Admission control — each connection may have at most
-//     `maxInFlight` requests admitted (reading from that connection pauses
-//     past the cap: per-client fairness by backpressure, one greedy client
-//     cannot monopolize the worker pool), and the service admits at most
-//     `queueBound` requests globally (past it requests are answered
-//     immediately with `"error":{"code":"overloaded"}` — explicit shedding,
-//     never a silent stall).
+//     (`start`) multiplexes every socket connection — it owns both sides of
+//     every socket (reads, and POLLOUT-driven non-blocking writes from a
+//     bounded per-connection output buffer), so workers never block in
+//     send() and never race a close.
+//   * Admission control — each connection may have at most `maxInFlight`
+//     unanswered requests in its response window, shed ones included
+//     (reading from that connection pauses past the cap: per-client
+//     fairness by backpressure, one greedy or non-reading client cannot
+//     monopolize the worker pool or grow the window without bound), and
+//     the service admits at most `queueBound` requests globally (past it
+//     requests are answered immediately with
+//     `"error":{"code":"overloaded"}` — explicit shedding, never a silent
+//     stall).
 //   * Workers — cache misses from all sessions run on one shared pool over
 //     the shared ArtifactStore; identical in-flight keys coalesce onto one
 //     scheduling slot exactly as in the single-stream service.
@@ -76,8 +81,10 @@ const char* wireErrorCode(WireError code);
 struct ServiceOptions {
   /// Worker threads for cache misses; 0 selects hardware concurrency.
   unsigned threads = 0;
-  /// Per-connection in-flight cap (admitted but unanswered requests).
-  /// Reading from a connection pauses — never drops — past this bound.
+  /// Per-connection cap on unanswered requests (every request in the
+  /// response window, shed ones included; a slot frees once its response
+  /// heads to the wire). Reading from a connection pauses — never drops —
+  /// past this bound.
   std::size_t maxInFlight = 64;
   /// Global bound on admitted requests across every connection. Past it,
   /// new requests are shed with `"error":{"code":"overloaded"}`.

@@ -490,6 +490,132 @@ TEST(Service, MaxClientsRefusesExtraConnectionsWithTypedError) {
   EXPECT_EQ(service.stats().connectionsAccepted, 1u);
 }
 
+TEST(Service, HalfCloseWithBacklogBeyondTheCapAnswersEveryLine) {
+  // A client may write a whole batch and shut down its write side before
+  // the first response: lines buffered past the in-flight cap must still
+  // be answered after the EOF is seen (the resume path must not skip
+  // half-closed connections).
+  artifact::ArtifactStore store;
+  artifact::ServiceOptions options;
+  options.threads = 2;
+  options.maxInFlight = 2;  // far fewer than the buffered batch
+  artifact::Service service(store, options);
+  const std::uint16_t port = service.addTcpListener(0);
+  service.start();
+
+  artifact::JsonlClient client = artifact::JsonlClient::connectTcp(port);
+  for (int i = 1; i <= 20; ++i)
+    client.sendLine("{\"id\":" + std::to_string(i) +
+                    ",\"comp\":\"mesh4\",\"kernel\":\"gcd\"}");
+  client.shutdownWrite();
+  std::string line;
+  for (int i = 1; i <= 20; ++i) {
+    ASSERT_TRUE(client.recvLine(line)) << "response " << i;
+    const json::Value doc = json::parse(line);
+    EXPECT_EQ(doc.asObject().at("id").asInt(), i);
+    EXPECT_TRUE(doc.asObject().at("ok").asBool());
+  }
+  EXPECT_FALSE(client.recvLine(line)) << "server closes after the batch";
+  client.close();
+  service.drain();
+  service.stop();
+  EXPECT_EQ(service.stats().requests, 20u);
+}
+
+TEST(Service, SlowReaderCannotStarveTheWorkerPool) {
+  // A client that stops reading parks its responses in the service's
+  // bounded per-connection output buffer and window (the IO thread owns
+  // all socket writes, non-blocking); it must never block pool workers in
+  // send(), so other clients keep being answered promptly.
+  artifact::ArtifactStore store;
+  artifact::ServiceOptions options;
+  options.threads = 2;
+  artifact::Service service(store, options);
+  const std::uint16_t port = service.addTcpListener(0);
+  service.start();
+
+  artifact::JsonlClient greedy = artifact::JsonlClient::connectTcp(port);
+  for (int i = 0; i < 600; ++i)
+    greedy.sendLine(
+        "{\"id\":" + std::to_string(i) +
+        ",\"comp\":\"mesh4\",\"kernel\":\"gcd\",\"artifact\":true}");
+  // The multi-KB artifact responses overflow the socket buffers many
+  // times over; the greedy client never reads a byte of them.
+
+  artifact::JsonlClient other = artifact::JsonlClient::connectTcp(port);
+  std::string line;
+  for (int i = 0; i < 3; ++i) {
+    other.sendLine("{\"id\":" + std::to_string(1000 + i) +
+                   ",\"comp\":\"mesh4\",\"kernel\":\"ewma\"}");
+    ASSERT_TRUE(other.recvLine(line))
+        << "a non-reading client must not starve others (response " << i
+        << ")";
+    EXPECT_TRUE(json::parse(line).asObject().at("ok").asBool());
+  }
+  other.close();
+
+  greedy.close();  // unread responses are forfeited, not leaked
+  service.drain();
+  service.stop();
+  EXPECT_EQ(service.stats().connectionsClosed,
+            service.stats().connectionsAccepted);
+}
+
+TEST(Service, ShedResponsesHonorThePerConnectionCap) {
+  // While the service is overloaded, a connection whose lines all shed
+  // must stop being read at its in-flight cap — the shed responses queue
+  // behind the blocked front slot, each holding an admission slot until
+  // it can head to the wire — instead of growing the window and the pool
+  // queue without bound.
+  BlockingKernel fifo("shedcap");
+  artifact::ArtifactStore store;
+  artifact::ServiceOptions options;
+  options.threads = 2;
+  options.maxInFlight = 8;
+  options.queueBound = 1;  // the blocked job fills the service
+  artifact::Service service(store, options);
+  const std::uint16_t port = service.addTcpListener(0);
+  service.start();
+
+  artifact::JsonlClient client = artifact::JsonlClient::connectTcp(port);
+  client.sendLine("{\"id\":0,\"comp\":\"mesh4\",\"kernelFile\":\"" +
+                  fifo.path + "\"}");
+  for (int i = 1; i <= 100; ++i)
+    client.sendLine("{\"id\":" + std::to_string(i) +
+                    ",\"comp\":\"mesh4\",\"kernel\":\"gcd\"}");
+
+  // Reading stops at the cap: 1 blocked job + 7 shed responses. The state
+  // is stable (nothing can flush past the blocked front slot), so the
+  // equality holds however long the service runs.
+  ASSERT_TRUE(eventually([&] { return service.stats().requests == 8; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(service.stats().requests, 8u)
+      << "shed lines must hold in-flight slots and pause the reads";
+  EXPECT_EQ(service.stats().shedOverload, 7u);
+
+  fifo.release();
+  client.shutdownWrite();
+  std::string line;
+  ASSERT_TRUE(client.recvLine(line));
+  EXPECT_EQ(errorCode(json::parse(line)), "unknown_comp")
+      << "the blocked job answers first (its kernel bytes do not parse)";
+  for (int i = 1; i <= 100; ++i) {
+    ASSERT_TRUE(client.recvLine(line)) << "response " << i;
+    const json::Value doc = json::parse(line);
+    EXPECT_EQ(doc.asObject().at("id").asInt(), i)
+        << "responses keep request order";
+    if (i <= 7)
+      EXPECT_EQ(errorCode(doc), "overloaded")
+          << "lines read while the queue slot was held must shed";
+  }
+  EXPECT_FALSE(client.recvLine(line));
+  client.close();
+  service.drain();
+  service.stop();
+  EXPECT_EQ(service.stats().requests, 101u)
+      << "every line is answered once the pause lifts";
+}
+
 TEST(Service, UnixSocketWrapperServesConcurrentClients) {
   TempDir dir("wrapper");
   const std::string path = (dir.path / "serve.sock").string();

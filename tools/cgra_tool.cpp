@@ -793,13 +793,27 @@ extern "C" void serveSignalHandler(int) {
   if (s != nullptr) s->notifyDrain();
 }
 
+/// Parses a TCP port, rejecting junk, trailing garbage, and values the
+/// uint16 would silently truncate.
+std::uint16_t parseTcpPort(const std::string& text) {
+  unsigned long port = 0;
+  std::size_t used = 0;
+  try {
+    port = std::stoul(text, &used);
+  } catch (const std::exception&) {
+    throw Error("invalid TCP port \"" + text + "\" (expected 1-65535)");
+  }
+  if (used != text.size() || port < 1 || port > 65535)
+    throw Error("invalid TCP port \"" + text + "\" (expected 1-65535)");
+  return static_cast<std::uint16_t>(port);
+}
+
 /// Client mode: pipe stdin JSONL into a running server and print its
 /// responses. TARGET is a unix socket path or `tcp:PORT`.
 int runServeClient(const std::string& target) {
   artifact::JsonlClient client =
       target.rfind("tcp:", 0) == 0
-          ? artifact::JsonlClient::connectTcp(static_cast<std::uint16_t>(
-                std::stoul(target.substr(4))))
+          ? artifact::JsonlClient::connectTcp(parseTcpPort(target.substr(4)))
           : artifact::JsonlClient::connectUnix(target);
   std::uint64_t sent = 0;
   std::string line;
@@ -841,8 +855,12 @@ int cmdServe(const Args& args) {
       std::cerr << "cgra-tool: serving on " << args.get("socket") << "\n";
     }
     if (args.has("tcp")) {
-      const std::uint16_t port = service.addTcpListener(
-          static_cast<std::uint16_t>(args.getUnsigned("tcp", 0)));
+      const unsigned requested = args.getUnsigned("tcp", 0);
+      if (requested > 65535)
+        throw Error("invalid TCP port \"" + std::to_string(requested) +
+                    "\" (expected 0-65535; 0 picks a free port)");
+      const std::uint16_t port =
+          service.addTcpListener(static_cast<std::uint16_t>(requested));
       std::cerr << "cgra-tool: serving on 127.0.0.1:" << port << "\n";
     }
     g_serveInstance.store(&service, std::memory_order_relaxed);
