@@ -16,6 +16,7 @@
 #include <cmath>
 #include <cstdint>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -24,7 +25,7 @@
 #include "artifact/service.hpp"
 #include "artifact/store.hpp"
 #include "bench_common.hpp"
-#include "support/latency_histogram.hpp"
+#include "support/metrics_registry.hpp"
 #include "support/rng.hpp"
 
 namespace {
@@ -144,6 +145,10 @@ int main() {
   const PassResult warm = runPass(port, pool, /*seedBase=*/5000);
   const artifact::ServiceStats warmStats = service.stats();
 
+  // Final Prometheus scrape: the same text a monitoring agent would pull
+  // via {"metrics": true}. Cross-checked below against the client tally.
+  const std::string exposition = service.metricsText();
+
   service.drain();
   service.stop();
   const std::uint64_t warmScheduled = warmStats.scheduled - coldStats.scheduled;
@@ -190,6 +195,20 @@ int main() {
   report.info("distinctKeys", std::to_string(pool.lines.size()));
   report.info("serverP99Us", std::to_string(static_cast<std::uint64_t>(
                                  warmStats.latencyP99Us)));
+
+  // The scraped cgra_requests_total must equal the requests both passes
+  // actually sent — a monitoring agent sees the same truth the clients do.
+  std::uint64_t scrapedRequests = 0;
+  std::istringstream lines(exposition);
+  for (std::string l; std::getline(lines, l);)
+    if (l.rfind("cgra_requests_total ", 0) == 0)
+      scrapedRequests = std::stoull(l.substr(l.find(' ') + 1));
+  report.metric("scrapedRequests", scrapedRequests);
+  if (scrapedRequests != 2 * total) {
+    std::cerr << "serve: scraped cgra_requests_total " << scrapedRequests
+              << " != sent " << 2 * total << "\n";
+    return 1;
+  }
   report.write();
   return cold.errors + warm.errors == 0 ? 0 : 1;
 }

@@ -41,6 +41,17 @@ int main() {
             << " thread(s), " << sweep.routingCacheEntries
             << " arch model(s)\n";
   report.timing("sweepWallMs", sweep.wallTimeMs);
+  // Exclusive self-time of each scheduler pass, merged over the sweep's 12
+  // jobs (DESIGN.md §13): gateable per pass via bench_compare --gate-timing.
+  report.timing("passAnalysisMs", sweep.aggregate.passAnalysisMs);
+  report.timing("passCandidateMs", sweep.aggregate.passCandidateMs);
+  report.timing("passCostModelMs", sweep.aggregate.passCostModelMs);
+  report.timing("passPlacementMs", sweep.aggregate.passPlacementMs);
+  report.timing("passRoutingMs", sweep.aggregate.passRoutingMs);
+  report.timing("passFusingMs", sweep.aggregate.passFusingMs);
+  report.timing("passCboxMs", sweep.aggregate.passCboxMs);
+  report.timing("passLoopMs", sweep.aggregate.passLoopMs);
+  report.timing("passFinalizeMs", sweep.aggregate.passFinalizeMs);
 
   auto wallMs = [&](std::size_t job, const Composition& comp) -> double {
     const SweepJobResult& r = sweep.results[job];

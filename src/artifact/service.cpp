@@ -5,6 +5,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <fstream>
 #include <istream>
 #include <memory>
 #include <mutex>
@@ -23,7 +24,7 @@
 #include "kir/passes.hpp"
 #include "sched/job_key.hpp"
 #include "sched/scheduler.hpp"
-#include "support/latency_histogram.hpp"
+#include "support/metrics_registry.hpp"
 #include "support/thread_pool.hpp"
 
 #ifdef __unix__
@@ -71,6 +72,10 @@ json::Value ServiceStats::toJson() const {
   o["latencyP50Us"] = latencyP50Us;
   o["latencyP99Us"] = latencyP99Us;
   o["latencyMeanUs"] = latencyMeanUs;
+  o["controlLatencyCount"] = controlLatencyCount;
+  o["controlLatencyP50Us"] = controlLatencyP50Us;
+  o["controlLatencyP99Us"] = controlLatencyP99Us;
+  o["controlLatencyMeanUs"] = controlLatencyMeanUs;
   return json::sortKeys(json::Value(std::move(o)));
 }
 
@@ -153,10 +158,68 @@ struct InFlightKey {
   std::shared_ptr<const ScheduleArtifact> artifact;
 };
 
+std::uint64_t usBetween(Clock::time_point a, Clock::time_point b) {
+  const auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(b - a).count();
+  return us < 0 ? 0 : static_cast<std::uint64_t>(us);
+}
+
+/// Request-scoped span breakdown (µs), the telemetry companion of one
+/// window slot. The admitting thread stamps t0/admitted before the job is
+/// submitted; the completing worker fills the rest before the slot's done
+/// flag flips under winMu; the popper (IO thread or stream flusher) reads
+/// it afterwards — the winMu acquire on `done` orders every field.
+struct RequestSpans {
+  Clock::time_point t0{};        ///< request line read off the wire
+  Clock::time_point admitted{};  ///< admission decision made
+  std::uint64_t admitUs = 0;     ///< read → admitted/shed decision
+  std::uint64_t queueUs = 0;     ///< admitted → worker pickup
+  std::uint64_t storeUs = 0;     ///< job key + store lookups + dedup wait
+  std::uint64_t scheduleUs = 0;  ///< scheduler run (cold requests only)
+  std::uint64_t serializeUs = 0; ///< response JSON dump
+  std::uint64_t serviceUs = 0;   ///< worker pickup → response ready
+  const char* outcome = "internal";  ///< ok|unmappable|parse|unknown_comp|
+                                     ///< stats|metrics|shed_overload|
+                                     ///< shed_shutdown|internal
+  bool cacheHit = false;
+  bool control = false;   ///< control-plane request (stats/metrics)
+  json::Value id;         ///< request id, echoed into the access log
+  std::string keyPrefix;  ///< first 12 chars of the job key, "" if none
+};
+
 /// One request's slot in a connection's in-order response window.
 struct Slot {
   bool done = false;  ///< guarded by the connection's winMu
   std::string line;   ///< serialized response
+  RequestSpans spans;
+};
+
+/// Append-only JSONL access log shared by every worker and the IO thread.
+/// Its own mutex — never the service's hot-path lock — serializes lines;
+/// a line is written when the response leaves the window toward the wire.
+class AccessLog {
+public:
+  void open(const std::string& path) {
+    std::lock_guard<std::mutex> lock(mu_);
+    out_.open(path, std::ios::app);
+    if (!out_.is_open())
+      throw Error("cannot open access log for writing: " + path);
+    enabled_.store(true, std::memory_order_relaxed);
+  }
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void write(const std::string& line) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!out_.is_open()) return;
+    out_ << line << '\n';
+    out_.flush();  // each line a complete record, tail-able mid-run
+  }
+
+private:
+  std::atomic<bool> enabled_{false};
+  std::mutex mu_;
+  std::ofstream out_;
 };
 
 json::Value artifactResponse(const json::Value& id,
@@ -294,8 +357,73 @@ struct Service::Impl {
 
   mutable std::mutex mu;
   std::condition_variable cv;  ///< completions, drain, waitDone
-  ServiceStats counters;       ///< raw counters (latency fields unused)
-  LatencyHistogram latency;    ///< guarded by mu
+
+  // Per-request outcome counters and latency live in the lock-free metrics
+  // registry (DESIGN.md §13): workers bump them without touching `mu`.
+  // Admission-coupled counters (requests, shed, queue depth, connection
+  // lifecycle) stay inside the mu-held admission sections — that is what
+  // makes a stats snapshot see sum(per-connection requests) == totals
+  // exactly — and mirror into registry counters at the same sites.
+  MetricsRegistry registry;
+  Counter& mRequests =
+      registry.counter("cgra_requests_total", "Request lines read");
+  Counter& mResponses = registry.counter(
+      "cgra_responses_total", "Responses handed to the wire or stream");
+  Counter& mParseErrors = registry.counter(
+      "cgra_parse_errors_total", "parse/unknown_comp failure responses");
+  Counter& mScheduled = registry.counter(
+      "cgra_scheduled_total", "Jobs actually run on the scheduler");
+  Counter& mCacheHits = registry.counter("cgra_cache_hits_total",
+                                         "Requests answered from the store");
+  Counter& mDeduped = registry.counter(
+      "cgra_deduped_total", "Requests coalesced onto an in-flight job");
+  Counter& mStatsRequests = registry.counter("cgra_stats_requests_total",
+                                             "{\"stats\":true} requests");
+  Counter& mMetricsRequests = registry.counter(
+      "cgra_metrics_requests_total", "{\"metrics\":true} requests");
+  Counter& mShedOverload = registry.counter(
+      "cgra_shed_overload_total", "Requests shed with code overloaded");
+  Counter& mShedShutdown = registry.counter(
+      "cgra_shed_shutdown_total", "Requests shed with code shutdown");
+  Counter& mConnsAccepted = registry.counter("cgra_connections_accepted_total",
+                                             "Sessions opened (any kind)");
+  Counter& mConnsRefused = registry.counter(
+      "cgra_connections_refused_total", "Connections closed at accept");
+  Counter& mConnsClosed = registry.counter("cgra_connections_closed_total",
+                                           "Sessions fully drained");
+  Counter& mTracesSampled = registry.counter(
+      "cgra_traces_sampled_total", "Cold runs recorded as Chrome traces");
+  Gauge& gQueueDepth =
+      registry.gauge("cgra_queue_depth", "Admitted requests in flight");
+  Gauge& gConnections =
+      registry.gauge("cgra_connections", "Live sessions (any kind)");
+  AtomicHistogram& hCompile = registry.histogram(
+      "cgra_compile_latency_us",
+      "Compile-request latency, read to response ready (us)");
+  AtomicHistogram& hControl = registry.histogram(
+      "cgra_control_latency_us",
+      "Control-request (stats/metrics) latency, read to response ready (us)");
+  AtomicHistogram& hQueueWait = registry.histogram(
+      "cgra_queue_wait_us", "Admitted to worker pickup (us)");
+  AtomicHistogram& hStore = registry.histogram(
+      "cgra_store_lookup_us", "Job key + store lookups + dedup wait (us)");
+  AtomicHistogram& hSchedule =
+      registry.histogram("cgra_schedule_us", "Scheduler run, cold jobs (us)");
+  AtomicHistogram& hSerialize =
+      registry.histogram("cgra_serialize_us", "Response JSON dump (us)");
+  AtomicHistogram& hWrite = registry.histogram(
+      "cgra_write_us", "Response ready to wire/stream handoff (us)");
+
+  AccessLog accessLog;
+  std::atomic<std::uint64_t> coldSeq{0};  ///< cold runs, for trace sampling
+
+  ServiceStats counters;  ///< mu-guarded slice (see statsSnapshot)
+  /// Rollup of counters from closed connections, so the per-connection
+  /// conservation invariant (sum of live + closed == totals) stays exact
+  /// after reaping. Guarded by mu.
+  std::uint64_t closedRequests = 0;
+  std::uint64_t closedResponses = 0;
+  std::uint64_t closedShed = 0;
   std::size_t pendingJobs = 0;
   std::unordered_map<std::string, std::shared_ptr<InFlightKey>> inflightKeys;
   bool draining = false;
@@ -317,6 +445,7 @@ struct Service::Impl {
         maxInFlight(std::max<std::size_t>(1, o.maxInFlight)),
         queueBound(std::max<std::size_t>(1, o.queueBound)),
         pool(o.threads) {
+    if (!options.accessLogPath.empty()) accessLog.open(options.accessLogPath);
 #ifdef __unix__
     if (::pipe(wakePipe) == 0) {
       ::fcntl(wakePipe[0], F_SETFL, O_NONBLOCK);
@@ -348,7 +477,49 @@ struct Service::Impl {
     return draining || drainRequested.load(std::memory_order_relaxed);
   }
 
+  /// Folds a closing session's counters into the closed-connection rollup
+  /// (mu held): the per-connection conservation invariant stays exact
+  /// across reaping. Also maintains the connection metrics.
+  void retireConnLocked(const Conn& c) {
+    closedRequests += c.requests;
+    closedResponses += c.responses.load(std::memory_order_relaxed);
+    closedShed += c.shed;
+    mConnsClosed.inc();
+    gConnections.set(
+        static_cast<std::int64_t>(conns.size() + streamConns.size()));
+  }
+
   // -- response plumbing ----------------------------------------------------
+
+  /// Appends one access-log line for a response leaving the window and
+  /// records its write-side span. Called off the hot-path lock, after the
+  /// in-flight slot released. The span fields are additive by design:
+  /// admitUs + queueUs + serviceUs + writeUs == totalUs exactly (writeUs
+  /// is derived as the remainder: response ready → wire/stream handoff).
+  void emitAccess(const Conn& c, const Slot& slot) {
+    const RequestSpans& sp = slot.spans;
+    const std::uint64_t totalUs = usBetween(sp.t0, Clock::now());
+    const std::uint64_t accounted = sp.admitUs + sp.queueUs + sp.serviceUs;
+    const std::uint64_t writeUs = totalUs > accounted ? totalUs - accounted : 0;
+    hWrite.record(writeUs);
+    if (!accessLog.enabled()) return;
+    json::Object o;
+    o["conn"] = c.id;
+    o["peer"] = c.fd >= 0 ? "socket" : "stream";
+    o["id"] = sp.id;
+    o["key"] = sp.keyPrefix;
+    o["outcome"] = sp.outcome;
+    o["cacheHit"] = sp.cacheHit;
+    o["admitUs"] = sp.admitUs;
+    o["queueUs"] = sp.queueUs;
+    o["storeUs"] = sp.storeUs;
+    o["scheduleUs"] = sp.scheduleUs;
+    o["serializeUs"] = sp.serializeUs;
+    o["serviceUs"] = sp.serviceUs;
+    o["writeUs"] = writeUs;
+    o["totalUs"] = totalUs;
+    accessLog.write(json::sortKeys(json::Value(std::move(o))).dump(0));
+  }
 
   /// Streams every completed response at the front of a stream session's
   /// window. writeMu keeps concurrent completers from interleaving lines.
@@ -357,25 +528,32 @@ struct Service::Impl {
   void flushStream(Conn& c) {
     std::lock_guard<std::mutex> wl(c.writeMu);
     std::size_t released = 0;
+    std::vector<std::shared_ptr<Slot>> popped;
     for (;;) {
-      std::string lineOut;
+      std::shared_ptr<Slot> slot;
       {
         std::lock_guard<std::mutex> g(c.winMu);
         if (c.window.empty() || !c.window.front()->done) break;
-        lineOut = std::move(c.window.front()->line);
+        slot = std::move(c.window.front());
         c.window.pop_front();
       }
+      std::string lineOut = std::move(slot->line);
       lineOut.push_back('\n');
       if (!c.broken.load(std::memory_order_relaxed) && c.out != nullptr) {
         (*c.out) << lineOut;
         c.out->flush();
       }
+      popped.push_back(std::move(slot));
       ++released;
     }
     if (released > 0) {
       c.responses.fetch_add(released, std::memory_order_relaxed);
-      std::lock_guard<std::mutex> lock(mu);
-      c.inflight -= released;
+      mResponses.inc(released);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        c.inflight -= released;
+      }
+      for (const auto& slot : popped) emitAccess(c, *slot);
     }
   }
 
@@ -395,6 +573,7 @@ struct Service::Impl {
     if (admitted) {
       std::lock_guard<std::mutex> lock(mu);
       --pendingJobs;
+      gQueueDepth.set(static_cast<std::int64_t>(pendingJobs));
     }
     cv.notify_all();
     if (conn->fd >= 0) wakeIo();  // the IO thread flushes + resumes reads
@@ -411,6 +590,7 @@ struct Service::Impl {
   void pumpConn(const ConnPtr& c) {
     const bool broken = c->broken.load(std::memory_order_relaxed);
     std::size_t released = 0;
+    std::vector<std::shared_ptr<Slot>> popped;
     {
       std::lock_guard<std::mutex> g(c->winMu);
       while (!c->window.empty() && c->window.front()->done &&
@@ -419,15 +599,20 @@ struct Service::Impl {
           c->obuf += c->window.front()->line;
           c->obuf += '\n';
         }
+        popped.push_back(std::move(c->window.front()));
         c->window.pop_front();
         ++released;
       }
     }
     if (released > 0) {
       c->responses.fetch_add(released, std::memory_order_relaxed);
-      std::lock_guard<std::mutex> lock(mu);
-      c->inflight -= released;
-      if (c->paused && c->inflight < maxInFlight) c->paused = false;
+      mResponses.inc(released);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        c->inflight -= released;
+        if (c->paused && c->inflight < maxInFlight) c->paused = false;
+      }
+      for (const auto& slot : popped) emitAccess(*c, *slot);
     }
     sendObuf(*c);
   }
@@ -480,6 +665,7 @@ struct Service::Impl {
   void handleLine(const ConnPtr& conn, std::string line) {
     const Clock::time_point t0 = Clock::now();
     auto slot = std::make_shared<Slot>();
+    slot->spans.t0 = t0;
     {
       std::lock_guard<std::mutex> g(conn->winMu);
       conn->window.push_back(slot);
@@ -506,12 +692,19 @@ struct Service::Impl {
         ++pendingJobs;
         counters.maxQueueDepth = std::max(
             counters.maxQueueDepth, static_cast<std::uint64_t>(pendingJobs));
+        gQueueDepth.set(static_cast<std::int64_t>(pendingJobs));
         admit = Admit::Job;
       }
     }
+    mRequests.inc();
+    if (admit != Admit::Job)
+      (admit == Admit::Overloaded ? mShedOverload : mShedShutdown).inc();
+    const Clock::time_point tAdmit = Clock::now();
+    slot->spans.admitted = tAdmit;
+    slot->spans.admitUs = usBetween(t0, tAdmit);
     if (admit == Admit::Job) {
-      pool.submit([this, conn, slot, line = std::move(line), t0] {
-        runJob(conn, slot, line, t0);
+      pool.submit([this, conn, slot, line = std::move(line)] {
+        runJob(conn, slot, line);
       });
     } else {
       // Shed responses still travel through the window (order!) and are
@@ -522,10 +715,18 @@ struct Service::Impl {
                                 ? "service overloaded: global queue bound "
                                   "reached, retry later"
                                 : "service is draining, request not accepted";
-      pool.submit([this, conn, slot, line = std::move(line), code, message] {
-        finishSlot(conn, slot,
-                   errorResponse(bestEffortId(line), code, message).dump(0),
-                   /*admitted=*/false);
+      const char* outcome =
+          admit == Admit::Overloaded ? "shed_overload" : "shed_shutdown";
+      pool.submit([this, conn, slot, line = std::move(line), code, message,
+                   outcome] {
+        RequestSpans& sp = slot->spans;
+        const Clock::time_point tStart = Clock::now();
+        sp.queueUs = usBetween(sp.admitted, tStart);
+        sp.outcome = outcome;
+        sp.id = bestEffortId(line);
+        std::string out = errorResponse(sp.id, code, message).dump(0);
+        sp.serviceUs = usBetween(tStart, Clock::now());
+        finishSlot(conn, slot, std::move(out), /*admitted=*/false);
       });
     }
   }
@@ -533,48 +734,57 @@ struct Service::Impl {
   // -- the worker -----------------------------------------------------------
 
   void runJob(const ConnPtr& conn, const std::shared_ptr<Slot>& slot,
-              const std::string& line, Clock::time_point t0) {
+              const std::string& line) {
+    RequestSpans& sp = slot->spans;
+    const Clock::time_point tStart = Clock::now();
+    sp.queueUs = usBetween(sp.admitted, tStart);
     std::string out;
     try {
-      out = computeResponse(line).dump(0);
+      const json::Value resp = computeResponse(line, sp);
+      const Clock::time_point tSer = Clock::now();
+      out = resp.dump(0);
+      sp.serializeUs = usBetween(tSer, Clock::now());
     } catch (...) {
+      sp.outcome = "internal";
       out = errorResponse(json::Value(), WireError::Internal,
                           "internal error")
                 .dump(0);
     }
-    {
-      const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
-                          Clock::now() - t0)
-                          .count();
-      std::lock_guard<std::mutex> lock(mu);
-      latency.record(static_cast<std::uint64_t>(us < 0 ? 0 : us));
+    const Clock::time_point tDone = Clock::now();
+    sp.serviceUs = usBetween(tStart, tDone);
+    // Lock-free telemetry: latency and span histograms record on atomics,
+    // never on the service's admission lock. Control-plane requests
+    // ({"stats"}/{"metrics"}) land in their own histogram so a stats-heavy
+    // client cannot move the CI-gated compile p50/p99.
+    (sp.control ? hControl : hCompile).record(usBetween(sp.t0, tDone));
+    hQueueWait.record(sp.queueUs);
+    if (!sp.control) {
+      hStore.record(sp.storeUs);
+      hSerialize.record(sp.serializeUs);
+      if (sp.scheduleUs > 0) hSchedule.record(sp.scheduleUs);
     }
     finishSlot(conn, slot, std::move(out), /*admitted=*/true);
   }
 
-  void bumpParseErrors() {
-    std::lock_guard<std::mutex> lock(mu);
-    ++counters.parseErrors;
-  }
-
-  json::Value computeResponse(const std::string& line) {
+  json::Value computeResponse(const std::string& line, RequestSpans& sp) {
     json::Value id;
     json::Value doc;
     try {
       doc = json::parse(line);
     } catch (const std::exception& e) {
-      bumpParseErrors();
+      mParseErrors.inc();
+      sp.outcome = "parse";
       return errorResponse(id, WireError::Parse, e.what());
     }
     if (doc.isObject())
       if (const json::Value* v = doc.asObject().find("id")) id = *v;
+    sp.id = id;
     if (doc.isObject())
       if (const json::Value* v = doc.asObject().find("stats");
           v != nullptr && v->isBool() && v->asBool()) {
-        {
-          std::lock_guard<std::mutex> lock(mu);
-          ++counters.statsRequests;
-        }
+        mStatsRequests.inc();
+        sp.control = true;
+        sp.outcome = "stats";
         json::Object o;
         o["v"] = kWireVersion;
         o["id"] = id;
@@ -582,35 +792,54 @@ struct Service::Impl {
         o["stats"] = statsJson();
         return json::Value(std::move(o));
       }
+    if (doc.isObject())
+      if (const json::Value* v = doc.asObject().find("metrics");
+          v != nullptr && v->isBool() && v->asBool()) {
+        mMetricsRequests.inc();
+        sp.control = true;
+        sp.outcome = "metrics";
+        json::Object o;
+        o["v"] = kWireVersion;
+        o["id"] = id;
+        o["ok"] = true;
+        o["metrics"] = registry.renderPrometheus();
+        return json::Value(std::move(o));
+      }
 
     Request req;
     try {
       req = parseRequest(doc, options.includeArtifact);
     } catch (const std::exception& e) {
-      bumpParseErrors();
+      mParseErrors.inc();
+      sp.outcome = "parse";
       return errorResponse(id, WireError::Parse, e.what());
     }
     Composition comp;
     try {
       comp = resolveComposition(req.comp);
     } catch (const std::exception& e) {
-      bumpParseErrors();
+      mParseErrors.inc();
+      sp.outcome = "unknown_comp";
       return errorResponse(id, WireError::UnknownComp, e.what());
     }
     Cdfg graph;
     try {
       graph = resolveGraph(req);
     } catch (const std::exception& e) {
-      bumpParseErrors();
+      mParseErrors.inc();
+      sp.outcome = "unknown_comp";
       return errorResponse(id, WireError::UnknownComp, e.what());
     }
     try {
       SchedulerOptions schedOpts;
       schedOpts.maxContexts = req.maxContexts;
+      const Clock::time_point tKey = Clock::now();
       const std::string key = scheduleJobKey(comp, graph, schedOpts);
+      sp.keyPrefix = key.substr(0, 12);
 
       std::shared_ptr<const ScheduleArtifact> art = store.lookup(key);
       bool cached = art != nullptr;
+      sp.storeUs = usBetween(tKey, Clock::now());
       if (art == nullptr) {
         // Not in the store: either claim the key or wait for the worker —
         // possibly serving another connection — that did.
@@ -631,19 +860,31 @@ struct Service::Impl {
           art = store.lookup(key);
           if (art != nullptr) {
             cached = true;
+            mCacheHits.inc();
             std::lock_guard<std::mutex> lock(mu);
-            ++counters.cacheHits;
             inflightKeys.erase(key);
           } else {
+            const Clock::time_point tSched = Clock::now();
             const Scheduler scheduler(comp, schedOpts);
             ScheduleRequest sreq(graph);
             sreq.options = schedOpts;
+            // Sampled cold runs carry the PR 2 decision trace and land as
+            // one Chrome-JSON file per request under options.traceDir.
+            const std::uint64_t seq =
+                coldSeq.fetch_add(1, std::memory_order_relaxed);
+            const bool sampled =
+                options.traceSample > 0 && seq % options.traceSample == 0;
+            sreq.trace.enabled = sampled;
             const ScheduleReport sched = scheduler.schedule(sreq);
+            sp.scheduleUs = usBetween(tSched, Clock::now());
+            if (sampled && sched.trace != nullptr &&
+                !options.traceDir.empty())
+              writeSampledTrace(key, seq, *sched.trace);
             art = std::make_shared<const ScheduleArtifact>(
                 ScheduleArtifact::fromReport(key, sched));
             store.insert(art);
+            mScheduled.inc();
             std::lock_guard<std::mutex> lock(mu);
-            ++counters.scheduled;
             inflightKeys.erase(key);
           }
           {
@@ -653,32 +894,71 @@ struct Service::Impl {
           }
           entry->cv.notify_all();
         } else {
+          const Clock::time_point tWait = Clock::now();
           std::unique_lock<std::mutex> elock(entry->mu);
           entry->cv.wait(elock, [&] { return entry->done; });
           art = entry->artifact;
           cached = true;
-          std::lock_guard<std::mutex> lock(mu);
-          ++counters.deduped;
+          mDeduped.inc();
+          sp.storeUs += usBetween(tWait, Clock::now());
         }
       } else {
-        std::lock_guard<std::mutex> lock(mu);
-        ++counters.cacheHits;
+        mCacheHits.inc();
       }
+      sp.cacheHit = cached;
+      sp.outcome = art->ok ? "ok" : "unmappable";
       return artifactResponse(id, *art, cached, req.wantArtifact, comp);
     } catch (const std::exception& e) {
+      sp.outcome = "internal";
       return errorResponse(id, WireError::Internal, e.what());
+    }
+  }
+
+  /// Best-effort write of one sampled cold run's Chrome trace; a failed
+  /// write (missing/unwritable traceDir) drops the sample, never the
+  /// response.
+  void writeSampledTrace(const std::string& key, std::uint64_t seq,
+                         const Trace& trace) {
+    try {
+      const std::string label = "serve " + key.substr(0, 12);
+      json::writeFile(options.traceDir + "/serve-" + key.substr(0, 12) + "-" +
+                          std::to_string(seq) + ".trace.json",
+                      trace.toChromeJson(label));
+      mTracesSampled.inc();
+    } catch (...) {
     }
   }
 
   // -- live metrics ---------------------------------------------------------
 
+  /// Fills the registry-backed slice of a ServiceStats snapshot (outcome
+  /// counters + latency percentiles). Lock-free; the caller supplies the
+  /// mu-guarded slice by copying `counters` under mu.
+  void fillRegistryStats(ServiceStats& s) const {
+    s.parseErrors = mParseErrors.value();
+    s.scheduled = mScheduled.value();
+    s.cacheHits = mCacheHits.value();
+    s.deduped = mDeduped.value();
+    s.statsRequests = mStatsRequests.value() + mMetricsRequests.value();
+    const Log2Histogram compile = hCompile.snapshot();
+    s.latencyCount = compile.count();
+    s.latencyP50Us = compile.quantileUs(0.50);
+    s.latencyP99Us = compile.quantileUs(0.99);
+    s.latencyMeanUs = compile.meanUs();
+    const Log2Histogram control = hControl.snapshot();
+    s.controlLatencyCount = control.count();
+    s.controlLatencyP50Us = control.quantileUs(0.50);
+    s.controlLatencyP99Us = control.quantileUs(0.99);
+    s.controlLatencyMeanUs = control.meanUs();
+  }
+
   ServiceStats statsSnapshot() const {
-    std::lock_guard<std::mutex> lock(mu);
-    ServiceStats s = counters;
-    s.latencyCount = latency.count();
-    s.latencyP50Us = latency.quantileUs(0.50);
-    s.latencyP99Us = latency.quantileUs(0.99);
-    s.latencyMeanUs = latency.meanUs();
+    ServiceStats s;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      s = counters;
+    }
+    fillRegistryStats(s);
     return s;
   }
 
@@ -687,10 +967,7 @@ struct Service::Impl {
     {
       std::lock_guard<std::mutex> lock(mu);
       ServiceStats s = counters;
-      s.latencyCount = latency.count();
-      s.latencyP50Us = latency.quantileUs(0.50);
-      s.latencyP99Us = latency.quantileUs(0.99);
-      s.latencyMeanUs = latency.meanUs();
+      fillRegistryStats(s);
       o["service"] = s.toJson();
       o["queueDepth"] = static_cast<std::uint64_t>(pendingJobs);
       o["draining"] = drainingNow();
@@ -708,6 +985,17 @@ struct Service::Impl {
       for (const ConnPtr& c : conns) conns_json.push_back(connEntry(*c));
       for (const ConnPtr& c : streamConns) conns_json.push_back(connEntry(*c));
       o["connections"] = json::Value(std::move(conns_json));
+      // Rollup of already-reaped sessions: with it, sum of per-connection
+      // requests/responses/shed in this document (live + closed) equals
+      // the service totals exactly — snapshots are taken under mu, the
+      // same lock every per-connection and total request count is bumped
+      // under.
+      json::Object closed;
+      closed["connections"] = counters.connectionsClosed;
+      closed["requests"] = closedRequests;
+      closed["responses"] = closedResponses;
+      closed["shed"] = closedShed;
+      o["closed"] = json::Value(std::move(closed));
     }
     const StoreCounters sc = store.counters();
     o["store"] = sc.toJson();
@@ -724,6 +1012,9 @@ struct Service::Impl {
       conn->out = &out;
       streamConns.push_back(conn);
       ++counters.connectionsAccepted;
+      mConnsAccepted.inc();
+      gConnections.set(static_cast<std::int64_t>(conns.size() +
+                                                 streamConns.size()));
     }
     std::string line;
     while (std::getline(in, line)) {
@@ -752,6 +1043,7 @@ struct Service::Impl {
           std::remove(streamConns.begin(), streamConns.end(), conn),
           streamConns.end());
       ++counters.connectionsClosed;
+      retireConnLocked(*conn);
     }
   }
 
@@ -831,11 +1123,15 @@ struct Service::Impl {
       if (options.maxClients != 0 && conns.size() >= options.maxClients) {
         refuse = true;
         ++counters.connectionsRefused;
+        mConnsRefused.inc();
       } else {
         conn = std::make_shared<Conn>(nextConnId++, fd);
         conns.push_back(conn);
         ++accepted;
         ++counters.connectionsAccepted;
+        mConnsAccepted.inc();
+        gConnections.set(static_cast<std::int64_t>(conns.size() +
+                                                   streamConns.size()));
         reachedMax =
             options.maxConnections != 0 && accepted >= options.maxConnections;
       }
@@ -967,6 +1263,7 @@ struct Service::Impl {
         if (it == conns.end()) continue;
         conns.erase(it);
         ++counters.connectionsClosed;
+        retireConnLocked(*c);
       }
       ::close(c->fd);
     }
@@ -1121,6 +1418,10 @@ void Service::serveStream(std::istream& in, std::ostream& out) {
 ServiceStats Service::stats() const { return impl_->statsSnapshot(); }
 
 json::Value Service::statsJson() const { return impl_->statsJson(); }
+
+std::string Service::metricsText() const {
+  return impl_->registry.renderPrometheus();
+}
 
 // ---------------------------------------------------------------------------
 // Thin wrappers over the class (the PR-4 entry points).

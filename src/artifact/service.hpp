@@ -41,7 +41,13 @@
 //     scheduling slot exactly as in the single-stream service.
 //   * Observability — a request line {"stats": true} answers with the live
 //     ServiceStats (per-connection counters, queue depth, p50/p99 service
-//     latency, store hit rate) as sorted-key JSON.
+//     latency, store hit rate) as sorted-key JSON; {"metrics": true}
+//     answers the Prometheus-style text exposition of the service's metric
+//     registry (DESIGN.md §13). Every request carries a span breakdown
+//     (admission, queue wait, store lookup, schedule, serialize, write)
+//     recorded off the hot-path lock and optionally appended as one JSONL
+//     access-log line per request; cold scheduling runs can be trace-
+//     sampled into per-request Chrome JSON files.
 //   * Drain — `notifyDrain()` is async-signal-safe (SIGTERM handlers call
 //     it): the service stops accepting, answers every already-read request
 //     (in-flight jobs finish; not-yet-started ones answer
@@ -98,6 +104,17 @@ struct ServiceOptions {
   /// Attach the full artifact document to every successful response
   /// (per-request `"artifact": true` overrides this default).
   bool includeArtifact = false;
+  /// JSONL access log: one line per request (connection, id, key prefix,
+  /// outcome, cache hit, span breakdown in µs) appended when the response
+  /// leaves the window toward the wire. Empty = disabled.
+  std::string accessLogPath;
+  /// Chrome-trace sampling of cold scheduling runs: every Nth request that
+  /// actually runs the scheduler records a decision trace and writes its
+  /// Chrome JSON into `traceDir`. 0 = off.
+  std::uint64_t traceSample = 0;
+  /// Directory receiving sampled traces (must exist); empty disables the
+  /// file output even when sampling is on.
+  std::string traceDir;
 };
 
 /// Traffic counters for one service, readable live (`Service::stats`) and
@@ -115,11 +132,17 @@ struct ServiceStats {
   std::uint64_t connectionsRefused = 0;     ///< closed at accept (maxClients)
   std::uint64_t connectionsClosed = 0;      ///< sessions fully drained
   std::uint64_t maxQueueDepth = 0;          ///< peak admitted requests
-  // Service latency (admission → response ready) of processed requests.
+  // Service latency (admission → response ready) of processed compile
+  // requests. Control-plane traffic ({"stats":true}, {"metrics":true}) is
+  // tracked apart so stats polling cannot skew the CI-gated p50/p99.
   std::uint64_t latencyCount = 0;
   double latencyP50Us = 0.0;
   double latencyP99Us = 0.0;
   double latencyMeanUs = 0.0;
+  std::uint64_t controlLatencyCount = 0;
+  double controlLatencyP50Us = 0.0;
+  double controlLatencyP99Us = 0.0;
+  double controlLatencyMeanUs = 0.0;
 
   json::Value toJson() const;
 };
@@ -176,6 +199,11 @@ public:
   /// service counters + queue depth, per-connection counters, store
   /// counters/hit rate. Sorted keys.
   json::Value statsJson() const;
+
+  /// Prometheus text exposition of the service's metrics registry — the
+  /// same document answered to {"metrics": true} requests and written by
+  /// `cgra-tool serve --metrics` on shutdown (DESIGN.md §13).
+  std::string metricsText() const;
 
 private:
   struct Impl;

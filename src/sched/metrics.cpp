@@ -21,6 +21,15 @@ void SchedulerMetrics::merge(const SchedulerMetrics& other) {
   totalMs += other.totalMs;
   loopCloseMs += other.loopCloseMs;
   placementMs += other.placementMs;
+  passAnalysisMs += other.passAnalysisMs;
+  passCandidateMs += other.passCandidateMs;
+  passCostModelMs += other.passCostModelMs;
+  passPlacementMs += other.passPlacementMs;
+  passRoutingMs += other.passRoutingMs;
+  passFusingMs += other.passFusingMs;
+  passCboxMs += other.passCboxMs;
+  passLoopMs += other.passLoopMs;
+  passFinalizeMs += other.passFinalizeMs;
   runs += other.runs;
 }
 
@@ -43,6 +52,15 @@ json::Value SchedulerMetrics::toJson(bool includeTimings) const {
     o["totalMs"] = totalMs;
     o["loopCloseMs"] = loopCloseMs;
     o["placementMs"] = placementMs;
+    o["passAnalysisMs"] = passAnalysisMs;
+    o["passCandidateMs"] = passCandidateMs;
+    o["passCostModelMs"] = passCostModelMs;
+    o["passPlacementMs"] = passPlacementMs;
+    o["passRoutingMs"] = passRoutingMs;
+    o["passFusingMs"] = passFusingMs;
+    o["passCboxMs"] = passCboxMs;
+    o["passLoopMs"] = passLoopMs;
+    o["passFinalizeMs"] = passFinalizeMs;
   }
   o["runs"] = runs;
   return json::sortKeys(json::Value(std::move(o)));

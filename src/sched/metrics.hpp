@@ -40,6 +40,20 @@ struct SchedulerMetrics {
   // in `--metrics` JSON, excluded from the `--stable` form.
   double loopCloseMs = 0.0;  ///< tryCloseLoops: loop closure + invalidation
   double placementMs = 0.0;  ///< planStep: candidate × PE placement probes
+  // Exclusive per-pass self-times from the PassTimer (DESIGN.md §13): each
+  // nanosecond of the instrumented run is attributed to exactly one of the
+  // nine passes (the innermost active scope), so nested calls — a placement
+  // probe dipping into routing, fusing and the C-Box — never double-count.
+  // Volatile like every wall time; gateable via bench_compare --gate-timing.
+  double passAnalysisMs = 0.0;
+  double passCandidateMs = 0.0;
+  double passCostModelMs = 0.0;
+  double passPlacementMs = 0.0;
+  double passRoutingMs = 0.0;
+  double passFusingMs = 0.0;
+  double passCboxMs = 0.0;
+  double passLoopMs = 0.0;
+  double passFinalizeMs = 0.0;
 
   /// Number of runs merged into this aggregate (1 for a single run).
   std::uint64_t runs = 1;

@@ -3,6 +3,7 @@
 namespace cgra::passes {
 
 const std::vector<NodeId>& candidateSnapshot(RunState& st) {
+  PassScope scope(st.passTimer, PassId::Candidate);
   st.scratchCandidates.assign(st.candidates.begin(), st.candidates.end());
   return st.scratchCandidates;
 }

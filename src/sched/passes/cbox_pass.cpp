@@ -6,6 +6,9 @@ namespace cgra::passes {
 
 std::optional<PredRef> ensureCondition(const ArchModel& model, RunState& st,
                                        CondId c, unsigned deadline) {
+  // Recursion for parent conditions nests CBox scopes; lap accounting
+  // charges every nanosecond to CBox exactly once either way.
+  PassScope scope(st.passTimer, PassId::CBox);
   CGRA_ASSERT(c != kCondTrue);
   if (const auto it = st.condSlots.find(c); it != st.condSlots.end())
     return it->second.ready <= deadline ? std::optional(it->second.ref)
@@ -56,6 +59,7 @@ std::optional<PredRef> ensureCondition(const ArchModel& model, RunState& st,
 
 void allocateStatusSlot(const ArchModel& /*model*/, RunState& st, NodeId id,
                         unsigned statusCycle) {
+  PassScope scope(st.passTimer, PassId::CBox);
   // Store the raw status into a fresh condition slot on the status cycle.
   CBoxOp cb;
   cb.time = statusCycle;

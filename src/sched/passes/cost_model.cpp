@@ -7,6 +7,7 @@ namespace cgra::passes {
 const std::vector<PEId>& AttractionCostModel::orderPEs(const ArchModel& model,
                                                        RunState& st,
                                                        NodeId id) const {
+  PassScope scope(st.passTimer, PassId::CostModel);
   std::vector<PEId>& out = st.scratchPEOrder;
   out.resize(st.comp.numPEs());
   for (PEId p = 0; p < st.comp.numPEs(); ++p) out[p] = p;
@@ -22,6 +23,7 @@ const std::vector<PEId>& AttractionCostModel::orderPEs(const ArchModel& model,
 
 void AttractionCostModel::onNodePlaced(const ArchModel& model, RunState& st,
                                        NodeId id, PEId pe) const {
+  PassScope scope(st.passTimer, PassId::CostModel);
   // Successors are drawn toward PEs that can access this result's register
   // file. The sink lists come from the shared model tables (the seed
   // re-scanned the interconnect here).

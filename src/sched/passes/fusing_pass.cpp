@@ -5,6 +5,7 @@
 namespace cgra::passes {
 
 std::optional<NodeId> fusablePWrite(const RunState& st, NodeId id) {
+  PassScope scope(st.passTimer, PassId::Fusing);
   if (!st.opts.fuseWrites) return std::nullopt;
   const Node& n = st.g.node(id);
   if (n.kind != NodeKind::Operation || !writesRegister(n.op))
@@ -33,6 +34,7 @@ std::optional<NodeId> fusablePWrite(const RunState& st, NodeId id) {
 
 bool pWriteDepsMet(const RunState& st, NodeId writer, NodeId producer,
                    unsigned t) {
+  PassScope scope(st.passTimer, PassId::Fusing);
   for (const Edge& e : st.g.inEdges(writer)) {
     if (e.from == producer) continue;
     if (!st.nodeScheduled[e.from]) return false;

@@ -80,7 +80,10 @@ ScheduleReport runPipeline(const ArchModel& model, const Composition& comp,
   try {
     openPhase = "setup";
     CGRA_TRACE(st.trace, PhaseBegin, .detail = "setup");
-    runAnalysisPass(model, st);
+    {
+      PassScope scope(st.passTimer, PassId::Analysis);
+      runAnalysisPass(model, st);
+    }
     CGRA_TRACE(st.trace, PhaseEnd, .detail = "setup");
     setupEnd = Clock::now();
 
@@ -92,9 +95,15 @@ ScheduleReport runPipeline(const ArchModel& model, const Composition& comp,
       // Per-pass breakdown of the planning loop: two clock reads per step
       // (~ns each) against steps that cost microseconds.
       const auto stepStart = Clock::now();
-      tryCloseLoops(model, st);
+      {
+        PassScope scope(st.passTimer, PassId::Loop);
+        tryCloseLoops(model, st);
+      }
       const auto loopsClosed = Clock::now();
-      planStep(model, st);
+      {
+        PassScope scope(st.passTimer, PassId::Placement);
+        planStep(model, st);
+      }
       st.metrics.loopCloseMs += ms(stepStart, loopsClosed);
       st.metrics.placementMs += ms(loopsClosed, Clock::now());
       ++st.metrics.steps;
@@ -105,7 +114,10 @@ ScheduleReport runPipeline(const ArchModel& model, const Composition& comp,
 
     openPhase = "finalize";
     CGRA_TRACE(st.trace, PhaseBegin, .detail = "finalize");
-    runFinalizePass(model, st);
+    {
+      PassScope scope(st.passTimer, PassId::Finalize);
+      runFinalizePass(model, st);
+    }
     CGRA_TRACE(st.trace, PhaseEnd, .detail = "finalize");
     openPhase = nullptr;
     report.ok = true;
@@ -135,6 +147,7 @@ ScheduleReport runPipeline(const ArchModel& model, const Composition& comp,
   st.metrics.fusedWrites = st.stats.fusedWrites;
   st.metrics.cboxOps = st.sched.cboxOps.size();
   st.metrics.branches = st.sched.branches.size();
+  st.passTimer.flushInto(st.metrics);
   report.stats = st.stats;
   report.metrics = st.metrics;
   if (report.ok) report.schedule = std::move(st.sched);

@@ -131,6 +131,7 @@ std::optional<OperandSource> copyTowards(const ArchModel& model, RunState& st,
 std::optional<Location> materializeConst(const ArchModel& model, RunState& st,
                                          std::int32_t value, PEId pe,
                                          unsigned t) {
+  PassScope scope(st.passTimer, PassId::Routing);
   const unsigned dur = insertedOpDuration(model, st, Op::CONST, pe);
   if (dur > t) return std::nullopt;
   const auto u = st.peBusy[pe].lastFreeWindowAtOrBefore(t - dur, dur);
@@ -160,6 +161,7 @@ std::optional<OperandSource> resolveOperand(const ArchModel& model,
                                             RunState& st, const Operand& o,
                                             PEId pe, unsigned t,
                                             ExposureMap& exposure) {
+  PassScope scope(st.passTimer, PassId::Routing);
   // One location snapshot per operand: the seed rebuilt it inside each of
   // findOwn / findRouted / copyTowards. The list is only appended to after
   // the helpers finish reading it (copyTowards copies its pick by value

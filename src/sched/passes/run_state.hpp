@@ -20,6 +20,7 @@
 #include "arch/arch_model.hpp"
 #include "cdfg/cdfg.hpp"
 #include "sched/metrics.hpp"
+#include "sched/passes/pass_timer.hpp"
 #include "sched/schedule.hpp"
 #include "sched/scheduler.hpp"
 #include "sched/trace.hpp"
@@ -120,6 +121,11 @@ struct RunState {
   Schedule sched;
   ScheduleStats stats;
   SchedulerMetrics metrics;
+  /// Exclusive per-pass wall-time attribution (see pass_timer.hpp).
+  /// `mutable` because it is metrics bookkeeping like `metrics` and the
+  /// trace — const pass entry points (fusing feasibility checks) still
+  /// charge their self-time, and the probe contract exempts it.
+  mutable PassTimer passTimer;
 
   // -- planning cursor --------------------------------------------------------
 

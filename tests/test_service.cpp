@@ -284,6 +284,124 @@ TEST(Service, StatsRequestAnswersLiveMetrics) {
   EXPECT_EQ(stats.statsRequests, 1u);
 }
 
+TEST(Service, StatsHeavyTrafficDoesNotPerturbCompileLatency) {
+  // Regression: control-plane requests ({"stats":true}, {"metrics":true})
+  // used to be recorded into the same latency histogram as compile
+  // requests, so a stats-polling client dragged the CI-gated compile p50
+  // into the microsecond range. They now land in a separate histogram.
+  artifact::ArtifactStore store;
+  artifact::ServiceOptions options;
+  options.threads = 1;
+  std::string requests =
+      "{\"id\":1,\"comp\":\"mesh4\",\"kernel\":\"gcd\"}\n"
+      "{\"id\":2,\"comp\":\"mesh4\",\"kernel\":\"gcd\"}\n";
+  constexpr int kStatsProbes = 50;
+  for (int i = 0; i < kStatsProbes; ++i)
+    requests += "{\"id\":" + std::to_string(100 + i) + ",\"stats\":true}\n";
+  artifact::ServiceStats stats;
+  const std::vector<json::Value> responses =
+      runService(requests, store, options, &stats);
+  ASSERT_EQ(responses.size(), 2u + kStatsProbes);
+
+  EXPECT_EQ(stats.latencyCount, 2u)
+      << "only compile requests may enter the compile-latency histogram";
+  EXPECT_EQ(stats.controlLatencyCount,
+            static_cast<std::uint64_t>(kStatsProbes));
+  EXPECT_EQ(stats.statsRequests, static_cast<std::uint64_t>(kStatsProbes));
+  // Every stats response snapshots the live counters; none of them may see
+  // control traffic leaking into the compile count.
+  for (std::size_t i = 2; i < responses.size(); ++i) {
+    const json::Object& svc = responses[i]
+                                  .asObject()
+                                  .at("stats")
+                                  .asObject()
+                                  .at("service")
+                                  .asObject();
+    EXPECT_LE(svc.at("latencyCount").asInt(), 2);
+  }
+}
+
+TEST(Service, MetricsRequestAnswersPrometheusExposition) {
+  artifact::ArtifactStore store;
+  artifact::ServiceOptions options;
+  options.threads = 1;
+  artifact::ServiceStats stats;
+  const std::vector<json::Value> responses = runService(
+      "{\"id\":1,\"comp\":\"mesh4\",\"kernel\":\"gcd\"}\n"
+      "{\"id\":2,\"comp\":\"mesh4\",\"kernel\":\"gcd\"}\n"
+      "{\"id\":3,\"metrics\":true}\n",
+      store, options, &stats);
+
+  ASSERT_EQ(responses.size(), 3u);
+  const json::Object& o = responses[2].asObject();
+  EXPECT_TRUE(o.at("ok").asBool());
+  EXPECT_EQ(o.at("id").asInt(), 3);
+  const std::string text = o.at("metrics").asString();
+  // The exposition is scraped mid-session: both compile requests have been
+  // answered, the metrics request itself is counted as read.
+  EXPECT_NE(text.find("# TYPE cgra_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cgra_requests_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("cgra_scheduled_total 1\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE cgra_compile_latency_us histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cgra_compile_latency_us_count 2\n"),
+            std::string::npos);
+  EXPECT_EQ(stats.statsRequests, 1u)
+      << "metrics probes count as control-plane traffic";
+}
+
+TEST(Service, AccessLogSpansSumToReportedTotal) {
+  TempDir dir("accesslog");
+  const std::string logPath = (dir.path / "access.jsonl").string();
+  artifact::ArtifactStore store;
+  artifact::ServiceOptions options;
+  options.threads = 2;
+  options.maxInFlight = 1;  // serialize: line order and cacheHit are exact
+  options.accessLogPath = logPath;
+  artifact::ServiceStats stats;
+  const std::vector<json::Value> responses = runService(
+      "{\"id\":1,\"comp\":\"mesh4\",\"kernel\":\"gcd\"}\n"
+      "{\"id\":2,\"comp\":\"mesh4\",\"kernel\":\"gcd\"}\n"
+      "{\"id\":3,\"bad\":1}\n"
+      "{\"id\":4,\"stats\":true}\n",
+      store, options, &stats);
+  ASSERT_EQ(responses.size(), 4u);
+
+  std::ifstream in(logPath);
+  ASSERT_TRUE(in.good()) << "access log must exist at " << logPath;
+  std::vector<json::Value> lines;
+  for (std::string line; std::getline(in, line);)
+    lines.push_back(json::parse(line));
+  ASSERT_EQ(lines.size(), 4u) << "one access-log line per request";
+
+  for (const json::Value& v : lines) {
+    const json::Object& o = v.asObject();
+    // Span additivity: the breakdown accounts for every microsecond of the
+    // reported end-to-end latency.
+    const std::int64_t total = o.at("totalUs").asInt();
+    const std::int64_t sum = o.at("admitUs").asInt() +
+                             o.at("queueUs").asInt() +
+                             o.at("serviceUs").asInt() +
+                             o.at("writeUs").asInt();
+    EXPECT_EQ(sum, total);
+    EXPECT_GE(o.at("serviceUs").asInt(),
+              o.at("storeUs").asInt() + o.at("scheduleUs").asInt() +
+                  o.at("serializeUs").asInt())
+        << "service time contains its sub-spans";
+    EXPECT_EQ(o.at("peer").asString(), "stream");
+  }
+  EXPECT_EQ(lines[0].asObject().at("outcome").asString(), "ok");
+  EXPECT_FALSE(lines[0].asObject().at("cacheHit").asBool());
+  EXPECT_TRUE(lines[1].asObject().at("cacheHit").asBool() ||
+              lines[1].asObject().at("outcome").asString() == "ok");
+  EXPECT_EQ(lines[2].asObject().at("outcome").asString(), "parse");
+  EXPECT_EQ(lines[3].asObject().at("outcome").asString(), "stats");
+  EXPECT_EQ(lines[0].asObject().at("key").asString(),
+            lines[1].asObject().at("key").asString());
+  EXPECT_EQ(lines[0].asObject().at("key").asString().size(), 12u);
+}
+
 #ifdef __unix__
 
 /// A FIFO-backed kernelFile deterministically blocks the worker inside
@@ -704,6 +822,20 @@ TEST(Service, EightClientStressSharesOneStoreCleanly) {
         if (o.at("v").asInt() != artifact::kWireVersion) ++failures;
         const bool expectOk = i != 5;
         if (o.at("ok").asBool() != expectOk) ++failures;
+        if (i == 9) {
+          // Mid-run snapshot consistency: the stats document is assembled
+          // under the admission lock, so per-connection request counts
+          // (live + closed rollup) must sum to the service total exactly —
+          // even while 7 other clients are hammering the same service.
+          const json::Object& stats = o.at("stats").asObject();
+          std::int64_t perConn = 0;
+          for (const json::Value& e : stats.at("connections").asArray())
+            perConn += e.asObject().at("requests").asInt();
+          perConn += stats.at("closed").asObject().at("requests").asInt();
+          if (perConn !=
+              stats.at("service").asObject().at("requests").asInt())
+            ++failures;
+        }
       }
       if (client.recvLine(line)) ++failures;  // nothing extra on the wire
     });
@@ -725,6 +857,17 @@ TEST(Service, EightClientStressSharesOneStoreCleanly) {
             static_cast<std::uint64_t>(kClients * (kRequests - 2)));
   EXPECT_EQ(stats.shedOverload, 0u)
       << "the default queue bound absorbs this load";
+
+  // Quiescent snapshot consistency: every session reaped, so the closed
+  // rollup alone accounts for every request and response of the run.
+  const json::Value statsDoc = service.statsJson();
+  const json::Object& doc = statsDoc.asObject();
+  EXPECT_TRUE(doc.at("connections").asArray().empty());
+  const json::Object& closed = doc.at("closed").asObject();
+  EXPECT_EQ(closed.at("connections").asInt(), kClients);
+  EXPECT_EQ(closed.at("requests").asInt(), kClients * kRequests);
+  EXPECT_EQ(closed.at("responses").asInt(), kClients * kRequests);
+  EXPECT_EQ(closed.at("shed").asInt(), 0);
 }
 
 #endif  // __unix__

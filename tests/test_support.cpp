@@ -4,10 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <thread>
 
 #include "support/bitvector.hpp"
 #include "support/dot.hpp"
-#include "support/latency_histogram.hpp"
+#include "support/metrics_registry.hpp"
 #include "support/occupancy.hpp"
 #include "support/rng.hpp"
 #include "support/small_vector.hpp"
@@ -342,6 +343,147 @@ TEST(LatencyHistogram, HugeSamplesClampIntoTheLastBucket) {
   EXPECT_EQ(h.count(), 1u);
   EXPECT_EQ(h.maxUs(), ~0ull);
   EXPECT_GT(h.quantileUs(0.5), 0.0);
+}
+
+TEST(LatencyHistogram, MergeWithEmptyIsIdentityBothWays) {
+  LatencyHistogram h;
+  LatencyHistogram empty;
+  for (std::uint64_t us : {5u, 77u, 1900u}) h.record(us);
+  LatencyHistogram merged = h;
+  merged.merge(empty);
+  EXPECT_EQ(merged.count(), h.count());
+  EXPECT_EQ(merged.maxUs(), h.maxUs());
+  EXPECT_DOUBLE_EQ(merged.quantileUs(0.99), h.quantileUs(0.99));
+  empty.merge(h);
+  EXPECT_EQ(empty.count(), h.count());
+  EXPECT_DOUBLE_EQ(empty.meanUs(), h.meanUs());
+}
+
+TEST(LatencyHistogram, SingleBucketQuantilesInterpolateWithinSpan) {
+  // All samples land in bucket 5 ([32, 63] µs): every quantile must stay
+  // inside that bucket's span and never exceed the observed max.
+  LatencyHistogram h;
+  for (std::uint64_t us = 32; us <= 60; ++us) h.record(us);
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    const double v = h.quantileUs(q);
+    EXPECT_GE(v, 32.0) << "q=" << q;
+    EXPECT_LE(v, 60.0) << "q=" << q;
+  }
+  EXPECT_LE(h.quantileUs(0.5), h.quantileUs(0.99));
+}
+
+TEST(LatencyHistogram, QuantileClampsOutOfRangeArguments) {
+  LatencyHistogram h;
+  h.record(10);
+  h.record(40);
+  EXPECT_DOUBLE_EQ(h.quantileUs(-1.0), h.quantileUs(0.0));
+  EXPECT_DOUBLE_EQ(h.quantileUs(2.0), h.quantileUs(1.0));
+}
+
+TEST(LatencyHistogram, SaturatingSumSurvivesHugeSampleMerges) {
+  // Two near-max samples overflow the 64-bit sum (wrapping, by design —
+  // unsigned arithmetic); count, max, and quantiles must stay sane.
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.record(~0ull);
+  b.record(~0ull - 1);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.maxUs(), ~0ull);
+  EXPECT_EQ(a.bucket(Log2Histogram::kBuckets - 1), 2u);
+  EXPECT_GT(a.quantileUs(0.5), 0.0);
+}
+
+TEST(AtomicHistogram, SnapshotMatchesSingleThreadedRecording) {
+  AtomicHistogram ah;
+  LatencyHistogram expect;
+  for (std::uint64_t us : {1u, 2u, 3u, 100u, 5000u, 5000u}) {
+    ah.record(us);
+    expect.record(us);
+  }
+  const Log2Histogram snap = ah.snapshot();
+  EXPECT_EQ(snap.count(), expect.count());
+  EXPECT_EQ(snap.maxUs(), expect.maxUs());
+  EXPECT_EQ(snap.sumUs(), expect.sumUs());
+  EXPECT_DOUBLE_EQ(snap.quantileUs(0.5), expect.quantileUs(0.5));
+}
+
+TEST(AtomicHistogram, ConcurrentRecordLosesNothing) {
+  // 8 threads × 10k records; also snapshots mid-flight so TSan exercises
+  // the record/snapshot race the relaxed-atomic contract allows.
+  AtomicHistogram ah;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&ah, &go, t] {
+      while (!go.load()) std::this_thread::yield();
+      for (std::uint64_t i = 0; i < kPerThread; ++i)
+        ah.record((i % 64) + static_cast<std::uint64_t>(t));
+    });
+  go.store(true);
+  const Log2Histogram racy = ah.snapshot();  // valid but possibly partial
+  EXPECT_LE(racy.count(), kThreads * kPerThread);
+  for (std::thread& t : threads) t.join();
+  const Log2Histogram final = ah.snapshot();
+  EXPECT_EQ(final.count(), kThreads * kPerThread);
+  EXPECT_GE(final.maxUs(), 63u);
+}
+
+TEST(MetricsRegistry, RegistrationIsIdempotentByName) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("cgra_x_total", "first help wins");
+  Counter& b = reg.counter("cgra_x_total", "ignored on re-registration");
+  EXPECT_EQ(&a, &b);
+  a.inc(3);
+  EXPECT_EQ(b.value(), 3u);
+  AtomicHistogram& h1 = reg.histogram("cgra_y_us", "h");
+  AtomicHistogram& h2 = reg.histogram("cgra_y_us", "h");
+  EXPECT_EQ(&h1, &h2);
+  Gauge& g1 = reg.gauge("cgra_z", "g");
+  Gauge& g2 = reg.gauge("cgra_z", "g");
+  EXPECT_EQ(&g1, &g2);
+}
+
+TEST(MetricsRegistry, PrometheusExpositionFormat) {
+  MetricsRegistry reg;
+  reg.counter("cgra_requests_total", "request lines read").inc(42);
+  reg.gauge("cgra_queue_depth", "admitted requests in flight").set(-1);
+  AtomicHistogram& h = reg.histogram("cgra_latency_us", "service latency");
+  h.record(0);   // bucket 0, le="1"
+  h.record(5);   // bucket 2, le="7"
+  const std::string text = reg.renderPrometheus();
+  EXPECT_NE(text.find("# HELP cgra_requests_total request lines read\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE cgra_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cgra_requests_total 42\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE cgra_queue_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("cgra_queue_depth -1\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE cgra_latency_us histogram\n"),
+            std::string::npos);
+  // Cumulative buckets up to the top populated one, then +Inf, sum, count.
+  EXPECT_NE(text.find("cgra_latency_us_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cgra_latency_us_bucket{le=\"7\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cgra_latency_us_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cgra_latency_us_sum 5\n"), std::string::npos);
+  EXPECT_NE(text.find("cgra_latency_us_count 2\n"), std::string::npos);
+  // Trailing empty buckets are elided: nothing past le="7" but +Inf.
+  EXPECT_EQ(text.find("cgra_latency_us_bucket{le=\"15\"}"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistry, EmptyHistogramExposesOnlyInfBucket) {
+  MetricsRegistry reg;
+  reg.histogram("cgra_idle_us", "never recorded");
+  const std::string text = reg.renderPrometheus();
+  EXPECT_NE(text.find("cgra_idle_us_bucket{le=\"+Inf\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cgra_idle_us_count 0\n"), std::string::npos);
 }
 
 }  // namespace

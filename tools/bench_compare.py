@@ -18,7 +18,12 @@ This tool has two modes:
       warn-only to gated, at its own generous --timing-threshold (default
       3.0, i.e. fail only past 4x the baseline): loose enough for shared
       CI runners, tight enough to catch an accidental O(n^2) on the
-      scheduling hot path.
+      scheduling hot path. BENCH_table4_walltime.json additionally carries
+      the per-pass exclusive wall times (passAnalysisMs, passCandidateMs,
+      passCostModelMs, passPlacementMs, passRoutingMs, passFusingMs,
+      passCboxMs, passLoopMs, passFinalizeMs), so an individual scheduler
+      pass can be gated on its own: e.g.
+        --gate-timing sweepWallMs --gate-timing passRoutingMs
 
 Uses only the Python standard library.
 """

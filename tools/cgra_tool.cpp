@@ -180,6 +180,14 @@ constexpr FlagSpec kFlagTable[] = {
     {"connect", true, false, "TARGET",
      "client mode: pipe stdin JSONL to a running server (unix socket PATH "
      "or tcp:PORT) and print its responses"},
+    {"access-log", true, false, "PATH",
+     "append one JSONL access-log line per served request (id, peer, key "
+     "prefix, outcome, span breakdown in microseconds)"},
+    {"trace-sample", true, false, "N",
+     "record a decision trace for every Nth cold scheduling run and write "
+     "its Chrome JSON into --trace-dir (0 = off)"},
+    {"trace-dir", true, false, "DIR",
+     "directory receiving sampled serve traces (created if missing)"},
     {"help", false, false, "", "show this subcommand's flags"},
 };
 
@@ -837,7 +845,7 @@ int runServeClient(const std::string& target) {
 int cmdServe(const Args& args) {
   if (args.has("connect")) return runServeClient(args.get("connect"));
 
-  preflightOutputs(args, {}, {"cache"});
+  preflightOutputs(args, {"metrics", "access-log"}, {"cache", "trace-dir"});
   artifact::ArtifactStore store(storeOptions(args));
   artifact::ServiceOptions opts;
   opts.threads = args.getUnsigned("threads", 0);
@@ -846,6 +854,9 @@ int cmdServe(const Args& args) {
   opts.maxClients = args.getUnsigned("max-clients", 0);
   opts.maxConnections = args.getUnsigned("max-connections", 0);
   opts.includeArtifact = args.has("artifact");
+  opts.accessLogPath = args.get("access-log", "");
+  opts.traceSample = args.getUnsigned("trace-sample", 0);
+  opts.traceDir = args.get("trace-dir", "");
 
   artifact::Service service(store, opts);
   const bool sockets = args.has("socket") || args.has("tcp");
@@ -876,6 +887,13 @@ int cmdServe(const Args& args) {
     service.serveStream(std::cin, std::cout);
   }
   const artifact::ServiceStats stats = service.stats();
+  if (args.has("metrics")) {
+    // Final scrape of the Prometheus exposition; live scraping goes
+    // through {"metrics": true} requests on the wire.
+    std::ofstream out(args.get("metrics"));
+    if (!out) throw Error("cannot write --metrics " + args.get("metrics"));
+    out << service.metricsText();
+  }
   // Session summary on stderr: stdout carries only JSONL responses.
   std::cerr << "serve: " << stats.requests << " request(s), "
             << stats.scheduled << " scheduled, " << stats.cacheHits
@@ -996,7 +1014,7 @@ const CommandSpec kCommands[] = {
     {"serve", "concurrent compile server: JSONL requests in, artifacts out",
      {"cache", "cache-bytes", "threads", "max-queue", "queue-bound",
       "max-clients", "artifact", "socket", "tcp", "max-connections",
-      "connect"},
+      "connect", "metrics", "access-log", "trace-sample", "trace-dir"},
      cmdServe},
 };
 

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Validate a `cgra-tool serve --access-log` JSONL file against a golden.
+
+Usage: check_access_log.py ACCESS_LOG [GOLDEN]
+
+With no GOLDEN (or GOLDEN of "-") only the invariant layer runs.
+
+Two layers of checking:
+
+  1. Invariants on the raw lines (DESIGN.md §13): every line is a
+     one-object JSON document; the span breakdown is additive
+     (admitUs + queueUs + serviceUs + writeUs == totalUs exactly); the
+     service span contains its sub-spans (storeUs + scheduleUs +
+     serializeUs <= serviceUs); a non-empty key is exactly the 12-char
+     prefix of the artifact key.
+
+  2. Format stability: after zeroing the volatile fields (every *Us
+     duration, the connection id) and replacing the key prefix with a
+     placeholder, the normalised lines must match the golden
+     byte-for-byte. Renaming, adding, or dropping an access-log field
+     fails this check until the golden is regenerated on purpose.
+
+Uses only the Python standard library. Exit 0 on success, 1 with a
+diagnostic on the first violation.
+"""
+
+import json
+import sys
+
+VOLATILE_SUFFIX = "Us"
+
+
+def die(msg):
+    print("check_access_log: " + msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def normalize(line, lineno):
+    try:
+        doc = json.loads(line)
+    except ValueError as e:
+        die("line %d is not valid JSON: %s" % (lineno, e))
+    if not isinstance(doc, dict):
+        die("line %d is not a JSON object" % lineno)
+
+    spans = {}
+    for k in ("admitUs", "queueUs", "serviceUs", "writeUs", "totalUs",
+              "storeUs", "scheduleUs", "serializeUs"):
+        v = doc.get(k)
+        if not isinstance(v, int) or v < 0:
+            die("line %d: %s must be a non-negative integer, got %r"
+                % (lineno, k, v))
+        spans[k] = v
+    accounted = (spans["admitUs"] + spans["queueUs"] + spans["serviceUs"]
+                 + spans["writeUs"])
+    if accounted != spans["totalUs"]:
+        die("line %d: spans are not additive: admit+queue+service+write=%d"
+            " != totalUs=%d" % (lineno, accounted, spans["totalUs"]))
+    inner = spans["storeUs"] + spans["scheduleUs"] + spans["serializeUs"]
+    if inner > spans["serviceUs"]:
+        die("line %d: sub-spans exceed serviceUs: %d > %d"
+            % (lineno, inner, spans["serviceUs"]))
+
+    key = doc.get("key")
+    if not isinstance(key, str):
+        die("line %d: key must be a string" % lineno)
+    if key and len(key) != 12:
+        die("line %d: non-empty key must be the 12-char prefix, got %r"
+            % (lineno, key))
+
+    for k in list(doc):
+        if k.endswith(VOLATILE_SUFFIX):
+            doc[k] = 0
+    doc["conn"] = 0
+    if key:
+        doc["key"] = "<key12>"
+    return json.dumps(doc, sort_keys=True)
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        die("usage: check_access_log.py ACCESS_LOG [GOLDEN]")
+    with open(argv[1], "r", encoding="utf-8") as f:
+        got = [normalize(line, i + 1)
+               for i, line in enumerate(f) if line.strip()]
+    if len(argv) == 2 or argv[2] == "-":
+        print("check_access_log: %d line(s) satisfy the span invariants"
+              % len(got))
+        return 0
+    with open(argv[2], "r", encoding="utf-8") as f:
+        want = [line.rstrip("\n") for line in f if line.strip()]
+    if got != want:
+        print("check_access_log: normalised log differs from golden",
+              file=sys.stderr)
+        for i in range(max(len(got), len(want))):
+            g = got[i] if i < len(got) else "<missing>"
+            w = want[i] if i < len(want) else "<missing>"
+            if g != w:
+                print("  line %d:\n    got:  %s\n    want: %s"
+                      % (i + 1, g, w), file=sys.stderr)
+        sys.exit(1)
+    print("check_access_log: %d line(s) match the golden" % len(got))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
