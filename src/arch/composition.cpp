@@ -58,10 +58,18 @@ void Composition::validate() const {
     throw Error("composition \"" + name_ + "\": at least one DMA PE required");
   if (!ic_.stronglyConnected())
     throw Error("composition \"" + name_ + "\": interconnect is not strongly connected");
-  for (const PEDescriptor& pe : pes_)
+  for (const PEDescriptor& pe : pes_) {
     if (pe.regfileSize() < 4)
       throw Error("composition \"" + name_ + "\": PE \"" + pe.name() +
                   "\" register file too small");
+    // An op-less PE can never host an operation or a route endpoint; such
+    // descriptors are reachable via PEDescriptor::fromJson and via careless
+    // mutation of op sets, so reject them here rather than failing deep in
+    // the scheduler.
+    if (pe.ops().empty())
+      throw Error("composition \"" + name_ + "\": PE \"" + pe.name() +
+                  "\" supports no operations");
+  }
 }
 
 json::Value Composition::toJson() const {

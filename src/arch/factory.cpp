@@ -220,6 +220,62 @@ Composition makeStar(unsigned numPEs, const FactoryOptions& opts) {
                      opts.contextMemoryLength, opts.cboxSlots);
 }
 
+Composition makeTopology(const std::string& name, const std::string& topology,
+                         unsigned rows, unsigned cols,
+                         const FactoryOptions& opts,
+                         const std::vector<PEId>& dmaPEs,
+                         const std::vector<PEId>& mulPEs) {
+  const unsigned n = rows * cols;
+  if (n == 0)
+    throw Error("makeTopology: \"" + name + "\": zero-PE array (" +
+                std::to_string(rows) + "x" + std::to_string(cols) + ")");
+  if (dmaPEs.empty())
+    throw Error("makeTopology: \"" + name + "\": at least one DMA PE required");
+  for (PEId id : dmaPEs)
+    if (id >= n)
+      throw Error("makeTopology: \"" + name + "\": DMA PE " +
+                  std::to_string(id) + " out of range (array has " +
+                  std::to_string(n) + " PEs)");
+  for (PEId id : mulPEs)
+    if (id >= n)
+      throw Error("makeTopology: \"" + name + "\": MUL PE " +
+                  std::to_string(id) + " out of range (array has " +
+                  std::to_string(n) + " PEs)");
+
+  Interconnect ic(n);
+  if (topology == "mesh") {
+    ic = meshLinks(rows, cols);
+  } else if (topology == "torus") {
+    if (rows < 2 || cols < 2)
+      throw Error("makeTopology: \"" + name + "\": torus needs at least 2x2");
+    auto id = [cols](unsigned r, unsigned c) { return r * cols + c; };
+    for (unsigned r = 0; r < rows; ++r)
+      for (unsigned c = 0; c < cols; ++c) {
+        ic.addBidirectional(id(r, c), id(r, (c + 1) % cols));
+        ic.addBidirectional(id(r, c), id((r + 1) % rows, c));
+      }
+  } else if (topology == "ring" || topology == "uniring") {
+    if (n < 2)
+      throw Error("makeTopology: \"" + name + "\": ring needs at least 2 PEs");
+    for (PEId i = 0; i < n; ++i) {
+      if (topology == "ring")
+        ic.addBidirectional(i, (i + 1) % n);
+      else
+        ic.addLink(i, (i + 1) % n);
+    }
+  } else if (topology == "star") {
+    if (n < 2)
+      throw Error("makeTopology: \"" + name + "\": star needs at least 2 PEs");
+    for (PEId i = 1; i < n; ++i) ic.addBidirectional(0, i);
+  } else {
+    throw Error("makeTopology: \"" + name + "\": unknown topology \"" +
+                topology + "\" (mesh|torus|ring|uniring|star)");
+  }
+  ic.computeShortestPaths();
+  return Composition(name, makePEs(n, opts, dmaPEs, mulPEs), std::move(ic),
+                     opts.contextMemoryLength, opts.cboxSlots);
+}
+
 const std::vector<unsigned>& meshSizes() {
   static const std::vector<unsigned> kSizes{4, 6, 8, 9, 12, 16};
   return kSizes;

@@ -52,6 +52,22 @@ Composition makeTorus(unsigned rows, unsigned cols,
 /// routing, hub contention.
 Composition makeStar(unsigned numPEs, const FactoryOptions& opts = {});
 
+/// General builder over the named topology families, used by the
+/// design-space explorer (src/explore) to materialize arbitrary points of a
+/// CompositionSpace. `topology` ∈ {"mesh", "torus", "ring", "uniring",
+/// "star"}; `rows`×`cols` PEs (ring/star treat the product as the PE
+/// count); `dmaPEs` lists the DMA-capable PEs (required, ≤ 4 per the
+/// paper); `mulPEs` restricts IMUL to the listed PEs (empty = all PEs
+/// multiply). Throws a typed Error on any degenerate input — zero-PE
+/// arrays, out-of-range DMA/MUL ids, torus smaller than 2×2, unknown
+/// topology — and Composition::validate() re-checks the result, so a
+/// returned Composition is always schedulable-shaped.
+Composition makeTopology(const std::string& name, const std::string& topology,
+                         unsigned rows, unsigned cols,
+                         const FactoryOptions& opts,
+                         const std::vector<PEId>& dmaPEs,
+                         const std::vector<PEId>& mulPEs = {});
+
 /// All Fig. 13 mesh sizes in paper order: {4, 6, 8, 9, 12, 16}.
 const std::vector<unsigned>& meshSizes();
 

@@ -1,0 +1,131 @@
+// Search loop of the design-space explorer (DESIGN.md §14).
+//
+// The Explorer ties the pieces together: a CompositionSpace to draw from,
+// mutation/crossover operators, an Evaluator over the sweep engine, and one
+// of three pluggable strategies:
+//
+//  * random    — every generation is `population` fresh samples; the
+//                baseline and the exhaustive-ish mode for tiny spaces.
+//  * hillclimb — mutate the scalar-best candidate found so far
+//                (population-1 mutants + 1 fresh sample per generation to
+//                keep exploring).
+//  * genetic   — archive-wide parent selection by (Pareto rank, scalar
+//                cost), uniform crossover + mutation offspring, elitism by
+//                construction (the archive never forgets a candidate).
+//
+// Determinism: all randomness flows through one Rng seeded by
+// deriveSeed(options.seed, ...) and consumed sequentially on the driver
+// thread; evaluation is deterministic regardless of sweep threads or store
+// warmth (DESIGN.md §10). Hence a fixed --seed yields byte-identical
+// --stable reports across thread counts and cold/warm caches — the
+// acceptance bar of the subsystem, asserted by tests and bench_explore.
+//
+// Budget semantics: `budget` caps *distinct evaluated genotypes*. Proposals
+// already memoized are free; the proposal stream is clipped so the cap is
+// exact, and the loop also stops after two consecutive generations that
+// evaluated nothing new (a converged or exhausted search).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "explore/evaluator.hpp"
+#include "explore/space.hpp"
+#include "support/metrics_registry.hpp"
+
+namespace cgra::explore {
+
+struct ExploreOptions {
+  /// One of: random | hillclimb | genetic.
+  std::string strategy = "genetic";
+  std::uint64_t seed = 42;
+  /// Maximum distinct candidate evaluations across the whole run.
+  unsigned budget = 64;
+  /// Proposals per generation.
+  unsigned population = 8;
+  /// Passed through to the sweep engine (threads; schedules are dropped).
+  SweepOptions sweep;
+};
+
+/// Per-generation progress, kept in the report so a front can be traced
+/// back to when its members appeared.
+struct GenerationStats {
+  unsigned generation = 0;
+  std::size_t proposed = 0;   ///< proposals after budget clipping
+  std::size_t evaluated = 0;  ///< of those, distinct new genotypes evaluated
+  std::size_t frontSize = 0;  ///< archive-wide Pareto front after the merge
+  std::size_t dominated = 0;  ///< feasible archive members off the front
+  std::size_t infeasible = 0; ///< infeasible archive members so far
+  double wallMs = 0.0;        ///< volatile
+  std::uint64_t storeHits = 0;  ///< volatile (warm runs differ)
+
+  json::Value toJson(bool includeVolatile) const;
+};
+
+struct ExploreReport {
+  /// Non-dominated feasible candidates over everything evaluated, sorted
+  /// by genotype key.
+  std::vector<CandidateEval> front;
+  std::vector<GenerationStats> generations;
+  std::size_t evaluations = 0;
+  std::size_t dominatedCount = 0;
+  std::size_t infeasibleCount = 0;
+  EvaluatorCounters counters;
+  std::string strategy;
+  std::uint64_t seed = 0;
+  unsigned budget = 0;
+  unsigned population = 0;
+  double wallTimeMs = 0.0;  ///< volatile
+
+  /// Sorted-key JSON ("cgra-explore-v1"). `includeVolatile = false` omits
+  /// wall times and store traffic, so the bytes are stable across thread
+  /// counts, machines, and cache warmth.
+  json::Value toJson(bool includeVolatile = true) const;
+};
+
+class Explorer {
+public:
+  /// Validates the space and options up front (typed errors). `store` may
+  /// be null; kernel graphs must outlive the Explorer.
+  Explorer(CompositionSpace space, std::vector<ExploreKernel> kernels,
+           ExploreOptions options,
+           artifact::ArtifactStore* store = nullptr);
+
+  /// Runs the search to its budget (or convergence) and returns the
+  /// report. One run() per Explorer.
+  ExploreReport run();
+
+  /// Live registry: cgra_explore_* counters/gauges plus the per-generation
+  /// wall-time histogram.
+  MetricsRegistry& registry() { return registry_; }
+  std::string metricsText() const { return registry_.renderPrometheus(); }
+
+private:
+  std::vector<Genotype> propose();
+  std::vector<Genotype> proposeRandom();
+  std::vector<Genotype> proposeHillclimb();
+  std::vector<Genotype> proposeGenetic();
+  /// Drops proposals that would push distinct evaluations past the budget
+  /// (memoized proposals are free and always kept).
+  std::vector<Genotype> clipToBudget(std::vector<Genotype> proposals);
+  void mergeIntoArchive(const std::vector<CandidateEval>& evals);
+
+  CompositionSpace space_;
+  ExploreOptions options_;
+  Evaluator evaluator_;
+  Rng rng_;
+  /// Every distinct evaluated candidate, in first-evaluation order.
+  std::vector<CandidateEval> archive_;
+
+  MetricsRegistry registry_;
+  Counter& proposalsTotal_;
+  Counter& evaluationsTotal_;
+  Counter& memoHitsTotal_;
+  Counter& storeHitsTotal_;
+  Counter& jobsTotal_;
+  Gauge& frontSizeGauge_;
+  AtomicHistogram& generationUs_;
+};
+
+}  // namespace cgra::explore

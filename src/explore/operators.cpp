@@ -1,0 +1,124 @@
+#include "explore/operators.hpp"
+
+#include <algorithm>
+
+namespace cgra::explore {
+
+namespace {
+
+/// Replaces `current` with a different element of `choices` when one
+/// exists; with a single choice the value is forced to it.
+template <typename T>
+T differentChoice(Rng& rng, const std::vector<T>& choices, const T& current) {
+  if (choices.size() == 1) return choices.front();
+  T pick = current;
+  while (pick == current)
+    pick = choices[static_cast<std::size_t>(
+        rng.range(0, static_cast<std::int64_t>(choices.size()) - 1))];
+  return pick;
+}
+
+void mutateDma(Genotype& g, const CompositionSpace& space, Rng& rng) {
+  const unsigned n = g.numPEs();
+  const unsigned cap = std::min({space.maxDmaPEs, 4u, n});
+  const auto randomId = [&] {
+    return static_cast<PEId>(rng.range(0, static_cast<std::int64_t>(n) - 1));
+  };
+  const std::int64_t action = rng.range(0, 2);
+  if (action == 0 && g.dmaPEs.size() < cap) {
+    g.dmaPEs.push_back(randomId());  // repair() dedupes and sorts
+  } else if (action == 1 && g.dmaPEs.size() > 1) {
+    g.dmaPEs.erase(g.dmaPEs.begin() +
+                   rng.range(0, static_cast<std::int64_t>(g.dmaPEs.size()) - 1));
+  } else {
+    g.dmaPEs[static_cast<std::size_t>(
+        rng.range(0, static_cast<std::int64_t>(g.dmaPEs.size()) - 1))] =
+        randomId();
+  }
+}
+
+/// Toggles one PE's multiplier. Works on the *effective* set (empty =
+/// everyone multiplies) so the semantics of the toggle never depend on the
+/// encoding; repair() re-canonicalizes a full set back to empty.
+void mutateMul(Genotype& g, const CompositionSpace& space, Rng& rng) {
+  if (!space.allowHeteroMul) return;
+  const unsigned n = g.numPEs();
+  std::vector<PEId> effective = g.mulPEs;
+  if (effective.empty())
+    for (PEId i = 0; i < n; ++i) effective.push_back(i);
+
+  const PEId p =
+      static_cast<PEId>(rng.range(0, static_cast<std::int64_t>(n) - 1));
+  const auto it = std::find(effective.begin(), effective.end(), p);
+  if (it != effective.end() && effective.size() > 1)
+    effective.erase(it);  // never drop the last multiplier
+  else if (it == effective.end())
+    effective.push_back(p);
+  g.mulPEs = std::move(effective);
+}
+
+}  // namespace
+
+Genotype mutate(const Genotype& g, const CompositionSpace& space, Rng& rng) {
+  const std::string before = g.key();
+  Genotype out = g;
+  // A mutation that repairs back onto the same point is wasted search
+  // effort; retry with fresh randomness a few times before accepting it.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    out = g;
+    switch (rng.range(0, 7)) {
+      case 0:
+        out.topology = differentChoice(rng, space.topologies, out.topology);
+        break;
+      case 1:
+        out.rows = rng.chance(1, 2) ? out.rows + 1
+                                    : (out.rows > 0 ? out.rows - 1 : 0);
+        break;
+      case 2:
+        out.cols = rng.chance(1, 2) ? out.cols + 1
+                                    : (out.cols > 0 ? out.cols - 1 : 0);
+        break;
+      case 3:
+        out.rfSize = differentChoice(rng, space.rfSizes, out.rfSize);
+        break;
+      case 4:
+        out.cboxSlots = differentChoice(rng, space.cboxChoices, out.cboxSlots);
+        break;
+      case 5:
+        out.contextLength =
+            differentChoice(rng, space.contextLengths, out.contextLength);
+        break;
+      case 6:
+        mutateDma(out, space, rng);
+        break;
+      default:
+        mutateMul(out, space, rng);
+        break;
+    }
+    space.repair(out);
+    if (out.key() != before) return out;
+  }
+  return out;
+}
+
+Genotype crossover(const Genotype& a, const Genotype& b,
+                   const CompositionSpace& space, Rng& rng) {
+  Genotype child;
+  child.topology = rng.chance(1, 2) ? a.topology : b.topology;
+  if (rng.chance(1, 2)) {
+    child.rows = a.rows;
+    child.cols = a.cols;
+  } else {
+    child.rows = b.rows;
+    child.cols = b.cols;
+  }
+  child.rfSize = rng.chance(1, 2) ? a.rfSize : b.rfSize;
+  child.cboxSlots = rng.chance(1, 2) ? a.cboxSlots : b.cboxSlots;
+  child.contextLength = rng.chance(1, 2) ? a.contextLength : b.contextLength;
+  child.dmaPEs = rng.chance(1, 2) ? a.dmaPEs : b.dmaPEs;
+  child.mulPEs = rng.chance(1, 2) ? a.mulPEs : b.mulPEs;
+  space.repair(child);
+  return child;
+}
+
+}  // namespace cgra::explore

@@ -1,0 +1,28 @@
+// Mutation and crossover over Genotypes (DESIGN.md §14).
+//
+// Both operators draw from the caller's Rng (one sequential stream per
+// explore run, so results are reproducible under --seed) and finish with
+// CompositionSpace::repair(), which is what makes the guarantee "operators
+// only ever produce well-formed Compositions" structural rather than
+// hoped-for: whatever a step does to the encoding, the result is projected
+// back into the space before anyone materializes it.
+#pragma once
+
+#include "explore/space.hpp"
+#include "support/rng.hpp"
+
+namespace cgra::explore {
+
+/// One randomized edit of `g`: topology swap, ±1 row/col, an RF/C-Box/
+/// context step to a different allowed choice, a DMA move/add/remove, or a
+/// multiplier toggle. Retries a few kinds so the returned genotype usually
+/// differs from `g` (in a space with a single point it may not).
+Genotype mutate(const Genotype& g, const CompositionSpace& space, Rng& rng);
+
+/// Uniform crossover: each field is inherited from one parent (the shape
+/// travels as a (rows, cols) pair so child meshes stay parent-shaped), then
+/// the child is repaired into the space.
+Genotype crossover(const Genotype& a, const Genotype& b,
+                   const CompositionSpace& space, Rng& rng);
+
+}  // namespace cgra::explore

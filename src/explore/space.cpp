@@ -1,0 +1,331 @@
+#include "explore/space.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "arch/factory.hpp"
+#include "support/assert.hpp"
+
+namespace cgra::explore {
+
+namespace {
+
+const std::vector<std::string>& knownTopologies() {
+  static const std::vector<std::string> kNames{"mesh", "torus", "ring",
+                                              "uniring", "star"};
+  return kNames;
+}
+
+bool isKnownTopology(const std::string& t) {
+  const auto& names = knownTopologies();
+  return std::find(names.begin(), names.end(), t) != names.end();
+}
+
+std::string joinIds(const std::vector<PEId>& ids) {
+  std::string out;
+  for (PEId id : ids) {
+    if (!out.empty()) out += '.';
+    out += std::to_string(id);
+  }
+  return out;
+}
+
+/// Nearest value in `choices`; on an exact tie the smaller value wins so
+/// snapping is deterministic regardless of the list's order.
+unsigned snapChoice(unsigned v, const std::vector<unsigned>& choices) {
+  unsigned best = choices.front();
+  for (unsigned c : choices) {
+    const unsigned dBest = best > v ? best - v : v - best;
+    const unsigned dC = c > v ? c - v : v - c;
+    if (dC < dBest || (dC == dBest && c < best)) best = c;
+  }
+  return best;
+}
+
+template <typename T>
+const T& pickFrom(Rng& rng, const std::vector<T>& choices) {
+  return choices[static_cast<std::size_t>(
+      rng.range(0, static_cast<std::int64_t>(choices.size()) - 1))];
+}
+
+/// `count` distinct PE ids < n, ascending (std::set iteration order), so a
+/// given RNG stream always yields the same list.
+std::vector<PEId> pickDistinctIds(Rng& rng, unsigned n, unsigned count) {
+  std::set<PEId> ids;
+  while (ids.size() < count)
+    ids.insert(static_cast<PEId>(rng.range(0, static_cast<std::int64_t>(n) - 1)));
+  return {ids.begin(), ids.end()};
+}
+
+void sortUniqueInRange(std::vector<PEId>& ids, unsigned n) {
+  ids.erase(std::remove_if(ids.begin(), ids.end(),
+                           [n](PEId id) { return id >= n; }),
+            ids.end());
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+}
+
+unsigned asUnsignedField(const json::Value& v, const std::string& key) {
+  const std::int64_t raw = v.asInt();
+  if (raw < 0 || raw > (1 << 20))
+    throw Error("explore space: \"" + key + "\" out of range");
+  return static_cast<unsigned>(raw);
+}
+
+std::vector<unsigned> asUnsignedList(const json::Value& v,
+                                     const std::string& key) {
+  std::vector<unsigned> out;
+  for (const json::Value& e : v.asArray()) out.push_back(asUnsignedField(e, key));
+  return out;
+}
+
+std::vector<PEId> asIdList(const json::Value& v, const std::string& key) {
+  std::vector<PEId> out;
+  for (const json::Value& e : v.asArray())
+    out.push_back(static_cast<PEId>(asUnsignedField(e, key)));
+  return out;
+}
+
+json::Value idListToJson(const std::vector<PEId>& ids) {
+  json::Array arr;
+  for (PEId id : ids) arr.emplace_back(static_cast<std::int64_t>(id));
+  return arr;
+}
+
+}  // namespace
+
+std::string Genotype::key() const {
+  return topology + std::to_string(rows) + "x" + std::to_string(cols) +
+         "-rf" + std::to_string(rfSize) + "-cb" + std::to_string(cboxSlots) +
+         "-cx" + std::to_string(contextLength) + "-d" + joinIds(dmaPEs) +
+         "-m" + (mulPEs.empty() ? std::string("all") : joinIds(mulPEs));
+}
+
+Composition Genotype::materialize() const {
+  FactoryOptions opts;
+  opts.regfileSize = rfSize;
+  opts.contextMemoryLength = contextLength;
+  opts.cboxSlots = cboxSlots;
+  return makeTopology(key(), topology, rows, cols, opts, dmaPEs, mulPEs);
+}
+
+json::Value Genotype::toJson() const {
+  json::Object obj;
+  obj["topology"] = topology;
+  obj["rows"] = static_cast<std::int64_t>(rows);
+  obj["cols"] = static_cast<std::int64_t>(cols);
+  obj["rfSize"] = static_cast<std::int64_t>(rfSize);
+  obj["cboxSlots"] = static_cast<std::int64_t>(cboxSlots);
+  obj["contextLength"] = static_cast<std::int64_t>(contextLength);
+  obj["dmaPEs"] = idListToJson(dmaPEs);
+  obj["mulPEs"] = idListToJson(mulPEs);
+  return obj;
+}
+
+Genotype Genotype::fromJson(const json::Value& v) {
+  Genotype g;
+  for (const auto& [key, value] : v.asObject()) {
+    if (key == "topology")
+      g.topology = value.asString();
+    else if (key == "rows")
+      g.rows = asUnsignedField(value, key);
+    else if (key == "cols")
+      g.cols = asUnsignedField(value, key);
+    else if (key == "rfSize")
+      g.rfSize = asUnsignedField(value, key);
+    else if (key == "cboxSlots")
+      g.cboxSlots = asUnsignedField(value, key);
+    else if (key == "contextLength")
+      g.contextLength = asUnsignedField(value, key);
+    else if (key == "dmaPEs")
+      g.dmaPEs = asIdList(value, key);
+    else if (key == "mulPEs")
+      g.mulPEs = asIdList(value, key);
+    else
+      throw Error("explore genotype: unknown key \"" + key + "\"");
+  }
+  if (!isKnownTopology(g.topology))
+    throw Error("explore genotype: unknown topology \"" + g.topology + "\"");
+  return g;
+}
+
+void CompositionSpace::validate() const {
+  if (topologies.empty())
+    throw Error("explore space: empty topology list");
+  for (const std::string& t : topologies) {
+    if (!isKnownTopology(t))
+      throw Error("explore space: unknown topology \"" + t +
+                  "\" (mesh|torus|ring|uniring|star)");
+    if (std::count(topologies.begin(), topologies.end(), t) > 1)
+      throw Error("explore space: duplicate topology \"" + t + "\"");
+  }
+  if (minRows < 1 || minCols < 1 || minRows > maxRows || minCols > maxCols)
+    throw Error("explore space: bad shape range " + std::to_string(minRows) +
+                ".." + std::to_string(maxRows) + " x " +
+                std::to_string(minCols) + ".." + std::to_string(maxCols));
+  if (maxRows * maxCols < 2)
+    throw Error("explore space: largest shape has fewer than 2 PEs");
+  if (maxRows * maxCols > 64)
+    throw Error("explore space: largest shape exceeds 64 PEs");
+  const bool hasTorus =
+      std::find(topologies.begin(), topologies.end(), "torus") !=
+      topologies.end();
+  if (hasTorus && (maxRows < 2 || maxCols < 2))
+    throw Error("explore space: torus requires a shape range reaching 2x2");
+  if (rfSizes.empty())
+    throw Error("explore space: empty rfSizes");
+  for (unsigned rf : rfSizes)
+    if (rf < 4)
+      throw Error("explore space: RF size " + std::to_string(rf) +
+                  " below the minimum of 4");
+  if (cboxChoices.empty())
+    throw Error("explore space: empty cboxSlots choices");
+  for (unsigned cb : cboxChoices)
+    if (cb < 2)
+      throw Error("explore space: C-Box slots " + std::to_string(cb) +
+                  " below the minimum of 2");
+  if (contextLengths.empty())
+    throw Error("explore space: empty contextLengths");
+  for (unsigned cx : contextLengths)
+    if (cx == 0)
+      throw Error("explore space: context length 0");
+  if (maxDmaPEs < 1 || maxDmaPEs > 4)
+    throw Error("explore space: maxDmaPEs must be 1..4, got " +
+                std::to_string(maxDmaPEs));
+}
+
+Genotype CompositionSpace::sample(Rng& rng) const {
+  Genotype g;
+  g.topology = pickFrom(rng, topologies);
+  unsigned rowLo = minRows;
+  unsigned colLo = minCols;
+  if (g.topology == "torus") {
+    rowLo = std::max(rowLo, 2u);
+    colLo = std::max(colLo, 2u);
+  }
+  g.rows = static_cast<unsigned>(rng.range(rowLo, maxRows));
+  g.cols = static_cast<unsigned>(rng.range(colLo, maxCols));
+  g.rfSize = pickFrom(rng, rfSizes);
+  g.cboxSlots = pickFrom(rng, cboxChoices);
+  g.contextLength = pickFrom(rng, contextLengths);
+
+  const unsigned n = g.numPEs();
+  const unsigned dmaCap = std::min({maxDmaPEs, 4u, n});
+  const unsigned dmaCount = static_cast<unsigned>(rng.range(1, dmaCap));
+  g.dmaPEs = pickDistinctIds(rng, n, dmaCount);
+
+  g.mulPEs.clear();
+  if (allowHeteroMul && n > 1 && rng.chance(1, 2)) {
+    // A proper subset keeps multipliers; the full set is the homogeneous
+    // case already encoded as "empty".
+    const unsigned mulCount = static_cast<unsigned>(rng.range(1, n - 1));
+    g.mulPEs = pickDistinctIds(rng, n, mulCount);
+  }
+  repair(g);
+  return g;
+}
+
+void CompositionSpace::repair(Genotype& g) const {
+  if (std::find(topologies.begin(), topologies.end(), g.topology) ==
+      topologies.end())
+    g.topology = topologies.front();
+
+  g.rows = std::clamp(g.rows, minRows, maxRows);
+  g.cols = std::clamp(g.cols, minCols, maxCols);
+  if (g.topology == "torus") {
+    g.rows = std::max(g.rows, 2u);  // validate() guarantees maxRows >= 2
+    g.cols = std::max(g.cols, 2u);
+  }
+  // Every topology family (and the scheduler) needs at least two PEs.
+  while (g.numPEs() < 2 && (g.cols < maxCols || g.rows < maxRows)) {
+    if (g.cols < maxCols)
+      ++g.cols;
+    else
+      ++g.rows;
+  }
+
+  g.rfSize = snapChoice(g.rfSize, rfSizes);
+  g.cboxSlots = snapChoice(g.cboxSlots, cboxChoices);
+  g.contextLength = snapChoice(g.contextLength, contextLengths);
+
+  const unsigned n = g.numPEs();
+  sortUniqueInRange(g.dmaPEs, n);
+  const unsigned dmaCap = std::min({maxDmaPEs, 4u, n});
+  if (g.dmaPEs.size() > dmaCap) g.dmaPEs.resize(dmaCap);
+  if (g.dmaPEs.empty()) g.dmaPEs = {0};
+
+  if (!allowHeteroMul) g.mulPEs.clear();
+  sortUniqueInRange(g.mulPEs, n);
+  // Canonical form: "every PE multiplies" is the empty list.
+  if (g.mulPEs.size() >= n) g.mulPEs.clear();
+}
+
+bool CompositionSpace::contains(const Genotype& g) const {
+  Genotype repaired = g;
+  repair(repaired);
+  return repaired.key() == g.key();
+}
+
+json::Value CompositionSpace::toJson() const {
+  json::Object obj;
+  json::Array topo;
+  for (const std::string& t : topologies) topo.emplace_back(t);
+  obj["topologies"] = std::move(topo);
+  obj["minRows"] = static_cast<std::int64_t>(minRows);
+  obj["maxRows"] = static_cast<std::int64_t>(maxRows);
+  obj["minCols"] = static_cast<std::int64_t>(minCols);
+  obj["maxCols"] = static_cast<std::int64_t>(maxCols);
+  auto list = [](const std::vector<unsigned>& vs) {
+    json::Array arr;
+    for (unsigned v : vs) arr.emplace_back(static_cast<std::int64_t>(v));
+    return arr;
+  };
+  obj["rfSizes"] = list(rfSizes);
+  obj["cboxSlots"] = list(cboxChoices);
+  obj["contextLengths"] = list(contextLengths);
+  obj["maxDmaPEs"] = static_cast<std::int64_t>(maxDmaPEs);
+  obj["allowHeteroMul"] = allowHeteroMul;
+  return obj;
+}
+
+CompositionSpace CompositionSpace::fromJson(const json::Value& v) {
+  CompositionSpace s;
+  for (const auto& [key, value] : v.asObject()) {
+    if (key == "topologies") {
+      s.topologies.clear();
+      for (const json::Value& t : value.asArray())
+        s.topologies.push_back(t.asString());
+    } else if (key == "minRows") {
+      s.minRows = asUnsignedField(value, key);
+    } else if (key == "maxRows") {
+      s.maxRows = asUnsignedField(value, key);
+    } else if (key == "minCols") {
+      s.minCols = asUnsignedField(value, key);
+    } else if (key == "maxCols") {
+      s.maxCols = asUnsignedField(value, key);
+    } else if (key == "rfSizes") {
+      s.rfSizes = asUnsignedList(value, key);
+    } else if (key == "cboxSlots") {
+      s.cboxChoices = asUnsignedList(value, key);
+    } else if (key == "contextLengths") {
+      s.contextLengths = asUnsignedList(value, key);
+    } else if (key == "maxDmaPEs") {
+      s.maxDmaPEs = asUnsignedField(value, key);
+    } else if (key == "allowHeteroMul") {
+      s.allowHeteroMul = value.asBool();
+    } else {
+      throw Error("explore space: unknown key \"" + key +
+                  "\" (topologies, minRows, maxRows, minCols, maxCols, "
+                  "rfSizes, cboxSlots, contextLengths, maxDmaPEs, "
+                  "allowHeteroMul)");
+    }
+  }
+  s.validate();
+  return s;
+}
+
+CompositionSpace CompositionSpace::fromJsonFile(const std::string& path) {
+  return fromJson(json::parseFile(path));
+}
+
+}  // namespace cgra::explore

@@ -1,0 +1,112 @@
+// Composition design space for the `cgra-tool explore` auto-tuner
+// (DESIGN.md §14).
+//
+// A `Genotype` is the searchable encoding of one candidate CGRA: topology
+// family, array shape, RF width, C-Box slots, context-memory length, DMA
+// placement, and the multiplier subset (per-PE op-set inhomogeneity in the
+// style of composition F). `materialize()` turns it into a real
+// `Composition` through `arch::makeTopology`, so every candidate the search
+// evaluates has passed both the factory's typed checks and
+// `Composition::validate()`.
+//
+// A `CompositionSpace` bounds the search: which topology families, which
+// shape ranges, which discrete RF/C-Box/context choices, how many DMA PEs,
+// and whether heterogeneous multiplier assignment is allowed. The space is
+// closed under `repair()`: any genotype — freshly sampled, mutated, crossed
+// over, or parsed from user JSON — is clamped/snapped back into the space,
+// which is how the mutation operators guarantee they only ever produce
+// well-formed candidates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/composition.hpp"
+#include "json/json.hpp"
+#include "support/rng.hpp"
+
+namespace cgra::explore {
+
+/// One point of the composition design space. Fields mirror the knobs the
+/// ROADMAP names: array size, interconnect topology, per-PE op sets, RF
+/// width, C-Box slots, DMA placement.
+struct Genotype {
+  /// Topology family, one of arch::makeTopology's names:
+  /// mesh | torus | ring | uniring | star.
+  std::string topology = "mesh";
+  unsigned rows = 2;
+  unsigned cols = 2;
+  unsigned rfSize = 128;
+  unsigned cboxSlots = 32;
+  unsigned contextLength = 256;
+  /// DMA-capable PEs (paper §IV-A.1: 1..4 of them).
+  std::vector<PEId> dmaPEs{0};
+  /// PEs that keep IMUL; empty means every PE multiplies (the canonical
+  /// encoding of a homogeneous array — repair() collapses the full set to
+  /// empty so equal hardware always has equal keys).
+  std::vector<PEId> mulPEs;
+
+  unsigned numPEs() const { return rows * cols; }
+
+  /// Canonical, filesystem-safe identity string, e.g.
+  /// "mesh2x3-rf64-cb16-cx128-d0.5-mall". Two genotypes describe the same
+  /// hardware iff their keys are equal; the key doubles as the
+  /// Composition name, so sweep labels and artifact-store keys of distinct
+  /// candidates never collide.
+  std::string key() const;
+
+  /// Builds the candidate via arch::makeTopology; throws cgra::Error on a
+  /// degenerate genotype (explore always repairs first, so a throw here is
+  /// a bug in an operator, not a user error).
+  Composition materialize() const;
+
+  json::Value toJson() const;
+  static Genotype fromJson(const json::Value& v);
+};
+
+/// Bounds of the search. Defaults span the paper's evaluated range (4..16
+/// PEs, RF 32..128 per §VI-B) without exploding the space.
+struct CompositionSpace {
+  std::vector<std::string> topologies{"mesh", "torus", "ring", "star"};
+  unsigned minRows = 1;
+  unsigned maxRows = 4;
+  unsigned minCols = 2;
+  unsigned maxCols = 4;
+  std::vector<unsigned> rfSizes{32, 64, 128};
+  std::vector<unsigned> cboxChoices{8, 16, 32};
+  std::vector<unsigned> contextLengths{128, 256};
+  /// Upper bound on DMA PEs per candidate (1..4; the paper caps at 4).
+  unsigned maxDmaPEs = 2;
+  /// Allow composition-F-style multiplier inhomogeneity (mulPEs ⊂ PEs).
+  bool allowHeteroMul = true;
+
+  /// Throws cgra::Error on an unusable space: empty/unknown topology list,
+  /// inverted or zero ranges, spaces whose every point would fail
+  /// Composition::validate() (RF < 4, C-Box < 2, one-PE arrays, torus in a
+  /// sub-2×2 shape range).
+  void validate() const;
+
+  /// Uniform draw from the space; the result already satisfies contains().
+  Genotype sample(Rng& rng) const;
+
+  /// Projects an arbitrary genotype back into the space: clamps the shape,
+  /// snaps RF/C-Box/context to the nearest allowed choice (ties toward the
+  /// smaller value), sorts/dedupes/bounds the DMA and MUL id lists, and
+  /// canonicalizes a full MUL set to "empty = all". Deterministic, and a
+  /// fixpoint: repair(repair(g)) == repair(g).
+  void repair(Genotype& g) const;
+
+  /// True when `g` is inside the space and in canonical form (what
+  /// sample() produces and repair() enforces).
+  bool contains(const Genotype& g) const;
+
+  json::Value toJson() const;
+  /// Parses a user space spec; unknown keys are a typed error so a typo
+  /// ("rfsizes") narrows the search loudly rather than silently. Validates
+  /// before returning.
+  static CompositionSpace fromJson(const json::Value& v);
+  static CompositionSpace fromJsonFile(const std::string& path);
+};
+
+}  // namespace cgra::explore

@@ -1,25 +1,45 @@
 // Deterministic pseudo-random generator (xoshiro256**) for workload
-// generation and property-test sweeps. std::mt19937 would also work, but a
-// self-contained generator guarantees identical streams across standard
-// library implementations, which keeps golden benchmark inputs stable.
+// generation, property-test sweeps and the design-space explorer.
+// std::mt19937 would also work, but a self-contained generator guarantees
+// identical streams across standard library implementations, which keeps
+// golden benchmark inputs and Pareto fronts stable.
+//
+// Seeding convention: every randomized path in the repo derives its stream
+// from one user-visible seed through `splitmix64`/`deriveSeed`. Purposes
+// (workload data, random kernels, explore search) get distinct stream ids,
+// so one `--seed` flag governs them all without the streams aliasing.
 #pragma once
 
 #include <cstdint>
 
 namespace cgra {
 
+/// One SplitMix64 step: advances `state` and returns the stream's next
+/// value. This is the repo-wide seeding primitive — Rng's state expansion
+/// and deriveSeed() below both route through it.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Derives the seed of a named sub-stream from one user seed. Distinct
+/// `streamId`s yield statistically independent streams, so `--seed 42`
+/// can feed workload-input data, random-kernel generation and the explore
+/// search loop without correlation between them.
+inline std::uint64_t deriveSeed(std::uint64_t seed, std::uint64_t streamId) {
+  std::uint64_t state = seed ^ (streamId * 0xBF58476D1CE4E5B9ull);
+  return splitmix64(state);
+}
+
 /// Deterministic 64-bit PRNG (xoshiro256**), seedable and copyable.
 class Rng {
 public:
   explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
     // SplitMix64 seeding as recommended by the xoshiro authors.
-    for (auto& word : s_) {
-      seed += 0x9E3779B97F4A7C15ull;
-      std::uint64_t z = seed;
-      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-      word = z ^ (z >> 31);
-    }
+    for (auto& word : s_) word = splitmix64(seed);
   }
 
   std::uint64_t next() {

@@ -364,5 +364,55 @@ TEST(Composition, FromJsonFileResolvesReferences) {
   EXPECT_THROW(Composition::fromJsonFile(dir + "/nonexistent.json"), Error);
 }
 
+TEST(Factory, MakeTopologyBuildsEveryFamily) {
+  const FactoryOptions opts;
+  for (const char* topo : {"mesh", "torus", "ring", "uniring", "star"}) {
+    const Composition comp = makeTopology(topo, topo, 2, 3, opts, {0});
+    EXPECT_EQ(comp.numPEs(), 6u) << topo;
+    EXPECT_TRUE(comp.interconnect().stronglyConnected()) << topo;
+    EXPECT_EQ(comp.dmaPEs(), std::vector<PEId>{0}) << topo;
+  }
+}
+
+TEST(Factory, MakeTopologyRejectsDegenerateInputs) {
+  const FactoryOptions opts;
+  // Zero-PE arrays, in both orientations.
+  EXPECT_THROW(makeTopology("z", "mesh", 0, 4, opts, {0}), Error);
+  EXPECT_THROW(makeTopology("z", "mesh", 4, 0, opts, {0}), Error);
+  // DMA placement that cannot reach the array: none at all, or an id past
+  // the last PE.
+  EXPECT_THROW(makeTopology("d", "mesh", 2, 2, opts, {}), Error);
+  EXPECT_THROW(makeTopology("d", "mesh", 2, 2, opts, {4}), Error);
+  EXPECT_THROW(makeTopology("d", "mesh", 2, 2, opts, {0}, {7}), Error);
+  // Shape floors per family.
+  EXPECT_THROW(makeTopology("t", "torus", 1, 4, opts, {0}), Error);
+  EXPECT_THROW(makeTopology("t", "torus", 4, 1, opts, {0}), Error);
+  EXPECT_THROW(makeTopology("r", "ring", 1, 1, opts, {0}), Error);
+  EXPECT_THROW(makeTopology("s", "star", 1, 1, opts, {0}), Error);
+  // Unknown family is a typed error, not a silent mesh.
+  EXPECT_THROW(makeTopology("u", "moebius", 2, 2, opts, {0}), Error);
+  // RF width 0 (more generally < 4) fails Composition::validate().
+  FactoryOptions tinyRf;
+  tinyRf.regfileSize = 0;
+  EXPECT_THROW(makeTopology("rf", "mesh", 2, 2, tinyRf, {0}), Error);
+}
+
+TEST(Composition, RejectsOpLessPE) {
+  // A PE whose op set is empty can never host an operation or a route
+  // endpoint; Composition::validate() must reject it with a typed error
+  // rather than letting the scheduler fail deep inside.
+  Composition ok = makeMeshGrid(2, 2);
+  std::vector<PEDescriptor> pes;
+  for (PEId i = 0; i < ok.numPEs(); ++i) pes.push_back(ok.pe(i));
+  pes[2] = PEDescriptor("mute", 128, false);  // no ops registered
+  try {
+    Composition bad("bad", pes, ok.interconnect(), 256, 32);
+    FAIL() << "op-less PE must be rejected";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("supports no operations"),
+              std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace cgra

@@ -10,9 +10,13 @@ This tool has two modes:
   compare:   bench_compare.py --baseline DIR --current DIR [--threshold 0.10]
       Compare deterministic metrics (lower-is-better) against a baseline.
       Exit 1 if any metric regressed by more than the threshold fraction.
-      Wall-clock "timings" are machine-dependent and only warn. A missing
-      baseline directory or missing baseline file is non-blocking (exit 0
-      with a warning) so the first CI run can seed the baseline.
+      A metric the current run emits that has no baseline entry is a hard
+      failure too: an ungated metric is a regression gate silently not
+      running, which is exactly how stale baselines rot (re-seed the
+      baseline file to fix). Wall-clock "timings" are machine-dependent
+      and only warn. A missing baseline directory or missing baseline
+      file is non-blocking (exit 0 with a warning) so the first CI run
+      can seed the baseline.
 
       --gate-timing KEY (repeatable) promotes the named timing key from
       warn-only to gated, at its own generous --timing-threshold (default
@@ -155,6 +159,20 @@ def cmd_compare(baseline_dir, current_dir, threshold, gated_timings,
             continue
         base = baseline[fname]
         compared += 1
+        # Every metric the current run produces must be gated: a key absent
+        # from the baseline would silently escape comparison forever, so it
+        # fails hard until the baseline is re-seeded with it.
+        for key in sorted(set(cur.get("metrics", {})) -
+                          set(base.get("metrics", {}))):
+            regressions.append(
+                "%s metrics.%s: no baseline entry — metric is ungated; "
+                "re-seed the baseline file with this run's value" %
+                (fname, key))
+        for key in sorted(gated_timings & (set(cur.get("timings", {})) -
+                                           set(base.get("timings", {})))):
+            regressions.append(
+                "%s timings.%s: gated timing has no baseline entry — "
+                "re-seed the baseline file" % (fname, key))
         for is_reg, msg in compare_section(
                 fname, "metrics", base.get("metrics", {}),
                 cur.get("metrics", {}), threshold, lower_is_better=True):

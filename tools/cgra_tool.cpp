@@ -24,13 +24,22 @@
 //                       [--threads 4]
 //   cgra-tool sweep     --comps mesh4,mesh9,A --kernels adpcm,gcd
 //                       [--unroll 2] [--threads 4] [--metrics out.json]
-//                       [--trace tracedir] [--cache cachedir]
+//                       [--trace tracedir] [--cache cachedir] [--seed 42]
 //                       schedule every (composition × kernel) pair on the
 //                       parallel sweep engine; --metrics dumps the
 //                       aggregated scheduler-metrics JSON report; --trace
 //                       writes one Chrome trace-event file per job;
 //                       --cache serves repeats from (and fills) a
-//                       persistent schedule-artifact store
+//                       persistent schedule-artifact store; --seed feeds
+//                       workload inputs and `randomN` generated kernels
+//   cgra-tool explore   --kernels dotprod,fir [--space space.json]
+//                       [--strategy genetic] [--seed 42] [--budget 64]
+//                       [--population 8] [--threads 4] [--cache cachedir]
+//                       [--stable] [--out front.json] [--metrics m.txt]
+//                       design-space auto-tuner: search the composition
+//                       space for the Pareto front over modeled area vs.
+//                       schedule quality; deterministic under --seed,
+//                       cache-accelerated across generations and runs
 //   cgra-tool serve     [--cache cachedir] [--threads 4] [--socket p.sock]
 //                       [--tcp 0] [--max-clients 32] [--queue-bound 256]
 //                       concurrent batch compile server: JSONL schedule
@@ -73,12 +82,14 @@
 #include "arch/resource_model.hpp"
 #include "ctx/contexts.hpp"
 #include "ctx/serialize.hpp"
+#include "explore/explorer.hpp"
 #include "host/token_machine.hpp"
 #include "kir/interp.hpp"
 #include "kir/lower_bytecode.hpp"
 #include "kir/lower_cdfg.hpp"
 #include "kir/parser.hpp"
 #include "kir/passes.hpp"
+#include "kir/random_kernel.hpp"
 #include "sched/analysis.hpp"
 #include "sched/job_key.hpp"
 #include "sched/scheduler.hpp"
@@ -87,6 +98,7 @@
 #include "sim/report.hpp"
 #include "sim/simulator.hpp"
 #include "support/fs.hpp"
+#include "support/rng.hpp"
 #include "support/table.hpp"
 #include "synth/synthesis.hpp"
 #include "vgen/verilog.hpp"
@@ -150,10 +162,25 @@ constexpr FlagSpec kFlagTable[] = {
     {"threads", true, false, "N",
      "worker threads (0 = hardware concurrency)"},
     {"metrics", true, false, "PATH",
-     "write the aggregated sweep-metrics JSON report"},
+     "write the aggregated sweep-metrics JSON report (sweep) or the final "
+     "Prometheus exposition (serve, explore)"},
     {"area-weight", true, false, "W",
      "synthesis score weight of LUT area (default 0.25)"},
-    {"out", true, false, "PATH", "write the winning composition JSON"},
+    {"out", true, false, "PATH",
+     "write the result JSON: winning composition (synthesize) or "
+     "Pareto-front report (explore)"},
+    {"space", true, false, "PATH",
+     "composition-space spec JSON bounding the explore search (omit for "
+     "the built-in space)"},
+    {"strategy", true, false, "NAME",
+     "explore search strategy: random|hillclimb|genetic (default genetic)"},
+    {"seed", true, false, "N",
+     "seed for every randomized path — workload input data, randomN "
+     "generated kernels, the explore search (default 42)"},
+    {"budget", true, false, "N",
+     "maximum distinct candidate evaluations in explore (default 64)"},
+    {"population", true, false, "N",
+     "explore candidate proposals per generation (default 8)"},
     {"cache", true, false, "DIR",
      "content-addressed schedule-artifact cache directory (created if "
      "missing; repeated jobs are served without rescheduling)"},
@@ -343,8 +370,38 @@ artifact::StoreOptions storeOptions(const Args& args) {
   return so;
 }
 
-apps::Workload resolveKernel(const std::string& name) {
-  for (apps::Workload& w : apps::allWorkloads())
+/// Parses --seed (default 42, the historical allWorkloads seed, so runs
+/// without the flag reproduce existing goldens byte-for-byte).
+std::uint64_t parseSeed(const Args& args) {
+  const std::string text = args.get("seed", "42");
+  try {
+    std::size_t used = 0;
+    const std::uint64_t seed = std::stoull(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return seed;
+  } catch (const std::exception&) {
+    throw Error("invalid --seed \"" + text + "\" (expected an integer)");
+  }
+}
+
+/// Resolves a kernel name: a bundled workload (input data drawn from
+/// `seed`) or `randomN` — the property-test generator's kernel for
+/// sub-stream N of `seed`, giving sweeps and explore an unbounded
+/// deterministic kernel supply beyond the bundled suite.
+apps::Workload resolveKernel(const std::string& name,
+                             std::uint64_t seed = 42) {
+  if (name.rfind("random", 0) == 0 && name.size() > 6 &&
+      name.find_first_not_of("0123456789", 6) == std::string::npos) {
+    const std::uint64_t stream = std::stoull(name.substr(6));
+    kir::RandomKernel rk = kir::generateRandomKernel(deriveSeed(seed, stream));
+    apps::Workload w;
+    w.name = name;
+    w.fn = std::move(rk.fn);
+    w.initialLocals = std::move(rk.initialLocals);
+    w.heap = std::move(rk.heap);
+    return w;
+  }
+  for (apps::Workload& w : apps::allWorkloads(seed))
     if (w.name == name) return std::move(w);
   throw Error("unknown kernel \"" + name + "\" (see `cgra-tool list`)");
 }
@@ -719,9 +776,10 @@ int cmdSweep(const Args& args) {
     comps.push_back(resolveComposition(name));
 
   const unsigned unroll = args.getUnsigned("unroll", 1);
+  const std::uint64_t seed = parseSeed(args);
   std::deque<std::pair<std::string, Cdfg>> graphs;
   for (const std::string& name : splitCsv(args.get("kernels", "adpcm"))) {
-    apps::Workload w = resolveKernel(name);
+    apps::Workload w = resolveKernel(name, seed);
     kir::Function fn = w.fn;
     if (unroll >= 2) fn = kir::unrollLoops(fn, unroll, true);
     graphs.emplace_back(name, kir::lowerToCdfg(fn).graph);
@@ -790,6 +848,76 @@ int cmdSweep(const Args& args) {
     std::cout << "wrote " << args.get("metrics") << "\n";
   }
   return report.failures == 0 ? 0 : 1;
+}
+
+int cmdExplore(const Args& args) {
+  preflightOutputs(args, {"out", "metrics"}, {"cache"});
+  explore::CompositionSpace space =
+      args.has("space")
+          ? explore::CompositionSpace::fromJsonFile(args.get("space"))
+          : explore::CompositionSpace{};
+
+  const std::uint64_t seed = parseSeed(args);
+  const unsigned unroll = args.getUnsigned("unroll", 1);
+  // Deque for stable addresses: ExploreKernel carries non-owning pointers.
+  std::deque<std::pair<std::string, Cdfg>> graphs;
+  for (const std::string& name :
+       splitCsv(args.get("kernels", "dotprod,fir,gcd"))) {
+    apps::Workload w = resolveKernel(name, seed);
+    kir::Function fn = w.fn;
+    if (unroll >= 2) fn = kir::unrollLoops(fn, unroll, true);
+    graphs.emplace_back(name, kir::lowerToCdfg(fn).graph);
+  }
+  std::vector<explore::ExploreKernel> kernels;
+  for (const auto& [name, graph] : graphs)
+    kernels.push_back(explore::ExploreKernel{name, &graph, 1.0});
+
+  explore::ExploreOptions opts;
+  opts.strategy = args.get("strategy", "genetic");
+  opts.seed = seed;
+  opts.budget = args.getUnsigned("budget", 64);
+  opts.population = args.getUnsigned("population", 8);
+  opts.sweep.threads = args.getUnsigned("threads", 0);
+
+  std::optional<artifact::ArtifactStore> store;
+  if (args.has("cache")) store.emplace(storeOptions(args));
+  explore::Explorer explorer(std::move(space), std::move(kernels), opts,
+                             store.has_value() ? &*store : nullptr);
+  const explore::ExploreReport report = explorer.run();
+
+  TextTable table(
+      {"Candidate", "Wlen", "Util", "LUTs", "DSP", "BRAM", "MHz"});
+  for (const explore::CandidateEval& e : report.front)
+    table.addRow({e.key, fmt(e.weightedLength, 0),
+                  fmt(e.meanUtilization * 100, 1) + "%", fmt(e.areaLuts, 0),
+                  std::to_string(e.dsp), std::to_string(e.bram),
+                  fmt(e.frequencyMHz, 1)});
+  table.print(std::cout);
+  std::cout << report.front.size() << " Pareto-optimal candidate(s) of "
+            << report.evaluations << " evaluated ("
+            << report.dominatedCount << " dominated, "
+            << report.infeasibleCount << " infeasible) in "
+            << report.generations.size() << " generation(s), "
+            << fmt(report.wallTimeMs, 1) << " ms [" << report.strategy
+            << ", seed " << report.seed << "]\n";
+  if (store.has_value())
+    std::cout << "artifact cache: " << report.counters.storeHits
+              << " hit(s), " << report.counters.storeMisses << " miss(es) in "
+              << store->directory() << "\n";
+  if (args.has("out")) {
+    json::writeFile(args.get("out"),
+                    report.toJson(/*includeVolatile=*/!args.has("stable")));
+    std::cout << "wrote " << args.get("out") << "\n";
+  }
+  if (args.has("metrics")) {
+    std::ofstream out(args.get("metrics"));
+    if (!out) throw Error("cannot write --metrics " + args.get("metrics"));
+    out << explorer.metricsText();
+    std::cout << "wrote " << args.get("metrics") << "\n";
+  }
+  // An empty front means no candidate scheduled the whole kernel set —
+  // the search found nothing usable, which callers should notice.
+  return report.front.empty() ? 1 : 0;
 }
 
 /// The live service a SIGTERM/SIGINT handler asks to drain. notifyDrain()
@@ -1009,8 +1137,14 @@ const CommandSpec kCommands[] = {
      {"kernels", "area-weight", "threads", "out"}, cmdSynthesize},
     {"sweep", "schedule every (composition x kernel) pair in parallel",
      {"comps", "kernels", "unroll", "threads", "metrics", "max-contexts",
-      "trace", "trace-capacity", "stable", "cache", "cache-bytes"},
+      "trace", "trace-capacity", "stable", "cache", "cache-bytes", "seed"},
      cmdSweep},
+    {"explore",
+     "design-space auto-tuner: Pareto front over area vs. schedule quality",
+     {"space", "kernels", "unroll", "strategy", "seed", "budget",
+      "population", "threads", "stable", "cache", "cache-bytes", "out",
+      "metrics"},
+     cmdExplore},
     {"serve", "concurrent compile server: JSONL requests in, artifacts out",
      {"cache", "cache-bytes", "threads", "max-queue", "queue-bound",
       "max-clients", "artifact", "socket", "tcp", "max-connections",

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Regenerates every checked-in golden from the current scheduler output:
 #   tests/golden/sweep_stable_seed.json        (--stable sweep metrics)
+#   tests/golden/explore_stable_seed.json      (--stable explore front)
 #   tests/golden/explain_adpcm_mesh9.txt       (decision transcript)
 #   tests/golden/explain_gcd_irregularD.txt    (decision transcript)
 #   tests/golden/random_kernel_fingerprints.txt (60-seed schedule corpus)
@@ -22,6 +23,11 @@ golden="$repo/tests/golden"
 echo "== stable sweep metrics"
 "$tool" sweep --comps mesh4,mesh9,mesh12 --kernels gcd,dotprod,fir \
   --threads 2 --stable --metrics "$golden/sweep_stable_seed.json" >/dev/null
+
+echo "== stable explore front"
+"$tool" explore --kernels dotprod,gcd --strategy genetic --seed 42 \
+  --budget 12 --population 4 --threads 2 --stable \
+  --out "$golden/explore_stable_seed.json" >/dev/null
 
 echo "== explain transcripts"
 "$tool" explain --comp mesh9 --kernel adpcm \
