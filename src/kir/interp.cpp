@@ -28,11 +28,19 @@ public:
       case ExprKind::Compare:
         return evalCompare(e.op, eval(e.lhs), eval(e.rhs)) ? 1 : 0;
       case ExprKind::ArrayLoad: return heap_.load(eval(e.lhs), eval(e.rhs));
+      case ExprKind::LogicalAnd:
+        return eval(e.lhs) != 0 ? (eval(e.rhs) != 0 ? 1 : 0) : 0;
+      case ExprKind::LogicalOr:
+        return eval(e.lhs) != 0 ? 1 : (eval(e.rhs) != 0 ? 1 : 0);
     }
     CGRA_UNREACHABLE("bad expr kind");
   }
 
-  void exec(StmtId id) {
+  /// How a statement finished: normally, or by unwinding toward the
+  /// innermost loop (Break/Continue) or the function exit (Return).
+  enum class Flow : std::uint8_t { Normal, Break, Continue, Return };
+
+  Flow exec(StmtId id) {
     if (++result_.statements > maxStatements_)
       throw Error("interpreter: statement budget exceeded in " + fn_.name());
     const Stmt& s = fn_.stmt(id);
@@ -48,17 +56,20 @@ public:
       }
       case StmtKind::If:
         if (eval(s.cond) != 0)
-          exec(s.thenBlock);
+          return exec(s.thenBlock);
         else if (s.elseBlock != kNoStmt)
-          exec(s.elseBlock);
+          return exec(s.elseBlock);
         break;
       case StmtKind::While:
         while (eval(s.cond) != 0) {
           ++result_.loopIterations;
-          exec(s.body);
+          const Flow f = exec(s.body);
           if (result_.statements > maxStatements_)
             throw Error("interpreter: statement budget exceeded in " +
                         fn_.name());
+          if (f == Flow::Break) break;
+          if (f == Flow::Return) return Flow::Return;
+          // Flow::Continue re-checks the condition, same as Normal here.
         }
         break;
       case StmtKind::Call: {
@@ -84,9 +95,27 @@ public:
         break;
       }
       case StmtKind::Block:
-        for (StmtId c : s.stmts) exec(c);
+        for (StmtId c : s.stmts) {
+          const Flow f = exec(c);
+          if (f != Flow::Normal) return f;
+        }
         break;
+      case StmtKind::Break:
+        return Flow::Break;
+      case StmtKind::Continue:
+        return Flow::Continue;
+      case StmtKind::Return:
+        if (s.value != kNoExpr) locals_[s.target] = eval(s.value);
+        return Flow::Return;
+      case StmtKind::Switch: {
+        const std::int32_t scrutinee = eval(s.cond);
+        for (std::size_t i = 0; i < s.stmts.size(); ++i)
+          if (s.caseValues[i] == scrutinee) return exec(s.stmts[i]);
+        if (s.body != kNoStmt) return exec(s.body);
+        break;
+      }
     }
+    return Flow::Normal;
   }
 
   std::vector<std::int32_t> takeLocals() { return std::move(locals_); }

@@ -81,13 +81,15 @@ void Function::validate() const {
         self(e.rhs, self);
         break;
       case ExprKind::ArrayLoad:
+      case ExprKind::LogicalAnd:
+      case ExprKind::LogicalOr:
         self(e.lhs, self);
         self(e.rhs, self);
         break;
     }
   };
 
-  std::function<void(StmtId)> checkStmt = [&](StmtId id) {
+  std::function<void(StmtId, int)> checkStmt = [&](StmtId id, int loopDepth) {
     if (id >= stmts_.size())
       throw Error("function " + name_ + ": statement id out of range");
     const Stmt& s = stmts_[id];
@@ -104,12 +106,12 @@ void Function::validate() const {
         break;
       case StmtKind::If:
         checkExpr(s.cond, checkExpr);
-        checkStmt(s.thenBlock);
-        if (s.elseBlock != kNoStmt) checkStmt(s.elseBlock);
+        checkStmt(s.thenBlock, loopDepth);
+        if (s.elseBlock != kNoStmt) checkStmt(s.elseBlock, loopDepth);
         break;
       case StmtKind::While:
         checkExpr(s.cond, checkExpr);
-        checkStmt(s.body);
+        checkStmt(s.body, loopDepth + 1);
         break;
       case StmtKind::Call:
         if (s.target >= locals_.size())
@@ -117,11 +119,40 @@ void Function::validate() const {
         for (ExprId a : s.args) checkExpr(a, checkExpr);
         break;
       case StmtKind::Block:
-        for (StmtId c : s.stmts) checkStmt(c);
+        for (StmtId c : s.stmts) checkStmt(c, loopDepth);
         break;
+      case StmtKind::Break:
+        if (loopDepth == 0)
+          throw Error("function " + name_ + ": break outside of a loop");
+        break;
+      case StmtKind::Continue:
+        if (loopDepth == 0)
+          throw Error("function " + name_ + ": continue outside of a loop");
+        break;
+      case StmtKind::Return:
+        if (s.value != kNoExpr) {
+          checkExpr(s.value, checkExpr);
+          if (s.target >= locals_.size())
+            throw Error("function " + name_ + ": return target out of range");
+        }
+        break;
+      case StmtKind::Switch: {
+        checkExpr(s.cond, checkExpr);
+        if (s.caseValues.size() != s.stmts.size())
+          throw Error("function " + name_ +
+                      ": switch case values and arms differ in count");
+        std::set<std::int32_t> seen;
+        for (std::int32_t v : s.caseValues)
+          if (!seen.insert(v).second)
+            throw Error("function " + name_ + ": duplicate switch case " +
+                        std::to_string(v));
+        for (StmtId arm : s.stmts) checkStmt(arm, loopDepth);
+        if (s.body != kNoStmt) checkStmt(s.body, loopDepth);
+        break;
+      }
     }
   };
-  checkStmt(body_);
+  checkStmt(body_, 0);
 }
 
 namespace {
@@ -181,6 +212,14 @@ void printExpr(const Function& fn, ExprId id, std::ostream& os) {
       printExpr(fn, e.rhs, os);
       os << ']';
       break;
+    case ExprKind::LogicalAnd:
+    case ExprKind::LogicalOr:
+      os << '(';
+      printExpr(fn, e.lhs, os);
+      os << (e.kind == ExprKind::LogicalAnd ? " && " : " || ");
+      printExpr(fn, e.rhs, os);
+      os << ')';
+      break;
   }
 }
 
@@ -234,6 +273,36 @@ void printStmt(const Function& fn, StmtId id, std::ostream& os, int depth) {
     case StmtKind::Block:
       for (StmtId c : s.stmts) printStmt(fn, c, os, depth);
       break;
+    case StmtKind::Break:
+      os << ind << "break;\n";
+      break;
+    case StmtKind::Continue:
+      os << ind << "continue;\n";
+      break;
+    case StmtKind::Return:
+      os << ind << "return";
+      if (s.value != kNoExpr) {
+        os << ' ';
+        printExpr(fn, s.value, os);
+      }
+      os << ";\n";
+      break;
+    case StmtKind::Switch:
+      os << ind << "switch ";
+      printExpr(fn, s.cond, os);
+      os << " {\n";
+      for (std::size_t i = 0; i < s.stmts.size(); ++i) {
+        os << ind << "case " << s.caseValues[i] << ": {\n";
+        printStmt(fn, s.stmts[i], os, depth + 1);
+        os << ind << "}\n";
+      }
+      if (s.body != kNoStmt) {
+        os << ind << "default: {\n";
+        printStmt(fn, s.body, os, depth + 1);
+        os << ind << "}\n";
+      }
+      os << ind << "}\n";
+      break;
   }
 }
 
@@ -258,6 +327,10 @@ void exprReads(const Function& fn, ExprId id, const std::set<LocalId>& defined,
     case ExprKind::Binary:
     case ExprKind::Compare:
     case ExprKind::ArrayLoad:
+    // Conservative for short-circuit: the rhs may not run, but counting its
+    // reads as live-in is safe (over-approximation).
+    case ExprKind::LogicalAnd:
+    case ExprKind::LogicalOr:
       exprReads(fn, e.lhs, defined, lv);
       exprReads(fn, e.rhs, defined, lv);
       break;
@@ -306,6 +379,42 @@ void stmtLiveness(const Function& fn, StmtId id, std::set<LocalId>& defined,
     case StmtKind::Block:
       for (StmtId c : s.stmts) stmtLiveness(fn, c, defined, lv);
       break;
+    case StmtKind::Break:
+    case StmtKind::Continue:
+      break;
+    case StmtKind::Return:
+      if (s.value != kNoExpr) {
+        exprReads(fn, s.value, defined, lv);
+        // Nothing on this path executes after the return, so the write is
+        // both definite and a live-out.
+        defined.insert(s.target);
+        lv.written.insert(s.target);
+      }
+      break;
+    case StmtKind::Switch: {
+      exprReads(fn, s.cond, defined, lv);
+      // A variable is definitely defined after the switch only when every
+      // arm (including a default — without one, some values skip all arms)
+      // defines it.
+      std::vector<std::set<LocalId>> armDefs;
+      for (StmtId arm : s.stmts) {
+        std::set<LocalId> d = defined;
+        stmtLiveness(fn, arm, d, lv);
+        armDefs.push_back(std::move(d));
+      }
+      if (s.body != kNoStmt) {
+        std::set<LocalId> d = defined;
+        stmtLiveness(fn, s.body, d, lv);
+        armDefs.push_back(std::move(d));
+        for (LocalId l : armDefs.front()) {
+          bool everywhere = true;
+          for (const auto& d : armDefs)
+            if (!d.contains(l)) { everywhere = false; break; }
+          if (everywhere) defined.insert(l);
+        }
+      }
+      break;
+    }
   }
 }
 
@@ -348,6 +457,65 @@ std::vector<LocalId> Function::liveInLocals() const {
 std::vector<LocalId> Function::liveOutLocals() const {
   const Liveness lv = computeLiveness(*this);
   return {lv.written.begin(), lv.written.end()};
+}
+
+namespace {
+
+const char* irregularInExpr(const Function& fn, ExprId id) {
+  if (id == kNoExpr) return nullptr;
+  const Expr& e = fn.expr(id);
+  if (e.kind == ExprKind::LogicalAnd) return "a short-circuit '&&'";
+  if (e.kind == ExprKind::LogicalOr) return "a short-circuit '||'";
+  switch (e.kind) {
+    case ExprKind::Const:
+    case ExprKind::Local:
+      return nullptr;
+    case ExprKind::Unary:
+      return irregularInExpr(fn, e.lhs);
+    default:
+      if (const char* c = irregularInExpr(fn, e.lhs)) return c;
+      return irregularInExpr(fn, e.rhs);
+  }
+}
+
+const char* irregularInStmt(const Function& fn, StmtId id) {
+  if (id == kNoStmt) return nullptr;
+  const Stmt& s = fn.stmt(id);
+  switch (s.kind) {
+    case StmtKind::Break: return "a 'break'";
+    case StmtKind::Continue: return "a 'continue'";
+    case StmtKind::Return: return "a 'return'";
+    case StmtKind::Switch: return "a 'switch'";
+    case StmtKind::Assign:
+      return irregularInExpr(fn, s.value);
+    case StmtKind::ArrayStore:
+      if (const char* c = irregularInExpr(fn, s.handle)) return c;
+      if (const char* c = irregularInExpr(fn, s.index)) return c;
+      return irregularInExpr(fn, s.value);
+    case StmtKind::If:
+      if (const char* c = irregularInExpr(fn, s.cond)) return c;
+      if (const char* c = irregularInStmt(fn, s.thenBlock)) return c;
+      return irregularInStmt(fn, s.elseBlock);
+    case StmtKind::While:
+      if (const char* c = irregularInExpr(fn, s.cond)) return c;
+      return irregularInStmt(fn, s.body);
+    case StmtKind::Call:
+      for (ExprId a : s.args)
+        if (const char* c = irregularInExpr(fn, a)) return c;
+      return nullptr;
+    case StmtKind::Block:
+      for (StmtId c : s.stmts)
+        if (const char* r = irregularInStmt(fn, c)) return r;
+      return nullptr;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const char* firstIrregularConstruct(const Function& fn) {
+  if (fn.body() == kNoStmt) return nullptr;
+  return irregularInStmt(fn, fn.body());
 }
 
 // ---------------------------------------------------------------------------
@@ -480,6 +648,63 @@ StmtId FunctionBuilder::block(std::vector<StmtId> stmts) {
   Stmt s;
   s.kind = StmtKind::Block;
   s.stmts = std::move(stmts);
+  return fn_.addStmt(std::move(s));
+}
+
+ExprId FunctionBuilder::land(ExprId a, ExprId b) {
+  Expr e;
+  e.kind = ExprKind::LogicalAnd;
+  e.lhs = a;
+  e.rhs = b;
+  return fn_.addExpr(e);
+}
+
+ExprId FunctionBuilder::lor(ExprId a, ExprId b) {
+  Expr e;
+  e.kind = ExprKind::LogicalOr;
+  e.lhs = a;
+  e.rhs = b;
+  return fn_.addExpr(e);
+}
+
+StmtId FunctionBuilder::breakLoop() {
+  Stmt s;
+  s.kind = StmtKind::Break;
+  return fn_.addStmt(std::move(s));
+}
+
+StmtId FunctionBuilder::continueLoop() {
+  Stmt s;
+  s.kind = StmtKind::Continue;
+  return fn_.addStmt(std::move(s));
+}
+
+StmtId FunctionBuilder::ret(ExprId value) {
+  Stmt s;
+  s.kind = StmtKind::Return;
+  s.value = value;
+  if (value != kNoExpr) {
+    LocalId result;
+    try {
+      result = fn_.localByName("result");
+    } catch (const Error&) {
+      result = fn_.addLocal("result", false);
+    }
+    s.target = result;
+  }
+  return fn_.addStmt(std::move(s));
+}
+
+StmtId FunctionBuilder::switchStmt(ExprId scrutinee,
+                                   std::vector<std::int32_t> values,
+                                   std::vector<StmtId> blocks,
+                                   StmtId defaultB) {
+  Stmt s;
+  s.kind = StmtKind::Switch;
+  s.cond = scrutinee;
+  s.caseValues = std::move(values);
+  s.stmts = std::move(blocks);
+  s.body = defaultB;
   return fn_.addStmt(std::move(s));
 }
 

@@ -4,7 +4,12 @@
 // turned into an instruction graph (Fig. 1). We substitute a small
 // structured imperative IR with the same expressive range the scheduler
 // needs — assignments, if/else, while/for with data-dependent bounds, array
-// load/store through handles, and calls (for the method-inlining pass).
+// load/store through handles, calls (for the method-inlining pass), and the
+// irregular control-flow constructs real kernels use: break/continue/return,
+// short-circuit && and ||, and switch. The irregular constructs are source
+// conveniences: the frontend pipeline (kir/passes/pipeline.hpp) normalizes
+// them into plain structured if/while form before CDFG lowering, which
+// rejects them.
 // Kernels written in KIR are lowered both to the CDFG (CGRA path) and to
 // baseline stack bytecode (AMIDAR path), so speedups compare the same
 // program.
@@ -34,12 +39,14 @@ inline constexpr StmtId kNoStmt = static_cast<StmtId>(-1);
 
 /// Expression node kinds.
 enum class ExprKind : std::uint8_t {
-  Const,      ///< 32-bit immediate
-  Local,      ///< read of a local variable
-  Binary,     ///< op(lhs, rhs) with op an arithmetic/logic Op
-  Unary,      ///< op(lhs) — INEG
-  Compare,    ///< comparison producing 0/1 (op is an IF* Op)
-  ArrayLoad,  ///< heap[lhs (handle)][rhs (index)]
+  Const,       ///< 32-bit immediate
+  Local,       ///< read of a local variable
+  Binary,      ///< op(lhs, rhs) with op an arithmetic/logic Op
+  Unary,       ///< op(lhs) — INEG
+  Compare,     ///< comparison producing 0/1 (op is an IF* Op)
+  ArrayLoad,   ///< heap[lhs (handle)][rhs (index)]
+  LogicalAnd,  ///< lhs && rhs — short-circuit: rhs evaluated only if lhs != 0
+  LogicalOr,   ///< lhs || rhs — short-circuit: rhs evaluated only if lhs == 0
 };
 
 struct Expr {
@@ -59,21 +66,30 @@ enum class StmtKind : std::uint8_t {
   While,       ///< while (cond) body
   Call,        ///< locals[target] = callee(args...)
   Block,       ///< statement sequence
+  Break,       ///< exit the innermost enclosing loop
+  Continue,    ///< jump to the innermost enclosing loop's next condition check
+  Return,      ///< exit the function; `value` (optional) assigns `target`
+               ///< (the local named "result") before leaving
+  Switch,      ///< structured switch on `cond`: caseValues[i] selects
+               ///< stmts[i]; `body` is the optional default arm. Arms are
+               ///< blocks — no fall-through. break/continue inside an arm
+               ///< bind to the enclosing *loop*, never to the switch.
 };
 
 struct Stmt {
   StmtKind kind = StmtKind::Block;
-  LocalId target = 0;                ///< Assign / Call
-  ExprId value = kNoExpr;            ///< Assign / ArrayStore
+  LocalId target = 0;                ///< Assign / Call / Return (with value)
+  ExprId value = kNoExpr;            ///< Assign / ArrayStore / Return
   ExprId handle = kNoExpr;           ///< ArrayStore
   ExprId index = kNoExpr;            ///< ArrayStore
-  ExprId cond = kNoExpr;             ///< If / While
+  ExprId cond = kNoExpr;             ///< If / While / Switch (scrutinee)
   StmtId thenBlock = kNoStmt;        ///< If
   StmtId elseBlock = kNoStmt;        ///< If (may be kNoStmt)
-  StmtId body = kNoStmt;             ///< While
+  StmtId body = kNoStmt;             ///< While / Switch default (may be kNoStmt)
   FuncId callee = 0;                 ///< Call
   std::vector<ExprId> args;          ///< Call
-  std::vector<StmtId> stmts;         ///< Block
+  std::vector<StmtId> stmts;         ///< Block / Switch case arms
+  std::vector<std::int32_t> caseValues;  ///< Switch (parallel to stmts)
 };
 
 /// A local variable declaration.
@@ -129,6 +145,13 @@ private:
   StmtId body_ = kNoStmt;
 };
 
+/// Returns a human-readable name of the first irregular control-flow
+/// construct (break/continue/return/switch/&&/||) found in `fn`, or nullptr
+/// when the function is fully structured. CDFG lowering only accepts
+/// functions for which this returns nullptr; the frontend pipeline
+/// (kir/passes/pipeline.hpp) establishes that invariant.
+const char* firstIrregularConstruct(const Function& fn);
+
 /// A program: functions referenced by Call statements.
 class Program {
 public:
@@ -177,6 +200,10 @@ public:
   ExprId gt(ExprId a, ExprId b) { return cmp(Op::IFGT, a, b); }
   ExprId le(ExprId a, ExprId b) { return cmp(Op::IFLE, a, b); }
   ExprId load(ExprId handle, ExprId index);
+  /// Short-circuit logical operators (normalized away by the frontend
+  /// pipeline before CDFG lowering).
+  ExprId land(ExprId a, ExprId b);
+  ExprId lor(ExprId a, ExprId b);
 
   // Statements (return the StmtId; compose with block()).
   StmtId assign(LocalId target, ExprId value);
@@ -187,6 +214,15 @@ public:
   StmtId forLoop(StmtId init, ExprId cond, StmtId step, StmtId body);
   StmtId call(LocalId target, FuncId callee, std::vector<ExprId> args);
   StmtId block(std::vector<StmtId> stmts);
+  StmtId breakLoop();
+  StmtId continueLoop();
+  /// `return;` (no value) or `return value;` — the latter assigns the local
+  /// named "result", creating it on first use.
+  StmtId ret(ExprId value = kNoExpr);
+  /// switch (scrutinee) { case values[i]: blocks[i] ... default: defaultB }.
+  /// `values` and `blocks` are parallel; values must be distinct.
+  StmtId switchStmt(ExprId scrutinee, std::vector<std::int32_t> values,
+                    std::vector<StmtId> blocks, StmtId defaultB = kNoStmt);
 
   /// Sets the body and returns the finished function.
   Function finish(StmtId body);

@@ -15,7 +15,10 @@ public:
 
   BytecodeFunction finish() {
     emitStmt(fn_.body());
+    const std::int32_t end = here();
     emit(Bc::HALT);
+    // `return` anywhere in the body jumps straight to the terminal HALT.
+    for (std::size_t p : returnPatches_) patch(p, end);
     return std::move(out_);
   }
 
@@ -78,6 +81,33 @@ private:
         emitExpr(e.rhs);
         emit(Bc::IALOAD);
         break;
+      case ExprKind::LogicalAnd: {
+        // Short-circuit: the rhs only runs when the lhs is true.
+        const std::size_t lhsFalse = emitCondJumpIfFalse(e.lhs);
+        const std::size_t rhsFalse = emitCondJumpIfFalse(e.rhs);
+        emit(Bc::ICONST, 1);
+        const std::size_t jumpEnd = emit(Bc::GOTO, 0);
+        patch(lhsFalse, here());
+        patch(rhsFalse, here());
+        emit(Bc::ICONST, 0);
+        patch(jumpEnd, here());
+        break;
+      }
+      case ExprKind::LogicalOr: {
+        // Short-circuit: the rhs only runs when the lhs is false.
+        const std::size_t lhsFalse = emitCondJumpIfFalse(e.lhs);
+        emit(Bc::ICONST, 1);
+        const std::size_t jumpEnd1 = emit(Bc::GOTO, 0);
+        patch(lhsFalse, here());
+        const std::size_t rhsFalse = emitCondJumpIfFalse(e.rhs);
+        emit(Bc::ICONST, 1);
+        const std::size_t jumpEnd2 = emit(Bc::GOTO, 0);
+        patch(rhsFalse, here());
+        emit(Bc::ICONST, 0);
+        patch(jumpEnd1, here());
+        patch(jumpEnd2, here());
+        break;
+      }
     }
   }
 
@@ -149,9 +179,12 @@ private:
       case StmtKind::While: {
         const std::int32_t loopTop = here();
         const std::size_t exitJump = emitCondJumpIfFalse(s.cond);
+        loops_.push_back(LoopCtx{loopTop, {}});
         emitStmt(s.body);
         emit(Bc::GOTO, loopTop);
         patch(exitJump, here());
+        for (std::size_t p : loops_.back().breakPatches) patch(p, here());
+        loops_.pop_back();
         break;
       }
       case StmtKind::Call:
@@ -160,11 +193,64 @@ private:
       case StmtKind::Block:
         for (StmtId c : s.stmts) emitStmt(c);
         break;
+      case StmtKind::Break:
+        if (loops_.empty())
+          throw Error("lowerToBytecode: break outside of a loop");
+        loops_.back().breakPatches.push_back(emit(Bc::GOTO, 0));
+        break;
+      case StmtKind::Continue:
+        if (loops_.empty())
+          throw Error("lowerToBytecode: continue outside of a loop");
+        emit(Bc::GOTO, loops_.back().top);
+        break;
+      case StmtKind::Return:
+        if (s.value != kNoExpr) {
+          emitExpr(s.value);
+          emit(Bc::ISTORE, static_cast<std::int32_t>(s.target));
+        }
+        returnPatches_.push_back(emit(Bc::GOTO, 0));
+        break;
+      case StmtKind::Switch: {
+        // Dispatch: store the scrutinee once, then a compare chain (the
+        // shared scratch local is dead once an arm is entered, so nested
+        // switches can reuse it).
+        if (switchTemp_ < 0) {
+          switchTemp_ = static_cast<std::int32_t>(out_.numLocals);
+          ++out_.numLocals;
+        }
+        emitExpr(s.cond);
+        emit(Bc::ISTORE, switchTemp_);
+        std::vector<std::size_t> armJumps;
+        for (std::int32_t v : s.caseValues) {
+          emit(Bc::ILOAD, switchTemp_);
+          emit(Bc::ICONST, v);
+          armJumps.push_back(emit(Bc::IF_ICMPEQ, 0));
+        }
+        const std::size_t noMatch = emit(Bc::GOTO, 0);
+        std::vector<std::size_t> endJumps;
+        for (std::size_t i = 0; i < s.stmts.size(); ++i) {
+          patch(armJumps[i], here());
+          emitStmt(s.stmts[i]);
+          endJumps.push_back(emit(Bc::GOTO, 0));
+        }
+        patch(noMatch, here());
+        if (s.body != kNoStmt) emitStmt(s.body);
+        for (std::size_t p : endJumps) patch(p, here());
+        break;
+      }
     }
   }
 
+  struct LoopCtx {
+    std::int32_t top;
+    std::vector<std::size_t> breakPatches;
+  };
+
   const Function& fn_;
   BytecodeFunction out_;
+  std::vector<LoopCtx> loops_;
+  std::vector<std::size_t> returnPatches_;
+  std::int32_t switchTemp_ = -1;
 };
 
 }  // namespace

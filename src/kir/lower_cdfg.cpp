@@ -32,6 +32,10 @@ public:
 
   LoweringResult run() {
     fn_.validate();
+    if (const char* c = firstIrregularConstruct(fn_))
+      throw Error("lowerToCdfg: function '" + fn_.name() + "' contains " +
+                  std::string(c) +
+                  " — run the frontend normalization pipeline first");
 
     // Variables for all locals.
     const auto liveIns = fn_.liveInLocals();
@@ -269,6 +273,12 @@ private:
         ms.loadsSinceStore.push_back(load);
         return Operand::node(load);
       }
+      case ExprKind::LogicalAnd:
+      case ExprKind::LogicalOr:
+        // Unreachable behind the run() normalization check; kept for
+        // exhaustiveness.
+        throw Error("lowerToCdfg: short-circuit operator not normalized (" +
+                    fn_.name() + ")");
     }
     CGRA_UNREACHABLE("bad expr kind");
   }
@@ -392,6 +402,14 @@ private:
       case StmtKind::Block:
         for (StmtId c : s.stmts) lowerStmt(c);
         break;
+      case StmtKind::Break:
+      case StmtKind::Continue:
+      case StmtKind::Return:
+      case StmtKind::Switch:
+        // Unreachable behind the run() normalization check; kept for
+        // exhaustiveness.
+        throw Error("lowerToCdfg: irregular control flow not normalized (" +
+                    fn_.name() + ")");
     }
   }
 

@@ -32,8 +32,11 @@ struct LoweringResult {
   std::vector<VarId> localToVar;
 };
 
-/// Lowers `fn`; throws cgra::Error on Call statements (inline first) or
-/// malformed functions. The result graph passes Cdfg::validate().
+/// Lowers `fn`; throws cgra::Error on Call statements (inline first), on
+/// irregular control flow — break/continue/return/switch/short-circuit
+/// operators must have been normalized away by the frontend pipeline
+/// (kir/passes/pipeline.hpp) — or on malformed functions. The result graph
+/// passes Cdfg::validate().
 LoweringResult lowerToCdfg(const Function& fn);
 
 }  // namespace cgra::kir

@@ -13,8 +13,9 @@ namespace {
 enum class Tok : std::uint8_t {
   End, Ident, Int,
   KwKernel, KwVar, KwIf, KwElse, KwWhile,
+  KwBreak, KwContinue, KwReturn, KwSwitch, KwCase, KwDefault,
   LParen, RParen, LBrace, RBrace, LBracket, RBracket,
-  Comma, Semi, Assign,
+  Comma, Semi, Colon, Assign,
   OrOr, AndAnd, Pipe, Caret, Amp,
   EqEq, NotEq, Lt, Le, Gt, Ge,
   Shl, Shr, Ushr,
@@ -103,6 +104,12 @@ private:
       else if (id == "if") tok_.kind = Tok::KwIf;
       else if (id == "else") tok_.kind = Tok::KwElse;
       else if (id == "while") tok_.kind = Tok::KwWhile;
+      else if (id == "break") tok_.kind = Tok::KwBreak;
+      else if (id == "continue") tok_.kind = Tok::KwContinue;
+      else if (id == "return") tok_.kind = Tok::KwReturn;
+      else if (id == "switch") tok_.kind = Tok::KwSwitch;
+      else if (id == "case") tok_.kind = Tok::KwCase;
+      else if (id == "default") tok_.kind = Tok::KwDefault;
       else tok_.kind = Tok::Ident;
       return;
     }
@@ -157,6 +164,7 @@ private:
       case ']': tok_.kind = Tok::RBracket; return;
       case ',': tok_.kind = Tok::Comma; return;
       case ';': tok_.kind = Tok::Semi; return;
+      case ':': tok_.kind = Tok::Colon; return;
       case '=': tok_.kind = Tok::Assign; return;
       case '|': tok_.kind = Tok::Pipe; return;
       case '^': tok_.kind = Tok::Caret; return;
@@ -274,6 +282,30 @@ private:
         expect(Tok::RParen, "expected ')'");
         return builder_->whileLoop(asCondition(cond), parseBlock());
       }
+      case Tok::KwBreak: {
+        lex_.take();
+        expect(Tok::Semi, "expected ';' after break");
+        return builder_->breakLoop();
+      }
+      case Tok::KwContinue: {
+        lex_.take();
+        expect(Tok::Semi, "expected ';' after continue");
+        return builder_->continueLoop();
+      }
+      case Tok::KwReturn: {
+        lex_.take();
+        ExprId value = kNoExpr;
+        if (lex_.peek().kind != Tok::Semi) value = parseExpr();
+        expect(Tok::Semi, "expected ';' after return");
+        const StmtId s = builder_->ret(value);
+        // `return expr;` materializes the implicit "result" local; register
+        // it so later statements can read it and redeclaration is an error.
+        if (value != kNoExpr && !locals_.contains("result"))
+          locals_["result"] = builder_->fn().localByName("result");
+        return s;
+      }
+      case Tok::KwSwitch:
+        return parseSwitch();
       case Tok::Ident: {
         const Token name = lex_.take();
         const LocalId id = resolve(name);
@@ -296,16 +328,56 @@ private:
     }
   }
 
-  /// if/while conditions: a bare integer expression means `expr != 0`;
-  /// comparisons pass through.
-  ExprId asCondition(ExprId e) {
-    if (builder_->fn().expr(e).kind == ExprKind::Compare) return e;
-    return builder_->ne(e, builder_->cint(0));
+  /// switch (expr) { case N: {...} ... default: {...} } — each arm is a
+  /// braced block (no fall-through), values are integer literals, `default`
+  /// is optional and must come last.
+  StmtId parseSwitch() {
+    lex_.take();
+    expect(Tok::LParen, "expected '(' after switch");
+    const ExprId scrutinee = parseExpr();
+    expect(Tok::RParen, "expected ')'");
+    expect(Tok::LBrace, "expected '{' after switch (...)");
+    std::vector<std::int32_t> values;
+    std::vector<StmtId> arms;
+    StmtId defaultB = kNoStmt;
+    while (lex_.peek().kind != Tok::RBrace) {
+      if (lex_.peek().kind == Tok::KwCase) {
+        const Token at = lex_.take();
+        if (defaultB != kNoStmt) fail(at, "'case' after 'default'");
+        bool negate = false;
+        if (lex_.peek().kind == Tok::Minus) {
+          lex_.take();
+          negate = true;
+        }
+        const Token lit = expect(Tok::Int, "expected integer case value");
+        expect(Tok::Colon, "expected ':' after case value");
+        values.push_back(negate ? static_cast<std::int32_t>(
+                                      -static_cast<std::int64_t>(lit.value))
+                                : lit.value);
+        arms.push_back(parseBlock());
+      } else if (lex_.peek().kind == Tok::KwDefault) {
+        const Token at = lex_.take();
+        if (defaultB != kNoStmt) fail(at, "duplicate 'default'");
+        expect(Tok::Colon, "expected ':' after default");
+        defaultB = parseBlock();
+      } else {
+        fail(lex_.peek(), "expected 'case', 'default' or '}' in switch");
+      }
+    }
+    lex_.take();
+    if (values.empty() && defaultB == kNoStmt)
+      fail(lex_.peek(), "switch without any case or default arm");
+    return builder_->switchStmt(scrutinee, std::move(values), std::move(arms),
+                                defaultB);
   }
 
-  /// 0/1 normalization for the non-short-circuit logical operators.
-  ExprId asBool(ExprId e) {
-    if (builder_->fn().expr(e).kind == ExprKind::Compare) return e;
+  /// if/while conditions: a bare integer expression means `expr != 0`;
+  /// comparisons and short-circuit operators pass through.
+  ExprId asCondition(ExprId e) {
+    const ExprKind k = builder_->fn().expr(e).kind;
+    if (k == ExprKind::Compare || k == ExprKind::LogicalAnd ||
+        k == ExprKind::LogicalOr)
+      return e;
     return builder_->ne(e, builder_->cint(0));
   }
 
@@ -315,7 +387,9 @@ private:
     ExprId lhs = parseAndAnd();
     while (lex_.peek().kind == Tok::OrOr) {
       lex_.take();
-      lhs = builder_->bor(asBool(lhs), asBool(parseAndAnd()));
+      // Short-circuit: the operands keep their raw form; LogicalOr itself
+      // normalizes to 0/1 and skips the rhs when the lhs decides.
+      lhs = builder_->lor(lhs, parseAndAnd());
     }
     return lhs;
   }
@@ -324,7 +398,7 @@ private:
     ExprId lhs = parseBitOr();
     while (lex_.peek().kind == Tok::AndAnd) {
       lex_.take();
-      lhs = builder_->band(asBool(lhs), asBool(parseBitOr()));
+      lhs = builder_->land(lhs, parseBitOr());
     }
     return lhs;
   }

@@ -1,35 +1,14 @@
-// Frontend optimization passes — the optional steps of the paper's synthesis
-// flow (Fig. 1): method inlining, partial loop unrolling and common
-// subexpression elimination. Each pass returns a new Function; semantics are
-// preserved (tests check interpreter equivalence on random inputs).
+// Umbrella header for the frontend pass pipeline. The passes live in
+// kir/passes/ (one file per pass); this header keeps the historical
+// `#include "kir/passes.hpp"` spelling working and pulls in the pipeline
+// driver. New code can include the individual pass headers directly.
 #pragma once
 
-#include "kir/kir.hpp"
-
-namespace cgra::kir {
-
-/// Replaces every Call statement by the callee's body with renamed locals
-/// (recursively — callees may call further functions; recursion depth is
-/// bounded and cycles are rejected).
-Function inlineCalls(const Program& program, const Function& fn);
-
-/// Partially unrolls loops by `factor` (paper evaluation: "a maximum unroll
-/// factor of 2 for inner loops was used"). A while loop
-///   while (c) { B }
-/// becomes
-///   while (c) { B; if (c) { B } }        (factor 2)
-/// When `innermostOnly`, only loops without nested loops are unrolled.
-Function unrollLoops(const Function& fn, unsigned factor,
-                     bool innermostOnly = true);
-
-/// Local common-subexpression elimination: within straight-line statement
-/// runs, pure arithmetic subexpressions (no array loads) computed more than
-/// once over identical variable versions are hoisted into fresh temps.
-Function eliminateCommonSubexpressions(const Function& fn);
-
-/// Statistics helper: number of expression nodes reachable from the body.
-std::size_t countExprNodes(const Function& fn);
-/// Statistics helper: number of statements reachable from the body.
-std::size_t countStmtNodes(const Function& fn);
-
-}  // namespace cgra::kir
+#include "kir/passes/cse_pass.hpp"
+#include "kir/passes/exit_normalize_pass.hpp"
+#include "kir/passes/inline_pass.hpp"
+#include "kir/passes/pass_utils.hpp"
+#include "kir/passes/pipeline.hpp"
+#include "kir/passes/shortcircuit_pass.hpp"
+#include "kir/passes/switch_lower_pass.hpp"
+#include "kir/passes/unroll_pass.hpp"

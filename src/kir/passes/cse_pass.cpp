@@ -1,0 +1,253 @@
+#include "kir/passes/cse_pass.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "kir/passes/pass_utils.hpp"
+
+namespace cgra::kir {
+
+namespace {
+
+/// Canonical key of a pure expression over versioned locals; empty when the
+/// expression is not CSE-eligible (contains an array load or a short-circuit
+/// operator — hoisting the latter would force evaluation of the lazy side).
+std::string exprKey(const Function& fn, ExprId id,
+                    const std::map<LocalId, unsigned>& versions) {
+  const Expr& e = fn.expr(id);
+  switch (e.kind) {
+    case ExprKind::Const: return "C" + std::to_string(e.value);
+    case ExprKind::Local: {
+      const auto it = versions.find(e.local);
+      const unsigned v = it == versions.end() ? 0 : it->second;
+      return "L" + std::to_string(e.local) + "v" + std::to_string(v);
+    }
+    case ExprKind::Unary: {
+      const std::string a = exprKey(fn, e.lhs, versions);
+      return a.empty() ? "" : "N(" + a + ")";
+    }
+    case ExprKind::Binary:
+    case ExprKind::Compare: {
+      const std::string a = exprKey(fn, e.lhs, versions);
+      const std::string b = exprKey(fn, e.rhs, versions);
+      if (a.empty() || b.empty()) return "";
+      return std::string(opName(e.op)) + "(" + a + "," + b + ")";
+    }
+    case ExprKind::ArrayLoad: return "";
+    case ExprKind::LogicalAnd:
+    case ExprKind::LogicalOr: return "";
+  }
+  CGRA_UNREACHABLE("bad expr kind");
+}
+
+bool hoistable(const Function& fn, ExprId id) {
+  const ExprKind k = fn.expr(id).kind;
+  return k == ExprKind::Binary || k == ExprKind::Unary;
+}
+
+struct CseState {
+  Function& out;
+  const Function& src;
+  Cloner& cl;
+  unsigned tempCounter = 0;
+};
+
+/// CSE over one statement list (the children of a Block). Returns the new
+/// statement ids.
+std::vector<StmtId> cseRun(CseState& st, const std::vector<StmtId>& stmts);
+
+/// Recursively applies CSE inside nested structures of one statement.
+StmtId cseStmt(CseState& st, StmtId id) {
+  const Stmt& s = st.src.stmt(id);
+  switch (s.kind) {
+    case StmtKind::If: {
+      Stmt out;
+      out.kind = StmtKind::If;
+      out.cond = st.cl.cloneExpr(s.cond);
+      out.thenBlock = cseStmt(st, s.thenBlock);
+      out.elseBlock =
+          s.elseBlock == kNoStmt ? kNoStmt : cseStmt(st, s.elseBlock);
+      return st.out.addStmt(std::move(out));
+    }
+    case StmtKind::While: {
+      Stmt out;
+      out.kind = StmtKind::While;
+      out.cond = st.cl.cloneExpr(s.cond);
+      out.body = cseStmt(st, s.body);
+      return st.out.addStmt(std::move(out));
+    }
+    case StmtKind::Switch: {
+      Stmt out;
+      out.kind = StmtKind::Switch;
+      out.cond = st.cl.cloneExpr(s.cond);
+      out.caseValues = s.caseValues;
+      for (StmtId arm : s.stmts) out.stmts.push_back(cseStmt(st, arm));
+      out.body = s.body == kNoStmt ? kNoStmt : cseStmt(st, s.body);
+      return st.out.addStmt(std::move(out));
+    }
+    case StmtKind::Block: {
+      Stmt out;
+      out.kind = StmtKind::Block;
+      out.stmts = cseRun(st, s.stmts);
+      return st.out.addStmt(std::move(out));
+    }
+    default: return st.cl.cloneStmt(id);
+  }
+}
+
+std::vector<StmtId> cseRun(CseState& st, const std::vector<StmtId>& stmts) {
+  // Pass 1: count keys of hoistable subexpressions within straight-line runs
+  // of Assign/ArrayStore. Control flow flushes the run.
+  struct Info {
+    unsigned count = 0;
+    std::size_t firstStmt = 0;
+    ExprId expr = kNoExpr;
+  };
+  // Keys are prefixed with the straight-line run index so occurrences in
+  // different runs (separated by control flow) never merge.
+  std::map<std::string, Info> table;
+  std::map<LocalId, unsigned> versions;
+  unsigned runId = 0;
+
+  auto countExpr = [&](ExprId id, std::size_t stmtIdx, auto&& self) -> void {
+    const Expr& e = st.src.expr(id);
+    if (e.lhs != kNoExpr) self(e.lhs, stmtIdx, self);
+    if (e.rhs != kNoExpr) self(e.rhs, stmtIdx, self);
+    if (!hoistable(st.src, id)) return;
+    const std::string key = exprKey(st.src, id, versions);
+    if (key.empty()) return;
+    auto [it, inserted] = table.try_emplace(
+        "R" + std::to_string(runId) + ":" + key, Info{0, stmtIdx, id});
+    ++it->second.count;
+    (void)inserted;
+  };
+
+  auto isStraight = [&](StmtId id) {
+    const StmtKind k = st.src.stmt(id).kind;
+    return k == StmtKind::Assign || k == StmtKind::ArrayStore;
+  };
+
+  for (std::size_t i = 0; i < stmts.size(); ++i) {
+    const Stmt& s = st.src.stmt(stmts[i]);
+    if (!isStraight(stmts[i])) {
+      ++runId;
+      versions.clear();
+      continue;
+    }
+    if (s.kind == StmtKind::Assign) {
+      countExpr(s.value, i, countExpr);
+      ++versions[s.target];
+    } else {
+      countExpr(s.handle, i, countExpr);
+      countExpr(s.index, i, countExpr);
+      countExpr(s.value, i, countExpr);
+    }
+  }
+
+  // Keys worth hoisting.
+  std::map<std::string, LocalId> hoisted;  // key → temp local (assigned below)
+
+  // Pass 2: rebuild statements; maintain versions again; emit temp
+  // assignments right before the first statement using the key.
+  std::vector<StmtId> result;
+  versions.clear();
+  runId = 0;
+
+  // Rewrites an expression, replacing hoisted subtrees by temp reads.
+  std::function<ExprId(ExprId)> rewrite = [&](ExprId id) -> ExprId {
+    const Expr& e = st.src.expr(id);
+    if (hoistable(st.src, id)) {
+      const std::string key =
+          "R" + std::to_string(runId) + ":" + exprKey(st.src, id, versions);
+      {
+        if (auto it = hoisted.find(key); it != hoisted.end()) {
+          Expr read;
+          read.kind = ExprKind::Local;
+          read.local = it->second;
+          return st.out.addExpr(read);
+        }
+      }
+    }
+    Expr out = e;
+    if (e.kind == ExprKind::Local) out.local = st.cl.localMap()[e.local];
+    if (e.lhs != kNoExpr) out.lhs = rewrite(e.lhs);
+    if (e.rhs != kNoExpr) out.rhs = rewrite(e.rhs);
+    return st.out.addExpr(out);
+  };
+
+  // Emits hoists scheduled for statement index i (keys whose first
+  // occurrence is i and count ≥ 2), smallest subexpressions first so larger
+  // hoists can reuse smaller temps.
+  auto emitHoists = [&](std::size_t i) {
+    std::vector<std::pair<std::string, Info>> due;
+    for (const auto& [key, info] : table)
+      if (info.count >= 2 && info.firstStmt == i && !hoisted.contains(key))
+        due.emplace_back(key, info);
+    std::sort(due.begin(), due.end(), [](const auto& a, const auto& b) {
+      return a.first.size() < b.first.size();
+    });
+    for (const auto& [key, info] : due) {
+      const LocalId temp =
+          st.out.addLocal("$cse" + std::to_string(st.tempCounter++), false);
+      Stmt assign;
+      assign.kind = StmtKind::Assign;
+      assign.target = temp;
+      assign.value = rewrite(info.expr);  // may reuse earlier hoists
+      result.push_back(st.out.addStmt(std::move(assign)));
+      hoisted[key] = temp;
+    }
+  };
+
+  for (std::size_t i = 0; i < stmts.size(); ++i) {
+    const Stmt& s = st.src.stmt(stmts[i]);
+    if (!isStraight(stmts[i])) {
+      ++runId;
+      versions.clear();
+      hoisted.clear();
+      result.push_back(cseStmt(st, stmts[i]));
+      continue;
+    }
+    emitHoists(i);
+    if (s.kind == StmtKind::Assign) {
+      Stmt out;
+      out.kind = StmtKind::Assign;
+      out.target = st.cl.localMap()[s.target];
+      out.value = rewrite(s.value);
+      result.push_back(st.out.addStmt(std::move(out)));
+      ++versions[s.target];
+      // Temps derived from the overwritten local are now stale.
+      std::erase_if(hoisted, [&](const auto& kv) {
+        return kv.first.find("L" + std::to_string(s.target) + "v") !=
+               std::string::npos;
+      });
+    } else {
+      Stmt out;
+      out.kind = StmtKind::ArrayStore;
+      out.handle = rewrite(s.handle);
+      out.index = rewrite(s.index);
+      out.value = rewrite(s.value);
+      result.push_back(st.out.addStmt(std::move(out)));
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+Function eliminateCommonSubexpressions(const Function& fn) {
+  Function out(fn.name());
+  std::vector<LocalId> map;
+  for (LocalId i = 0; i < fn.numLocals(); ++i) {
+    const LocalDecl& l = fn.local(i);
+    map.push_back(out.addLocal(l.name, l.isParameter));
+  }
+  Cloner cl(fn, out, std::move(map));
+  CseState st{out, fn, cl, 0};
+  out.setBody(cseStmt(st, fn.body()));
+  out.validate();
+  return out;
+}
+
+}  // namespace cgra::kir

@@ -1,0 +1,15 @@
+// Local common-subexpression elimination — the optional CSE step of the
+// paper's synthesis flow (Fig. 1).
+#pragma once
+
+#include "kir/kir.hpp"
+
+namespace cgra::kir {
+
+/// Local common-subexpression elimination: within straight-line statement
+/// runs, pure arithmetic subexpressions (no array loads, no short-circuit
+/// operators) computed more than once over identical variable versions are
+/// hoisted into fresh temps.
+Function eliminateCommonSubexpressions(const Function& fn);
+
+}  // namespace cgra::kir

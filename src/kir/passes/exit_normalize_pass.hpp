@@ -1,0 +1,36 @@
+// Exit normalization — demotes irregular exits (break / continue / early
+// return) into guard variables so the CDFG lowering only ever sees
+// structured if/while control flow. This is the structural analogue of the
+// LCSSA-style predication a modulo scheduler needs: every statement that
+// used to be skipped by a jump becomes a statement guarded by a flag.
+//
+// Rewrite recipe:
+//   return v;   ->  result = v; $ret = 1;      ($ret is function-wide)
+//   break;      ->  $brkN = 1;                 (one flag per loop N)
+//   continue;   ->  $cntN = 1;
+// After any statement that may set a flag, the remaining statements of the
+// enclosing block are wrapped in `if ((flags | ...) == 0) { rest }`. A loop
+// whose body may break or return hoists its condition into a temp `$lcN`
+// that is only recomputed when the loop is still live:
+//   $brkN = 0; $lcN = cond;
+//   while (((($brkN | $ret) == 0) & ($lcN != 0)) != 0) {
+//     $cntN = 0;
+//     <guarded body>
+//     if (($brkN | $ret) == 0) { $lcN = cond; }
+//   }
+// The recompute guard deliberately excludes $cntN: a continue still reaches
+// the next condition check. Loops whose body only continues keep their
+// original condition. The pass emits no short-circuit operators, so it can
+// run after lowerShortCircuit without reintroducing work.
+#pragma once
+
+#include "kir/kir.hpp"
+
+namespace cgra::kir {
+
+/// Demotes break/continue/return into guard variables. Functions without
+/// irregular exits come back as an exact structural copy. The input must be
+/// call-free (inline first).
+Function normalizeExits(const Function& fn);
+
+}  // namespace cgra::kir

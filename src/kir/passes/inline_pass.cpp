@@ -1,0 +1,89 @@
+#include "kir/passes/inline_pass.hpp"
+
+#include <set>
+#include <string>
+
+#include "kir/passes/exit_normalize_pass.hpp"
+#include "kir/passes/pass_utils.hpp"
+
+namespace cgra::kir {
+
+namespace {
+
+Function inlineCallsImpl(const Program& program, const Function& fn,
+                         std::set<const Function*>& active) {
+  if (active.contains(&fn))
+    throw Error("inlineCalls: recursive call cycle through " + fn.name());
+  active.insert(&fn);
+
+  Function out(fn.name());
+  std::vector<LocalId> map = identityMap(fn, out);
+
+  unsigned inlineCounter = 0;
+  Cloner::CallHook hook = [&](const Stmt& s, Cloner& cl) -> StmtId {
+    Function flatCallee =
+        inlineCallsImpl(program, program.function(s.callee), active);
+    // A `return` in the callee must not escape into the caller's control
+    // flow — demote it to guard variables before splicing the body in.
+    if (containsStmtKind(flatCallee, StmtKind::Return))
+      flatCallee = normalizeExits(flatCallee);
+    // Fresh locals for the callee, suffixed to stay unique.
+    const std::string suffix =
+        "$" + flatCallee.name() + std::to_string(inlineCounter++);
+    std::vector<LocalId> calleeMap;
+    for (LocalId i = 0; i < flatCallee.numLocals(); ++i)
+      calleeMap.push_back(
+          cl.dst().addLocal(flatCallee.local(i).name + suffix, false));
+
+    std::vector<StmtId> seq;
+    // Bind arguments (argument expressions evaluate in the caller's frame).
+    unsigned argIdx = 0;
+    for (LocalId i = 0; i < flatCallee.numLocals(); ++i)
+      if (flatCallee.local(i).isParameter) {
+        if (argIdx >= s.args.size())
+          throw Error("inlineCalls: too few arguments for " +
+                      flatCallee.name());
+        Stmt bind;
+        bind.kind = StmtKind::Assign;
+        bind.target = calleeMap[i];
+        bind.value = cl.cloneExpr(s.args[argIdx++]);
+        seq.push_back(cl.dst().addStmt(std::move(bind)));
+      }
+    if (argIdx != s.args.size())
+      throw Error("inlineCalls: too many arguments for " + flatCallee.name());
+
+    // Clone the (already call-free) callee body with renamed locals.
+    Cloner bodyCl(flatCallee, cl.dst(), calleeMap);
+    seq.push_back(bodyCl.cloneStmt(flatCallee.body()));
+
+    // Return value: the callee's "result" local.
+    Stmt ret;
+    ret.kind = StmtKind::Assign;
+    ret.target = cl.localMap()[s.target];
+    Expr read;
+    read.kind = ExprKind::Local;
+    read.local = calleeMap[flatCallee.localByName("result")];
+    ret.value = cl.dst().addExpr(read);
+    seq.push_back(cl.dst().addStmt(std::move(ret)));
+
+    Stmt blockS;
+    blockS.kind = StmtKind::Block;
+    blockS.stmts = std::move(seq);
+    return cl.dst().addStmt(std::move(blockS));
+  };
+
+  Cloner cl(fn, out, std::move(map), hook);
+  out.setBody(cl.cloneStmt(fn.body()));
+  active.erase(&fn);
+  out.validate();
+  return out;
+}
+
+}  // namespace
+
+Function inlineCalls(const Program& program, const Function& fn) {
+  std::set<const Function*> active;
+  return inlineCallsImpl(program, fn, active);
+}
+
+}  // namespace cgra::kir

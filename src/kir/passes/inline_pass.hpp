@@ -1,0 +1,15 @@
+// Method-inlining pass — the "inline methods" step of the paper's synthesis
+// flow (Fig. 1). Must run first in the frontend pipeline: every later pass
+// and both lowerings reject Call statements.
+#pragma once
+
+#include "kir/kir.hpp"
+
+namespace cgra::kir {
+
+/// Replaces every Call statement by the callee's body with renamed locals
+/// (recursively — callees may call further functions; recursion depth is
+/// bounded and cycles are rejected).
+Function inlineCalls(const Program& program, const Function& fn);
+
+}  // namespace cgra::kir

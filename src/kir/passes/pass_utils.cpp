@@ -1,0 +1,212 @@
+#include "kir/passes/pass_utils.hpp"
+
+namespace cgra::kir {
+
+Cloner::Cloner(const Function& src, Function& dst,
+               std::vector<LocalId> localMap, CallHook onCall)
+    : src_(src),
+      dst_(dst),
+      localMap_(std::move(localMap)),
+      onCall_(std::move(onCall)) {}
+
+ExprId Cloner::cloneExpr(ExprId id) {
+  const Expr& e = src_.expr(id);
+  Expr out = e;
+  if (e.kind == ExprKind::Local) {
+    CGRA_ASSERT(e.local < localMap_.size());
+    out.local = localMap_[e.local];
+  }
+  if (out.lhs != kNoExpr) out.lhs = cloneExpr(e.lhs);
+  if (out.rhs != kNoExpr) out.rhs = cloneExpr(e.rhs);
+  return dst_.addExpr(out);
+}
+
+StmtId Cloner::cloneStmt(StmtId id) {
+  const Stmt& s = src_.stmt(id);
+  switch (s.kind) {
+    case StmtKind::Assign: {
+      Stmt out;
+      out.kind = StmtKind::Assign;
+      out.target = localMap_[s.target];
+      out.value = cloneExpr(s.value);
+      return dst_.addStmt(std::move(out));
+    }
+    case StmtKind::ArrayStore: {
+      Stmt out;
+      out.kind = StmtKind::ArrayStore;
+      out.handle = cloneExpr(s.handle);
+      out.index = cloneExpr(s.index);
+      out.value = cloneExpr(s.value);
+      return dst_.addStmt(std::move(out));
+    }
+    case StmtKind::If: {
+      Stmt out;
+      out.kind = StmtKind::If;
+      out.cond = cloneExpr(s.cond);
+      out.thenBlock = cloneStmt(s.thenBlock);
+      out.elseBlock = s.elseBlock == kNoStmt ? kNoStmt : cloneStmt(s.elseBlock);
+      return dst_.addStmt(std::move(out));
+    }
+    case StmtKind::While: {
+      Stmt out;
+      out.kind = StmtKind::While;
+      out.cond = cloneExpr(s.cond);
+      out.body = cloneStmt(s.body);
+      return dst_.addStmt(std::move(out));
+    }
+    case StmtKind::Call:
+      if (!onCall_)
+        throw Error("pass cannot handle Call statements; inline first");
+      return onCall_(s, *this);
+    case StmtKind::Block: {
+      Stmt out;
+      out.kind = StmtKind::Block;
+      for (StmtId c : s.stmts) out.stmts.push_back(cloneStmt(c));
+      return dst_.addStmt(std::move(out));
+    }
+    case StmtKind::Break:
+    case StmtKind::Continue: {
+      Stmt out;
+      out.kind = s.kind;
+      return dst_.addStmt(std::move(out));
+    }
+    case StmtKind::Return: {
+      Stmt out;
+      out.kind = StmtKind::Return;
+      if (s.value != kNoExpr) {
+        out.value = cloneExpr(s.value);
+        out.target = localMap_[s.target];
+      }
+      return dst_.addStmt(std::move(out));
+    }
+    case StmtKind::Switch: {
+      Stmt out;
+      out.kind = StmtKind::Switch;
+      out.cond = cloneExpr(s.cond);
+      out.caseValues = s.caseValues;
+      for (StmtId arm : s.stmts) out.stmts.push_back(cloneStmt(arm));
+      out.body = s.body == kNoStmt ? kNoStmt : cloneStmt(s.body);
+      return dst_.addStmt(std::move(out));
+    }
+  }
+  CGRA_UNREACHABLE("bad statement kind");
+}
+
+std::vector<LocalId> identityMap(const Function& fn, Function& dst) {
+  std::vector<LocalId> map;
+  map.reserve(fn.numLocals());
+  for (LocalId i = 0; i < fn.numLocals(); ++i) {
+    const LocalDecl& l = fn.local(i);
+    map.push_back(dst.addLocal(l.name, l.isParameter));
+  }
+  return map;
+}
+
+bool containsLoop(const Function& fn, StmtId id) {
+  const Stmt& s = fn.stmt(id);
+  switch (s.kind) {
+    case StmtKind::While: return true;
+    case StmtKind::If:
+      return containsLoop(fn, s.thenBlock) ||
+             (s.elseBlock != kNoStmt && containsLoop(fn, s.elseBlock));
+    case StmtKind::Block:
+      for (StmtId c : s.stmts)
+        if (containsLoop(fn, c)) return true;
+      return false;
+    case StmtKind::Switch:
+      for (StmtId arm : s.stmts)
+        if (containsLoop(fn, arm)) return true;
+      return s.body != kNoStmt && containsLoop(fn, s.body);
+    default: return false;
+  }
+}
+
+namespace {
+
+/// Walks every statement (and optionally every expression) under `id`.
+void walkStmts(const Function& fn, StmtId id,
+               const std::function<void(const Stmt&)>& onStmt,
+               const std::function<void(const Expr&)>& onExpr) {
+  std::function<void(ExprId)> walkE = [&](ExprId eid) {
+    const Expr& e = fn.expr(eid);
+    if (onExpr) onExpr(e);
+    if (e.lhs != kNoExpr) walkE(e.lhs);
+    if (e.rhs != kNoExpr) walkE(e.rhs);
+  };
+  std::function<void(StmtId)> walkS = [&](StmtId sid) {
+    const Stmt& s = fn.stmt(sid);
+    if (onStmt) onStmt(s);
+    switch (s.kind) {
+      case StmtKind::Assign:
+        if (onExpr) walkE(s.value);
+        break;
+      case StmtKind::ArrayStore:
+        if (onExpr) {
+          walkE(s.handle);
+          walkE(s.index);
+          walkE(s.value);
+        }
+        break;
+      case StmtKind::If:
+        if (onExpr) walkE(s.cond);
+        walkS(s.thenBlock);
+        if (s.elseBlock != kNoStmt) walkS(s.elseBlock);
+        break;
+      case StmtKind::While:
+        if (onExpr) walkE(s.cond);
+        walkS(s.body);
+        break;
+      case StmtKind::Call:
+        if (onExpr)
+          for (ExprId a : s.args) walkE(a);
+        break;
+      case StmtKind::Block:
+        for (StmtId c : s.stmts) walkS(c);
+        break;
+      case StmtKind::Break:
+      case StmtKind::Continue:
+        break;
+      case StmtKind::Return:
+        if (onExpr && s.value != kNoExpr) walkE(s.value);
+        break;
+      case StmtKind::Switch:
+        if (onExpr) walkE(s.cond);
+        for (StmtId arm : s.stmts) walkS(arm);
+        if (s.body != kNoStmt) walkS(s.body);
+        break;
+    }
+  };
+  walkS(id);
+}
+
+}  // namespace
+
+bool containsStmtKind(const Function& fn, StmtKind kind) {
+  if (fn.body() == kNoStmt) return false;
+  bool found = false;
+  walkStmts(fn, fn.body(),
+            [&](const Stmt& s) { found = found || s.kind == kind; }, nullptr);
+  return found;
+}
+
+bool containsExprKind(const Function& fn, ExprKind kind) {
+  if (fn.body() == kNoStmt) return false;
+  bool found = false;
+  walkStmts(fn, fn.body(), nullptr,
+            [&](const Expr& e) { found = found || e.kind == kind; });
+  return found;
+}
+
+std::size_t countExprNodes(const Function& fn) {
+  std::size_t count = 0;
+  walkStmts(fn, fn.body(), nullptr, [&](const Expr&) { ++count; });
+  return count;
+}
+
+std::size_t countStmtNodes(const Function& fn) {
+  std::size_t count = 0;
+  walkStmts(fn, fn.body(), [&](const Stmt&) { ++count; }, nullptr);
+  return count;
+}
+
+}  // namespace cgra::kir

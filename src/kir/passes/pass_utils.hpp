@@ -1,0 +1,54 @@
+// Shared infrastructure for the frontend pass pipeline: the arena-to-arena
+// Cloner every pass rebuilds through, construct scans used to skip passes
+// whose input lacks their construct (keeping untouched kernels byte-stable),
+// and the IR size statistics helpers.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "kir/kir.hpp"
+
+namespace cgra::kir {
+
+/// Copies expressions/statements from `src` into `dst`, renaming locals
+/// through `localMap`. Call statements are handled by the caller via
+/// `onCall` (inlining) or rejected.
+class Cloner {
+public:
+  using CallHook = std::function<StmtId(const Stmt&, Cloner&)>;
+
+  Cloner(const Function& src, Function& dst, std::vector<LocalId> localMap,
+         CallHook onCall = {});
+
+  ExprId cloneExpr(ExprId id);
+  StmtId cloneStmt(StmtId id);
+
+  const std::vector<LocalId>& localMap() const { return localMap_; }
+  Function& dst() { return dst_; }
+
+private:
+  const Function& src_;
+  Function& dst_;
+  std::vector<LocalId> localMap_;
+  CallHook onCall_;
+};
+
+/// Re-declares every local of `fn` in `dst` and returns the identity map.
+std::vector<LocalId> identityMap(const Function& fn, Function& dst);
+
+/// True when the subtree rooted at `id` contains a While statement.
+bool containsLoop(const Function& fn, StmtId id);
+
+/// True when the function contains a statement of the given kind.
+bool containsStmtKind(const Function& fn, StmtKind kind);
+/// True when the function contains an expression of the given kind
+/// (reachable from the body).
+bool containsExprKind(const Function& fn, ExprKind kind);
+
+/// Statistics helper: number of expression nodes reachable from the body.
+std::size_t countExprNodes(const Function& fn);
+/// Statistics helper: number of statements reachable from the body.
+std::size_t countStmtNodes(const Function& fn);
+
+}  // namespace cgra::kir

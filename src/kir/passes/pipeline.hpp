@@ -1,0 +1,61 @@
+// The frontend normalization pipeline — the fixed-order pass sequence that
+// takes source-level KIR (calls, short-circuit booleans, switch,
+// break/continue/return) down to the structured if/while subset the CDFG
+// lowering accepts:
+//
+//   1. inline          calls spliced in (callee returns demoted first)
+//   2. shortcircuit    && / || -> eager control flow over 0/1 temps
+//   3. switch-lower    switch -> equality ladder or binary bucket tree
+//   4. exit-normalize  break/continue/return -> guard variables
+//   5. cse             local common-subexpression elimination
+//   6. unroll          partial loop unrolling (after normalization, so
+//                      replicated bodies carry guards, not exit edges)
+//
+// Each stage is skipped when its construct is absent from the input, so a
+// kernel that never uses the richer constructs flows through byte-identical
+// to the pre-pipeline frontend (golden outputs stay stable).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kir/kir.hpp"
+#include "kir/passes/switch_lower_pass.hpp"
+
+namespace cgra::kir {
+
+/// Pipeline configuration. Defaults run the normalization stages and leave
+/// the optimization stages (unroll, cse) off.
+struct FrontendOptions {
+  bool inlineCalls = true;      ///< requires `program` when calls are present
+  bool lowerShortCircuit = true;
+  bool lowerSwitches = true;
+  SwitchStrategy switchStrategy = SwitchStrategy::Auto;
+  bool normalizeExits = true;
+  unsigned unrollFactor = 1;    ///< < 2 disables unrolling
+  bool unrollInnermostOnly = true;
+  bool cse = false;
+  bool captureStages = false;   ///< record IR text after every stage
+};
+
+/// One pipeline stage's outcome (for `cgra-tool kir` and debugging).
+struct StageRecord {
+  std::string name;  ///< "inline", "shortcircuit", ...
+  bool ran = false;  ///< false when skipped (construct absent / disabled)
+  std::string ir;    ///< IR text after the stage (captureStages only)
+};
+
+struct FrontendResult {
+  Function fn;
+  std::vector<StageRecord> stages;
+};
+
+/// Runs the normalization pipeline on `fn`. `program` is only needed for
+/// the inline stage; pass nullptr for call-free functions. The result
+/// satisfies `firstIrregularConstruct(result.fn) == nullptr` when the
+/// normalization stages are enabled.
+FrontendResult runFrontendPipeline(const Function& fn,
+                                   const FrontendOptions& options = {},
+                                   const Program* program = nullptr);
+
+}  // namespace cgra::kir

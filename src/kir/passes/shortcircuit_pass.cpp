@@ -1,0 +1,238 @@
+#include "kir/passes/shortcircuit_pass.hpp"
+
+#include <string>
+#include <vector>
+
+#include "kir/passes/pass_utils.hpp"
+
+namespace cgra::kir {
+
+namespace {
+
+bool exprHasSc(const Function& fn, ExprId id) {
+  const Expr& e = fn.expr(id);
+  if (e.kind == ExprKind::LogicalAnd || e.kind == ExprKind::LogicalOr)
+    return true;
+  return (e.lhs != kNoExpr && exprHasSc(fn, e.lhs)) ||
+         (e.rhs != kNoExpr && exprHasSc(fn, e.rhs));
+}
+
+struct ScLowerer {
+  const Function& src;
+  Function& out;
+  Cloner& cl;
+  unsigned tempCounter = 0;
+
+  ExprId readLocal(LocalId l) {
+    Expr e;
+    e.kind = ExprKind::Local;
+    e.local = l;
+    return out.addExpr(e);
+  }
+
+  ExprId constant(std::int32_t v) {
+    Expr e;
+    e.kind = ExprKind::Const;
+    e.value = v;
+    return out.addExpr(e);
+  }
+
+  ExprId compare(Op op, ExprId a, ExprId b) {
+    Expr e;
+    e.kind = ExprKind::Compare;
+    e.op = op;
+    e.lhs = a;
+    e.rhs = b;
+    return out.addExpr(e);
+  }
+
+  StmtId assignExpr(LocalId target, ExprId value) {
+    Stmt s;
+    s.kind = StmtKind::Assign;
+    s.target = target;
+    s.value = value;
+    return out.addStmt(std::move(s));
+  }
+
+  StmtId ifStmt(ExprId cond, StmtId thenB) {
+    Stmt s;
+    s.kind = StmtKind::If;
+    s.cond = cond;
+    s.thenBlock = thenB;
+    return out.addStmt(std::move(s));
+  }
+
+  StmtId block(std::vector<StmtId> stmts) {
+    Stmt s;
+    s.kind = StmtKind::Block;
+    s.stmts = std::move(stmts);
+    return out.addStmt(std::move(s));
+  }
+
+  /// Branch condition "x is truthy" — comparisons pass through, anything
+  /// else is wrapped in `!= 0`.
+  ExprId truthy(ExprId x) {
+    if (out.expr(x).kind == ExprKind::Compare) return x;
+    return compare(Op::IFNE, x, constant(0));
+  }
+
+  ExprId falsy(ExprId x) { return compare(Op::IFEQ, x, constant(0)); }
+
+  /// Rewrites `id` (a src expression), appending prelude statements to
+  /// `seq`; returns the replacement dst expression.
+  ExprId lowerExpr(ExprId id, std::vector<StmtId>& seq) {
+    const Expr& e = src.expr(id);
+    switch (e.kind) {
+      case ExprKind::LogicalAnd: {
+        const LocalId t =
+            out.addLocal("$sc" + std::to_string(tempCounter++), false);
+        const ExprId a = lowerExpr(e.lhs, seq);
+        seq.push_back(assignExpr(t, constant(0)));
+        std::vector<StmtId> lazy;
+        const ExprId b = lowerExpr(e.rhs, lazy);
+        lazy.push_back(ifStmt(truthy(b), assignExpr(t, constant(1))));
+        seq.push_back(ifStmt(truthy(a), block(std::move(lazy))));
+        return readLocal(t);
+      }
+      case ExprKind::LogicalOr: {
+        const LocalId t =
+            out.addLocal("$sc" + std::to_string(tempCounter++), false);
+        const ExprId a = lowerExpr(e.lhs, seq);
+        seq.push_back(assignExpr(t, constant(1)));
+        std::vector<StmtId> lazy;
+        const ExprId b = lowerExpr(e.rhs, lazy);
+        lazy.push_back(ifStmt(falsy(b), assignExpr(t, constant(0))));
+        seq.push_back(ifStmt(falsy(a), block(std::move(lazy))));
+        return readLocal(t);
+      }
+      default: {
+        Expr outE = e;
+        if (e.kind == ExprKind::Local) outE.local = cl.localMap()[e.local];
+        if (e.lhs != kNoExpr) outE.lhs = lowerExpr(e.lhs, seq);
+        if (e.rhs != kNoExpr) outE.rhs = lowerExpr(e.rhs, seq);
+        return out.addExpr(outE);
+      }
+    }
+  }
+
+  /// Appends the transformed statement(s) for `id` to `seq`.
+  void lowerStmt(StmtId id, std::vector<StmtId>& seq) {
+    const Stmt& s = src.stmt(id);
+    switch (s.kind) {
+      case StmtKind::Assign: {
+        const ExprId v = lowerExpr(s.value, seq);
+        seq.push_back(assignExpr(cl.localMap()[s.target], v));
+        return;
+      }
+      case StmtKind::ArrayStore: {
+        Stmt store;
+        store.kind = StmtKind::ArrayStore;
+        store.handle = lowerExpr(s.handle, seq);
+        store.index = lowerExpr(s.index, seq);
+        store.value = lowerExpr(s.value, seq);
+        seq.push_back(out.addStmt(std::move(store)));
+        return;
+      }
+      case StmtKind::If: {
+        const ExprId c = lowerExpr(s.cond, seq);
+        Stmt ifS;
+        ifS.kind = StmtKind::If;
+        ifS.cond = c;
+        ifS.thenBlock = lowerSingle(s.thenBlock);
+        ifS.elseBlock =
+            s.elseBlock == kNoStmt ? kNoStmt : lowerSingle(s.elseBlock);
+        seq.push_back(out.addStmt(std::move(ifS)));
+        return;
+      }
+      case StmtKind::While: {
+        if (!exprHasSc(src, s.cond)) {
+          std::vector<StmtId> condPre;  // stays empty: no sc in cond
+          const ExprId c = lowerExpr(s.cond, condPre);
+          CGRA_ASSERT(condPre.empty());
+          Stmt loop;
+          loop.kind = StmtKind::While;
+          loop.cond = c;
+          loop.body = lowerSingle(s.body);
+          seq.push_back(out.addStmt(std::move(loop)));
+          return;
+        }
+        // Lazy condition: re-evaluate at the top of every iteration.
+        std::vector<StmtId> bodySeq;
+        const ExprId c = lowerExpr(s.cond, bodySeq);
+        Stmt brk;
+        brk.kind = StmtKind::Break;
+        bodySeq.push_back(ifStmt(falsy(c), out.addStmt(std::move(brk))));
+        lowerStmt(s.body, bodySeq);
+        Stmt loop;
+        loop.kind = StmtKind::While;
+        loop.cond = compare(Op::IFNE, constant(1), constant(0));
+        loop.body = block(std::move(bodySeq));
+        seq.push_back(out.addStmt(std::move(loop)));
+        return;
+      }
+      case StmtKind::Switch: {
+        const ExprId scrut = lowerExpr(s.cond, seq);
+        Stmt sw;
+        sw.kind = StmtKind::Switch;
+        sw.cond = scrut;
+        sw.caseValues = s.caseValues;
+        for (StmtId arm : s.stmts) sw.stmts.push_back(lowerSingle(arm));
+        sw.body = s.body == kNoStmt ? kNoStmt : lowerSingle(s.body);
+        seq.push_back(out.addStmt(std::move(sw)));
+        return;
+      }
+      case StmtKind::Return: {
+        if (s.value == kNoExpr) {
+          seq.push_back(cl.cloneStmt(id));
+          return;
+        }
+        const ExprId v = lowerExpr(s.value, seq);
+        Stmt ret;
+        ret.kind = StmtKind::Return;
+        ret.target = cl.localMap()[s.target];
+        ret.value = v;
+        seq.push_back(out.addStmt(std::move(ret)));
+        return;
+      }
+      case StmtKind::Call: {
+        Stmt call;
+        call.kind = StmtKind::Call;
+        call.target = cl.localMap()[s.target];
+        call.callee = s.callee;
+        for (ExprId a : s.args) call.args.push_back(lowerExpr(a, seq));
+        seq.push_back(out.addStmt(std::move(call)));
+        return;
+      }
+      case StmtKind::Block: {
+        std::vector<StmtId> inner;
+        for (StmtId c : s.stmts) lowerStmt(c, inner);
+        seq.push_back(block(std::move(inner)));
+        return;
+      }
+      default:  // Break / Continue
+        seq.push_back(cl.cloneStmt(id));
+        return;
+    }
+  }
+
+  /// Transforms `id` into exactly one statement (wrapping preludes).
+  StmtId lowerSingle(StmtId id) {
+    std::vector<StmtId> seq;
+    lowerStmt(id, seq);
+    if (seq.size() == 1) return seq[0];
+    return block(std::move(seq));
+  }
+};
+
+}  // namespace
+
+Function lowerShortCircuit(const Function& fn) {
+  Function out(fn.name());
+  Cloner cl(fn, out, identityMap(fn, out));
+  ScLowerer lowerer{fn, out, cl, 0};
+  out.setBody(lowerer.lowerSingle(fn.body()));
+  out.validate();
+  return out;
+}
+
+}  // namespace cgra::kir

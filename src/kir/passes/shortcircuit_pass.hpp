@@ -1,0 +1,27 @@
+// Short-circuit lowering — rewrites lazy `&&` / `||` expressions into
+// explicit control flow over fresh 0/1 temporaries:
+//
+//   t = a && b   ->   t = 0; if (a != 0) { if (b != 0) { t = 1 } }
+//   t = a || b   ->   t = 1; if (a == 0) { if (b == 0) { t = 0 } }
+//
+// The right operand's own prelude statements (nested short-circuits, etc.)
+// are emitted inside the conditional, preserving laziness: `b`'s array
+// loads never execute when `a` already decides the result.
+//
+// A while condition containing a short-circuit operator becomes
+//   while (1) { t = cond; if (t == 0) { break; } body }
+// so the lazy evaluation runs every iteration (including after a continue).
+// The introduced break is demoted by normalizeExits, which runs next in the
+// pipeline.
+#pragma once
+
+#include "kir/kir.hpp"
+
+namespace cgra::kir {
+
+/// Rewrites every LogicalAnd/LogicalOr in `fn` into eager control flow.
+/// Functions without short-circuit operators come back as an exact
+/// structural copy.
+Function lowerShortCircuit(const Function& fn);
+
+}  // namespace cgra::kir

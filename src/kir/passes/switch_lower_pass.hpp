@@ -1,0 +1,24 @@
+// Switch lowering — rewrites structured `switch` statements into if/else
+// chains. Two strategies mirror how a bytecode compiler picks between
+// LOOKUPSWITCH-style linear dispatch and TABLESWITCH-style tree dispatch:
+//
+//   Linear: an equality ladder in declaration order — O(n) comparisons, no
+//           extra state, best for small switches.
+//   Bucket: cases sorted by value and dispatched through a binary range
+//           tree — O(log n) comparisons on the scrutinee, using a `$swhit`
+//           flag so the default arm is emitted exactly once.
+//   Auto:   Bucket at >= 6 cases, Linear otherwise.
+#pragma once
+
+#include "kir/kir.hpp"
+
+namespace cgra::kir {
+
+enum class SwitchStrategy : std::uint8_t { Linear, Bucket, Auto };
+
+/// Rewrites every Switch statement in `fn` into if/else form. Functions
+/// without switches come back as an exact structural copy.
+Function lowerSwitches(const Function& fn,
+                       SwitchStrategy strategy = SwitchStrategy::Auto);
+
+}  // namespace cgra::kir

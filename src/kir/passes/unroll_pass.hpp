@@ -1,0 +1,20 @@
+// Partial loop unrolling (paper evaluation: "a maximum unroll factor of 2
+// for inner loops was used"). In the frontend pipeline this runs AFTER exit
+// normalization, so a break inside an unrolled loop has already been demoted
+// to a guard variable — replicating the body replicates plain guarded
+// statements instead of duplicating the loop's exit edge.
+#pragma once
+
+#include "kir/kir.hpp"
+
+namespace cgra::kir {
+
+/// Partially unrolls loops by `factor`. A while loop
+///   while (c) { B }
+/// becomes
+///   while (c) { B; if (c) { B } }        (factor 2)
+/// When `innermostOnly`, only loops without nested loops are unrolled.
+Function unrollLoops(const Function& fn, unsigned factor,
+                     bool innermostOnly = true);
+
+}  // namespace cgra::kir

@@ -76,6 +76,13 @@ private:
   }
 
   ExprId genExpr(unsigned depth) {
+    if (opts_.irregularConstructs && depth < opts_.maxExprDepth) {
+      // Occasional short-circuit operators; every draw here is behind the
+      // flag so legacy seeds keep their rng stream.
+      const std::int64_t sc = rng_.range(0, 14);
+      if (sc == 0) return b_.land(genExpr(depth + 1), genExpr(depth + 1));
+      if (sc == 1) return b_.lor(genExpr(depth + 1), genExpr(depth + 1));
+    }
     const std::int64_t pick = rng_.range(0, 9);
     if (depth >= opts_.maxExprDepth || pick <= 1)
       return b_.cint(static_cast<std::int32_t>(rng_.range(-30, 30)));
@@ -108,6 +115,14 @@ private:
   }
 
   StmtId genStmt(unsigned depth) {
+    if (opts_.irregularConstructs) {
+      const std::int64_t xpick = rng_.range(0, 19);
+      if (xpick == 0 && loopDepth_ > 0) return genGuardedExit(StmtKind::Break);
+      if (xpick == 1 && loopDepth_ > 0)
+        return genGuardedExit(StmtKind::Continue);
+      if (xpick == 2) return genGuardedExit(StmtKind::Return);
+      if (xpick == 3 && depth < opts_.maxDepth) return genSwitch(depth);
+    }
     const std::int64_t pick = rng_.range(0, 9);
     if (depth < opts_.maxDepth && pick == 0) return genCountedLoop(depth);
     if (depth < opts_.maxDepth && pick == 1 && opts_.allowDataDependentLoops)
@@ -128,6 +143,37 @@ private:
     return b_.block(std::move(stmts));
   }
 
+  /// `if (cmp) { break; }` (or continue/return) — conditioned so the exit
+  /// actually depends on data instead of firing on the first iteration.
+  StmtId genGuardedExit(StmtKind kind) {
+    const ExprId cond = b_.cmp(randomCompareOp(), genExpr(1), genExpr(1));
+    StmtId exit = kNoStmt;
+    switch (kind) {
+      case StmtKind::Break: exit = b_.breakLoop(); break;
+      case StmtKind::Continue: exit = b_.continueLoop(); break;
+      default: exit = b_.ret(genExpr(1)); break;
+    }
+    return b_.ifElse(cond, b_.block({exit}));
+  }
+
+  StmtId genSwitch(unsigned depth) {
+    // Scrutinee masked to a small range so cases are reachable.
+    const ExprId scrut = b_.band(genExpr(1), b_.cint(7));
+    const std::int64_t numCases = rng_.range(2, 4);
+    std::vector<std::int32_t> values;
+    std::vector<StmtId> arms;
+    std::set<std::int32_t> used;
+    for (std::int64_t c = 0; c < numCases; ++c) {
+      const auto v = static_cast<std::int32_t>(rng_.range(0, 7));
+      const StmtId arm = genBlock(depth + 1);
+      if (!used.insert(v).second) continue;  // duplicate value: drop the arm
+      values.push_back(v);
+      arms.push_back(arm);
+    }
+    const StmtId defaultB = rng_.chance(1, 2) ? genBlock(depth + 1) : kNoStmt;
+    return b_.switchStmt(scrut, std::move(values), std::move(arms), defaultB);
+  }
+
   StmtId genIf(unsigned depth) {
     const ExprId cond = b_.cmp(randomCompareOp(), genExpr(1), genExpr(1));
     const StmtId thenB = genBlock(depth + 1);
@@ -143,10 +189,15 @@ private:
     const std::int32_t trip =
         static_cast<std::int32_t>(rng_.range(1, opts_.maxLoopTrip));
     const StmtId init = b_.assign(counter, b_.cint(0));
-    const StmtId body = b_.block({
-        genBlock(depth + 1),
-        b_.assign(counter, b_.add(b_.use(counter), b_.cint(1))),
-    });
+    ++loopDepth_;
+    const StmtId inner = genBlock(depth + 1);
+    --loopDepth_;
+    const StmtId step = b_.assign(counter, b_.add(b_.use(counter), b_.cint(1)));
+    // With irregular constructs the step leads the body so a continue can
+    // never skip it (and loop forever).
+    const StmtId body = opts_.irregularConstructs
+                            ? b_.block({step, inner})
+                            : b_.block({inner, step});
     const StmtId loop =
         b_.whileLoop(b_.lt(b_.use(counter), b_.cint(trip)), body);
     reserved_.erase(counter);
@@ -160,10 +211,12 @@ private:
     reserved_.insert(g);
     dataLocals_.push_back(g);
     const StmtId init = b_.assign(g, b_.band(genExpr(1), b_.cint(63)));
-    const StmtId body = b_.block({
-        genBlock(depth + 1),
-        b_.assign(g, b_.shr(b_.use(g), b_.cint(1))),
-    });
+    ++loopDepth_;
+    const StmtId inner = genBlock(depth + 1);
+    --loopDepth_;
+    const StmtId step = b_.assign(g, b_.shr(b_.use(g), b_.cint(1)));
+    const StmtId body = opts_.irregularConstructs ? b_.block({step, inner})
+                                                  : b_.block({inner, step});
     const StmtId loop = b_.whileLoop(b_.gt(b_.use(g), b_.cint(0)), body);
     reserved_.erase(g);
     return b_.block({init, loop});
@@ -178,6 +231,7 @@ private:
   std::vector<std::int32_t> paramValues_;
   std::set<LocalId> reserved_;
   unsigned freshCounter_ = 0;
+  unsigned loopDepth_ = 0;
 };
 
 }  // namespace

@@ -31,6 +31,14 @@ struct RandomKernelOptions {
   unsigned maxExprDepth = 3;
   bool allowDataDependentLoops = true;
   bool allowCompareAsValue = true;
+  /// Emit the irregular constructs the frontend pipeline normalizes:
+  /// guarded break/continue/early-return, short-circuit && / ||, and
+  /// switch. Off by default — the flag only ADDS rng draws, so every seed's
+  /// output with the flag off is byte-identical to older revisions (the
+  /// fingerprint corpus depends on this). Loops generated with the flag on
+  /// advance their counter at the TOP of the body so a continue cannot skip
+  /// the update and loop forever.
+  bool irregularConstructs = false;
 };
 
 /// A generated kernel with matching inputs.

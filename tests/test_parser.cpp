@@ -159,6 +159,159 @@ TEST(Parser, RoundTripThroughToString) {
   EXPECT_NE(printed.find("r = (r + b);"), std::string::npos);
 }
 
+TEST(Parser, ShortCircuitAndOr) {
+  EXPECT_EQ(evalKernel("kernel f(a,b) { var r = a > 1 && b > 1; }", {2, 2},
+                       "r"),
+            1);
+  EXPECT_EQ(evalKernel("kernel f(a,b) { var r = a > 1 && b > 1; }", {2, 0},
+                       "r"),
+            0);
+  EXPECT_EQ(evalKernel("kernel f(a,b) { var r = a > 1 || b > 1; }", {0, 2},
+                       "r"),
+            1);
+  // Precedence: && binds tighter than ||; both bind looser than compares.
+  EXPECT_EQ(
+      evalKernel("kernel f(a,b,c) { var r = a == 1 || b == 1 && c == 1; }",
+                 {1, 0, 0}, "r"),
+      1);
+  EXPECT_EQ(
+      evalKernel("kernel f(a,b,c) { var r = a == 1 || b == 1 && c == 1; }",
+                 {0, 1, 0}, "r"),
+      0);
+}
+
+TEST(Parser, ShortCircuitIsLazy) {
+  // The right operand must not evaluate when the left decides: the guarded
+  // load is out of bounds whenever it executes with n == 0.
+  const std::string srcAnd =
+      "kernel f(data, n) { var r = n > 0 && data[n - 1] > 2; }";
+  const std::string srcOr =
+      "kernel f(data, n) { var r = n == 0 || data[n - 1] > 2; }";
+  HostMemory heap;
+  const Handle h = heap.alloc(std::vector<std::int32_t>{5});
+  EXPECT_EQ(evalKernel(srcAnd, {h, 1}, "r", &heap), 1);
+  EXPECT_EQ(evalKernel(srcAnd, {h, 0}, "r", &heap), 0);
+  EXPECT_EQ(evalKernel(srcOr, {h, 0}, "r", &heap), 1);
+  EXPECT_EQ(evalKernel(srcOr, {h, 1}, "r", &heap), 1);
+}
+
+TEST(Parser, BreakAndContinue) {
+  // break: stop summing at the first zero; continue: skip negatives.
+  const std::string src = R"(
+    kernel f(data, n) {
+      var sum = 0;
+      var i = 0;
+      while (i < n) {
+        var v = data[i];
+        i = i + 1;
+        if (v == 0) { break; }
+        if (v < 0) { continue; }
+        sum = sum + v;
+      }
+    }
+  )";
+  HostMemory heap;
+  const Handle h = heap.alloc({3, -7, 4, 0, 99});
+  EXPECT_EQ(evalKernel(src, {h, 5}, "sum", &heap), 7);
+}
+
+TEST(Parser, ReturnExitsEarlyAndBindsResult) {
+  const std::string src = R"(
+    kernel f(data, n, needle) {
+      var i = 0;
+      while (i < n) {
+        if (data[i] == needle) { return i; }
+        i = i + 1;
+      }
+      return -1;
+    }
+  )";
+  HostMemory heap;
+  const Handle h = heap.alloc({10, 20, 30});
+  EXPECT_EQ(evalKernel(src, {h, 3, 20}, "result", &heap), 1);
+  EXPECT_EQ(evalKernel(src, {h, 3, 99}, "result", &heap), -1);
+  // A bare `return;` needs no result local.
+  const Function fn =
+      parseKernel("kernel f(a) { if (a == 0) { return; } var r = 1; }");
+  EXPECT_THROW(fn.localByName("result"), Error);
+}
+
+TEST(Parser, SwitchSelectsArm) {
+  const std::string src = R"(
+    kernel f(op, a, b) {
+      var r = 0;
+      switch (op) {
+        case 0: { r = a + b; }
+        case 1: { r = a - b; }
+        case -2: { r = a * b; }
+        default: { r = -1; }
+      }
+    }
+  )";
+  EXPECT_EQ(evalKernel(src, {0, 7, 3}, "r"), 10);
+  EXPECT_EQ(evalKernel(src, {1, 7, 3}, "r"), 4);
+  EXPECT_EQ(evalKernel(src, {-2, 7, 3}, "r"), 21);
+  EXPECT_EQ(evalKernel(src, {9, 7, 3}, "r"), -1);
+  // No fall-through and no default: a missed switch is a no-op.
+  const std::string noDefault =
+      "kernel f(op) { var r = 5; switch (op) { case 1: { r = 9; } } }";
+  EXPECT_EQ(evalKernel(noDefault, {1}, "r"), 9);
+  EXPECT_EQ(evalKernel(noDefault, {2}, "r"), 5);
+}
+
+TEST(Parser, IrregularConstructDiagnostics) {
+  auto expectError = [](const std::string& src, const std::string& what) {
+    try {
+      parseKernel(src);
+      FAIL() << "expected error for: " << src;
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find(what), std::string::npos)
+          << e.what();
+    }
+  };
+  expectError("kernel f(a) { break; }", "break outside of a loop");
+  expectError("kernel f(a) { continue; }", "continue outside of a loop");
+  expectError(
+      "kernel f(a) { switch (a) { default: { a = 1; } case 1: { a = 2; } } }",
+      "'case' after 'default'");
+  expectError(
+      "kernel f(a) { switch (a) { default: { a = 1; } default: { a = 2; } } }",
+      "duplicate 'default'");
+  expectError("kernel f(a) { switch (a) { case a: { a = 1; } } }",
+              "expected integer case value");
+  expectError("kernel f(a) { switch (a) { } }",
+              "switch without any case or default arm");
+  expectError(
+      "kernel f(a) { switch (a) { case 3: { a = 1; } case 3: { a = 2; } } }",
+      "duplicate switch case 3");
+  // `return expr;` materializes the implicit `result` local, so a later
+  // explicit declaration collides with it.
+  expectError("kernel f(a) { if (a > 0) { return a; } var result = 0; }",
+              "duplicate declaration");
+}
+
+TEST(Parser, NewConstructsPrintStructurally) {
+  const std::string src = R"(
+    kernel f(op, n) {
+      var r = 0;
+      while (r < n) {
+        if (op == 0 && r > 2) { break; }
+        if (op == 1 || r == 0) { r = r + 2; continue; }
+        switch (op) {
+          case 2: { r = r + 1; }
+          default: { return r; }
+        }
+      }
+    }
+  )";
+  const std::string printed = parseKernel(src).toString();
+  for (const char* piece :
+       {"break;", "continue;", "return r;", "case 2: {", "default: {",
+        "((op == 0) && (r > 2))", "((op == 1) || (r == 0))"})
+    EXPECT_NE(printed.find(piece), std::string::npos)
+        << "missing " << piece << " in:\n" << printed;
+}
+
 TEST(Parser, FileLoading) {
   const std::string path = ::testing::TempDir() + "/k.kir";
   {

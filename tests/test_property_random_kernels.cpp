@@ -218,5 +218,126 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Range(0, 4),
                        ::testing::Range<std::uint64_t>(1, 16)));
 
+// ---------------------------------------------------------------------------
+// Irregular constructs: kernels generated with break / continue / return,
+// short-circuit booleans and switch mixed in. Each normalization pass alone
+// must preserve interpreter semantics, and the full pipeline output must
+// survive the complete CGRA flow differentially (bounded fuzz).
+
+kir::RandomKernel irregularKernel(std::uint64_t seed) {
+  kir::RandomKernelOptions opts;
+  opts.irregularConstructs = true;
+  return kir::generateRandomKernel(seed, opts);
+}
+
+/// Passes append helper locals ($sc / $sw / $brk...), so equivalence is
+/// heap plus the ORIGINAL function's locals prefix.
+void expectPrefixEquivalent(const kir::RandomKernel& k,
+                            const kir::Function& transformed,
+                            const GoldenRun& g, const char* label) {
+  HostMemory heap = k.heap;
+  kir::Interpreter interp;
+  const auto r = interp.run(transformed, k.initialLocals, heap);
+  EXPECT_TRUE(heap == g.heap) << label << "\n" << transformed.toString();
+  for (kir::LocalId l = 0; l < k.fn.numLocals(); ++l)
+    EXPECT_EQ(r.locals[l], g.locals[l])
+        << label << " local " << k.fn.local(l).name << "\n"
+        << transformed.toString();
+}
+
+class IrregularRandomKernel : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(IrregularRandomKernel, EachPassPreservesSemantics) {
+  const std::uint64_t seed = GetParam();
+  const kir::RandomKernel k = irregularKernel(seed);
+  const GoldenRun g = golden(k, k.fn);
+
+  expectPrefixEquivalent(k, kir::lowerShortCircuit(k.fn), g, "shortcircuit");
+  expectPrefixEquivalent(
+      k, kir::lowerSwitches(k.fn, kir::SwitchStrategy::Linear), g,
+      "switch-linear");
+  expectPrefixEquivalent(
+      k, kir::lowerSwitches(k.fn, kir::SwitchStrategy::Bucket), g,
+      "switch-bucket");
+  expectPrefixEquivalent(k, kir::normalizeExits(k.fn), g, "exit-normalize");
+}
+
+TEST_P(IrregularRandomKernel, PipelinePreservesSemantics) {
+  const std::uint64_t seed = GetParam() + 4000;
+  const kir::RandomKernel k = irregularKernel(seed);
+  const GoldenRun g = golden(k, k.fn);
+
+  const kir::Function norm = kir::runFrontendPipeline(k.fn).fn;
+  EXPECT_EQ(kir::firstIrregularConstruct(norm), nullptr)
+      << "seed " << seed << "\n" << norm.toString();
+  expectPrefixEquivalent(k, norm, g, "pipeline");
+
+  // With the optimization stages on, composed behind normalization.
+  kir::FrontendOptions opts;
+  opts.cse = true;
+  opts.unrollFactor = 2;
+  const kir::Function optd = kir::runFrontendPipeline(k.fn, opts).fn;
+  EXPECT_EQ(kir::firstIrregularConstruct(optd), nullptr);
+  expectPrefixEquivalent(k, optd, g, "pipeline+cse+unroll");
+}
+
+TEST_P(IrregularRandomKernel, BaselineMatchesInterpreter) {
+  // The bytecode backend lowers the irregular constructs directly with
+  // jumps — no normalization involved — and must agree with the
+  // tree-walking interpreter.
+  const std::uint64_t seed = GetParam() + 5000;
+  const kir::RandomKernel k = irregularKernel(seed);
+  const GoldenRun g = golden(k, k.fn);
+
+  HostMemory heap = k.heap;
+  const TokenMachine tm;
+  const TokenRunResult r = tm.run(kir::lowerToBytecode(k.fn),
+                                  k.initialLocals, heap);
+  EXPECT_TRUE(heap == g.heap) << "seed " << seed << "\n" << k.fn.toString();
+  // The bytecode backend appends a scratch local for switch dispatch;
+  // compare the function's own locals.
+  for (kir::LocalId l = 0; l < k.fn.numLocals(); ++l)
+    EXPECT_EQ(r.locals[l], g.locals[l])
+        << "seed " << seed << " local " << l << "\n" << k.fn.toString();
+}
+
+TEST_P(IrregularRandomKernel, CgraMatchesInterpreter) {
+  // Bounded differential fuzz of the full flow: generate -> normalize ->
+  // CDFG -> schedule -> simulate, against the interpreter on the original.
+  const std::uint64_t seed = GetParam() + 6000;
+  const kir::RandomKernel k = irregularKernel(seed);
+  const GoldenRun g = golden(k, k.fn);
+
+  const kir::Function norm = kir::runFrontendPipeline(k.fn).fn;
+  const kir::LoweringResult lowered = kir::lowerToCdfg(norm);
+  FactoryOptions fo;
+  fo.contextMemoryLength = 4096;  // guard flags make normalized bodies long
+  fo.cboxSlots = 64;
+  const Composition comp = makeMesh(meshSizes()[seed % 3 + 3], fo);
+
+  const ScheduleReport result =
+      Scheduler(comp).schedule(ScheduleRequest(lowered.graph)).orThrow();
+  const auto issues = validateSchedule(result.schedule, lowered.graph, comp);
+  EXPECT_TRUE(issues.empty()) << "seed " << seed << ": " << issues.front();
+
+  std::map<VarId, std::int32_t> liveIns;
+  for (const LiveBinding& lb : result.schedule.liveIns)
+    liveIns[lb.var] =
+        lb.var < k.initialLocals.size() ? k.initialLocals[lb.var] : 0;
+  HostMemory heap = k.heap;
+  const SimResult r = Simulator(comp, result.schedule).run(liveIns, heap);
+  EXPECT_TRUE(heap == g.heap) << "seed " << seed << "\n" << norm.toString();
+  for (const auto& [var, value] : r.liveOuts) {
+    if (var >= k.fn.numLocals()) continue;  // pipeline-introduced temp
+    EXPECT_EQ(value, g.locals[var])
+        << "seed " << seed << ": live-out "
+        << lowered.graph.variable(var).name << "\n" << norm.toString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IrregularRandomKernel,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
 }  // namespace
 }  // namespace cgra

@@ -2,6 +2,12 @@
 //
 //   cgra-tool list                                  kernels & compositions
 //   cgra-tool describe  --comp mesh9                composition report
+//   cgra-tool kir       --kernel-file f.kir [--unroll 2] [--cse]
+//                       [--switch-strategy bucket]  print the IR after
+//                       every frontend-pipeline stage (inline,
+//                       shortcircuit, switch-lower, exit-normalize, cse,
+//                       unroll); exits non-zero if the result still
+//                       contains irregular control flow
 //   cgra-tool schedule  --comp D --kernel adpcm [--unroll 2]
 //                       [--gantt] [--dump] [--contexts out.json]
 //                       [--verilog out.v] [--dot out.dot]
@@ -64,14 +70,17 @@
 //
 //   cgra-tool simulate --comp mesh4 --kernel-file my.kir [continued]
 //       --array data=3,1,2 --local n=3
+#include <algorithm>
 #include <atomic>
 #include <csignal>
 #include <cstring>
 #include <deque>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
+#include <system_error>
 
 #include "apps/kernels.hpp"
 #include "arch/factory.hpp"
@@ -128,8 +137,16 @@ constexpr FlagSpec kFlagTable[] = {
      "comma-separated compositions (default mesh4,mesh9)"},
     {"kernel", true, false, "NAME",
      "bundled kernel (default adpcm; see `cgra-tool list`)"},
-    {"kernels", true, false, "LIST", "comma-separated bundled kernels"},
+    {"kernels", true, false, "LIST",
+     "comma-separated kernels: bundled names, randomN, .kir file paths, or "
+     "`suite` (every .kir under --kernel-dir)"},
     {"kernel-file", true, false, "PATH", "user kernel in KIR text form"},
+    {"kernel-dir", true, false, "DIR",
+     "directory the `suite` kernel token expands from (default "
+     "examples/kernels)"},
+    {"switch-strategy", true, false, "NAME",
+     "switch lowering: auto|linear|bucket (default auto: bucket at >= 6 "
+     "cases)"},
     {"local", true, true, "NAME=V", "initial value of a kernel local"},
     {"array", true, true, "NAME=V1,V2,...",
      "heap array bound to a kernel parameter"},
@@ -390,6 +407,16 @@ std::uint64_t parseSeed(const Args& args) {
 /// deterministic kernel supply beyond the bundled suite.
 apps::Workload resolveKernel(const std::string& name,
                              std::uint64_t seed = 42) {
+  // Tokens naming a .kir file load it from disk (inputs default to zero;
+  // scheduling-only commands never read them, `simulate` takes
+  // --local/--array via --kernel-file instead).
+  if (name.find(".kir") != std::string::npos) {
+    apps::Workload w;
+    w.fn = kir::parseKernelFile(name);
+    w.name = w.fn.name();
+    w.initialLocals.assign(w.fn.numLocals(), 0);
+    return w;
+  }
   if (name.rfind("random", 0) == 0 && name.size() > 6 &&
       name.find_first_not_of("0123456789", 6) == std::string::npos) {
     const std::uint64_t stream = std::stoull(name.substr(6));
@@ -404,6 +431,52 @@ apps::Workload resolveKernel(const std::string& name,
   for (apps::Workload& w : apps::allWorkloads(seed))
     if (w.name == name) return std::move(w);
   throw Error("unknown kernel \"" + name + "\" (see `cgra-tool list`)");
+}
+
+/// Expands --kernels, replacing the `suite` token by every .kir file under
+/// --kernel-dir in sorted (deterministic) order.
+std::vector<std::string> expandKernelList(const Args& args,
+                                          const std::string& defaultList) {
+  std::vector<std::string> out;
+  for (const std::string& name : splitCsv(args.get("kernels", defaultList))) {
+    if (name != "suite") {
+      out.push_back(name);
+      continue;
+    }
+    const std::string dir = args.get("kernel-dir", "examples/kernels");
+    std::vector<std::string> files;
+    std::error_code ec;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(dir, ec))
+      if (entry.path().extension() == ".kir")
+        files.push_back(entry.path().string());
+    if (ec)
+      throw Error("cannot read kernel suite directory \"" + dir +
+                  "\": " + ec.message());
+    if (files.empty())
+      throw Error("kernel suite directory \"" + dir +
+                  "\" contains no .kir files");
+    std::sort(files.begin(), files.end());
+    out.insert(out.end(), files.begin(), files.end());
+  }
+  return out;
+}
+
+/// Maps --unroll/--cse/--switch-strategy onto the frontend pipeline
+/// configuration shared by schedule/simulate/sweep/explore/kir.
+kir::FrontendOptions frontendOptions(const Args& args) {
+  kir::FrontendOptions fo;
+  fo.cse = args.has("cse");
+  fo.unrollFactor = args.getUnsigned("unroll", 1);
+  const std::string strategy = args.get("switch-strategy", "auto");
+  if (strategy == "linear")
+    fo.switchStrategy = kir::SwitchStrategy::Linear;
+  else if (strategy == "bucket")
+    fo.switchStrategy = kir::SwitchStrategy::Bucket;
+  else if (strategy != "auto")
+    throw Error("unknown --switch-strategy \"" + strategy +
+                "\" (expected auto, linear or bucket)");
+  return fo;
 }
 
 int cmdList(const Args&) {
@@ -449,6 +522,39 @@ struct Prepared {
 };
 
 /// Builds a workload from --kernel-file + --local/--array input flags.
+apps::Workload loadUserKernel(const Args& args);
+
+int cmdKir(const Args& args) {
+  apps::Workload w = args.has("kernel-file")
+                         ? loadUserKernel(args)
+                         : resolveKernel(args.get("kernel", "adpcm"),
+                                         parseSeed(args));
+  kir::FrontendOptions fo = frontendOptions(args);
+  fo.captureStages = true;
+  const kir::FrontendResult res = kir::runFrontendPipeline(w.fn, fo);
+  for (const kir::StageRecord& stage : res.stages) {
+    if (stage.name == "input") {
+      std::cout << "== input ==\n" << stage.ir;
+      continue;
+    }
+    if (!stage.ran) {
+      std::cout << "== " << stage.name << " (skipped) ==\n";
+      continue;
+    }
+    std::cout << "== " << stage.name << " ==\n" << stage.ir;
+  }
+  const char* irregular = kir::firstIrregularConstruct(res.fn);
+  std::cout << "== summary ==\n"
+            << kir::countStmtNodes(res.fn) << " statements, "
+            << kir::countExprNodes(res.fn) << " expressions, "
+            << res.fn.numLocals() << " locals; "
+            << (irregular == nullptr
+                    ? std::string("structured (CDFG-ready)")
+                    : "still contains " + std::string(irregular))
+            << "\n";
+  return irregular == nullptr ? 0 : 1;
+}
+
 apps::Workload loadUserKernel(const Args& args) {
   apps::Workload w;
   w.fn = kir::parseKernelFile(args.get("kernel-file"));
@@ -487,11 +593,8 @@ Prepared prepareKernel(const Args& args) {
                  : resolveKernel(args.get("kernel", "adpcm")),
              kir::Function(""),
              {}};
-  p.prepared = p.workload.fn;
-  if (args.has("cse"))
-    p.prepared = kir::eliminateCommonSubexpressions(p.prepared);
-  const unsigned unroll = args.getUnsigned("unroll", 1);
-  if (unroll >= 2) p.prepared = kir::unrollLoops(p.prepared, unroll, true);
+  p.prepared = kir::runFrontendPipeline(p.workload.fn,
+                                        frontendOptions(args)).fn;
   p.graph = kir::lowerToCdfg(p.prepared).graph;
   return p;
 }
@@ -775,14 +878,13 @@ int cmdSweep(const Args& args) {
   for (const std::string& name : splitCsv(args.get("comps", "mesh4,mesh9")))
     comps.push_back(resolveComposition(name));
 
-  const unsigned unroll = args.getUnsigned("unroll", 1);
+  const kir::FrontendOptions fo = frontendOptions(args);
   const std::uint64_t seed = parseSeed(args);
   std::deque<std::pair<std::string, Cdfg>> graphs;
-  for (const std::string& name : splitCsv(args.get("kernels", "adpcm"))) {
+  for (const std::string& name : expandKernelList(args, "adpcm")) {
     apps::Workload w = resolveKernel(name, seed);
-    kir::Function fn = w.fn;
-    if (unroll >= 2) fn = kir::unrollLoops(fn, unroll, true);
-    graphs.emplace_back(name, kir::lowerToCdfg(fn).graph);
+    const kir::Function fn = kir::runFrontendPipeline(w.fn, fo).fn;
+    graphs.emplace_back(w.name, kir::lowerToCdfg(fn).graph);
   }
 
   SchedulerOptions jobOpts;
@@ -858,15 +960,13 @@ int cmdExplore(const Args& args) {
           : explore::CompositionSpace{};
 
   const std::uint64_t seed = parseSeed(args);
-  const unsigned unroll = args.getUnsigned("unroll", 1);
+  const kir::FrontendOptions fo = frontendOptions(args);
   // Deque for stable addresses: ExploreKernel carries non-owning pointers.
   std::deque<std::pair<std::string, Cdfg>> graphs;
-  for (const std::string& name :
-       splitCsv(args.get("kernels", "dotprod,fir,gcd"))) {
+  for (const std::string& name : expandKernelList(args, "dotprod,fir,gcd")) {
     apps::Workload w = resolveKernel(name, seed);
-    kir::Function fn = w.fn;
-    if (unroll >= 2) fn = kir::unrollLoops(fn, unroll, true);
-    graphs.emplace_back(name, kir::lowerToCdfg(fn).graph);
+    const kir::Function fn = kir::runFrontendPipeline(w.fn, fo).fn;
+    graphs.emplace_back(w.name, kir::lowerToCdfg(fn).graph);
   }
   std::vector<explore::ExploreKernel> kernels;
   for (const auto& [name, graph] : graphs)
@@ -1112,6 +1212,10 @@ const CommandSpec kCommands[] = {
     {"list", "list bundled kernels and compositions", {}, cmdList},
     {"describe", "print a composition's PE/interconnect report",
      {"comp"}, cmdDescribe},
+    {"kir", "print the IR after every frontend-pipeline stage",
+     {"kernel", "kernel-file", "local", "array", "unroll", "cse",
+      "switch-strategy", "seed"},
+     cmdKir},
     {"schedule", "map a kernel onto a composition and report the schedule",
      {"comp", "kernel", "kernel-file", "local", "array", "unroll", "cse",
       "max-contexts", "trace", "trace-capacity", "gantt", "dump", "contexts",
@@ -1136,14 +1240,15 @@ const CommandSpec kCommands[] = {
     {"synthesize", "rank candidate compositions for a kernel domain",
      {"kernels", "area-weight", "threads", "out"}, cmdSynthesize},
     {"sweep", "schedule every (composition x kernel) pair in parallel",
-     {"comps", "kernels", "unroll", "threads", "metrics", "max-contexts",
-      "trace", "trace-capacity", "stable", "cache", "cache-bytes", "seed"},
+     {"comps", "kernels", "kernel-dir", "unroll", "threads", "metrics",
+      "max-contexts", "trace", "trace-capacity", "stable", "cache",
+      "cache-bytes", "seed"},
      cmdSweep},
     {"explore",
      "design-space auto-tuner: Pareto front over area vs. schedule quality",
-     {"space", "kernels", "unroll", "strategy", "seed", "budget",
-      "population", "threads", "stable", "cache", "cache-bytes", "out",
-      "metrics"},
+     {"space", "kernels", "kernel-dir", "unroll", "strategy", "seed",
+      "budget", "population", "threads", "stable", "cache", "cache-bytes",
+      "out", "metrics"},
      cmdExplore},
     {"serve", "concurrent compile server: JSONL requests in, artifacts out",
      {"cache", "cache-bytes", "threads", "max-queue", "queue-bound",

@@ -5,6 +5,8 @@
 #   tests/golden/explain_adpcm_mesh9.txt       (decision transcript)
 #   tests/golden/explain_gcd_irregularD.txt    (decision transcript)
 #   tests/golden/random_kernel_fingerprints.txt (60-seed schedule corpus)
+#   tests/golden/kir_vm_accumulate.txt         (per-stage frontend IR dump)
+#   tests/golden/kernel_suite_fingerprints.txt (examples/kernels schedules)
 #
 # Run ONLY when a commit intentionally changes scheduler behavior, and
 # regenerate in that same commit (note it in CHANGES.md). Usage:
@@ -39,6 +41,16 @@ echo "== random-kernel fingerprint corpus"
 CGRA_REGEN_GOLDENS=1 "$pipeline_test" \
   --gtest_filter='PassPipeline.RandomKernelFingerprintsMatchGolden' \
   >/dev/null
+
+echo "== frontend per-stage IR dump"
+"$tool" kir --kernel-file "$repo/examples/kernels/vm_accumulate.kir" \
+  > "$golden/kir_vm_accumulate.txt" 2>&1
+
+echo "== kernel-suite fingerprints"
+suite_test="$build/tests/test_kernel_suite"
+[ -x "$suite_test" ] || { echo "error: $suite_test not built" >&2; exit 1; }
+CGRA_REGEN_GOLDENS=1 "$suite_test" \
+  --gtest_filter='KernelSuiteIndex.FingerprintsMatchGolden' >/dev/null
 
 echo "regenerated goldens in $golden:"
 git -C "$repo" status --short -- tests/golden
